@@ -1,0 +1,29 @@
+//! Ablation A2: hardware translator vs software JIT (paper §2 argues
+//! hardware avoids stealing CPU time from embedded workloads).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use liquid_simd::experiments;
+
+fn bench_jit(c: &mut Criterion) {
+    let ws = liquid_simd_workloads::all();
+    let rows = experiments::ablation_jit(&ws, 40).unwrap();
+    println!("{}", liquid_simd_bench::render_jit(&rows));
+    let small = liquid_simd_workloads::smoke();
+    c.bench_function("ablation_jit/smoke_set", |bench| {
+        bench.iter(|| experiments::ablation_jit(&small, 40).unwrap().len())
+    });
+}
+
+fn quick() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(8))
+        .warm_up_time(std::time::Duration::from_secs(1))
+}
+
+criterion_group! {
+    name = benches;
+    config = quick();
+    targets = bench_jit
+}
+criterion_main!(benches);

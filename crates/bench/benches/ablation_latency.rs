@@ -1,0 +1,30 @@
+//! Ablation A1: translation-latency sensitivity (paper: tens of cycles per
+//! instruction are tolerable because call gaps exceed 300 cycles).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use liquid_simd::experiments;
+
+fn bench_latency(c: &mut Criterion) {
+    let ws = liquid_simd_workloads::all();
+    let costs = [1u64, 10, 40, 100];
+    let rows = experiments::ablation_latency(&ws, &costs).unwrap();
+    println!("{}", liquid_simd_bench::render_latency(&rows, &costs));
+    let small = liquid_simd_workloads::smoke();
+    c.bench_function("ablation_latency/smoke_set", |bench| {
+        bench.iter(|| experiments::ablation_latency(&small, &[1, 100]).unwrap().len())
+    });
+}
+
+fn quick() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(8))
+        .warm_up_time(std::time::Duration::from_secs(1))
+}
+
+criterion_group! {
+    name = benches;
+    config = quick();
+    targets = bench_latency
+}
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Bench for the paper's code-size-overhead measurement (§5).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use liquid_simd::experiments;
+
+fn bench_code_size(c: &mut Criterion) {
+    let ws = liquid_simd_workloads::all();
+    let rows = experiments::code_size(&ws).unwrap();
+    println!("{}", liquid_simd_bench::render_code_size(&rows));
+    c.bench_function("code_size/all_benchmarks", |bench| {
+        bench.iter(|| experiments::code_size(&ws).unwrap().len())
+    });
+}
+
+fn quick() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(8))
+        .warm_up_time(std::time::Duration::from_secs(1))
+}
+
+criterion_group! {
+    name = benches;
+    config = quick();
+    targets = bench_code_size
+}
+criterion_main!(benches);

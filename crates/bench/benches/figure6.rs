@@ -1,0 +1,29 @@
+//! Bench for paper Figure 6: the width sweep, plus the overhead callout.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use liquid_simd::experiments;
+
+fn bench_figure6(c: &mut Criterion) {
+    let ws = liquid_simd_workloads::all();
+    let rows = experiments::figure6(&ws, &liquid_simd_bench::WIDTHS).unwrap();
+    println!("{}", liquid_simd_bench::render_figure6(&rows));
+    println!("{}", liquid_simd_bench::render_callout());
+    let small = liquid_simd_workloads::smoke();
+    c.bench_function("figure6/sweep_smoke_set", |bench| {
+        bench.iter(|| experiments::figure6(&small, &[2, 8]).unwrap().len())
+    });
+}
+
+fn quick() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(8))
+        .warm_up_time(std::time::Duration::from_secs(1))
+}
+
+criterion_group! {
+    name = benches;
+    config = quick();
+    targets = bench_figure6
+}
+criterion_main!(benches);

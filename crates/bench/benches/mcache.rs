@@ -1,0 +1,28 @@
+//! Bench for the paper's microcode-cache working-set measurement (§5).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use liquid_simd::experiments;
+
+fn bench_mcache(c: &mut Criterion) {
+    let ws = liquid_simd_workloads::all();
+    let rows = experiments::mcache(&ws).unwrap();
+    println!("{}", liquid_simd_bench::render_mcache(&rows));
+    let small = liquid_simd_workloads::smoke();
+    c.bench_function("mcache/measure_smoke_set", |bench| {
+        bench.iter(|| experiments::mcache(&small).unwrap().len())
+    });
+}
+
+fn quick() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(8))
+        .warm_up_time(std::time::Duration::from_secs(1))
+}
+
+criterion_group! {
+    name = benches;
+    config = quick();
+    targets = bench_mcache
+}
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Bench for paper Table 2: translator synthesis estimate + host-side
+//! translation throughput (instructions observed per second).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use liquid_simd::{build_liquid, run, MachineConfig};
+
+fn bench_table2(c: &mut Criterion) {
+    println!("{}", liquid_simd_bench::render_table2());
+    // Translation throughput: time a full liquid run (dominated by the
+    // translator on first calls) of a small benchmark.
+    let w = liquid_simd_workloads::gsmdec();
+    let b = build_liquid(&w).unwrap();
+    c.bench_function("table2/translate_and_run_gsmdec_w8", |bench| {
+        bench.iter(|| run(&b.program, MachineConfig::liquid(8)).unwrap().report.cycles)
+    });
+}
+
+fn quick() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(8))
+        .warm_up_time(std::time::Duration::from_secs(1))
+}
+
+criterion_group! {
+    name = benches;
+    config = quick();
+    targets = bench_table2
+}
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Bench for paper Table 5: outlined-function sizes across all benchmarks.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use liquid_simd::experiments;
+
+fn bench_table5(c: &mut Criterion) {
+    let ws = liquid_simd_workloads::all();
+    let rows = experiments::table5(&ws).unwrap();
+    println!("{}", liquid_simd_bench::render_table5(&rows));
+    c.bench_function("table5/compile_all_liquid", |bench| {
+        bench.iter(|| experiments::table5(&ws).unwrap().len())
+    });
+}
+
+fn quick() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(8))
+        .warm_up_time(std::time::Duration::from_secs(1))
+}
+
+criterion_group! {
+    name = benches;
+    config = quick();
+    targets = bench_table5
+}
+criterion_main!(benches);

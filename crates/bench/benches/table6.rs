@@ -1,0 +1,28 @@
+//! Bench for paper Table 6: first-call gaps of outlined hot loops.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use liquid_simd::experiments;
+
+fn bench_table6(c: &mut Criterion) {
+    let ws = liquid_simd_workloads::all();
+    let rows = experiments::table6(&ws).unwrap();
+    println!("{}", liquid_simd_bench::render_table6(&rows));
+    let small = liquid_simd_workloads::smoke();
+    c.bench_function("table6/measure_smoke_set", |bench| {
+        bench.iter(|| experiments::table6(&small).unwrap().len())
+    });
+}
+
+fn quick() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(8))
+        .warm_up_time(std::time::Duration::from_secs(1))
+}
+
+criterion_group! {
+    name = benches;
+    config = quick();
+    targets = bench_table6
+}
+criterion_main!(benches);

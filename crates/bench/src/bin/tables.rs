@@ -1,0 +1,40 @@
+//! Regenerates every table and figure of the paper's evaluation in one
+//! pass. Used to produce EXPERIMENTS.md.
+//!
+//! ```text
+//! cargo run --release -p liquid-simd-bench --bin tables
+//! ```
+
+use liquid_simd::experiments;
+use liquid_simd_bench as render;
+
+fn main() {
+    let workloads = liquid_simd_workloads::all();
+    let widths = render::WIDTHS;
+
+    println!("{}", render::render_table2());
+
+    let t5 = experiments::table5(&workloads).expect("table5");
+    println!("{}", render::render_table5(&t5));
+
+    let t6 = experiments::table6(&workloads).expect("table6");
+    println!("{}", render::render_table6(&t6));
+
+    let f6 = experiments::figure6(&workloads, &widths).expect("figure6");
+    println!("{}", render::render_figure6(&f6));
+
+    println!("{}", render::render_callout());
+
+    let cs = experiments::code_size(&workloads).expect("code size");
+    println!("{}", render::render_code_size(&cs));
+
+    let mc = experiments::mcache(&workloads).expect("mcache");
+    println!("{}", render::render_mcache(&mc));
+
+    let costs = [1u64, 10, 40, 100];
+    let lat = experiments::ablation_latency(&workloads, &costs).expect("latency ablation");
+    println!("{}", render::render_latency(&lat, &costs));
+
+    let jit = experiments::ablation_jit(&workloads, 40).expect("jit ablation");
+    println!("{}", render::render_jit(&jit));
+}

@@ -1,0 +1,177 @@
+//! Shared helpers for the benchmark harness: pretty-printers that emit the
+//! paper's tables and figures from the experiment drivers in
+//! [`liquid_simd::experiments`].
+//!
+//! Two entry points exist for every artifact:
+//!
+//! * a **Criterion bench** (`cargo bench -p liquid-simd-bench --bench
+//!   <name>`) that times the measurement *and* prints the regenerated
+//!   table/figure once;
+//! * the `tables` binary (`cargo run --release -p liquid-simd-bench --bin
+//!   tables`) that prints every artifact in one pass (used to fill
+//!   EXPERIMENTS.md).
+
+use liquid_simd::experiments::{
+    self, CodeSizeRow, Figure6Row, JitAblationRow, LatencyAblationRow, McacheRow, Table5Row,
+    Table6Row,
+};
+use liquid_simd::translator::area::{estimate, SynthesisEstimate, TranslatorGeometry};
+use liquid_simd::Workload;
+
+/// The width sweep used everywhere (paper Figure 6).
+pub const WIDTHS: [usize; 4] = [2, 4, 8, 16];
+
+/// Renders Table 2 (dynamic-translator synthesis estimate).
+#[must_use]
+pub fn render_table2() -> String {
+    let mut out = String::new();
+    out.push_str("Table 2: dynamic translator synthesis (area/delay model; see DESIGN.md)\n");
+    out.push_str(
+        "  width  crit.path  delay(ns)  fmax(MHz)  cells     mm^2    regstate  buffer\n",
+    );
+    for lanes in WIDTHS {
+        let e: SynthesisEstimate = estimate(&TranslatorGeometry::with_lanes(lanes));
+        out.push_str(&format!(
+            "  {:<6} {:<10} {:<10.2} {:<10.0} {:<9.0} {:<7.3} {:<9.0} {:<8.0}\n",
+            lanes,
+            e.critical_path_gates,
+            e.delay_ns(),
+            e.fmax_mhz(),
+            e.total_cells(),
+            e.area_mm2(),
+            e.regstate_cells,
+            e.buffer_cells,
+        ));
+    }
+    out.push_str("  paper (8-wide): 16 gates, 1.51 ns, 174,117 cells, < 0.2 mm^2\n");
+    out
+}
+
+/// Renders Table 5 rows.
+#[must_use]
+pub fn render_table5(rows: &[Table5Row]) -> String {
+    let mut out = String::new();
+    out.push_str("Table 5: scalar instructions in outlined functions\n");
+    out.push_str("  benchmark       fns     mean   max\n");
+    for r in rows {
+        out.push_str(&format!("  {r}\n"));
+    }
+    out
+}
+
+/// Renders Table 6 rows.
+#[must_use]
+pub fn render_table6(rows: &[Table6Row]) -> String {
+    let mut out = String::new();
+    out.push_str("Table 6: cycles between first two consecutive calls to outlined loops\n");
+    out.push_str("  benchmark      <150  <300  >=300       mean\n");
+    for r in rows {
+        out.push_str(&format!("  {r}\n"));
+    }
+    out
+}
+
+/// Renders Figure 6 rows.
+#[must_use]
+pub fn render_figure6(rows: &[Figure6Row]) -> String {
+    let mut out = String::new();
+    out.push_str("Figure 6: speedup vs scalar baseline\n");
+    out.push_str(
+        "  benchmark      liquid @2/4/8/16           | built-in ISA @2/4/8/16    | native @2/4/8/16\n",
+    );
+    for r in rows {
+        out.push_str(&format!("  {r}\n"));
+    }
+    let worst = rows
+        .iter()
+        .map(|r| r.overhead(8))
+        .fold(f64::MIN, f64::max);
+    out.push_str(&format!(
+        "  worst built-in-vs-liquid speedup difference at 8 lanes: {worst:.3}\n"
+    ));
+    out
+}
+
+/// Renders code-size rows.
+#[must_use]
+pub fn render_code_size(rows: &[CodeSizeRow]) -> String {
+    let mut out = String::new();
+    out.push_str("Code size: plain vs Liquid binaries. These binaries are the hot\n");
+    out.push_str("loops only; the paper's <1% is vs whole applications, shown in the\n");
+    out.push_str("last column against a 256 KiB application text.\n");
+    out.push_str("  benchmark        plain   liquid  ovhd      +data   vs-app\n");
+    for r in rows {
+        out.push_str(&format!(
+            "  {r} {:>8.3}%\n",
+            r.overhead_vs_app(256 * 1024) * 100.0
+        ));
+    }
+    out
+}
+
+/// Renders microcode-cache rows.
+#[must_use]
+pub fn render_mcache(rows: &[McacheRow]) -> String {
+    let mut out = String::new();
+    out.push_str("Microcode cache working set at the paper's 8x64 geometry (2 KB)\n");
+    out.push_str("  benchmark      loops  uops  evict  mcode%\n");
+    for r in rows {
+        out.push_str(&format!("  {r}\n"));
+    }
+    out
+}
+
+/// Renders the translation-latency ablation.
+#[must_use]
+pub fn render_latency(rows: &[LatencyAblationRow], costs: &[u64]) -> String {
+    let mut out = String::new();
+    out.push_str(
+        "Ablation A1: cycles at increasing translation cost (cycles/observed instr)\n  benchmark     ",
+    );
+    for c in costs {
+        out.push_str(&format!(" cost={c:<10}"));
+    }
+    out.push('\n');
+    for r in rows {
+        out.push_str(&format!("  {:<14}", r.benchmark));
+        for c in costs {
+            out.push_str(&format!(" {:<15}", r.cycles_by_cost[c]));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders the hardware-vs-JIT ablation.
+#[must_use]
+pub fn render_jit(rows: &[JitAblationRow]) -> String {
+    let mut out = String::new();
+    out.push_str("Ablation A2: hardware translator vs software JIT (stalls the CPU)\n");
+    out.push_str("  benchmark      hw-cycles      jit-cycles     jit/hw\n");
+    for r in rows {
+        out.push_str(&format!(
+            "  {:<14} {:<14} {:<14} {:.3}\n",
+            r.benchmark,
+            r.hw_cycles,
+            r.jit_cycles,
+            r.jit_cycles as f64 / r.hw_cycles as f64
+        ));
+    }
+    out
+}
+
+/// Runs and renders the FIR overhead callout at an amortising repetition
+/// count (paper: worst case ~0.001 speedup difference).
+#[must_use]
+pub fn render_callout() -> String {
+    let mut w: Workload = liquid_simd_workloads::fir();
+    w.reps = 3000;
+    let c = experiments::overhead_callout(&w).expect("callout runs");
+    format!(
+        "Figure 6 callout (FIR, {} calls): liquid {:.4}x, built-in {:.4}x, difference {:.4}\n",
+        w.reps,
+        c.liquid_speedup,
+        c.builtin_speedup,
+        c.difference()
+    )
+}

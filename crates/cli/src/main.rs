@@ -1,0 +1,248 @@
+//! `liquid-simd` — command-line driver for the Liquid SIMD toolchain.
+//!
+//! ```text
+//! liquid-simd asm input.s -o program.lsim     assemble to an object file
+//! liquid-simd disasm program.lsim             disassemble an object file
+//! liquid-simd run program.{s,lsim} [FLAGS]    simulate to halt
+//!     --lanes N        SIMD accelerator width (default 8; 0 = scalar only)
+//!     --native         no dynamic translation (vector binaries)
+//!     --jit            software-JIT translation (stalls the CPU)
+//!     --report         print cache/translator statistics
+//! liquid-simd translate program.{s,lsim} [--lanes N]
+//!                      run once and print each translated microcode block
+//! ```
+
+use std::fs;
+use std::process::ExitCode;
+
+use liquid_simd::{Machine, MachineConfig, RunReport};
+use liquid_simd_isa::{asm, object, Program};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run_cli(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("liquid-simd: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run_cli(args: &[String]) -> Result<(), String> {
+    let Some(cmd) = args.first() else {
+        return Err(usage());
+    };
+    let rest = &args[1..];
+    match cmd.as_str() {
+        "asm" => cmd_asm(rest),
+        "disasm" => cmd_disasm(rest),
+        "run" => cmd_run(rest),
+        "translate" => cmd_translate(rest),
+        "help" | "--help" | "-h" => {
+            println!("{}", usage());
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`\n{}", usage())),
+    }
+}
+
+fn usage() -> String {
+    "usage: liquid-simd <asm|disasm|run|translate|help> [args]\n\
+     \n\
+     asm <input.s> -o <out.lsim>\n\
+     disasm <prog.lsim>\n\
+     run <prog.s|prog.lsim> [--lanes N] [--native] [--jit] [--report]\n\
+     translate <prog.s|prog.lsim> [--lanes N]"
+        .to_string()
+}
+
+/// Loads a program from either assembly text or an object file, by
+/// extension (falling back to content sniffing).
+fn load_program(path: &str) -> Result<Program, String> {
+    let bytes = fs::read(path).map_err(|e| format!("{path}: {e}"))?;
+    let looks_binary = bytes.starts_with(object::MAGIC);
+    if path.ends_with(".lsim") || looks_binary {
+        object::read(&bytes).map_err(|e| format!("{path}: {e}"))
+    } else {
+        let text = String::from_utf8(bytes).map_err(|_| format!("{path}: not UTF-8"))?;
+        asm::assemble(&text).map_err(|e| format!("{path}: {e}"))
+    }
+}
+
+fn flag(args: &[String], name: &str) -> bool {
+    args.iter().any(|a| a == name)
+}
+
+fn option_value<'a>(args: &'a [String], name: &str) -> Result<Option<&'a str>, String> {
+    for (i, a) in args.iter().enumerate() {
+        if a == name {
+            return args
+                .get(i + 1)
+                .map(|s| Some(s.as_str()))
+                .ok_or_else(|| format!("{name} needs a value"));
+        }
+    }
+    Ok(None)
+}
+
+fn parse_lanes(args: &[String]) -> Result<usize, String> {
+    match option_value(args, "--lanes")? {
+        None => Ok(8),
+        Some(v) => {
+            let lanes: usize = v.parse().map_err(|_| format!("bad --lanes `{v}`"))?;
+            if lanes != 0 && !(lanes >= 2 && lanes <= 16 && lanes.is_power_of_two()) {
+                return Err("--lanes must be 0 (scalar) or a power of two in 2..=16".into());
+            }
+            Ok(lanes)
+        }
+    }
+}
+
+fn cmd_asm(args: &[String]) -> Result<(), String> {
+    let input = args
+        .iter()
+        .find(|a| !a.starts_with('-'))
+        .ok_or("asm: missing input file")?;
+    let output = option_value(args, "-o")?
+        .map(str::to_string)
+        .unwrap_or_else(|| {
+            input
+                .strip_suffix(".s")
+                .unwrap_or(input)
+                .to_string()
+                + ".lsim"
+        });
+    let text = fs::read_to_string(input).map_err(|e| format!("{input}: {e}"))?;
+    let program = asm::assemble(&text).map_err(|e| format!("{input}: {e}"))?;
+    let bytes = object::write(&program).map_err(|e| e.to_string())?;
+    fs::write(&output, &bytes).map_err(|e| format!("{output}: {e}"))?;
+    println!(
+        "{output}: {} instructions ({} bytes code, {} bytes data, {} symbols)",
+        program.code.len(),
+        program.code_bytes(),
+        program.data_bytes(),
+        program.symbols.len()
+    );
+    Ok(())
+}
+
+fn cmd_disasm(args: &[String]) -> Result<(), String> {
+    let input = args.first().ok_or("disasm: missing input file")?;
+    let program = load_program(input)?;
+    print!("{}", program.disassemble());
+    Ok(())
+}
+
+fn config_from(args: &[String]) -> Result<MachineConfig, String> {
+    let lanes = parse_lanes(args)?;
+    let mut cfg = if lanes == 0 {
+        MachineConfig::scalar_only()
+    } else if flag(args, "--native") {
+        MachineConfig::native(lanes)
+    } else {
+        MachineConfig::liquid(lanes)
+    };
+    if flag(args, "--jit") {
+        cfg.translation.jit = true;
+        cfg.translation.hw_value_limit = false;
+    }
+    Ok(cfg)
+}
+
+fn print_report(report: &RunReport) {
+    println!("cycles            {}", report.cycles);
+    println!(
+        "instructions      {} ({} scalar, {} vector)",
+        report.retired, report.scalar_retired, report.vector_retired
+    );
+    println!("icache            {}", report.icache);
+    println!("dcache            {}", report.dcache);
+    println!("translator        {}", report.translator);
+    println!(
+        "microcode cache   {} lookups, {} hits, {} pending, {} inserts, {} evictions",
+        report.mcache.lookups,
+        report.mcache.hits,
+        report.mcache.pending,
+        report.mcache.inserts,
+        report.mcache.evictions
+    );
+    for (pc, len) in &report.translations {
+        println!("translated        @{pc}: {len} microcode instructions");
+    }
+}
+
+fn cmd_run(args: &[String]) -> Result<(), String> {
+    let input = args
+        .iter()
+        .find(|a| !a.starts_with('-'))
+        .ok_or("run: missing input file")?;
+    let program = load_program(input)?;
+    let cfg = config_from(args)?;
+    let mut machine = Machine::new(&program, cfg);
+    let report = machine.run().map_err(|e| e.to_string())?;
+    if flag(args, "--report") {
+        print_report(&report);
+    } else {
+        println!(
+            "halted after {} cycles ({} instructions)",
+            report.cycles, report.retired
+        );
+    }
+    Ok(())
+}
+
+fn cmd_translate(args: &[String]) -> Result<(), String> {
+    let input = args
+        .iter()
+        .find(|a| !a.starts_with('-'))
+        .ok_or("translate: missing input file")?;
+    let program = load_program(input)?;
+    let lanes = parse_lanes(args)?;
+    if lanes < 2 {
+        return Err("translate: --lanes must be >= 2".into());
+    }
+    let mut machine = Machine::new(&program, MachineConfig::liquid(lanes));
+    let report = machine.run().map_err(|e| e.to_string())?;
+    let micro = machine.microcode_snapshot();
+    if micro.is_empty() {
+        println!("no loops translated ({})", report.translator);
+        return Ok(());
+    }
+    for (pc, code) in micro {
+        let name = program
+            .label_at(pc)
+            .map_or_else(|| format!("@{pc}"), str::to_string);
+        println!(
+            "── {name} → {} microcode instructions at {lanes} lanes ──",
+            code.len()
+        );
+        print!("{}", asm::disassemble_microcode(&code, &program));
+    }
+    if report.translator.aborted() > 0 {
+        println!("aborts: {:?}", report.translator.aborts);
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lanes_parsing() {
+        let a = |s: &str| vec!["--lanes".to_string(), s.to_string()];
+        assert_eq!(parse_lanes(&a("8")).unwrap(), 8);
+        assert_eq!(parse_lanes(&a("0")).unwrap(), 0);
+        assert_eq!(parse_lanes(&[]).unwrap(), 8);
+        assert!(parse_lanes(&a("3")).is_err());
+        assert!(parse_lanes(&a("32")).is_err());
+        assert!(parse_lanes(&a("x")).is_err());
+    }
+
+    #[test]
+    fn unknown_command_errors() {
+        assert!(run_cli(&["frobnicate".to_string()]).is_err());
+        assert!(run_cli(&[]).is_err());
+    }
+}

@@ -1,0 +1,193 @@
+//! Linear-scan register assignment for kernel values.
+
+use crate::error::CompileError;
+use crate::ir::{Kernel, Node, NodeId};
+
+/// Register pools: either separate integer/float files (scalar code) or one
+/// shared vector file (native SIMD code).
+#[derive(Clone, Debug)]
+pub enum PoolSpec {
+    /// Integer values from the first pool, float values from the second.
+    Split {
+        /// Integer register indices available for values.
+        int: Vec<u8>,
+        /// Float register indices available for values.
+        fp: Vec<u8>,
+    },
+    /// All values share one (vector) register file.
+    Shared(Vec<u8>),
+}
+
+/// Per-node register assignment (only value-producing nodes get one).
+#[derive(Clone, Debug)]
+pub struct Assignment {
+    /// `reg[node]` is the register index assigned to that node's value.
+    pub reg: Vec<Option<u8>>,
+}
+
+fn refs(node: &Node) -> Vec<NodeId> {
+    match node {
+        Node::Bin { a, b, .. } => vec![*a, *b],
+        Node::BinImm { a, .. } | Node::Perm { a, .. } | Node::Reduce { a, .. } => vec![*a],
+        Node::Store { value, .. } => vec![*value],
+        _ => Vec::new(),
+    }
+}
+
+fn produces_value(node: &Node) -> bool {
+    !matches!(node, Node::Store { .. } | Node::Reduce { .. })
+}
+
+/// Assigns registers with a last-use linear scan. Nodes in `pinned` keep
+/// their pre-assigned register for the whole kernel (hoisted loop-invariant
+/// constants) — they never enter or leave the pools.
+///
+/// # Errors
+///
+/// Returns [`CompileError::RegisterPressure`] when a pool runs dry — the
+/// fission pass's live-range splitting should prevent this for realistic
+/// kernels.
+pub fn allocate(
+    kernel: &Kernel,
+    pools: &PoolSpec,
+    pinned: &std::collections::BTreeMap<usize, u8>,
+) -> Result<Assignment, CompileError> {
+    let nodes = kernel.nodes();
+    // Last use per node.
+    let mut last_use = vec![0usize; nodes.len()];
+    for (i, node) in nodes.iter().enumerate() {
+        for r in refs(node) {
+            last_use[r.0 as usize] = i;
+        }
+    }
+
+    let mut int_free: Vec<u8>;
+    let mut fp_free: Vec<u8>;
+    let shared = match pools {
+        PoolSpec::Split { int, fp } => {
+            int_free = int.clone();
+            fp_free = fp.clone();
+            int_free.reverse(); // pop from the front of the declared order
+            fp_free.reverse();
+            false
+        }
+        PoolSpec::Shared(all) => {
+            int_free = all.clone();
+            int_free.reverse();
+            fp_free = Vec::new();
+            true
+        }
+    };
+
+    let mut reg = vec![None; nodes.len()];
+    for (i, node) in nodes.iter().enumerate() {
+        // Free operands whose last use is here (before allocating the
+        // destination, enabling in-place reuse). Pinned registers are
+        // never returned to a pool. Deduplicate: a node like `mul x, x`
+        // must free `x` exactly once or two later values would alias.
+        let mut freed = refs(node);
+        freed.sort_unstable();
+        freed.dedup();
+        for r in freed {
+            let idx = r.0 as usize;
+            if last_use[idx] == i && produces_value(&nodes[idx]) && !pinned.contains_key(&idx) {
+                if let Some(assigned) = reg[idx] {
+                    let pool = if shared || !kernel.is_float(r) {
+                        &mut int_free
+                    } else {
+                        &mut fp_free
+                    };
+                    pool.push(assigned);
+                }
+            }
+        }
+        if let Some(&pin) = pinned.get(&i) {
+            reg[i] = Some(pin);
+            continue;
+        }
+        if produces_value(node) {
+            let id = NodeId(i as u32);
+            let pool = if shared || !kernel.is_float(id) {
+                &mut int_free
+            } else {
+                &mut fp_free
+            };
+            let r = pool.pop().ok_or_else(|| CompileError::RegisterPressure {
+                kernel: kernel.name().to_string(),
+            })?;
+            reg[i] = Some(r);
+        }
+    }
+    Ok(Assignment { reg })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::KernelBuilder;
+    use liquid_simd_isa::{ElemType, VAluOp};
+
+    #[test]
+    fn registers_are_reused_after_last_use() {
+        let mut k = KernelBuilder::new("k", 16);
+        let a = k.load("A", ElemType::I32); // node 0
+        let b = k.bin_imm(VAluOp::Add, a, 1); // node 1, a dies here
+        let c = k.bin_imm(VAluOp::Add, b, 1); // node 2, b dies here
+        k.store("B", c);
+        let kernel = k.build().unwrap();
+        let asg = allocate(
+            &kernel,
+            &PoolSpec::Split {
+                int: vec![1, 2],
+                fp: vec![],
+            },
+            &Default::default(),
+        )
+        .unwrap();
+        // With in-place reuse a single register suffices: each value dies
+        // exactly where its successor is defined.
+        assert_eq!(asg.reg[0], Some(1));
+        assert_eq!(asg.reg[1], Some(1));
+        assert_eq!(asg.reg[2], Some(1));
+    }
+
+    #[test]
+    fn pressure_is_reported() {
+        let mut k = KernelBuilder::new("k", 16);
+        let a = k.load("A", ElemType::I32);
+        let b = k.load("B", ElemType::I32);
+        let c = k.bin(VAluOp::Add, a, b);
+        // Keep everything live by consuming all three at the end.
+        let d = k.bin(VAluOp::Add, c, a);
+        let e = k.bin(VAluOp::Add, d, b);
+        k.store("C", e);
+        let kernel = k.build().unwrap();
+        let tight = PoolSpec::Split {
+            int: vec![1, 2],
+            fp: vec![],
+        };
+        assert!(matches!(
+            allocate(&kernel, &tight, &Default::default()),
+            Err(CompileError::RegisterPressure { .. })
+        ));
+        let enough = PoolSpec::Split {
+            int: vec![1, 2, 3],
+            fp: vec![],
+        };
+        assert!(allocate(&kernel, &enough, &Default::default()).is_ok());
+    }
+
+    #[test]
+    fn shared_pool_mixes_float_and_int() {
+        let mut k = KernelBuilder::new("k", 16);
+        let a = k.load("A", ElemType::F32);
+        let b = k.load("B", ElemType::I32);
+        let c = k.bin_imm(VAluOp::Add, b, 1);
+        k.store("C", c);
+        k.store("D", a);
+        let kernel = k.build().unwrap();
+        let asg = allocate(&kernel, &PoolSpec::Shared(vec![0, 1, 2]), &Default::default()).unwrap();
+        let used: Vec<u8> = asg.reg.iter().flatten().copied().collect();
+        assert_eq!(used.len(), 3);
+    }
+}

@@ -1,0 +1,158 @@
+//! Shared data-segment materialisation: permutation offset arrays and
+//! constant arrays, deduplicated across kernels.
+
+use liquid_simd_isa::{ElemType, PermKind, ProgramBuilder, SymId};
+
+/// Caches compiler-generated data regions so that identical offset arrays
+/// (`bfly` in the paper) and constant arrays (`cnst`) are emitted once.
+#[derive(Debug, Default)]
+pub(crate) struct DataCtx {
+    offsets: Vec<((PermKind, u32), SymId)>,
+    const_i: Vec<((ElemType, Vec<i64>, u32), SymId)>,
+    const_f: Vec<((Vec<u32>, u32), SymId)>,
+    counter: usize,
+}
+
+impl DataCtx {
+    pub fn new() -> DataCtx {
+        DataCtx::default()
+    }
+
+    fn fresh(&mut self, stem: &str) -> String {
+        self.counter += 1;
+        format!("__{}_{}", stem, self.counter)
+    }
+
+    /// The offset array for a permutation over `len` iterations (paper
+    /// Table 1 categories 7/8: the compiler inserts a read-only array whose
+    /// values uniquely identify the permutation).
+    pub fn offsets(&mut self, b: &mut ProgramBuilder, kind: PermKind, len: u32) -> SymId {
+        if let Some((_, id)) = self.offsets.iter().find(|(k, _)| *k == (kind, len)) {
+            return *id;
+        }
+        let name = self.fresh("off");
+        let values = kind.offsets(len as usize);
+        let id = b.add_i32s(&name, &values);
+        self.offsets.push(((kind, len), id));
+        id
+    }
+
+    /// An integer constant array: `pattern` (canonical bit values) repeated
+    /// to `len` elements, stored at the element width. `len == pattern.len()`
+    /// gives the native pattern symbol; `len == trip` gives the full array
+    /// the scalar representation indexes with the induction variable.
+    pub fn const_int(
+        &mut self,
+        b: &mut ProgramBuilder,
+        elem: ElemType,
+        pattern: &[i64],
+        len: u32,
+    ) -> SymId {
+        let key = (elem, pattern.to_vec(), len);
+        if let Some((_, id)) = self.const_i.iter().find(|(k, _)| *k == key) {
+            return *id;
+        }
+        let name = self.fresh("cnst");
+        let repeated: Vec<i64> = (0..len as usize)
+            .map(|i| pattern[i % pattern.len()])
+            .collect();
+        let id = match elem {
+            ElemType::I8 => {
+                let v: Vec<i8> = repeated.iter().map(|&x| x as u8 as i8).collect();
+                b.add_i8s(&name, &v)
+            }
+            ElemType::I16 => {
+                let v: Vec<i16> = repeated.iter().map(|&x| x as u16 as i16).collect();
+                b.add_i16s(&name, &v)
+            }
+            _ => {
+                let v: Vec<i32> = repeated.iter().map(|&x| x as u32 as i32).collect();
+                b.add_i32s(&name, &v)
+            }
+        };
+        self.const_i.push((key, id));
+        id
+    }
+
+    /// An `f32` constant array, repeated to `len` elements.
+    pub fn const_f32(&mut self, b: &mut ProgramBuilder, pattern: &[f32], len: u32) -> SymId {
+        let key: (Vec<u32>, u32) = (pattern.iter().map(|f| f.to_bits()).collect(), len);
+        if let Some((_, id)) = self.const_f.iter().find(|(k, _)| *k == key) {
+            return *id;
+        }
+        let name = self.fresh("cnstf");
+        let repeated: Vec<f32> = (0..len as usize)
+            .map(|i| pattern[i % pattern.len()])
+            .collect();
+        let id = b.add_f32s(&name, &repeated);
+        self.const_f.push((key, id));
+        id
+    }
+
+    /// A base symbol shifted by `offset` elements — realises `A[i + k]`
+    /// loads/stores as plain base+induction accesses. Deduplicated by
+    /// `(array, offset)`.
+    pub fn alias(
+        &mut self,
+        b: &mut ProgramBuilder,
+        array: &str,
+        offset_elems: u32,
+        elem_bytes: u32,
+    ) -> Option<SymId> {
+        let base = b.symbol_named(array)?;
+        if offset_elems == 0 {
+            return Some(base);
+        }
+        let name = format!("__al_{array}_{offset_elems}");
+        if let Some(existing) = b.symbol_named(&name) {
+            return Some(existing);
+        }
+        Some(b.add_alias(&name, base, offset_elems * elem_bytes))
+    }
+
+    /// A one-off scalar literal (reduction initial values outside the
+    /// `mov` immediate range).
+    pub fn literal_i32(&mut self, b: &mut ProgramBuilder, value: i32) -> SymId {
+        let name = self.fresh("lit");
+        b.add_i32s(&name, &[value])
+    }
+
+    /// A one-off `f32` literal.
+    pub fn literal_f32(&mut self, b: &mut ProgramBuilder, value: f32) -> SymId {
+        let name = self.fresh("litf");
+        b.add_f32s(&name, &[value])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn offset_arrays_are_deduplicated() {
+        let mut b = ProgramBuilder::new();
+        let mut ctx = DataCtx::new();
+        let k = PermKind::Bfly { block: 4 };
+        let a = ctx.offsets(&mut b, k, 16);
+        let again = ctx.offsets(&mut b, k, 16);
+        assert_eq!(a, again);
+        let other = ctx.offsets(&mut b, k, 32);
+        assert_ne!(a, other);
+    }
+
+    #[test]
+    fn constant_arrays_repeat_patterns() {
+        let mut b = ProgramBuilder::new();
+        let mut ctx = DataCtx::new();
+        let id = ctx.const_int(&mut b, ElemType::I16, &[0xFF00, 0x00FF], 8);
+        b.halt();
+        let p = b.finish().unwrap();
+        let sym = p.symbol(id).unwrap();
+        assert_eq!(sym.size, 16);
+        let start = (sym.addr - p.data_base) as usize;
+        assert_eq!(p.data[start], 0x00);
+        assert_eq!(p.data[start + 1], 0xFF);
+        assert_eq!(p.data[start + 2], 0xFF);
+        assert_eq!(p.data[start + 3], 0x00);
+    }
+}

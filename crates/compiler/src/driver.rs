@@ -1,0 +1,452 @@
+//! Workloads and whole-program builds.
+//!
+//! A [`Workload`] is a benchmark: hot-loop kernels, initial array data, and
+//! a repetition count. Three builds exist (see crate docs); all share the
+//! same driver shape — a main loop that invokes each hot loop `reps` times,
+//! mirroring how the paper's benchmarks call their outlined functions
+//! repeatedly (Table 6 measures the spacing of exactly these calls).
+
+use liquid_simd_isa::{
+    encode::CMP_IMM_MAX, AluOp, Base, Cond, ElemType, MemWidth, Operand2, Program,
+    ProgramBuilder, Reg,
+};
+
+use crate::datactx::DataCtx;
+use crate::error::CompileError;
+use crate::fission::fission;
+use crate::ir::{ArrayData, DataEnv, Kernel, Node, ReduceInit};
+use crate::native_gen::{emit_native, native_ok};
+use crate::scalar_gen::{emit_scalar, Terminate};
+use crate::MAX_OUTLINED_INSTRS;
+
+/// A benchmark: kernels + data + repetition count.
+#[derive(Clone, Debug)]
+pub struct Workload {
+    /// Benchmark name.
+    pub name: String,
+    /// Hot-loop kernels, executed in order each repetition.
+    pub kernels: Vec<Kernel>,
+    /// Initial array contents.
+    pub data: DataEnv,
+    /// How many times the kernel sequence runs.
+    pub reps: u32,
+}
+
+impl Workload {
+    /// Creates a workload.
+    #[must_use]
+    pub fn new(name: &str, kernels: Vec<Kernel>, data: DataEnv, reps: u32) -> Workload {
+        Workload {
+            name: name.to_string(),
+            kernels,
+            data,
+            reps,
+        }
+    }
+
+    /// Validates kernels against the data environment and driver limits.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CompileError::Invalid`] describing the first problem.
+    pub fn validate(&self) -> Result<(), CompileError> {
+        let invalid = |kernel: &str, reason: String| CompileError::Invalid {
+            kernel: kernel.to_string(),
+            reason,
+        };
+        if self.reps == 0 || i64::from(self.reps) > i64::from(CMP_IMM_MAX) {
+            return Err(invalid(&self.name, format!("reps {} out of range", self.reps)));
+        }
+        let mut names: Vec<&str> = Vec::new();
+        for k in &self.kernels {
+            if names.contains(&k.name()) {
+                return Err(invalid(&self.name, format!("duplicate kernel `{}`", k.name())));
+            }
+            names.push(k.name());
+            if i64::from(k.trip()) > i64::from(CMP_IMM_MAX) {
+                return Err(invalid(k.name(), format!("trip {} too large", k.trip())));
+            }
+            for node in k.nodes() {
+                let check_array =
+                    |name: &str, elem: ElemType, min_len: usize| -> Result<(), CompileError> {
+                        if name.starts_with("__") {
+                            return Err(invalid(k.name(), format!("array `{name}` uses a reserved prefix")));
+                        }
+                        let (decl, data) = self
+                            .data
+                            .get(name)
+                            .ok_or_else(|| invalid(k.name(), format!("missing array `{name}`")))?;
+                        if *decl != elem {
+                            return Err(invalid(
+                                k.name(),
+                                format!("array `{name}` declared {decl}, accessed as {elem}"),
+                            ));
+                        }
+                        let variant_ok = match data {
+                            ArrayData::Int(_) => !elem.is_float(),
+                            ArrayData::F32(_) => elem.is_float(),
+                        };
+                        if !variant_ok {
+                            return Err(invalid(k.name(), format!("array `{name}` storage mismatch")));
+                        }
+                        if data.len() < min_len {
+                            return Err(invalid(
+                                k.name(),
+                                format!("array `{name}` has {} < {min_len} elements", data.len()),
+                            ));
+                        }
+                        Ok(())
+                    };
+                let widen = |elem: ElemType, wide: bool| {
+                    if !wide {
+                        elem
+                    } else if elem.is_float() {
+                        ElemType::F32
+                    } else {
+                        ElemType::I32
+                    }
+                };
+                match node {
+                    Node::Load {
+                        array,
+                        elem,
+                        offset,
+                        wide,
+                        ..
+                    } => {
+                        check_array(array, widen(*elem, *wide), k.trip() as usize + *offset as usize)?;
+                    }
+                    Node::Store {
+                        array,
+                        value,
+                        offset,
+                        wide,
+                        ..
+                    } => {
+                        let elem = k.elem_of(*value).expect("store of value");
+                        check_array(array, widen(elem, *wide), k.trip() as usize + *offset as usize)?;
+                    }
+                    Node::Reduce { a, out, init, .. } => {
+                        let is_float = k.is_float(*a);
+                        let elem = if is_float { ElemType::F32 } else { ElemType::I32 };
+                        check_array(out, elem, 1)?;
+                        let init_ok = matches!(
+                            (is_float, init),
+                            (true, ReduceInit::F32(_)) | (false, ReduceInit::Int(_))
+                        );
+                        if !init_ok {
+                            return Err(invalid(k.name(), "reduction init type mismatch".into()));
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// One outlined function in a build.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct OutlinedFn {
+    /// Function label / sub-kernel name.
+    pub name: String,
+    /// Code index of the entry.
+    pub entry: u32,
+    /// Static instruction count (`label` to `ret`, inclusive) — the paper's
+    /// Table 5 metric.
+    pub instrs: usize,
+}
+
+/// A compiled workload.
+#[derive(Clone, Debug)]
+pub struct Build {
+    /// The executable image.
+    pub program: Program,
+    /// Outlined hot-loop functions (empty for the plain build).
+    pub outlined: Vec<OutlinedFn>,
+}
+
+/// Emits the shared data environment into a builder.
+fn emit_data(b: &mut ProgramBuilder, env: &DataEnv) {
+    for (name, (elem, data)) in &env.arrays {
+        match data {
+            ArrayData::Int(values) => match elem {
+                ElemType::I8 => {
+                    let v: Vec<i8> = values.iter().map(|&x| x as u8 as i8).collect();
+                    b.add_i8s(name, &v);
+                }
+                ElemType::I16 => {
+                    let v: Vec<i16> = values.iter().map(|&x| x as u16 as i16).collect();
+                    b.add_i16s(name, &v);
+                }
+                _ => {
+                    let v: Vec<i32> = values.iter().map(|&x| x as u32 as i32).collect();
+                    b.add_i32s(name, &v);
+                }
+            },
+            ArrayData::F32(values) => {
+                b.add_f32s(name, values);
+            }
+        }
+    }
+}
+
+/// Emits the main driver loop around `calls` function labels. If
+/// `calls` is empty the caller inlines bodies via the returned
+/// loop-structure hooks instead (plain build handles this itself).
+fn emit_driver_around_calls(
+    b: &mut ProgramBuilder,
+    rep_sym: liquid_simd_isa::SymId,
+    reps: u32,
+    calls: &[liquid_simd_isa::Label],
+    vectorizable: bool,
+) {
+    b.mov_imm(Reg::R1, 0);
+    b.mov_imm(Reg::R0, 0);
+    b.st(MemWidth::W, Reg::R1, Base::Sym(rep_sym), Reg::R0);
+    let top = b.new_label();
+    b.bind(top);
+    for &f in calls {
+        if vectorizable {
+            b.bl_v(f);
+        } else {
+            b.bl(f);
+        }
+    }
+    b.mov_imm(Reg::R0, 0);
+    b.ld(MemWidth::W, Reg::R1, Base::Sym(rep_sym), Reg::R0);
+    b.alu(AluOp::Add, Reg::R1, Reg::R1, Operand2::Imm(1));
+    b.st(MemWidth::W, Reg::R1, Base::Sym(rep_sym), Reg::R0);
+    b.cmp(Reg::R1, Operand2::Imm(reps as i32));
+    b.b(Cond::Lt, top);
+    b.halt();
+}
+
+/// Builds the Liquid SIMD binary: scalarized, outlined hot loops invoked
+/// with `bl.v` (paper §3).
+///
+/// # Errors
+///
+/// Returns [`CompileError`] for invalid workloads or emission failures.
+pub fn build_liquid(w: &Workload) -> Result<Build, CompileError> {
+    w.validate()?;
+    let mut subs: Vec<Kernel> = Vec::new();
+    let mut temps: Vec<(String, ElemType, u32)> = Vec::new();
+    for k in &w.kernels {
+        let r = fission(k, MAX_OUTLINED_INSTRS)?;
+        subs.extend(r.kernels);
+        temps.extend(r.temps);
+    }
+
+    let mut b = ProgramBuilder::new();
+    emit_data(&mut b, &w.data);
+    for (name, elem, len) in &temps {
+        b.reserve(name, *len as usize, elem.bytes());
+    }
+    let rep = b.reserve("__rep", 1, 4);
+
+    let labels: Vec<_> = subs.iter().map(|_| b.new_label()).collect();
+    emit_driver_around_calls(&mut b, rep, w.reps, &labels, true);
+
+    let mut ctx = DataCtx::new();
+    let mut outlined = Vec::new();
+    for (k, &label) in subs.iter().zip(&labels) {
+        let entry = b.here();
+        b.bind_named(label, k.name());
+        let instrs = emit_scalar(&mut b, &mut ctx, k, Terminate::Ret)?;
+        outlined.push(OutlinedFn {
+            name: k.name().to_string(),
+            entry,
+            instrs,
+        });
+    }
+    let program = b.finish()?;
+    Ok(Build { program, outlined })
+}
+
+/// Builds the plain scalar baseline: same scalar loops, inlined into the
+/// driver (no outlining, no `bl` overhead) — the Figure 6 denominator.
+///
+/// # Errors
+///
+/// Returns [`CompileError`] for invalid workloads or emission failures.
+pub fn build_plain(w: &Workload) -> Result<Build, CompileError> {
+    w.validate()?;
+    let mut subs: Vec<Kernel> = Vec::new();
+    let mut temps: Vec<(String, ElemType, u32)> = Vec::new();
+    for k in &w.kernels {
+        let r = fission(k, MAX_OUTLINED_INSTRS)?;
+        subs.extend(r.kernels);
+        temps.extend(r.temps);
+    }
+
+    let mut b = ProgramBuilder::new();
+    emit_data(&mut b, &w.data);
+    for (name, elem, len) in &temps {
+        b.reserve(name, *len as usize, elem.bytes());
+    }
+    let rep = b.reserve("__rep", 1, 4);
+    let mut ctx = DataCtx::new();
+
+    b.mov_imm(Reg::R1, 0);
+    b.mov_imm(Reg::R0, 0);
+    b.st(MemWidth::W, Reg::R1, Base::Sym(rep), Reg::R0);
+    let top = b.new_label();
+    b.bind(top);
+    for k in &subs {
+        emit_scalar(&mut b, &mut ctx, k, Terminate::FallThrough)?;
+    }
+    b.mov_imm(Reg::R0, 0);
+    b.ld(MemWidth::W, Reg::R1, Base::Sym(rep), Reg::R0);
+    b.alu(AluOp::Add, Reg::R1, Reg::R1, Operand2::Imm(1));
+    b.st(MemWidth::W, Reg::R1, Base::Sym(rep), Reg::R0);
+    b.cmp(Reg::R1, Operand2::Imm(w.reps as i32));
+    b.b(Cond::Lt, top);
+    b.halt();
+
+    let program = b.finish()?;
+    Ok(Build {
+        program,
+        outlined: Vec::new(),
+    })
+}
+
+/// Builds the native SIMD binary at a given lane width — what a compiler
+/// with built-in ISA support would produce. Kernels whose permutations
+/// exceed the width fall back to their (fissioned) scalar form, exactly
+/// the code a narrow-SIMD target would have to run.
+///
+/// # Errors
+///
+/// Returns [`CompileError`] for invalid workloads or emission failures.
+pub fn build_native(w: &Workload, lanes: usize) -> Result<Build, CompileError> {
+    w.validate()?;
+    assert!(lanes >= 2, "native build needs a SIMD accelerator");
+
+    // Decide per kernel; collect fission temps for fallback kernels.
+    enum Plan {
+        Native(Kernel),
+        Scalar(Vec<Kernel>),
+    }
+    let mut plans: Vec<Plan> = Vec::new();
+    let mut temps: Vec<(String, ElemType, u32)> = Vec::new();
+    for k in &w.kernels {
+        if native_ok(k, lanes) {
+            plans.push(Plan::Native(k.clone()));
+        } else {
+            let r = fission(k, MAX_OUTLINED_INSTRS)?;
+            temps.extend(r.temps);
+            plans.push(Plan::Scalar(r.kernels));
+        }
+    }
+
+    let mut b = ProgramBuilder::new();
+    emit_data(&mut b, &w.data);
+    for (name, elem, len) in &temps {
+        b.reserve(name, *len as usize, elem.bytes());
+    }
+    let rep = b.reserve("__rep", 1, 4);
+
+    let mut labels = Vec::new();
+    let mut flat: Vec<(bool, Kernel)> = Vec::new();
+    for plan in plans {
+        match plan {
+            Plan::Native(k) => flat.push((true, k)),
+            Plan::Scalar(ks) => flat.extend(ks.into_iter().map(|k| (false, k))),
+        }
+    }
+    for _ in &flat {
+        labels.push(b.new_label());
+    }
+    emit_driver_around_calls(&mut b, rep, w.reps, &labels, false);
+
+    let mut ctx = DataCtx::new();
+    let mut outlined = Vec::new();
+    for ((is_native, k), &label) in flat.iter().zip(&labels) {
+        let entry = b.here();
+        b.bind_named(label, k.name());
+        let instrs = if *is_native {
+            emit_native(&mut b, &mut ctx, k, lanes, Terminate::Ret)?
+        } else {
+            emit_scalar(&mut b, &mut ctx, k, Terminate::Ret)?
+        };
+        outlined.push(OutlinedFn {
+            name: k.name().to_string(),
+            entry,
+            instrs,
+        });
+    }
+    let program = b.finish()?;
+    Ok(Build { program, outlined })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::{ArrayBuilder, KernelBuilder};
+    use liquid_simd_isa::VAluOp;
+
+    fn simple_workload() -> Workload {
+        let mut k = KernelBuilder::new("scale", 32);
+        let a = k.load("A", ElemType::I32);
+        let c = k.bin_imm(VAluOp::Mul, a, 7);
+        k.store("B", c);
+        let data = ArrayBuilder::new()
+            .int("A", ElemType::I32, (0..32).collect::<Vec<i64>>())
+            .zeroed("B", ElemType::I32, 32)
+            .build();
+        Workload::new("simple", vec![k.build().unwrap()], data, 3)
+    }
+
+    #[test]
+    fn all_three_builds_produce_programs() {
+        let w = simple_workload();
+        let liquid = build_liquid(&w).unwrap();
+        let native = build_native(&w, 8).unwrap();
+        let plain = build_plain(&w).unwrap();
+        assert_eq!(liquid.outlined.len(), 1);
+        assert!(plain.outlined.is_empty());
+        assert!(native.program.code.iter().any(liquid_simd_isa::Inst::is_vector));
+        assert!(!liquid.program.code.iter().any(liquid_simd_isa::Inst::is_vector));
+        // Code-size ordering: liquid adds only the bl/ret pair vs plain.
+        let overhead = liquid.program.code.len() as i64 - plain.program.code.len() as i64;
+        assert!((1..=6).contains(&overhead), "overhead {overhead}");
+    }
+
+    #[test]
+    fn validation_rejects_missing_and_mistyped_arrays() {
+        let mut w = simple_workload();
+        w.data.arrays.remove("B");
+        assert!(build_liquid(&w).is_err());
+
+        let mut w2 = simple_workload();
+        // Re-declare A as f32.
+        w2.data = ArrayBuilder::new()
+            .f32("A", vec![0.0; 32])
+            .zeroed("B", ElemType::I32, 32)
+            .build();
+        assert!(build_liquid(&w2).is_err());
+    }
+
+    #[test]
+    fn duplicate_kernel_names_rejected() {
+        let w = simple_workload();
+        let mut w2 = w.clone();
+        w2.kernels.push(w.kernels[0].clone());
+        assert!(matches!(w2.validate(), Err(CompileError::Invalid { .. })));
+    }
+
+    #[test]
+    fn reserved_array_prefix_rejected() {
+        let mut k = KernelBuilder::new("k", 16);
+        let a = k.load("__sneaky", ElemType::I32);
+        k.store("__sneaky2", a);
+        let data = ArrayBuilder::new()
+            .int("__sneaky", ElemType::I32, vec![0; 16])
+            .zeroed("__sneaky2", ElemType::I32, 16)
+            .build();
+        let w = Workload::new("bad", vec![k.build().unwrap()], data, 1);
+        assert!(w.validate().is_err());
+    }
+}

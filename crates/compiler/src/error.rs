@@ -1,0 +1,47 @@
+//! Compiler errors.
+
+use std::error::Error;
+use std::fmt;
+
+use liquid_simd_isa::IsaError;
+
+/// Errors raised while validating kernels or generating code.
+#[derive(Clone, Debug, PartialEq)]
+pub enum CompileError {
+    /// A kernel failed validation.
+    Invalid {
+        /// Kernel name.
+        kernel: String,
+        /// Explanation.
+        reason: String,
+    },
+    /// Register pools exhausted even after fission.
+    RegisterPressure {
+        /// Kernel name.
+        kernel: String,
+    },
+    /// An ISA-level error surfaced during emission.
+    Isa(IsaError),
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompileError::Invalid { kernel, reason } => {
+                write!(f, "kernel `{kernel}` is invalid: {reason}")
+            }
+            CompileError::RegisterPressure { kernel } => {
+                write!(f, "kernel `{kernel}` exceeds the register files")
+            }
+            CompileError::Isa(e) => write!(f, "emission failed: {e}"),
+        }
+    }
+}
+
+impl Error for CompileError {}
+
+impl From<IsaError> for CompileError {
+    fn from(e: IsaError) -> CompileError {
+        CompileError::Isa(e)
+    }
+}

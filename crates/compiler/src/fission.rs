@@ -1,0 +1,545 @@
+//! Loop fission (paper §3.2 / §3.4).
+//!
+//! Two forces split a kernel into multiple loops:
+//!
+//! 1. **Permutations.** The scalar representation only expresses element
+//!    reordering *at memory boundaries* (offset arrays feeding loads and
+//!    stores). A mid-dataflow [`Node::Perm`] is first folded into an
+//!    adjacent load/store when possible; otherwise the kernel is split: the
+//!    permuted value is stored to a compiler temporary with the inverse
+//!    permutation, and a second loop reloads it contiguously — exactly the
+//!    `tmp0`/`tmp1` loops of the paper's FFT example (Figure 4B).
+//! 2. **Size.** The microcode buffer holds 64 instructions; outlined
+//!    functions whose scalar body would exceed [`crate::MAX_OUTLINED_INSTRS`]
+//!    are split, with live values crossing the cut through temporaries
+//!    (the paper does this to 172.mgrid and 101.tomcatv).
+
+use std::collections::BTreeMap;
+
+use liquid_simd_isa::{ElemType, VAluOp};
+
+use crate::error::CompileError;
+use crate::ir::{Kernel, Node, NodeId};
+
+/// Result of fissioning one kernel.
+#[derive(Clone, Debug)]
+pub struct FissionResult {
+    /// The sub-kernels, in execution order.
+    pub kernels: Vec<Kernel>,
+    /// Compiler temporaries to allocate: `(name, elem, len)`.
+    pub temps: Vec<(String, ElemType, u32)>,
+}
+
+/// Estimated scalar instructions for one node.
+fn node_cost(node: &Node) -> usize {
+    match node {
+        Node::Load { perm, .. } => 1 + if perm.is_some() { 2 } else { 0 },
+        Node::ConstVecI { .. } | Node::ConstVecF { .. } => 1,
+        Node::Bin { op, .. } | Node::BinImm { op, .. } => match op {
+            // Saturating ops expand to the 5-instruction full-clamp idiom.
+            VAluOp::SatAdd | VAluOp::SatSub | VAluOp::SSatAdd | VAluOp::SSatSub => 5,
+            _ => 1,
+        },
+        Node::Perm { .. } => 3,
+        Node::Reduce { .. } => 1,
+        Node::Store { perm, .. } => 1 + if perm.is_some() { 2 } else { 0 },
+    }
+}
+
+/// Estimated scalar instructions for a whole (sub-)kernel, including the
+/// loop scaffolding and epilogue.
+#[must_use]
+pub(crate) fn estimate_instrs(nodes: &[Node]) -> usize {
+    let body: usize = nodes.iter().map(node_cost).sum();
+    let reduces = nodes
+        .iter()
+        .filter(|n| matches!(n, Node::Reduce { .. }))
+        .count();
+    // mov r0,#0 + accumulator inits + loop control (add/cmp/blt)
+    // + epilogue (mov index + store per reduction) + ret.
+    body + 1 + reduces + 3 + if reduces > 0 { 1 + reduces } else { 0 } + 1
+}
+
+/// Fissions a kernel so that every sub-kernel is free of mid-dataflow
+/// permutations and fits `max_instrs` scalar instructions.
+///
+/// # Errors
+///
+/// Returns [`CompileError`] if a single node cluster cannot fit the budget
+/// or the rewritten kernels fail validation.
+pub fn fission(kernel: &Kernel, max_instrs: usize) -> Result<FissionResult, CompileError> {
+    let mut temps: Vec<(String, ElemType, u32)> = Vec::new();
+    let folded = fold_perms(kernel)?;
+    let mut queue: Vec<Kernel> = vec![folded];
+    let mut out: Vec<Kernel> = Vec::new();
+    let mut piece = 0usize;
+    // Each split removes one perm or shrinks the node list; bound the work.
+    let mut guard = 0;
+    while let Some(k) = queue.pop() {
+        guard += 1;
+        if guard > 1000 {
+            return Err(CompileError::Invalid {
+                kernel: kernel.name().to_string(),
+                reason: "fission failed to converge".to_string(),
+            });
+        }
+        let cut = find_cut(&k, max_instrs);
+        match cut {
+            None => {
+                out.push(k);
+            }
+            Some(p) => {
+                let (a, b) = split_at(&k, p, &mut temps, piece)?;
+                piece += 1;
+                // Process `a` next (it is perm-free below the cut by
+                // construction of `find_cut`), then `b`.
+                queue.push(b);
+                queue.push(a);
+            }
+        }
+    }
+    // `queue.pop()` processed depth-first with `a` on top, so `out` is in
+    // execution order already.
+    let kernels: Vec<Kernel> = out
+        .into_iter()
+        .enumerate()
+        .map(|(i, k)| {
+            let name = if i == 0 && piece == 0 {
+                k.name().to_string()
+            } else {
+                format!("{}__{}", kernel.name(), i)
+            };
+            k.with_name(name)
+        })
+        .collect();
+    Ok(FissionResult { kernels, temps })
+}
+
+/// Folds `Perm` nodes into adjacent loads/stores where legal: a `Perm`
+/// whose operand is an unpermuted single-use `Load` becomes a permuted
+/// load; a `Store` of a single-use `Perm` becomes a permuted store.
+fn fold_perms(kernel: &Kernel) -> Result<Kernel, CompileError> {
+    let nodes = kernel.nodes();
+    let mut uses: BTreeMap<u32, usize> = BTreeMap::new();
+    for node in nodes {
+        for r in node_refs(node) {
+            *uses.entry(r.0).or_insert(0) += 1;
+        }
+    }
+    let mut rewritten: Vec<Node> = Vec::with_capacity(nodes.len());
+    // Map original id -> new id (identity unless nodes were dropped).
+    let mut remap: Vec<u32> = Vec::with_capacity(nodes.len());
+    // Ids of perm nodes that were folded into their load operand.
+    for (i, node) in nodes.iter().enumerate() {
+        let mut node = node.clone();
+        // Fold Store(Perm(x)) -> Store{x, perm}. Only if the perm node was
+        // not itself already folded into its load (check the *rewritten*
+        // node, not the original).
+        if let Node::Store {
+            array,
+            value,
+            offset,
+            wide,
+            perm: None,
+        } = &node
+        {
+            if let Node::Perm { kind, a } = &rewritten[value.0 as usize] {
+                if uses.get(&value.0) == Some(&1) {
+                    node = Node::Store {
+                        array: array.clone(),
+                        value: *a,
+                        offset: *offset,
+                        wide: *wide,
+                        perm: Some(kind.inverse()),
+                    };
+                }
+            }
+        }
+        // Fold Perm(Load) -> permuted Load (keep the perm node's slot so
+        // later references stay valid; the load's old slot becomes dead).
+        if let Node::Perm { kind, a } = &node {
+            if let Node::Load {
+                array,
+                elem,
+                signed,
+                offset,
+                wide,
+                perm: None,
+            } = &nodes[a.0 as usize]
+            {
+                if uses.get(&a.0) == Some(&1) {
+                    node = Node::Load {
+                        array: array.clone(),
+                        elem: *elem,
+                        signed: *signed,
+                        offset: *offset,
+                        wide: *wide,
+                        perm: Some(*kind),
+                    };
+                }
+            }
+        }
+        remap.push(i as u32);
+        rewritten.push(node);
+    }
+    // Remap references (identity here; dead loads are left in place — they
+    // cost one instruction and keep the code simple; the dead-node sweep
+    // below removes them).
+    let live = sweep_dead(&rewritten);
+    Kernel::from_parts(kernel.name().to_string(), kernel.trip(), live)
+}
+
+/// Removes value nodes that nothing references (e.g. loads orphaned by
+/// perm folding), remapping ids.
+fn sweep_dead(nodes: &[Node]) -> Vec<Node> {
+    let mut used = vec![false; nodes.len()];
+    for (i, node) in nodes.iter().enumerate() {
+        if matches!(node, Node::Store { .. } | Node::Reduce { .. }) {
+            used[i] = true;
+        }
+        for r in node_refs(node) {
+            used[r.0 as usize] = true;
+        }
+    }
+    // Propagate backwards: refs of used nodes are used.
+    for i in (0..nodes.len()).rev() {
+        if used[i] {
+            for r in node_refs(&nodes[i]) {
+                used[r.0 as usize] = true;
+            }
+        }
+    }
+    let mut remap = vec![0u32; nodes.len()];
+    let mut out = Vec::new();
+    for (i, node) in nodes.iter().enumerate() {
+        if used[i] {
+            remap[i] = out.len() as u32;
+            out.push(remap_node(node, &remap));
+        }
+    }
+    out
+}
+
+fn node_refs(node: &Node) -> Vec<NodeId> {
+    match node {
+        Node::Bin { a, b, .. } => vec![*a, *b],
+        Node::BinImm { a, .. } | Node::Perm { a, .. } | Node::Reduce { a, .. } => vec![*a],
+        Node::Store { value, .. } => vec![*value],
+        _ => Vec::new(),
+    }
+}
+
+fn remap_node(node: &Node, remap: &[u32]) -> Node {
+    let m = |id: NodeId| NodeId(remap[id.0 as usize]);
+    match node.clone() {
+        Node::Bin { op, a, b } => Node::Bin {
+            op,
+            a: m(a),
+            b: m(b),
+        },
+        Node::BinImm { op, a, imm } => Node::BinImm { op, a: m(a), imm },
+        Node::Perm { kind, a } => Node::Perm { kind, a: m(a) },
+        Node::Reduce { op, a, out, init } => Node::Reduce {
+            op,
+            a: m(a),
+            out,
+            init,
+        },
+        Node::Store {
+            array,
+            value,
+            offset,
+            wide,
+            perm,
+        } => Node::Store {
+            array,
+            value: m(value),
+            offset,
+            wide,
+            perm,
+        },
+        other => other,
+    }
+}
+
+/// Finds a cut point: the index of the first surviving mid-dataflow perm,
+/// or the point where the size estimate exceeds the budget. `None` means
+/// the kernel is fine as-is.
+fn find_cut(kernel: &Kernel, max_instrs: usize) -> Option<usize> {
+    let nodes = kernel.nodes();
+    // First remaining perm: cut exactly there.
+    if let Some(p) = nodes.iter().position(|n| matches!(n, Node::Perm { .. })) {
+        return Some(p);
+    }
+    if estimate_instrs(nodes) <= max_instrs {
+        return None;
+    }
+    // Greedy size cut: the largest prefix whose estimate (plus slack for
+    // crossing stores) fits. Never cut at 0; never at the very end.
+    let slack = 6;
+    let mut best = 1;
+    for p in 1..nodes.len() {
+        if estimate_instrs(&nodes[..p]) + slack <= max_instrs {
+            best = p;
+        } else {
+            break;
+        }
+    }
+    Some(best.min(nodes.len() - 1))
+}
+
+/// Splits a kernel before node `p`. If node `p` is a `Perm`, the cut
+/// stores its operand with the inverse permutation and the second kernel
+/// reloads it contiguously; all other live values crossing the cut go
+/// through plain temporaries.
+fn split_at(
+    kernel: &Kernel,
+    p: usize,
+    temps: &mut Vec<(String, ElemType, u32)>,
+    piece: usize,
+) -> Result<(Kernel, Kernel), CompileError> {
+    let nodes = kernel.nodes();
+    let trip = kernel.trip();
+    let is_perm_cut = matches!(nodes[p], Node::Perm { .. });
+    let tail_start = if is_perm_cut { p + 1 } else { p };
+
+    // Which earlier values does the tail (and the perm node itself) need?
+    let mut crossing: Vec<u32> = Vec::new();
+    for node in &nodes[tail_start..] {
+        for r in node_refs(node) {
+            // The perm node's own slot crosses through its dedicated
+            // permuted temporary, not a plain one.
+            let is_perm_slot = is_perm_cut && r.0 as usize == p;
+            if (r.0 as usize) < tail_start && !is_perm_slot && !crossing.contains(&r.0) {
+                crossing.push(r.0);
+            }
+        }
+    }
+    let perm_operand = if let Node::Perm { a, .. } = nodes[p] {
+        Some(a)
+    } else {
+        None
+    };
+
+    let mut head: Vec<Node> = nodes[..p].to_vec();
+    let mut tail: Vec<Node> = Vec::new();
+    // Map original id -> id within the tail kernel.
+    let mut tail_ids: BTreeMap<u32, u32> = BTreeMap::new();
+
+    let temp_name = |temps: &mut Vec<(String, ElemType, u32)>, elem: ElemType| -> String {
+        let name = format!("__t_{}_{}_{}", kernel.name(), piece, temps.len());
+        temps.push((name.clone(), elem, trip));
+        name
+    };
+
+    // The permuted value crosses through its own temp, permuted on store.
+    if let (true, Some(Node::Perm { kind, a })) = (is_perm_cut, nodes.get(p)) {
+        let elem = kernel.elem_of(*a).expect("perm of value");
+        let signed = kernel.is_signed(*a);
+        let name = temp_name(temps, elem);
+        head.push(Node::Store {
+            array: name.clone(),
+            value: *a,
+            offset: 0,
+            wide: true,
+            perm: Some(kind.inverse()),
+        });
+        tail.push(Node::Load {
+            array: name,
+            elem,
+            signed,
+            offset: 0,
+            wide: true,
+            perm: None,
+        });
+        tail_ids.insert(p as u32, 0);
+    }
+    let _ = perm_operand;
+
+    // Other crossing values: plain store/reload.
+    crossing.sort_unstable();
+    for id in crossing {
+        let elem = kernel.elem_of(NodeId(id)).expect("crossing value");
+        let signed = kernel.is_signed(NodeId(id));
+        let name = temp_name(temps, elem);
+        head.push(Node::Store {
+            array: name.clone(),
+            value: NodeId(id),
+            offset: 0,
+            wide: true,
+            perm: None,
+        });
+        let new_id = tail.len() as u32;
+        tail.push(Node::Load {
+            array: name,
+            elem,
+            signed,
+            offset: 0,
+            wide: true,
+            perm: None,
+        });
+        tail_ids.insert(id, new_id);
+    }
+
+    // Rebuild the tail with remapped references.
+    for (i, node) in nodes[tail_start..].iter().enumerate() {
+        let orig = (tail_start + i) as u32;
+        let m = |id: NodeId| -> NodeId {
+            if let Some(&t) = tail_ids.get(&id.0) {
+                NodeId(t)
+            } else {
+                // Defined within the tail itself.
+                let offset = id.0 - tail_start as u32;
+                NodeId(tail_offsets_lookup(&tail_ids, tail_start as u32, offset))
+            }
+        };
+        let new = match node.clone() {
+            Node::Bin { op, a, b } => Node::Bin {
+                op,
+                a: m(a),
+                b: m(b),
+            },
+            Node::BinImm { op, a, imm } => Node::BinImm { op, a: m(a), imm },
+            Node::Perm { kind, a } => Node::Perm { kind, a: m(a) },
+            Node::Reduce { op, a, out, init } => Node::Reduce {
+                op,
+                a: m(a),
+                out,
+                init,
+            },
+            Node::Store {
+                array,
+                value,
+                offset,
+                wide,
+                perm,
+            } => Node::Store {
+                array,
+                value: m(value),
+                offset,
+                wide,
+                perm,
+            },
+            other => other,
+        };
+        tail_ids.insert(orig, tail.len() as u32);
+        tail.push(new);
+    }
+
+    let head_kernel = Kernel::from_parts(
+        format!("{}_h{}", kernel.name(), piece),
+        trip,
+        sweep_dead(&head),
+    )?;
+    let tail_kernel = Kernel::from_parts(
+        format!("{}_t{}", kernel.name(), piece),
+        trip,
+        sweep_dead(&tail),
+    )?;
+    Ok((head_kernel, tail_kernel))
+}
+
+/// Resolves a tail-internal reference: nodes defined inside the tail were
+/// appended in order, so their new id was recorded in `tail_ids` as they
+/// were pushed.
+fn tail_offsets_lookup(tail_ids: &BTreeMap<u32, u32>, tail_start: u32, offset: u32) -> u32 {
+    *tail_ids
+        .get(&(tail_start + offset))
+        .expect("forward reference resolved by construction")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::KernelBuilder;
+    use liquid_simd_isa::PermKind;
+
+    #[test]
+    fn perm_folds_into_load() {
+        let mut k = KernelBuilder::new("k", 16);
+        let a = k.load("A", ElemType::F32);
+        let p = k.perm(PermKind::Bfly { block: 8 }, a);
+        k.store("B", p);
+        let r = fission(&k.build().unwrap(), 60).unwrap();
+        assert_eq!(r.kernels.len(), 1, "folded, no fission needed");
+        assert!(r.temps.is_empty());
+        assert!(matches!(
+            r.kernels[0].nodes()[0],
+            Node::Load { perm: Some(_), .. }
+        ));
+    }
+
+    #[test]
+    fn perm_folds_into_store() {
+        let mut k = KernelBuilder::new("k", 16);
+        let a = k.load("A", ElemType::I32);
+        let b = k.bin_imm(VAluOp::Add, a, 1);
+        let p = k.perm(PermKind::Rot { block: 4, amt: 1 }, b);
+        k.store("B", p);
+        let r = fission(&k.build().unwrap(), 60).unwrap();
+        assert_eq!(r.kernels.len(), 1);
+        let store = r.kernels[0].nodes().last().unwrap();
+        assert!(matches!(
+            store,
+            Node::Store {
+                perm: Some(PermKind::Rot { block: 4, amt: 3 }),
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn unfoldable_perm_forces_fission() {
+        // Perm feeds further computation, so it cannot fold into a store.
+        let mut k = KernelBuilder::new("k", 16);
+        let a = k.load("A", ElemType::I32);
+        let b = k.bin_imm(VAluOp::Mul, a, 3);
+        let p = k.perm(PermKind::Bfly { block: 8 }, b);
+        let c = k.bin(VAluOp::Add, p, a); // also keeps `a` live across
+        k.store("B", c);
+        let r = fission(&k.build().unwrap(), 60).unwrap();
+        assert_eq!(r.kernels.len(), 2, "one loop per side of the perm");
+        // Two temps: the permuted value and the live `a`.
+        assert_eq!(r.temps.len(), 2);
+        // First loop ends with permuted store(s); second starts with loads.
+        let k0 = &r.kernels[0];
+        assert!(k0
+            .nodes()
+            .iter()
+            .any(|n| matches!(n, Node::Store { perm: Some(_), .. })));
+        let k1 = &r.kernels[1];
+        assert!(matches!(k1.nodes()[0], Node::Load { .. }));
+    }
+
+    #[test]
+    fn oversized_kernel_splits_by_size() {
+        let mut k = KernelBuilder::new("big", 16);
+        let mut v = k.load("A", ElemType::I32);
+        for i in 0..80 {
+            v = k.bin_imm(VAluOp::Add, v, (i % 7) + 1);
+        }
+        k.store("B", v);
+        let r = fission(&k.build().unwrap(), 60).unwrap();
+        assert!(r.kernels.len() >= 2, "split into {}", r.kernels.len());
+        for sub in &r.kernels {
+            assert!(
+                estimate_instrs(sub.nodes()) <= 60,
+                "{} estimated at {}",
+                sub.name(),
+                estimate_instrs(sub.nodes())
+            );
+        }
+    }
+
+    #[test]
+    fn small_kernel_untouched() {
+        let mut k = KernelBuilder::new("small", 16);
+        let a = k.load("A", ElemType::I32);
+        let b = k.bin_imm(VAluOp::Add, a, 1);
+        k.store("B", b);
+        let kernel = k.build().unwrap();
+        let r = fission(&kernel, 60).unwrap();
+        assert_eq!(r.kernels.len(), 1);
+        assert_eq!(r.kernels[0], kernel);
+    }
+}

@@ -1,0 +1,367 @@
+//! Reference ("gold") evaluation of kernel semantics, directly in Rust.
+//!
+//! Differential tests pin every code generator — and the dynamically
+//! translated microcode — to this evaluator. It shares the lane semantics
+//! with the simulator through [`VAluOp::eval_lane`] and `RedOp::eval_*`, so
+//! the three executables and the reference cannot drift apart.
+
+use liquid_simd_isa::ElemType;
+
+use crate::error::CompileError;
+use crate::ir::{ArrayData, DataEnv, Kernel, Node, ReduceInit};
+
+fn invalid(kernel: &Kernel, reason: impl Into<String>) -> CompileError {
+    CompileError::Invalid {
+        kernel: kernel.name().to_string(),
+        reason: reason.into(),
+    }
+}
+
+/// Sign- or zero-extends a canonical bit pattern into a 32-bit lane.
+fn extend(elem: ElemType, signed: bool, bits: i64) -> u32 {
+    let raw = bits as u64 as u32;
+    if !signed || elem == ElemType::I32 || elem == ElemType::F32 {
+        return raw;
+    }
+    match elem {
+        ElemType::I8 => (raw as u8 as i8) as i32 as u32,
+        ElemType::I16 => (raw as u16 as i16) as i32 as u32,
+        _ => raw,
+    }
+}
+
+/// Evaluates one kernel against the environment, mutating stored arrays.
+///
+/// # Errors
+///
+/// Returns [`CompileError::Invalid`] for missing/mistyped/undersized arrays.
+pub fn eval_kernel(kernel: &Kernel, env: &mut DataEnv) -> Result<(), CompileError> {
+    let trip = kernel.trip() as usize;
+    let mut values: Vec<Option<Vec<u32>>> = vec![None; kernel.nodes().len()];
+
+    // Reads happen before writes within one conceptual loop? No — the
+    // scalar loop interleaves loads and stores per element; a kernel that
+    // loads and stores the same array sees its *own* writes only for
+    // earlier elements. Our IR evaluates whole-array SSA style, which is
+    // only equivalent when no array is both loaded and stored with an
+    // overlapping dependence. Kernels keep loads before stores per
+    // iteration and never reread stored elements, so whole-vector
+    // evaluation is exact. (Validated here: an array stored by this kernel
+    // must not be loaded afterwards.)
+    let mut stored: Vec<&str> = Vec::new();
+
+    for (i, node) in kernel.nodes().iter().enumerate() {
+        match node {
+            Node::Load {
+                array,
+                elem,
+                signed,
+                offset,
+                wide,
+                perm,
+            } => {
+                if stored.contains(&array.as_str()) {
+                    return Err(invalid(
+                        kernel,
+                        format!("array `{array}` loaded after being stored in the same kernel"),
+                    ));
+                }
+                let (decl_elem, data) = env
+                    .get(array)
+                    .ok_or_else(|| invalid(kernel, format!("missing array `{array}`")))?;
+                let storage_ok = if *wide {
+                    !decl_elem.is_float() == !elem.is_float()
+                        && decl_elem.bytes() == 4
+                } else {
+                    decl_elem == elem
+                };
+                if !storage_ok {
+                    return Err(invalid(
+                        kernel,
+                        format!("array `{array}` is {decl_elem}, kernel loads {elem}"),
+                    ));
+                }
+                let off = *offset as usize;
+                if data.len() < trip + off {
+                    return Err(invalid(
+                        kernel,
+                        format!(
+                            "array `{array}` has {} < {} elements",
+                            data.len(),
+                            trip + off
+                        ),
+                    ));
+                }
+                let mut lanes = Vec::with_capacity(trip);
+                for idx in 0..trip {
+                    let src = off
+                        + match perm {
+                            None => idx,
+                            Some(kind) => {
+                                let b = kind.block() as usize;
+                                idx - idx % b + kind.source_index(idx)
+                            }
+                        };
+                    let lane = match data {
+                        // Wide reloads recover the exact 32-bit lane.
+                        ArrayData::Int(v) if *wide => v[src] as u64 as u32,
+                        ArrayData::Int(v) => extend(*elem, *signed, v[src]),
+                        ArrayData::F32(v) => v[src].to_bits(),
+                    };
+                    lanes.push(lane);
+                }
+                values[i] = Some(lanes);
+            }
+            Node::ConstVecI { elem, pattern } => {
+                let lanes = (0..trip)
+                    .map(|idx| {
+                        let raw = DataEnv::canon(*elem, pattern[idx % pattern.len()]);
+                        extend(*elem, true, raw)
+                    })
+                    .collect();
+                values[i] = Some(lanes);
+            }
+            Node::ConstVecF { pattern } => {
+                let lanes = (0..trip)
+                    .map(|idx| pattern[idx % pattern.len()].to_bits())
+                    .collect();
+                values[i] = Some(lanes);
+            }
+            Node::Bin { op, a, b } => {
+                let elem = kernel.elem_of(*a).expect("value");
+                let va = values[a.0 as usize].as_ref().expect("evaluated");
+                let vb = values[b.0 as usize].as_ref().expect("evaluated");
+                let lanes = va
+                    .iter()
+                    .zip(vb)
+                    .map(|(&x, &y)| op.eval_lane(elem, x, y))
+                    .collect();
+                values[i] = Some(lanes);
+            }
+            Node::BinImm { op, a, imm } => {
+                let elem = kernel.elem_of(*a).expect("value");
+                let va = values[a.0 as usize].as_ref().expect("evaluated");
+                let lanes = va
+                    .iter()
+                    .map(|&x| op.eval_lane(elem, x, *imm as u32))
+                    .collect();
+                values[i] = Some(lanes);
+            }
+            Node::Perm { kind, a } => {
+                let va = values[a.0 as usize].as_ref().expect("evaluated");
+                let b = kind.block() as usize;
+                let lanes = (0..trip)
+                    .map(|idx| va[idx - idx % b + kind.source_index(idx)])
+                    .collect();
+                values[i] = Some(lanes);
+            }
+            Node::Reduce { op, a, out, init } => {
+                let va = values[a.0 as usize].as_ref().expect("evaluated");
+                let is_float = kernel.is_float(*a);
+                let result: (Option<i64>, Option<f32>) = if is_float {
+                    let ReduceInit::F32(mut acc) = *init else {
+                        return Err(invalid(kernel, "fp reduction needs an f32 init"));
+                    };
+                    for &lane in va {
+                        acc = op.eval_f(acc, f32::from_bits(lane));
+                    }
+                    (None, Some(acc))
+                } else {
+                    let ReduceInit::Int(seed) = *init else {
+                        return Err(invalid(kernel, "int reduction needs an int init"));
+                    };
+                    let mut acc = seed;
+                    for &lane in va {
+                        acc = op.eval_i(acc, lane as i32);
+                    }
+                    (Some(i64::from(acc as u32)), None)
+                };
+                let (decl_elem, data) = env
+                    .arrays
+                    .get_mut(out)
+                    .ok_or_else(|| invalid(kernel, format!("missing array `{out}`")))?;
+                match (result, data, *decl_elem) {
+                    ((Some(v), None), ArrayData::Int(arr), ElemType::I32) => {
+                        if arr.is_empty() {
+                            return Err(invalid(kernel, format!("array `{out}` is empty")));
+                        }
+                        arr[0] = v;
+                    }
+                    ((None, Some(f)), ArrayData::F32(arr), ElemType::F32) => {
+                        if arr.is_empty() {
+                            return Err(invalid(kernel, format!("array `{out}` is empty")));
+                        }
+                        arr[0] = f;
+                    }
+                    _ => {
+                        return Err(invalid(
+                            kernel,
+                            format!("reduction output `{out}` must be i32/f32 matching the value"),
+                        ))
+                    }
+                }
+            }
+            Node::Store {
+                array,
+                value,
+                offset,
+                wide,
+                perm,
+            } => {
+                let elem = kernel.elem_of(*value).expect("value");
+                let store_elem = if *wide {
+                    if elem.is_float() { ElemType::F32 } else { ElemType::I32 }
+                } else {
+                    elem
+                };
+                let lanes = values[value.0 as usize].as_ref().expect("evaluated").clone();
+                let (decl_elem, data) = env
+                    .arrays
+                    .get_mut(array)
+                    .ok_or_else(|| invalid(kernel, format!("missing array `{array}`")))?;
+                if *decl_elem != store_elem {
+                    return Err(invalid(
+                        kernel,
+                        format!("array `{array}` is {decl_elem}, kernel stores {store_elem}"),
+                    ));
+                }
+                let off = *offset as usize;
+                if data.len() < trip + off {
+                    return Err(invalid(
+                        kernel,
+                        format!(
+                            "array `{array}` has {} < {} elements",
+                            data.len(),
+                            trip + off
+                        ),
+                    ));
+                }
+                for (idx, &lane) in lanes.iter().enumerate() {
+                    let dst = off
+                        + match perm {
+                            None => idx,
+                            Some(kind) => {
+                                let b = kind.block() as usize;
+                                idx - idx % b + kind.source_index(idx)
+                            }
+                        };
+                    match data {
+                        ArrayData::Int(v) => {
+                            v[dst] = DataEnv::canon(store_elem, i64::from(lane));
+                        }
+                        ArrayData::F32(v) => v[dst] = f32::from_bits(lane),
+                    }
+                }
+                if !stored.contains(&array.as_str()) {
+                    stored.push(array);
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Runs a whole workload (all kernels, `reps` times) and returns the final
+/// environment.
+///
+/// # Errors
+///
+/// Propagates the first evaluation error.
+pub fn run_gold(workload: &crate::driver::Workload) -> Result<DataEnv, CompileError> {
+    let mut env = workload.data.clone();
+    for _ in 0..workload.reps {
+        for k in &workload.kernels {
+            eval_kernel(k, &mut env)?;
+        }
+    }
+    Ok(env)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::{ArrayBuilder, KernelBuilder};
+    use liquid_simd_isa::{PermKind, RedOp, VAluOp};
+
+    #[test]
+    fn elementwise_and_reduction() {
+        let mut kb = KernelBuilder::new("k", 16);
+        let a = kb.load("A", ElemType::I32);
+        let b = kb.bin_imm(VAluOp::Mul, a, 3);
+        kb.store("B", b);
+        kb.reduce(RedOp::Sum, b, "out", ReduceInit::Int(0));
+        let k = kb.build().unwrap();
+        let mut env = ArrayBuilder::new()
+            .int("A", ElemType::I32, (1..=16).collect::<Vec<i64>>())
+            .zeroed("B", ElemType::I32, 16)
+            .zeroed("out", ElemType::I32, 1)
+            .build();
+        eval_kernel(&k, &mut env).unwrap();
+        let (_, ArrayData::Int(b)) = env.get("B").unwrap() else {
+            panic!()
+        };
+        assert_eq!(b[0], 3);
+        assert_eq!(b[15], 48);
+        let (_, ArrayData::Int(out)) = env.get("out").unwrap() else {
+            panic!()
+        };
+        assert_eq!(out[0], 3 * (16 * 17 / 2));
+    }
+
+    #[test]
+    fn saturation_and_narrow_width() {
+        let mut kb = KernelBuilder::new("k", 16);
+        let a = kb.load_u("A", ElemType::I8);
+        let b = kb.bin_imm(VAluOp::SatAdd, a, 100);
+        kb.store("B", b);
+        let k = kb.build().unwrap();
+        let mut env = ArrayBuilder::new()
+            .int("A", ElemType::I8, vec![200; 16])
+            .zeroed("B", ElemType::I8, 16)
+            .build();
+        eval_kernel(&k, &mut env).unwrap();
+        let (_, ArrayData::Int(b)) = env.get("B").unwrap() else {
+            panic!()
+        };
+        assert_eq!(b[0], 255); // clamped
+    }
+
+    #[test]
+    fn load_and_store_permutations_are_inverse() {
+        // A load-side permutation `k` cancels against a store-side `k`:
+        // the store scatters with exactly the indices the load gathered.
+        let kind = PermKind::Rot { block: 4, amt: 1 };
+        let mut kb = KernelBuilder::new("k", 16);
+        let a = kb.load_perm("A", ElemType::I32, kind);
+        kb.store_perm("B", a, kind);
+        let k = kb.build().unwrap();
+        let data: Vec<i64> = (0..16).collect();
+        let mut env = ArrayBuilder::new()
+            .int("A", ElemType::I32, data.clone())
+            .zeroed("B", ElemType::I32, 16)
+            .build();
+        eval_kernel(&k, &mut env).unwrap();
+        let (_, ArrayData::Int(b)) = env.get("B").unwrap() else {
+            panic!()
+        };
+        assert_eq!(*b, data, "perm then inverse-perm is identity");
+    }
+
+    #[test]
+    fn load_after_store_is_rejected_at_build() {
+        let mut kb = KernelBuilder::new("k", 16);
+        let a = kb.load("A", ElemType::I32);
+        kb.store("A", a);
+        let a2 = kb.load("A", ElemType::I32);
+        kb.store("B", a2);
+        assert!(kb.build().is_err(), "IR validation catches the hazard");
+    }
+
+    #[test]
+    fn in_place_permuted_update_is_rejected_at_build() {
+        let mut kb = KernelBuilder::new("k", 16);
+        let a = kb.load_perm("A", ElemType::I32, PermKind::Bfly { block: 4 });
+        kb.store("A", a);
+        assert!(kb.build().is_err());
+    }
+}

@@ -1,0 +1,73 @@
+//! The Liquid SIMD compiler (paper §3).
+//!
+//! The paper hand-vectorises benchmark hot loops and then applies fixed
+//! rules (Table 1) to re-express the SIMD code in the scalar ISA. This
+//! crate makes that process reproducible: hot loops are written once as a
+//! **vector-kernel IR** ([`Kernel`]) — a dataflow graph over memory-resident
+//! arrays, mirroring the paper's memory-to-memory model (§3.1) — and three
+//! code generators consume it:
+//!
+//! * [`build_liquid`] — the paper's contribution: the **scalarized
+//!   representation** (one element per iteration, idioms for saturating
+//!   ops, offset arrays for permutations, constant arrays for wide
+//!   constants, loop fission at permutation boundaries and for oversized
+//!   bodies, function outlining with `bl.v`);
+//! * [`build_native`] — native VSIMD vector loops at a given width (the
+//!   Figure 6 "built-in ISA support" comparator);
+//! * [`build_plain`] — a plain scalar binary with hot loops inlined, no
+//!   outlining (the Figure 6 baseline denominator and the code-size
+//!   reference).
+//!
+//! A reference evaluator ([`gold`]) executes kernel semantics directly in
+//! Rust; differential tests pin all three binaries (and the dynamically
+//! translated microcode) to it.
+//!
+//! # Example
+//!
+//! ```
+//! use liquid_simd_compiler::{ArrayBuilder, KernelBuilder, Workload, build_liquid};
+//! use liquid_simd_isa::{ElemType, VAluOp};
+//!
+//! // C[i] = A[i] * B[i] over 64 i32 elements.
+//! let mut k = KernelBuilder::new("mul", 64);
+//! let a = k.load("A", ElemType::I32);
+//! let b = k.load("B", ElemType::I32);
+//! let c = k.bin(VAluOp::Mul, a, b);
+//! k.store("C", c);
+//!
+//! let data = ArrayBuilder::new()
+//!     .int("A", ElemType::I32, (0..64).collect::<Vec<i64>>())
+//!     .int("B", ElemType::I32, vec![3; 64])
+//!     .zeroed("C", ElemType::I32, 64)
+//!     .build();
+//! let w = Workload::new("example", vec![k.build().unwrap()], data, 2);
+//! let build = build_liquid(&w).unwrap();
+//! assert!(build.program.code.len() > 10);
+//! assert_eq!(build.outlined.len(), 1); // one outlined function
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod alloc;
+mod datactx;
+mod driver;
+mod error;
+mod fission;
+pub mod gold;
+mod ir;
+mod native_gen;
+mod scalar_gen;
+
+pub use driver::{build_liquid, build_native, build_plain, Build, OutlinedFn, Workload};
+pub use error::CompileError;
+pub use fission::fission;
+pub use ir::{
+    ArrayBuilder, ArrayData, DataEnv, Kernel, KernelBuilder, Node, NodeId, ReduceInit,
+};
+
+/// Default maximum size (instructions) of one outlined scalar function;
+/// kernels whose scalarized body would exceed it are fissioned, exactly as
+/// the paper splits 172.mgrid / 101.tomcatv loops to fit the 64-entry
+/// microcode buffer (§5, Table 5).
+pub const MAX_OUTLINED_INSTRS: usize = 60;

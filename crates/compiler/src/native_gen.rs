@@ -1,0 +1,592 @@
+//! Native SIMD code generation: the vector loops a compiler with built-in
+//! ISA support would emit (the paper's Figure 6 callout comparator).
+
+use liquid_simd_isa::{
+    encode::{MOV_IMM_MAX, MOV_IMM_MIN},
+    AluOp, Base, Cond, ElemType, FReg, MemWidth, Operand2, ProgramBuilder, Reg, ScalarSrc,
+    VAluOp, VReg, VectorInst,
+};
+
+use crate::alloc::{allocate, PoolSpec};
+use crate::datactx::DataCtx;
+use crate::error::CompileError;
+use crate::ir::{Kernel, Node, NodeId, ReduceInit};
+use crate::scalar_gen::Terminate;
+
+const IND: Reg = Reg::R0;
+const ZIDX: Reg = Reg::R12;
+/// Scratch vector register for permuted stores.
+const VSCRATCH: VReg = VReg::V15;
+
+fn invalid(kernel: &Kernel, reason: impl Into<String>) -> CompileError {
+    CompileError::Invalid {
+        kernel: kernel.name().to_string(),
+        reason: reason.into(),
+    }
+}
+
+/// Whether every permutation in a kernel is executable on a `lanes`-wide
+/// accelerator (block fits and tiles). Kernels that fail this cannot be
+/// expressed as native vector code at this width and fall back to scalar.
+#[must_use]
+pub(crate) fn native_ok(kernel: &Kernel, lanes: usize) -> bool {
+    kernel.nodes().iter().all(|n| {
+        let perm = match n {
+            Node::Load { perm, .. } | Node::Store { perm, .. } => *perm,
+            Node::Perm { kind, .. } => Some(*kind),
+            _ => None,
+        };
+        perm.is_none_or(|k| k.executable_at(lanes))
+    })
+}
+
+/// Emits the native vector form of one kernel at width `lanes`. Returns
+/// the instruction count.
+#[allow(clippy::too_many_lines)]
+pub(crate) fn emit_native(
+    b: &mut ProgramBuilder,
+    ctx: &mut DataCtx,
+    k: &Kernel,
+    lanes: usize,
+    terminate: Terminate,
+) -> Result<usize, CompileError> {
+    debug_assert!(native_ok(k, lanes));
+    let start = b.here();
+    let trip = k.trip() as i32;
+
+    // Value registers come from the vector file; accumulators and hoisted
+    // constants from the scalar files.
+    let mut int_accs: Vec<u8> = (1..=10).collect();
+    let mut fp_accs: Vec<u8> = (0..=14).collect();
+    let mut acc_reg: Vec<(usize, u8, bool)> = Vec::new();
+    for (i, node) in k.nodes().iter().enumerate() {
+        if let Node::Reduce { a, .. } = node {
+            let is_float = k.is_float(*a);
+            let pool = if is_float { &mut fp_accs } else { &mut int_accs };
+            let r = pool.pop().ok_or_else(|| CompileError::RegisterPressure {
+                kernel: k.name().to_string(),
+            })?;
+            acc_reg.push((i, r, is_float));
+        }
+    }
+    // Hoist loop-invariant uniform constants into scalar registers; their
+    // uses become vector-by-scalar broadcasts.
+    let hoist_flags = k.hoistable_consts();
+    let mut hoisted: std::collections::BTreeMap<usize, (u8, bool)> =
+        std::collections::BTreeMap::new();
+    let mut vpins: std::collections::BTreeMap<usize, u8> = std::collections::BTreeMap::new();
+    let mut by_value: std::collections::BTreeMap<(bool, u32), u8> =
+        std::collections::BTreeMap::new();
+    const POOL_HEADROOM: usize = 3;
+    for (i, &h) in hoist_flags.iter().enumerate() {
+        if !h {
+            continue;
+        }
+        let id = NodeId(i as u32);
+        let is_float = k.is_float(id);
+        let bits = k.uniform_const_bits(id).expect("hoistable const");
+        if let Some(&r) = by_value.get(&(is_float, bits)) {
+            hoisted.insert(i, (r, is_float));
+            vpins.insert(i, 0);
+            continue;
+        }
+        let pool = if is_float { &mut fp_accs } else { &mut int_accs };
+        if pool.len() <= POOL_HEADROOM {
+            continue; // budget exhausted: this constant stays in memory form
+        }
+        let r = pool.pop().expect("headroom checked");
+        by_value.insert((is_float, bits), r);
+        hoisted.insert(i, (r, is_float));
+        vpins.insert(i, 0); // keep the vector allocator away
+    }
+    let asg = allocate(k, &PoolSpec::Shared((0..=14).collect()), &vpins)?;
+
+    // Which constant-vector nodes can stay folded into their single use as
+    // a `VAluConst` operand?
+    let folded = fold_candidates(k, lanes);
+
+    // ---- prologue ---------------------------------------------------------
+    let hoisted_needs_pool = hoisted.iter().any(|(&i, &(_, is_float))| {
+        let bits = k.uniform_const_bits(NodeId(i as u32)).expect("hoisted");
+        is_float || !(MOV_IMM_MIN..=MOV_IMM_MAX).contains(&(bits as i32))
+    });
+    let need_zidx = !acc_reg.is_empty() || hoisted_needs_pool;
+    if need_zidx {
+        b.mov_imm(ZIDX, 0);
+    }
+    for (&i, &(r, is_float)) in &hoisted {
+        let bits = k.uniform_const_bits(NodeId(i as u32)).expect("hoisted");
+        if is_float {
+            let sym = ctx.literal_f32(b, f32::from_bits(bits));
+            b.ldf(FReg::of(r), Base::Sym(sym), ZIDX);
+        } else {
+            let v = bits as i32;
+            if (MOV_IMM_MIN..=MOV_IMM_MAX).contains(&v) {
+                b.mov_imm(Reg::of(r), v);
+            } else {
+                let sym = ctx.literal_i32(b, v);
+                b.ld(MemWidth::W, Reg::of(r), Base::Sym(sym), ZIDX);
+            }
+        }
+    }
+    for &(node, r, is_float) in &acc_reg {
+        let Node::Reduce { init, .. } = &k.nodes()[node] else {
+            unreachable!()
+        };
+        match *init {
+            ReduceInit::Int(v) => {
+                if (MOV_IMM_MIN..=MOV_IMM_MAX).contains(&v) {
+                    b.mov_imm(Reg::of(r), v);
+                } else {
+                    let sym = ctx.literal_i32(b, v);
+                    b.ld(MemWidth::W, Reg::of(r), Base::Sym(sym), ZIDX);
+                }
+            }
+            ReduceInit::F32(v) => {
+                debug_assert!(is_float);
+                let sym = ctx.literal_f32(b, v);
+                b.ldf(FReg::of(r), Base::Sym(sym), ZIDX);
+            }
+        }
+    }
+    b.mov_imm(IND, 0);
+    let top = b.new_label();
+    b.bind(top);
+
+    // ---- body ---------------------------------------------------------------
+    let vreg = |id: NodeId| VReg::of(asg.reg[id.0 as usize].expect("vector register"));
+    for (i, node) in k.nodes().iter().enumerate() {
+        let id = NodeId(i as u32);
+        match node {
+            Node::Load {
+                array,
+                elem,
+                signed,
+                offset,
+                wide,
+                perm,
+            } => {
+                let storage = if *wide {
+                    if elem.is_float() { ElemType::F32 } else { ElemType::I32 }
+                } else {
+                    *elem
+                };
+                let arr = ctx
+                    .alias(b, array, *offset, storage.bytes())
+                    .ok_or_else(|| invalid(k, format!("unknown array `{array}`")))?;
+                b.push(VectorInst::VLd {
+                    elem: storage,
+                    signed: *signed && storage != ElemType::I32,
+                    vd: vreg(id),
+                    base: Base::Sym(arr),
+                    index: IND,
+                });
+                if let Some(kind) = perm {
+                    b.push(VectorInst::VPerm {
+                        kind: *kind,
+                        elem: *elem,
+                        vd: vreg(id),
+                        vn: vreg(id),
+                    });
+                }
+            }
+            Node::ConstVecI { elem, pattern } => {
+                if hoisted.contains_key(&i) {
+                    // loaded once into a scalar register in the prologue
+                } else if pattern.len() > 1 {
+                    // Periodic constant tables stream from a trip-length
+                    // array, exactly like the scalar representation (and
+                    // like real vector code keeps twiddle tables in
+                    // memory). This keeps the native comparator honest:
+                    // folding them into `VAluConst` would give native code
+                    // a cache-footprint advantage no compiler-produced
+                    // binary would have.
+                    let sym = ctx.const_int(b, *elem, pattern, k.trip());
+                    b.push(VectorInst::VLd {
+                        elem: *elem,
+                        signed: *elem != ElemType::I32,
+                        vd: vreg(id),
+                        base: Base::Sym(sym),
+                        index: IND,
+                    });
+                } else if !folded[i] {
+                    // Materialise: splat zero then OR in the pattern.
+                    let sym = ctx.const_int(b, *elem, pattern, pattern.len() as u32);
+                    b.push(VectorInst::VSplat {
+                        elem: *elem,
+                        vd: vreg(id),
+                        imm: 0,
+                    });
+                    b.push(VectorInst::VAluConst {
+                        op: VAluOp::Orr,
+                        elem: *elem,
+                        vd: vreg(id),
+                        vn: vreg(id),
+                        cnst: sym,
+                    });
+                }
+            }
+            Node::ConstVecF { pattern } => {
+                if hoisted.contains_key(&i) {
+                    // loaded once into a scalar register in the prologue
+                } else if pattern.len() > 1 {
+                    let sym = ctx.const_f32(b, pattern, k.trip());
+                    b.push(VectorInst::VLd {
+                        elem: ElemType::F32,
+                        signed: false,
+                        vd: vreg(id),
+                        base: Base::Sym(sym),
+                        index: IND,
+                    });
+                } else if !folded[i] {
+                    let sym = ctx.const_f32(b, pattern, pattern.len() as u32);
+                    b.push(VectorInst::VSplat {
+                        elem: ElemType::F32,
+                        vd: vreg(id),
+                        imm: 0,
+                    });
+                    b.push(VectorInst::VAluConst {
+                        op: VAluOp::Add,
+                        elem: ElemType::F32,
+                        vd: vreg(id),
+                        vn: vreg(id),
+                        cnst: sym,
+                    });
+                }
+            }
+            Node::Bin { op, a, b: rhs } => {
+                let elem = k.elem_of(*a).expect("value");
+                // Hoisted uniform constants become vector-by-scalar
+                // broadcasts (Neon-style), taking priority over the
+                // memory-resident VAluConst form.
+                let broadcast = if let Some(&(r, is_float)) = hoisted.get(&(rhs.0 as usize)) {
+                    Some((*a, r, is_float))
+                } else if let Some(&(r, is_float)) = hoisted.get(&(a.0 as usize)) {
+                    debug_assert!(op.is_commutative(), "hoistability guarantees this");
+                    Some((*rhs, r, is_float))
+                } else {
+                    None
+                };
+                if let Some((vec_operand, r, is_float)) = broadcast {
+                    let src = if is_float {
+                        ScalarSrc::F(FReg::of(r))
+                    } else {
+                        ScalarSrc::R(Reg::of(r))
+                    };
+                    b.push(VectorInst::VAluScalar {
+                        op: *op,
+                        elem,
+                        vd: vreg(id),
+                        vn: vreg(vec_operand),
+                        src,
+                    });
+                    continue;
+                }
+                // Prefer the VAluConst form when one operand is a folded
+                // constant vector (paper Table 1 category 3).
+                let (vn, const_operand) = match (&k.nodes()[a.0 as usize], &k.nodes()[rhs.0 as usize]) {
+                    (_, Node::ConstVecI { .. } | Node::ConstVecF { .. }) if folded[rhs.0 as usize] => {
+                        (*a, Some(*rhs))
+                    }
+                    (Node::ConstVecI { .. } | Node::ConstVecF { .. }, _)
+                        if folded[a.0 as usize] && op.is_commutative() =>
+                    {
+                        (*rhs, Some(*a))
+                    }
+                    _ => (*a, None),
+                };
+                match const_operand {
+                    Some(c) => {
+                        let sym = const_sym(b, ctx, k, c)?;
+                        b.push(VectorInst::VAluConst {
+                            op: *op,
+                            elem,
+                            vd: vreg(id),
+                            vn: vreg(vn),
+                            cnst: sym,
+                        });
+                    }
+                    None => {
+                        b.push(VectorInst::VAlu {
+                            op: *op,
+                            elem,
+                            vd: vreg(id),
+                            vn: vreg(*a),
+                            vm: vreg(*rhs),
+                        });
+                    }
+                }
+            }
+            Node::BinImm { op, a, imm } => {
+                let elem = k.elem_of(*a).expect("value");
+                b.push(VectorInst::VAluImm {
+                    op: *op,
+                    elem,
+                    vd: vreg(id),
+                    vn: vreg(*a),
+                    imm: *imm,
+                });
+            }
+            Node::Perm { kind, a } => {
+                let elem = k.elem_of(*a).expect("value");
+                b.push(VectorInst::VPerm {
+                    kind: *kind,
+                    elem,
+                    vd: vreg(id),
+                    vn: vreg(*a),
+                });
+            }
+            Node::Reduce { op, a, .. } => {
+                let (_, r, is_float) = *acc_reg
+                    .iter()
+                    .find(|(n, _, _)| *n == i)
+                    .expect("accumulator allocated");
+                if is_float {
+                    b.push(VectorInst::VRedF {
+                        op: *op,
+                        fd: FReg::of(r),
+                        vn: vreg(*a),
+                    });
+                } else {
+                    b.push(VectorInst::VRedI {
+                        op: *op,
+                        elem: k.elem_of(*a).expect("value"),
+                        rd: Reg::of(r),
+                        vn: vreg(*a),
+                    });
+                }
+            }
+            Node::Store {
+                array,
+                value,
+                offset,
+                wide,
+                perm,
+            } => {
+                let elem = k.elem_of(*value).expect("value");
+                let storage = if *wide {
+                    if elem.is_float() { ElemType::F32 } else { ElemType::I32 }
+                } else {
+                    elem
+                };
+                let arr = ctx
+                    .alias(b, array, *offset, storage.bytes())
+                    .ok_or_else(|| invalid(k, format!("unknown array `{array}`")))?;
+                let vs = match perm {
+                    None => vreg(*value),
+                    Some(kind) => {
+                        b.push(VectorInst::VPerm {
+                            kind: kind.inverse(),
+                            elem: storage,
+                            vd: VSCRATCH,
+                            vn: vreg(*value),
+                        });
+                        VSCRATCH
+                    }
+                };
+                b.push(VectorInst::VSt {
+                    elem: storage,
+                    vs,
+                    base: Base::Sym(arr),
+                    index: IND,
+                });
+            }
+        }
+    }
+
+    // ---- loop control --------------------------------------------------------
+    b.alu(AluOp::Add, IND, IND, Operand2::Imm(lanes as i32));
+    b.cmp(IND, Operand2::Imm(trip));
+    b.b(Cond::Lt, top);
+
+    // ---- epilogue ---------------------------------------------------------------
+    for &(node, r, is_float) in &acc_reg {
+        let Node::Reduce { out, .. } = &k.nodes()[node] else {
+            unreachable!()
+        };
+        let arr = b
+            .symbol_named(out)
+            .ok_or_else(|| invalid(k, format!("unknown array `{out}`")))?;
+        if is_float {
+            b.stf(FReg::of(r), Base::Sym(arr), ZIDX);
+        } else {
+            b.st(MemWidth::W, Reg::of(r), Base::Sym(arr), ZIDX);
+        }
+    }
+    if terminate == Terminate::Ret {
+        b.ret();
+    }
+    Ok((b.here() - start) as usize)
+}
+
+/// Emits (or reuses) the pattern symbol of a constant-vector node.
+fn const_sym(
+    b: &mut ProgramBuilder,
+    ctx: &mut DataCtx,
+    k: &Kernel,
+    id: NodeId,
+) -> Result<liquid_simd_isa::SymId, CompileError> {
+    match &k.nodes()[id.0 as usize] {
+        Node::ConstVecI { elem, pattern } => {
+            Ok(ctx.const_int(b, *elem, pattern, pattern.len() as u32))
+        }
+        Node::ConstVecF { pattern } => Ok(ctx.const_f32(b, pattern, pattern.len() as u32)),
+        _ => Err(invalid(k, "const_sym on non-constant node")),
+    }
+}
+
+/// For each node: `true` if it is a constant vector whose every use can
+/// consume it as a `VAluConst` operand (so no register materialisation is
+/// needed).
+fn fold_candidates(k: &Kernel, _lanes: usize) -> Vec<bool> {
+    let nodes = k.nodes();
+    let mut foldable: Vec<bool> = nodes
+        .iter()
+        .map(|n| match n {
+            // Only uniform patterns fold; periodic tables stream from
+            // memory (see the ConstVec emission arms).
+            Node::ConstVecI { pattern, .. } => pattern.len() == 1,
+            Node::ConstVecF { pattern } => pattern.len() == 1,
+            _ => false,
+        })
+        .collect();
+    for node in nodes {
+        match node {
+            Node::Bin { op, a, b } => {
+                // `b` position always folds; `a` folds if the op commutes
+                // and `b` is not itself a folded constant.
+                let b_is_const = matches!(
+                    nodes[b.0 as usize],
+                    Node::ConstVecI { .. } | Node::ConstVecF { .. }
+                );
+                if !b_is_const {
+                    // a used in non-b position: needs commutativity.
+                    if !op.is_commutative() {
+                        foldable[a.0 as usize] = false;
+                    }
+                } else if matches!(
+                    nodes[a.0 as usize],
+                    Node::ConstVecI { .. } | Node::ConstVecF { .. }
+                ) {
+                    // Both constant: materialise `a`.
+                    foldable[a.0 as usize] = false;
+                }
+            }
+            Node::BinImm { a, .. }
+            | Node::Perm { a, .. }
+            | Node::Reduce { a, .. } => foldable[a.0 as usize] = false,
+            Node::Store { value, .. } => foldable[value.0 as usize] = false,
+            _ => {}
+        }
+    }
+    foldable
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::KernelBuilder;
+    use liquid_simd_isa::{Inst, PermKind, RedOp};
+
+    fn emit(k: &Kernel, lanes: usize) -> liquid_simd_isa::Program {
+        let mut b = ProgramBuilder::new();
+        for name in ["A", "B", "C", "out"] {
+            b.reserve(name, 64, 4);
+        }
+        let mut ctx = DataCtx::new();
+        let f = b.new_label();
+        b.bl(f);
+        b.halt();
+        b.bind_named(f, k.name());
+        emit_native(&mut b, &mut ctx, k, lanes, Terminate::Ret).unwrap();
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn vector_loop_shape() {
+        let mut kb = KernelBuilder::new("k", 16);
+        let a = kb.load("A", ElemType::I32);
+        let c = kb.bin_imm(VAluOp::Add, a, 1);
+        kb.store("B", c);
+        let p = emit(&kb.build().unwrap(), 8);
+        let text = p.disassemble();
+        assert!(text.contains("vld.i32"), "{text}");
+        assert!(text.contains("vadd.i32"), "{text}");
+        assert!(text.contains("vst.i32"), "{text}");
+        assert!(text.contains("add r0, r0, #8"), "{text}");
+    }
+
+    #[test]
+    fn periodic_constant_streams_from_memory() {
+        // Periodic constant tables load from a trip-length array each
+        // iteration — matching both the scalar representation and real
+        // vector code (twiddle tables in memory).
+        let mut kb = KernelBuilder::new("k", 16);
+        let a = kb.load("A", ElemType::I32);
+        let m = kb.constv(ElemType::I32, vec![0xFF, 0xFF00]);
+        let c = kb.bin(VAluOp::And, a, m);
+        kb.store("B", c);
+        let p = emit(&kb.build().unwrap(), 4);
+        let text = p.disassemble();
+        assert!(text.contains("vld.i32 v1, [__cnst_1 + r0]"), "{text}");
+        assert!(text.contains("vand.i32"), "{text}");
+        assert!(!text.contains("vsplat"), "{text}");
+    }
+
+    #[test]
+    fn uniform_constant_hoists_to_broadcast() {
+        let mut kb = KernelBuilder::new("k", 16);
+        let a = kb.load("A", ElemType::I32);
+        let m = kb.constv(ElemType::I32, vec![21000]); // beyond mov-imm? no: fits
+        let c = kb.bin(VAluOp::Mul, a, m);
+        kb.store("B", c);
+        let p = emit(&kb.build().unwrap(), 4);
+        let text = p.disassemble();
+        // Hoisted into a scalar register before the loop, used broadcast.
+        assert!(text.contains("mov r10, #21000"), "{text}");
+        assert!(text.contains("vmul.i32 v0, v0, r10"), "{text}");
+    }
+
+    #[test]
+    fn nonfoldable_uniform_constant_materialises_via_valuconst() {
+        // `sub(const, x)` cannot commute into a broadcast second operand,
+        // so the constant is materialised into a vector register.
+        let mut kb = KernelBuilder::new("k", 16);
+        let a = kb.load("A", ElemType::I32);
+        let m = kb.constv(ElemType::I32, vec![7]);
+        let c = kb.bin(VAluOp::Sub, m, a);
+        kb.store("B", c);
+        let p = emit(&kb.build().unwrap(), 4);
+        let text = p.disassemble();
+        assert!(text.contains("vsplat.i32"), "{text}");
+        assert!(text.contains("vorr.i32"), "{text}");
+        assert!(text.contains("vsub.i32"), "{text}");
+    }
+
+    #[test]
+    fn permutes_and_reductions() {
+        let mut kb = KernelBuilder::new("k", 16);
+        let a = kb.load_perm("A", ElemType::F32, PermKind::Rev { block: 4 });
+        let b2 = kb.load("B", ElemType::F32);
+        let c = kb.bin(VAluOp::Mul, a, b2);
+        kb.reduce(RedOp::Sum, c, "out", ReduceInit::F32(0.0));
+        let p = emit(&kb.build().unwrap(), 8);
+        let text = p.disassemble();
+        assert!(text.contains("vrev.b4.f32"), "{text}");
+        assert!(text.contains("vredsum.f32 f14"), "{text}");
+        assert!(text.contains("stf [out + r12], f14"), "{text}");
+        // The program contains real vector instructions.
+        assert!(p.code.iter().filter(|i| matches!(i, Inst::V(_))).count() >= 4);
+    }
+
+    #[test]
+    fn native_ok_respects_lane_width() {
+        let mut kb = KernelBuilder::new("k", 16);
+        let a = kb.load_perm("A", ElemType::I32, PermKind::Bfly { block: 8 });
+        kb.store("B", a);
+        let k = kb.build().unwrap();
+        assert!(native_ok(&k, 8));
+        assert!(native_ok(&k, 16));
+        assert!(!native_ok(&k, 4));
+    }
+}

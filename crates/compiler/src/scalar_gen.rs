@@ -1,0 +1,504 @@
+//! Scalar code generation — the Liquid SIMD scalarized representation
+//! (paper §3.2, Table 1) and the plain-scalar baseline.
+//!
+//! One kernel becomes one scalar loop processing one element per
+//! iteration:
+//!
+//! * vector loads/stores → element loads/stores indexed by the induction
+//!   variable (categories 5/6);
+//! * data-parallel ops → their scalar equivalents (category 1/2), with
+//!   saturating ops expanded to predicated idioms (`add; cmp; movgt`);
+//! * wide constants → loads from compiler-emitted `cnst` arrays
+//!   (category 3);
+//! * reductions → loop-carried accumulator registers (category 4);
+//! * permutations → offset-array loads added to the induction variable
+//!   (categories 7/8) — mid-dataflow permutations must have been fissioned
+//!   away first.
+//!
+//! Register conventions: `r0` induction, `r1`–`r10` integer values,
+//! `r11` permutation address scratch, `r12` zero index for prologue and
+//! epilogue memory accesses, `f0`–`f14` float values.
+
+use liquid_simd_isa::{
+    encode::{MOV_IMM_MAX, MOV_IMM_MIN},
+    AluOp, Base, Cond, ElemType, FReg, FpOp, MemWidth, Operand2, ProgramBuilder, RedOp, Reg,
+    VAluOp,
+};
+
+use crate::alloc::{allocate, Assignment, PoolSpec};
+use crate::datactx::DataCtx;
+use crate::error::CompileError;
+use crate::ir::{Kernel, Node, NodeId, ReduceInit};
+
+/// Whether the generated code ends with `ret` (outlined function) or falls
+/// through (inlined baseline).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum Terminate {
+    Ret,
+    FallThrough,
+}
+
+const IND: Reg = Reg::R0;
+const SCRATCH: Reg = Reg::R11;
+const ZIDX: Reg = Reg::R12;
+
+fn invalid(kernel: &Kernel, reason: impl Into<String>) -> CompileError {
+    CompileError::Invalid {
+        kernel: kernel.name().to_string(),
+        reason: reason.into(),
+    }
+}
+
+fn mem_width(elem: ElemType) -> MemWidth {
+    match elem {
+        ElemType::I8 => MemWidth::B,
+        ElemType::I16 => MemWidth::H,
+        _ => MemWidth::W,
+    }
+}
+
+fn scalar_fp_op(op: VAluOp) -> Option<FpOp> {
+    match op {
+        VAluOp::Add => Some(FpOp::Add),
+        VAluOp::Sub => Some(FpOp::Sub),
+        VAluOp::Mul => Some(FpOp::Mul),
+        VAluOp::Div => Some(FpOp::Div),
+        VAluOp::Min => Some(FpOp::Min),
+        VAluOp::Max => Some(FpOp::Max),
+        _ => None,
+    }
+}
+
+/// The full-clamp idiom bounds for a saturating op at an element width:
+/// wrapping arithmetic, clamp high, clamp low — exactly the lane semantics
+/// of `vqaddu`/`vqadds` & co., so the dynamic translator can collapse the
+/// five instructions back to one without changing any result.
+fn sat_bounds(op: VAluOp, elem: ElemType) -> (AluOp, [(Cond, i32); 2]) {
+    let (hi, lo) = match (op, elem) {
+        (VAluOp::SatAdd | VAluOp::SatSub, ElemType::I8) => (255, 0),
+        (VAluOp::SatAdd | VAluOp::SatSub, _) => (65535, 0),
+        (_, ElemType::I8) => (127, -128),
+        _ => (32767, -32768),
+    };
+    let base = match op {
+        VAluOp::SatAdd | VAluOp::SSatAdd => AluOp::Add,
+        VAluOp::SatSub | VAluOp::SSatSub => AluOp::Sub,
+        _ => unreachable!("not a saturating op"),
+    };
+    (base, [(Cond::Gt, hi), (Cond::Lt, lo)])
+}
+
+/// Collects the reduction nodes of a kernel with their accumulator needs.
+struct Reduces {
+    /// `(node index, is_float)`.
+    list: Vec<(usize, bool)>,
+}
+
+fn find_reduces(k: &Kernel) -> Reduces {
+    let list = k
+        .nodes()
+        .iter()
+        .enumerate()
+        .filter_map(|(i, n)| match n {
+            Node::Reduce { a, .. } => Some((i, k.is_float(*a))),
+            _ => None,
+        })
+        .collect();
+    Reduces { list }
+}
+
+/// Emits the scalar form of one kernel at the builder's current position.
+/// Returns the number of instructions emitted.
+pub(crate) fn emit_scalar(
+    b: &mut ProgramBuilder,
+    ctx: &mut DataCtx,
+    k: &Kernel,
+    terminate: Terminate,
+) -> Result<usize, CompileError> {
+    let start = b.here();
+    let trip = k.trip() as i32;
+
+    // Carve accumulator registers out of the pools.
+    let reduces = find_reduces(k);
+    let mut int_pool: Vec<u8> = (1..=10).collect();
+    let mut fp_pool: Vec<u8> = (0..=14).collect();
+    let mut acc_reg: Vec<(usize, u8)> = Vec::new();
+    for &(node, is_float) in &reduces.list {
+        let pool = if is_float { &mut fp_pool } else { &mut int_pool };
+        let r = pool.pop().ok_or_else(|| CompileError::RegisterPressure {
+            kernel: k.name().to_string(),
+        })?;
+        acc_reg.push((node, r));
+    }
+    // Hoist loop-invariant uniform constants into dedicated registers,
+    // deduplicating identical values and leaving headroom in each pool for
+    // loop-carried values; constants beyond the budget fall back to
+    // in-loop constant-array loads.
+    let mut hoist = k.hoistable_consts();
+    let mut pinned: std::collections::BTreeMap<usize, u8> = std::collections::BTreeMap::new();
+    let mut by_value: std::collections::BTreeMap<(bool, u32), u8> =
+        std::collections::BTreeMap::new();
+    const POOL_HEADROOM: usize = 5;
+    for i in 0..hoist.len() {
+        if !hoist[i] {
+            continue;
+        }
+        let id = NodeId(i as u32);
+        let is_float = k.is_float(id);
+        let bits = k.uniform_const_bits(id).expect("hoistable const");
+        if let Some(&r) = by_value.get(&(is_float, bits)) {
+            pinned.insert(i, r);
+            continue;
+        }
+        let pool = if is_float { &mut fp_pool } else { &mut int_pool };
+        if pool.len() <= POOL_HEADROOM {
+            hoist[i] = false; // budget exhausted: keep the in-loop load
+            continue;
+        }
+        let r = pool.pop().expect("headroom checked");
+        by_value.insert((is_float, bits), r);
+        pinned.insert(i, r);
+    }
+    let asg = allocate(
+        k,
+        &PoolSpec::Split {
+            int: int_pool,
+            fp: fp_pool,
+        },
+        &pinned,
+    )?;
+
+    let acc_of = |node: usize| -> u8 {
+        acc_reg
+            .iter()
+            .find(|(n, _)| *n == node)
+            .map(|(_, r)| *r)
+            .expect("accumulator allocated")
+    };
+
+    // ---- prologue --------------------------------------------------------
+    let hoisted_needs_pool = pinned.keys().any(|&i| {
+        let id = NodeId(i as u32);
+        let bits = k.uniform_const_bits(id).expect("hoisted const");
+        k.is_float(id) || !(MOV_IMM_MIN..=MOV_IMM_MAX).contains(&(bits as i32))
+    });
+    let need_zidx = !reduces.list.is_empty() || hoisted_needs_pool;
+    if need_zidx {
+        b.mov_imm(ZIDX, 0);
+    }
+    for (&i, &r) in &pinned {
+        let id = NodeId(i as u32);
+        let bits = k.uniform_const_bits(id).expect("hoisted const");
+        if k.is_float(id) {
+            let sym = ctx.literal_f32(b, f32::from_bits(bits));
+            b.ldf(FReg::of(r), Base::Sym(sym), ZIDX);
+        } else {
+            let v = bits as i32;
+            if (MOV_IMM_MIN..=MOV_IMM_MAX).contains(&v) {
+                b.mov_imm(Reg::of(r), v);
+            } else {
+                let sym = ctx.literal_i32(b, v);
+                b.ld(MemWidth::W, Reg::of(r), Base::Sym(sym), ZIDX);
+            }
+        }
+    }
+    for &(node, _) in &reduces.list {
+        let Node::Reduce { init, .. } = &k.nodes()[node] else {
+            unreachable!()
+        };
+        let r = acc_of(node);
+        match *init {
+            ReduceInit::Int(v) => {
+                if (MOV_IMM_MIN..=MOV_IMM_MAX).contains(&v) {
+                    b.mov_imm(Reg::of(r), v);
+                } else {
+                    let sym = ctx.literal_i32(b, v);
+                    b.ld(MemWidth::W, Reg::of(r), Base::Sym(sym), ZIDX);
+                }
+            }
+            ReduceInit::F32(v) => {
+                let sym = ctx.literal_f32(b, v);
+                b.ldf(FReg::of(r), Base::Sym(sym), ZIDX);
+            }
+        }
+    }
+    b.mov_imm(IND, 0);
+    let top = b.new_label();
+    b.bind(top);
+
+    // ---- body -------------------------------------------------------------
+    let ireg = |id: NodeId| Reg::of(asg.reg[id.0 as usize].expect("int value register"));
+    let freg = |id: NodeId| FReg::of(asg.reg[id.0 as usize].expect("fp value register"));
+
+    for (i, node) in k.nodes().iter().enumerate() {
+        let id = NodeId(i as u32);
+        match node {
+            Node::Load {
+                array,
+                elem,
+                signed,
+                offset,
+                wide,
+                perm,
+            } => {
+                let storage = if *wide {
+                    if elem.is_float() { ElemType::F32 } else { ElemType::I32 }
+                } else {
+                    *elem
+                };
+                let arr = ctx
+                    .alias(b, array, *offset, storage.bytes())
+                    .ok_or_else(|| invalid(k, format!("unknown array `{array}`")))?;
+                let index = match perm {
+                    None => IND,
+                    Some(kind) => {
+                        let off = ctx.offsets(b, *kind, k.trip());
+                        b.ld(MemWidth::W, SCRATCH, Base::Sym(off), IND);
+                        b.alu(AluOp::Add, SCRATCH, IND, Operand2::Reg(SCRATCH));
+                        SCRATCH
+                    }
+                };
+                if storage == ElemType::F32 {
+                    b.ldf(freg(id), Base::Sym(arr), index);
+                } else if *signed && storage != ElemType::I32 {
+                    // Sign extension only matters for narrow elements.
+                    b.lds(mem_width(storage), ireg(id), Base::Sym(arr), index);
+                } else {
+                    b.ld(mem_width(storage), ireg(id), Base::Sym(arr), index);
+                }
+            }
+            Node::ConstVecI { elem, pattern } => {
+                if hoist[i] {
+                    continue; // loaded once in the prologue
+                }
+                let sym = ctx.const_int(b, *elem, pattern, k.trip());
+                if *elem == ElemType::I32 {
+                    b.ld(MemWidth::W, ireg(id), Base::Sym(sym), IND);
+                } else {
+                    b.lds(mem_width(*elem), ireg(id), Base::Sym(sym), IND);
+                }
+            }
+            Node::ConstVecF { pattern } => {
+                if hoist[i] {
+                    continue; // loaded once in the prologue
+                }
+                let sym = ctx.const_f32(b, pattern, k.trip());
+                b.ldf(freg(id), Base::Sym(sym), IND);
+            }
+            Node::Bin { op, a, b: rhs } => {
+                emit_scalar_op(b, k, &asg, *op, id, *a, Some(*rhs), None)?;
+            }
+            Node::BinImm { op, a, imm } => {
+                emit_scalar_op(b, k, &asg, *op, id, *a, None, Some(*imm))?;
+            }
+            Node::Perm { .. } => {
+                return Err(invalid(
+                    k,
+                    "mid-dataflow permutation survived fission (compiler bug)",
+                ));
+            }
+            Node::Reduce { op, a, .. } => {
+                let r = acc_of(i);
+                if k.is_float(*a) {
+                    let fop = match op {
+                        RedOp::Sum => FpOp::Add,
+                        RedOp::Min => FpOp::Min,
+                        RedOp::Max => FpOp::Max,
+                    };
+                    b.falu(fop, FReg::of(r), FReg::of(r), freg(*a));
+                } else {
+                    let iop = match op {
+                        RedOp::Sum => AluOp::Add,
+                        RedOp::Min => AluOp::Min,
+                        RedOp::Max => AluOp::Max,
+                    };
+                    b.alu(iop, Reg::of(r), Reg::of(r), Operand2::Reg(ireg(*a)));
+                }
+            }
+            Node::Store {
+                array,
+                value,
+                offset,
+                wide,
+                perm,
+            } => {
+                let elem = k.elem_of(*value).expect("store of value");
+                let storage = if *wide {
+                    if elem.is_float() { ElemType::F32 } else { ElemType::I32 }
+                } else {
+                    elem
+                };
+                let arr = ctx
+                    .alias(b, array, *offset, storage.bytes())
+                    .ok_or_else(|| invalid(k, format!("unknown array `{array}`")))?;
+                let index = match perm {
+                    None => IND,
+                    Some(kind) => {
+                        let off = ctx.offsets(b, *kind, k.trip());
+                        b.ld(MemWidth::W, SCRATCH, Base::Sym(off), IND);
+                        b.alu(AluOp::Add, SCRATCH, IND, Operand2::Reg(SCRATCH));
+                        SCRATCH
+                    }
+                };
+                if storage == ElemType::F32 {
+                    b.stf(freg(*value), Base::Sym(arr), index);
+                } else {
+                    b.st(mem_width(storage), ireg(*value), Base::Sym(arr), index);
+                }
+            }
+        }
+    }
+
+    // ---- loop control ------------------------------------------------------
+    b.alu(AluOp::Add, IND, IND, Operand2::Imm(1));
+    b.cmp(IND, Operand2::Imm(trip));
+    b.b(Cond::Lt, top);
+
+    // ---- epilogue -----------------------------------------------------------
+    for &(node, is_float) in &reduces.list {
+        let Node::Reduce { out, .. } = &k.nodes()[node] else {
+            unreachable!()
+        };
+        let arr = b
+            .symbol_named(out)
+            .ok_or_else(|| invalid(k, format!("unknown array `{out}`")))?;
+        let r = acc_of(node);
+        if is_float {
+            b.stf(FReg::of(r), Base::Sym(arr), ZIDX);
+        } else {
+            b.st(MemWidth::W, Reg::of(r), Base::Sym(arr), ZIDX);
+        }
+    }
+    if terminate == Terminate::Ret {
+        b.ret();
+    }
+    Ok((b.here() - start) as usize)
+}
+
+/// Emits the scalar equivalent of one element-wise op, expanding
+/// saturating idioms. Exactly one of `rhs_node` / `imm` is `Some`.
+fn emit_scalar_op(
+    b: &mut ProgramBuilder,
+    k: &Kernel,
+    asg: &Assignment,
+    op: VAluOp,
+    dst: NodeId,
+    a: NodeId,
+    rhs_node: Option<NodeId>,
+    imm: Option<i32>,
+) -> Result<(), CompileError> {
+    let float = k.is_float(a);
+    if float {
+        let fop = scalar_fp_op(op)
+            .ok_or_else(|| invalid(k, format!("{op} has no scalar fp equivalent")))?;
+        let fd = FReg::of(asg.reg[dst.0 as usize].expect("fp dst"));
+        let fa = FReg::of(asg.reg[a.0 as usize].expect("fp src"));
+        let fb = match rhs_node {
+            Some(nb) => FReg::of(asg.reg[nb.0 as usize].expect("fp src")),
+            None => return Err(invalid(k, "fp op with integer immediate")),
+        };
+        b.falu(fop, fd, fa, fb);
+        return Ok(());
+    }
+    let rhs = match (rhs_node, imm) {
+        (Some(nb), None) => Operand2::Reg(Reg::of(
+            asg.reg[nb.0 as usize].expect("int value register"),
+        )),
+        (None, Some(i)) => Operand2::Imm(i),
+        _ => unreachable!("exactly one rhs form"),
+    };
+    let rd = Reg::of(asg.reg[dst.0 as usize].expect("int dst"));
+    let ra = Reg::of(asg.reg[a.0 as usize].expect("int src"));
+    match op {
+        VAluOp::SatAdd | VAluOp::SatSub | VAluOp::SSatAdd | VAluOp::SSatSub => {
+            let elem = k.elem_of(a).expect("value");
+            let (base, clamps) = sat_bounds(op, elem);
+            b.alu(base, rd, ra, rhs);
+            for (cond, bound) in clamps {
+                b.cmp(rd, Operand2::Imm(bound));
+                b.mov_imm_cond(cond, rd, bound);
+            }
+        }
+        _ => {
+            let sop = op
+                .scalar_equivalent()
+                .ok_or_else(|| invalid(k, format!("{op} has no scalar equivalent")))?;
+            b.alu(sop, rd, ra, rhs);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::KernelBuilder;
+    use liquid_simd_isa::PermKind;
+
+    fn emit(k: &Kernel) -> (liquid_simd_isa::Program, usize) {
+        let mut b = ProgramBuilder::new();
+        // Declare the arrays the kernels use.
+        for name in ["A", "B", "C", "out"] {
+            b.reserve(name, 64, 4);
+        }
+        let mut ctx = DataCtx::new();
+        let f = b.new_label();
+        b.bl_v(f);
+        b.halt();
+        b.bind_named(f, k.name());
+        let n = emit_scalar(&mut b, &mut ctx, k, Terminate::Ret).unwrap();
+        (b.finish().unwrap(), n)
+    }
+
+    #[test]
+    fn simple_kernel_shape() {
+        let mut kb = KernelBuilder::new("k", 16);
+        let a = kb.load("A", ElemType::I32);
+        let c = kb.bin_imm(VAluOp::Add, a, 1);
+        kb.store("B", c);
+        let (p, n) = emit(&kb.build().unwrap());
+        // mov r0; ld; add; st; add; cmp; blt; ret
+        assert_eq!(n, 8);
+        let text = p.disassemble();
+        assert!(text.contains("blt"), "{text}");
+        assert!(text.contains("ldw r1, [A + r0]"), "{text}");
+    }
+
+    #[test]
+    fn saturating_idiom_is_emitted() {
+        let mut kb = KernelBuilder::new("k", 16);
+        let a = kb.load_u("A", ElemType::I8);
+        let b2 = kb.load_u("B", ElemType::I8);
+        let c = kb.bin(VAluOp::SatAdd, a, b2);
+        kb.store("C", c);
+        let (p, _) = emit(&kb.build().unwrap());
+        let text = p.disassemble();
+        assert!(text.contains("cmp r2, #255"), "{text}");
+        assert!(text.contains("movgt r2, #255"), "{text}");
+    }
+
+    #[test]
+    fn permuted_load_uses_offset_array() {
+        let mut kb = KernelBuilder::new("k", 16);
+        let a = kb.load_perm("A", ElemType::I32, PermKind::Bfly { block: 8 });
+        kb.store("B", a);
+        let (p, _) = emit(&kb.build().unwrap());
+        let text = p.disassemble();
+        assert!(text.contains("ldw r11, [__off_1 + r0]"), "{text}");
+        assert!(text.contains("add r11, r0, r11"), "{text}");
+        assert!(text.contains("ldw r1, [A + r11]"), "{text}");
+    }
+
+    #[test]
+    fn reduction_uses_loop_carried_register() {
+        let mut kb = KernelBuilder::new("k", 16);
+        let a = kb.load("A", ElemType::I32);
+        kb.reduce(RedOp::Min, a, "out", ReduceInit::Int(i32::MAX));
+        let (p, _) = emit(&kb.build().unwrap());
+        let text = p.disassemble();
+        // Init comes from a literal pool (i32::MAX exceeds mov range) and
+        // accumulates via `min r10, r10, rX`.
+        assert!(text.contains("min r10, r10"), "{text}");
+        assert!(text.contains("stw [out + r12], r10"), "{text}");
+    }
+}

@@ -1,0 +1,201 @@
+//! Differential verification: simulated memory vs the gold evaluator.
+
+use std::error::Error;
+use std::fmt;
+
+use liquid_simd_compiler::{
+    build_liquid, build_native, build_plain, gold, ArrayData, CompileError, DataEnv, Workload,
+};
+use liquid_simd_isa::{ElemType, Program, SUPPORTED_WIDTHS};
+use liquid_simd_mem::Memory;
+use liquid_simd_sim::{MachineConfig, SimError};
+
+/// Relative tolerance for `f32` comparisons. Reductions reassociate under
+/// vectorisation (the paper's SIMD hardware does too), so float results
+/// match only approximately; integer results must match bit-exactly.
+pub const F32_RTOL: f32 = 1e-3;
+
+/// A verification failure.
+#[derive(Clone, Debug, PartialEq)]
+pub enum VerifyError {
+    /// Compilation failed.
+    Compile(String),
+    /// Simulation failed.
+    Sim(String),
+    /// An output array differs from the reference.
+    Mismatch {
+        /// Which configuration produced the mismatch.
+        config: String,
+        /// Array name.
+        array: String,
+        /// Element index.
+        index: usize,
+        /// Expected (gold) value as text.
+        expected: String,
+        /// Actual simulated value as text.
+        actual: String,
+    },
+    /// An array in the gold environment has no symbol in the program.
+    MissingSymbol {
+        /// Array name.
+        array: String,
+    },
+}
+
+impl fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VerifyError::Compile(e) => write!(f, "compile error: {e}"),
+            VerifyError::Sim(e) => write!(f, "simulation error: {e}"),
+            VerifyError::Mismatch {
+                config,
+                array,
+                index,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "[{config}] {array}[{index}]: expected {expected}, got {actual}"
+            ),
+            VerifyError::MissingSymbol { array } => {
+                write!(f, "array `{array}` has no symbol in the program")
+            }
+        }
+    }
+}
+
+impl Error for VerifyError {}
+
+impl From<CompileError> for VerifyError {
+    fn from(e: CompileError) -> VerifyError {
+        VerifyError::Compile(e.to_string())
+    }
+}
+
+impl From<SimError> for VerifyError {
+    fn from(e: SimError) -> VerifyError {
+        VerifyError::Sim(e.to_string())
+    }
+}
+
+fn f32_close(a: f32, b: f32) -> bool {
+    if a == b {
+        return true;
+    }
+    let scale = a.abs().max(b.abs()).max(1.0);
+    (a - b).abs() <= F32_RTOL * scale
+}
+
+/// Compares every array of the gold environment against the program's
+/// memory image after a run.
+///
+/// # Errors
+///
+/// Returns the first mismatch found.
+pub fn verify_against_gold(
+    config_name: &str,
+    program: &Program,
+    memory: &Memory,
+    gold_env: &DataEnv,
+) -> Result<(), VerifyError> {
+    for (name, (elem, data)) in &gold_env.arrays {
+        let Some((_, sym)) = program.symbol_by_name(name) else {
+            return Err(VerifyError::MissingSymbol {
+                array: name.clone(),
+            });
+        };
+        let mismatch = |index: usize, expected: String, actual: String| VerifyError::Mismatch {
+            config: config_name.to_string(),
+            array: name.clone(),
+            index,
+            expected,
+            actual,
+        };
+        match data {
+            ArrayData::Int(values) => {
+                let bytes = elem.bytes();
+                for (i, &expected) in values.iter().enumerate() {
+                    let addr = sym.addr + i as u32 * bytes;
+                    let actual = memory
+                        .read(addr, bytes)
+                        .map_err(|e| VerifyError::Sim(e.to_string()))?;
+                    if i64::from(actual) != expected {
+                        return Err(mismatch(i, expected.to_string(), actual.to_string()));
+                    }
+                }
+            }
+            ArrayData::F32(values) => {
+                for (i, &expected) in values.iter().enumerate() {
+                    let addr = sym.addr + i as u32 * 4;
+                    let actual = memory
+                        .read_f32(addr)
+                        .map_err(|e| VerifyError::Sim(e.to_string()))?;
+                    if !f32_close(expected, actual) {
+                        return Err(mismatch(i, expected.to_string(), actual.to_string()));
+                    }
+                }
+            }
+        }
+    }
+    let _ = ElemType::I8; // (symbol used via elem.bytes())
+    Ok(())
+}
+
+/// Full differential verification of one workload:
+///
+/// * plain scalar binary on the scalar-only machine;
+/// * Liquid binary on the scalar-only machine (forward compatibility: the
+///   virtualised code runs correctly with no accelerator and no translator);
+/// * Liquid binary under dynamic translation at every supported width;
+/// * native binary at every supported width;
+///
+/// each checked against the gold evaluator.
+///
+/// # Errors
+///
+/// Returns the first failure.
+pub fn verify_workload(w: &Workload) -> Result<(), VerifyError> {
+    let gold_env = gold::run_gold(w)?;
+
+    let plain = build_plain(w)?;
+    let out = crate::run(&plain.program, MachineConfig::scalar_only())?;
+    verify_against_gold("plain/scalar", &plain.program, &out.memory, &gold_env)?;
+
+    let liquid = build_liquid(w)?;
+    let out = crate::run(&liquid.program, MachineConfig::scalar_only())?;
+    verify_against_gold("liquid/scalar", &liquid.program, &out.memory, &gold_env)?;
+
+    for &lanes in &SUPPORTED_WIDTHS {
+        let out = crate::run(&liquid.program, MachineConfig::liquid(lanes))?;
+        verify_against_gold(
+            &format!("liquid/translated@{lanes}"),
+            &liquid.program,
+            &out.memory,
+            &gold_env,
+        )?;
+
+        let native = build_native(w, lanes)?;
+        let out = crate::run(&native.program, MachineConfig::native(lanes))?;
+        verify_against_gold(
+            &format!("native@{lanes}"),
+            &native.program,
+            &out.memory,
+            &gold_env,
+        )?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn f32_tolerance_behaviour() {
+        assert!(f32_close(1.0, 1.0));
+        assert!(f32_close(1000.0, 1000.5));
+        assert!(!f32_close(1.0, 1.1));
+        assert!(f32_close(0.0, 0.0));
+        assert!(!f32_close(0.0, 0.1));
+    }
+}

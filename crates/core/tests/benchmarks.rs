@@ -1,0 +1,82 @@
+//! Differential verification of all fifteen paper benchmarks: every
+//! binary (plain, Liquid untranslated, Liquid translated at each width,
+//! native at each width) must match the gold evaluator.
+
+use liquid_simd::{build_liquid, run, verify_workload, MachineConfig};
+use liquid_simd_workloads as workloads;
+
+#[test]
+fn verify_fir_fft_lu() {
+    for w in [workloads::fir(), workloads::fft(), workloads::lu()] {
+        verify_workload(&w).unwrap_or_else(|e| panic!("{}: {e}", w.name));
+    }
+}
+
+#[test]
+fn verify_media_codecs() {
+    for w in [
+        workloads::mpeg2dec(),
+        workloads::mpeg2enc(),
+        workloads::gsmdec(),
+        workloads::gsmenc(),
+    ] {
+        verify_workload(&w).unwrap_or_else(|e| panic!("{}: {e}", w.name));
+    }
+}
+
+#[test]
+fn verify_specfp_small() {
+    for w in [
+        workloads::alvinn(),
+        workloads::ear(),
+        workloads::nasa7(),
+        workloads::hydro2d(),
+    ] {
+        verify_workload(&w).unwrap_or_else(|e| panic!("{}: {e}", w.name));
+    }
+}
+
+#[test]
+fn verify_specfp_stencils() {
+    for w in [
+        workloads::tomcatv(),
+        workloads::swim(),
+        workloads::mgrid(),
+    ] {
+        verify_workload(&w).unwrap_or_else(|e| panic!("{}: {e}", w.name));
+    }
+}
+
+#[test]
+fn verify_art_out_of_cache() {
+    let w = workloads::art();
+    verify_workload(&w).unwrap_or_else(|e| panic!("{}: {e}", w.name));
+    // And confirm the working set actually misses: the scalar run's
+    // D-cache miss rate must be substantial.
+    let b = build_liquid(&w).unwrap();
+    let out = run(&b.program, MachineConfig::scalar_only()).unwrap();
+    assert!(
+        out.report.dcache.miss_rate() > 0.05,
+        "art should be cache-bound, miss rate {}",
+        out.report.dcache.miss_rate()
+    );
+}
+
+#[test]
+fn every_benchmark_translates_at_width8() {
+    for w in workloads::all() {
+        let b = build_liquid(&w).unwrap();
+        let out = run(&b.program, MachineConfig::liquid(8)).unwrap();
+        assert!(
+            out.report.translator.successes > 0,
+            "{}: no loop translated ({})",
+            w.name,
+            out.report.translator
+        );
+        assert!(
+            out.report.vector_retired > 0,
+            "{}: no vector work executed",
+            w.name
+        );
+    }
+}

@@ -1,0 +1,334 @@
+//! Differential verification across the whole stack: for each kernel
+//! shape, the plain scalar binary, the Liquid binary (untranslated and
+//! dynamically translated at 2/4/8/16 lanes), and the native SIMD binary
+//! must all reproduce the gold evaluator's results.
+
+use liquid_simd::{build_liquid, run, verify_workload, MachineConfig, Workload};
+use liquid_simd_compiler::{ArrayBuilder, KernelBuilder, ReduceInit};
+use liquid_simd_isa::{ElemType, PermKind, RedOp, VAluOp};
+
+fn ramp(n: usize, scale: i64, offset: i64) -> Vec<i64> {
+    (0..n as i64).map(|i| i * scale + offset).collect()
+}
+
+fn franp(n: usize, scale: f32, offset: f32) -> Vec<f32> {
+    (0..n).map(|i| i as f32 * scale + offset).collect()
+}
+
+#[test]
+fn elementwise_int_chain() {
+    let mut k = KernelBuilder::new("chain", 64);
+    let a = k.load("A", ElemType::I32);
+    let b = k.load("B", ElemType::I32);
+    let t1 = k.bin(VAluOp::Mul, a, b);
+    let t2 = k.bin_imm(VAluOp::Add, t1, 17);
+    let t3 = k.bin(VAluOp::Sub, t2, a);
+    let t4 = k.bin_imm(VAluOp::Asr, t3, 2);
+    k.store("C", t4);
+    let data = ArrayBuilder::new()
+        .int("A", ElemType::I32, ramp(64, 3, -20))
+        .int("B", ElemType::I32, ramp(64, -7, 100))
+        .zeroed("C", ElemType::I32, 64)
+        .build();
+    verify_workload(&Workload::new("chain", vec![k.build().unwrap()], data, 3)).unwrap();
+}
+
+#[test]
+fn narrow_unsigned_saturating_pixels() {
+    // The MPEG2-style clamp: C[i] = sat8(A[i] + B[i]), plus a saturating
+    // subtract against an immediate.
+    let mut k = KernelBuilder::new("satpix", 64);
+    let a = k.load_u("A", ElemType::I8);
+    let b = k.load_u("B", ElemType::I8);
+    let s = k.bin(VAluOp::SatAdd, a, b);
+    let d = k.bin_imm(VAluOp::SatSub, s, 30);
+    k.store("C", d);
+    let data = ArrayBuilder::new()
+        .int("A", ElemType::I8, ramp(64, 5, 0))
+        .int("B", ElemType::I8, ramp(64, 11, 7))
+        .zeroed("C", ElemType::I8, 64)
+        .build();
+    verify_workload(&Workload::new("satpix", vec![k.build().unwrap()], data, 2)).unwrap();
+}
+
+#[test]
+fn signed_saturating_audio() {
+    let mut k = KernelBuilder::new("sataudio", 32);
+    let a = k.load("A", ElemType::I16);
+    let b = k.load("B", ElemType::I16);
+    let s = k.bin(VAluOp::SSatAdd, a, b);
+    k.store("C", s);
+    let data = ArrayBuilder::new()
+        .int("A", ElemType::I16, ramp(32, 2500, -30000))
+        .int("B", ElemType::I16, ramp(32, 1700, -10000))
+        .zeroed("C", ElemType::I16, 32)
+        .build();
+    verify_workload(&Workload::new("sataudio", vec![k.build().unwrap()], data, 2)).unwrap();
+}
+
+#[test]
+fn int_reductions_all_ops() {
+    let mut k = KernelBuilder::new("reds", 48);
+    let a = k.load("A", ElemType::I32);
+    k.reduce(RedOp::Min, a, "omin", ReduceInit::Int(i32::MAX));
+    k.reduce(RedOp::Max, a, "omax", ReduceInit::Int(i32::MIN));
+    k.reduce(RedOp::Sum, a, "osum", ReduceInit::Int(0));
+    let data = ArrayBuilder::new()
+        .int("A", ElemType::I32, ramp(48, -13, 300))
+        .zeroed("omin", ElemType::I32, 1)
+        .zeroed("omax", ElemType::I32, 1)
+        .zeroed("osum", ElemType::I32, 1)
+        .build();
+    verify_workload(&Workload::new("reds", vec![k.build().unwrap()], data, 2)).unwrap();
+}
+
+#[test]
+fn float_pipeline_with_reduction() {
+    let mut k = KernelBuilder::new("fdot", 64);
+    let a = k.load("X", ElemType::F32);
+    let b = k.load("Y", ElemType::F32);
+    let p = k.bin(VAluOp::Mul, a, b);
+    let q = k.bin(VAluOp::Max, p, a);
+    k.store("Z", q);
+    k.reduce(RedOp::Sum, p, "dot", ReduceInit::F32(0.0));
+    let data = ArrayBuilder::new()
+        .f32("X", franp(64, 0.25, -3.0))
+        .f32("Y", franp(64, -0.5, 10.0))
+        .zeroed("Z", ElemType::F32, 64)
+        .zeroed("dot", ElemType::F32, 1)
+        .build();
+    verify_workload(&Workload::new("fdot", vec![k.build().unwrap()], data, 2)).unwrap();
+}
+
+#[test]
+fn all_permutation_kinds_on_loads_and_stores() {
+    for (tag, kind) in [
+        ("bfly2", PermKind::Bfly { block: 2 }),
+        ("bfly8", PermKind::Bfly { block: 8 }),
+        ("bfly16", PermKind::Bfly { block: 16 }),
+        ("rev4", PermKind::Rev { block: 4 }),
+        ("rev16", PermKind::Rev { block: 16 }),
+        ("rot8_3", PermKind::Rot { block: 8, amt: 3 }),
+        ("rot16_5", PermKind::Rot { block: 16, amt: 5 }),
+    ] {
+        let mut k = KernelBuilder::new(tag, 32);
+        let a = k.load_perm("A", ElemType::I32, kind);
+        let b = k.bin_imm(VAluOp::Add, a, 1);
+        k.store("B", b);
+        let mut k2 = KernelBuilder::new(&format!("{tag}_st"), 32);
+        let a2 = k2.load("A", ElemType::I32);
+        let c2 = k2.bin_imm(VAluOp::Eor, a2, 85);
+        k2.store_perm("C", c2, kind);
+        let data = ArrayBuilder::new()
+            .int("A", ElemType::I32, ramp(32, 7, 1))
+            .zeroed("B", ElemType::I32, 32)
+            .zeroed("C", ElemType::I32, 32)
+            .build();
+        let w = Workload::new(
+            tag,
+            vec![k.build().unwrap(), k2.build().unwrap()],
+            data,
+            2,
+        );
+        verify_workload(&w).unwrap_or_else(|e| panic!("{tag}: {e}"));
+    }
+}
+
+#[test]
+fn mid_dataflow_permutation_forces_fission_and_still_matches() {
+    // The FFT-style shape: compute, butterfly the result, combine, store.
+    let mut k = KernelBuilder::new("fftish", 32);
+    let a = k.load("A", ElemType::F32);
+    let b = k.load("B", ElemType::F32);
+    let t = k.bin(VAluOp::Mul, a, b);
+    let bf = k.perm(PermKind::Bfly { block: 8 }, t);
+    let sum = k.bin(VAluOp::Add, bf, a);
+    k.store("C", sum);
+    let data = ArrayBuilder::new()
+        .f32("A", franp(32, 1.5, 1.0))
+        .f32("B", franp(32, -0.25, 4.0))
+        .zeroed("C", ElemType::F32, 32)
+        .build();
+    let w = Workload::new("fftish", vec![k.build().unwrap()], data, 2);
+    // Fission must produce at least two outlined loops.
+    let b2 = build_liquid(&w).unwrap();
+    assert!(b2.outlined.len() >= 2, "outlined: {:?}", b2.outlined);
+    verify_workload(&w).unwrap();
+}
+
+#[test]
+fn constant_vectors_uniform_and_periodic() {
+    let mut k = KernelBuilder::new("cnst", 32);
+    let a = k.load("A", ElemType::I16);
+    // Uniform small constant -> splat optimisation path in the translator.
+    let small = k.constv(ElemType::I16, vec![7]);
+    let t1 = k.bin(VAluOp::Mul, a, small);
+    // Uniform wide constant -> keep-load path (0xFF00 exceeds 9-bit imm).
+    let mask = k.constv(ElemType::I16, vec![0xFF00]);
+    let t2 = k.bin(VAluOp::And, t1, mask);
+    // Periodic alternating constant (period 2).
+    let alt = k.constv(ElemType::I16, vec![1, -1]);
+    let t3 = k.bin(VAluOp::Mul, t2, alt);
+    k.store("B", t3);
+    let data = ArrayBuilder::new()
+        .int("A", ElemType::I16, ramp(32, 37, -100))
+        .zeroed("B", ElemType::I16, 32)
+        .build();
+    verify_workload(&Workload::new("cnst", vec![k.build().unwrap()], data, 2)).unwrap();
+}
+
+#[test]
+fn float_constant_vector() {
+    let mut k = KernelBuilder::new("fconst", 32);
+    let a = k.load("A", ElemType::F32);
+    let c = k.constf(vec![0.5, 2.0]);
+    let t = k.bin(VAluOp::Mul, a, c);
+    k.store("B", t);
+    let data = ArrayBuilder::new()
+        .f32("A", franp(32, 1.0, 1.0))
+        .zeroed("B", ElemType::F32, 32)
+        .build();
+    verify_workload(&Workload::new("fconst", vec![k.build().unwrap()], data, 2)).unwrap();
+}
+
+#[test]
+fn oversized_kernel_is_fissioned_and_matches() {
+    let mut k = KernelBuilder::new("big", 32);
+    let mut v = k.load("A", ElemType::I32);
+    for i in 0..90i32 {
+        v = k.bin_imm(VAluOp::Add, v, (i % 5) + 1);
+    }
+    k.store("B", v);
+    let data = ArrayBuilder::new()
+        .int("A", ElemType::I32, ramp(32, 1, 0))
+        .zeroed("B", ElemType::I32, 32)
+        .build();
+    let w = Workload::new("big", vec![k.build().unwrap()], data, 2);
+    let b = build_liquid(&w).unwrap();
+    assert!(b.outlined.len() >= 2);
+    for f in &b.outlined {
+        assert!(f.instrs <= 60, "{} has {} instrs", f.name, f.instrs);
+    }
+    verify_workload(&w).unwrap();
+}
+
+#[test]
+fn multi_kernel_pipeline_shares_arrays() {
+    // Kernel 1 produces an intermediate; kernel 2 consumes it.
+    let mut k1 = KernelBuilder::new("stage1", 32);
+    let a = k1.load("A", ElemType::I32);
+    let t = k1.bin_imm(VAluOp::Lsl, a, 2);
+    k1.store("Mid", t);
+    let mut k2 = KernelBuilder::new("stage2", 32);
+    let m = k2.load("Mid", ElemType::I32);
+    let u = k2.bin_imm(VAluOp::Add, m, -3);
+    k2.store("Out", u);
+    k2.reduce(RedOp::Max, u, "peak", ReduceInit::Int(i32::MIN));
+    let data = ArrayBuilder::new()
+        .int("A", ElemType::I32, ramp(32, 11, -50))
+        .zeroed("Mid", ElemType::I32, 32)
+        .zeroed("Out", ElemType::I32, 32)
+        .zeroed("peak", ElemType::I32, 1)
+        .build();
+    let w = Workload::new(
+        "pipeline",
+        vec![k1.build().unwrap(), k2.build().unwrap()],
+        data,
+        3,
+    );
+    verify_workload(&w).unwrap();
+}
+
+#[test]
+fn translated_runs_eventually_use_microcode() {
+    let mut k = KernelBuilder::new("hot", 64);
+    let a = k.load("A", ElemType::I32);
+    let b = k.bin_imm(VAluOp::Add, a, 1);
+    k.store("A2", b);
+    let data = ArrayBuilder::new()
+        .int("A", ElemType::I32, ramp(64, 1, 0))
+        .zeroed("A2", ElemType::I32, 64)
+        .build();
+    let w = Workload::new("hot", vec![k.build().unwrap()], data, 10);
+    let build = build_liquid(&w).unwrap();
+    let out = run(&build.program, MachineConfig::liquid(8)).unwrap();
+    assert_eq!(out.report.translator.successes, 1);
+    assert!(
+        out.report.mcache.hits >= 8,
+        "mcache: {:?}",
+        out.report.mcache
+    );
+    // The overwhelming majority of vector work happened in microcode.
+    assert!(out.report.vector_retired > 0);
+}
+
+#[test]
+fn unsigned_vs_signed_narrow_loads_differ_and_both_match_gold() {
+    // Same bytes, loaded signed vs unsigned, must produce different minima
+    // and both match gold.
+    let bytes: Vec<i64> = vec![0x80, 0x7F, 0x01, 0xFF, 0x40, 0xC0, 0x00, 0x10,
+                               0x80, 0x7F, 0x01, 0xFF, 0x40, 0xC0, 0x00, 0x10];
+    let mut ks = KernelBuilder::new("s", 16);
+    let a = ks.load("A", ElemType::I8);
+    ks.reduce(RedOp::Min, a, "smin", ReduceInit::Int(i32::MAX));
+    let mut ku = KernelBuilder::new("u", 16);
+    let b = ku.load_u("A", ElemType::I8);
+    ku.reduce(RedOp::Min, b, "umin", ReduceInit::Int(i32::MAX));
+    let data = ArrayBuilder::new()
+        .int("A", ElemType::I8, bytes)
+        .zeroed("smin", ElemType::I32, 1)
+        .zeroed("umin", ElemType::I32, 1)
+        .build();
+    let w = Workload::new(
+        "signs",
+        vec![ks.build().unwrap(), ku.build().unwrap()],
+        data,
+        1,
+    );
+    verify_workload(&w).unwrap();
+    // And sanity-check the gold values themselves.
+    let env = liquid_simd::gold::run_gold(&w).unwrap();
+    let (_, liquid_simd_compiler::ArrayData::Int(smin)) = env.get("smin").unwrap() else {
+        panic!()
+    };
+    let (_, liquid_simd_compiler::ArrayData::Int(umin)) = env.get("umin").unwrap() else {
+        panic!()
+    };
+    assert_eq!(smin[0] as u32 as i32, -128i32);
+    assert_eq!(umin[0], 0);
+}
+
+#[test]
+fn offset_loads_express_stencils_and_taps() {
+    // A 3-point stencil: Out[i] = (X[i] + X[i+1] + X[i+2]) >> 1, plus a
+    // 3-tap FIR-style dot product reduced to a scalar.
+    let mut k = KernelBuilder::new("stencil3", 64);
+    let x0 = k.load("X", ElemType::I32);
+    let x1 = k.load_at("X", ElemType::I32, 1);
+    let x2 = k.load_at("X", ElemType::I32, 2);
+    let s = k.bin(VAluOp::Add, x0, x1);
+    let s = k.bin(VAluOp::Add, s, x2);
+    let s = k.bin_imm(VAluOp::Asr, s, 1);
+    k.store("Out", s);
+    let p0 = k.bin(VAluOp::Mul, x0, x2);
+    k.reduce(RedOp::Sum, p0, "acc", ReduceInit::Int(0));
+
+    // Offset store: Y[i+1] = X[i] (a shift-by-one writer).
+    let mut k2 = KernelBuilder::new("shift", 64);
+    let x = k2.load("X", ElemType::I32);
+    k2.store_at("Y", x, 1);
+
+    let data = ArrayBuilder::new()
+        .int("X", ElemType::I32, ramp(66, 3, -7))
+        .zeroed("Out", ElemType::I32, 64)
+        .zeroed("Y", ElemType::I32, 66)
+        .zeroed("acc", ElemType::I32, 1)
+        .build();
+    let w = Workload::new(
+        "stencil",
+        vec![k.build().unwrap(), k2.build().unwrap()],
+        data,
+        2,
+    );
+    verify_workload(&w).unwrap();
+}

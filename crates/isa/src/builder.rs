@@ -1,0 +1,442 @@
+//! Label-aware program construction.
+
+use crate::cond::Cond;
+use crate::error::IsaError;
+use crate::inst::Inst;
+use crate::op::{AluOp, Base, FpOp, MemWidth, Operand2};
+use crate::program::{Program, SymId, Symbol, DEFAULT_DATA_BASE};
+use crate::reg::{FReg, Reg};
+use crate::scalar::ScalarInst;
+
+/// A forward-referenceable code label issued by [`ProgramBuilder::new_label`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Label(u32);
+
+/// Builds a [`Program`] incrementally: instructions, labels with forward
+/// references, and data-segment symbols.
+///
+/// # Example
+///
+/// ```
+/// use liquid_simd_isa::{ProgramBuilder, Reg, Base, MemWidth, Operand2, Cond, AluOp};
+///
+/// let mut b = ProgramBuilder::new();
+/// let arr = b.add_i32s("numbers", &[5, 3, 9, 1]);
+/// let top = b.new_label();
+/// b.mov_imm(Reg::R0, 0);
+/// b.mov_imm(Reg::R1, i32::MAX);
+/// b.bind(top);
+/// b.ld(MemWidth::W, Reg::R2, Base::Sym(arr), Reg::R0);
+/// b.alu(AluOp::Min, Reg::R1, Reg::R1, Operand2::Reg(Reg::R2));
+/// b.alu(AluOp::Add, Reg::R0, Reg::R0, Operand2::Imm(1));
+/// b.cmp(Reg::R0, Operand2::Imm(4));
+/// b.b(Cond::Lt, top);
+/// b.halt();
+/// let p = b.finish().expect("program resolves");
+/// assert_eq!(p.code.len(), 8);
+/// ```
+#[derive(Debug, Default)]
+pub struct ProgramBuilder {
+    code: Vec<Inst>,
+    data: Vec<u8>,
+    symbols: Vec<Symbol>,
+    bound: Vec<Option<u32>>,
+    fixups: Vec<(usize, Label)>,
+    named: Vec<(u32, String)>,
+    data_base: u32,
+}
+
+impl ProgramBuilder {
+    /// Creates an empty builder with the default data base address.
+    #[must_use]
+    pub fn new() -> ProgramBuilder {
+        ProgramBuilder {
+            data_base: DEFAULT_DATA_BASE,
+            ..ProgramBuilder::default()
+        }
+    }
+
+    /// Current code position (index of the next instruction).
+    #[must_use]
+    pub fn here(&self) -> u32 {
+        self.code.len() as u32
+    }
+
+    /// Issues a fresh, unbound label.
+    pub fn new_label(&mut self) -> Label {
+        self.bound.push(None);
+        Label(self.bound.len() as u32 - 1)
+    }
+
+    /// Binds a label to the current position.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the label was already bound.
+    pub fn bind(&mut self, label: Label) {
+        let here = self.here();
+        let slot = &mut self.bound[label.0 as usize];
+        assert!(slot.is_none(), "label L{} bound twice", label.0);
+        *slot = Some(here);
+    }
+
+    /// Binds a label and records a human-readable name for it (function
+    /// entry points, loop heads).
+    pub fn bind_named(&mut self, label: Label, name: &str) {
+        self.bind(label);
+        self.named.push((self.here(), name.to_string()));
+    }
+
+    /// Appends an instruction.
+    pub fn push(&mut self, inst: impl Into<Inst>) -> &mut Self {
+        self.code.push(inst.into());
+        self
+    }
+
+    // ---- scalar conveniences -------------------------------------------
+
+    /// `mov rd, #imm`
+    pub fn mov_imm(&mut self, rd: Reg, imm: i32) -> &mut Self {
+        self.push(ScalarInst::MovImm {
+            cond: Cond::Al,
+            rd,
+            imm,
+        })
+    }
+
+    /// `mov{cond} rd, #imm`
+    pub fn mov_imm_cond(&mut self, cond: Cond, rd: Reg, imm: i32) -> &mut Self {
+        self.push(ScalarInst::MovImm { cond, rd, imm })
+    }
+
+    /// `mov rd, rm`
+    pub fn mov(&mut self, rd: Reg, rm: Reg) -> &mut Self {
+        self.push(ScalarInst::Mov {
+            cond: Cond::Al,
+            rd,
+            rm,
+        })
+    }
+
+    /// `op rd, rn, op2`
+    pub fn alu(&mut self, op: AluOp, rd: Reg, rn: Reg, op2: Operand2) -> &mut Self {
+        self.push(ScalarInst::Alu {
+            cond: Cond::Al,
+            op,
+            rd,
+            rn,
+            op2,
+        })
+    }
+
+    /// `op{cond} rd, rn, op2`
+    pub fn alu_cond(&mut self, cond: Cond, op: AluOp, rd: Reg, rn: Reg, op2: Operand2) -> &mut Self {
+        self.push(ScalarInst::Alu {
+            cond,
+            op,
+            rd,
+            rn,
+            op2,
+        })
+    }
+
+    /// `cmp rn, op2`
+    pub fn cmp(&mut self, rn: Reg, op2: Operand2) -> &mut Self {
+        self.push(ScalarInst::Cmp { rn, op2 })
+    }
+
+    /// `fop fd, fn, fm`
+    pub fn falu(&mut self, op: FpOp, fd: FReg, fn_: FReg, fm: FReg) -> &mut Self {
+        self.push(ScalarInst::FAlu { op, fd, fn_, fm })
+    }
+
+    /// `ld{w} rd, [base + index]` (zero-extending)
+    pub fn ld(&mut self, width: MemWidth, rd: Reg, base: Base, index: Reg) -> &mut Self {
+        self.push(ScalarInst::LdInt {
+            width,
+            signed: false,
+            rd,
+            base,
+            index,
+        })
+    }
+
+    /// `ld{w}s rd, [base + index]` (sign-extending)
+    pub fn lds(&mut self, width: MemWidth, rd: Reg, base: Base, index: Reg) -> &mut Self {
+        self.push(ScalarInst::LdInt {
+            width,
+            signed: true,
+            rd,
+            base,
+            index,
+        })
+    }
+
+    /// `st{w} [base + index], rs`
+    pub fn st(&mut self, width: MemWidth, rs: Reg, base: Base, index: Reg) -> &mut Self {
+        self.push(ScalarInst::StInt {
+            width,
+            rs,
+            base,
+            index,
+        })
+    }
+
+    /// `ldf fd, [base + index]`
+    pub fn ldf(&mut self, fd: FReg, base: Base, index: Reg) -> &mut Self {
+        self.push(ScalarInst::LdF { fd, base, index })
+    }
+
+    /// `stf [base + index], fs`
+    pub fn stf(&mut self, fs: FReg, base: Base, index: Reg) -> &mut Self {
+        self.push(ScalarInst::StF { fs, base, index })
+    }
+
+    /// `b{cond} label`
+    pub fn b(&mut self, cond: Cond, label: Label) -> &mut Self {
+        self.fixups.push((self.code.len(), label));
+        self.push(ScalarInst::B {
+            cond,
+            target: u32::MAX,
+        })
+    }
+
+    /// `bl label` (plain call)
+    pub fn bl(&mut self, label: Label) -> &mut Self {
+        self.fixups.push((self.code.len(), label));
+        self.push(ScalarInst::Bl {
+            target: u32::MAX,
+            vectorizable: false,
+        })
+    }
+
+    /// `bl.v label` (call marked as a translatable outlined region)
+    pub fn bl_v(&mut self, label: Label) -> &mut Self {
+        self.fixups.push((self.code.len(), label));
+        self.push(ScalarInst::Bl {
+            target: u32::MAX,
+            vectorizable: true,
+        })
+    }
+
+    /// `ret`
+    pub fn ret(&mut self) -> &mut Self {
+        self.push(ScalarInst::Ret)
+    }
+
+    /// `halt`
+    pub fn halt(&mut self) -> &mut Self {
+        self.push(ScalarInst::Halt)
+    }
+
+    /// `nop`
+    pub fn nop(&mut self) -> &mut Self {
+        self.push(ScalarInst::Nop)
+    }
+
+    // ---- data segment ---------------------------------------------------
+
+    fn add_symbol(&mut self, name: &str, bytes: &[u8], elem_bytes: u32) -> SymId {
+        assert!(
+            !self.symbols.iter().any(|s| s.name == name),
+            "symbol `{name}` defined twice"
+        );
+        // Align every region to 64 bytes: MAX_VECTOR_WIDTH (16) elements of
+        // the widest element type (4 bytes) — the paper's §3.1 alignment rule.
+        while self.data.len() % 64 != 0 {
+            self.data.push(0);
+        }
+        let addr = self.data_base + self.data.len() as u32;
+        self.data.extend_from_slice(bytes);
+        let id = SymId::new(self.symbols.len() as u16);
+        self.symbols.push(Symbol {
+            name: name.to_string(),
+            addr,
+            size: bytes.len() as u32,
+            elem_bytes,
+        });
+        id
+    }
+
+    /// Adds a named byte region.
+    pub fn add_bytes(&mut self, name: &str, bytes: &[u8]) -> SymId {
+        self.add_symbol(name, bytes, 1)
+    }
+
+    /// Adds a named `i8` array.
+    pub fn add_i8s(&mut self, name: &str, values: &[i8]) -> SymId {
+        let bytes: Vec<u8> = values.iter().map(|&v| v as u8).collect();
+        self.add_symbol(name, &bytes, 1)
+    }
+
+    /// Adds a named `i16` array (little-endian).
+    pub fn add_i16s(&mut self, name: &str, values: &[i16]) -> SymId {
+        let bytes: Vec<u8> = values.iter().flat_map(|v| v.to_le_bytes()).collect();
+        self.add_symbol(name, &bytes, 2)
+    }
+
+    /// Adds a named `i32` array (little-endian).
+    pub fn add_i32s(&mut self, name: &str, values: &[i32]) -> SymId {
+        let bytes: Vec<u8> = values.iter().flat_map(|v| v.to_le_bytes()).collect();
+        self.add_symbol(name, &bytes, 4)
+    }
+
+    /// Adds a named `f32` array (little-endian IEEE-754).
+    pub fn add_f32s(&mut self, name: &str, values: &[f32]) -> SymId {
+        let bytes: Vec<u8> = values.iter().flat_map(|v| v.to_le_bytes()).collect();
+        self.add_symbol(name, &bytes, 4)
+    }
+
+    /// Reserves a zero-initialised region of `elems` elements of
+    /// `elem_bytes` bytes each.
+    pub fn reserve(&mut self, name: &str, elems: usize, elem_bytes: u32) -> SymId {
+        let bytes = vec![0u8; elems * elem_bytes as usize];
+        self.add_symbol(name, &bytes, elem_bytes)
+    }
+
+    /// Adds an *alias* symbol: a window into an existing region starting
+    /// `byte_offset` bytes in. Code generators use aliases to express
+    /// element-offset accesses (`A[i + k]`) as plain base+induction
+    /// operands.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the offset exceeds the target region or the name is taken.
+    pub fn add_alias(&mut self, name: &str, of: SymId, byte_offset: u32) -> SymId {
+        assert!(
+            !self.symbols.iter().any(|s| s.name == name),
+            "symbol `{name}` defined twice"
+        );
+        let target = &self.symbols[of.index()];
+        assert!(
+            byte_offset <= target.size,
+            "alias offset {byte_offset} exceeds region `{}` of {} bytes",
+            target.name,
+            target.size
+        );
+        let sym = Symbol {
+            name: name.to_string(),
+            addr: target.addr + byte_offset,
+            size: target.size - byte_offset,
+            elem_bytes: target.elem_bytes,
+        };
+        let id = SymId::new(self.symbols.len() as u16);
+        self.symbols.push(sym);
+        id
+    }
+
+    /// Looks up a previously defined symbol by name.
+    #[must_use]
+    pub fn symbol_named(&self, name: &str) -> Option<SymId> {
+        self.symbols
+            .iter()
+            .position(|s| s.name == name)
+            .map(|i| SymId::new(i as u16))
+    }
+
+    // ---- finishing ------------------------------------------------------
+
+    /// Resolves labels and produces the program.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IsaError::UnboundLabel`] if any referenced label was never
+    /// bound, or a validation error if the assembled program is malformed.
+    pub fn finish(self) -> Result<Program, IsaError> {
+        let ProgramBuilder {
+            mut code,
+            data,
+            symbols,
+            bound,
+            fixups,
+            named,
+            data_base,
+        } = self;
+        for (idx, label) in fixups {
+            let target = bound[label.0 as usize].ok_or(IsaError::UnboundLabel { label: label.0 })?;
+            match &mut code[idx] {
+                Inst::S(ScalarInst::B { target: t, .. })
+                | Inst::S(ScalarInst::Bl { target: t, .. }) => *t = target,
+                other => unreachable!("fixup attached to non-branch {other}"),
+            }
+        }
+        let program = Program {
+            code,
+            data,
+            symbols,
+            entry: 0,
+            data_base,
+            labels: named,
+        };
+        program.validate()?;
+        Ok(program)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_references_resolve() {
+        let mut b = ProgramBuilder::new();
+        let skip = b.new_label();
+        b.b(Cond::Al, skip);
+        b.nop();
+        b.bind(skip);
+        b.halt();
+        let p = b.finish().unwrap();
+        match p.code[0] {
+            Inst::S(ScalarInst::B { target, .. }) => assert_eq!(target, 2),
+            ref other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unbound_label_is_an_error() {
+        let mut b = ProgramBuilder::new();
+        let dangling = b.new_label();
+        b.b(Cond::Al, dangling);
+        b.halt();
+        assert_eq!(
+            b.finish().unwrap_err(),
+            IsaError::UnboundLabel { label: 0 }
+        );
+    }
+
+    #[test]
+    fn data_regions_are_aligned_and_named() {
+        let mut b = ProgramBuilder::new();
+        let a = b.add_i16s("a", &[1, 2, 3]);
+        let c = b.add_f32s("c", &[1.0, 2.0]);
+        b.halt();
+        let p = b.finish().unwrap();
+        let sa = p.symbol(a).unwrap();
+        let sc = p.symbol(c).unwrap();
+        assert_eq!(sa.addr % 64, 0);
+        assert_eq!(sc.addr % 64, 0);
+        assert_eq!(sa.size, 6);
+        assert_eq!(sc.size, 8);
+        assert_eq!(sa.elem_bytes, 2);
+        assert!(sc.addr >= sa.addr + sa.size);
+        assert_eq!(p.symbol_by_name("c").unwrap().0, c);
+    }
+
+    #[test]
+    #[should_panic(expected = "defined twice")]
+    fn duplicate_symbol_panics() {
+        let mut b = ProgramBuilder::new();
+        b.add_bytes("x", &[0]);
+        b.add_bytes("x", &[0]);
+    }
+
+    #[test]
+    fn named_labels_reach_program() {
+        let mut b = ProgramBuilder::new();
+        let f = b.new_label();
+        b.bind_named(f, "kernel_0");
+        b.ret();
+        let p = b.finish().unwrap();
+        assert_eq!(p.label_at(0), Some("kernel_0"));
+    }
+}

@@ -1,0 +1,217 @@
+//! Condition codes and the processor flags they test.
+
+use std::fmt;
+
+use crate::error::IsaError;
+
+/// ARM-style condition flags, set by [`ScalarInst::Cmp`](crate::ScalarInst).
+///
+/// Flags are produced from the subtraction `rn - op2`:
+/// `n` (negative), `z` (zero), `c` (carry / no-borrow), `v` (overflow).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub struct Flags {
+    /// Result was negative.
+    pub n: bool,
+    /// Result was zero.
+    pub z: bool,
+    /// Unsigned no-borrow (i.e. `rn >= op2` unsigned).
+    pub c: bool,
+    /// Signed overflow occurred.
+    pub v: bool,
+}
+
+impl Flags {
+    /// Computes flags for the comparison `a cmp b` (as `a - b`), mirroring
+    /// ARM `CMP` semantics.
+    #[must_use]
+    pub fn from_cmp(a: i32, b: i32) -> Flags {
+        let (result, overflow) = a.overflowing_sub(b);
+        Flags {
+            n: result < 0,
+            z: result == 0,
+            c: (a as u32) >= (b as u32),
+            v: overflow,
+        }
+    }
+}
+
+/// A condition code predicating a scalar instruction (paper §3.2 uses
+/// predication to build idioms, e.g. `movgt r1, 0xFF` for saturation).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum Cond {
+    /// Always execute (the unpredicated case).
+    #[default]
+    Al = 0,
+    /// Equal (`z`).
+    Eq = 1,
+    /// Not equal (`!z`).
+    Ne = 2,
+    /// Signed less-than (`n != v`).
+    Lt = 3,
+    /// Signed less-or-equal (`z || n != v`).
+    Le = 4,
+    /// Signed greater-than (`!z && n == v`).
+    Gt = 5,
+    /// Signed greater-or-equal (`n == v`).
+    Ge = 6,
+    /// Unsigned lower (`!c`).
+    Lo = 7,
+    /// Unsigned lower-or-same (`!c || z`).
+    Ls = 8,
+    /// Unsigned higher (`c && !z`).
+    Hi = 9,
+    /// Unsigned higher-or-same (`c`).
+    Hs = 10,
+}
+
+impl Cond {
+    /// All condition codes, in encoding order.
+    pub const ALL: [Cond; 11] = [
+        Cond::Al,
+        Cond::Eq,
+        Cond::Ne,
+        Cond::Lt,
+        Cond::Le,
+        Cond::Gt,
+        Cond::Ge,
+        Cond::Lo,
+        Cond::Ls,
+        Cond::Hi,
+        Cond::Hs,
+    ];
+
+    /// Evaluates this condition against the current flags.
+    #[must_use]
+    pub fn eval(self, f: Flags) -> bool {
+        match self {
+            Cond::Al => true,
+            Cond::Eq => f.z,
+            Cond::Ne => !f.z,
+            Cond::Lt => f.n != f.v,
+            Cond::Le => f.z || (f.n != f.v),
+            Cond::Gt => !f.z && (f.n == f.v),
+            Cond::Ge => f.n == f.v,
+            Cond::Lo => !f.c,
+            Cond::Ls => !f.c || f.z,
+            Cond::Hi => f.c && !f.z,
+            Cond::Hs => f.c,
+        }
+    }
+
+    /// The inverse condition (`eval` of the inverse is the negation).
+    #[must_use]
+    pub fn invert(self) -> Cond {
+        match self {
+            Cond::Al => Cond::Al, // no encodable "never"; callers must not rely on it
+            Cond::Eq => Cond::Ne,
+            Cond::Ne => Cond::Eq,
+            Cond::Lt => Cond::Ge,
+            Cond::Le => Cond::Gt,
+            Cond::Gt => Cond::Le,
+            Cond::Ge => Cond::Lt,
+            Cond::Lo => Cond::Hs,
+            Cond::Ls => Cond::Hi,
+            Cond::Hi => Cond::Ls,
+            Cond::Hs => Cond::Lo,
+        }
+    }
+
+    /// Decodes a condition from its 4-bit encoding.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IsaError::Decode`] for out-of-range encodings.
+    pub fn from_bits(bits: u32) -> Result<Cond, IsaError> {
+        Cond::ALL
+            .get(bits as usize)
+            .copied()
+            .ok_or(IsaError::Decode {
+                what: "condition code",
+                value: bits,
+            })
+    }
+
+    /// The condition's 4-bit encoding.
+    #[must_use]
+    pub fn bits(self) -> u32 {
+        self as u32
+    }
+
+    /// The assembler suffix (`""` for always, `"gt"`, `"lt"`, ...).
+    #[must_use]
+    pub fn suffix(self) -> &'static str {
+        match self {
+            Cond::Al => "",
+            Cond::Eq => "eq",
+            Cond::Ne => "ne",
+            Cond::Lt => "lt",
+            Cond::Le => "le",
+            Cond::Gt => "gt",
+            Cond::Ge => "ge",
+            Cond::Lo => "lo",
+            Cond::Ls => "ls",
+            Cond::Hi => "hi",
+            Cond::Hs => "hs",
+        }
+    }
+}
+
+impl fmt::Display for Cond {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.suffix())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cmp_flag_semantics() {
+        let f = Flags::from_cmp(3, 5);
+        assert!(Cond::Lt.eval(f));
+        assert!(!Cond::Ge.eval(f));
+        assert!(Cond::Ne.eval(f));
+        assert!(Cond::Lo.eval(f));
+
+        let f = Flags::from_cmp(5, 5);
+        assert!(Cond::Eq.eval(f));
+        assert!(Cond::Le.eval(f));
+        assert!(Cond::Ge.eval(f));
+        assert!(Cond::Hs.eval(f));
+        assert!(!Cond::Hi.eval(f));
+
+        // Signed overflow: i32::MIN - 1 wraps positive; LT must still hold.
+        let f = Flags::from_cmp(i32::MIN, 1);
+        assert!(Cond::Lt.eval(f));
+
+        // Unsigned view: -1 is huge, so it is HI relative to 1.
+        let f = Flags::from_cmp(-1, 1);
+        assert!(Cond::Hi.eval(f));
+        assert!(Cond::Lt.eval(f));
+    }
+
+    #[test]
+    fn invert_is_involutive_and_negating() {
+        for &c in &Cond::ALL {
+            assert_eq!(c.invert().invert(), c);
+            if c != Cond::Al {
+                for a in [-5i32, 0, 5] {
+                    for b in [-5i32, 0, 5] {
+                        let f = Flags::from_cmp(a, b);
+                        assert_ne!(c.eval(f), c.invert().eval(f), "{c:?} {a} {b}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bits_roundtrip() {
+        for &c in &Cond::ALL {
+            assert_eq!(Cond::from_bits(c.bits()).unwrap(), c);
+        }
+        assert!(Cond::from_bits(15).is_err());
+    }
+}

@@ -1,0 +1,825 @@
+//! Fixed 32-bit binary encoding for SRISC and VSIMD instructions.
+//!
+//! Every instruction encodes to exactly one 32-bit word (the paper sizes the
+//! microcode buffer at "32 bits per instruction", §4.1, and measures code
+//! size in these units). The format is:
+//!
+//! ```text
+//!  31    28 27    23 22                               0
+//! ┌────────┬────────┬──────────────────────────────────┐
+//! │  cond  │ class  │        class-specific fields     │
+//! └────────┴────────┴──────────────────────────────────┘
+//! ```
+//!
+//! Branch targets are encoded PC-relative (in instructions); memory bases
+//! that reference data symbols use an 11-bit symbol index, playing the role
+//! of an ARM literal pool. Immediates are bounded by their field widths —
+//! [`encode`] reports overflow as [`IsaError::ImmOutOfRange`], and the
+//! compiler materialises anything larger through `mov` or constant-pool
+//! loads (which is what lets the translator spot "non-scalar-supported
+//! constants", paper Table 1 category 3).
+
+use crate::cond::Cond;
+use crate::error::IsaError;
+use crate::inst::Inst;
+use crate::op::{AluOp, Base, ElemType, FpOp, MemWidth, Operand2, RedOp, VAluOp};
+use crate::perm::PermKind;
+use crate::program::SymId;
+use crate::reg::{FReg, Reg, VReg};
+use crate::scalar::ScalarInst;
+use crate::vector::{ScalarSrc, VectorInst};
+
+/// Instruction class encodings (bits 27:23).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(u32)]
+enum Class {
+    MovImm = 0,
+    Mov = 1,
+    AluReg = 2,
+    AluImm = 3,
+    Cmp = 4,
+    FAlu = 5,
+    FMov = 6,
+    LdInt = 7,
+    StInt = 8,
+    LdF = 9,
+    StF = 10,
+    B = 11,
+    Bl = 12,
+    Ret = 13,
+    Halt = 14,
+    Nop = 15,
+    VLd = 16,
+    VSt = 17,
+    VAlu = 18,
+    VAluImm = 19,
+    VAluConst = 20,
+    VRedI = 21,
+    VRedF = 22,
+    VPerm = 23,
+    VSplat = 24,
+    VAluS = 25,
+}
+
+const CLASSES: [Class; 26] = [
+    Class::MovImm,
+    Class::Mov,
+    Class::AluReg,
+    Class::AluImm,
+    Class::Cmp,
+    Class::FAlu,
+    Class::FMov,
+    Class::LdInt,
+    Class::StInt,
+    Class::LdF,
+    Class::StF,
+    Class::B,
+    Class::Bl,
+    Class::Ret,
+    Class::Halt,
+    Class::Nop,
+    Class::VLd,
+    Class::VSt,
+    Class::VAlu,
+    Class::VAluImm,
+    Class::VAluConst,
+    Class::VRedI,
+    Class::VRedF,
+    Class::VPerm,
+    Class::VSplat,
+    Class::VAluS,
+];
+
+fn signed_field(what: &'static str, value: i64, bits: u32) -> Result<u32, IsaError> {
+    let min = -(1i64 << (bits - 1));
+    let max = (1i64 << (bits - 1)) - 1;
+    if value < min || value > max {
+        return Err(IsaError::ImmOutOfRange {
+            what,
+            value,
+            min,
+            max,
+        });
+    }
+    Ok((value as u32) & ((1u32 << bits) - 1))
+}
+
+fn unsigned_field(what: &'static str, value: u32, bits: u32) -> Result<u32, IsaError> {
+    let max = (1u64 << bits) - 1;
+    if u64::from(value) > max {
+        return Err(IsaError::ImmOutOfRange {
+            what,
+            value: i64::from(value),
+            min: 0,
+            max: max as i64,
+        });
+    }
+    Ok(value)
+}
+
+fn sext(field: u32, bits: u32) -> i32 {
+    let shift = 32 - bits;
+    ((field << shift) as i32) >> shift
+}
+
+fn base_fields(base: Base) -> Result<(u32, u32), IsaError> {
+    match base {
+        Base::Reg(r) => Ok((0, u32::from(r.index()))),
+        Base::Sym(s) => Ok((1, unsigned_field("symbol id", s.index() as u32, 11)?)),
+    }
+}
+
+fn decode_base(flag: u32, field: u32) -> Result<Base, IsaError> {
+    if flag == 0 {
+        Ok(Base::Reg(Reg::new((field & 0xF) as u8).map_err(|_| {
+            IsaError::Decode {
+                what: "base register",
+                value: field,
+            }
+        })?))
+    } else {
+        Ok(Base::Sym(SymId::new(field as u16)))
+    }
+}
+
+/// The maximum signed immediate encodable by `mov rd, #imm` (19-bit field).
+pub const MOV_IMM_MAX: i32 = (1 << 18) - 1;
+/// The minimum signed immediate encodable by `mov rd, #imm`.
+pub const MOV_IMM_MIN: i32 = -(1 << 18);
+/// The maximum signed immediate of ALU-immediate forms (11-bit field).
+pub const ALU_IMM_MAX: i32 = (1 << 10) - 1;
+/// The minimum signed immediate of ALU-immediate forms.
+pub const ALU_IMM_MIN: i32 = -(1 << 10);
+/// The maximum signed immediate of `cmp` (18-bit field).
+pub const CMP_IMM_MAX: i32 = (1 << 17) - 1;
+/// The maximum signed immediate of vector ALU-immediate forms (9-bit field).
+pub const VALU_IMM_MAX: i32 = (1 << 8) - 1;
+/// The minimum signed immediate of vector ALU-immediate forms.
+pub const VALU_IMM_MIN: i32 = -(1 << 8);
+
+/// Encodes one instruction at code index `pc` to its 32-bit word.
+///
+/// # Errors
+///
+/// Returns [`IsaError::ImmOutOfRange`] if an immediate, branch offset, or
+/// symbol index exceeds its field, and [`IsaError::InvalidCombination`] for
+/// invalid op/element combinations.
+pub fn encode(inst: &Inst, pc: u32) -> Result<u32, IsaError> {
+    inst.validate()?;
+    let word = |cond: Cond, class: Class, fields: u32| -> u32 {
+        debug_assert_eq!(fields >> 23, 0, "fields overflow class payload");
+        (cond.bits() << 28) | ((class as u32) << 23) | fields
+    };
+    let rel = |target: u32, bits: u32, what: &'static str| -> Result<u32, IsaError> {
+        signed_field(what, i64::from(target) - i64::from(pc), bits)
+    };
+    match inst {
+        Inst::S(s) => match *s {
+            ScalarInst::MovImm { cond, rd, imm } => {
+                let f = (u32::from(rd.index()) << 19) | signed_field("mov imm", imm.into(), 19)?;
+                Ok(word(cond, Class::MovImm, f))
+            }
+            ScalarInst::Mov { cond, rd, rm } => {
+                let f = (u32::from(rd.index()) << 19) | (u32::from(rm.index()) << 15);
+                Ok(word(cond, Class::Mov, f))
+            }
+            ScalarInst::Alu {
+                cond,
+                op,
+                rd,
+                rn,
+                op2,
+            } => match op2 {
+                Operand2::Reg(rm) => {
+                    let f = (op.bits() << 19)
+                        | (u32::from(rd.index()) << 15)
+                        | (u32::from(rn.index()) << 11)
+                        | (u32::from(rm.index()) << 7);
+                    Ok(word(cond, Class::AluReg, f))
+                }
+                Operand2::Imm(imm) => {
+                    let f = (op.bits() << 19)
+                        | (u32::from(rd.index()) << 15)
+                        | (u32::from(rn.index()) << 11)
+                        | signed_field("alu imm", imm.into(), 11)?;
+                    Ok(word(cond, Class::AluImm, f))
+                }
+            },
+            ScalarInst::Cmp { rn, op2 } => {
+                let f = match op2 {
+                    Operand2::Imm(imm) => (u32::from(rn.index()) << 19)
+                        | (1 << 18)
+                        | signed_field("cmp imm", imm.into(), 18)?,
+                    Operand2::Reg(rm) => {
+                        (u32::from(rn.index()) << 19) | (u32::from(rm.index()) << 14)
+                    }
+                };
+                Ok(word(Cond::Al, Class::Cmp, f))
+            }
+            ScalarInst::FAlu { op, fd, fn_, fm } => {
+                let f = (op.bits() << 20)
+                    | (u32::from(fd.index()) << 16)
+                    | (u32::from(fn_.index()) << 12)
+                    | (u32::from(fm.index()) << 8);
+                Ok(word(Cond::Al, Class::FAlu, f))
+            }
+            ScalarInst::FMov { cond, fd, fm } => {
+                let f = (u32::from(fd.index()) << 19) | (u32::from(fm.index()) << 15);
+                Ok(word(cond, Class::FMov, f))
+            }
+            ScalarInst::LdInt {
+                width,
+                signed,
+                rd,
+                base,
+                index,
+            } => {
+                let (flag, b) = base_fields(base)?;
+                let f = (width.bits() << 21)
+                    | (u32::from(signed) << 20)
+                    | (u32::from(rd.index()) << 16)
+                    | (u32::from(index.index()) << 12)
+                    | (flag << 11)
+                    | b;
+                Ok(word(Cond::Al, Class::LdInt, f))
+            }
+            ScalarInst::StInt {
+                width,
+                rs,
+                base,
+                index,
+            } => {
+                let (flag, b) = base_fields(base)?;
+                let f = (width.bits() << 21)
+                    | (u32::from(rs.index()) << 17)
+                    | (u32::from(index.index()) << 13)
+                    | (flag << 12)
+                    | b;
+                Ok(word(Cond::Al, Class::StInt, f))
+            }
+            ScalarInst::LdF { fd, base, index } => {
+                let (flag, b) = base_fields(base)?;
+                let f = (u32::from(fd.index()) << 19)
+                    | (u32::from(index.index()) << 15)
+                    | (flag << 14)
+                    | b;
+                Ok(word(Cond::Al, Class::LdF, f))
+            }
+            ScalarInst::StF { fs, base, index } => {
+                let (flag, b) = base_fields(base)?;
+                let f = (u32::from(fs.index()) << 19)
+                    | (u32::from(index.index()) << 15)
+                    | (flag << 14)
+                    | b;
+                Ok(word(Cond::Al, Class::StF, f))
+            }
+            ScalarInst::B { cond, target } => {
+                Ok(word(cond, Class::B, rel(target, 23, "branch offset")?))
+            }
+            ScalarInst::Bl {
+                target,
+                vectorizable,
+            } => {
+                let f = (u32::from(vectorizable) << 22) | rel(target, 22, "call offset")?;
+                Ok(word(Cond::Al, Class::Bl, f))
+            }
+            ScalarInst::Ret => Ok(word(Cond::Al, Class::Ret, 0)),
+            ScalarInst::Halt => Ok(word(Cond::Al, Class::Halt, 0)),
+            ScalarInst::Nop => Ok(word(Cond::Al, Class::Nop, 0)),
+        },
+        Inst::V(v) => match *v {
+            VectorInst::VLd {
+                elem,
+                signed,
+                vd,
+                base,
+                index,
+            } => {
+                let (flag, b) = base_fields(base)?;
+                let f = (elem.bits() << 21)
+                    | (u32::from(vd.index()) << 17)
+                    | (u32::from(index.index()) << 13)
+                    | (flag << 12)
+                    | (u32::from(signed) << 11)
+                    | b;
+                Ok(word(Cond::Al, Class::VLd, f))
+            }
+            VectorInst::VSt {
+                elem,
+                vs,
+                base,
+                index,
+            } => {
+                let (flag, b) = base_fields(base)?;
+                let f = (elem.bits() << 21)
+                    | (u32::from(vs.index()) << 17)
+                    | (u32::from(index.index()) << 13)
+                    | (flag << 12)
+                    | b;
+                Ok(word(Cond::Al, Class::VSt, f))
+            }
+            VectorInst::VAlu {
+                op,
+                elem,
+                vd,
+                vn,
+                vm,
+            } => {
+                let f = (op.bits() << 19)
+                    | (elem.bits() << 17)
+                    | (u32::from(vd.index()) << 13)
+                    | (u32::from(vn.index()) << 9)
+                    | (u32::from(vm.index()) << 5);
+                Ok(word(Cond::Al, Class::VAlu, f))
+            }
+            VectorInst::VAluImm {
+                op,
+                elem,
+                vd,
+                vn,
+                imm,
+            } => {
+                let f = (op.bits() << 19)
+                    | (elem.bits() << 17)
+                    | (u32::from(vd.index()) << 13)
+                    | (u32::from(vn.index()) << 9)
+                    | signed_field("vector imm", imm.into(), 9)?;
+                Ok(word(Cond::Al, Class::VAluImm, f))
+            }
+            VectorInst::VAluConst {
+                op,
+                elem,
+                vd,
+                vn,
+                cnst,
+            } => {
+                let f = (op.bits() << 19)
+                    | (elem.bits() << 17)
+                    | (u32::from(vd.index()) << 13)
+                    | (u32::from(vn.index()) << 9)
+                    | unsigned_field("constant symbol id", cnst.index() as u32, 9)?;
+                Ok(word(Cond::Al, Class::VAluConst, f))
+            }
+            VectorInst::VRedI { op, elem, rd, vn } => {
+                let f = (op.bits() << 21)
+                    | (elem.bits() << 19)
+                    | (u32::from(rd.index()) << 15)
+                    | (u32::from(vn.index()) << 11);
+                Ok(word(Cond::Al, Class::VRedI, f))
+            }
+            VectorInst::VRedF { op, fd, vn } => {
+                let f = (op.bits() << 21)
+                    | (u32::from(fd.index()) << 17)
+                    | (u32::from(vn.index()) << 13);
+                Ok(word(Cond::Al, Class::VRedF, f))
+            }
+            VectorInst::VPerm { kind, elem, vd, vn } => {
+                let (tag, block, amt) = match kind {
+                    PermKind::Bfly { block } => (0u32, block, 0u8),
+                    PermKind::Rev { block } => (1, block, 0),
+                    PermKind::Rot { block, amt } => (2, block, amt),
+                };
+                let log2 = block.trailing_zeros(); // validated power of two
+                let f = (tag << 21)
+                    | (log2 << 18)
+                    | (u32::from(amt) << 13)
+                    | (elem.bits() << 11)
+                    | (u32::from(vd.index()) << 7)
+                    | (u32::from(vn.index()) << 3);
+                Ok(word(Cond::Al, Class::VPerm, f))
+            }
+            VectorInst::VSplat { elem, vd, imm } => {
+                let f = (elem.bits() << 21)
+                    | (u32::from(vd.index()) << 17)
+                    | signed_field("splat imm", imm.into(), 17)?;
+                Ok(word(Cond::Al, Class::VSplat, f))
+            }
+            VectorInst::VAluScalar {
+                op,
+                elem,
+                vd,
+                vn,
+                src,
+            } => {
+                let (bank, reg) = match src {
+                    ScalarSrc::R(r) => (0u32, u32::from(r.index())),
+                    ScalarSrc::F(fr) => (1, u32::from(fr.index())),
+                };
+                let f = (op.bits() << 19)
+                    | (elem.bits() << 17)
+                    | (u32::from(vd.index()) << 13)
+                    | (u32::from(vn.index()) << 9)
+                    | (bank << 8)
+                    | (reg << 4);
+                Ok(word(Cond::Al, Class::VAluS, f))
+            }
+        },
+    }
+}
+
+/// Decodes a 32-bit word at code index `pc` back to an instruction.
+///
+/// # Errors
+///
+/// Returns [`IsaError::Decode`] for malformed words.
+pub fn decode(raw: u32, pc: u32) -> Result<Inst, IsaError> {
+    let cond = Cond::from_bits(raw >> 28)?;
+    let class_bits = (raw >> 23) & 0x1F;
+    let class = *CLASSES
+        .get(class_bits as usize)
+        .ok_or(IsaError::Decode {
+            what: "instruction class",
+            value: class_bits,
+        })?;
+    let reg = |shift: u32| Reg::of(((raw >> shift) & 0xF) as u8);
+    let freg = |shift: u32| FReg::of(((raw >> shift) & 0xF) as u8);
+    let vreg = |shift: u32| VReg::of(((raw >> shift) & 0xF) as u8);
+    let abs = |bits: u32| -> Result<u32, IsaError> {
+        let off = sext(raw & ((1 << bits) - 1), bits);
+        let target = i64::from(pc) + i64::from(off);
+        u32::try_from(target).map_err(|_| IsaError::Decode {
+            what: "branch target",
+            value: raw,
+        })
+    };
+    let inst = match class {
+        Class::MovImm => Inst::S(ScalarInst::MovImm {
+            cond,
+            rd: reg(19),
+            imm: sext(raw & 0x7FFFF, 19),
+        }),
+        Class::Mov => Inst::S(ScalarInst::Mov {
+            cond,
+            rd: reg(19),
+            rm: reg(15),
+        }),
+        Class::AluReg => Inst::S(ScalarInst::Alu {
+            cond,
+            op: AluOp::from_bits((raw >> 19) & 0xF)?,
+            rd: reg(15),
+            rn: reg(11),
+            op2: Operand2::Reg(reg(7)),
+        }),
+        Class::AluImm => Inst::S(ScalarInst::Alu {
+            cond,
+            op: AluOp::from_bits((raw >> 19) & 0xF)?,
+            rd: reg(15),
+            rn: reg(11),
+            op2: Operand2::Imm(sext(raw & 0x7FF, 11)),
+        }),
+        Class::Cmp => {
+            let rn = reg(19);
+            let op2 = if (raw >> 18) & 1 == 1 {
+                Operand2::Imm(sext(raw & 0x3FFFF, 18))
+            } else {
+                Operand2::Reg(reg(14))
+            };
+            Inst::S(ScalarInst::Cmp { rn, op2 })
+        }
+        Class::FAlu => Inst::S(ScalarInst::FAlu {
+            op: FpOp::from_bits((raw >> 20) & 0x7)?,
+            fd: freg(16),
+            fn_: freg(12),
+            fm: freg(8),
+        }),
+        Class::FMov => Inst::S(ScalarInst::FMov {
+            cond,
+            fd: freg(19),
+            fm: freg(15),
+        }),
+        Class::LdInt => Inst::S(ScalarInst::LdInt {
+            width: MemWidth::from_bits((raw >> 21) & 0x3)?,
+            signed: (raw >> 20) & 1 == 1,
+            rd: reg(16),
+            base: decode_base((raw >> 11) & 1, raw & 0x7FF)?,
+            index: reg(12),
+        }),
+        Class::StInt => Inst::S(ScalarInst::StInt {
+            width: MemWidth::from_bits((raw >> 21) & 0x3)?,
+            rs: reg(17),
+            base: decode_base((raw >> 12) & 1, raw & 0x7FF)?,
+            index: reg(13),
+        }),
+        Class::LdF => Inst::S(ScalarInst::LdF {
+            fd: freg(19),
+            base: decode_base((raw >> 14) & 1, raw & 0x7FF)?,
+            index: reg(15),
+        }),
+        Class::StF => Inst::S(ScalarInst::StF {
+            fs: freg(19),
+            base: decode_base((raw >> 14) & 1, raw & 0x7FF)?,
+            index: reg(15),
+        }),
+        Class::B => Inst::S(ScalarInst::B {
+            cond,
+            target: abs(23)?,
+        }),
+        Class::Bl => Inst::S(ScalarInst::Bl {
+            target: abs(22)?,
+            vectorizable: (raw >> 22) & 1 == 1,
+        }),
+        Class::Ret => Inst::S(ScalarInst::Ret),
+        Class::Halt => Inst::S(ScalarInst::Halt),
+        Class::Nop => Inst::S(ScalarInst::Nop),
+        Class::VLd => Inst::V(VectorInst::VLd {
+            elem: ElemType::from_bits((raw >> 21) & 0x3)?,
+            signed: (raw >> 11) & 1 == 1,
+            vd: vreg(17),
+            base: decode_base((raw >> 12) & 1, raw & 0x7FF)?,
+            index: reg(13),
+        }),
+        Class::VSt => Inst::V(VectorInst::VSt {
+            elem: ElemType::from_bits((raw >> 21) & 0x3)?,
+            vs: vreg(17),
+            base: decode_base((raw >> 12) & 1, raw & 0x7FF)?,
+            index: reg(13),
+        }),
+        Class::VAlu => Inst::V(VectorInst::VAlu {
+            op: VAluOp::from_bits((raw >> 19) & 0xF)?,
+            elem: ElemType::from_bits((raw >> 17) & 0x3)?,
+            vd: vreg(13),
+            vn: vreg(9),
+            vm: vreg(5),
+        }),
+        Class::VAluImm => Inst::V(VectorInst::VAluImm {
+            op: VAluOp::from_bits((raw >> 19) & 0xF)?,
+            elem: ElemType::from_bits((raw >> 17) & 0x3)?,
+            vd: vreg(13),
+            vn: vreg(9),
+            imm: sext(raw & 0x1FF, 9),
+        }),
+        Class::VAluConst => Inst::V(VectorInst::VAluConst {
+            op: VAluOp::from_bits((raw >> 19) & 0xF)?,
+            elem: ElemType::from_bits((raw >> 17) & 0x3)?,
+            vd: vreg(13),
+            vn: vreg(9),
+            cnst: SymId::new((raw & 0x1FF) as u16),
+        }),
+        Class::VRedI => Inst::V(VectorInst::VRedI {
+            op: RedOp::from_bits((raw >> 21) & 0x3)?,
+            elem: ElemType::from_bits((raw >> 19) & 0x3)?,
+            rd: reg(15),
+            vn: vreg(11),
+        }),
+        Class::VRedF => Inst::V(VectorInst::VRedF {
+            op: RedOp::from_bits((raw >> 21) & 0x3)?,
+            fd: freg(17),
+            vn: vreg(13),
+        }),
+        Class::VPerm => {
+            let tag = (raw >> 21) & 0x3;
+            let block = 1u8 << ((raw >> 18) & 0x7);
+            let amt = ((raw >> 13) & 0x1F) as u8;
+            let kind = match tag {
+                0 => PermKind::Bfly { block },
+                1 => PermKind::Rev { block },
+                2 => PermKind::Rot { block, amt },
+                other => {
+                    return Err(IsaError::Decode {
+                        what: "permutation kind",
+                        value: other,
+                    })
+                }
+            };
+            Inst::V(VectorInst::VPerm {
+                kind,
+                elem: ElemType::from_bits((raw >> 11) & 0x3)?,
+                vd: vreg(7),
+                vn: vreg(3),
+            })
+        }
+        Class::VSplat => Inst::V(VectorInst::VSplat {
+            elem: ElemType::from_bits((raw >> 21) & 0x3)?,
+            vd: vreg(17),
+            imm: sext(raw & 0x1FFFF, 17),
+        }),
+        Class::VAluS => {
+            let src = if (raw >> 8) & 1 == 0 {
+                ScalarSrc::R(reg(4))
+            } else {
+                ScalarSrc::F(freg(4))
+            };
+            Inst::V(VectorInst::VAluScalar {
+                op: VAluOp::from_bits((raw >> 19) & 0xF)?,
+                elem: ElemType::from_bits((raw >> 17) & 0x3)?,
+                vd: vreg(13),
+                vn: vreg(9),
+                src,
+            })
+        }
+    };
+    inst.validate()?;
+    Ok(inst)
+}
+
+/// Encodes a whole code section.
+///
+/// # Errors
+///
+/// Returns the first encoding failure with its code index folded into the
+/// error message.
+pub fn encode_code(code: &[Inst]) -> Result<Vec<u32>, IsaError> {
+    code.iter()
+        .enumerate()
+        .map(|(pc, inst)| encode(inst, pc as u32))
+        .collect()
+}
+
+/// Decodes a whole code section.
+///
+/// # Errors
+///
+/// Returns the first decoding failure.
+pub fn decode_code(words: &[u32]) -> Result<Vec<Inst>, IsaError> {
+    words
+        .iter()
+        .enumerate()
+        .map(|(pc, &w)| decode(w, pc as u32))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(inst: Inst, pc: u32) {
+        let w = encode(&inst, pc).unwrap_or_else(|e| panic!("encode {inst}: {e}"));
+        let back = decode(w, pc).unwrap_or_else(|e| panic!("decode {inst}: {e}"));
+        assert_eq!(back, inst, "word {w:#010x}");
+    }
+
+    #[test]
+    fn scalar_roundtrips() {
+        roundtrip(
+            Inst::S(ScalarInst::MovImm {
+                cond: Cond::Gt,
+                rd: Reg::R1,
+                imm: -1234,
+            }),
+            0,
+        );
+        roundtrip(
+            Inst::S(ScalarInst::Alu {
+                cond: Cond::Al,
+                op: AluOp::Min,
+                rd: Reg::R3,
+                rn: Reg::R3,
+                op2: Operand2::Imm(-7),
+            }),
+            5,
+        );
+        roundtrip(
+            Inst::S(ScalarInst::Cmp {
+                rn: Reg::R0,
+                op2: Operand2::Imm(65535),
+            }),
+            5,
+        );
+        roundtrip(
+            Inst::S(ScalarInst::LdInt {
+                width: MemWidth::H,
+                signed: true,
+                rd: Reg::R9,
+                base: Base::Sym(SymId::new(2000)),
+                index: Reg::R0,
+            }),
+            1,
+        );
+        roundtrip(
+            Inst::S(ScalarInst::StF {
+                fs: FReg::F7,
+                base: Base::Reg(Reg::R12),
+                index: Reg::R1,
+            }),
+            1,
+        );
+        roundtrip(
+            Inst::S(ScalarInst::B {
+                cond: Cond::Lt,
+                target: 2,
+            }),
+            40,
+        );
+        roundtrip(
+            Inst::S(ScalarInst::Bl {
+                target: 100,
+                vectorizable: true,
+            }),
+            3,
+        );
+        for s in [ScalarInst::Ret, ScalarInst::Halt, ScalarInst::Nop] {
+            roundtrip(Inst::S(s), 9);
+        }
+    }
+
+    #[test]
+    fn vector_roundtrips() {
+        roundtrip(
+            Inst::V(VectorInst::VLd {
+                elem: ElemType::F32,
+                signed: false,
+                vd: VReg::V3,
+                base: Base::Sym(SymId::new(17)),
+                index: Reg::R0,
+            }),
+            0,
+        );
+        roundtrip(
+            Inst::V(VectorInst::VLd {
+                elem: ElemType::I16,
+                signed: true,
+                vd: VReg::V4,
+                base: Base::Reg(Reg::R3),
+                index: Reg::R0,
+            }),
+            0,
+        );
+        roundtrip(
+            Inst::V(VectorInst::VAlu {
+                op: VAluOp::SatAdd,
+                elem: ElemType::I8,
+                vd: VReg::V1,
+                vn: VReg::V2,
+                vm: VReg::V3,
+            }),
+            0,
+        );
+        roundtrip(
+            Inst::V(VectorInst::VAluImm {
+                op: VAluOp::And,
+                elem: ElemType::I16,
+                vd: VReg::V1,
+                vn: VReg::V1,
+                imm: 255,
+            }),
+            0,
+        );
+        roundtrip(
+            Inst::V(VectorInst::VPerm {
+                kind: PermKind::Rot { block: 8, amt: 3 },
+                elem: ElemType::I32,
+                vd: VReg::V5,
+                vn: VReg::V6,
+            }),
+            0,
+        );
+        roundtrip(
+            Inst::V(VectorInst::VRedF {
+                op: RedOp::Sum,
+                fd: FReg::F2,
+                vn: VReg::V0,
+            }),
+            0,
+        );
+        roundtrip(
+            Inst::V(VectorInst::VSplat {
+                elem: ElemType::I32,
+                vd: VReg::V0,
+                imm: -40000,
+            }),
+            0,
+        );
+    }
+
+    #[test]
+    fn out_of_range_immediates_error() {
+        let too_big = Inst::S(ScalarInst::Alu {
+            cond: Cond::Al,
+            op: AluOp::Add,
+            rd: Reg::R0,
+            rn: Reg::R0,
+            op2: Operand2::Imm(5000),
+        });
+        assert!(matches!(
+            encode(&too_big, 0),
+            Err(IsaError::ImmOutOfRange { .. })
+        ));
+
+        let far = Inst::S(ScalarInst::B {
+            cond: Cond::Al,
+            target: 10_000_000,
+        });
+        assert!(matches!(encode(&far, 0), Err(IsaError::ImmOutOfRange { .. })));
+    }
+
+    #[test]
+    fn invalid_combination_rejected_at_encode() {
+        let bad = Inst::V(VectorInst::VAlu {
+            op: VAluOp::And,
+            elem: ElemType::F32,
+            vd: VReg::V0,
+            vn: VReg::V0,
+            vm: VReg::V0,
+        });
+        assert!(matches!(
+            encode(&bad, 0),
+            Err(IsaError::InvalidCombination { .. })
+        ));
+    }
+
+    #[test]
+    fn garbage_class_rejected_at_decode() {
+        let raw = 31u32 << 23; // class 31 unused
+        assert!(decode(raw, 0).is_err());
+    }
+}

@@ -1,0 +1,99 @@
+//! The unified instruction type.
+
+use std::fmt;
+
+use crate::error::IsaError;
+use crate::scalar::ScalarInst;
+use crate::vector::VectorInst;
+
+/// Any instruction: scalar (baseline pipeline) or vector (SIMD accelerator).
+///
+/// Liquid SIMD *binaries* contain only scalar instructions; vector
+/// instructions appear in natively-SIMD programs and in translated microcode.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Inst {
+    /// A scalar instruction.
+    S(ScalarInst),
+    /// A vector instruction.
+    V(VectorInst),
+}
+
+impl Inst {
+    /// Validates instruction-internal constraints.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IsaError::InvalidCombination`] for undefined op/element
+    /// combinations (scalar instructions are valid by construction).
+    pub fn validate(&self) -> Result<(), IsaError> {
+        match self {
+            Inst::S(_) => Ok(()),
+            Inst::V(v) => v.validate(),
+        }
+    }
+
+    /// Returns the scalar instruction, if this is one.
+    #[must_use]
+    pub fn as_scalar(&self) -> Option<&ScalarInst> {
+        match self {
+            Inst::S(s) => Some(s),
+            Inst::V(_) => None,
+        }
+    }
+
+    /// Returns the vector instruction, if this is one.
+    #[must_use]
+    pub fn as_vector(&self) -> Option<&VectorInst> {
+        match self {
+            Inst::V(v) => Some(v),
+            Inst::S(_) => None,
+        }
+    }
+
+    /// Whether this is a vector instruction.
+    #[must_use]
+    pub fn is_vector(&self) -> bool {
+        matches!(self, Inst::V(_))
+    }
+}
+
+impl From<ScalarInst> for Inst {
+    fn from(s: ScalarInst) -> Inst {
+        Inst::S(s)
+    }
+}
+
+impl From<VectorInst> for Inst {
+    fn from(v: VectorInst) -> Inst {
+        Inst::V(v)
+    }
+}
+
+impl fmt::Display for Inst {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Inst::S(s) => s.fmt(f),
+            Inst::V(v) => v.fmt(f),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Cond, Reg, ScalarInst};
+
+    #[test]
+    fn conversions() {
+        let s = ScalarInst::MovImm {
+            cond: Cond::Al,
+            rd: Reg::R0,
+            imm: 0,
+        };
+        let i: Inst = s.into();
+        assert_eq!(i.as_scalar(), Some(&s));
+        assert!(i.as_vector().is_none());
+        assert!(!i.is_vector());
+        assert_eq!(i.to_string(), "mov r0, #0");
+    }
+}

@@ -1,0 +1,295 @@
+//! Vector permutations and their width-independent offset encoding.
+//!
+//! The paper encodes element-reordering operations in scalar code through
+//! read-only *offset arrays* (`bfly` in Figure 4): iteration `i` of the
+//! scalar loop loads `off[i]`, adds it to the induction variable, and uses
+//! the sum as the memory index, so element `i` of the (conceptual) vector is
+//! taken from position `i + off[i]`. Offsets — rather than absolute indices
+//! — make the representation independent of the hardware vector width
+//! (paper §3.2).
+//!
+//! Every permutation here is *blocked*: the same reordering is applied to
+//! each consecutive block of `block` elements, so the offset pattern is
+//! periodic with period `block`. A `W`-lane accelerator can execute a
+//! permutation directly iff `block <= W` (and `block | W`); the dynamic
+//! translator's CAM enforces this (see paper §4.1 — a CAM miss aborts
+//! translation).
+
+use std::fmt;
+
+use crate::error::IsaError;
+
+/// A blocked vector permutation.
+///
+/// All blocks must be powers of two `>= 2` (paper §3.1 assumes power-of-two
+/// accelerator widths; blocked permutations inherit the restriction).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum PermKind {
+    /// Butterfly: exchange the two halves of each block (the paper's
+    /// `vbfly`; for `block = 2` this swaps adjacent pairs).
+    Bfly {
+        /// Block size (power of two, `>= 2`).
+        block: u8,
+    },
+    /// Reverse the elements of each block.
+    Rev {
+        /// Block size (power of two, `>= 2`).
+        block: u8,
+    },
+    /// Rotate each block left by `amt` (element `i` receives element
+    /// `(i + amt) mod block`).
+    Rot {
+        /// Block size (power of two, `>= 2`).
+        block: u8,
+        /// Rotation amount, `1 <= amt < block`.
+        amt: u8,
+    },
+}
+
+impl PermKind {
+    /// The block size the permutation operates on.
+    #[must_use]
+    pub fn block(self) -> u8 {
+        match self {
+            PermKind::Bfly { block } | PermKind::Rev { block } | PermKind::Rot { block, .. } => {
+                block
+            }
+        }
+    }
+
+    /// Validates block/amount constraints.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IsaError::InvalidCombination`] if the block is not a power
+    /// of two `>= 2`, or a rotation amount is out of range.
+    pub fn validate(self) -> Result<(), IsaError> {
+        let b = self.block();
+        if b < 2 || !b.is_power_of_two() {
+            return Err(IsaError::InvalidCombination {
+                reason: format!("permutation block {b} must be a power of two >= 2"),
+            });
+        }
+        if let PermKind::Rot { block, amt } = self {
+            if amt == 0 || amt >= block {
+                return Err(IsaError::InvalidCombination {
+                    reason: format!("rotation amount {amt} out of range for block {block}"),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// The source position (within a block) that destination position `i`
+    /// reads from: `dst[i] = src[source_index(i)]` with both indices taken
+    /// modulo the block.
+    #[must_use]
+    pub fn source_index(self, i: usize) -> usize {
+        let b = self.block() as usize;
+        let i = i % b;
+        match self {
+            PermKind::Bfly { .. } => (i + b / 2) % b,
+            PermKind::Rev { .. } => b - 1 - i,
+            PermKind::Rot { amt, .. } => (i + amt as usize) % b,
+        }
+    }
+
+    /// The per-element offsets for a loop of `n` iterations:
+    /// `off[i] = source_index(i) - (i mod block)`, replicated per block.
+    /// These are exactly the values the Liquid compiler stores in the
+    /// read-only offset array.
+    #[must_use]
+    pub fn offsets(self, n: usize) -> Vec<i32> {
+        let b = self.block() as usize;
+        (0..n)
+            .map(|i| {
+                let within = i % b;
+                self.source_index(within) as i32 - within as i32
+            })
+            .collect()
+    }
+
+    /// Applies the permutation to a slice whose length is a multiple of the
+    /// block size, returning the permuted vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src.len()` is not a multiple of the block size.
+    #[must_use]
+    pub fn apply<T: Copy>(self, src: &[T]) -> Vec<T> {
+        let b = self.block() as usize;
+        assert!(
+            src.len() % b == 0,
+            "vector length {} not a multiple of permutation block {b}",
+            src.len()
+        );
+        (0..src.len())
+            .map(|i| {
+                let base = i - (i % b);
+                src[base + self.source_index(i)]
+            })
+            .collect()
+    }
+
+    /// The inverse permutation (`inverse().apply(apply(x)) == x`).
+    ///
+    /// Butterfly and reverse are self-inverse; rotation inverts its amount.
+    /// Store-side permutations translate to the inverse of the load-side
+    /// pattern (see `liquid-simd-translator`).
+    #[must_use]
+    pub fn inverse(self) -> PermKind {
+        match self {
+            PermKind::Bfly { .. } | PermKind::Rev { .. } => self,
+            PermKind::Rot { block, amt } => PermKind::Rot {
+                block,
+                amt: block - amt,
+            },
+        }
+    }
+
+    /// Whether a `lanes`-wide accelerator can execute this permutation as a
+    /// single register permutation (paper abort rule: the block must fit in
+    /// — and tile — the hardware vector).
+    #[must_use]
+    pub fn executable_at(self, lanes: usize) -> bool {
+        let b = self.block() as usize;
+        b <= lanes && lanes % b == 0
+    }
+
+    /// Attempts to recognise an offset pattern as a known permutation at the
+    /// given lane width. This is the software model of the translator's CAM:
+    /// `offsets` are the first `lanes` values loaded from a suspected offset
+    /// array. Returns `None` on a CAM miss.
+    #[must_use]
+    pub fn match_offsets(offsets: &[i32], lanes: usize) -> Option<PermKind> {
+        if offsets.len() < lanes || lanes < 2 {
+            return None;
+        }
+        let candidates = Self::cam_entries(lanes);
+        candidates
+            .into_iter()
+            .find(|&k| k.offsets(lanes) == offsets[..lanes])
+    }
+
+    /// All permutations representable at a given lane count — the contents
+    /// of the translator's CAM for a `lanes`-wide accelerator.
+    #[must_use]
+    pub fn cam_entries(lanes: usize) -> Vec<PermKind> {
+        let mut out = Vec::new();
+        let mut b = 2u8;
+        while (b as usize) <= lanes && lanes % (b as usize) == 0 {
+            out.push(PermKind::Bfly { block: b });
+            out.push(PermKind::Rev { block: b });
+            for amt in 1..b {
+                out.push(PermKind::Rot { block: b, amt });
+            }
+            b = b.saturating_mul(2);
+        }
+        // Deduplicate aliases (e.g. Bfly{2}, Rev{2} and Rot{2,1} coincide):
+        // keep the first pattern for each distinct offset vector.
+        let mut seen: Vec<Vec<i32>> = Vec::new();
+        out.retain(|k| {
+            let offs = k.offsets(lanes);
+            if seen.contains(&offs) {
+                false
+            } else {
+                seen.push(offs);
+                true
+            }
+        });
+        out
+    }
+}
+
+impl fmt::Display for PermKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PermKind::Bfly { block } => write!(f, "vbfly.b{block}"),
+            PermKind::Rev { block } => write!(f, "vrev.b{block}"),
+            PermKind::Rot { block, amt } => write!(f, "vrot.b{block}.k{amt}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bfly_exchanges_halves() {
+        let k = PermKind::Bfly { block: 8 };
+        let v: Vec<i32> = (0..8).collect();
+        assert_eq!(k.apply(&v), vec![4, 5, 6, 7, 0, 1, 2, 3]);
+        // Matches the paper's FFT example: offsets +4 x4 then -4 x4.
+        assert_eq!(k.offsets(8), vec![4, 4, 4, 4, -4, -4, -4, -4]);
+    }
+
+    #[test]
+    fn rev_reverses_blocks() {
+        let k = PermKind::Rev { block: 4 };
+        let v: Vec<i32> = (0..8).collect();
+        assert_eq!(k.apply(&v), vec![3, 2, 1, 0, 7, 6, 5, 4]);
+    }
+
+    #[test]
+    fn rot_rotates_left() {
+        let k = PermKind::Rot { block: 4, amt: 1 };
+        let v: Vec<i32> = (0..4).collect();
+        assert_eq!(k.apply(&v), vec![1, 2, 3, 0]);
+    }
+
+    #[test]
+    fn inverse_roundtrips() {
+        let v: Vec<i32> = (0..16).collect();
+        for k in PermKind::cam_entries(16) {
+            assert_eq!(k.inverse().apply(&k.apply(&v)), v, "{k}");
+        }
+    }
+
+    #[test]
+    fn offsets_are_blocked_and_periodic() {
+        let k = PermKind::Rev { block: 4 };
+        let offs = k.offsets(12);
+        assert_eq!(&offs[0..4], &offs[4..8]);
+        assert_eq!(&offs[0..4], &offs[8..12]);
+        assert_eq!(&offs[0..4], &[3, 1, -1, -3]);
+    }
+
+    #[test]
+    fn cam_matching_recovers_kind() {
+        for lanes in [2usize, 4, 8, 16] {
+            for k in PermKind::cam_entries(lanes) {
+                let offs = k.offsets(lanes);
+                let found = PermKind::match_offsets(&offs, lanes).unwrap();
+                // Matching may alias (e.g. Bfly{2} == Rot{2,1}); require the
+                // *behaviour* to be identical, not the constructor.
+                let v: Vec<i32> = (0..lanes as i32).collect();
+                assert_eq!(found.apply(&v), k.apply(&v));
+            }
+        }
+    }
+
+    #[test]
+    fn cam_miss_on_unknown_pattern() {
+        // A "gather" pattern no blocked permutation produces.
+        let offs = vec![0, 2, -1, 3];
+        assert!(PermKind::match_offsets(&offs, 4).is_none());
+    }
+
+    #[test]
+    fn executability_respects_block_vs_lanes() {
+        let k = PermKind::Bfly { block: 8 };
+        assert!(k.executable_at(8));
+        assert!(k.executable_at(16));
+        assert!(!k.executable_at(4)); // paper abort case: block wider than HW
+    }
+
+    #[test]
+    fn validation_rejects_bad_blocks() {
+        assert!(PermKind::Bfly { block: 3 }.validate().is_err());
+        assert!(PermKind::Bfly { block: 1 }.validate().is_err());
+        assert!(PermKind::Rot { block: 4, amt: 0 }.validate().is_err());
+        assert!(PermKind::Rot { block: 4, amt: 4 }.validate().is_err());
+        assert!(PermKind::Rot { block: 4, amt: 3 }.validate().is_ok());
+    }
+}

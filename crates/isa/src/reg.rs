@@ -1,0 +1,204 @@
+//! Register newtypes for the scalar and vector register files.
+
+use std::fmt;
+
+use crate::error::IsaError;
+
+macro_rules! reg_type {
+    ($(#[$doc:meta])* $name:ident, $prefix:literal, $count:literal) => {
+        $(#[$doc])*
+        #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+        pub struct $name(u8);
+
+        impl $name {
+            /// Number of architectural registers in this file.
+            pub const COUNT: usize = $count;
+
+            /// Creates a register from its index.
+            ///
+            /// # Errors
+            ///
+            /// Returns [`IsaError::InvalidRegister`] if `index >= COUNT`.
+            pub fn new(index: u8) -> Result<Self, IsaError> {
+                if (index as usize) < Self::COUNT {
+                    Ok(Self(index))
+                } else {
+                    Err(IsaError::InvalidRegister {
+                        file: $prefix,
+                        index,
+                    })
+                }
+            }
+
+            /// Creates a register from its index, panicking on overflow.
+            ///
+            /// # Panics
+            ///
+            /// Panics if `index >= COUNT`. Intended for compiler-internal
+            /// register allocation where indices are known valid.
+            #[must_use]
+            pub fn of(index: u8) -> Self {
+                Self::new(index).expect("register index in range")
+            }
+
+            /// The register's index within its file.
+            #[must_use]
+            pub fn index(self) -> u8 {
+                self.0
+            }
+
+            /// Iterates over every register in the file, in index order.
+            pub fn all() -> impl Iterator<Item = Self> {
+                (0..Self::COUNT as u8).map(Self)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{}{}", $prefix, self.0)
+            }
+        }
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{}{}", $prefix, self.0)
+            }
+        }
+    };
+}
+
+reg_type!(
+    /// An integer (general-purpose) register, `r0`–`r15`.
+    ///
+    /// `r13`/`r14` follow the ARM convention (`sp`/`lr`) but carry no special
+    /// semantics in this ISA besides `bl` writing the return address to `lr`.
+    Reg,
+    "r",
+    16
+);
+
+reg_type!(
+    /// A scalar floating-point register, `f0`–`f15` (32-bit IEEE-754).
+    FReg,
+    "f",
+    16
+);
+
+reg_type!(
+    /// A vector register, `v0`–`v15`.
+    ///
+    /// A vector register holds one 32-bit lane per accelerator lane; the
+    /// element type (`i8`/`i16`/`i32`/`f32`) is carried by each instruction,
+    /// not by the register (paper §3.2: element width is derived from the
+    /// type of load used to read the vector).
+    VReg,
+    "v",
+    16
+);
+
+impl Reg {
+    /// `r0` — conventionally the loop induction variable in scalarized code.
+    pub const R0: Reg = Reg(0);
+    /// `r1`.
+    pub const R1: Reg = Reg(1);
+    /// `r2`.
+    pub const R2: Reg = Reg(2);
+    /// `r3`.
+    pub const R3: Reg = Reg(3);
+    /// `r4`.
+    pub const R4: Reg = Reg(4);
+    /// `r5`.
+    pub const R5: Reg = Reg(5);
+    /// `r6`.
+    pub const R6: Reg = Reg(6);
+    /// `r7`.
+    pub const R7: Reg = Reg(7);
+    /// `r8`.
+    pub const R8: Reg = Reg(8);
+    /// `r9`.
+    pub const R9: Reg = Reg(9);
+    /// `r10`.
+    pub const R10: Reg = Reg(10);
+    /// `r11`.
+    pub const R11: Reg = Reg(11);
+    /// `r12`.
+    pub const R12: Reg = Reg(12);
+    /// `r13` — stack pointer by convention.
+    pub const SP: Reg = Reg(13);
+    /// `r14` — link register; `bl` writes the return address here.
+    pub const LR: Reg = Reg(14);
+    /// `r15` — reserved (program counter alias); never a valid operand in
+    /// well-formed programs, but representable for decoder completeness.
+    pub const PC: Reg = Reg(15);
+}
+
+impl FReg {
+    /// `f0`.
+    pub const F0: FReg = FReg(0);
+    /// `f1`.
+    pub const F1: FReg = FReg(1);
+    /// `f2`.
+    pub const F2: FReg = FReg(2);
+    /// `f3`.
+    pub const F3: FReg = FReg(3);
+    /// `f4`.
+    pub const F4: FReg = FReg(4);
+    /// `f5`.
+    pub const F5: FReg = FReg(5);
+    /// `f6`.
+    pub const F6: FReg = FReg(6);
+    /// `f7`.
+    pub const F7: FReg = FReg(7);
+}
+
+impl VReg {
+    /// `v0`.
+    pub const V0: VReg = VReg(0);
+    /// `v1`.
+    pub const V1: VReg = VReg(1);
+    /// `v2`.
+    pub const V2: VReg = VReg(2);
+    /// `v3`.
+    pub const V3: VReg = VReg(3);
+    /// `v4`.
+    pub const V4: VReg = VReg(4);
+    /// `v5`.
+    pub const V5: VReg = VReg(5);
+    /// `v6`.
+    pub const V6: VReg = VReg(6);
+    /// `v7`.
+    pub const V7: VReg = VReg(7);
+    /// `v15` — conventionally the code generators' permutation scratch.
+    pub const V15: VReg = VReg(15);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reg_roundtrip_and_bounds() {
+        for i in 0..16u8 {
+            assert_eq!(Reg::new(i).unwrap().index(), i);
+        }
+        assert!(Reg::new(16).is_err());
+        assert!(FReg::new(16).is_err());
+        assert!(VReg::new(16).is_err());
+    }
+
+    #[test]
+    fn display_matches_paper_style() {
+        assert_eq!(Reg::R0.to_string(), "r0");
+        assert_eq!(FReg::F3.to_string(), "f3");
+        assert_eq!(VReg::V7.to_string(), "v7");
+        assert_eq!(Reg::LR.to_string(), "r14");
+    }
+
+    #[test]
+    fn all_iterates_in_order() {
+        let regs: Vec<Reg> = Reg::all().collect();
+        assert_eq!(regs.len(), 16);
+        assert_eq!(regs[0], Reg::R0);
+        assert_eq!(regs[15], Reg::PC);
+    }
+}

@@ -1,0 +1,387 @@
+//! The SRISC scalar instruction set.
+
+use std::fmt;
+
+use crate::cond::Cond;
+use crate::op::{AluOp, Base, FpOp, MemWidth, Operand2};
+use crate::program::SymId;
+use crate::reg::{FReg, Reg};
+
+/// A scalar instruction.
+///
+/// Branch targets are absolute instruction indices within the program's code
+/// section (the [`ProgramBuilder`](crate::ProgramBuilder) resolves labels to
+/// these indices; the binary encoding stores PC-relative offsets).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ScalarInst {
+    /// `mov{cond} rd, #imm`
+    MovImm {
+        /// Predicate.
+        cond: Cond,
+        /// Destination.
+        rd: Reg,
+        /// Immediate value.
+        imm: i32,
+    },
+    /// `mov{cond} rd, rm`
+    Mov {
+        /// Predicate.
+        cond: Cond,
+        /// Destination.
+        rd: Reg,
+        /// Source.
+        rm: Reg,
+    },
+    /// `op{cond} rd, rn, op2` — integer data processing.
+    Alu {
+        /// Predicate.
+        cond: Cond,
+        /// Operation.
+        op: AluOp,
+        /// Destination.
+        rd: Reg,
+        /// First source.
+        rn: Reg,
+        /// Second source (register or immediate).
+        op2: Operand2,
+    },
+    /// `cmp rn, op2` — sets the flags from `rn - op2`.
+    Cmp {
+        /// First source.
+        rn: Reg,
+        /// Second source.
+        op2: Operand2,
+    },
+    /// `fop fd, fn, fm` — floating-point data processing.
+    FAlu {
+        /// Operation.
+        op: FpOp,
+        /// Destination.
+        fd: FReg,
+        /// First source.
+        fn_: FReg,
+        /// Second source.
+        fm: FReg,
+    },
+    /// `fmov{cond} fd, fm`
+    FMov {
+        /// Predicate.
+        cond: Cond,
+        /// Destination.
+        fd: FReg,
+        /// Source.
+        fm: FReg,
+    },
+    /// `ld{b,h,w}[s] rd, [base + index]` — integer load; effective address is
+    /// `base + index * width.bytes()` (element-indexed addressing).
+    LdInt {
+        /// Access width.
+        width: MemWidth,
+        /// Sign-extend narrow loads when `true`, zero-extend otherwise.
+        signed: bool,
+        /// Destination.
+        rd: Reg,
+        /// Base (register or symbol).
+        base: Base,
+        /// Element index register.
+        index: Reg,
+    },
+    /// `st{b,h,w} [base + index], rs`
+    StInt {
+        /// Access width.
+        width: MemWidth,
+        /// Source register.
+        rs: Reg,
+        /// Base (register or symbol).
+        base: Base,
+        /// Element index register.
+        index: Reg,
+    },
+    /// `ldf fd, [base + index]` — 32-bit float load (element-indexed, x4).
+    LdF {
+        /// Destination.
+        fd: FReg,
+        /// Base (register or symbol).
+        base: Base,
+        /// Element index register.
+        index: Reg,
+    },
+    /// `stf [base + index], fs`
+    StF {
+        /// Source register.
+        fs: FReg,
+        /// Base (register or symbol).
+        base: Base,
+        /// Element index register.
+        index: Reg,
+    },
+    /// `b{cond} target` — conditional branch to an instruction index.
+    B {
+        /// Predicate.
+        cond: Cond,
+        /// Absolute instruction index of the target.
+        target: u32,
+    },
+    /// `bl target` / `bl.v target` — branch and link. `vectorizable` marks an
+    /// outlined Liquid SIMD region (paper §3.5 discusses marking outlined
+    /// functions uniquely to rule out false positives).
+    Bl {
+        /// Absolute instruction index of the callee.
+        target: u32,
+        /// `true` for the dedicated `bl.v` marker.
+        vectorizable: bool,
+    },
+    /// `ret` — return through the link register.
+    Ret,
+    /// `halt` — stop simulation.
+    Halt,
+    /// `nop`
+    Nop,
+}
+
+impl ScalarInst {
+    /// Whether this instruction writes the integer register `rd`.
+    #[must_use]
+    pub fn int_def(self) -> Option<Reg> {
+        match self {
+            ScalarInst::MovImm { rd, .. }
+            | ScalarInst::Mov { rd, .. }
+            | ScalarInst::Alu { rd, .. }
+            | ScalarInst::LdInt { rd, .. } => Some(rd),
+            ScalarInst::Bl { .. } => Some(Reg::LR),
+            _ => None,
+        }
+    }
+
+    /// Whether this instruction writes a floating-point register.
+    #[must_use]
+    pub fn fp_def(self) -> Option<FReg> {
+        match self {
+            ScalarInst::FAlu { fd, .. } | ScalarInst::FMov { fd, .. } | ScalarInst::LdF { fd, .. } => {
+                Some(fd)
+            }
+            _ => None,
+        }
+    }
+
+    /// Integer registers read by this instruction (up to three: sources and
+    /// address components).
+    #[must_use]
+    pub fn int_uses(self) -> Vec<Reg> {
+        let mut uses = Vec::new();
+        let push_base = |base: Base, uses: &mut Vec<Reg>| {
+            if let Base::Reg(r) = base {
+                uses.push(r);
+            }
+        };
+        match self {
+            ScalarInst::Mov { rm, .. } => uses.push(rm),
+            ScalarInst::Alu { rn, op2, .. } => {
+                uses.push(rn);
+                if let Operand2::Reg(r) = op2 {
+                    uses.push(r);
+                }
+            }
+            ScalarInst::Cmp { rn, op2 } => {
+                uses.push(rn);
+                if let Operand2::Reg(r) = op2 {
+                    uses.push(r);
+                }
+            }
+            ScalarInst::LdInt { base, index, .. } | ScalarInst::LdF { base, index, .. } => {
+                push_base(base, &mut uses);
+                uses.push(index);
+            }
+            ScalarInst::StInt { rs, base, index, .. } => {
+                uses.push(rs);
+                push_base(base, &mut uses);
+                uses.push(index);
+            }
+            ScalarInst::StF { base, index, .. } => {
+                push_base(base, &mut uses);
+                uses.push(index);
+            }
+            ScalarInst::Ret => uses.push(Reg::LR),
+            _ => {}
+        }
+        uses
+    }
+
+    /// Whether the instruction is a control-flow instruction.
+    #[must_use]
+    pub fn is_control(self) -> bool {
+        matches!(
+            self,
+            ScalarInst::B { .. } | ScalarInst::Bl { .. } | ScalarInst::Ret | ScalarInst::Halt
+        )
+    }
+
+    /// Whether the instruction accesses memory.
+    #[must_use]
+    pub fn is_mem(self) -> bool {
+        matches!(
+            self,
+            ScalarInst::LdInt { .. }
+                | ScalarInst::StInt { .. }
+                | ScalarInst::LdF { .. }
+                | ScalarInst::StF { .. }
+        )
+    }
+
+    /// Whether the instruction is a load.
+    #[must_use]
+    pub fn is_load(self) -> bool {
+        matches!(self, ScalarInst::LdInt { .. } | ScalarInst::LdF { .. })
+    }
+
+    /// The symbol referenced by a memory base, if any.
+    #[must_use]
+    pub fn base_symbol(self) -> Option<SymId> {
+        match self {
+            ScalarInst::LdInt { base, .. }
+            | ScalarInst::StInt { base, .. }
+            | ScalarInst::LdF { base, .. }
+            | ScalarInst::StF { base, .. } => match base {
+                Base::Sym(s) => Some(s),
+                Base::Reg(_) => None,
+            },
+            _ => None,
+        }
+    }
+}
+
+fn fmt_mem(
+    f: &mut fmt::Formatter<'_>,
+    mnemonic: &str,
+    base: Base,
+    index: Reg,
+) -> fmt::Result {
+    match base {
+        Base::Reg(r) => write!(f, "{mnemonic} [{r} + {index}]"),
+        Base::Sym(s) => write!(f, "{mnemonic} [{s} + {index}]"),
+    }
+}
+
+impl fmt::Display for ScalarInst {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            ScalarInst::MovImm { cond, rd, imm } => write!(f, "mov{cond} {rd}, #{imm}"),
+            ScalarInst::Mov { cond, rd, rm } => write!(f, "mov{cond} {rd}, {rm}"),
+            ScalarInst::Alu {
+                cond,
+                op,
+                rd,
+                rn,
+                op2,
+            } => write!(f, "{op}{cond} {rd}, {rn}, {op2}"),
+            ScalarInst::Cmp { rn, op2 } => write!(f, "cmp {rn}, {op2}"),
+            ScalarInst::FAlu { op, fd, fn_, fm } => write!(f, "{op} {fd}, {fn_}, {fm}"),
+            ScalarInst::FMov { cond, fd, fm } => write!(f, "fmov{cond} {fd}, {fm}"),
+            ScalarInst::LdInt {
+                width,
+                signed,
+                rd,
+                base,
+                index,
+            } => {
+                let s = if signed { "s" } else { "" };
+                let m = format!("ld{}{s} {rd},", width.suffix());
+                fmt_mem(f, &m, base, index)
+            }
+            ScalarInst::StInt {
+                width,
+                rs,
+                base,
+                index,
+            } => {
+                let m = format!("st{}", width.suffix());
+                fmt_mem(f, &m, base, index)?;
+                write!(f, ", {rs}")
+            }
+            ScalarInst::LdF { fd, base, index } => {
+                let m = format!("ldf {fd},");
+                fmt_mem(f, &m, base, index)
+            }
+            ScalarInst::StF { fs, base, index } => {
+                fmt_mem(f, "stf", base, index)?;
+                write!(f, ", {fs}")
+            }
+            ScalarInst::B { cond, target } => write!(f, "b{cond} @{target}"),
+            ScalarInst::Bl {
+                target,
+                vectorizable,
+            } => {
+                if vectorizable {
+                    write!(f, "bl.v @{target}")
+                } else {
+                    write!(f, "bl @{target}")
+                }
+            }
+            ScalarInst::Ret => f.write_str("ret"),
+            ScalarInst::Halt => f.write_str("halt"),
+            ScalarInst::Nop => f.write_str("nop"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_matches_paper_style() {
+        let i = ScalarInst::Alu {
+            cond: Cond::Al,
+            op: AluOp::Add,
+            rd: Reg::R1,
+            rn: Reg::R2,
+            op2: Operand2::Reg(Reg::R3),
+        };
+        assert_eq!(i.to_string(), "add r1, r2, r3");
+
+        let i = ScalarInst::MovImm {
+            cond: Cond::Gt,
+            rd: Reg::R1,
+            imm: 255,
+        };
+        assert_eq!(i.to_string(), "movgt r1, #255");
+
+        let i = ScalarInst::LdF {
+            fd: FReg::F0,
+            base: Base::Sym(SymId::new(2)),
+            index: Reg::R1,
+        };
+        assert_eq!(i.to_string(), "ldf f0, [sym2 + r1]");
+    }
+
+    #[test]
+    fn defs_and_uses() {
+        let i = ScalarInst::Alu {
+            cond: Cond::Al,
+            op: AluOp::Sub,
+            rd: Reg::R4,
+            rn: Reg::R5,
+            op2: Operand2::Reg(Reg::R6),
+        };
+        assert_eq!(i.int_def(), Some(Reg::R4));
+        assert_eq!(i.int_uses(), vec![Reg::R5, Reg::R6]);
+
+        let st = ScalarInst::StInt {
+            width: MemWidth::H,
+            rs: Reg::R2,
+            base: Base::Reg(Reg::R7),
+            index: Reg::R0,
+        };
+        assert_eq!(st.int_def(), None);
+        assert_eq!(st.int_uses(), vec![Reg::R2, Reg::R7, Reg::R0]);
+        assert!(st.is_mem());
+        assert!(!st.is_load());
+
+        let bl = ScalarInst::Bl {
+            target: 10,
+            vectorizable: true,
+        };
+        assert_eq!(bl.int_def(), Some(Reg::LR));
+        assert!(bl.is_control());
+    }
+}

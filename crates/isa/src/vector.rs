@@ -1,0 +1,406 @@
+//! The VSIMD vector instruction set executed by the SIMD accelerator.
+
+use std::fmt;
+
+use crate::error::IsaError;
+use crate::op::{Base, ElemType, RedOp, VAluOp};
+use crate::perm::PermKind;
+use crate::program::SymId;
+use crate::reg::{FReg, Reg, VReg};
+
+/// The broadcast operand of a vector-by-scalar operation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ScalarSrc {
+    /// An integer register, broadcast to all lanes.
+    R(Reg),
+    /// A floating-point register, broadcast to all lanes.
+    F(FReg),
+}
+
+impl fmt::Display for ScalarSrc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScalarSrc::R(r) => r.fmt(f),
+            ScalarSrc::F(fr) => fr.fmt(f),
+        }
+    }
+}
+
+/// A vector instruction.
+///
+/// Vector instructions operate on all lanes of the accelerator at once. Lane
+/// count is a property of the *machine*, not of the instruction — the same
+/// microcode semantics apply at any width, which is the essence of the
+/// paper's width-independent representation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum VectorInst {
+    /// `vld.<elem> vd, [base + index]` — contiguous vector load. Lane `i`
+    /// reads element `index + i`; the index register is in *elements*.
+    /// Narrow elements are sign-extended into the 32-bit lane when `signed`
+    /// is set, zero-extended otherwise (mirroring scalar `lds` vs `ld`).
+    VLd {
+        /// Element type.
+        elem: ElemType,
+        /// Sign-extend narrow elements into lanes.
+        signed: bool,
+        /// Destination.
+        vd: VReg,
+        /// Base (register or symbol).
+        base: Base,
+        /// Element index register (the vector loop's induction variable).
+        index: Reg,
+    },
+    /// `vst.<elem> [base + index], vs` — contiguous vector store.
+    VSt {
+        /// Element type.
+        elem: ElemType,
+        /// Source.
+        vs: VReg,
+        /// Base (register or symbol).
+        base: Base,
+        /// Element index register.
+        index: Reg,
+    },
+    /// `vop.<elem> vd, vn, vm` — element-wise data processing.
+    VAlu {
+        /// Operation.
+        op: VAluOp,
+        /// Element type.
+        elem: ElemType,
+        /// Destination.
+        vd: VReg,
+        /// First source.
+        vn: VReg,
+        /// Second source.
+        vm: VReg,
+    },
+    /// `vop.<elem> vd, vn, #imm` — element-wise op against a splatted
+    /// immediate (paper Table 1 category 2: "scalar supported constant").
+    VAluImm {
+        /// Operation.
+        op: VAluOp,
+        /// Element type.
+        elem: ElemType,
+        /// Destination.
+        vd: VReg,
+        /// Source.
+        vn: VReg,
+        /// Immediate, splat across lanes.
+        imm: i32,
+    },
+    /// `vop.<elem> vd, vn, =sym` — element-wise op against a constant vector
+    /// held in the data segment (paper Table 1 category 3: "non-scalar
+    /// supported constant"; the translator regenerates this from observed
+    /// `cnst` array loads). Lane `i` uses element `i mod period` of the
+    /// constant region, where the period is the region's element count.
+    VAluConst {
+        /// Operation.
+        op: VAluOp,
+        /// Element type.
+        elem: ElemType,
+        /// Destination.
+        vd: VReg,
+        /// Source.
+        vn: VReg,
+        /// Symbol of the constant region.
+        cnst: SymId,
+    },
+    /// `vop.<elem> vd, vn, rs|fs` — element-wise op against a *broadcast
+    /// scalar register* (Neon-style vector-by-scalar, e.g.
+    /// `VMUL Qd, Qn, Dm[0]`). The Liquid compiler hoists loop-invariant
+    /// constants into scalar registers; the translator turns the resulting
+    /// vector-scalar data processing into this form.
+    VAluScalar {
+        /// Operation.
+        op: VAluOp,
+        /// Element type.
+        elem: ElemType,
+        /// Destination.
+        vd: VReg,
+        /// Vector source.
+        vn: VReg,
+        /// Broadcast scalar source.
+        src: ScalarSrc,
+    },
+    /// `vred<op>.<elem> rd, vn` — integer reduction folded into a scalar
+    /// register: `rd = op(rd, vn[0], ..., vn[W-1])` (paper Table 3 rule 9).
+    VRedI {
+        /// Reduction operation.
+        op: RedOp,
+        /// Element type (integer).
+        elem: ElemType,
+        /// Accumulator (source and destination).
+        rd: Reg,
+        /// Vector source.
+        vn: VReg,
+    },
+    /// `vred<op>.f32 fd, vn` — floating-point reduction.
+    VRedF {
+        /// Reduction operation.
+        op: RedOp,
+        /// Accumulator (source and destination).
+        fd: FReg,
+        /// Vector source.
+        vn: VReg,
+    },
+    /// `vperm vd, vn` — blocked register permutation (`vbfly`, `vrev`,
+    /// `vrot`).
+    VPerm {
+        /// Permutation kind (carries its block size).
+        kind: PermKind,
+        /// Element type.
+        elem: ElemType,
+        /// Destination.
+        vd: VReg,
+        /// Source.
+        vn: VReg,
+    },
+    /// `vsplat.<elem> vd, #imm` — broadcast an immediate to all lanes (used
+    /// by native SIMD code generation; the Liquid representation never needs
+    /// it because constants travel through `VAluImm`/`VAluConst`).
+    VSplat {
+        /// Element type.
+        elem: ElemType,
+        /// Destination.
+        vd: VReg,
+        /// Immediate.
+        imm: i32,
+    },
+}
+
+impl VectorInst {
+    /// Validates operation/element-type combinations and permutation shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IsaError::InvalidCombination`] for undefined combinations
+    /// (e.g. `vand.f32`, saturating `i32`, malformed permutation blocks).
+    pub fn validate(&self) -> Result<(), IsaError> {
+        match *self {
+            VectorInst::VAlu { op, elem, .. }
+            | VectorInst::VAluImm { op, elem, .. }
+            | VectorInst::VAluConst { op, elem, .. }
+            | VectorInst::VAluScalar { op, elem, .. } => {
+                if !op.valid_for(elem) {
+                    return Err(IsaError::InvalidCombination {
+                        reason: format!("{op} is not defined for {elem} elements"),
+                    });
+                }
+                Ok(())
+            }
+            VectorInst::VRedI { elem, .. } => {
+                if elem.is_float() {
+                    return Err(IsaError::InvalidCombination {
+                        reason: "integer reduction with f32 elements (use vredf)".to_string(),
+                    });
+                }
+                Ok(())
+            }
+            VectorInst::VPerm { kind, .. } => kind.validate(),
+            _ => Ok(()),
+        }
+    }
+
+    /// The vector register written, if any.
+    #[must_use]
+    pub fn vec_def(self) -> Option<VReg> {
+        match self {
+            VectorInst::VLd { vd, .. }
+            | VectorInst::VAlu { vd, .. }
+            | VectorInst::VAluImm { vd, .. }
+            | VectorInst::VAluConst { vd, .. }
+            | VectorInst::VAluScalar { vd, .. }
+            | VectorInst::VPerm { vd, .. }
+            | VectorInst::VSplat { vd, .. } => Some(vd),
+            _ => None,
+        }
+    }
+
+    /// The vector registers read.
+    #[must_use]
+    pub fn vec_uses(self) -> Vec<VReg> {
+        match self {
+            VectorInst::VSt { vs, .. } => vec![vs],
+            VectorInst::VAlu { vn, vm, .. } => vec![vn, vm],
+            VectorInst::VAluImm { vn, .. }
+            | VectorInst::VAluConst { vn, .. }
+            | VectorInst::VAluScalar { vn, .. } => vec![vn],
+            VectorInst::VRedI { vn, .. } | VectorInst::VRedF { vn, .. } => vec![vn],
+            VectorInst::VPerm { vn, .. } => vec![vn],
+            _ => Vec::new(),
+        }
+    }
+
+    /// Whether the instruction accesses memory.
+    #[must_use]
+    pub fn is_mem(self) -> bool {
+        matches!(self, VectorInst::VLd { .. } | VectorInst::VSt { .. })
+    }
+
+    /// The element type this instruction operates on.
+    #[must_use]
+    pub fn elem(self) -> ElemType {
+        match self {
+            VectorInst::VLd { elem, .. }
+            | VectorInst::VSt { elem, .. }
+            | VectorInst::VAlu { elem, .. }
+            | VectorInst::VAluImm { elem, .. }
+            | VectorInst::VAluConst { elem, .. }
+            | VectorInst::VAluScalar { elem, .. }
+            | VectorInst::VRedI { elem, .. }
+            | VectorInst::VPerm { elem, .. }
+            | VectorInst::VSplat { elem, .. } => elem,
+            VectorInst::VRedF { .. } => ElemType::F32,
+        }
+    }
+}
+
+impl fmt::Display for VectorInst {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            VectorInst::VLd {
+                elem,
+                signed,
+                vd,
+                base,
+                index,
+            } => {
+                let m = if signed { "vlds" } else { "vld" };
+                match base {
+                    Base::Reg(r) => write!(f, "{m}.{elem} {vd}, [{r} + {index}]"),
+                    Base::Sym(s) => write!(f, "{m}.{elem} {vd}, [{s} + {index}]"),
+                }
+            }
+            VectorInst::VSt {
+                elem,
+                vs,
+                base,
+                index,
+            } => match base {
+                Base::Reg(r) => write!(f, "vst.{elem} [{r} + {index}], {vs}"),
+                Base::Sym(s) => write!(f, "vst.{elem} [{s} + {index}], {vs}"),
+            },
+            VectorInst::VAlu {
+                op,
+                elem,
+                vd,
+                vn,
+                vm,
+            } => write!(f, "{op}.{elem} {vd}, {vn}, {vm}"),
+            VectorInst::VAluImm {
+                op,
+                elem,
+                vd,
+                vn,
+                imm,
+            } => write!(f, "{op}.{elem} {vd}, {vn}, #{imm}"),
+            VectorInst::VAluConst {
+                op,
+                elem,
+                vd,
+                vn,
+                cnst,
+            } => write!(f, "{op}.{elem} {vd}, {vn}, ={cnst}"),
+            VectorInst::VAluScalar {
+                op,
+                elem,
+                vd,
+                vn,
+                src,
+            } => write!(f, "{op}.{elem} {vd}, {vn}, {src}"),
+            VectorInst::VRedI { op, elem, rd, vn } => {
+                write!(f, "{}.{elem} {rd}, {vn}", op.mnemonic())
+            }
+            VectorInst::VRedF { op, fd, vn } => write!(f, "{}.f32 {fd}, {vn}", op.mnemonic()),
+            VectorInst::VPerm { kind, elem, vd, vn } => {
+                write!(f, "{kind}.{elem} {vd}, {vn}")
+            }
+            VectorInst::VSplat { elem, vd, imm } => write!(f, "vsplat.{elem} {vd}, #{imm}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_forms() {
+        let i = VectorInst::VAlu {
+            op: VAluOp::Add,
+            elem: ElemType::I16,
+            vd: VReg::V1,
+            vn: VReg::V2,
+            vm: VReg::V3,
+        };
+        assert_eq!(i.to_string(), "vadd.i16 v1, v2, v3");
+
+        let i = VectorInst::VPerm {
+            kind: PermKind::Bfly { block: 8 },
+            elem: ElemType::F32,
+            vd: VReg::V0,
+            vn: VReg::V0,
+        };
+        assert_eq!(i.to_string(), "vbfly.b8.f32 v0, v0");
+
+        let i = VectorInst::VRedI {
+            op: RedOp::Min,
+            elem: ElemType::I32,
+            rd: Reg::R1,
+            vn: VReg::V2,
+        };
+        assert_eq!(i.to_string(), "vredmin.i32 r1, v2");
+    }
+
+    #[test]
+    fn validation() {
+        let bad = VectorInst::VAlu {
+            op: VAluOp::And,
+            elem: ElemType::F32,
+            vd: VReg::V0,
+            vn: VReg::V1,
+            vm: VReg::V2,
+        };
+        assert!(bad.validate().is_err());
+
+        let bad = VectorInst::VRedI {
+            op: RedOp::Sum,
+            elem: ElemType::F32,
+            rd: Reg::R1,
+            vn: VReg::V0,
+        };
+        assert!(bad.validate().is_err());
+
+        let good = VectorInst::VAluImm {
+            op: VAluOp::SatAdd,
+            elem: ElemType::I8,
+            vd: VReg::V0,
+            vn: VReg::V0,
+            imm: 10,
+        };
+        assert!(good.validate().is_ok());
+    }
+
+    #[test]
+    fn defs_uses() {
+        let i = VectorInst::VAlu {
+            op: VAluOp::Mul,
+            elem: ElemType::I32,
+            vd: VReg::V4,
+            vn: VReg::V5,
+            vm: VReg::V6,
+        };
+        assert_eq!(i.vec_def(), Some(VReg::V4));
+        assert_eq!(i.vec_uses(), vec![VReg::V5, VReg::V6]);
+
+        let st = VectorInst::VSt {
+            elem: ElemType::I8,
+            vs: VReg::V1,
+            base: Base::Reg(Reg::R2),
+            index: Reg::R0,
+        };
+        assert_eq!(st.vec_def(), None);
+        assert_eq!(st.vec_uses(), vec![VReg::V1]);
+        assert!(st.is_mem());
+    }
+}

@@ -1,0 +1,24 @@
+//! Memory-system models for the Liquid SIMD simulator.
+//!
+//! Two components:
+//!
+//! * [`Memory`] — a flat, little-endian, byte-addressable functional memory
+//!   with typed accessors (a program's data segment is loaded here).
+//! * [`Cache`] — a timing-only set-associative cache with true-LRU
+//!   replacement, configured by [`CacheConfig`]. The paper's evaluation uses
+//!   an ARM-926EJ-S with 16 KB, 64-way instruction and data caches
+//!   ([`CacheConfig::arm926_16k`]).
+//!
+//! Caches here are *timing* models: they track which lines are resident to
+//! classify accesses as hits or misses, while data always comes from the
+//! functional [`Memory`]. This mirrors how SimpleScalar's cache hierarchy is
+//! used in the paper.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cache;
+mod memory;
+
+pub use cache::{Cache, CacheConfig, CacheStats};
+pub use memory::{MemError, Memory};

@@ -1,0 +1,212 @@
+//! Flat little-endian functional memory.
+
+use std::error::Error;
+use std::fmt;
+
+/// An out-of-range or misaligned memory access.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MemError {
+    /// The faulting byte address.
+    pub addr: u32,
+    /// Access size in bytes.
+    pub size: u32,
+    /// Whether it was a write.
+    pub write: bool,
+}
+
+impl fmt::Display for MemError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} of {} bytes at {:#010x} is outside mapped memory",
+            if self.write { "write" } else { "read" },
+            self.size,
+            self.addr
+        )
+    }
+}
+
+impl Error for MemError {}
+
+/// A flat byte-addressable memory region mapped at a base address.
+///
+/// All multi-byte accesses are little-endian. Accesses outside the mapped
+/// window return [`MemError`] rather than panicking, so the simulator can
+/// report wild addresses as simulation faults.
+#[derive(Clone, Debug)]
+pub struct Memory {
+    base: u32,
+    bytes: Vec<u8>,
+}
+
+impl Memory {
+    /// Creates a zeroed memory window of `size` bytes mapped at `base`.
+    #[must_use]
+    pub fn new(base: u32, size: usize) -> Memory {
+        Memory {
+            base,
+            bytes: vec![0; size],
+        }
+    }
+
+    /// Creates a memory window initialised with an image (e.g. a program's
+    /// data segment), padded with `extra` zero bytes of headroom.
+    #[must_use]
+    pub fn with_image(base: u32, image: &[u8], extra: usize) -> Memory {
+        let mut bytes = image.to_vec();
+        bytes.resize(image.len() + extra, 0);
+        Memory { base, bytes }
+    }
+
+    /// The base address of the mapped window.
+    #[must_use]
+    pub fn base(&self) -> u32 {
+        self.base
+    }
+
+    /// The size of the mapped window in bytes.
+    #[must_use]
+    pub fn size(&self) -> usize {
+        self.bytes.len()
+    }
+
+    fn offset(&self, addr: u32, size: u32, write: bool) -> Result<usize, MemError> {
+        let err = MemError { addr, size, write };
+        let off = addr.checked_sub(self.base).ok_or(err)? as usize;
+        let end = off.checked_add(size as usize).ok_or(err)?;
+        if end > self.bytes.len() {
+            return Err(err);
+        }
+        Ok(off)
+    }
+
+    /// Reads `size` (1, 2, or 4) bytes at `addr`, zero-extended to `u32`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError`] if the access falls outside the window.
+    pub fn read(&self, addr: u32, size: u32) -> Result<u32, MemError> {
+        let off = self.offset(addr, size, false)?;
+        Ok(match size {
+            1 => u32::from(self.bytes[off]),
+            2 => u32::from(u16::from_le_bytes([self.bytes[off], self.bytes[off + 1]])),
+            4 => u32::from_le_bytes([
+                self.bytes[off],
+                self.bytes[off + 1],
+                self.bytes[off + 2],
+                self.bytes[off + 3],
+            ]),
+            _ => panic!("unsupported access size {size}"),
+        })
+    }
+
+    /// Reads with sign extension from the access width to `i32`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError`] if the access falls outside the window.
+    pub fn read_signed(&self, addr: u32, size: u32) -> Result<i32, MemError> {
+        let raw = self.read(addr, size)?;
+        Ok(match size {
+            1 => i32::from(raw as u8 as i8),
+            2 => i32::from(raw as u16 as i16),
+            4 => raw as i32,
+            _ => unreachable!(),
+        })
+    }
+
+    /// Writes the low `size` bytes of `value` at `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError`] if the access falls outside the window.
+    pub fn write(&mut self, addr: u32, size: u32, value: u32) -> Result<(), MemError> {
+        let off = self.offset(addr, size, true)?;
+        let le = value.to_le_bytes();
+        self.bytes[off..off + size as usize].copy_from_slice(&le[..size as usize]);
+        Ok(())
+    }
+
+    /// Reads an `f32` (stored as its IEEE-754 bits).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError`] if the access falls outside the window.
+    pub fn read_f32(&self, addr: u32) -> Result<f32, MemError> {
+        Ok(f32::from_bits(self.read(addr, 4)?))
+    }
+
+    /// Writes an `f32` (as its IEEE-754 bits).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError`] if the access falls outside the window.
+    pub fn write_f32(&mut self, addr: u32, value: f32) -> Result<(), MemError> {
+        self.write(addr, 4, value.to_bits())
+    }
+
+    /// Borrows a raw byte range (for test assertions and gold comparisons).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError`] if the range falls outside the window.
+    pub fn slice(&self, addr: u32, len: usize) -> Result<&[u8], MemError> {
+        let off = self.offset(addr, len as u32, false)?;
+        Ok(&self.bytes[off..off + len])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn little_endian_roundtrips() {
+        let mut m = Memory::new(0x1000, 64);
+        m.write(0x1000, 4, 0xDEAD_BEEF).unwrap();
+        assert_eq!(m.read(0x1000, 4).unwrap(), 0xDEAD_BEEF);
+        assert_eq!(m.read(0x1000, 1).unwrap(), 0xEF);
+        assert_eq!(m.read(0x1001, 1).unwrap(), 0xBE);
+        assert_eq!(m.read(0x1000, 2).unwrap(), 0xBEEF);
+    }
+
+    #[test]
+    fn sign_extension() {
+        let mut m = Memory::new(0, 16);
+        m.write(0, 1, 0x80).unwrap();
+        assert_eq!(m.read_signed(0, 1).unwrap(), -128);
+        assert_eq!(m.read(0, 1).unwrap(), 128);
+        m.write(4, 2, 0xFFFF).unwrap();
+        assert_eq!(m.read_signed(4, 2).unwrap(), -1);
+    }
+
+    #[test]
+    fn floats() {
+        let mut m = Memory::new(0x100, 16);
+        m.write_f32(0x104, -3.75).unwrap();
+        assert_eq!(m.read_f32(0x104).unwrap(), -3.75);
+    }
+
+    #[test]
+    fn out_of_range_is_an_error() {
+        let mut m = Memory::new(0x1000, 8);
+        assert!(m.read(0xFFF, 1).is_err());
+        assert!(m.read(0x1006, 4).is_err());
+        assert!(m.write(0x1008, 1, 0).is_err());
+        // Wrap-around addresses must not panic.
+        assert!(m.read(u32::MAX, 4).is_err());
+        let e = m.read(0x2000, 4).unwrap_err();
+        assert_eq!(e.addr, 0x2000);
+        assert!(!e.write);
+    }
+
+    #[test]
+    fn image_and_headroom() {
+        let m = Memory::with_image(0x10, &[1, 2, 3], 5);
+        assert_eq!(m.size(), 8);
+        assert_eq!(m.read(0x10, 1).unwrap(), 1);
+        assert_eq!(m.read(0x12, 1).unwrap(), 3);
+        assert_eq!(m.read(0x13, 1).unwrap(), 0);
+        assert_eq!(m.slice(0x10, 3).unwrap(), &[1, 2, 3]);
+    }
+}

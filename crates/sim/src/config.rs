@@ -1,0 +1,178 @@
+//! Machine configuration.
+
+use liquid_simd_mem::CacheConfig;
+
+/// Functional-unit and structural latencies, in cycles.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LatencyModel {
+    /// Simple integer ALU result latency.
+    pub int_alu: u32,
+    /// Integer multiply result latency.
+    pub int_mul: u32,
+    /// FP add/sub/min/max result latency.
+    pub fp_alu: u32,
+    /// FP multiply result latency.
+    pub fp_mul: u32,
+    /// FP divide result latency.
+    pub fp_div: u32,
+    /// Load-to-use latency on a D-cache hit.
+    pub load: u32,
+    /// Pipeline refill cycles charged for every taken branch (the
+    /// ARM-926EJ-S has no branch predictor).
+    pub branch_taken: u32,
+}
+
+impl Default for LatencyModel {
+    fn default() -> LatencyModel {
+        LatencyModel {
+            int_alu: 1,
+            int_mul: 3,
+            fp_alu: 3,
+            fp_mul: 4,
+            fp_div: 15,
+            load: 1,
+            branch_taken: 2,
+        }
+    }
+}
+
+/// Dynamic-translation behaviour.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TranslationConfig {
+    /// Whether the dynamic translator is present.
+    pub enabled: bool,
+    /// Hardware translation throughput: cycles charged per observed scalar
+    /// instruction before the microcode-cache entry becomes usable. The
+    /// paper assumes 1 and shows "tens of cycles" would also be fine
+    /// (Table 6 discussion) — sweepable for the latency ablation.
+    pub cycles_per_instr: u64,
+    /// Software-JIT mode: translation work *stalls the pipeline* (a JIT
+    /// shares the CPU, §2) instead of running off the critical path.
+    pub jit: bool,
+    /// Cycles per observed instruction in JIT mode.
+    pub jit_cycles_per_instr: u64,
+    /// Also attempt translation of plain `bl` calls (no `bl.v` marker) —
+    /// the false-positive-tolerant mode of §3.5.
+    pub translate_plain_bl: bool,
+    /// Hardware register-state value-field width (forwarded to the
+    /// translator; see `TranslatorConfig::value_bits`).
+    pub value_bits: u32,
+    /// Enforce the value-field width (hardware) or not (JIT).
+    pub hw_value_limit: bool,
+}
+
+impl Default for TranslationConfig {
+    fn default() -> TranslationConfig {
+        TranslationConfig {
+            enabled: true,
+            cycles_per_instr: 1,
+            jit: false,
+            jit_cycles_per_instr: 40,
+            translate_plain_bl: false,
+            value_bits: 12,
+            hw_value_limit: true,
+        }
+    }
+}
+
+/// Full machine configuration.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MachineConfig {
+    /// SIMD accelerator width in lanes; `0` means no accelerator (vector
+    /// instructions fault, translation is pointless).
+    pub lanes: usize,
+    /// Instruction cache geometry.
+    pub icache: CacheConfig,
+    /// Data cache geometry.
+    pub dcache: CacheConfig,
+    /// Latencies.
+    pub lat: LatencyModel,
+    /// Microcode cache entries (8 in the paper).
+    pub mcache_entries: usize,
+    /// Microcode cache entry capacity in instructions (64 in the paper).
+    pub mcache_uops: usize,
+    /// Translation behaviour.
+    pub translation: TranslationConfig,
+    /// Zeroed bytes mapped after the program's data image.
+    pub mem_headroom: usize,
+    /// Simulation safety stop.
+    pub max_cycles: u64,
+    /// Raise an external translator abort every this many retired
+    /// instructions (simulated interrupts; `0` disables).
+    pub interrupt_every: u64,
+}
+
+impl Default for MachineConfig {
+    fn default() -> MachineConfig {
+        MachineConfig {
+            lanes: 8,
+            icache: CacheConfig::arm926_16k(),
+            dcache: CacheConfig::arm926_16k(),
+            lat: LatencyModel::default(),
+            mcache_entries: 8,
+            mcache_uops: 64,
+            translation: TranslationConfig::default(),
+            mem_headroom: 4096,
+            max_cycles: 10_000_000_000,
+            interrupt_every: 0,
+        }
+    }
+}
+
+impl MachineConfig {
+    /// The paper's baseline: an ARM-926EJ-S with no SIMD accelerator and no
+    /// translator (Figure 6's denominator).
+    #[must_use]
+    pub fn scalar_only() -> MachineConfig {
+        MachineConfig {
+            lanes: 0,
+            translation: TranslationConfig {
+                enabled: false,
+                ..TranslationConfig::default()
+            },
+            ..MachineConfig::default()
+        }
+    }
+
+    /// A Liquid SIMD machine with a `lanes`-wide accelerator and the
+    /// hardware dynamic translator.
+    #[must_use]
+    pub fn liquid(lanes: usize) -> MachineConfig {
+        MachineConfig {
+            lanes,
+            ..MachineConfig::default()
+        }
+    }
+
+    /// A machine with a `lanes`-wide accelerator executing *native* SIMD
+    /// binaries (no translation needed) — the Figure 6 callout comparator.
+    #[must_use]
+    pub fn native(lanes: usize) -> MachineConfig {
+        MachineConfig {
+            lanes,
+            translation: TranslationConfig {
+                enabled: false,
+                ..TranslationConfig::default()
+            },
+            ..MachineConfig::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets() {
+        let s = MachineConfig::scalar_only();
+        assert_eq!(s.lanes, 0);
+        assert!(!s.translation.enabled);
+        let l = MachineConfig::liquid(16);
+        assert_eq!(l.lanes, 16);
+        assert!(l.translation.enabled);
+        let n = MachineConfig::native(4);
+        assert!(!n.translation.enabled);
+        assert_eq!(n.mcache_entries, 8);
+    }
+}

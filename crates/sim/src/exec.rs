@@ -1,0 +1,651 @@
+//! Functional execution of scalar and vector instructions.
+
+use std::error::Error;
+use std::fmt;
+
+use liquid_simd_isa::{
+    Base, ElemType, Inst, Operand2, Program, RedOp, ScalarInst, VectorInst,
+};
+use liquid_simd_mem::{MemError, Memory};
+
+use crate::regfile::RegFile;
+
+/// A simulation fault.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SimError {
+    /// A memory access fell outside mapped memory.
+    Mem(MemError),
+    /// An architectural fault (bad symbol, vector op without accelerator,
+    /// wild control transfer, cycle-limit exceeded).
+    Fault {
+        /// Code index of the faulting instruction.
+        pc: u32,
+        /// Explanation.
+        what: String,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Mem(e) => write!(f, "memory fault: {e}"),
+            SimError::Fault { pc, what } => write!(f, "fault at @{pc}: {what}"),
+        }
+    }
+}
+
+impl Error for SimError {}
+
+impl From<MemError> for SimError {
+    fn from(e: MemError) -> SimError {
+        SimError::Mem(e)
+    }
+}
+
+/// Where control goes after an instruction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Control {
+    /// Fall through.
+    Next,
+    /// Branch to a code index.
+    Jump(u32),
+    /// Procedure call (`lr` already written).
+    Call {
+        /// Callee entry.
+        target: u32,
+        /// Whether the call carries the `bl.v` translatable marker.
+        vectorizable: bool,
+    },
+    /// Return through the link register (or microcode end).
+    Return,
+    /// Stop simulation.
+    Halt,
+}
+
+/// Everything the timing model and the translator tap need to know about
+/// one executed instruction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Outcome {
+    /// Control disposition.
+    pub control: Control,
+    /// Integer result (for the translator's `Data` input).
+    pub value: Option<i64>,
+    /// Whether the predicate passed.
+    pub executed: bool,
+    /// For branches: taken?
+    pub taken: bool,
+    /// Memory touched: `(addr, len, is_write)`.
+    pub mem: Option<(u32, u32, bool)>,
+}
+
+impl Outcome {
+    fn next() -> Outcome {
+        Outcome {
+            control: Control::Next,
+            value: None,
+            executed: true,
+            taken: false,
+            mem: None,
+        }
+    }
+}
+
+fn base_addr(base: Base, regs: &RegFile, prog: &Program, pc: u32) -> Result<u32, SimError> {
+    match base {
+        Base::Reg(r) => Ok(regs.r[r.index() as usize]),
+        Base::Sym(s) => Ok(prog
+            .symbol(s)
+            .map_err(|e| SimError::Fault {
+                pc,
+                what: e.to_string(),
+            })?
+            .addr),
+    }
+}
+
+// ALU / lane semantics are defined once, in the ISA crate
+// (`AluOp::eval`, `FpOp::eval`, `VAluOp::eval_lane`, `RedOp::eval_*`), so
+// the simulator and the compiler's gold evaluator cannot drift apart.
+
+fn load_extend(mem: &Memory, addr: u32, width: u32, signed: bool) -> Result<(u32, i64), SimError> {
+    if signed || width == 4 {
+        let v = mem.read_signed(addr, width)?;
+        Ok((v as u32, i64::from(v)))
+    } else {
+        let v = mem.read(addr, width)?;
+        Ok((v, i64::from(v)))
+    }
+}
+
+/// Executes one instruction functionally.
+///
+/// # Errors
+///
+/// Returns [`SimError`] on memory faults, bad symbols, or vector execution
+/// without an accelerator (`lanes == 0`).
+#[allow(clippy::too_many_lines)]
+pub fn exec(
+    inst: &Inst,
+    pc: u32,
+    regs: &mut RegFile,
+    mem: &mut Memory,
+    prog: &Program,
+    lanes: usize,
+) -> Result<Outcome, SimError> {
+    match inst {
+        Inst::S(s) => exec_scalar(s, pc, regs, mem, prog),
+        Inst::V(v) => {
+            if lanes < 2 {
+                return Err(SimError::Fault {
+                    pc,
+                    what: format!("vector instruction `{v}` without SIMD accelerator"),
+                });
+            }
+            exec_vector(v, pc, regs, mem, prog, lanes)
+        }
+    }
+}
+
+fn exec_scalar(
+    s: &ScalarInst,
+    pc: u32,
+    regs: &mut RegFile,
+    mem: &mut Memory,
+    prog: &Program,
+) -> Result<Outcome, SimError> {
+    let mut out = Outcome::next();
+    match *s {
+        ScalarInst::MovImm { cond, rd, imm } => {
+            out.executed = cond.eval(regs.flags);
+            if out.executed {
+                regs.r[rd.index() as usize] = imm as u32;
+            }
+            out.value = Some(i64::from(imm));
+        }
+        ScalarInst::Mov { cond, rd, rm } => {
+            out.executed = cond.eval(regs.flags);
+            if out.executed {
+                regs.r[rd.index() as usize] = regs.r[rm.index() as usize];
+            }
+            out.value = Some(i64::from(regs.r[rd.index() as usize] as i32));
+        }
+        ScalarInst::Alu {
+            cond,
+            op,
+            rd,
+            rn,
+            op2,
+        } => {
+            out.executed = cond.eval(regs.flags);
+            let b = match op2 {
+                Operand2::Reg(r) => regs.r[r.index() as usize] as i32,
+                Operand2::Imm(i) => i,
+            };
+            if out.executed {
+                let a = regs.r[rn.index() as usize] as i32;
+                let v = op.eval(a, b);
+                regs.r[rd.index() as usize] = v as u32;
+                out.value = Some(i64::from(v));
+            }
+        }
+        ScalarInst::Cmp { rn, op2 } => {
+            let a = regs.r[rn.index() as usize] as i32;
+            let b = match op2 {
+                Operand2::Reg(r) => regs.r[r.index() as usize] as i32,
+                Operand2::Imm(i) => i,
+            };
+            regs.flags = liquid_simd_isa::Flags::from_cmp(a, b);
+        }
+        ScalarInst::FAlu { op, fd, fn_, fm } => {
+            let v = op.eval(regs.f32(fn_.index()), regs.f32(fm.index()));
+            regs.set_f32(fd.index(), v);
+        }
+        ScalarInst::FMov { cond, fd, fm } => {
+            if cond.eval(regs.flags) {
+                regs.f[fd.index() as usize] = regs.f[fm.index() as usize];
+            } else {
+                out.executed = false;
+            }
+        }
+        ScalarInst::LdInt {
+            width,
+            signed,
+            rd,
+            base,
+            index,
+        } => {
+            let b = base_addr(base, regs, prog, pc)?;
+            let w = width.bytes();
+            let addr = b.wrapping_add(regs.r[index.index() as usize].wrapping_mul(w));
+            let (raw, value) = load_extend(mem, addr, w, signed)?;
+            regs.r[rd.index() as usize] = raw;
+            out.value = Some(value);
+            out.mem = Some((addr, w, false));
+        }
+        ScalarInst::StInt {
+            width,
+            rs,
+            base,
+            index,
+        } => {
+            let b = base_addr(base, regs, prog, pc)?;
+            let w = width.bytes();
+            let addr = b.wrapping_add(regs.r[index.index() as usize].wrapping_mul(w));
+            mem.write(addr, w, regs.r[rs.index() as usize])?;
+            out.mem = Some((addr, w, true));
+        }
+        ScalarInst::LdF { fd, base, index } => {
+            let b = base_addr(base, regs, prog, pc)?;
+            let addr = b.wrapping_add(regs.r[index.index() as usize].wrapping_mul(4));
+            regs.f[fd.index() as usize] = mem.read(addr, 4)?;
+            out.mem = Some((addr, 4, false));
+        }
+        ScalarInst::StF { fs, base, index } => {
+            let b = base_addr(base, regs, prog, pc)?;
+            let addr = b.wrapping_add(regs.r[index.index() as usize].wrapping_mul(4));
+            mem.write(addr, 4, regs.f[fs.index() as usize])?;
+            out.mem = Some((addr, 4, true));
+        }
+        ScalarInst::B { cond, target } => {
+            out.taken = cond.eval(regs.flags);
+            if out.taken {
+                out.control = Control::Jump(target);
+            }
+        }
+        ScalarInst::Bl {
+            target,
+            vectorizable,
+        } => {
+            regs.r[14] = pc + 1;
+            out.taken = true;
+            out.control = Control::Call {
+                target,
+                vectorizable,
+            };
+        }
+        ScalarInst::Ret => {
+            out.taken = true;
+            out.control = Control::Return;
+        }
+        ScalarInst::Halt => {
+            out.control = Control::Halt;
+        }
+        ScalarInst::Nop => {}
+    }
+    Ok(out)
+}
+
+#[allow(clippy::too_many_lines)]
+fn exec_vector(
+    v: &VectorInst,
+    pc: u32,
+    regs: &mut RegFile,
+    mem: &mut Memory,
+    prog: &Program,
+    lanes: usize,
+) -> Result<Outcome, SimError> {
+    let mut out = Outcome::next();
+    match *v {
+        VectorInst::VLd {
+            elem,
+            signed,
+            vd,
+            base,
+            index,
+        } => {
+            let b = base_addr(base, regs, prog, pc)?;
+            let esz = elem.bytes();
+            let start = b.wrapping_add(regs.r[index.index() as usize].wrapping_mul(esz));
+            for i in 0..lanes {
+                let addr = start + i as u32 * esz;
+                let (raw, _) = load_extend(mem, addr, esz, signed)?;
+                regs.v[vd.index() as usize][i] = raw;
+            }
+            out.mem = Some((start, esz * lanes as u32, false));
+        }
+        VectorInst::VSt {
+            elem,
+            vs,
+            base,
+            index,
+        } => {
+            let b = base_addr(base, regs, prog, pc)?;
+            let esz = elem.bytes();
+            let start = b.wrapping_add(regs.r[index.index() as usize].wrapping_mul(esz));
+            for i in 0..lanes {
+                let addr = start + i as u32 * esz;
+                mem.write(addr, esz, regs.v[vs.index() as usize][i])?;
+            }
+            out.mem = Some((start, esz * lanes as u32, true));
+        }
+        VectorInst::VAlu {
+            op,
+            elem,
+            vd,
+            vn,
+            vm,
+        } => {
+            for i in 0..lanes {
+                let a = regs.v[vn.index() as usize][i];
+                let b = regs.v[vm.index() as usize][i];
+                regs.v[vd.index() as usize][i] = op.eval_lane(elem, a, b);
+            }
+        }
+        VectorInst::VAluImm {
+            op,
+            elem,
+            vd,
+            vn,
+            imm,
+        } => {
+            for i in 0..lanes {
+                let a = regs.v[vn.index() as usize][i];
+                regs.v[vd.index() as usize][i] = op.eval_lane(elem, a, imm as u32);
+            }
+        }
+        VectorInst::VAluConst {
+            op,
+            elem,
+            vd,
+            vn,
+            cnst,
+        } => {
+            let sym = prog.symbol(cnst).map_err(|e| SimError::Fault {
+                pc,
+                what: e.to_string(),
+            })?;
+            let esz = elem.bytes();
+            let period = (sym.size / esz).max(1);
+            for i in 0..lanes {
+                let addr = sym.addr + (i as u32 % period) * esz;
+                let (raw, _) = load_extend(mem, addr, esz, elem != ElemType::F32)?;
+                let a = regs.v[vn.index() as usize][i];
+                regs.v[vd.index() as usize][i] = op.eval_lane(elem, a, raw);
+            }
+            out.mem = Some((sym.addr, esz * period.min(lanes as u32), false));
+        }
+        VectorInst::VAluScalar {
+            op,
+            elem,
+            vd,
+            vn,
+            src,
+        } => {
+            let broadcast = match src {
+                liquid_simd_isa::ScalarSrc::R(r) => regs.r[r.index() as usize],
+                liquid_simd_isa::ScalarSrc::F(fr) => regs.f[fr.index() as usize],
+            };
+            for i in 0..lanes {
+                let a = regs.v[vn.index() as usize][i];
+                regs.v[vd.index() as usize][i] = op.eval_lane(elem, a, broadcast);
+            }
+        }
+        VectorInst::VRedI { op, elem: _, rd, vn } => {
+            let mut acc = regs.r[rd.index() as usize] as i32;
+            for i in 0..lanes {
+                let lane = regs.v[vn.index() as usize][i] as i32;
+                acc = match op {
+                    RedOp::Min => acc.min(lane),
+                    RedOp::Max => acc.max(lane),
+                    RedOp::Sum => acc.wrapping_add(lane),
+                };
+            }
+            regs.r[rd.index() as usize] = acc as u32;
+            out.value = Some(i64::from(acc));
+        }
+        VectorInst::VRedF { op, fd, vn } => {
+            let mut acc = regs.f32(fd.index());
+            for i in 0..lanes {
+                let lane = f32::from_bits(regs.v[vn.index() as usize][i]);
+                acc = match op {
+                    RedOp::Min => acc.min(lane),
+                    RedOp::Max => acc.max(lane),
+                    RedOp::Sum => acc + lane,
+                };
+            }
+            regs.set_f32(fd.index(), acc);
+        }
+        VectorInst::VPerm { kind, elem: _, vd, vn } => {
+            let block = kind.block() as usize;
+            if block > lanes || lanes % block != 0 {
+                return Err(SimError::Fault {
+                    pc,
+                    what: format!(
+                        "permutation block {block} not executable at {lanes} lanes"
+                    ),
+                });
+            }
+            let src = regs.v[vn.index() as usize].clone();
+            let dst = &mut regs.v[vd.index() as usize];
+            for (i, d) in dst.iter_mut().enumerate() {
+                let base = i - (i % block);
+                *d = src[base + kind.source_index(i)];
+            }
+        }
+        VectorInst::VSplat { elem: _, vd, imm } => {
+            for lane in &mut regs.v[vd.index() as usize] {
+                *lane = imm as u32;
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use liquid_simd_isa::{AluOp, Cond, FReg, MemWidth, PermKind, Reg, SymId, VAluOp, VReg};
+
+    fn setup(lanes: usize) -> (RegFile, Memory, Program) {
+        let regs = RegFile::new(lanes);
+        let mem = Memory::new(0x1000, 256);
+        let prog = Program {
+            code: vec![],
+            data: vec![],
+            symbols: vec![liquid_simd_isa::Symbol {
+                name: "a".into(),
+                addr: 0x1000,
+                size: 64,
+                elem_bytes: 4,
+            }],
+            entry: 0,
+            data_base: 0x1000,
+            labels: vec![],
+        };
+        (regs, mem, prog)
+    }
+
+    #[test]
+    fn scalar_alu_and_flags() {
+        let (mut regs, mut mem, prog) = setup(0);
+        regs.r[2] = 7;
+        let add = Inst::S(ScalarInst::Alu {
+            cond: Cond::Al,
+            op: AluOp::Add,
+            rd: Reg::R1,
+            rn: Reg::R2,
+            op2: Operand2::Imm(5),
+        });
+        let o = exec(&add, 0, &mut regs, &mut mem, &prog, 0).unwrap();
+        assert_eq!(regs.r[1], 12);
+        assert_eq!(o.value, Some(12));
+
+        let cmp = Inst::S(ScalarInst::Cmp {
+            rn: Reg::R1,
+            op2: Operand2::Imm(20),
+        });
+        exec(&cmp, 0, &mut regs, &mut mem, &prog, 0).unwrap();
+        let movgt = Inst::S(ScalarInst::MovImm {
+            cond: Cond::Gt,
+            rd: Reg::R1,
+            imm: 99,
+        });
+        let o = exec(&movgt, 0, &mut regs, &mut mem, &prog, 0).unwrap();
+        assert!(!o.executed);
+        assert_eq!(regs.r[1], 12); // predicate failed, unchanged
+    }
+
+    #[test]
+    fn element_indexed_addressing() {
+        let (mut regs, mut mem, prog) = setup(0);
+        mem.write(0x1000 + 3 * 2, 2, 0x8001).unwrap();
+        regs.r[0] = 3;
+        let ld = Inst::S(ScalarInst::LdInt {
+            width: MemWidth::H,
+            signed: true,
+            rd: Reg::R5,
+            base: Base::Sym(SymId::new(0)),
+            index: Reg::R0,
+        });
+        let o = exec(&ld, 0, &mut regs, &mut mem, &prog, 0).unwrap();
+        assert_eq!(regs.r[5] as i32, -32767); // sign-extended halfword 0x8001
+        assert_eq!(o.value, Some(i64::from(0x8001u16 as i16)));
+        assert_eq!(o.mem, Some((0x1006, 2, false)));
+    }
+
+    #[test]
+    fn vector_load_op_store_roundtrip() {
+        let (mut regs, mut mem, prog) = setup(4);
+        for i in 0..4u32 {
+            mem.write(0x1000 + i * 4, 4, i + 1).unwrap();
+        }
+        regs.r[0] = 0;
+        let vld = Inst::V(VectorInst::VLd {
+            elem: ElemType::I32,
+            signed: false,
+            vd: VReg::V1,
+            base: Base::Sym(SymId::new(0)),
+            index: Reg::R0,
+        });
+        exec(&vld, 0, &mut regs, &mut mem, &prog, 4).unwrap();
+        assert_eq!(regs.v[1], vec![1, 2, 3, 4]);
+
+        let vadd = Inst::V(VectorInst::VAluImm {
+            op: VAluOp::Add,
+            elem: ElemType::I32,
+            vd: VReg::V1,
+            vn: VReg::V1,
+            imm: 10,
+        });
+        exec(&vadd, 0, &mut regs, &mut mem, &prog, 4).unwrap();
+        assert_eq!(regs.v[1], vec![11, 12, 13, 14]);
+
+        let vst = Inst::V(VectorInst::VSt {
+            elem: ElemType::I32,
+            vs: VReg::V1,
+            base: Base::Sym(SymId::new(0)),
+            index: Reg::R0,
+        });
+        let o = exec(&vst, 0, &mut regs, &mut mem, &prog, 4).unwrap();
+        assert_eq!(o.mem, Some((0x1000, 16, true)));
+        assert_eq!(mem.read(0x100C, 4).unwrap(), 14);
+    }
+
+    #[test]
+    fn saturating_semantics_match_the_idiom() {
+        let (mut regs, mut mem, prog) = setup(2);
+        regs.v[0] = vec![200, 10];
+        regs.v[1] = vec![100, 5];
+        let vq = Inst::V(VectorInst::VAlu {
+            op: VAluOp::SatAdd,
+            elem: ElemType::I8,
+            vd: VReg::V2,
+            vn: VReg::V0,
+            vm: VReg::V1,
+        });
+        exec(&vq, 0, &mut regs, &mut mem, &prog, 2).unwrap();
+        assert_eq!(regs.v[2], vec![255, 15]);
+
+        let vqs = Inst::V(VectorInst::VAlu {
+            op: VAluOp::SatSub,
+            elem: ElemType::I8,
+            vd: VReg::V2,
+            vn: VReg::V1,
+            vm: VReg::V0,
+        });
+        exec(&vqs, 0, &mut regs, &mut mem, &prog, 2).unwrap();
+        assert_eq!(regs.v[2], vec![0, 0]);
+    }
+
+    #[test]
+    fn reductions_fold_into_scalar_registers() {
+        let (mut regs, mut mem, prog) = setup(4);
+        regs.r[1] = 100;
+        regs.v[3] = vec![5u32, 200, 7, 50];
+        let vmin = Inst::V(VectorInst::VRedI {
+            op: RedOp::Min,
+            elem: ElemType::I32,
+            rd: Reg::R1,
+            vn: VReg::V3,
+        });
+        exec(&vmin, 0, &mut regs, &mut mem, &prog, 4).unwrap();
+        assert_eq!(regs.r[1], 5);
+
+        regs.set_f32(2, 1.0);
+        regs.v[4] = vec![2.0f32.to_bits(), 3.0f32.to_bits(), 4.0f32.to_bits(), 5.0f32.to_bits()];
+        let vsum = Inst::V(VectorInst::VRedF {
+            op: RedOp::Sum,
+            fd: FReg::F2,
+            vn: VReg::V4,
+        });
+        exec(&vsum, 0, &mut regs, &mut mem, &prog, 4).unwrap();
+        assert_eq!(regs.f32(2), 15.0);
+    }
+
+    #[test]
+    fn permutation_applies_blocked() {
+        let (mut regs, mut mem, prog) = setup(8);
+        regs.v[0] = (0..8).collect();
+        let perm = Inst::V(VectorInst::VPerm {
+            kind: PermKind::Bfly { block: 4 },
+            elem: ElemType::I32,
+            vd: VReg::V1,
+            vn: VReg::V0,
+        });
+        exec(&perm, 0, &mut regs, &mut mem, &prog, 8).unwrap();
+        assert_eq!(regs.v[1], vec![2, 3, 0, 1, 6, 7, 4, 5]);
+    }
+
+    #[test]
+    fn permutation_block_wider_than_lanes_faults() {
+        let (mut regs, mut mem, prog) = setup(4);
+        let perm = Inst::V(VectorInst::VPerm {
+            kind: PermKind::Bfly { block: 8 },
+            elem: ElemType::I32,
+            vd: VReg::V1,
+            vn: VReg::V0,
+        });
+        assert!(exec(&perm, 0, &mut regs, &mut mem, &prog, 4).is_err());
+    }
+
+    #[test]
+    fn vector_without_accelerator_faults() {
+        let (mut regs, mut mem, prog) = setup(0);
+        let vsplat = Inst::V(VectorInst::VSplat {
+            elem: ElemType::I32,
+            vd: VReg::V0,
+            imm: 1,
+        });
+        assert!(exec(&vsplat, 0, &mut regs, &mut mem, &prog, 0).is_err());
+    }
+
+    #[test]
+    fn call_and_return_control() {
+        let (mut regs, mut mem, prog) = setup(0);
+        let bl = Inst::S(ScalarInst::Bl {
+            target: 40,
+            vectorizable: true,
+        });
+        let o = exec(&bl, 7, &mut regs, &mut mem, &prog, 0).unwrap();
+        assert_eq!(
+            o.control,
+            Control::Call {
+                target: 40,
+                vectorizable: true
+            }
+        );
+        assert_eq!(regs.r[14], 8);
+        let o = exec(&Inst::S(ScalarInst::Ret), 40, &mut regs, &mut mem, &prog, 0).unwrap();
+        assert_eq!(o.control, Control::Return);
+    }
+}

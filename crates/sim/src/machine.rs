@@ -1,0 +1,580 @@
+//! The simulated machine: functional execution + scoreboard timing +
+//! Liquid SIMD translation plumbing.
+
+use std::collections::HashSet;
+
+use liquid_simd_isa::{
+    Cond, ElemType, FpOp, Inst, Program, ScalarInst, VAluOp, VectorInst,
+};
+use liquid_simd_mem::{Cache, Memory};
+use liquid_simd_translator::{Progress, Retired, Translator, TranslatorConfig};
+
+use crate::config::MachineConfig;
+use crate::exec::{exec, Control, SimError};
+use crate::mcache::{Lookup, Mcache};
+use crate::regfile::RegFile;
+use crate::report::{CallEvent, CallMode, RunReport};
+
+/// Instruction source: the program binary or a microcode-cache entry.
+#[derive(Clone, Copy, Debug)]
+enum Stream {
+    Prog { pc: u32 },
+    Micro { idx: usize, pos: u32, ret_pc: u32 },
+}
+
+/// A register reference for the timing scoreboard.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum RR {
+    R(u8),
+    F(u8),
+    V(u8),
+    Flags,
+}
+
+/// The simulated machine.
+///
+/// Construct with a program and configuration, then call [`Machine::run`].
+/// After the run, [`Machine::memory`] exposes final memory for gold-output
+/// comparison.
+pub struct Machine<'p> {
+    prog: &'p Program,
+    config: MachineConfig,
+    regs: RegFile,
+    mem: Memory,
+    icache: Cache,
+    dcache: Cache,
+    mcache: Mcache,
+    translator: Translator,
+    /// Entry PC of the function currently being translated, if any.
+    translating: Option<u32>,
+    /// Functions that aborted translation for a permanent (non-external)
+    /// reason; retrying them every call would only waste the translator.
+    failed: HashSet<u32>,
+    cycle: u64,
+    ready_r: [u64; 16],
+    ready_f: [u64; 16],
+    ready_v: [u64; 16],
+    ready_flags: u64,
+    stream: Stream,
+    report: RunReport,
+}
+
+impl<'p> Machine<'p> {
+    /// Creates a machine with the program's data segment loaded.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the program fails validation — construct programs through
+    /// the builder/assembler/compiler, which already validate.
+    #[must_use]
+    pub fn new(prog: &'p Program, config: MachineConfig) -> Machine<'p> {
+        prog.validate().expect("program must be valid");
+        let mem = Memory::with_image(prog.data_base, &prog.data, config.mem_headroom);
+        let tconfig = TranslatorConfig {
+            lanes: config.lanes.max(1),
+            max_uops: config.mcache_uops,
+            value_bits: config.translation.value_bits,
+            hw_value_limit: config.translation.hw_value_limit,
+        };
+        Machine {
+            prog,
+            regs: RegFile::new(config.lanes.max(1)),
+            mem,
+            icache: Cache::new(config.icache),
+            dcache: Cache::new(config.dcache),
+            mcache: Mcache::new(config.mcache_entries, config.mcache_uops),
+            translator: Translator::new(tconfig),
+            translating: None,
+            failed: HashSet::new(),
+            cycle: 0,
+            ready_r: [0; 16],
+            ready_f: [0; 16],
+            ready_v: [0; 16],
+            ready_flags: 0,
+            stream: Stream::Prog { pc: prog.entry },
+            report: RunReport::default(),
+            config,
+        }
+    }
+
+    /// The machine's memory (inspect after a run).
+    #[must_use]
+    pub fn memory(&self) -> &Memory {
+        &self.mem
+    }
+
+    /// Snapshots translated microcode after a run (see
+    /// [`Machine::preload_microcode`]).
+    #[must_use]
+    pub fn microcode_snapshot(&self) -> Vec<(u32, Vec<liquid_simd_isa::Inst>)> {
+        self.mcache.snapshot()
+    }
+
+    /// Preloads microcode valid from cycle 0 — models a processor with
+    /// *built-in* ISA support for these SIMD sequences (the paper's
+    /// Figure 6 callout comparator: "the simulator treated outlined
+    /// functions like native SIMD code"). Combine with harvested microcode
+    /// from a prior run of the same binary.
+    pub fn preload_microcode(&mut self, entries: &[(u32, Vec<liquid_simd_isa::Inst>)]) {
+        for (pc, code) in entries {
+            self.mcache.insert(*pc, code.clone(), 0);
+        }
+    }
+
+    /// The architectural registers (inspect after a run).
+    #[must_use]
+    pub fn regs(&self) -> &RegFile {
+        &self.regs
+    }
+
+    /// Runs until `halt`, producing the measurement report.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError`] on memory faults, wild control flow, or when the
+    /// configured cycle limit is exceeded.
+    pub fn run(&mut self) -> Result<RunReport, SimError> {
+        loop {
+            if self.cycle > self.config.max_cycles {
+                return Err(SimError::Fault {
+                    pc: self.current_pc(),
+                    what: format!("cycle limit {} exceeded", self.config.max_cycles),
+                });
+            }
+            if self.step()? {
+                break;
+            }
+        }
+        let mut report = std::mem::take(&mut self.report);
+        report.cycles = self.cycle;
+        report.icache = self.icache.stats();
+        report.dcache = self.dcache.stats();
+        report.translator = self.translator.stats().clone();
+        report.mcache = self.mcache.stats();
+        report.halted = true;
+        Ok(report)
+    }
+
+    fn current_pc(&self) -> u32 {
+        match self.stream {
+            Stream::Prog { pc } => pc,
+            Stream::Micro { pos, .. } => pos,
+        }
+    }
+
+    /// Executes one instruction; returns `true` on halt.
+    #[allow(clippy::too_many_lines)]
+    fn step(&mut self) -> Result<bool, SimError> {
+        // ---- fetch -------------------------------------------------------
+        let (inst, pc, in_micro) = match self.stream {
+            Stream::Prog { pc } => {
+                let inst = *self.prog.code.get(pc as usize).ok_or(SimError::Fault {
+                    pc,
+                    what: "fell off the end of the code section".to_string(),
+                })?;
+                (inst, pc, false)
+            }
+            Stream::Micro { idx, pos, .. } => {
+                let code = self.mcache.code(idx);
+                let inst = *code.get(pos as usize).ok_or(SimError::Fault {
+                    pc: pos,
+                    what: "fell off the end of microcode".to_string(),
+                })?;
+                (inst, pos, true)
+            }
+        };
+
+        // ---- issue: operand readiness ------------------------------------
+        let mut issue = self.cycle + 1;
+        let mut srcs = [None; 6];
+        collect_uses(&inst, &mut srcs);
+        for src in srcs.into_iter().flatten() {
+            let ready = match src {
+                RR::R(i) => self.ready_r[i as usize],
+                RR::F(i) => self.ready_f[i as usize],
+                RR::V(i) => self.ready_v[i as usize],
+                RR::Flags => self.ready_flags,
+            };
+            issue = issue.max(ready);
+        }
+
+        // Fetch stall: instruction cache (program stream only; microcode is
+        // fetched from the dedicated microcode SRAM).
+        if !in_micro && !self.icache.access(pc * 4) {
+            issue += u64::from(self.config.icache.miss_penalty);
+        }
+
+        // ---- execute ------------------------------------------------------
+        let outcome = exec(
+            &inst,
+            pc,
+            &mut self.regs,
+            &mut self.mem,
+            self.prog,
+            self.config.lanes,
+        )?;
+
+        // ---- memory timing -------------------------------------------------
+        let mut mem_extra = 0u64;
+        if let Some((addr, len, _)) = outcome.mem {
+            let misses = self.dcache.access_range(addr, len);
+            mem_extra = u64::from(misses) * u64::from(self.config.dcache.miss_penalty);
+        }
+
+        // ---- latency & writeback -------------------------------------------
+        let latency = self.latency_of(&inst);
+        let done = issue + u64::from(latency) + mem_extra;
+        let (def, writes_flags) = def_of(&inst);
+        if outcome.executed {
+            if let Some(d) = def {
+                match d {
+                    RR::R(i) => self.ready_r[i as usize] = done,
+                    RR::F(i) => self.ready_f[i as usize] = done,
+                    RR::V(i) => self.ready_v[i as usize] = done,
+                    RR::Flags => {}
+                }
+            }
+        }
+        if writes_flags {
+            self.ready_flags = issue + 1;
+        }
+
+        // ---- advance machine time ------------------------------------------
+        let is_store = matches!(outcome.mem, Some((_, _, true)));
+        let mut busy = issue;
+        if is_store {
+            busy += mem_extra; // write-allocate fill occupies the interface
+        }
+        if outcome.taken {
+            busy += u64::from(self.config.lat.branch_taken);
+        }
+        self.cycle = busy;
+
+        // ---- retire counters ------------------------------------------------
+        self.report.retired += 1;
+        if inst.is_vector() {
+            self.report.vector_retired += 1;
+        } else {
+            self.report.scalar_retired += 1;
+        }
+        if self.config.interrupt_every > 0
+            && self.report.retired % self.config.interrupt_every == 0
+        {
+            self.translator.abort_external("interrupt");
+        }
+
+        // ---- translator tap (post-retirement, program stream only) ---------
+        if !in_micro && self.translator.is_active() {
+            if let Inst::S(s) = inst {
+                let retired = Retired {
+                    pc,
+                    inst: s,
+                    executed: outcome.executed,
+                    value: outcome.value,
+                    taken: outcome.taken,
+                };
+                match self.translator.observe(&retired) {
+                    Progress::Ongoing => {}
+                    Progress::Finished(tr) => {
+                        let work = tr.dynamic_instrs;
+                        let valid_at = if self.config.translation.jit {
+                            // A software JIT shares the CPU: stall the
+                            // pipeline for the translation work.
+                            self.cycle += work * self.config.translation.jit_cycles_per_instr;
+                            self.cycle
+                        } else {
+                            self.cycle + work * self.config.translation.cycles_per_instr
+                        };
+                        self.report.translations.push((tr.func_pc, tr.code.len()));
+                        self.mcache.insert(tr.func_pc, tr.code, valid_at);
+                        self.translating = None;
+                    }
+                    Progress::Aborted(reason) => {
+                        if !matches!(
+                            reason,
+                            liquid_simd_translator::AbortReason::External { .. }
+                        ) {
+                            // Deterministic failure: don't retry every call.
+                            // (External aborts — interrupts — retry later.)
+                            if let Some(f) = self.translating_target() {
+                                self.failed.insert(f);
+                            }
+                        }
+                        self.translating = None;
+                    }
+                }
+            }
+        }
+
+        // ---- control flow ----------------------------------------------------
+        match outcome.control {
+            Control::Next => {
+                self.advance(pc + 1);
+            }
+            Control::Jump(t) => {
+                if outcome.taken {
+                    self.advance(t);
+                } else {
+                    self.advance(pc + 1);
+                }
+            }
+            Control::Call {
+                target,
+                vectorizable,
+            } => {
+                if in_micro {
+                    return Err(SimError::Fault {
+                        pc,
+                        what: "call inside microcode".to_string(),
+                    });
+                }
+                self.handle_call(pc, target, vectorizable)?;
+            }
+            Control::Return => match self.stream {
+                Stream::Micro { ret_pc, .. } => {
+                    self.stream = Stream::Prog { pc: ret_pc };
+                }
+                Stream::Prog { .. } => {
+                    let ret = self.regs.r[14];
+                    if ret as usize >= self.prog.code.len() {
+                        return Err(SimError::Fault {
+                            pc,
+                            what: format!("return to wild address @{ret}"),
+                        });
+                    }
+                    self.stream = Stream::Prog { pc: ret };
+                }
+            },
+            Control::Halt => return Ok(true),
+        }
+        Ok(false)
+    }
+
+    fn advance(&mut self, next: u32) {
+        match &mut self.stream {
+            Stream::Prog { pc } => *pc = next,
+            Stream::Micro { pos, .. } => *pos = next,
+        }
+    }
+
+    fn translating_target(&self) -> Option<u32> {
+        self.translating
+    }
+
+    fn handle_call(&mut self, pc: u32, target: u32, vectorizable: bool) -> Result<(), SimError> {
+        let t = &self.config.translation;
+        let candidate = t.enabled
+            && self.config.lanes >= 2
+            && (vectorizable || t.translate_plain_bl)
+            && !self.failed.contains(&target);
+        let mut mode = CallMode::Scalar;
+        if candidate {
+            match self.mcache.lookup(target, self.cycle) {
+                Lookup::Hit(idx) => {
+                    mode = CallMode::Microcode;
+                    self.report.calls.push(CallEvent {
+                        target,
+                        cycle: self.cycle,
+                        mode,
+                    });
+                    self.stream = Stream::Micro {
+                        idx,
+                        pos: 0,
+                        ret_pc: pc + 1,
+                    };
+                    return Ok(());
+                }
+                Lookup::Pending => {}
+                Lookup::Miss => {
+                    if !self.translator.is_active() {
+                        self.translator.begin(target);
+                        self.translating = Some(target);
+                    }
+                }
+            }
+        }
+        self.report.calls.push(CallEvent {
+            target,
+            cycle: self.cycle,
+            mode,
+        });
+        self.stream = Stream::Prog { pc: target };
+        Ok(())
+    }
+
+    fn latency_of(&self, inst: &Inst) -> u32 {
+        let lat = &self.config.lat;
+        let lanes = self.config.lanes.max(2);
+        let tree = (usize::BITS - (lanes - 1).leading_zeros()) as u32; // ceil(log2)
+        match inst {
+            Inst::S(s) => match s {
+                ScalarInst::Alu {
+                    op: liquid_simd_isa::AluOp::Mul,
+                    ..
+                } => lat.int_mul,
+                ScalarInst::FAlu { op, .. } => match op {
+                    FpOp::Mul => lat.fp_mul,
+                    FpOp::Div => lat.fp_div,
+                    _ => lat.fp_alu,
+                },
+                ScalarInst::LdInt { .. } | ScalarInst::LdF { .. } => lat.load,
+                _ => lat.int_alu,
+            },
+            Inst::V(v) => match v {
+                VectorInst::VLd { .. } => lat.load,
+                VectorInst::VSt { .. } => lat.int_alu,
+                VectorInst::VAlu { op, elem, .. }
+                | VectorInst::VAluImm { op, elem, .. }
+                | VectorInst::VAluConst { op, elem, .. }
+                | VectorInst::VAluScalar { op, elem, .. } => match op {
+                    VAluOp::Div => lat.fp_div,
+                    VAluOp::Mul if *elem == ElemType::F32 => lat.fp_mul,
+                    VAluOp::Mul => lat.int_mul,
+                    _ if *elem == ElemType::F32 => lat.fp_alu,
+                    _ => lat.int_alu,
+                },
+                VectorInst::VRedI { .. } => lat.int_alu + tree,
+                VectorInst::VRedF { .. } => lat.fp_alu * tree.max(1),
+                VectorInst::VPerm { .. } | VectorInst::VSplat { .. } => lat.int_alu,
+            },
+        }
+    }
+}
+
+fn push(buf: &mut [Option<RR>; 6], n: &mut usize, rr: RR) {
+    if *n < buf.len() {
+        buf[*n] = Some(rr);
+        *n += 1;
+    }
+}
+
+fn collect_uses(inst: &Inst, buf: &mut [Option<RR>; 6]) {
+    let mut n = 0;
+    match inst {
+        Inst::S(s) => {
+            for r in s.int_uses() {
+                push(buf, &mut n, RR::R(r.index()));
+            }
+            match s {
+                ScalarInst::FAlu { fn_, fm, .. } => {
+                    push(buf, &mut n, RR::F(fn_.index()));
+                    push(buf, &mut n, RR::F(fm.index()));
+                }
+                ScalarInst::FMov { fm, .. } => push(buf, &mut n, RR::F(fm.index())),
+                ScalarInst::StF { fs, .. } => push(buf, &mut n, RR::F(fs.index())),
+                _ => {}
+            }
+            let cond = match s {
+                ScalarInst::MovImm { cond, .. }
+                | ScalarInst::Mov { cond, .. }
+                | ScalarInst::Alu { cond, .. }
+                | ScalarInst::FMov { cond, .. }
+                | ScalarInst::B { cond, .. } => *cond,
+                _ => Cond::Al,
+            };
+            if cond != Cond::Al {
+                push(buf, &mut n, RR::Flags);
+            }
+        }
+        Inst::V(v) => {
+            for vr in v.vec_uses() {
+                push(buf, &mut n, RR::V(vr.index()));
+            }
+            match v {
+                VectorInst::VLd { base, index, .. } | VectorInst::VSt { base, index, .. } => {
+                    push(buf, &mut n, RR::R(index.index()));
+                    if let liquid_simd_isa::Base::Reg(r) = base {
+                        push(buf, &mut n, RR::R(r.index()));
+                    }
+                }
+                VectorInst::VRedI { rd, .. } => push(buf, &mut n, RR::R(rd.index())),
+                VectorInst::VRedF { fd, .. } => push(buf, &mut n, RR::F(fd.index())),
+                VectorInst::VAluScalar { src, .. } => match src {
+                    liquid_simd_isa::ScalarSrc::R(r) => push(buf, &mut n, RR::R(r.index())),
+                    liquid_simd_isa::ScalarSrc::F(fr) => push(buf, &mut n, RR::F(fr.index())),
+                },
+                _ => {}
+            }
+        }
+    }
+    for slot in buf.iter_mut().skip(n) {
+        *slot = None;
+    }
+}
+
+fn def_of(inst: &Inst) -> (Option<RR>, bool) {
+    match inst {
+        Inst::S(s) => {
+            let def = s
+                .int_def()
+                .map(|r| RR::R(r.index()))
+                .or_else(|| s.fp_def().map(|f| RR::F(f.index())));
+            (def, matches!(s, ScalarInst::Cmp { .. }))
+        }
+        Inst::V(v) => {
+            let def = v.vec_def().map(|r| RR::V(r.index())).or(match v {
+                VectorInst::VRedI { rd, .. } => Some(RR::R(rd.index())),
+                VectorInst::VRedF { fd, .. } => Some(RR::F(fd.index())),
+                _ => None,
+            });
+            (def, false)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use liquid_simd_isa::asm;
+
+    fn assemble(src: &str) -> Program {
+        asm::assemble(src).expect("assembles")
+    }
+
+    const SUM_LOOP: &str = r"
+.data
+.i32 A: 1, 2, 3, 4, 5, 6, 7, 8
+
+.text
+main:
+    mov r1, #0
+    mov r0, #0
+top:
+    ldw r2, [A + r0]
+    add r1, r1, r2
+    add r0, r0, #1
+    cmp r0, #8
+    blt top
+    halt
+";
+
+    #[test]
+    fn scalar_sum_loop() {
+        let p = assemble(SUM_LOOP);
+        let mut m = Machine::new(&p, MachineConfig::scalar_only());
+        let report = m.run().unwrap();
+        assert!(report.halted);
+        assert_eq!(m.regs().r[1], 36);
+        assert!(report.cycles > report.retired); // stalls exist
+        assert_eq!(report.vector_retired, 0);
+    }
+
+    #[test]
+    fn timing_monotonic_and_cache_counted() {
+        let p = assemble(SUM_LOOP);
+        let mut m = Machine::new(&p, MachineConfig::scalar_only());
+        let report = m.run().unwrap();
+        assert!(report.dcache.accesses >= 8);
+        assert!(report.icache.accesses >= report.scalar_retired);
+        assert!(report.dcache.misses() >= 1); // cold miss on A
+    }
+
+    #[test]
+    fn cycle_limit_guards_infinite_loops() {
+        let p = assemble(".text\nmain:\n    b main\n");
+        let mut cfg = MachineConfig::scalar_only();
+        cfg.max_cycles = 10_000;
+        let mut m = Machine::new(&p, cfg);
+        assert!(m.run().is_err());
+    }
+}

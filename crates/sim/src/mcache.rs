@@ -1,0 +1,232 @@
+//! The microcode cache (paper §4.1 / Figure 1): translated SIMD loops,
+//! indexed by the outlined function's entry PC, with LRU replacement.
+//!
+//! The paper sizes it at 8 entries × 64 instructions (2 KB) and shows this
+//! captures the hot-loop working set of every benchmark.
+
+use liquid_simd_isa::Inst;
+
+/// Microcode-cache statistics.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct McacheStats {
+    /// Lookups performed (one per call of a candidate function).
+    pub lookups: u64,
+    /// Lookups that found valid, ready microcode.
+    pub hits: u64,
+    /// Lookups that found an entry still being "written" (translation
+    /// latency not yet elapsed).
+    pub pending: u64,
+    /// Entries inserted.
+    pub inserts: u64,
+    /// Entries evicted by capacity.
+    pub evictions: u64,
+}
+
+#[derive(Clone, Debug)]
+struct Entry {
+    func_pc: u32,
+    code: Vec<Inst>,
+    valid_at: u64,
+    last_use: u64,
+}
+
+/// Result of a microcode-cache lookup.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Lookup {
+    /// No entry for this function.
+    Miss,
+    /// An entry exists but its translation latency has not elapsed.
+    Pending,
+    /// Ready microcode (index into the cache; fetch with [`Mcache::code`]).
+    Hit(usize),
+}
+
+/// The microcode cache.
+#[derive(Clone, Debug)]
+pub struct Mcache {
+    entries: Vec<Entry>,
+    capacity: usize,
+    max_uops: usize,
+    tick: u64,
+    stats: McacheStats,
+}
+
+impl Mcache {
+    /// Creates an empty cache of `capacity` entries of `max_uops`
+    /// instructions each.
+    #[must_use]
+    pub fn new(capacity: usize, max_uops: usize) -> Mcache {
+        Mcache {
+            entries: Vec::with_capacity(capacity),
+            capacity,
+            max_uops,
+            tick: 0,
+            stats: McacheStats::default(),
+        }
+    }
+
+    /// Accumulated statistics.
+    #[must_use]
+    pub fn stats(&self) -> McacheStats {
+        self.stats
+    }
+
+    /// Storage size in bytes (entries × instructions × 4), the paper's
+    /// "2 KB SRAM" figure at the default 8 × 64 geometry.
+    #[must_use]
+    pub fn storage_bytes(&self) -> usize {
+        self.capacity * self.max_uops * 4
+    }
+
+    /// Looks up microcode for a function entry at the current cycle.
+    pub fn lookup(&mut self, func_pc: u32, now: u64) -> Lookup {
+        self.stats.lookups += 1;
+        self.tick += 1;
+        for (i, e) in self.entries.iter_mut().enumerate() {
+            if e.func_pc == func_pc {
+                if e.valid_at <= now {
+                    e.last_use = self.tick;
+                    self.stats.hits += 1;
+                    return Lookup::Hit(i);
+                }
+                self.stats.pending += 1;
+                return Lookup::Pending;
+            }
+        }
+        Lookup::Miss
+    }
+
+    /// The microcode of entry `idx` (from [`Lookup::Hit`]).
+    #[must_use]
+    pub fn code(&self, idx: usize) -> &[Inst] {
+        &self.entries[idx].code
+    }
+
+    /// Inserts translated microcode, evicting the LRU entry if full.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `code` exceeds the per-entry capacity (the translator's
+    /// buffer enforces the same limit, so this indicates a logic error).
+    pub fn insert(&mut self, func_pc: u32, code: Vec<Inst>, valid_at: u64) {
+        assert!(
+            code.len() <= self.max_uops,
+            "microcode of {} uops exceeds entry capacity {}",
+            code.len(),
+            self.max_uops
+        );
+        self.tick += 1;
+        self.stats.inserts += 1;
+        if let Some(e) = self.entries.iter_mut().find(|e| e.func_pc == func_pc) {
+            e.code = code;
+            e.valid_at = valid_at;
+            e.last_use = self.tick;
+            return;
+        }
+        if self.entries.len() == self.capacity {
+            let lru = self
+                .entries
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, e)| e.last_use)
+                .map(|(i, _)| i)
+                .expect("capacity > 0");
+            self.entries.swap_remove(lru);
+            self.stats.evictions += 1;
+        }
+        self.entries.push(Entry {
+            func_pc,
+            code,
+            valid_at,
+            last_use: self.tick,
+        });
+    }
+
+    /// Number of resident entries.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Invalidates everything (context switch).
+    pub fn flush(&mut self) {
+        self.entries.clear();
+    }
+
+    /// Snapshots the resident microcode: `(function pc, code)` pairs. Used
+    /// to model a machine with *built-in* ISA support (paper Figure 6
+    /// callout): harvest after one run, preload into a fresh machine.
+    #[must_use]
+    pub fn snapshot(&self) -> Vec<(u32, Vec<Inst>)> {
+        self.entries
+            .iter()
+            .map(|e| (e.func_pc, e.code.clone()))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use liquid_simd_isa::ScalarInst;
+
+    fn code(n: usize) -> Vec<Inst> {
+        vec![Inst::S(ScalarInst::Nop); n]
+    }
+
+    #[test]
+    fn pending_until_valid_at() {
+        let mut mc = Mcache::new(2, 64);
+        mc.insert(10, code(3), 100);
+        assert_eq!(mc.lookup(10, 50), Lookup::Pending);
+        assert_eq!(mc.lookup(10, 100), Lookup::Hit(0));
+        assert_eq!(mc.code(0).len(), 3);
+        assert_eq!(mc.stats().pending, 1);
+        assert_eq!(mc.stats().hits, 1);
+    }
+
+    #[test]
+    fn lru_eviction() {
+        let mut mc = Mcache::new(2, 64);
+        mc.insert(1, code(1), 0);
+        mc.insert(2, code(1), 0);
+        assert_eq!(mc.lookup(1, 10), Lookup::Hit(0)); // touch 1
+        mc.insert(3, code(1), 0); // evicts 2
+        assert_eq!(mc.lookup(2, 10), Lookup::Miss);
+        assert!(matches!(mc.lookup(1, 10), Lookup::Hit(_)));
+        assert!(matches!(mc.lookup(3, 10), Lookup::Hit(_)));
+        assert_eq!(mc.stats().evictions, 1);
+    }
+
+    #[test]
+    fn reinsert_updates_in_place() {
+        let mut mc = Mcache::new(2, 64);
+        mc.insert(1, code(1), 0);
+        mc.insert(1, code(5), 7);
+        assert_eq!(mc.len(), 1);
+        assert_eq!(mc.lookup(1, 3), Lookup::Pending);
+        let Lookup::Hit(i) = mc.lookup(1, 7) else {
+            panic!("expected hit")
+        };
+        assert_eq!(mc.code(i).len(), 5);
+    }
+
+    #[test]
+    fn paper_geometry_is_2kb() {
+        let mc = Mcache::new(8, 64);
+        assert_eq!(mc.storage_bytes(), 2048);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds entry capacity")]
+    fn oversized_microcode_panics() {
+        let mut mc = Mcache::new(1, 4);
+        mc.insert(1, code(5), 0);
+    }
+}

@@ -1,0 +1,55 @@
+//! Architectural register state.
+
+use liquid_simd_isa::Flags;
+
+/// The machine's register files: 16 integer, 16 fp (raw `f32` bits), 16
+/// vector registers of `lanes` 32-bit lanes each, plus the condition flags.
+#[derive(Clone, Debug)]
+pub struct RegFile {
+    /// Integer registers (`r14` is the link register).
+    pub r: [u32; 16],
+    /// Floating-point registers, stored as IEEE-754 bits.
+    pub f: [u32; 16],
+    /// Vector registers: `lanes` raw 32-bit lanes each.
+    pub v: Vec<Vec<u32>>,
+    /// Condition flags.
+    pub flags: Flags,
+}
+
+impl RegFile {
+    /// Creates a zeroed register file for a `lanes`-wide accelerator.
+    #[must_use]
+    pub fn new(lanes: usize) -> RegFile {
+        RegFile {
+            r: [0; 16],
+            f: [0; 16],
+            v: vec![vec![0; lanes]; 16],
+            flags: Flags::default(),
+        }
+    }
+
+    /// Reads an fp register as `f32`.
+    #[must_use]
+    pub fn f32(&self, idx: u8) -> f32 {
+        f32::from_bits(self.f[idx as usize])
+    }
+
+    /// Writes an fp register from `f32`.
+    pub fn set_f32(&mut self, idx: u8, value: f32) {
+        self.f[idx as usize] = value.to_bits();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fp_bits_roundtrip() {
+        let mut rf = RegFile::new(4);
+        rf.set_f32(3, -1.25);
+        assert_eq!(rf.f32(3), -1.25);
+        assert_eq!(rf.v.len(), 16);
+        assert_eq!(rf.v[0].len(), 4);
+    }
+}

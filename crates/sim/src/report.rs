@@ -1,0 +1,128 @@
+//! Run reports.
+
+use liquid_simd_mem::CacheStats;
+use liquid_simd_translator::TranslatorStats;
+
+use crate::mcache::McacheStats;
+
+/// How a call to an outlined function was serviced.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CallMode {
+    /// Executed the scalar body.
+    Scalar,
+    /// Executed translated SIMD microcode from the microcode cache.
+    Microcode,
+}
+
+/// One dynamic call of an outlined (or plain) function — the raw material
+/// for the paper's Table 6 (cycles between consecutive calls).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CallEvent {
+    /// Callee entry PC (code index).
+    pub target: u32,
+    /// Cycle at which the call issued.
+    pub cycle: u64,
+    /// How it was serviced.
+    pub mode: CallMode,
+}
+
+/// Everything measured during one simulation.
+#[derive(Clone, Debug, Default)]
+pub struct RunReport {
+    /// Total cycles.
+    pub cycles: u64,
+    /// Total retired instructions.
+    pub retired: u64,
+    /// Retired scalar instructions.
+    pub scalar_retired: u64,
+    /// Retired vector instructions.
+    pub vector_retired: u64,
+    /// I-cache statistics.
+    pub icache: CacheStats,
+    /// D-cache statistics.
+    pub dcache: CacheStats,
+    /// Translator statistics.
+    pub translator: TranslatorStats,
+    /// Microcode-cache statistics.
+    pub mcache: McacheStats,
+    /// Call log (for call-distance analyses).
+    pub calls: Vec<CallEvent>,
+    /// Completed translations: `(function pc, microcode length)`.
+    pub translations: Vec<(u32, usize)>,
+    /// Whether the program reached `halt`.
+    pub halted: bool,
+}
+
+impl RunReport {
+    /// Cycles between the first two calls of `target` (paper Table 6).
+    #[must_use]
+    pub fn first_call_gap(&self, target: u32) -> Option<u64> {
+        let mut calls = self.calls.iter().filter(|c| c.target == target);
+        let first = calls.next()?.cycle;
+        let second = calls.next()?.cycle;
+        Some(second - first)
+    }
+
+    /// Entry PCs of every distinct call target, in first-call order.
+    #[must_use]
+    pub fn call_targets(&self) -> Vec<u32> {
+        let mut out = Vec::new();
+        for c in &self.calls {
+            if !out.contains(&c.target) {
+                out.push(c.target);
+            }
+        }
+        out
+    }
+
+    /// Fraction of calls to `target` serviced by microcode.
+    #[must_use]
+    pub fn microcode_fraction(&self, target: u32) -> f64 {
+        let (total, micro) = self.calls.iter().filter(|c| c.target == target).fold(
+            (0u64, 0u64),
+            |(t, m), c| {
+                (
+                    t + 1,
+                    m + u64::from(c.mode == CallMode::Microcode),
+                )
+            },
+        );
+        if total == 0 {
+            0.0
+        } else {
+            micro as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn call_gap_and_fraction() {
+        let mut r = RunReport::default();
+        r.calls = vec![
+            CallEvent {
+                target: 5,
+                cycle: 100,
+                mode: CallMode::Scalar,
+            },
+            CallEvent {
+                target: 9,
+                cycle: 200,
+                mode: CallMode::Scalar,
+            },
+            CallEvent {
+                target: 5,
+                cycle: 450,
+                mode: CallMode::Microcode,
+            },
+        ];
+        assert_eq!(r.first_call_gap(5), Some(350));
+        assert_eq!(r.first_call_gap(9), None);
+        assert_eq!(r.call_targets(), vec![5, 9]);
+        assert!((r.microcode_fraction(5) - 0.5).abs() < 1e-12);
+        assert_eq!(r.microcode_fraction(7), 0.0);
+    }
+}

@@ -1,0 +1,236 @@
+//! End-to-end tests of the Liquid SIMD path through the simulator: an
+//! outlined scalar loop is translated post-retirement, lands in the
+//! microcode cache, and subsequent calls execute SIMD microcode with
+//! bit-identical memory effects.
+
+use liquid_simd_isa::asm;
+use liquid_simd_sim::{CallMode, Machine, MachineConfig};
+
+/// A driver that calls an outlined kernel `CALLS` times. The kernel adds 1
+/// to every element of an 16-element array.
+const ADD_ONE: &str = r"
+.data
+.i32 A: 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0
+
+.text
+main:
+    mov r5, #0
+again:
+    bl.v kernel
+    add r5, r5, #1
+    cmp r5, #6
+    blt again
+    halt
+kernel:
+    mov r0, #0
+top:
+    ldw r1, [A + r0]
+    add r1, r1, #1
+    stw [A + r0], r1
+    add r0, r0, #1
+    cmp r0, #16
+    blt top
+    ret
+";
+
+#[test]
+fn translation_produces_identical_memory() {
+    let p = asm::assemble(ADD_ONE).unwrap();
+    let (_, sym) = p.symbol_by_name("A").unwrap();
+
+    // Scalar-only reference run.
+    let mut scalar = Machine::new(&p, MachineConfig::scalar_only());
+    let scalar_report = scalar.run().unwrap();
+
+    // Liquid run at 4 lanes.
+    let mut liquid = Machine::new(&p, MachineConfig::liquid(4));
+    let liquid_report = liquid.run().unwrap();
+
+    for i in 0..16 {
+        let a = scalar.memory().read(sym.addr + i * 4, 4).unwrap();
+        let b = liquid.memory().read(sym.addr + i * 4, 4).unwrap();
+        assert_eq!(a, 6, "every element incremented 6 times");
+        assert_eq!(a, b, "element {i} differs");
+    }
+
+    // The first call runs scalar (translating); later calls hit microcode.
+    assert_eq!(liquid_report.translator.successes, 1);
+    assert!(liquid_report.mcache.hits >= 4, "mcache hits: {:?}", liquid_report.mcache);
+    assert!(liquid_report.vector_retired > 0);
+    assert!(
+        liquid_report.cycles < scalar_report.cycles,
+        "liquid ({}) should beat scalar ({})",
+        liquid_report.cycles,
+        scalar_report.cycles
+    );
+
+    // Call log shows the mode transition.
+    let calls: Vec<CallMode> = liquid_report.calls.iter().map(|c| c.mode).collect();
+    assert_eq!(calls[0], CallMode::Scalar);
+    assert_eq!(*calls.last().unwrap(), CallMode::Microcode);
+}
+
+#[test]
+fn wider_accelerators_run_faster() {
+    let p = asm::assemble(ADD_ONE).unwrap();
+    let mut cycles = Vec::new();
+    for lanes in [2usize, 4, 8, 16] {
+        let mut m = Machine::new(&p, MachineConfig::liquid(lanes));
+        let r = m.run().unwrap();
+        assert_eq!(r.translator.successes, 1, "lanes {lanes}");
+        cycles.push(r.cycles);
+    }
+    // Non-strict monotonicity: wider never slower on this kernel.
+    for w in cycles.windows(2) {
+        assert!(w[1] <= w[0], "cycles not improving: {cycles:?}");
+    }
+}
+
+#[test]
+fn trip_not_multiple_of_lanes_aborts_and_stays_scalar() {
+    // 16 iterations at 16 lanes is fine, but a trip of 12 at 8 lanes must
+    // abort translation and keep running correct scalar code.
+    let src = ADD_ONE.replace("cmp r0, #16", "cmp r0, #12");
+    let p = asm::assemble(&src).unwrap();
+    let (_, sym) = p.symbol_by_name("A").unwrap();
+    let mut m = Machine::new(&p, MachineConfig::liquid(8));
+    let report = m.run().unwrap();
+    assert_eq!(report.translator.successes, 0);
+    assert_eq!(
+        report.translator.aborts.get("trip-not-multiple").copied(),
+        Some(1),
+        "aborts: {:?}",
+        report.translator.aborts
+    );
+    // Only the first call attempts translation; the failure is remembered.
+    assert_eq!(report.translator.attempts, 1);
+    for i in 0..12 {
+        assert_eq!(m.memory().read(sym.addr + i * 4, 4).unwrap(), 6);
+    }
+}
+
+#[test]
+fn non_kernel_function_is_rejected_as_no_loop() {
+    // A plain helper without a loop: translation aborts with `no-loop`
+    // (the paper's false-positive discussion, §3.5).
+    let src = r"
+.data
+.i32 X: 7
+
+.text
+main:
+    bl.v helper
+    bl.v helper
+    halt
+helper:
+    mov r0, #0
+    ldw r1, [X + r0]
+    add r1, r1, #1
+    stw [X + r0], r1
+    ret
+";
+    let p = asm::assemble(src).unwrap();
+    let (_, sym) = p.symbol_by_name("X").unwrap();
+    let mut m = Machine::new(&p, MachineConfig::liquid(8));
+    let report = m.run().unwrap();
+    assert_eq!(report.translator.successes, 0);
+    assert_eq!(report.translator.aborts.get("no-loop").copied(), Some(1));
+    assert_eq!(m.memory().read(sym.addr, 4).unwrap(), 9);
+}
+
+#[test]
+fn reduction_kernel_translates() {
+    let src = r"
+.data
+.i32 A: 9, 3, 17, 1, 4, 12, 6, 8
+.i32 out: 0
+
+.text
+main:
+    bl.v minred
+    bl.v minred
+    bl.v minred
+    halt
+minred:
+    mov r1, #9999
+    mov r0, #0
+top:
+    ldw r2, [A + r0]
+    min r1, r1, r2
+    add r0, r0, #1
+    cmp r0, #8
+    blt top
+    mov r3, #0
+    stw [out + r3], r1
+    ret
+";
+    let p = asm::assemble(src).unwrap();
+    let (_, out) = p.symbol_by_name("out").unwrap();
+    let mut m = Machine::new(&p, MachineConfig::liquid(4));
+    let report = m.run().unwrap();
+    assert_eq!(
+        report.translator.successes,
+        1,
+        "aborts: {:?}",
+        report.translator.aborts
+    );
+    assert_eq!(m.memory().read_signed(out.addr, 4).unwrap(), 1);
+    assert!(report.mcache.hits >= 1);
+}
+
+#[test]
+fn jit_mode_charges_translation_stall() {
+    let p = asm::assemble(ADD_ONE).unwrap();
+    let mut hw_cfg = MachineConfig::liquid(4);
+    hw_cfg.translation.cycles_per_instr = 1;
+    let hw = Machine::new(&p, hw_cfg).run().unwrap();
+
+    let mut jit_cfg = MachineConfig::liquid(4);
+    jit_cfg.translation.jit = true;
+    jit_cfg.translation.jit_cycles_per_instr = 200;
+    let jit = Machine::new(&p, jit_cfg).run().unwrap();
+
+    assert_eq!(jit.translator.successes, 1);
+    assert!(
+        jit.cycles > hw.cycles,
+        "jit stall should cost cycles: jit={} hw={}",
+        jit.cycles,
+        hw.cycles
+    );
+}
+
+#[test]
+fn interrupts_abort_translation_externally() {
+    let p = asm::assemble(ADD_ONE).unwrap();
+    let mut cfg = MachineConfig::liquid(4);
+    cfg.interrupt_every = 20; // interrupt mid-translation, repeatedly
+    let mut m = Machine::new(&p, cfg);
+    let report = m.run().unwrap();
+    // External aborts retry on later calls; depending on spacing some
+    // translation may eventually finish, but at least one abort happened.
+    assert!(
+        report.translator.aborts.get("external").copied().unwrap_or(0) >= 1,
+        "aborts: {:?}",
+        report.translator.aborts
+    );
+    // Memory still correct.
+    let (_, sym) = p.symbol_by_name("A").unwrap();
+    assert_eq!(m.memory().read(sym.addr, 4).unwrap(), 6);
+}
+
+#[test]
+fn plain_bl_not_translated_unless_heuristic_enabled() {
+    let src = ADD_ONE.replace("bl.v kernel", "bl kernel");
+    let p = asm::assemble(&src).unwrap();
+
+    let mut m = Machine::new(&p, MachineConfig::liquid(4));
+    let report = m.run().unwrap();
+    assert_eq!(report.translator.attempts, 0);
+
+    let mut cfg = MachineConfig::liquid(4);
+    cfg.translation.translate_plain_bl = true;
+    let mut m = Machine::new(&p, cfg);
+    let report = m.run().unwrap();
+    assert_eq!(report.translator.successes, 1);
+    assert!(report.mcache.hits >= 1);
+}

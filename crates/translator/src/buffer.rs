@@ -1,0 +1,560 @@
+//! The microcode buffer (paper §4.1).
+//!
+//! Classified instructions land here as [`Slot`]s. Some slots are fully
+//! determined; others ("deferred" slots) depend on value patterns that are
+//! only complete after `lanes` loop iterations have been observed —
+//! permutations (CAM match) and constant operands (splat detection).
+//! [`UopBuffer::materialize`] resolves them and performs the paper's
+//! "alignment network" job: collapsing the buffer when offset-array loads
+//! are removed or idioms invalidate previously generated instructions.
+
+use liquid_simd_isa::{
+    Base, Cond, ElemType, Inst, PermKind, Reg, ScalarInst, VAluOp, VReg, VectorInst,
+    encode::{VALU_IMM_MAX, VALU_IMM_MIN},
+};
+
+use crate::state::{AbortReason, Tracker};
+
+/// One microcode-buffer slot.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Slot {
+    /// A fully determined instruction, emitted as-is.
+    Fixed(Inst),
+    /// A vector load of a data-segment symbol whose values are being
+    /// tracked. Removed at materialisation if a permutation or splat
+    /// consumed the tracker, kept (as a plain vector load) otherwise.
+    TrackedLoad {
+        /// Tracker index.
+        tracker: usize,
+        /// The load to emit if kept.
+        inst: VectorInst,
+    },
+    /// A load through an offsets-modified index: becomes `vld` + `vperm`
+    /// once the CAM identifies the permutation (paper Table 3 rule 3).
+    PermLoad {
+        /// Tracker holding the offsets.
+        tracker: usize,
+        /// Element type of the data load.
+        elem: ElemType,
+        /// Sign extension of the data load.
+        signed: bool,
+        /// Destination vector register.
+        vd: VReg,
+        /// Base of the data array.
+        base: Base,
+        /// The loop induction register (the translated load is contiguous).
+        index: Reg,
+    },
+    /// A store through an offsets-modified index: becomes `vperm` (inverse)
+    /// + `vst` (paper Table 3 rule 5).
+    PermStore {
+        /// Tracker holding the offsets.
+        tracker: usize,
+        /// Element type of the store.
+        elem: ElemType,
+        /// Scratch register receiving the permuted value.
+        vtmp: VReg,
+        /// The vector register being stored.
+        vs: VReg,
+        /// Base of the data array.
+        base: Base,
+        /// The loop induction register.
+        index: Reg,
+    },
+    /// A data-processing op whose second operand was loaded from a constant
+    /// array: becomes `vop vd, vn, #imm` if the values splat to a small
+    /// immediate (removing the array load, paper Table 3 rule 7), or a
+    /// plain register-register `vop` otherwise.
+    ConstAlu {
+        /// Tracker holding the constant values.
+        tracker: usize,
+        /// The vector operation.
+        op: VAluOp,
+        /// Element type.
+        elem: ElemType,
+        /// Destination.
+        vd: VReg,
+        /// First source.
+        vn: VReg,
+        /// Mapped register of the loaded constant (used when the load is
+        /// kept).
+        vm: VReg,
+    },
+    /// Marks the start of a loop body (emits nothing; branch target).
+    LoopTop,
+    /// The loop's backward branch; its target resolves to the most recent
+    /// [`Slot::LoopTop`].
+    LoopBranch {
+        /// Branch condition.
+        cond: Cond,
+    },
+}
+
+/// The microcode buffer: an ordered list of slots plus materialisation.
+#[derive(Clone, Debug, Default)]
+pub struct UopBuffer {
+    slots: Vec<Slot>,
+}
+
+/// Per-tracker disposition decided during materialisation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Disposition {
+    /// Not referenced by any deferred slot: keep its load.
+    Keep,
+    /// Offsets matched permutation `kind` (load-side orientation); the
+    /// tracked load is removed.
+    Perm(PermKind),
+    /// Values splat to an encodable immediate; the tracked load is removed.
+    Splat(i32),
+}
+
+impl UopBuffer {
+    /// Creates an empty buffer.
+    #[must_use]
+    pub fn new() -> UopBuffer {
+        UopBuffer::default()
+    }
+
+    /// Appends a slot, returning its index.
+    pub fn push(&mut self, slot: Slot) -> usize {
+        self.slots.push(slot);
+        self.slots.len() - 1
+    }
+
+    /// Resolves deferred slots and produces the final microcode.
+    ///
+    /// # Errors
+    ///
+    /// * [`AbortReason::CamMiss`] — an offset pattern matches no permutation
+    ///   executable at `lanes` lanes;
+    /// * [`AbortReason::ValueTooWide`] — offsets exceeded the hardware
+    ///   value-field width;
+    /// * [`AbortReason::UnsupportedShape`] — a tracker was used both as an
+    ///   address offset and as data;
+    /// * [`AbortReason::TooManyUops`] — the result exceeds `max_uops`.
+    pub fn materialize(
+        &self,
+        trackers: &[Tracker],
+        lanes: usize,
+        max_uops: usize,
+    ) -> Result<Vec<Inst>, AbortReason> {
+        // Pass 1: decide tracker dispositions.
+        let mut disp: Vec<Disposition> = vec![Disposition::Keep; trackers.len()];
+        let mut const_use: Vec<bool> = vec![false; trackers.len()];
+        for slot in &self.slots {
+            match *slot {
+                Slot::PermLoad { tracker, .. } | Slot::PermStore { tracker, .. } => {
+                    let t = &trackers[tracker];
+                    if t.wide {
+                        let value = *t
+                            .values
+                            .iter()
+                            .max_by_key(|v| v.abs())
+                            .unwrap_or(&0);
+                        return Err(AbortReason::ValueTooWide { value });
+                    }
+                    if !t.complete() || !t.consistent {
+                        return Err(AbortReason::CamMiss);
+                    }
+                    let kind = PermKind::match_offsets(&t.offsets_i32(), lanes)
+                        .filter(|k| k.executable_at(lanes))
+                        .ok_or(AbortReason::CamMiss)?;
+                    disp[tracker] = Disposition::Perm(kind);
+                }
+                Slot::ConstAlu { tracker, .. } => {
+                    const_use[tracker] = true;
+                }
+                _ => {}
+            }
+        }
+        for (id, t) in trackers.iter().enumerate() {
+            if const_use[id] {
+                if matches!(disp[id], Disposition::Perm(_)) {
+                    return Err(AbortReason::UnsupportedShape {
+                        what: "tracker used as both address offsets and data",
+                    });
+                }
+                // Splat optimisation: uniform, narrow, consistent values
+                // collapse to an immediate and the load disappears.
+                if t.consistent && !t.wide {
+                    if let Some(v) = t.is_splat() {
+                        if let Ok(imm) = i32::try_from(v) {
+                            if (VALU_IMM_MIN..=VALU_IMM_MAX).contains(&imm) {
+                                disp[id] = Disposition::Splat(imm);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        // Pass 2: emit.
+        let mut out: Vec<Inst> = Vec::with_capacity(self.slots.len());
+        let mut loop_top: Option<u32> = None;
+        for slot in &self.slots {
+            match *slot {
+                Slot::Fixed(inst) => out.push(inst),
+                Slot::TrackedLoad { tracker, inst } => {
+                    if matches!(disp[tracker], Disposition::Keep) {
+                        out.push(Inst::V(inst));
+                    }
+                    // Perm / Splat: the alignment network removed this load.
+                }
+                Slot::PermLoad {
+                    tracker,
+                    elem,
+                    signed,
+                    vd,
+                    base,
+                    index,
+                } => {
+                    let Disposition::Perm(kind) = disp[tracker] else {
+                        unreachable!("perm slot without perm disposition");
+                    };
+                    out.push(Inst::V(VectorInst::VLd {
+                        elem,
+                        signed,
+                        vd,
+                        base,
+                        index,
+                    }));
+                    out.push(Inst::V(VectorInst::VPerm {
+                        kind,
+                        elem,
+                        vd,
+                        vn: vd,
+                    }));
+                }
+                Slot::PermStore {
+                    tracker,
+                    elem,
+                    vtmp,
+                    vs,
+                    base,
+                    index,
+                } => {
+                    let Disposition::Perm(kind) = disp[tracker] else {
+                        unreachable!("perm slot without perm disposition");
+                    };
+                    // Store-side permutations apply the inverse pattern (see
+                    // PermKind::inverse): scalar code wrote element i to
+                    // position i + off[i]; the contiguous vst needs the value
+                    // vector pre-permuted by the inverse.
+                    out.push(Inst::V(VectorInst::VPerm {
+                        kind: kind.inverse(),
+                        elem,
+                        vd: vtmp,
+                        vn: vs,
+                    }));
+                    out.push(Inst::V(VectorInst::VSt {
+                        elem,
+                        vs: vtmp,
+                        base,
+                        index,
+                    }));
+                }
+                Slot::ConstAlu {
+                    tracker,
+                    op,
+                    elem,
+                    vd,
+                    vn,
+                    vm,
+                } => match disp[tracker] {
+                    Disposition::Splat(imm) => out.push(Inst::V(VectorInst::VAluImm {
+                        op,
+                        elem,
+                        vd,
+                        vn,
+                        imm,
+                    })),
+                    _ => out.push(Inst::V(VectorInst::VAlu {
+                        op,
+                        elem,
+                        vd,
+                        vn,
+                        vm,
+                    })),
+                },
+                Slot::LoopTop => loop_top = Some(out.len() as u32),
+                Slot::LoopBranch { cond } => {
+                    let target = loop_top.expect("loop branch after loop top");
+                    out.push(Inst::S(ScalarInst::B { cond, target }));
+                }
+            }
+        }
+        if out.len() > max_uops {
+            return Err(AbortReason::TooManyUops { limit: max_uops });
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use liquid_simd_isa::SymId;
+    
+
+    fn tracker_with(values: &[i64], lanes: usize) -> Tracker {
+        let mut t = Tracker::new(lanes);
+        for &v in values {
+            t.record(v, Some(2048)); // default 12-bit hardware value fields
+        }
+        t
+    }
+
+    #[test]
+    fn perm_load_materialises_and_removes_offsets_load() {
+        let mut buf = UopBuffer::new();
+        let tracked = VectorInst::VLd {
+            elem: ElemType::I32,
+            signed: false,
+            vd: VReg::V0,
+            base: Base::Sym(SymId::new(0)),
+            index: Reg::R0,
+        };
+        buf.push(Slot::LoopTop);
+        buf.push(Slot::TrackedLoad {
+            tracker: 0,
+            inst: tracked,
+        });
+        buf.push(Slot::PermLoad {
+            tracker: 0,
+            elem: ElemType::F32,
+            signed: false,
+            vd: VReg::V1,
+            base: Base::Sym(SymId::new(1)),
+            index: Reg::R0,
+        });
+        buf.push(Slot::LoopBranch { cond: Cond::Lt });
+        // Butterfly offsets for block 4.
+        let trackers = vec![tracker_with(&[2, 2, -2, -2], 4)];
+        let code = buf.materialize(&trackers, 4, 64).unwrap();
+        // Offsets load removed; vld + vbfly + branch remain.
+        assert_eq!(code.len(), 3);
+        assert!(matches!(
+            code[1],
+            Inst::V(VectorInst::VPerm {
+                kind: PermKind::Bfly { block: 4 },
+                ..
+            })
+        ));
+        // The loop branch targets instruction 0 (loop top).
+        assert!(matches!(
+            code[2],
+            Inst::S(ScalarInst::B {
+                cond: Cond::Lt,
+                target: 0
+            })
+        ));
+    }
+
+    #[test]
+    fn cam_miss_aborts() {
+        let mut buf = UopBuffer::new();
+        buf.push(Slot::PermLoad {
+            tracker: 0,
+            elem: ElemType::I32,
+            signed: false,
+            vd: VReg::V1,
+            base: Base::Sym(SymId::new(1)),
+            index: Reg::R0,
+        });
+        let trackers = vec![tracker_with(&[0, 2, -1, 3], 4)];
+        assert_eq!(
+            buf.materialize(&trackers, 4, 64),
+            Err(AbortReason::CamMiss)
+        );
+    }
+
+    #[test]
+    fn block_wider_than_lanes_aborts() {
+        // Butterfly over 8 elements cannot execute on a 4-lane machine: the
+        // first 4 observed offsets are +4 +4 +4 +4, which matches nothing.
+        let mut buf = UopBuffer::new();
+        buf.push(Slot::PermLoad {
+            tracker: 0,
+            elem: ElemType::I32,
+            signed: false,
+            vd: VReg::V1,
+            base: Base::Sym(SymId::new(1)),
+            index: Reg::R0,
+        });
+        let trackers = vec![tracker_with(&[4, 4, 4, 4], 4)];
+        assert_eq!(
+            buf.materialize(&trackers, 4, 64),
+            Err(AbortReason::CamMiss)
+        );
+    }
+
+    #[test]
+    fn splat_constant_becomes_immediate() {
+        let mut buf = UopBuffer::new();
+        let load = VectorInst::VLd {
+            elem: ElemType::I32,
+            signed: false,
+            vd: VReg::V0,
+            base: Base::Sym(SymId::new(0)),
+            index: Reg::R0,
+        };
+        buf.push(Slot::TrackedLoad {
+            tracker: 0,
+            inst: load,
+        });
+        buf.push(Slot::ConstAlu {
+            tracker: 0,
+            op: VAluOp::And,
+            elem: ElemType::I32,
+            vd: VReg::V1,
+            vn: VReg::V2,
+            vm: VReg::V0,
+        });
+        let trackers = vec![tracker_with(&[255, 255, 255, 255], 4)];
+        let code = buf.materialize(&trackers, 4, 64).unwrap();
+        assert_eq!(code.len(), 1);
+        assert!(matches!(
+            code[0],
+            Inst::V(VectorInst::VAluImm {
+                op: VAluOp::And,
+                imm: 255,
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn non_splat_constant_keeps_load() {
+        let mut buf = UopBuffer::new();
+        let load = VectorInst::VLd {
+            elem: ElemType::I32,
+            signed: false,
+            vd: VReg::V0,
+            base: Base::Sym(SymId::new(0)),
+            index: Reg::R0,
+        };
+        buf.push(Slot::TrackedLoad {
+            tracker: 0,
+            inst: load,
+        });
+        buf.push(Slot::ConstAlu {
+            tracker: 0,
+            op: VAluOp::Mul,
+            elem: ElemType::I32,
+            vd: VReg::V1,
+            vn: VReg::V2,
+            vm: VReg::V0,
+        });
+        let trackers = vec![tracker_with(&[1, -1, 1, -1], 4)];
+        let code = buf.materialize(&trackers, 4, 64).unwrap();
+        assert_eq!(code.len(), 2);
+        assert!(matches!(code[0], Inst::V(VectorInst::VLd { .. })));
+        assert!(matches!(
+            code[1],
+            Inst::V(VectorInst::VAlu {
+                op: VAluOp::Mul,
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn wide_splat_keeps_load_instead_of_immediate() {
+        // 0xFF00 = 65280 exceeds the 9-bit immediate: keep the load.
+        let mut buf = UopBuffer::new();
+        let load = VectorInst::VLd {
+            elem: ElemType::I32,
+            signed: false,
+            vd: VReg::V0,
+            base: Base::Sym(SymId::new(0)),
+            index: Reg::R0,
+        };
+        buf.push(Slot::TrackedLoad {
+            tracker: 0,
+            inst: load,
+        });
+        buf.push(Slot::ConstAlu {
+            tracker: 0,
+            op: VAluOp::And,
+            elem: ElemType::I32,
+            vd: VReg::V1,
+            vn: VReg::V2,
+            vm: VReg::V0,
+        });
+        let mut t = Tracker::new(2);
+        t.record(65280, Some(32));
+        t.record(65280, Some(32));
+        assert!(t.wide);
+        let code = buf.materialize(&[t], 2, 64).unwrap();
+        assert_eq!(code.len(), 2);
+        assert!(matches!(code[0], Inst::V(VectorInst::VLd { .. })));
+    }
+
+    #[test]
+    fn mixed_tracker_use_aborts() {
+        let mut buf = UopBuffer::new();
+        buf.push(Slot::PermLoad {
+            tracker: 0,
+            elem: ElemType::I32,
+            signed: false,
+            vd: VReg::V1,
+            base: Base::Sym(SymId::new(1)),
+            index: Reg::R0,
+        });
+        buf.push(Slot::ConstAlu {
+            tracker: 0,
+            op: VAluOp::Add,
+            elem: ElemType::I32,
+            vd: VReg::V2,
+            vn: VReg::V3,
+            vm: VReg::V0,
+        });
+        let trackers = vec![tracker_with(&[1, -1, 1, -1], 4)];
+        assert!(matches!(
+            buf.materialize(&trackers, 4, 64),
+            Err(AbortReason::UnsupportedShape { .. })
+        ));
+    }
+
+    #[test]
+    fn buffer_capacity_enforced() {
+        let mut buf = UopBuffer::new();
+        for _ in 0..65 {
+            buf.push(Slot::Fixed(Inst::S(ScalarInst::Nop)));
+        }
+        assert_eq!(
+            buf.materialize(&[], 4, 64),
+            Err(AbortReason::TooManyUops { limit: 64 })
+        );
+        assert!(buf.materialize(&[], 4, 65).is_ok());
+    }
+
+    #[test]
+    fn rotation_store_uses_inverse() {
+        let mut buf = UopBuffer::new();
+        buf.push(Slot::PermStore {
+            tracker: 0,
+            elem: ElemType::I32,
+            vtmp: VReg::V7,
+            vs: VReg::V1,
+            base: Base::Sym(SymId::new(1)),
+            index: Reg::R0,
+        });
+        // Rot{4,1} offsets: source_index(i)=(i+1)%4, off = [1,1,1,-3].
+        let trackers = vec![tracker_with(&[1, 1, 1, -3], 4)];
+        let code = buf.materialize(&trackers, 4, 64).unwrap();
+        assert!(matches!(
+            code[0],
+            Inst::V(VectorInst::VPerm {
+                kind: PermKind::Rot { block: 4, amt: 3 },
+                vd: VReg::V7,
+                vn: VReg::V1,
+                ..
+            })
+        ));
+        assert!(matches!(
+            code[1],
+            Inst::V(VectorInst::VSt { vs: VReg::V7, .. })
+        ));
+    }
+}

@@ -1,0 +1,37 @@
+//! Retirement events — the translator's input interface.
+
+use liquid_simd_isa::ScalarInst;
+
+/// One retired scalar instruction, as delivered by the pipeline's
+/// post-retirement tap (the `Inst`/`Data`/`Abort` inputs of paper Figure 5).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Retired {
+    /// Code index the instruction retired from.
+    pub pc: u32,
+    /// The instruction itself (the "partial decoder" consumes this).
+    pub inst: ScalarInst,
+    /// Whether the instruction's predicate passed. Predicated instructions
+    /// retire either way; the translator matches idioms on the *static*
+    /// sequence, so this is informational.
+    pub executed: bool,
+    /// The integer value the instruction produced (load result or ALU
+    /// result), if any — the `Data` input of the translator. Only values of
+    /// integer loads are consulted (offset/constant array detection).
+    pub value: Option<i64>,
+    /// For branches: whether the branch was taken.
+    pub taken: bool,
+}
+
+impl Retired {
+    /// Convenience constructor for non-branch instructions.
+    #[must_use]
+    pub fn plain(pc: u32, inst: ScalarInst, value: Option<i64>) -> Retired {
+        Retired {
+            pc,
+            inst,
+            executed: true,
+            value,
+            taken: false,
+        }
+    }
+}

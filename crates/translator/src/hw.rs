@@ -1,0 +1,196 @@
+//! Hardware register-state image.
+//!
+//! The paper's synthesized translator keeps **56 bits of state per
+//! register** (§4.1): the classification kind, the element size assigned to
+//! the register, and the previously loaded values (narrow fields — "storing
+//! the entire 32 bits of previous values is unnecessary ... numbers that are
+//! too big to represent simply abort").
+//!
+//! This module packs the software model's [`RegClass`] + tracked values into
+//! that exact layout, proving the software automaton's state fits the
+//! hardware budget, and feeding the [`area`](crate::area) model:
+//!
+//! ```text
+//!  bits   field
+//!  ─────  ──────────────────────────────────────────────
+//!  3      kind (unknown/const/induction/scalar/vector/addr-vector)
+//!  2      element type
+//!  1      signedness of loads
+//!  1      has-tracked-values flag
+//!  1      wide flag (values overflowed their fields)
+//!  W x B  previous values, two's complement, B bits each
+//! ```
+//!
+//! At the paper's design point (`W = 8` lanes, `B = 6` bits) this is
+//! `8 + 48 = 56` bits per register — exactly the figure in §4.1.
+
+use crate::state::RegClass;
+
+/// Per-register state bits, excluding the value fields.
+pub const KIND_BITS: u32 = 3;
+/// Element-type field width.
+pub const ELEM_BITS: u32 = 2;
+/// Flag bits (signedness, has-values, wide).
+pub const FLAG_BITS: u32 = 3;
+/// Fixed (non-value) bits per register.
+pub const FIXED_BITS: u32 = KIND_BITS + ELEM_BITS + FLAG_BITS;
+
+/// Total register-state bits per register for a translator with `lanes`
+/// recorded values of `value_bits` each.
+#[must_use]
+pub fn bits_per_register(lanes: usize, value_bits: u32) -> u32 {
+    FIXED_BITS + lanes as u32 * value_bits
+}
+
+/// A packed register-state image (up to 128 bits to accommodate 16-lane
+/// configurations; the paper's 8-lane design fits in 56 bits).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PackedRegState {
+    /// The raw bits, LSB-first field order as documented on the module.
+    pub bits: u128,
+    /// Number of meaningful bits.
+    pub width: u32,
+}
+
+fn kind_code(class: RegClass) -> u128 {
+    match class {
+        RegClass::Unknown => 0,
+        RegClass::Const(_) => 1,
+        RegClass::Induction => 2,
+        RegClass::Scalar => 3,
+        RegClass::Vector { .. } => 4,
+        RegClass::AddrVector { .. } => 5,
+    }
+}
+
+fn elem_code(class: RegClass) -> u128 {
+    match class {
+        RegClass::Vector { elem, .. } => u128::from(elem.bits()),
+        _ => 0,
+    }
+}
+
+/// Packs a register's class and its tracked values.
+///
+/// Returns `None` when a value does not fit in `value_bits` — the hardware
+/// condition that forces a translation abort (`ValueTooWide`).
+#[must_use]
+pub fn pack(
+    class: RegClass,
+    values: &[i64],
+    lanes: usize,
+    value_bits: u32,
+) -> Option<PackedRegState> {
+    let width = bits_per_register(lanes, value_bits);
+    let mut bits: u128 = kind_code(class);
+    bits |= elem_code(class) << KIND_BITS;
+    let signed = matches!(class, RegClass::Vector { signed: true, .. });
+    let has_values = !values.is_empty();
+    bits |= u128::from(signed) << (KIND_BITS + ELEM_BITS);
+    bits |= u128::from(has_values) << (KIND_BITS + ELEM_BITS + 1);
+    // wide flag stays 0 in a successful pack.
+    let min = -(1i64 << (value_bits - 1));
+    let max = (1i64 << (value_bits - 1)) - 1;
+    for (i, &v) in values.iter().take(lanes).enumerate() {
+        if v < min || v > max {
+            return None;
+        }
+        let field = (v as u128) & ((1u128 << value_bits) - 1);
+        bits |= field << (FIXED_BITS + i as u32 * value_bits);
+    }
+    Some(PackedRegState { bits, width })
+}
+
+/// Unpacks the value fields (sign-extended); used in tests to show the
+/// packing is lossless for in-range values.
+#[must_use]
+pub fn unpack_values(packed: &PackedRegState, lanes: usize, value_bits: u32) -> Vec<i64> {
+    (0..lanes)
+        .map(|i| {
+            let shift = FIXED_BITS + i as u32 * value_bits;
+            let raw = ((packed.bits >> shift) & ((1u128 << value_bits) - 1)) as u64;
+            let sign_bit = 1u64 << (value_bits - 1);
+            if raw & sign_bit != 0 {
+                (raw as i64) - (1i64 << value_bits)
+            } else {
+                raw as i64
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use liquid_simd_isa::ElemType;
+
+    #[test]
+    fn paper_design_point_is_56_bits() {
+        assert_eq!(bits_per_register(8, 6), 56);
+    }
+
+    #[test]
+    fn pack_roundtrips_values() {
+        let class = RegClass::Vector {
+            elem: ElemType::I16,
+            signed: true,
+            tracker: Some(0),
+        };
+        let values = [4, 4, -4, -4, 0, 31, -32, 1];
+        let p = pack(class, &values, 8, 6).expect("fits");
+        assert_eq!(p.width, 56);
+        assert_eq!(unpack_values(&p, 8, 6), values);
+    }
+
+    #[test]
+    fn out_of_range_value_fails_to_pack() {
+        let class = RegClass::Vector {
+            elem: ElemType::I32,
+            signed: false,
+            tracker: Some(0),
+        };
+        assert!(pack(class, &[32], 8, 6).is_none()); // 32 > 31
+        assert!(pack(class, &[-33], 8, 6).is_none());
+        assert!(pack(class, &[31, -32], 8, 6).is_some());
+    }
+
+    #[test]
+    fn kinds_pack_distinctly() {
+        let classes = [
+            RegClass::Unknown,
+            RegClass::Const(0),
+            RegClass::Induction,
+            RegClass::Scalar,
+            RegClass::Vector {
+                elem: ElemType::I8,
+                signed: false,
+                tracker: None,
+            },
+            RegClass::AddrVector { tracker: 0 },
+        ];
+        let mut seen = Vec::new();
+        for c in classes {
+            let p = pack(c, &[], 8, 6).unwrap();
+            assert!(!seen.contains(&(p.bits & 0x7)), "kind collision for {c:?}");
+            seen.push(p.bits & 0x7);
+        }
+    }
+
+    #[test]
+    fn butterfly_offsets_fit_the_paper_budget() {
+        // The widest offsets a 16-lane machine ever tracks are +/-8
+        // (block-16 butterfly); they must fit the 6-bit fields.
+        use liquid_simd_isa::PermKind;
+        let offs: Vec<i64> = PermKind::Bfly { block: 16 }
+            .offsets(16)
+            .into_iter()
+            .map(i64::from)
+            .collect();
+        let class = RegClass::Vector {
+            elem: ElemType::I32,
+            signed: false,
+            tracker: Some(0),
+        };
+        assert!(pack(class, &offs, 16, 6).is_some());
+    }
+}

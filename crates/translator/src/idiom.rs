@@ -1,0 +1,296 @@
+//! Idiom recognition: collapsing multi-instruction scalar sequences back
+//! into single SIMD operations (paper §3.2: "a dynamic translator can
+//! recognize that these sequences of scalar instructions represent one SIMD
+//! instruction, and no efficiency is lost").
+//!
+//! Saturating arithmetic is expressed as a five-instruction *full-clamp*
+//! idiom — wrapping arithmetic followed by clamps against both bounds:
+//!
+//! ```text
+//! add rd, rn, x          (or sub)
+//! cmp rd, #HI
+//! movgt rd, #HI
+//! cmp rd, #LO
+//! movlt rd, #LO
+//! ```
+//!
+//! The `(HI, LO)` pair identifies the operation and element width:
+//!
+//! | bounds | op |
+//! |---|---|
+//! | `(255, 0)` | `vqaddu.i8` / `vqsubu.i8` |
+//! | `(65535, 0)` | `vqaddu.i16` / `vqsubu.i16` |
+//! | `(127, -128)` | `vqadds.i8` / `vqsubs.i8` |
+//! | `(32767, -32768)` | `vqadds.i16` / `vqsubs.i16` |
+//!
+//! The clamp order (high first, then low) is immaterial to the result —
+//! only one bound can fire — but the recogniser matches the canonical
+//! order the compiler emits. This is the paper's Table 1 idiom,
+//! generalised with the low clamp so that saturating semantics hold for
+//! *every* input (the paper's three-instruction `add; cmp; movgt` example
+//! assumes non-negative operands).
+
+use liquid_simd_isa::{AluOp, Cond, ElemType, Operand2, Reg, ScalarInst, VAluOp};
+
+/// One unit of loop-body work after idiom collapsing: either a raw scalar
+/// instruction or a recognised saturating macro-op.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BodyOp {
+    /// Index of the first underlying instruction within the body sequence
+    /// (used to map observed load values back to trackers).
+    pub pos: usize,
+    /// The operation.
+    pub kind: BodyOpKind,
+}
+
+/// The kind of a [`BodyOp`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BodyOpKind {
+    /// An untouched scalar instruction.
+    Plain(ScalarInst),
+    /// A saturating-arithmetic idiom collapsed to one vector op.
+    Sat {
+        /// The saturating vector operation.
+        op: VAluOp,
+        /// Element type implied by the clamp bounds.
+        elem: Option<ElemType>,
+        /// Destination register.
+        rd: Reg,
+        /// First source.
+        rn: Reg,
+        /// Second source.
+        op2: Operand2,
+    },
+}
+
+/// The recognised `(hi, lo)` clamp pairs with their op flavour and width.
+const CLAMP_TABLE: [(i32, i32, bool, ElemType); 4] = [
+    (255, 0, false, ElemType::I8),
+    (65535, 0, false, ElemType::I16),
+    (127, -128, true, ElemType::I8),
+    (32767, -32768, true, ElemType::I16),
+];
+
+/// Collapses idioms in a loop-body instruction sequence.
+///
+/// Instructions that participate in no idiom pass through unchanged, in
+/// order, carrying their original positions.
+#[must_use]
+pub fn collapse(body: &[ScalarInst]) -> Vec<BodyOp> {
+    let mut out = Vec::with_capacity(body.len());
+    let mut i = 0;
+    while i < body.len() {
+        if let Some((op, consumed)) = match_sat(&body[i..]) {
+            out.push(BodyOp { pos: i, kind: op });
+            i += consumed;
+        } else {
+            out.push(BodyOp {
+                pos: i,
+                kind: BodyOpKind::Plain(body[i]),
+            });
+            i += 1;
+        }
+    }
+    out
+}
+
+fn base_alu(inst: &ScalarInst) -> Option<(AluOp, Reg, Reg, Operand2)> {
+    match *inst {
+        ScalarInst::Alu {
+            cond: Cond::Al,
+            op,
+            rd,
+            rn,
+            op2,
+        } if matches!(op, AluOp::Add | AluOp::Sub) => Some((op, rd, rn, op2)),
+        _ => None,
+    }
+}
+
+fn is_cmp_imm(inst: &ScalarInst, rn: Reg, imm: i32) -> bool {
+    matches!(*inst, ScalarInst::Cmp { rn: r, op2: Operand2::Imm(i) } if r == rn && i == imm)
+}
+
+fn is_mov_imm(inst: &ScalarInst, cond: Cond, rd: Reg, imm: i32) -> bool {
+    matches!(
+        *inst,
+        ScalarInst::MovImm { cond: c, rd: r, imm: i } if c == cond && r == rd && i == imm
+    )
+}
+
+/// `add/sub; cmp #HI; movgt #HI; cmp #LO; movlt #LO` (5 instructions).
+fn match_sat(window: &[ScalarInst]) -> Option<(BodyOpKind, usize)> {
+    if window.len() < 5 {
+        return None;
+    }
+    let (alu, rd, rn, op2) = base_alu(&window[0])?;
+    for &(hi, lo, signed, elem) in &CLAMP_TABLE {
+        if is_cmp_imm(&window[1], rd, hi)
+            && is_mov_imm(&window[2], Cond::Gt, rd, hi)
+            && is_cmp_imm(&window[3], rd, lo)
+            && is_mov_imm(&window[4], Cond::Lt, rd, lo)
+        {
+            let op = match (alu, signed) {
+                (AluOp::Add, false) => VAluOp::SatAdd,
+                (AluOp::Sub, false) => VAluOp::SatSub,
+                (AluOp::Add, true) => VAluOp::SSatAdd,
+                (AluOp::Sub, true) => VAluOp::SSatSub,
+                _ => unreachable!("base_alu filters"),
+            };
+            return Some((
+                BodyOpKind::Sat {
+                    op,
+                    elem: Some(elem),
+                    rd,
+                    rn,
+                    op2,
+                },
+                5,
+            ));
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn add(rd: u8, rn: u8, rm: u8) -> ScalarInst {
+        ScalarInst::Alu {
+            cond: Cond::Al,
+            op: AluOp::Add,
+            rd: Reg::of(rd),
+            rn: Reg::of(rn),
+            op2: Operand2::Reg(Reg::of(rm)),
+        }
+    }
+
+    fn sub_imm(rd: u8, rn: u8, imm: i32) -> ScalarInst {
+        ScalarInst::Alu {
+            cond: Cond::Al,
+            op: AluOp::Sub,
+            rd: Reg::of(rd),
+            rn: Reg::of(rn),
+            op2: Operand2::Imm(imm),
+        }
+    }
+
+    fn cmp(rn: u8, imm: i32) -> ScalarInst {
+        ScalarInst::Cmp {
+            rn: Reg::of(rn),
+            op2: Operand2::Imm(imm),
+        }
+    }
+
+    fn mov_cond(cond: Cond, rd: u8, imm: i32) -> ScalarInst {
+        ScalarInst::MovImm {
+            cond,
+            rd: Reg::of(rd),
+            imm,
+        }
+    }
+
+    fn clamp_pair(rd: u8, hi: i32, lo: i32) -> [ScalarInst; 4] {
+        [
+            cmp(rd, hi),
+            mov_cond(Cond::Gt, rd, hi),
+            cmp(rd, lo),
+            mov_cond(Cond::Lt, rd, lo),
+        ]
+    }
+
+    #[test]
+    fn collapses_unsigned_saturating_add() {
+        let mut body = vec![add(1, 2, 3)];
+        body.extend(clamp_pair(1, 255, 0));
+        let ops = collapse(&body);
+        assert_eq!(ops.len(), 1);
+        assert_eq!(ops[0].pos, 0);
+        assert!(matches!(
+            ops[0].kind,
+            BodyOpKind::Sat {
+                op: VAluOp::SatAdd,
+                elem: Some(ElemType::I8),
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn collapses_unsigned_saturating_sub_with_immediate() {
+        let mut body = vec![sub_imm(4, 4, 30)];
+        body.extend(clamp_pair(4, 65535, 0));
+        let ops = collapse(&body);
+        assert_eq!(ops.len(), 1);
+        match ops[0].kind {
+            BodyOpKind::Sat { op, elem, op2, .. } => {
+                assert_eq!(op, VAluOp::SatSub);
+                assert_eq!(elem, Some(ElemType::I16));
+                assert_eq!(op2, Operand2::Imm(30));
+            }
+            ref other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn collapses_signed_saturating_i16() {
+        let mut body = vec![add(4, 5, 6)];
+        body.extend(clamp_pair(4, 32767, -32768));
+        let ops = collapse(&body);
+        assert_eq!(ops.len(), 1);
+        assert!(matches!(
+            ops[0].kind,
+            BodyOpKind::Sat {
+                op: VAluOp::SSatAdd,
+                elem: Some(ElemType::I16),
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn partial_clamp_is_not_an_idiom() {
+        // Only the high clamp: not saturation (it would change semantics
+        // for negative sums), must pass through untouched.
+        let body = vec![add(1, 2, 3), cmp(1, 255), mov_cond(Cond::Gt, 1, 255)];
+        let ops = collapse(&body);
+        assert_eq!(ops.len(), 3);
+        assert!(ops.iter().all(|o| matches!(o.kind, BodyOpKind::Plain(_))));
+    }
+
+    #[test]
+    fn near_miss_wrong_register_passes_through() {
+        let mut body = vec![add(1, 2, 3)];
+        body.extend(clamp_pair(7, 255, 0)); // clamps a different register
+        let ops = collapse(&body);
+        assert_eq!(ops.len(), 5);
+        assert_eq!(ops[4].pos, 4);
+    }
+
+    #[test]
+    fn mismatched_bounds_pass_through() {
+        // 255 high with -128 low is no recognised saturation width.
+        let mut body = vec![add(1, 2, 3)];
+        body.extend([
+            cmp(1, 255),
+            mov_cond(Cond::Gt, 1, 255),
+            cmp(1, -128),
+            mov_cond(Cond::Lt, 1, -128),
+        ]);
+        let ops = collapse(&body);
+        assert_eq!(ops.len(), 5);
+    }
+
+    #[test]
+    fn surrounding_instructions_keep_positions() {
+        let mut body = vec![cmp(0, 9), add(1, 2, 3)];
+        body.extend(clamp_pair(1, 255, 0));
+        body.push(add(5, 5, 5));
+        let ops = collapse(&body);
+        assert_eq!(ops.len(), 3);
+        assert_eq!(ops[0].pos, 0);
+        assert_eq!(ops[1].pos, 1);
+        assert_eq!(ops[2].pos, 6);
+    }
+}

@@ -1,0 +1,311 @@
+//! Register state and abort reasons — the translator's "Register State"
+//! block and "Legality Checks" block (paper Figure 5).
+
+use std::error::Error;
+use std::fmt;
+
+use liquid_simd_isa::ElemType;
+
+/// Why a translation attempt was abandoned. The scalar loop remains the
+/// correct fallback in every case — aborting only costs performance.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum AbortReason {
+    /// An opcode the partial decoder does not recognise as translatable.
+    UnsupportedOpcode {
+        /// Code index of the offending instruction.
+        pc: u32,
+    },
+    /// A call inside the outlined region.
+    NestedCall,
+    /// The outlined function contained no loop — nothing to vectorise
+    /// (this is how false-positive outlined functions are rejected, §3.5).
+    NoLoop,
+    /// The generated microcode would exceed the microcode buffer
+    /// (64 instructions in the paper's design).
+    TooManyUops {
+        /// The buffer capacity that was exceeded.
+        limit: usize,
+    },
+    /// The loop's trip count is not a multiple of the accelerator width.
+    TripNotMultiple {
+        /// Observed trip count.
+        trip: u64,
+        /// Target lane count.
+        lanes: usize,
+    },
+    /// The loop bound from `cmp` disagrees with the observed trip count
+    /// (data-dependent exit).
+    BoundMismatch,
+    /// A later iteration executed a different instruction sequence than the
+    /// first (data-dependent control flow).
+    IterationMismatch {
+        /// Code index where the divergence was seen.
+        pc: u32,
+    },
+    /// An offset pattern missed in the permutation CAM — either an unknown
+    /// shuffle or one whose block exceeds the accelerator width (paper §4.1:
+    /// "a shuffle not supported in the SIMD accelerator").
+    CamMiss,
+    /// A recorded value exceeded the hardware register-state width (paper
+    /// §4.1: "numbers that are too big to represent simply abort").
+    ValueTooWide {
+        /// The offending value.
+        value: i64,
+    },
+    /// A memory index whose offsets are runtime data — the `VTBL` class the
+    /// scalar representation cannot express (paper §3.3).
+    RuntimeIndexedPermute,
+    /// A store of a scalar value inside the loop body.
+    ScalarStore,
+    /// The translated code needs more vector registers than exist.
+    RegisterPressure,
+    /// A structurally unsupported shape.
+    UnsupportedShape {
+        /// Explanation.
+        what: &'static str,
+    },
+    /// An external abort — interrupt or context switch (the pipeline's
+    /// `Abort` input in Figure 5).
+    External {
+        /// Cause description.
+        what: &'static str,
+    },
+}
+
+impl AbortReason {
+    /// A short stable tag for statistics bucketing.
+    #[must_use]
+    pub fn tag(&self) -> &'static str {
+        match self {
+            AbortReason::UnsupportedOpcode { .. } => "unsupported-opcode",
+            AbortReason::NestedCall => "nested-call",
+            AbortReason::NoLoop => "no-loop",
+            AbortReason::TooManyUops { .. } => "too-many-uops",
+            AbortReason::TripNotMultiple { .. } => "trip-not-multiple",
+            AbortReason::BoundMismatch => "bound-mismatch",
+            AbortReason::IterationMismatch { .. } => "iteration-mismatch",
+            AbortReason::CamMiss => "cam-miss",
+            AbortReason::ValueTooWide { .. } => "value-too-wide",
+            AbortReason::RuntimeIndexedPermute => "runtime-indexed-permute",
+            AbortReason::ScalarStore => "scalar-store",
+            AbortReason::RegisterPressure => "register-pressure",
+            AbortReason::UnsupportedShape { .. } => "unsupported-shape",
+            AbortReason::External { .. } => "external",
+        }
+    }
+}
+
+impl fmt::Display for AbortReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AbortReason::UnsupportedOpcode { pc } => {
+                write!(f, "untranslatable opcode at @{pc}")
+            }
+            AbortReason::NestedCall => write!(f, "nested call inside outlined region"),
+            AbortReason::NoLoop => write!(f, "outlined region contains no loop"),
+            AbortReason::TooManyUops { limit } => {
+                write!(f, "microcode exceeds buffer capacity of {limit}")
+            }
+            AbortReason::TripNotMultiple { trip, lanes } => {
+                write!(f, "trip count {trip} is not a multiple of {lanes} lanes")
+            }
+            AbortReason::BoundMismatch => write!(f, "loop bound disagrees with observed trip"),
+            AbortReason::IterationMismatch { pc } => {
+                write!(f, "iteration diverged from first at @{pc}")
+            }
+            AbortReason::CamMiss => write!(f, "offset pattern missed in permutation CAM"),
+            AbortReason::ValueTooWide { value } => {
+                write!(f, "value {value} too wide for hardware register state")
+            }
+            AbortReason::RuntimeIndexedPermute => {
+                write!(f, "runtime-indexed permutation (VTBL-like)")
+            }
+            AbortReason::ScalarStore => write!(f, "scalar store inside loop body"),
+            AbortReason::RegisterPressure => write!(f, "out of vector registers"),
+            AbortReason::UnsupportedShape { what } => write!(f, "unsupported shape: {what}"),
+            AbortReason::External { what } => write!(f, "external abort: {what}"),
+        }
+    }
+}
+
+impl Error for AbortReason {}
+
+/// What a register currently represents, per paper Table 3's "register
+/// state" column.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum RegClass {
+    /// Nothing known yet (live-in values are treated as scalars on use).
+    #[default]
+    Unknown,
+    /// Holds a compile-time constant (`mov rd, #imm`); candidate induction
+    /// variable per Table 3 rule 1.
+    Const(i64),
+    /// The loop induction variable.
+    Induction,
+    /// An ordinary scalar (including reduction accumulators).
+    Scalar,
+    /// Represents one element of a vector per iteration; in translated code
+    /// it becomes a vector register.
+    Vector {
+        /// Element type inferred from the load that defined it.
+        elem: ElemType,
+        /// Whether narrow loads sign-extend.
+        signed: bool,
+        /// Index of the value tracker if the register was loaded from a
+        /// data-segment symbol (potential offset/constant array).
+        tracker: Option<usize>,
+    },
+    /// Induction variable plus loaded offsets (Table 3 rule 8) — using this
+    /// as a memory index signals a permutation.
+    AddrVector {
+        /// The tracker holding the offset values.
+        tracker: usize,
+    },
+}
+
+impl RegClass {
+    /// Whether this register would be treated as a plain scalar operand.
+    #[must_use]
+    pub fn is_scalarish(self) -> bool {
+        matches!(
+            self,
+            RegClass::Unknown | RegClass::Const(_) | RegClass::Scalar
+        )
+    }
+
+    /// Whether this register maps to a vector register in translated code.
+    #[must_use]
+    pub fn is_vector(self) -> bool {
+        matches!(self, RegClass::Vector { .. })
+    }
+}
+
+/// Records the values loaded from one data-segment symbol across loop
+/// iterations — the "previous values" slice of the paper's register state.
+#[derive(Clone, Debug)]
+pub struct Tracker {
+    /// First `lanes` observed values.
+    pub values: Vec<i64>,
+    /// Whether all observations so far repeat with period `lanes`
+    /// (`values[i mod lanes]`).
+    pub consistent: bool,
+    /// Whether any value exceeded the hardware value-field width. Wide
+    /// trackers cannot back permutations (abort) and disable the splat
+    /// optimisation for constants.
+    pub wide: bool,
+    /// Target lane count (pattern length to collect).
+    pub lanes: usize,
+    /// How the tracker ended up being used.
+    pub address_use: bool,
+    /// Total values observed (for periodicity verification).
+    pub observed: u64,
+}
+
+impl Tracker {
+    /// Creates an empty tracker collecting `lanes` values.
+    #[must_use]
+    pub fn new(lanes: usize) -> Tracker {
+        Tracker {
+            values: Vec::with_capacity(lanes),
+            consistent: true,
+            wide: false,
+            lanes,
+            address_use: false,
+            observed: 0,
+        }
+    }
+
+    /// Records one observed value. `value_limit` is the half-range of the
+    /// hardware value field (`None` disables the width check, as a software
+    /// JIT translator would).
+    pub fn record(&mut self, value: i64, value_limit: Option<i64>) {
+        if let Some(limit) = value_limit {
+            if value < -limit || value >= limit {
+                self.wide = true;
+            }
+        }
+        let idx = (self.observed % self.lanes as u64) as usize;
+        if self.values.len() < self.lanes {
+            debug_assert_eq!(idx, self.values.len());
+            self.values.push(value);
+        } else if self.values[idx] != value {
+            self.consistent = false;
+        }
+        self.observed += 1;
+    }
+
+    /// Whether a full pattern (`lanes` values) has been observed.
+    #[must_use]
+    pub fn complete(&self) -> bool {
+        self.values.len() == self.lanes
+    }
+
+    /// Whether every recorded value is identical (splat candidate).
+    #[must_use]
+    pub fn is_splat(&self) -> Option<i64> {
+        let first = *self.values.first()?;
+        self.complete()
+            .then_some(())
+            .filter(|()| self.values.iter().all(|&v| v == first))
+            .map(|()| first)
+    }
+
+    /// The observed values as `i32` offsets for CAM matching.
+    #[must_use]
+    pub fn offsets_i32(&self) -> Vec<i32> {
+        self.values
+            .iter()
+            .map(|&v| i32::try_from(v).unwrap_or(i32::MAX))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tracker_collects_then_verifies_periodicity() {
+        let mut t = Tracker::new(4);
+        for v in [1, 2, 3, 4, 1, 2, 3, 4] {
+            t.record(v, Some(32));
+        }
+        assert!(t.complete());
+        assert!(t.consistent);
+        assert_eq!(t.values, vec![1, 2, 3, 4]);
+        t.record(9, Some(32)); // position 0 should be 1
+        assert!(!t.consistent);
+    }
+
+    #[test]
+    fn tracker_flags_wide_values() {
+        let mut t = Tracker::new(2);
+        t.record(31, Some(32));
+        assert!(!t.wide);
+        t.record(32, Some(32));
+        assert!(t.wide);
+        let mut jit = Tracker::new(2);
+        jit.record(1_000_000, None);
+        assert!(!jit.wide);
+    }
+
+    #[test]
+    fn splat_detection() {
+        let mut t = Tracker::new(3);
+        t.record(7, None);
+        assert_eq!(t.is_splat(), None); // incomplete
+        t.record(7, None);
+        t.record(7, None);
+        assert_eq!(t.is_splat(), Some(7));
+        t.record(8, None);
+        assert!(!t.consistent);
+    }
+
+    #[test]
+    fn abort_reasons_have_stable_tags_and_messages() {
+        let r = AbortReason::TripNotMultiple { trip: 10, lanes: 4 };
+        assert_eq!(r.tag(), "trip-not-multiple");
+        assert!(r.to_string().contains("10"));
+        assert_ne!(AbortReason::CamMiss.to_string(), "");
+    }
+}

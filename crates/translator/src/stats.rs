@@ -1,0 +1,71 @@
+//! Translator statistics.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Counters accumulated across a translator's lifetime.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct TranslatorStats {
+    /// Translation attempts started.
+    pub attempts: u64,
+    /// Attempts that produced microcode.
+    pub successes: u64,
+    /// Total microcode instructions produced.
+    pub uops_emitted: u64,
+    /// Total dynamic scalar instructions observed while translating.
+    pub instrs_observed: u64,
+    /// Abort counts bucketed by [`AbortReason::tag`](crate::AbortReason::tag).
+    pub aborts: BTreeMap<&'static str, u64>,
+}
+
+impl TranslatorStats {
+    /// Total aborted attempts.
+    #[must_use]
+    pub fn aborted(&self) -> u64 {
+        self.aborts.values().sum()
+    }
+
+    /// Records an abort bucket.
+    pub fn record_abort(&mut self, tag: &'static str) {
+        *self.aborts.entry(tag).or_insert(0) += 1;
+    }
+}
+
+impl fmt::Display for TranslatorStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} attempts, {} translated, {} aborted",
+            self.attempts,
+            self.successes,
+            self.aborted()
+        )?;
+        if !self.aborts.is_empty() {
+            write!(f, " (")?;
+            let parts: Vec<String> = self
+                .aborts
+                .iter()
+                .map(|(tag, n)| format!("{tag}: {n}"))
+                .collect();
+            write!(f, "{})", parts.join(", "))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn abort_bucketing() {
+        let mut s = TranslatorStats::default();
+        s.record_abort("cam-miss");
+        s.record_abort("cam-miss");
+        s.record_abort("no-loop");
+        assert_eq!(s.aborted(), 3);
+        let text = s.to_string();
+        assert!(text.contains("cam-miss: 2"));
+        assert!(text.contains("no-loop: 1"));
+    }
+}

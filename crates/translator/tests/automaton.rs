@@ -1,0 +1,420 @@
+//! Translator-level tests driven by hand-fed retirement streams — the
+//! automaton is exercised without a simulator, checking each Table 3 rule
+//! and the new vector-by-scalar broadcast refinements.
+
+use liquid_simd_isa::{
+    AluOp, Base, Cond, ElemType, FReg, FpOp, Inst, MemWidth, Operand2, Reg, ScalarInst,
+    ScalarSrc, SymId, VAluOp, VectorInst,
+};
+use liquid_simd_translator::{Progress, Retired, Translator, TranslatorConfig};
+
+/// A tiny scalar interpreter sufficient for straight loops: executes the
+/// instruction stream and feeds retirement events until `ret`.
+struct MiniMachine {
+    r: [i64; 16],
+    flags: (i64, i64), // last cmp operands
+    mem: Box<dyn Fn(u32, i64) -> i64>, // (symbol id, element index) -> value
+}
+
+impl MiniMachine {
+    fn feed(
+        &mut self,
+        code: &[ScalarInst],
+        translator: &mut Translator,
+    ) -> Progress {
+        let mut pc = 0u32;
+        loop {
+            let inst = code[pc as usize];
+            let mut value = None;
+            let mut taken = false;
+            let mut executed = true;
+            let mut next = pc + 1;
+            match inst {
+                ScalarInst::MovImm { cond, rd, imm } => {
+                    executed = self.cond(cond);
+                    if executed {
+                        self.r[rd.index() as usize] = i64::from(imm);
+                    }
+                    value = Some(i64::from(imm));
+                }
+                ScalarInst::Alu {
+                    cond,
+                    op,
+                    rd,
+                    rn,
+                    op2,
+                } => {
+                    executed = self.cond(cond);
+                    let b = match op2 {
+                        Operand2::Imm(i) => i64::from(i),
+                        Operand2::Reg(r) => self.r[r.index() as usize],
+                    };
+                    if executed {
+                        let a = self.r[rn.index() as usize];
+                        let v = i64::from(op.eval(a as i32, b as i32));
+                        self.r[rd.index() as usize] = v;
+                        value = Some(v);
+                    }
+                }
+                ScalarInst::Cmp { rn, op2 } => {
+                    let b = match op2 {
+                        Operand2::Imm(i) => i64::from(i),
+                        Operand2::Reg(r) => self.r[r.index() as usize],
+                    };
+                    self.flags = (self.r[rn.index() as usize], b);
+                }
+                ScalarInst::LdInt { rd, base, index, .. } => {
+                    let sym = match base {
+                        Base::Sym(s) => s.index() as u32,
+                        Base::Reg(_) => 999,
+                    };
+                    let v = (self.mem)(sym, self.r[index.index() as usize]);
+                    self.r[rd.index() as usize] = v;
+                    value = Some(v);
+                }
+                ScalarInst::LdF { .. } | ScalarInst::StF { .. } | ScalarInst::FAlu { .. } => {
+                    // fp values are irrelevant to the automaton's decisions
+                    // here beyond classification.
+                }
+                ScalarInst::StInt { .. } => {}
+                ScalarInst::B { cond, target } => {
+                    taken = self.cond(cond);
+                    if taken {
+                        next = target;
+                    }
+                }
+                ScalarInst::Ret => {
+                    return translator.observe(&Retired {
+                        pc,
+                        inst,
+                        executed: true,
+                        value: None,
+                        taken: true,
+                    });
+                }
+                _ => {}
+            }
+            match translator.observe(&Retired {
+                pc,
+                inst,
+                executed,
+                value,
+                taken,
+            }) {
+                Progress::Ongoing => {}
+                done => return done,
+            }
+            pc = next;
+        }
+    }
+
+    fn cond(&self, c: Cond) -> bool {
+        let (a, b) = self.flags;
+        match c {
+            Cond::Al => true,
+            Cond::Gt => a > b,
+            Cond::Lt => a < b,
+            Cond::Ge => a >= b,
+            Cond::Le => a <= b,
+            Cond::Eq => a == b,
+            Cond::Ne => a != b,
+            _ => unimplemented!("condition not needed in these tests"),
+        }
+    }
+}
+
+fn machine(mem: impl Fn(u32, i64) -> i64 + 'static) -> MiniMachine {
+    MiniMachine {
+        r: [0; 16],
+        flags: (0, 0),
+        mem: Box::new(mem),
+    }
+}
+
+fn alu(op: AluOp, rd: u8, rn: u8, op2: Operand2) -> ScalarInst {
+    ScalarInst::Alu {
+        cond: Cond::Al,
+        op,
+        rd: Reg::of(rd),
+        rn: Reg::of(rn),
+        op2,
+    }
+}
+
+fn ld(rd: u8, sym: u16, index: u8) -> ScalarInst {
+    ScalarInst::LdInt {
+        width: MemWidth::W,
+        signed: false,
+        rd: Reg::of(rd),
+        base: Base::Sym(SymId::new(sym)),
+        index: Reg::of(index),
+    }
+}
+
+fn st(rs: u8, sym: u16, index: u8) -> ScalarInst {
+    ScalarInst::StInt {
+        width: MemWidth::W,
+        rs: Reg::of(rs),
+        base: Base::Sym(SymId::new(sym)),
+        index: Reg::of(index),
+    }
+}
+
+fn loop_tail(bound: i32, top: u32) -> [ScalarInst; 3] {
+    [
+        alu(AluOp::Add, 0, 0, Operand2::Imm(1)),
+        ScalarInst::Cmp {
+            rn: Reg::R0,
+            op2: Operand2::Imm(bound),
+        },
+        ScalarInst::B {
+            cond: Cond::Lt,
+            target: top,
+        },
+    ]
+}
+
+#[test]
+fn vector_scalar_broadcast_from_hoisted_constant() {
+    // mov r5, #5000 (outside imm range of VAluImm) then `mul vec, r5`
+    // must become a vector-by-scalar op, not an abort.
+    let mut code = vec![
+        ScalarInst::MovImm {
+            cond: Cond::Al,
+            rd: Reg::R5,
+            imm: 5000,
+        },
+        ScalarInst::MovImm {
+            cond: Cond::Al,
+            rd: Reg::R0,
+            imm: 0,
+        },
+        // top:
+        ld(1, 0, 0),
+        alu(AluOp::Mul, 1, 1, Operand2::Reg(Reg::R5)),
+        st(1, 1, 0),
+    ];
+    code.extend(loop_tail(16, 2));
+    code.push(ScalarInst::Ret);
+
+    let mut t = Translator::new(TranslatorConfig {
+        lanes: 8,
+        ..TranslatorConfig::default()
+    });
+    t.begin(0);
+    let progress = machine(|_, i| i).feed(&code, &mut t);
+    let Progress::Finished(tr) = progress else {
+        panic!("expected translation, got {progress:?}");
+    };
+    assert!(
+        tr.code.iter().any(|i| matches!(
+            i,
+            Inst::V(VectorInst::VAluScalar {
+                op: VAluOp::Mul,
+                src: ScalarSrc::R(r),
+                ..
+            }) if *r == Reg::R5
+        )),
+        "microcode: {:?}",
+        tr.code
+    );
+}
+
+#[test]
+fn small_constant_register_becomes_immediate_form() {
+    let mut code = vec![
+        ScalarInst::MovImm {
+            cond: Cond::Al,
+            rd: Reg::R5,
+            imm: 7,
+        },
+        ScalarInst::MovImm {
+            cond: Cond::Al,
+            rd: Reg::R0,
+            imm: 0,
+        },
+        ld(1, 0, 0),
+        alu(AluOp::Add, 1, 1, Operand2::Reg(Reg::R5)),
+        st(1, 1, 0),
+    ];
+    code.extend(loop_tail(16, 2));
+    code.push(ScalarInst::Ret);
+
+    let mut t = Translator::new(TranslatorConfig::default());
+    t.begin(0);
+    let Progress::Finished(tr) = machine(|_, i| i).feed(&code, &mut t) else {
+        panic!("expected translation");
+    };
+    assert!(tr.code.iter().any(|i| matches!(
+        i,
+        Inst::V(VectorInst::VAluImm {
+            op: VAluOp::Add,
+            imm: 7,
+            ..
+        })
+    )));
+}
+
+#[test]
+fn fp_broadcast_via_scalar_fp_register() {
+    // ldf f5 in the prologue (scalar), then `fmul f1, f1, f5` in the body
+    // where f1 is a vector: vector-by-scalar fp broadcast.
+    let ldf5 = ScalarInst::LdF {
+        fd: FReg::of(5),
+        base: Base::Sym(SymId::new(2)),
+        index: Reg::of(12),
+    };
+    let ldf1 = ScalarInst::LdF {
+        fd: FReg::of(1),
+        base: Base::Sym(SymId::new(0)),
+        index: Reg::R0,
+    };
+    let fmul = ScalarInst::FAlu {
+        op: FpOp::Mul,
+        fd: FReg::of(1),
+        fn_: FReg::of(1),
+        fm: FReg::of(5),
+    };
+    let stf = ScalarInst::StF {
+        fs: FReg::of(1),
+        base: Base::Sym(SymId::new(1)),
+        index: Reg::R0,
+    };
+    let mut code = vec![
+        ScalarInst::MovImm {
+            cond: Cond::Al,
+            rd: Reg::of(12),
+            imm: 0,
+        },
+        ldf5,
+        ScalarInst::MovImm {
+            cond: Cond::Al,
+            rd: Reg::R0,
+            imm: 0,
+        },
+        ldf1,
+        fmul,
+        stf,
+    ];
+    code.extend(loop_tail(16, 3));
+    code.push(ScalarInst::Ret);
+
+    let mut t = Translator::new(TranslatorConfig::default());
+    t.begin(0);
+    let Progress::Finished(tr) = machine(|_, i| i).feed(&code, &mut t) else {
+        panic!("expected translation");
+    };
+    assert!(
+        tr.code.iter().any(|i| matches!(
+            i,
+            Inst::V(VectorInst::VAluScalar {
+                op: VAluOp::Mul,
+                elem: ElemType::F32,
+                src: ScalarSrc::F(f),
+                ..
+            }) if *f == FReg::of(5)
+        )),
+        "microcode: {:?}",
+        tr.code
+    );
+}
+
+#[test]
+fn saturating_idiom_with_scalar_register_operand() {
+    // sat-add against a hoisted wide constant: add rd, rn, r5; clamp pair.
+    let mut code = vec![
+        ScalarInst::MovImm {
+            cond: Cond::Al,
+            rd: Reg::R5,
+            imm: 400, // beyond the 9-bit vector immediate
+        },
+        ScalarInst::MovImm {
+            cond: Cond::Al,
+            rd: Reg::R0,
+            imm: 0,
+        },
+        ld(1, 0, 0),
+        alu(AluOp::Add, 1, 1, Operand2::Reg(Reg::R5)),
+        ScalarInst::Cmp {
+            rn: Reg::R1,
+            op2: Operand2::Imm(65535),
+        },
+        ScalarInst::MovImm {
+            cond: Cond::Gt,
+            rd: Reg::R1,
+            imm: 65535,
+        },
+        ScalarInst::Cmp {
+            rn: Reg::R1,
+            op2: Operand2::Imm(0),
+        },
+        ScalarInst::MovImm {
+            cond: Cond::Lt,
+            rd: Reg::R1,
+            imm: 0,
+        },
+        st(1, 1, 0),
+    ];
+    code.extend(loop_tail(16, 2));
+    code.push(ScalarInst::Ret);
+
+    let mut t = Translator::new(TranslatorConfig::default());
+    t.begin(0);
+    let Progress::Finished(tr) = machine(|_, i| i % 50).feed(&code, &mut t) else {
+        panic!("expected translation");
+    };
+    assert!(
+        tr.code.iter().any(|i| matches!(
+            i,
+            Inst::V(VectorInst::VAluScalar {
+                op: VAluOp::SatAdd,
+                ..
+            })
+        )),
+        "microcode: {:?}",
+        tr.code
+    );
+}
+
+#[test]
+fn external_abort_mid_translation() {
+    let mut code = vec![
+        ScalarInst::MovImm {
+            cond: Cond::Al,
+            rd: Reg::R0,
+            imm: 0,
+        },
+        ld(1, 0, 0),
+        alu(AluOp::Add, 1, 1, Operand2::Imm(1)),
+        st(1, 1, 0),
+    ];
+    code.extend(loop_tail(16, 1));
+    code.push(ScalarInst::Ret);
+
+    let mut t = Translator::new(TranslatorConfig::default());
+    t.begin(0);
+    // Feed a few instructions, then raise the pipeline abort signal.
+    for pc in 0..3u32 {
+        let progress = t.observe(&Retired::plain(pc, code[pc as usize], Some(0)));
+        assert_eq!(progress, Progress::Ongoing);
+    }
+    t.abort_external("context switch");
+    assert!(!t.is_active());
+    assert_eq!(t.stats().aborts.get("external"), Some(&1));
+}
+
+#[test]
+fn translator_requires_explicit_begin() {
+    let mut t = Translator::new(TranslatorConfig::default());
+    let r = Retired::plain(
+        0,
+        ScalarInst::MovImm {
+            cond: Cond::Al,
+            rd: Reg::R0,
+            imm: 0,
+        },
+        Some(0),
+    );
+    assert_eq!(t.observe(&r), Progress::Ongoing);
+    assert_eq!(t.stats().attempts, 0);
+}

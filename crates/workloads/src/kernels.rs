@@ -1,0 +1,162 @@
+//! Signal-processing kernels: FIR, FFT, LU (paper §5 "common signal
+//! processing kernels").
+
+use liquid_simd_compiler::{ArrayBuilder, KernelBuilder, ReduceInit, Workload};
+use liquid_simd_isa::{ElemType, PermKind, RedOp, VAluOp};
+
+use crate::util::fvec;
+
+/// FIR filter: `y[i] = sum_k h[k] * x[i+k]` over 4 taps, plus an output
+/// energy reduction. Nearly the whole runtime is the vectorizable hot loop
+/// — the paper's highest-speedup benchmark.
+#[must_use]
+pub fn fir() -> Workload {
+    const N: u32 = 512;
+    const TAPS: usize = 4;
+    let h = [0.25f32, 0.5, -0.125, 0.0625];
+    let mut k = KernelBuilder::new("fir4", N);
+    let mut acc = None;
+    for (t, &coef) in h.iter().enumerate().take(TAPS) {
+        let x = k.load_at("x", ElemType::F32, t as u32);
+        let c = k.constf(vec![coef]);
+        let p = k.bin(VAluOp::Mul, x, c);
+        acc = Some(match acc {
+            None => p,
+            Some(a) => k.bin(VAluOp::Add, a, p),
+        });
+    }
+    let y = acc.expect("taps > 0");
+    k.store("y", y);
+    k.reduce(RedOp::Max, y, "peak", ReduceInit::F32(f32::MIN));
+
+    let data = ArrayBuilder::new()
+        .f32("x", fvec(0xF17, N as usize + TAPS, -1.0, 1.0))
+        .zeroed("y", ElemType::F32, N as usize)
+        .zeroed("peak", ElemType::F32, 1)
+        .build();
+    Workload::new("FIR", vec![k.build().expect("fir kernel")], data, 150)
+}
+
+/// One radix-2-style FFT stage: butterflied loads of the real/imaginary
+/// planes, twiddle multiply, combine, store to the next plane pair. Stage
+/// `s` uses butterfly block `2^s`, so narrow accelerators can translate the
+/// early stages but must abort the later ones (CAM miss) — the width
+/// crossover the paper's abort rule implies.
+fn fft_stage(
+    idx: usize,
+    block: u8,
+    trip: u32,
+    re_in: &str,
+    im_in: &str,
+    re_out: &str,
+    im_out: &str,
+) -> liquid_simd_compiler::Kernel {
+    let b = block as usize;
+    // Twiddle factors, one per butterfly slot (period = block).
+    let wr: Vec<f32> = (0..b)
+        .map(|j| (std::f32::consts::PI * j as f32 / b as f32).cos())
+        .collect();
+    let wi: Vec<f32> = (0..b)
+        .map(|j| (std::f32::consts::PI * j as f32 / b as f32).sin())
+        .collect();
+
+    let mut k = KernelBuilder::new(&format!("fft_stage{idx}"), trip);
+    let kind = PermKind::Bfly { block };
+    let re_b = k.load_perm(re_in, ElemType::F32, kind);
+    let im_b = k.load_perm(im_in, ElemType::F32, kind);
+    let re = k.load(re_in, ElemType::F32);
+    let im = k.load(im_in, ElemType::F32);
+    let cwr = k.constf(wr);
+    let cwi = k.constf(wi);
+    // tr = re_b*wr - im_b*wi ; ti = re_b*wi + im_b*wr   (paper Figure 2/3)
+    let t1 = k.bin(VAluOp::Mul, re_b, cwr);
+    let t2 = k.bin(VAluOp::Mul, im_b, cwi);
+    let tr = k.bin(VAluOp::Sub, t1, t2);
+    let t3 = k.bin(VAluOp::Mul, re_b, cwi);
+    let t4 = k.bin(VAluOp::Mul, im_b, cwr);
+    let ti = k.bin(VAluOp::Add, t3, t4);
+    let ore = k.bin(VAluOp::Add, re, tr);
+    let oim = k.bin(VAluOp::Sub, im, ti);
+    k.store(re_out, ore);
+    k.store(im_out, oim);
+    k.build().expect("fft stage kernel")
+}
+
+/// FFT: four butterfly stages (blocks 2, 4, 8, 16) ping-ponging between
+/// plane pairs — the paper's Figure 2–4 walkthrough at benchmark scale.
+#[must_use]
+pub fn fft() -> Workload {
+    const N: u32 = 256;
+    let stages = [
+        fft_stage(1, 2, N, "re0", "im0", "re1", "im1"),
+        fft_stage(2, 4, N, "re1", "im1", "re2", "im2"),
+        fft_stage(3, 8, N, "re2", "im2", "re3", "im3"),
+        fft_stage(4, 16, N, "re3", "im3", "re4", "im4"),
+    ];
+    let mut data = ArrayBuilder::new()
+        .f32("re0", fvec(0xFF7A, N as usize, -2.0, 2.0))
+        .f32("im0", fvec(0xFF7B, N as usize, -2.0, 2.0));
+    for i in 1..=4 {
+        data = data
+            .zeroed(&format!("re{i}"), ElemType::F32, N as usize)
+            .zeroed(&format!("im{i}"), ElemType::F32, N as usize);
+    }
+    Workload::new("FFT", stages.to_vec(), data.build(), 60)
+}
+
+/// LU decomposition inner loops: the row-elimination update
+/// `U[i] = A[i] - F[i]*B[i]` and the pivot-row scale `L[i] = A[i]*Finv[i]`.
+#[must_use]
+pub fn lu() -> Workload {
+    const N: u32 = 256;
+    let mut elim = KernelBuilder::new("lu_elim", N);
+    let a = elim.load("rowA", ElemType::F32);
+    let f = elim.load("factor", ElemType::F32);
+    let b = elim.load("rowB", ElemType::F32);
+    let fb = elim.bin(VAluOp::Mul, f, b);
+    let u = elim.bin(VAluOp::Sub, a, fb);
+    elim.store("rowU", u);
+
+    let mut scale = KernelBuilder::new("lu_scale", N);
+    let a = scale.load("rowU", ElemType::F32);
+    let inv = scale.load("pivinv", ElemType::F32);
+    let l = scale.bin(VAluOp::Mul, a, inv);
+    scale.store("rowL", l);
+
+    let data = ArrayBuilder::new()
+        .f32("rowA", fvec(0x10, N as usize, -4.0, 4.0))
+        .f32("rowB", fvec(0x11, N as usize, -4.0, 4.0))
+        .f32("factor", fvec(0x12, N as usize, 0.1, 0.9))
+        .f32("pivinv", fvec(0x13, N as usize, 0.5, 2.0))
+        .zeroed("rowU", ElemType::F32, N as usize)
+        .zeroed("rowL", ElemType::F32, N as usize)
+        .build();
+    Workload::new(
+        "LU",
+        vec![
+            elim.build().expect("lu elim"),
+            scale.build().expect("lu scale"),
+        ],
+        data,
+        100,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fir_is_single_small_kernel() {
+        let w = fir();
+        w.validate().unwrap();
+        assert_eq!(w.kernels.len(), 1);
+    }
+
+    #[test]
+    fn fft_stage_blocks_escalate() {
+        let w = fft();
+        w.validate().unwrap();
+        assert_eq!(w.kernels.len(), 4);
+    }
+}

@@ -1,0 +1,199 @@
+//! MediaBench-style codecs: MPEG2 encode/decode and GSM encode/decode.
+//!
+//! These are the paper's short-loop benchmarks: 8x8-block (MPEG2) and
+//! 160-sample-frame (GSM) hot loops called very frequently, which is why
+//! their Table 6 call gaps are the smallest of the suite.
+
+use liquid_simd_compiler::{ArrayBuilder, KernelBuilder, ReduceInit, Workload};
+use liquid_simd_isa::{ElemType, RedOp, VAluOp};
+
+use crate::util::ivec;
+
+/// MPEG2 decode: a 1-D IDCT-style pass over 16-bit coefficients followed
+/// by motion-compensation clamping — prediction plus residual, saturated
+/// into 8-bit pixels (the paper's canonical saturating-arithmetic idiom).
+#[must_use]
+pub fn mpeg2dec() -> Workload {
+    const N: u32 = 16; // two 8x8 block rows — short, frequent loops
+
+    // IDCT-ish pass: coef * basis (period-8 integer cosine table, scaled),
+    // two shifted taps, descale with arithmetic shifts.
+    let mut idct = KernelBuilder::new("idct_pass", N);
+    let c = idct.load("coef", ElemType::I16);
+    let basis = idct.constv(
+        ElemType::I16,
+        vec![181, 178, 167, 150, 128, 100, 69, 35],
+    );
+    let p0 = idct.bin(VAluOp::Mul, c, basis);
+    let c1 = idct.load_at("coef", ElemType::I16, 1);
+    let basis2 = idct.constv(ElemType::I16, vec![128, -128]);
+    let p1 = idct.bin(VAluOp::Mul, c1, basis2);
+    let s = idct.bin(VAluOp::Add, p0, p1);
+    let d = idct.bin_imm(VAluOp::Asr, s, 8);
+    idct.store("residual", d);
+
+    // Motion compensation: pixel = sat8(pred + residual_lowbyte), then
+    // brightness floor via saturating subtract.
+    let mut mc = KernelBuilder::new("mc_clamp", N);
+    let pred = mc.load_u("pred", ElemType::I8);
+    let resid = mc.load("residual", ElemType::I16);
+    let summed = mc.bin(VAluOp::SatAdd, pred, resid);
+    let pix = mc.bin_imm(VAluOp::SatSub, summed, 16);
+    mc.store("pixels", pix);
+
+    let data = ArrayBuilder::new()
+        .int("coef", ElemType::I16, ivec(0x2DEC, N as usize + 1, -256, 256))
+        .int("pred", ElemType::I8, ivec(0x2DED, N as usize, 0, 256))
+        .zeroed("residual", ElemType::I16, N as usize)
+        .zeroed("pixels", ElemType::I8, N as usize)
+        .build();
+    Workload::new(
+        "MPEG2 Dec.",
+        vec![
+            idct.build().expect("idct kernel"),
+            mc.build().expect("mc kernel"),
+        ],
+        data,
+        800,
+    )
+}
+
+/// MPEG2 encode: a DCT-style pass plus the sum-of-absolute-differences
+/// motion search metric, computed branch-free with saturating subtracts
+/// (`|a-b| = satsub(a,b) | satsub(b,a)`).
+#[must_use]
+pub fn mpeg2enc() -> Workload {
+    const N: u32 = 16;
+
+    let mut dct = KernelBuilder::new("dct_pass", N);
+    let x = dct.load_u("block", ElemType::I8);
+    let x1 = dct.load_u_at("block", ElemType::I8, 1);
+    let cos0 = dct.constv(ElemType::I8, vec![64, 62, 59, 54, 46, 38, 27, 13]);
+    let p0 = dct.bin(VAluOp::Mul, x, cos0);
+    let p1 = dct.bin_imm(VAluOp::Lsl, x1, 5);
+    let s = dct.bin(VAluOp::Add, p0, p1);
+    let q = dct.bin_imm(VAluOp::Asr, s, 4);
+    dct.store("freq", q);
+
+    let mut sad = KernelBuilder::new("sad", N);
+    let a = sad.load_u("block", ElemType::I8);
+    let b = sad.load_u("refblk", ElemType::I8);
+    let d1 = sad.bin(VAluOp::SatSub, a, b);
+    let d2 = sad.bin(VAluOp::SatSub, b, a);
+    let ad = sad.bin(VAluOp::Orr, d1, d2);
+    sad.reduce(RedOp::Sum, ad, "sadout", ReduceInit::Int(0));
+
+    let data = ArrayBuilder::new()
+        .int("block", ElemType::I8, ivec(0x2E0C, N as usize + 1, 0, 256))
+        .int("refblk", ElemType::I8, ivec(0x2E0D, N as usize, 0, 256))
+        .zeroed("freq", ElemType::I8, N as usize)
+        .zeroed("sadout", ElemType::I32, 1)
+        .build();
+    Workload::new(
+        "MPEG2 Enc.",
+        vec![
+            dct.build().expect("dct kernel"),
+            sad.build().expect("sad kernel"),
+        ],
+        data,
+        800,
+    )
+}
+
+/// GSM decode: long-term-prediction synthesis over a 160-sample frame —
+/// scaled history plus residual with signed 16-bit saturation, then a
+/// de-emphasis tap.
+#[must_use]
+pub fn gsmdec() -> Workload {
+    const N: u32 = 160;
+
+    let mut syn = KernelBuilder::new("ltp_syn", N);
+    let r = syn.load("resid", ElemType::I16);
+    let h = syn.load("hist", ElemType::I16);
+    let gain = syn.constv(ElemType::I16, vec![89]); // ~0.7 in Q7
+    let scaled = syn.bin(VAluOp::Mul, h, gain);
+    let scaled = syn.bin_imm(VAluOp::Asr, scaled, 7);
+    let sum = syn.bin(VAluOp::SSatAdd, r, scaled);
+    let h1 = syn.load_at("hist", ElemType::I16, 1);
+    let de = syn.bin_imm(VAluOp::Asr, h1, 2);
+    let out = syn.bin(VAluOp::SSatSub, sum, de);
+    syn.store("speech", out);
+    syn.reduce(RedOp::Max, out, "framepeak", ReduceInit::Int(i32::MIN));
+
+    let data = ArrayBuilder::new()
+        .int("resid", ElemType::I16, ivec(0x65D, N as usize, -4000, 4000))
+        .int("hist", ElemType::I16, ivec(0x65E, N as usize + 1, -12000, 12000))
+        .zeroed("speech", ElemType::I16, N as usize)
+        .zeroed("framepeak", ElemType::I32, 1)
+        .build();
+    Workload::new(
+        "GSM Dec.",
+        vec![syn.build().expect("ltp_syn kernel")],
+        data,
+        100,
+    )
+}
+
+/// GSM encode: autocorrelation at three lags (the LPC analysis hot loop)
+/// and the long-term-prediction lag search maximum.
+#[must_use]
+pub fn gsmenc() -> Workload {
+    const N: u32 = 160;
+
+    let mut ac = KernelBuilder::new("autocorr", N);
+    let x0 = ac.load("frame", ElemType::I16);
+    let x0s = ac.bin_imm(VAluOp::Asr, x0, 2); // scale to avoid overflow
+    for lag in 0..3u32 {
+        let xk = ac.load_at("frame", ElemType::I16, lag);
+        let xks = ac.bin_imm(VAluOp::Asr, xk, 2);
+        let p = ac.bin(VAluOp::Mul, x0s, xks);
+        ac.reduce(RedOp::Sum, p, &format!("ac{lag}"), ReduceInit::Int(0));
+    }
+
+    let mut ltp = KernelBuilder::new("ltp_search", N);
+    let x = ltp.load("frame", ElemType::I16);
+    let past = ltp.load_at("frame", ElemType::I16, 2);
+    let xp = ltp.bin_imm(VAluOp::Asr, x, 3);
+    let pp = ltp.bin_imm(VAluOp::Asr, past, 3);
+    let corr = ltp.bin(VAluOp::Mul, xp, pp);
+    ltp.reduce(RedOp::Max, corr, "bestlag", ReduceInit::Int(i32::MIN));
+
+    let data = ArrayBuilder::new()
+        .int("frame", ElemType::I16, ivec(0x65F, N as usize + 2, -16000, 16000))
+        .zeroed("ac0", ElemType::I32, 1)
+        .zeroed("ac1", ElemType::I32, 1)
+        .zeroed("ac2", ElemType::I32, 1)
+        .zeroed("bestlag", ElemType::I32, 1)
+        .build();
+    Workload::new(
+        "GSM Enc.",
+        vec![
+            ac.build().expect("autocorr kernel"),
+            ltp.build().expect("ltp kernel"),
+        ],
+        data,
+        100,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn media_benchmarks_validate() {
+        for w in [mpeg2dec(), mpeg2enc(), gsmdec(), gsmenc()] {
+            w.validate().unwrap_or_else(|e| panic!("{}: {e}", w.name));
+        }
+    }
+
+    #[test]
+    fn sad_is_nonnegative_under_gold() {
+        let w = mpeg2enc();
+        let env = liquid_simd_compiler::gold::run_gold(&w).unwrap();
+        let (_, liquid_simd_compiler::ArrayData::Int(v)) = env.get("sadout").unwrap() else {
+            panic!()
+        };
+        assert!((v[0] as u32 as i32) > 0, "sad = {}", v[0]);
+    }
+}

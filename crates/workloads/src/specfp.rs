@@ -1,0 +1,466 @@
+//! SPECfp-style benchmarks: the eight floating-point codes of the paper's
+//! suite, reduced to their SIMDized hot loops.
+
+use liquid_simd_compiler::{ArrayBuilder, Kernel, KernelBuilder, ReduceInit, Workload};
+use liquid_simd_isa::{ElemType, RedOp, VAluOp};
+
+use crate::util::fvec;
+
+/// 052.alvinn: MLP forward passes — two small multiply/accumulate loops
+/// (the paper's smallest outlined functions, ~12 instructions).
+#[must_use]
+pub fn alvinn() -> Workload {
+    const N: u32 = 256;
+    let mut l1 = KernelBuilder::new("layer1", N);
+    let x = l1.load("input", ElemType::F32);
+    let w = l1.load("w1", ElemType::F32);
+    let h = l1.bin(VAluOp::Mul, x, w);
+    l1.store("hidden", h);
+    l1.reduce(RedOp::Sum, h, "hsum", ReduceInit::F32(0.0));
+
+    let mut l2 = KernelBuilder::new("layer2", N);
+    let h = l2.load("hidden", ElemType::F32);
+    let w = l2.load("w2", ElemType::F32);
+    let o = l2.bin(VAluOp::Mul, h, w);
+    let bias = l2.constf(vec![0.125]);
+    let o = l2.bin(VAluOp::Add, o, bias);
+    l2.store("output", o);
+
+    let data = ArrayBuilder::new()
+        .f32("input", fvec(0xA1, N as usize, -1.0, 1.0))
+        .f32("w1", fvec(0xA2, N as usize, -0.5, 0.5))
+        .f32("w2", fvec(0xA3, N as usize, -0.5, 0.5))
+        .zeroed("hidden", ElemType::F32, N as usize)
+        .zeroed("output", ElemType::F32, N as usize)
+        .zeroed("hsum", ElemType::F32, 1)
+        .build();
+    Workload::new(
+        "052.alvinn",
+        vec![l1.build().expect("layer1"), l2.build().expect("layer2")],
+        data,
+        100,
+    )
+}
+
+/// 056.ear: a two-section gammatone-style filter cascade with per-section
+/// gains and feedback taps.
+#[must_use]
+pub fn ear() -> Workload {
+    const N: u32 = 512;
+    let mut k = KernelBuilder::new("cochlea", N);
+    // Section 1: three-tap weighted sum with gain.
+    let x0 = k.load("sig", ElemType::F32);
+    let x1 = k.load_at("sig", ElemType::F32, 1);
+    let x2 = k.load_at("sig", ElemType::F32, 2);
+    let a0 = k.constf(vec![0.43]);
+    let a1 = k.constf(vec![0.31]);
+    let a2 = k.constf(vec![0.18]);
+    let t0 = k.bin(VAluOp::Mul, x0, a0);
+    let t1 = k.bin(VAluOp::Mul, x1, a1);
+    let t2 = k.bin(VAluOp::Mul, x2, a2);
+    let s1 = k.bin(VAluOp::Add, t0, t1);
+    let s1 = k.bin(VAluOp::Add, s1, t2);
+    let g1 = k.constf(vec![1.8]);
+    let y1 = k.bin(VAluOp::Mul, s1, g1);
+    // Section 2: feed-forward of section 1 with a feedback estimate.
+    let fb = k.load("state", ElemType::F32);
+    let beta = k.constf(vec![0.6]);
+    let fbs = k.bin(VAluOp::Mul, fb, beta);
+    let y2 = k.bin(VAluOp::Sub, y1, fbs);
+    // Half-wave rectification (max with 0) models the hair-cell stage.
+    let zero = k.constf(vec![0.0]);
+    let rect = k.bin(VAluOp::Max, y2, zero);
+    k.store("bm", y2);
+    k.store("ihc", rect);
+    k.reduce(RedOp::Max, rect, "envpeak", ReduceInit::F32(0.0));
+
+    let data = ArrayBuilder::new()
+        .f32("sig", fvec(0xEA, N as usize + 2, -1.0, 1.0))
+        .f32("state", fvec(0xEB, N as usize, -0.2, 0.2))
+        .zeroed("bm", ElemType::F32, N as usize)
+        .zeroed("ihc", ElemType::F32, N as usize)
+        .zeroed("envpeak", ElemType::F32, 1)
+        .build();
+    Workload::new("056.ear", vec![k.build().expect("cochlea")], data, 80)
+}
+
+/// 093.nasa7: three of the NAS kernels — an unrolled matrix-multiply
+/// inner loop, a Cholesky-style update, and a pentadiagonal solve step.
+/// These are the suite's larger loop bodies (paper mean ~45).
+#[must_use]
+pub fn nasa7() -> Workload {
+    const N: u32 = 256;
+
+    // MXM: c[i] = sum_{j<8} a[i+j] * b[i+j mirrored], fully unrolled.
+    let mut mxm = KernelBuilder::new("mxm", N);
+    let mut acc = None;
+    for j in 0..8u32 {
+        let a = mxm.load_at("ma", ElemType::F32, j);
+        let b = mxm.load_at("mb", ElemType::F32, 7 - j);
+        let p = mxm.bin(VAluOp::Mul, a, b);
+        acc = Some(match acc {
+            None => p,
+            Some(s) => mxm.bin(VAluOp::Add, s, p),
+        });
+    }
+    mxm.store("mc", acc.expect("unrolled"));
+
+    // CHOLSKY-style update: x = (a - l0*l1 - l2*l3) * dinv.
+    let mut chol = KernelBuilder::new("cholsky", N);
+    let a = chol.load("ca", ElemType::F32);
+    let l0 = chol.load("cl", ElemType::F32);
+    let l1 = chol.load_at("cl", ElemType::F32, 1);
+    let l2 = chol.load_at("cl", ElemType::F32, 2);
+    let l3 = chol.load_at("cl", ElemType::F32, 3);
+    let p0 = chol.bin(VAluOp::Mul, l0, l1);
+    let p1 = chol.bin(VAluOp::Mul, l2, l3);
+    let s = chol.bin(VAluOp::Sub, a, p0);
+    let s = chol.bin(VAluOp::Sub, s, p1);
+    let dinv = chol.load("cdinv", ElemType::F32);
+    let x = chol.bin(VAluOp::Mul, s, dinv);
+    chol.store("cx", x);
+
+    // VPENTA: five-point recurrence update against two coefficient arrays.
+    let mut vp = KernelBuilder::new("vpenta", N);
+    let mut terms = Vec::new();
+    for j in 0..5u32 {
+        let f = vp.load_at("vf", ElemType::F32, j);
+        let c = vp.load_at("vc", ElemType::F32, j);
+        terms.push(vp.bin(VAluOp::Mul, f, c));
+    }
+    let mut s = terms[0];
+    for &t in &terms[1..] {
+        s = vp.bin(VAluOp::Add, s, t);
+    }
+    let rhs = vp.load("vrhs", ElemType::F32);
+    let upd = vp.bin(VAluOp::Sub, rhs, s);
+    let scale = vp.constf(vec![0.25, 0.5, 0.75, 1.0]);
+    let upd = vp.bin(VAluOp::Mul, upd, scale);
+    vp.store("vx", upd);
+
+    let n = N as usize;
+    let data = ArrayBuilder::new()
+        .f32("ma", fvec(0xB1, n + 8, -2.0, 2.0))
+        .f32("mb", fvec(0xB2, n + 8, -2.0, 2.0))
+        .zeroed("mc", ElemType::F32, n)
+        .f32("ca", fvec(0xB3, n, -2.0, 2.0))
+        .f32("cl", fvec(0xB4, n + 3, -1.0, 1.0))
+        .f32("cdinv", fvec(0xB5, n, 0.5, 1.5))
+        .zeroed("cx", ElemType::F32, n)
+        .f32("vf", fvec(0xB6, n + 4, -1.0, 1.0))
+        .f32("vc", fvec(0xB7, n + 4, -1.0, 1.0))
+        .f32("vrhs", fvec(0xB8, n, -4.0, 4.0))
+        .zeroed("vx", ElemType::F32, n)
+        .build();
+    Workload::new(
+        "093.nasa7",
+        vec![
+            mxm.build().expect("mxm"),
+            chol.build().expect("cholsky"),
+            vp.build().expect("vpenta"),
+        ],
+        data,
+        50,
+    )
+}
+
+/// Builds a wide weighted-stencil kernel: `out[i] = sum_j w_j * in_j[i+o_j]`
+/// over `taps` (array, offset, weight) terms.
+fn stencil(name: &str, trip: u32, taps: &[(&str, u32, f32)], out: &str) -> Kernel {
+    let mut k = KernelBuilder::new(name, trip);
+    let mut acc = None;
+    for &(arr, off, w) in taps {
+        let x = k.load_at(arr, ElemType::F32, off);
+        let c = k.constf(vec![w]);
+        let p = k.bin(VAluOp::Mul, x, c);
+        acc = Some(match acc {
+            None => p,
+            Some(s) => k.bin(VAluOp::Add, s, p),
+        });
+    }
+    k.store(out, acc.expect("taps"));
+    k.build().expect("stencil kernel")
+}
+
+/// 101.tomcatv: mesh-generation stencils. The residual-smoothing loop is
+/// large enough that the compiler must fission it — the paper notes
+/// exactly this for tomcatv's 61-instruction maximum.
+#[must_use]
+pub fn tomcatv() -> Workload {
+    const N: u32 = 512;
+    // A 9-term, two-array relaxation: big enough to overflow one outlined
+    // function and get split.
+    let relax = stencil(
+        "relax",
+        N,
+        &[
+            ("xg", 0, 0.05),
+            ("xg", 1, 0.20),
+            ("xg", 2, 0.05),
+            ("yg", 0, 0.10),
+            ("yg", 1, 0.30),
+            ("yg", 2, 0.10),
+            ("rxg", 0, 0.07),
+            ("rxg", 1, 0.06),
+            ("rxg", 2, 0.07),
+            ("xg", 3, 0.02),
+            ("yg", 3, 0.02),
+            ("rxg", 3, 0.01),
+            ("xg", 4, 0.01),
+            ("yg", 4, 0.01),
+            ("rxg", 4, 0.03),
+            ("xg", 5, 0.02),
+            ("yg", 5, 0.03),
+            ("rxg", 5, 0.02),
+        ],
+        "xout",
+    );
+    let resid = stencil(
+        "resid",
+        N,
+        &[("xout", 0, 1.0), ("xg", 1, -2.0), ("yg", 1, 1.0)],
+        "rout",
+    );
+    let n = N as usize;
+    let data = ArrayBuilder::new()
+        .f32("xg", fvec(0xC1, n + 5, -1.0, 1.0))
+        .f32("yg", fvec(0xC2, n + 5, -1.0, 1.0))
+        .f32("rxg", fvec(0xC3, n + 5, -1.0, 1.0))
+        .zeroed("xout", ElemType::F32, n)
+        .zeroed("rout", ElemType::F32, n)
+        .build();
+    Workload::new("101.tomcatv", vec![relax, resid], data, 50)
+}
+
+/// 104.hydro2d: the suite's many-small-loops benchmark (the paper counts
+/// 18 outlined loops; we model eight hydrodynamic update steps).
+#[must_use]
+pub fn hydro2d() -> Workload {
+    const N: u32 = 256;
+    let n = N as usize;
+    let mut kernels = Vec::new();
+    // Flux updates in each direction.
+    for (i, (src, dst)) in [
+        ("rho", "fx"),
+        ("mx", "fy"),
+        ("my", "fz"),
+        ("en", "fw"),
+    ]
+    .iter()
+    .enumerate()
+    {
+        let mut k = KernelBuilder::new(&format!("flux{i}"), N);
+        let u = k.load(src, ElemType::F32);
+        let u1 = k.load_at(src, ElemType::F32, 1);
+        let du = k.bin(VAluOp::Sub, u1, u);
+        let c = k.constf(vec![0.5]);
+        let f = k.bin(VAluOp::Mul, du, c);
+        let f = k.bin(VAluOp::Add, f, u);
+        k.store(dst, f);
+        kernels.push(k.build().expect("flux kernel"));
+    }
+    // Conservative variable advances.
+    for (i, (state, flux)) in [("rho2", "fx"), ("mx2", "fy"), ("my2", "fz"), ("en2", "fw")]
+        .iter()
+        .enumerate()
+    {
+        let mut k = KernelBuilder::new(&format!("adv{i}"), N);
+        let u = k.load(flux, ElemType::F32);
+        let u1 = k.load_at(flux, ElemType::F32, 1);
+        let div = k.bin(VAluOp::Sub, u1, u);
+        let dt = k.constf(vec![0.05]);
+        let d = k.bin(VAluOp::Mul, div, dt);
+        let base = k.load(flux, ElemType::F32);
+        let nu = k.bin(VAluOp::Sub, base, d);
+        // Positivity clamp on the advanced quantity.
+        let floor = k.constf(vec![1e-3]);
+        let nu = k.bin(VAluOp::Max, nu, floor);
+        k.store(state, nu);
+        kernels.push(k.build().expect("advance kernel"));
+    }
+    let mut data = ArrayBuilder::new()
+        .f32("rho", fvec(0xD1, n + 1, 0.5, 2.0))
+        .f32("mx", fvec(0xD2, n + 1, -1.0, 1.0))
+        .f32("my", fvec(0xD3, n + 1, -1.0, 1.0))
+        .f32("en", fvec(0xD4, n + 1, 1.0, 3.0));
+    for name in ["fx", "fy", "fz", "fw"] {
+        data = data.zeroed(name, ElemType::F32, n + 1);
+    }
+    for name in ["rho2", "mx2", "my2", "en2"] {
+        data = data.zeroed(name, ElemType::F32, n);
+    }
+    Workload::new("104.hydro2d", kernels, data.build(), 50)
+}
+
+/// 171.swim: the shallow-water U/V/P update stencils.
+#[must_use]
+pub fn swim() -> Workload {
+    const N: u32 = 512;
+    let n = N as usize;
+    let u = stencil(
+        "calc_u",
+        N,
+        &[
+            ("p", 0, -0.45),
+            ("p", 1, 0.45),
+            ("v", 0, 0.25),
+            ("v", 1, 0.25),
+            ("u", 1, 1.0),
+            ("z", 0, 0.125),
+            ("z", 1, -0.125),
+        ],
+        "unew",
+    );
+    let v = stencil(
+        "calc_v",
+        N,
+        &[
+            ("p", 0, -0.45),
+            ("p", 2, 0.45),
+            ("u", 0, -0.25),
+            ("u", 2, -0.25),
+            ("v", 1, 1.0),
+            ("z", 0, -0.125),
+            ("z", 2, 0.125),
+        ],
+        "vnew",
+    );
+    let p = stencil(
+        "calc_p",
+        N,
+        &[
+            ("u", 0, -0.6),
+            ("u", 1, 0.6),
+            ("v", 0, -0.6),
+            ("v", 2, 0.6),
+            ("p", 1, 1.0),
+        ],
+        "pnew",
+    );
+    let data = ArrayBuilder::new()
+        .f32("u", fvec(0xE1, n + 2, -1.0, 1.0))
+        .f32("v", fvec(0xE2, n + 2, -1.0, 1.0))
+        .f32("p", fvec(0xE3, n + 2, 40.0, 60.0))
+        .f32("z", fvec(0xE4, n + 2, -0.1, 0.1))
+        .zeroed("unew", ElemType::F32, n)
+        .zeroed("vnew", ElemType::F32, n)
+        .zeroed("pnew", ElemType::F32, n)
+        .build();
+    Workload::new("171.swim", vec![u, v, p], data, 40)
+}
+
+/// 172.mgrid: multigrid relaxation — the paper's largest loop bodies
+/// (maximum 62 instructions after splitting). The 27-point-style resid
+/// kernel is deliberately oversized so fission has to split it.
+#[must_use]
+pub fn mgrid() -> Workload {
+    const N: u32 = 512;
+    let n = N as usize;
+    let taps: Vec<(&str, u32, f32)> = (0..9)
+        .map(|j| ("gu", j as u32, [0.5, 0.25, 0.125][j % 3] / (1.0 + j as f32)))
+        .chain((0..9).map(|j| ("gr", j as u32, [0.4, 0.2, 0.1][j % 3] / (2.0 + j as f32))))
+        .chain((0..6).map(|j| ("gv", j as u32, 0.03 * (j as f32 + 1.0))))
+        .collect();
+    let resid = stencil("resid3d", N, &taps, "gout");
+    let interp = stencil(
+        "interp",
+        N,
+        &[
+            ("gout", 0, 0.5),
+            ("gout", 1, 0.25),
+            ("gout", 2, 0.25),
+            ("gu", 0, 1.0),
+            ("gu", 1, -0.5),
+            ("gv", 0, 0.75),
+            ("gv", 1, -0.25),
+            ("gr", 0, 0.1),
+        ],
+        "gfine",
+    );
+    let data = ArrayBuilder::new()
+        .f32("gu", fvec(0xF1, n + 9, -1.0, 1.0))
+        .f32("gr", fvec(0xF2, n + 9, -1.0, 1.0))
+        .f32("gv", fvec(0xF3, n + 9, -1.0, 1.0))
+        .zeroed("gout", ElemType::F32, n + 2)
+        .zeroed("gfine", ElemType::F32, n)
+        .build();
+    Workload::new("172.mgrid", vec![resid, interp], data, 40)
+}
+
+/// 179.art: adaptive-resonance matching over a working set far larger
+/// than the 16 KB data cache — its speedup is memory-bound, the lowest in
+/// the suite (paper Figure 6).
+#[must_use]
+pub fn art() -> Workload {
+    const N: u32 = 16384; // 64 KB per f32 array, 4 arrays resident
+    let n = N as usize;
+    let mut mtc = KernelBuilder::new("match_f1", N);
+    let f1 = mtc.load("f1act", ElemType::F32);
+    let w = mtc.load("btweights", ElemType::F32);
+    let p = mtc.bin(VAluOp::Mul, f1, w);
+    let m = mtc.bin(VAluOp::Min, p, f1);
+    mtc.store("matchv", m);
+    mtc.reduce(RedOp::Sum, m, "matchsum", ReduceInit::F32(0.0));
+
+    let mut upd = KernelBuilder::new("update_w", N);
+    let w = upd.load("btweights", ElemType::F32);
+    let x = upd.load("matchv", ElemType::F32);
+    let d = upd.bin(VAluOp::Sub, x, w);
+    let lr = upd.constf(vec![0.05]);
+    let step = upd.bin(VAluOp::Mul, d, lr);
+    let nw = upd.bin(VAluOp::Add, w, step);
+    upd.store("wnew", nw);
+
+    let data = ArrayBuilder::new()
+        .f32("f1act", fvec(0xA7, n, 0.0, 1.0))
+        .f32("btweights", fvec(0xA8, n, 0.0, 1.0))
+        .zeroed("matchv", ElemType::F32, n)
+        .zeroed("wnew", ElemType::F32, n)
+        .zeroed("matchsum", ElemType::F32, 1)
+        .build();
+    Workload::new(
+        "179.art",
+        vec![mtc.build().expect("match"), upd.build().expect("update")],
+        data,
+        6,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use liquid_simd_compiler::{build_liquid, MAX_OUTLINED_INSTRS};
+
+    #[test]
+    fn specfp_benchmarks_validate() {
+        for w in [
+            alvinn(),
+            ear(),
+            nasa7(),
+            tomcatv(),
+            hydro2d(),
+            swim(),
+            mgrid(),
+            art(),
+        ] {
+            w.validate().unwrap_or_else(|e| panic!("{}: {e}", w.name));
+        }
+    }
+
+    #[test]
+    fn mgrid_and_tomcatv_require_fission() {
+        for w in [mgrid(), tomcatv()] {
+            let b = build_liquid(&w).unwrap();
+            assert!(
+                b.outlined.len() > w.kernels.len(),
+                "{} should split: {} functions from {} kernels",
+                w.name,
+                b.outlined.len(),
+                w.kernels.len()
+            );
+            for f in &b.outlined {
+                assert!(f.instrs <= MAX_OUTLINED_INSTRS, "{}: {}", f.name, f.instrs);
+            }
+        }
+    }
+}

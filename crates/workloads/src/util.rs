@@ -1,0 +1,35 @@
+//! Deterministic synthetic input generation.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A deterministic `f32` vector in `[lo, hi)`.
+pub fn fvec(seed: u64, n: usize, lo: f32, hi: f32) -> Vec<f32> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n).map(|_| rng.random_range(lo..hi)).collect()
+}
+
+/// A deterministic integer vector in `[lo, hi)` (canonicalised later by
+/// the array builder).
+pub fn ivec(seed: u64, n: usize, lo: i64, hi: i64) -> Vec<i64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n).map(|_| rng.random_range(lo..hi)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_and_in_range() {
+        let a = fvec(7, 100, -1.0, 1.0);
+        let b = fvec(7, 100, -1.0, 1.0);
+        assert_eq!(a, b);
+        assert!(a.iter().all(|&x| (-1.0..1.0).contains(&x)));
+        let c = ivec(9, 100, -50, 50);
+        let d = ivec(9, 100, -50, 50);
+        assert_eq!(c, d);
+        assert!(c.iter().all(|&x| (-50..50).contains(&x)));
+        assert_ne!(ivec(1, 10, 0, 100), ivec(2, 10, 0, 100));
+    }
+}

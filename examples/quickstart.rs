@@ -1,0 +1,73 @@
+//! Quickstart: define a hot loop once, then watch the Liquid SIMD pipeline
+//! carry it from scalar code to dynamically translated SIMD microcode.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use liquid_simd::{
+    build_liquid, build_native, build_plain, gold, run, verify_against_gold, MachineConfig,
+    Workload,
+};
+use liquid_simd_compiler::{ArrayBuilder, KernelBuilder, ReduceInit};
+use liquid_simd_isa::{ElemType, RedOp, VAluOp};
+
+fn main() {
+    // ---- 1. Write the hot loop once, as a vector kernel -----------------
+    // y[i] = (x[i] * 3 + 16) >> 2, plus the running maximum.
+    let mut k = KernelBuilder::new("scale_bias", 256);
+    let x = k.load("x", ElemType::I32);
+    let t = k.bin_imm(VAluOp::Mul, x, 3);
+    let t = k.bin_imm(VAluOp::Add, t, 16);
+    let y = k.bin_imm(VAluOp::Asr, t, 2);
+    k.store("y", y);
+    k.reduce(RedOp::Max, y, "peak", ReduceInit::Int(i32::MIN));
+    let kernel = k.build().expect("kernel validates");
+
+    let data = ArrayBuilder::new()
+        .int("x", ElemType::I32, (0..256).map(|i| i * 7 - 300).collect::<Vec<i64>>())
+        .zeroed("y", ElemType::I32, 256)
+        .zeroed("peak", ElemType::I32, 1)
+        .build();
+    let w = Workload::new("quickstart", vec![kernel], data, 50);
+
+    // ---- 2. Compile three ways ------------------------------------------
+    let plain = build_plain(&w).expect("plain build");
+    let liquid = build_liquid(&w).expect("liquid build");
+    let native = build_native(&w, 8).expect("native build");
+
+    println!("binaries: plain {} B, liquid {} B (+{:.2}%), native {} B",
+        plain.program.code_bytes(),
+        liquid.program.code_bytes(),
+        100.0 * (liquid.program.code_bytes() as f64 - plain.program.code_bytes() as f64)
+            / plain.program.code_bytes() as f64,
+        native.program.code_bytes());
+
+    println!("\nThe outlined scalar representation of the hot loop:");
+    let f = &liquid.outlined[0];
+    print!(
+        "{}",
+        liquid_simd_isa::asm::disassemble_range(&liquid.program, f.entry, f.instrs)
+    );
+
+    // ---- 3. Run: scalar baseline, then Liquid at several widths ---------
+    let base = run(&plain.program, MachineConfig::scalar_only()).expect("baseline run");
+    println!("\nscalar baseline: {} cycles", base.report.cycles);
+    for lanes in [2usize, 4, 8, 16] {
+        let out = run(&liquid.program, MachineConfig::liquid(lanes)).expect("liquid run");
+        println!(
+            "  liquid @{lanes:>2} lanes: {:>9} cycles  speedup {:>5.2}x  ({} translation(s), {} microcode hits)",
+            out.report.cycles,
+            base.report.cycles as f64 / out.report.cycles as f64,
+            out.report.translator.successes,
+            out.report.mcache.hits
+        );
+    }
+
+    // ---- 4. Verify against the reference evaluator ----------------------
+    let gold_env = gold::run_gold(&w).expect("gold evaluation");
+    let out = run(&liquid.program, MachineConfig::liquid(8)).expect("verified run");
+    verify_against_gold("quickstart@8", &liquid.program, &out.memory, &gold_env)
+        .expect("bit-exact against gold");
+    println!("\nall outputs verified against the gold evaluator ✓");
+}

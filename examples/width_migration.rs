@@ -1,0 +1,56 @@
+//! The forward-migration story that motivates the paper: **one binary,
+//! every accelerator generation**. A single Liquid SIMD binary runs
+//! unchanged on a scalar-only core, then on 2/4/8/16-lane accelerators,
+//! getting faster each time — no recompilation, no new instruction set.
+//!
+//! ```text
+//! cargo run --release --example width_migration
+//! ```
+
+use liquid_simd::{build_liquid, build_plain, gold, run, verify_against_gold, MachineConfig};
+
+fn main() {
+    let w = liquid_simd_workloads::swim();
+    let liquid = build_liquid(&w).expect("liquid build");
+    let plain = build_plain(&w).expect("plain build");
+    let gold_env = gold::run_gold(&w).expect("gold");
+
+    println!("benchmark: {} ({} hot loops outlined)", w.name, liquid.outlined.len());
+    println!("one binary: {} bytes of code\n", liquid.program.code_bytes());
+
+    let base = run(&plain.program, MachineConfig::scalar_only()).expect("baseline");
+    println!("{:<34} {:>12} {:>9}", "machine generation", "cycles", "speedup");
+    println!("{:<34} {:>12} {:>9.2}", "scalar reference (no outlining)", base.report.cycles, 1.0);
+
+    // Generation 0: no SIMD hardware at all. The same Liquid binary simply
+    // executes its scalar representation.
+    let out = run(&liquid.program, MachineConfig::scalar_only()).expect("scalar run");
+    verify_against_gold("scalar", &liquid.program, &out.memory, &gold_env).expect("verified");
+    println!(
+        "{:<34} {:>12} {:>9.2}",
+        "liquid on scalar-only core",
+        out.report.cycles,
+        base.report.cycles as f64 / out.report.cycles as f64
+    );
+
+    // Generations 1..4: each wider accelerator picks the binary up as-is.
+    for lanes in [2usize, 4, 8, 16] {
+        let out = run(&liquid.program, MachineConfig::liquid(lanes)).expect("liquid run");
+        verify_against_gold(
+            &format!("liquid@{lanes}"),
+            &liquid.program,
+            &out.memory,
+            &gold_env,
+        )
+        .expect("verified");
+        println!(
+            "{:<34} {:>12} {:>9.2}",
+            format!("liquid on {lanes}-lane accelerator"),
+            out.report.cycles,
+            base.report.cycles as f64 / out.report.cycles as f64
+        );
+    }
+
+    println!("\nsame binary, same outputs (verified against gold at every width),");
+    println!("four accelerator generations — no ISA change, no recompile.");
+}

@@ -1,0 +1,13 @@
+//! Root shim for the Liquid SIMD reproduction workspace.
+//!
+//! All functionality lives in the `crates/*` members; this package exists so
+//! the workspace-level `./tests` integration suite and `./examples` binaries
+//! have a home. It re-exports the public facade for convenience.
+
+pub use liquid_simd as facade;
+pub use liquid_simd_compiler as compiler;
+pub use liquid_simd_isa as isa;
+pub use liquid_simd_mem as mem;
+pub use liquid_simd_sim as sim;
+pub use liquid_simd_translator as translator;
+pub use liquid_simd_workloads as workloads;

@@ -1,0 +1,259 @@
+//! Legality-check coverage: every abort path of the dynamic translator is
+//! exercised with hand-written assembly, and in each case the program
+//! still produces correct results by falling back to scalar execution —
+//! the paper's central safety property.
+
+use liquid_simd_repro::facade::{Machine, MachineConfig};
+use liquid_simd_repro::isa::asm;
+
+fn run_and_expect_abort(src: &str, tag: &str) -> liquid_simd_repro::facade::RunReport {
+    let p = asm::assemble(src).unwrap();
+    let mut m = Machine::new(&p, MachineConfig::liquid(8));
+    let report = m.run().unwrap();
+    assert_eq!(report.translator.successes, 0, "should not translate");
+    assert!(
+        report.translator.aborts.contains_key(tag),
+        "expected abort `{tag}`, got {:?}",
+        report.translator.aborts
+    );
+    report
+}
+
+#[test]
+fn runtime_indexed_permute_aborts() {
+    // The VTBL class (paper §3.3): the memory index comes from *data*, not
+    // from a compile-time offset array combined with the induction
+    // variable. The data load's value is unknown until runtime, so the
+    // translator must refuse.
+    let src = r"
+.data
+.i32 idx: 3, 1, 2, 0, 7, 5, 6, 4, 11, 9, 10, 8, 15, 13, 14, 12
+.i32 A: 0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15
+.i32 B: 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0
+
+.text
+main:
+    bl.v gather
+    halt
+gather:
+    mov r0, #0
+top:
+    ldw r1, [idx + r0]
+    ldw r2, [A + r1]
+    stw [B + r0], r2
+    add r0, r0, #1
+    cmp r0, #16
+    blt top
+    ret
+";
+    // `r1` is a vector (loaded data) used directly as an index, without
+    // the add-to-induction step that marks offset arrays.
+    let report = run_and_expect_abort(src, "runtime-indexed-permute");
+    assert!(report.halted);
+}
+
+#[test]
+fn data_dependent_exit_aborts() {
+    // A while-style loop whose exit depends on loaded data: iteration
+    // verification or bound checks must reject it.
+    let src = r"
+.data
+.i32 A: 5, 4, 3, 2, 1, 0, 7, 9, 5, 4, 3, 2, 1, 0, 7, 9
+
+.text
+main:
+    bl.v findzero
+    halt
+findzero:
+    mov r0, #0
+top:
+    ldw r1, [A + r0]
+    add r0, r0, #1
+    cmp r1, #0
+    blt top
+    cmp r0, #16
+    blt top
+    ret
+";
+    let p = asm::assemble(src).unwrap();
+    let mut m = Machine::new(&p, MachineConfig::liquid(8));
+    let report = m.run().unwrap();
+    assert_eq!(report.translator.successes, 0);
+}
+
+#[test]
+fn loop_exceeding_microcode_buffer_aborts() {
+    // A 70-instruction straight-line body exceeds the 64-entry buffer.
+    let mut body = String::new();
+    for _ in 0..70 {
+        body.push_str("    add r1, r1, #1\n");
+    }
+    let src = format!(
+        r"
+.data
+.i32 A: 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0
+
+.text
+main:
+    bl.v huge
+    halt
+huge:
+    mov r0, #0
+top:
+    ldw r1, [A + r0]
+{body}    stw [A + r0], r1
+    add r0, r0, #1
+    cmp r0, #16
+    blt top
+    ret
+"
+    );
+    run_and_expect_abort(&src, "too-many-uops");
+}
+
+#[test]
+fn nested_call_aborts() {
+    let src = r"
+.data
+.i32 A: 1, 2, 3, 4, 5, 6, 7, 8, 1, 2, 3, 4, 5, 6, 7, 8
+
+.text
+main:
+    bl.v outer
+    halt
+outer:
+    mov r13, r14        # no stack: preserve the link register by hand
+    mov r0, #0
+top:
+    bl helper
+    stw [A + r0], r1
+    add r0, r0, #1
+    cmp r0, #16
+    blt top
+    mov r14, r13
+    ret
+helper:
+    ldw r1, [A + r0]
+    add r1, r1, #1
+    ret
+";
+    // The nested bl arrives while translation of `outer` is active.
+    let p = asm::assemble(src).unwrap();
+    let mut m = Machine::new(&p, MachineConfig::liquid(8));
+    let report = m.run().unwrap();
+    assert!(report.translator.aborts.contains_key("nested-call"));
+    // And the program still computed the right thing through scalar code.
+    let (_, sym) = p.symbol_by_name("A").unwrap();
+    assert_eq!(m.memory().read(sym.addr, 4).unwrap(), 2);
+}
+
+#[test]
+fn unknown_offset_pattern_misses_the_cam() {
+    // Offsets that are not any blocked permutation: loaded, added to the
+    // induction variable, used as an index — structure matches the
+    // permutation idiom, but the CAM lookup fails at finalisation.
+    let src = r"
+.data
+.i32 off: 0, 2, -1, -1, 0, 2, -1, -1, 0, 2, -1, -1, 0, 2, -1, -1
+.i32 A: 9, 8, 7, 6, 5, 4, 3, 2, 9, 8, 7, 6, 5, 4, 3, 2
+.i32 B: 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0
+
+.text
+main:
+    bl.v weird
+    halt
+weird:
+    mov r0, #0
+top:
+    ldw r1, [off + r0]
+    add r1, r0, r1
+    ldw r2, [A + r1]
+    stw [B + r0], r2
+    add r0, r0, #1
+    cmp r0, #16
+    blt top
+    ret
+";
+    run_and_expect_abort(src, "cam-miss");
+}
+
+#[test]
+fn scalar_store_in_loop_aborts() {
+    let src = r"
+.data
+.i32 A: 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0
+
+.text
+main:
+    bl.v splat
+    halt
+splat:
+    mov r1, #42
+    mov r0, #0
+top:
+    stw [A + r0], r1
+    add r0, r0, #1
+    cmp r0, #16
+    blt top
+    ret
+";
+    run_and_expect_abort(src, "scalar-store");
+}
+
+#[test]
+fn induction_step_other_than_one_aborts() {
+    let src = r"
+.data
+.i32 A: 1, 2, 3, 4, 5, 6, 7, 8, 1, 2, 3, 4, 5, 6, 7, 8
+
+.text
+main:
+    bl.v strided
+    halt
+strided:
+    mov r0, #0
+top:
+    ldw r1, [A + r0]
+    add r1, r1, #1
+    stw [A + r0], r1
+    add r0, r0, #2
+    cmp r0, #16
+    blt top
+    ret
+";
+    run_and_expect_abort(src, "unsupported-shape");
+}
+
+#[test]
+fn failed_function_is_not_retried() {
+    // A deterministic abort is remembered: the translator attempts the
+    // function once, not on every call.
+    let src = r"
+.data
+.i32 A: 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0
+
+.text
+main:
+    mov r5, #0
+again:
+    bl.v splat
+    add r5, r5, #1
+    cmp r5, #5
+    blt again
+    halt
+splat:
+    mov r1, #42
+    mov r0, #0
+top:
+    stw [A + r0], r1
+    add r0, r0, #1
+    cmp r0, #16
+    blt top
+    ret
+";
+    let p = asm::assemble(src).unwrap();
+    let mut m = Machine::new(&p, MachineConfig::liquid(8));
+    let report = m.run().unwrap();
+    assert_eq!(report.translator.attempts, 1);
+    assert_eq!(report.calls.len(), 5);
+}
