@@ -8,8 +8,13 @@
 //!     --native         no dynamic translation (vector binaries)
 //!     --jit            software-JIT translation (stalls the CPU)
 //!     --report         print cache/translator statistics
+//!     --trace          record dynamic events; print the trace summary
+//!     --trace-out F    also write the event stream (.json → Chrome trace
+//!                      for Perfetto/chrome://tracing, else JSON-lines)
 //! liquid-simd translate program.{s,lsim} [--lanes N]
 //!                      run once and print each translated microcode block
+//! liquid-simd trace program.{s,lsim} [--lanes N] [--out trace.json]
+//!                      traced run; write Chrome trace + print summary
 //! ```
 
 use std::fs;
@@ -17,6 +22,7 @@ use std::process::ExitCode;
 
 use liquid_simd::{Machine, MachineConfig, RunReport};
 use liquid_simd_isa::{asm, object, Program};
+use liquid_simd_trace::{export, TraceConfig, Tracer};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -39,6 +45,7 @@ fn run_cli(args: &[String]) -> Result<(), String> {
         "disasm" => cmd_disasm(rest),
         "run" => cmd_run(rest),
         "translate" => cmd_translate(rest),
+        "trace" => cmd_trace(rest),
         "help" | "--help" | "-h" => {
             println!("{}", usage());
             Ok(())
@@ -48,12 +55,15 @@ fn run_cli(args: &[String]) -> Result<(), String> {
 }
 
 fn usage() -> String {
-    "usage: liquid-simd <asm|disasm|run|translate|help> [args]\n\
+    "usage: liquid-simd <asm|disasm|run|translate|trace|help> [args]\n\
      \n\
      asm <input.s> -o <out.lsim>\n\
      disasm <prog.lsim>\n\
      run <prog.s|prog.lsim> [--lanes N] [--native] [--jit] [--report]\n\
-     translate <prog.s|prog.lsim> [--lanes N]"
+         [--trace] [--trace-out FILE]\n\
+     translate <prog.s|prog.lsim> [--lanes N]\n\
+     trace <prog.s|prog.lsim> [--lanes N] [--native] [--jit]\n\
+         [--out trace.json] [--instructions]"
         .to_string()
 }
 
@@ -91,7 +101,7 @@ fn parse_lanes(args: &[String]) -> Result<usize, String> {
         None => Ok(8),
         Some(v) => {
             let lanes: usize = v.parse().map_err(|_| format!("bad --lanes `{v}`"))?;
-            if lanes != 0 && !(lanes >= 2 && lanes <= 16 && lanes.is_power_of_two()) {
+            if lanes != 0 && !((2..=16).contains(&lanes) && lanes.is_power_of_two()) {
                 return Err("--lanes must be 0 (scalar) or a power of two in 2..=16".into());
             }
             Ok(lanes)
@@ -106,13 +116,7 @@ fn cmd_asm(args: &[String]) -> Result<(), String> {
         .ok_or("asm: missing input file")?;
     let output = option_value(args, "-o")?
         .map(str::to_string)
-        .unwrap_or_else(|| {
-            input
-                .strip_suffix(".s")
-                .unwrap_or(input)
-                .to_string()
-                + ".lsim"
-        });
+        .unwrap_or_else(|| input.strip_suffix(".s").unwrap_or(input).to_string() + ".lsim");
     let text = fs::read_to_string(input).map_err(|e| format!("{input}: {e}"))?;
     let program = asm::assemble(&text).map_err(|e| format!("{input}: {e}"))?;
     let bytes = object::write(&program).map_err(|e| e.to_string())?;
@@ -178,7 +182,13 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
         .find(|a| !a.starts_with('-'))
         .ok_or("run: missing input file")?;
     let program = load_program(input)?;
-    let cfg = config_from(args)?;
+    let mut cfg = config_from(args)?;
+    let trace_out = option_value(args, "--trace-out")?.map(str::to_string);
+    let tracing = flag(args, "--trace") || trace_out.is_some();
+    let tracer = tracing.then(Tracer::new);
+    if let Some(t) = &tracer {
+        cfg = cfg.with_tracer(t.clone());
+    }
     let mut machine = Machine::new(&program, cfg);
     let report = machine.run().map_err(|e| e.to_string())?;
     if flag(args, "--report") {
@@ -189,6 +199,53 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
             report.cycles, report.retired
         );
     }
+    if let Some(t) = &tracer {
+        if let Some(path) = &trace_out {
+            write_trace(t, path)?;
+        }
+        print!("{}", export::summary(t));
+    }
+    Ok(())
+}
+
+/// Writes the recorded event stream: Chrome trace-event JSON for `.json`
+/// paths (loadable in Perfetto / chrome://tracing), JSON-lines otherwise.
+fn write_trace(tracer: &Tracer, path: &str) -> Result<(), String> {
+    let records = tracer.records();
+    let text = if path.ends_with(".json") {
+        export::chrome_trace(&records)
+    } else {
+        export::json_lines(&records)
+    };
+    fs::write(path, text).map_err(|e| format!("{path}: {e}"))?;
+    println!(
+        "{path}: {} events written{}",
+        records.len(),
+        if tracer.dropped() > 0 {
+            format!(" ({} dropped by ring capacity)", tracer.dropped())
+        } else {
+            String::new()
+        }
+    );
+    Ok(())
+}
+
+fn cmd_trace(args: &[String]) -> Result<(), String> {
+    let input = args
+        .iter()
+        .find(|a| !a.starts_with('-'))
+        .ok_or("trace: missing input file")?;
+    let program = load_program(input)?;
+    let tracer = Tracer::with_config(TraceConfig {
+        instructions: flag(args, "--instructions"),
+        ..TraceConfig::default()
+    });
+    let cfg = config_from(args)?.with_tracer(tracer.clone());
+    let mut machine = Machine::new(&program, cfg);
+    machine.run().map_err(|e| e.to_string())?;
+    let out = option_value(args, "--out")?.unwrap_or("trace.json");
+    write_trace(&tracer, out)?;
+    print!("{}", export::summary(&tracer));
     Ok(())
 }
 

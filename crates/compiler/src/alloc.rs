@@ -186,7 +186,12 @@ mod tests {
         k.store("C", c);
         k.store("D", a);
         let kernel = k.build().unwrap();
-        let asg = allocate(&kernel, &PoolSpec::Shared(vec![0, 1, 2]), &Default::default()).unwrap();
+        let asg = allocate(
+            &kernel,
+            &PoolSpec::Shared(vec![0, 1, 2]),
+            &Default::default(),
+        )
+        .unwrap();
         let used: Vec<u8> = asg.reg.iter().flatten().copied().collect();
         assert_eq!(used.len(), 3);
     }

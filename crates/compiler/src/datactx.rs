@@ -5,10 +5,14 @@ use liquid_simd_isa::{ElemType, PermKind, ProgramBuilder, SymId};
 
 /// Caches compiler-generated data regions so that identical offset arrays
 /// (`bfly` in the paper) and constant arrays (`cnst`) are emitted once.
+/// Key for a deduplicated integer constant array: element type, values,
+/// replication width.
+type ConstIntKey = (ElemType, Vec<i64>, u32);
+
 #[derive(Debug, Default)]
 pub(crate) struct DataCtx {
     offsets: Vec<((PermKind, u32), SymId)>,
-    const_i: Vec<((ElemType, Vec<i64>, u32), SymId)>,
+    const_i: Vec<(ConstIntKey, SymId)>,
     const_f: Vec<((Vec<u32>, u32), SymId)>,
     counter: usize,
 }

@@ -7,8 +7,8 @@
 //! repeatedly (Table 6 measures the spacing of exactly these calls).
 
 use liquid_simd_isa::{
-    encode::CMP_IMM_MAX, AluOp, Base, Cond, ElemType, MemWidth, Operand2, Program,
-    ProgramBuilder, Reg,
+    encode::CMP_IMM_MAX, AluOp, Base, Cond, ElemType, MemWidth, Operand2, Program, ProgramBuilder,
+    Reg,
 };
 
 use crate::datactx::DataCtx;
@@ -55,12 +55,18 @@ impl Workload {
             reason,
         };
         if self.reps == 0 || i64::from(self.reps) > i64::from(CMP_IMM_MAX) {
-            return Err(invalid(&self.name, format!("reps {} out of range", self.reps)));
+            return Err(invalid(
+                &self.name,
+                format!("reps {} out of range", self.reps),
+            ));
         }
         let mut names: Vec<&str> = Vec::new();
         for k in &self.kernels {
             if names.contains(&k.name()) {
-                return Err(invalid(&self.name, format!("duplicate kernel `{}`", k.name())));
+                return Err(invalid(
+                    &self.name,
+                    format!("duplicate kernel `{}`", k.name()),
+                ));
             }
             names.push(k.name());
             if i64::from(k.trip()) > i64::from(CMP_IMM_MAX) {
@@ -70,7 +76,10 @@ impl Workload {
                 let check_array =
                     |name: &str, elem: ElemType, min_len: usize| -> Result<(), CompileError> {
                         if name.starts_with("__") {
-                            return Err(invalid(k.name(), format!("array `{name}` uses a reserved prefix")));
+                            return Err(invalid(
+                                k.name(),
+                                format!("array `{name}` uses a reserved prefix"),
+                            ));
                         }
                         let (decl, data) = self
                             .data
@@ -87,7 +96,10 @@ impl Workload {
                             ArrayData::F32(_) => elem.is_float(),
                         };
                         if !variant_ok {
-                            return Err(invalid(k.name(), format!("array `{name}` storage mismatch")));
+                            return Err(invalid(
+                                k.name(),
+                                format!("array `{name}` storage mismatch"),
+                            ));
                         }
                         if data.len() < min_len {
                             return Err(invalid(
@@ -114,7 +126,11 @@ impl Workload {
                         wide,
                         ..
                     } => {
-                        check_array(array, widen(*elem, *wide), k.trip() as usize + *offset as usize)?;
+                        check_array(
+                            array,
+                            widen(*elem, *wide),
+                            k.trip() as usize + *offset as usize,
+                        )?;
                     }
                     Node::Store {
                         array,
@@ -124,11 +140,19 @@ impl Workload {
                         ..
                     } => {
                         let elem = k.elem_of(*value).expect("store of value");
-                        check_array(array, widen(elem, *wide), k.trip() as usize + *offset as usize)?;
+                        check_array(
+                            array,
+                            widen(elem, *wide),
+                            k.trip() as usize + *offset as usize,
+                        )?;
                     }
                     Node::Reduce { a, out, init, .. } => {
                         let is_float = k.is_float(*a);
-                        let elem = if is_float { ElemType::F32 } else { ElemType::I32 };
+                        let elem = if is_float {
+                            ElemType::F32
+                        } else {
+                            ElemType::I32
+                        };
                         check_array(out, elem, 1)?;
                         let init_ok = matches!(
                             (is_float, init),
@@ -407,8 +431,16 @@ mod tests {
         let plain = build_plain(&w).unwrap();
         assert_eq!(liquid.outlined.len(), 1);
         assert!(plain.outlined.is_empty());
-        assert!(native.program.code.iter().any(liquid_simd_isa::Inst::is_vector));
-        assert!(!liquid.program.code.iter().any(liquid_simd_isa::Inst::is_vector));
+        assert!(native
+            .program
+            .code
+            .iter()
+            .any(liquid_simd_isa::Inst::is_vector));
+        assert!(!liquid
+            .program
+            .code
+            .iter()
+            .any(liquid_simd_isa::Inst::is_vector));
         // Code-size ordering: liquid adds only the bl/ret pair vs plain.
         let overhead = liquid.program.code.len() as i64 - plain.program.code.len() as i64;
         assert!((1..=6).contains(&overhead), "overhead {overhead}");

@@ -70,8 +70,7 @@ pub fn eval_kernel(kernel: &Kernel, env: &mut DataEnv) -> Result<(), CompileErro
                     .get(array)
                     .ok_or_else(|| invalid(kernel, format!("missing array `{array}`")))?;
                 let storage_ok = if *wide {
-                    !decl_elem.is_float() == !elem.is_float()
-                        && decl_elem.bytes() == 4
+                    decl_elem.is_float() == elem.is_float() && decl_elem.bytes() == 4
                 } else {
                     decl_elem == elem
                 };
@@ -210,11 +209,18 @@ pub fn eval_kernel(kernel: &Kernel, env: &mut DataEnv) -> Result<(), CompileErro
             } => {
                 let elem = kernel.elem_of(*value).expect("value");
                 let store_elem = if *wide {
-                    if elem.is_float() { ElemType::F32 } else { ElemType::I32 }
+                    if elem.is_float() {
+                        ElemType::F32
+                    } else {
+                        ElemType::I32
+                    }
                 } else {
                     elem
                 };
-                let lanes = values[value.0 as usize].as_ref().expect("evaluated").clone();
+                let lanes = values[value.0 as usize]
+                    .as_ref()
+                    .expect("evaluated")
+                    .clone();
                 let (decl_elem, data) = env
                     .arrays
                     .get_mut(array)

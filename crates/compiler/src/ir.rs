@@ -153,9 +153,7 @@ impl Kernel {
         match &self.nodes[id.0 as usize] {
             Node::Load { elem, .. } | Node::ConstVecI { elem, .. } => Some(*elem),
             Node::ConstVecF { .. } => Some(ElemType::F32),
-            Node::Bin { a, .. } | Node::BinImm { a, .. } | Node::Perm { a, .. } => {
-                self.elem_of(*a)
-            }
+            Node::Bin { a, .. } | Node::BinImm { a, .. } | Node::Perm { a, .. } => self.elem_of(*a),
             Node::Reduce { .. } | Node::Store { .. } => None,
         }
     }
@@ -297,7 +295,7 @@ impl Kernel {
 
     /// Full structural validation.
     pub(crate) fn validate(&self) -> Result<(), CompileError> {
-        if self.trip == 0 || self.trip as usize % MAX_VECTOR_WIDTH != 0 {
+        if self.trip == 0 || !(self.trip as usize).is_multiple_of(MAX_VECTOR_WIDTH) {
             return Err(self.invalid(format!(
                 "trip {} must be a positive multiple of the maximum vector width {}",
                 self.trip, MAX_VECTOR_WIDTH
@@ -318,11 +316,14 @@ impl Kernel {
             };
             let check_perm = |kind: PermKind| -> Result<(), CompileError> {
                 kind.validate().map_err(|e| self.invalid(e.to_string()))?;
-                if u32::from(kind.block()) > self.trip || self.trip % u32::from(kind.block()) != 0
+                if u32::from(kind.block()) > self.trip
+                    || !self.trip.is_multiple_of(u32::from(kind.block()))
                 {
-                    return Err(
-                        self.invalid(format!("permutation block {} vs trip {}", kind.block(), self.trip))
-                    );
+                    return Err(self.invalid(format!(
+                        "permutation block {} vs trip {}",
+                        kind.block(),
+                        self.trip
+                    )));
                 }
                 if usize::from(kind.block()) > MAX_VECTOR_WIDTH {
                     return Err(self.invalid("permutation block exceeds maximum vector width"));

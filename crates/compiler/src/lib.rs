@@ -62,9 +62,7 @@ mod scalar_gen;
 pub use driver::{build_liquid, build_native, build_plain, Build, OutlinedFn, Workload};
 pub use error::CompileError;
 pub use fission::fission;
-pub use ir::{
-    ArrayBuilder, ArrayData, DataEnv, Kernel, KernelBuilder, Node, NodeId, ReduceInit,
-};
+pub use ir::{ArrayBuilder, ArrayData, DataEnv, Kernel, KernelBuilder, Node, NodeId, ReduceInit};
 
 /// Default maximum size (instructions) of one outlined scalar function;
 /// kernels whose scalarized body would exceed it are fissioned, exactly as

@@ -3,8 +3,8 @@
 
 use liquid_simd_isa::{
     encode::{MOV_IMM_MAX, MOV_IMM_MIN},
-    AluOp, Base, Cond, ElemType, FReg, MemWidth, Operand2, ProgramBuilder, Reg, ScalarSrc,
-    VAluOp, VReg, VectorInst,
+    AluOp, Base, Cond, ElemType, FReg, MemWidth, Operand2, ProgramBuilder, Reg, ScalarSrc, VAluOp,
+    VReg, VectorInst,
 };
 
 use crate::alloc::{allocate, PoolSpec};
@@ -62,7 +62,11 @@ pub(crate) fn emit_native(
     for (i, node) in k.nodes().iter().enumerate() {
         if let Node::Reduce { a, .. } = node {
             let is_float = k.is_float(*a);
-            let pool = if is_float { &mut fp_accs } else { &mut int_accs };
+            let pool = if is_float {
+                &mut fp_accs
+            } else {
+                &mut int_accs
+            };
             let r = pool.pop().ok_or_else(|| CompileError::RegisterPressure {
                 kernel: k.name().to_string(),
             })?;
@@ -90,7 +94,11 @@ pub(crate) fn emit_native(
             vpins.insert(i, 0);
             continue;
         }
-        let pool = if is_float { &mut fp_accs } else { &mut int_accs };
+        let pool = if is_float {
+            &mut fp_accs
+        } else {
+            &mut int_accs
+        };
         if pool.len() <= POOL_HEADROOM {
             continue; // budget exhausted: this constant stays in memory form
         }
@@ -167,7 +175,11 @@ pub(crate) fn emit_native(
                 perm,
             } => {
                 let storage = if *wide {
-                    if elem.is_float() { ElemType::F32 } else { ElemType::I32 }
+                    if elem.is_float() {
+                        ElemType::F32
+                    } else {
+                        ElemType::I32
+                    }
                 } else {
                     *elem
                 };
@@ -284,17 +296,20 @@ pub(crate) fn emit_native(
                 }
                 // Prefer the VAluConst form when one operand is a folded
                 // constant vector (paper Table 1 category 3).
-                let (vn, const_operand) = match (&k.nodes()[a.0 as usize], &k.nodes()[rhs.0 as usize]) {
-                    (_, Node::ConstVecI { .. } | Node::ConstVecF { .. }) if folded[rhs.0 as usize] => {
-                        (*a, Some(*rhs))
-                    }
-                    (Node::ConstVecI { .. } | Node::ConstVecF { .. }, _)
-                        if folded[a.0 as usize] && op.is_commutative() =>
-                    {
-                        (*rhs, Some(*a))
-                    }
-                    _ => (*a, None),
-                };
+                let (vn, const_operand) =
+                    match (&k.nodes()[a.0 as usize], &k.nodes()[rhs.0 as usize]) {
+                        (_, Node::ConstVecI { .. } | Node::ConstVecF { .. })
+                            if folded[rhs.0 as usize] =>
+                        {
+                            (*a, Some(*rhs))
+                        }
+                        (Node::ConstVecI { .. } | Node::ConstVecF { .. }, _)
+                            if folded[a.0 as usize] && op.is_commutative() =>
+                        {
+                            (*rhs, Some(*a))
+                        }
+                        _ => (*a, None),
+                    };
                 match const_operand {
                     Some(c) => {
                         let sym = const_sym(b, ctx, k, c)?;
@@ -365,7 +380,11 @@ pub(crate) fn emit_native(
             } => {
                 let elem = k.elem_of(*value).expect("value");
                 let storage = if *wide {
-                    if elem.is_float() { ElemType::F32 } else { ElemType::I32 }
+                    if elem.is_float() {
+                        ElemType::F32
+                    } else {
+                        ElemType::I32
+                    }
                 } else {
                     elem
                 };
@@ -472,9 +491,9 @@ fn fold_candidates(k: &Kernel, _lanes: usize) -> Vec<bool> {
                     foldable[a.0 as usize] = false;
                 }
             }
-            Node::BinImm { a, .. }
-            | Node::Perm { a, .. }
-            | Node::Reduce { a, .. } => foldable[a.0 as usize] = false,
+            Node::BinImm { a, .. } | Node::Perm { a, .. } | Node::Reduce { a, .. } => {
+                foldable[a.0 as usize] = false
+            }
             Node::Store { value, .. } => foldable[value.0 as usize] = false,
             _ => {}
         }

@@ -124,7 +124,11 @@ pub(crate) fn emit_scalar(
     let mut fp_pool: Vec<u8> = (0..=14).collect();
     let mut acc_reg: Vec<(usize, u8)> = Vec::new();
     for &(node, is_float) in &reduces.list {
-        let pool = if is_float { &mut fp_pool } else { &mut int_pool };
+        let pool = if is_float {
+            &mut fp_pool
+        } else {
+            &mut int_pool
+        };
         let r = pool.pop().ok_or_else(|| CompileError::RegisterPressure {
             kernel: k.name().to_string(),
         })?;
@@ -139,8 +143,8 @@ pub(crate) fn emit_scalar(
     let mut by_value: std::collections::BTreeMap<(bool, u32), u8> =
         std::collections::BTreeMap::new();
     const POOL_HEADROOM: usize = 5;
-    for i in 0..hoist.len() {
-        if !hoist[i] {
+    for (i, h) in hoist.iter_mut().enumerate() {
+        if !*h {
             continue;
         }
         let id = NodeId(i as u32);
@@ -150,9 +154,13 @@ pub(crate) fn emit_scalar(
             pinned.insert(i, r);
             continue;
         }
-        let pool = if is_float { &mut fp_pool } else { &mut int_pool };
+        let pool = if is_float {
+            &mut fp_pool
+        } else {
+            &mut int_pool
+        };
         if pool.len() <= POOL_HEADROOM {
-            hoist[i] = false; // budget exhausted: keep the in-loop load
+            *h = false; // budget exhausted: keep the in-loop load
             continue;
         }
         let r = pool.pop().expect("headroom checked");
@@ -242,7 +250,11 @@ pub(crate) fn emit_scalar(
                 perm,
             } => {
                 let storage = if *wide {
-                    if elem.is_float() { ElemType::F32 } else { ElemType::I32 }
+                    if elem.is_float() {
+                        ElemType::F32
+                    } else {
+                        ElemType::I32
+                    }
                 } else {
                     *elem
                 };
@@ -324,7 +336,11 @@ pub(crate) fn emit_scalar(
             } => {
                 let elem = k.elem_of(*value).expect("store of value");
                 let storage = if *wide {
-                    if elem.is_float() { ElemType::F32 } else { ElemType::I32 }
+                    if elem.is_float() {
+                        ElemType::F32
+                    } else {
+                        ElemType::I32
+                    }
                 } else {
                     elem
                 };
@@ -377,6 +393,7 @@ pub(crate) fn emit_scalar(
 
 /// Emits the scalar equivalent of one element-wise op, expanding
 /// saturating idioms. Exactly one of `rhs_node` / `imm` is `Some`.
+#[allow(clippy::too_many_arguments)]
 fn emit_scalar_op(
     b: &mut ProgramBuilder,
     k: &Kernel,
@@ -401,9 +418,9 @@ fn emit_scalar_op(
         return Ok(());
     }
     let rhs = match (rhs_node, imm) {
-        (Some(nb), None) => Operand2::Reg(Reg::of(
-            asg.reg[nb.0 as usize].expect("int value register"),
-        )),
+        (Some(nb), None) => {
+            Operand2::Reg(Reg::of(asg.reg[nb.0 as usize].expect("int value register")))
+        }
         (None, Some(i)) => Operand2::Imm(i),
         _ => unreachable!("exactly one rhs form"),
     };

@@ -172,7 +172,8 @@ pub fn figure6(workloads: &[Workload], widths: &[usize]) -> Result<Vec<Figure6Ro
             let out = crate::run(&liquid_build.program, MachineConfig::liquid(width))?;
             liquid.insert(width, baseline_cycles as f64 / out.report.cycles as f64);
 
-            let out = crate::run_pretranslated(&liquid_build.program, MachineConfig::liquid(width))?;
+            let out =
+                crate::run_pretranslated(&liquid_build.program, MachineConfig::liquid(width))?;
             pretranslated.insert(width, baseline_cycles as f64 / out.report.cycles as f64);
 
             let native_build = build_native(w, width)?;
@@ -193,15 +194,15 @@ pub fn figure6(workloads: &[Workload], widths: &[usize]) -> Result<Vec<Figure6Ro
 impl fmt::Display for Figure6Row {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "{:<14}", self.benchmark)?;
-        for (_, s) in &self.liquid {
+        for s in self.liquid.values() {
             write!(f, " {s:>6.2}")?;
         }
         write!(f, "  |")?;
-        for (_, s) in &self.pretranslated {
+        for s in self.pretranslated.values() {
             write!(f, " {s:>6.2}")?;
         }
         write!(f, "  |")?;
-        for (_, s) in &self.native {
+        for s in self.native.values() {
             write!(f, " {s:>6.2}")?;
         }
         Ok(())
@@ -460,6 +461,66 @@ pub fn overhead_callout(w: &Workload) -> Result<OverheadCallout, VerifyError> {
         liquid_speedup: base.report.cycles as f64 / liquid.report.cycles as f64,
         builtin_speedup: base.report.cycles as f64 / builtin.report.cycles as f64,
     })
+}
+
+/// Per-benchmark dynamic metrics captured through the tracing subsystem:
+/// calls by mode, translation outcomes, abort-reason tallies, mcache and
+/// memory behaviour — everything the end-of-run aggregates flatten away.
+#[derive(Clone, Debug)]
+pub struct MetricsRow {
+    /// Benchmark name.
+    pub benchmark: String,
+    /// Cycles of the traced run.
+    pub cycles: u64,
+    /// The full metrics registry (counters + histograms) of the run.
+    pub metrics: liquid_simd_trace::Metrics,
+    /// Per-kind event tallies (`"translation-commit"` → count, ...).
+    pub events: BTreeMap<&'static str, u64>,
+}
+
+impl MetricsRow {
+    /// Abort-reason tallies, keyed by `AbortReason::tag()` strings.
+    #[must_use]
+    pub fn aborts(&self) -> BTreeMap<String, u64> {
+        self.metrics.with_prefix("translator.abort.")
+    }
+}
+
+/// Runs each workload's Liquid binary at 8 lanes with a tracer attached
+/// and returns the captured per-benchmark metrics.
+///
+/// # Errors
+///
+/// Returns a [`VerifyError`] if a workload fails to compile or simulate.
+pub fn metrics(workloads: &[Workload]) -> Result<Vec<MetricsRow>, VerifyError> {
+    let mut rows = Vec::new();
+    for w in workloads {
+        let b = build_liquid(w)?;
+        let tracer = liquid_simd_trace::Tracer::new();
+        let cfg = MachineConfig::liquid(8).with_tracer(tracer.clone());
+        let out = crate::run(&b.program, cfg)?;
+        rows.push(MetricsRow {
+            benchmark: w.name.clone(),
+            cycles: out.report.cycles,
+            metrics: tracer.metrics(),
+            events: tracer.kind_counts(),
+        });
+    }
+    Ok(rows)
+}
+
+impl fmt::Display for MetricsRow {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:<14} {:>10} cycles, {:>4} commits, {:>4} aborts, {:>5} simd calls",
+            self.benchmark,
+            self.cycles,
+            self.events.get("translation-commit").copied().unwrap_or(0),
+            self.events.get("translation-abort").copied().unwrap_or(0),
+            self.metrics.counter("calls.simd"),
+        )
+    }
 }
 
 /// Convenience: the paper's width sweep.

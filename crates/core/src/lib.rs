@@ -56,6 +56,8 @@ pub use liquid_simd_sim::{
     CallEvent, CallMode, LatencyModel, Machine, MachineConfig, RunReport, SimError,
     TranslationConfig,
 };
+pub use liquid_simd_trace as trace;
+pub use liquid_simd_trace::{TraceConfig, TraceEvent, Tracer};
 pub use liquid_simd_translator as translator;
 pub use verify::{verify_against_gold, verify_workload, VerifyError};
 
@@ -95,11 +97,8 @@ pub fn run(program: &Program, config: MachineConfig) -> Result<RunOutcome, SimEr
 /// # Errors
 ///
 /// Returns [`SimError`] for simulation faults in either pass.
-pub fn run_pretranslated(
-    program: &Program,
-    config: MachineConfig,
-) -> Result<RunOutcome, SimError> {
-    let mut warm = Machine::new(program, config);
+pub fn run_pretranslated(program: &Program, config: MachineConfig) -> Result<RunOutcome, SimError> {
+    let mut warm = Machine::new(program, config.clone());
     warm.run()?;
     let microcode = warm.microcode_snapshot();
     let mut machine = Machine::new(program, config);

@@ -38,11 +38,7 @@ fn verify_specfp_small() {
 
 #[test]
 fn verify_specfp_stencils() {
-    for w in [
-        workloads::tomcatv(),
-        workloads::swim(),
-        workloads::mgrid(),
-    ] {
+    for w in [workloads::tomcatv(), workloads::swim(), workloads::mgrid()] {
         verify_workload(&w).unwrap_or_else(|e| panic!("{}: {e}", w.name));
     }
 }

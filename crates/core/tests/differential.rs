@@ -63,7 +63,13 @@ fn signed_saturating_audio() {
         .int("B", ElemType::I16, ramp(32, 1700, -10000))
         .zeroed("C", ElemType::I16, 32)
         .build();
-    verify_workload(&Workload::new("sataudio", vec![k.build().unwrap()], data, 2)).unwrap();
+    verify_workload(&Workload::new(
+        "sataudio",
+        vec![k.build().unwrap()],
+        data,
+        2,
+    ))
+    .unwrap();
 }
 
 #[test]
@@ -124,12 +130,7 @@ fn all_permutation_kinds_on_loads_and_stores() {
             .zeroed("B", ElemType::I32, 32)
             .zeroed("C", ElemType::I32, 32)
             .build();
-        let w = Workload::new(
-            tag,
-            vec![k.build().unwrap(), k2.build().unwrap()],
-            data,
-            2,
-        );
+        let w = Workload::new(tag, vec![k.build().unwrap(), k2.build().unwrap()], data, 2);
         verify_workload(&w).unwrap_or_else(|e| panic!("{tag}: {e}"));
     }
 }
@@ -266,8 +267,10 @@ fn translated_runs_eventually_use_microcode() {
 fn unsigned_vs_signed_narrow_loads_differ_and_both_match_gold() {
     // Same bytes, loaded signed vs unsigned, must produce different minima
     // and both match gold.
-    let bytes: Vec<i64> = vec![0x80, 0x7F, 0x01, 0xFF, 0x40, 0xC0, 0x00, 0x10,
-                               0x80, 0x7F, 0x01, 0xFF, 0x40, 0xC0, 0x00, 0x10];
+    let bytes: Vec<i64> = vec![
+        0x80, 0x7F, 0x01, 0xFF, 0x40, 0xC0, 0x00, 0x10, 0x80, 0x7F, 0x01, 0xFF, 0x40, 0xC0, 0x00,
+        0x10,
+    ];
     let mut ks = KernelBuilder::new("s", 16);
     let a = ks.load("A", ElemType::I8);
     ks.reduce(RedOp::Min, a, "smin", ReduceInit::Int(i32::MAX));

@@ -55,7 +55,10 @@ pub fn disassemble(p: &Program) -> String {
             let all_zero = bytes.iter().all(|&b| b == 0);
             if all_zero && sym.size > 0 {
                 let elems = sym.size / sym.elem_bytes;
-                out.push_str(&format!(".zero {}: {} x {}\n", sym.name, elems, sym.elem_bytes));
+                out.push_str(&format!(
+                    ".zero {}: {} x {}\n",
+                    sym.name, elems, sym.elem_bytes
+                ));
                 continue;
             }
             match sym.elem_bytes {
@@ -87,10 +90,10 @@ pub fn disassemble(p: &Program) -> String {
     let mut targets: Vec<u32> = Vec::new();
     for inst in &p.code {
         match inst {
-            Inst::S(ScalarInst::B { target, .. }) | Inst::S(ScalarInst::Bl { target, .. }) => {
-                if !targets.contains(target) {
-                    targets.push(*target);
-                }
+            Inst::S(ScalarInst::B { target, .. }) | Inst::S(ScalarInst::Bl { target, .. })
+                if !targets.contains(target) =>
+            {
+                targets.push(*target);
             }
             _ => {}
         }
@@ -112,7 +115,10 @@ pub fn disassemble(p: &Program) -> String {
         }
         let text = match inst {
             Inst::S(ScalarInst::B { cond, target }) => {
-                format!("b{cond} {}", label_for(*target).unwrap_or(format!("@{target}")))
+                format!(
+                    "b{cond} {}",
+                    label_for(*target).unwrap_or(format!("@{target}"))
+                )
             }
             Inst::S(ScalarInst::Bl {
                 target,
@@ -168,7 +174,12 @@ fn render_with_symbols(inst: &Inst, p: &Program) -> String {
             .symbols
             .get(id)
             .map_or_else(|| format!("sym{id}"), |s| s.name.clone());
-        text = format!("{}{}{}", &text[..pos], name, &text[pos + 3 + digits.len()..]);
+        text = format!(
+            "{}{}{}",
+            &text[..pos],
+            name,
+            &text[pos + 3 + digits.len()..]
+        );
     }
     text
 }
@@ -550,8 +561,7 @@ impl Assembler {
                             .get(2)
                             .and_then(|p| p.strip_prefix('k'))
                             .ok_or_else(|| perr(lineno, "vrot needs .kN amount suffix"))?;
-                        let amt: u8 =
-                            amt_part.parse().map_err(|_| perr(lineno, "bad amount"))?;
+                        let amt: u8 = amt_part.parse().map_err(|_| perr(lineno, "bad amount"))?;
                         PermKind::Rot { block, amt }
                     }
                 })
@@ -900,7 +910,8 @@ main:
 
     #[test]
     fn conditional_mnemonics() {
-        let src = ".text\nmain:\n    cmp r1, #255\n    movgt r1, #255\n    addlt r2, r2, #1\n    halt\n";
+        let src =
+            ".text\nmain:\n    cmp r1, #255\n    movgt r1, #255\n    addlt r2, r2, #1\n    halt\n";
         let p = assemble(src).unwrap();
         assert!(matches!(
             p.code[1],

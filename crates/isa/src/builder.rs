@@ -130,7 +130,14 @@ impl ProgramBuilder {
     }
 
     /// `op{cond} rd, rn, op2`
-    pub fn alu_cond(&mut self, cond: Cond, op: AluOp, rd: Reg, rn: Reg, op2: Operand2) -> &mut Self {
+    pub fn alu_cond(
+        &mut self,
+        cond: Cond,
+        op: AluOp,
+        rd: Reg,
+        rn: Reg,
+        op2: Operand2,
+    ) -> &mut Self {
         self.push(ScalarInst::Alu {
             cond,
             op,
@@ -243,7 +250,7 @@ impl ProgramBuilder {
         );
         // Align every region to 64 bytes: MAX_VECTOR_WIDTH (16) elements of
         // the widest element type (4 bytes) — the paper's §3.1 alignment rule.
-        while self.data.len() % 64 != 0 {
+        while !self.data.len().is_multiple_of(64) {
             self.data.push(0);
         }
         let addr = self.data_base + self.data.len() as u32;
@@ -353,7 +360,8 @@ impl ProgramBuilder {
             data_base,
         } = self;
         for (idx, label) in fixups {
-            let target = bound[label.0 as usize].ok_or(IsaError::UnboundLabel { label: label.0 })?;
+            let target =
+                bound[label.0 as usize].ok_or(IsaError::UnboundLabel { label: label.0 })?;
             match &mut code[idx] {
                 Inst::S(ScalarInst::B { target: t, .. })
                 | Inst::S(ScalarInst::Bl { target: t, .. }) => *t = target,
@@ -398,10 +406,7 @@ mod tests {
         let dangling = b.new_label();
         b.b(Cond::Al, dangling);
         b.halt();
-        assert_eq!(
-            b.finish().unwrap_err(),
-            IsaError::UnboundLabel { label: 0 }
-        );
+        assert_eq!(b.finish().unwrap_err(), IsaError::UnboundLabel { label: 0 });
     }
 
     #[test]

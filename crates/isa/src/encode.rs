@@ -207,9 +207,11 @@ pub fn encode(inst: &Inst, pc: u32) -> Result<u32, IsaError> {
             },
             ScalarInst::Cmp { rn, op2 } => {
                 let f = match op2 {
-                    Operand2::Imm(imm) => (u32::from(rn.index()) << 19)
-                        | (1 << 18)
-                        | signed_field("cmp imm", imm.into(), 18)?,
+                    Operand2::Imm(imm) => {
+                        (u32::from(rn.index()) << 19)
+                            | (1 << 18)
+                            | signed_field("cmp imm", imm.into(), 18)?
+                    }
                     Operand2::Reg(rm) => {
                         (u32::from(rn.index()) << 19) | (u32::from(rm.index()) << 14)
                     }
@@ -425,12 +427,10 @@ pub fn encode(inst: &Inst, pc: u32) -> Result<u32, IsaError> {
 pub fn decode(raw: u32, pc: u32) -> Result<Inst, IsaError> {
     let cond = Cond::from_bits(raw >> 28)?;
     let class_bits = (raw >> 23) & 0x1F;
-    let class = *CLASSES
-        .get(class_bits as usize)
-        .ok_or(IsaError::Decode {
-            what: "instruction class",
-            value: class_bits,
-        })?;
+    let class = *CLASSES.get(class_bits as usize).ok_or(IsaError::Decode {
+        what: "instruction class",
+        value: class_bits,
+    })?;
     let reg = |shift: u32| Reg::of(((raw >> shift) & 0xF) as u8);
     let freg = |shift: u32| FReg::of(((raw >> shift) & 0xF) as u8);
     let vreg = |shift: u32| VReg::of(((raw >> shift) & 0xF) as u8);
@@ -799,7 +799,10 @@ mod tests {
             cond: Cond::Al,
             target: 10_000_000,
         });
-        assert!(matches!(encode(&far, 0), Err(IsaError::ImmOutOfRange { .. })));
+        assert!(matches!(
+            encode(&far, 0),
+            Err(IsaError::ImmOutOfRange { .. })
+        ));
     }
 
     #[test]

@@ -50,8 +50,8 @@ mod cond;
 pub mod encode;
 mod error;
 mod inst;
-mod op;
 pub mod object;
+mod op;
 mod perm;
 mod program;
 mod reg;

@@ -575,18 +575,10 @@ impl VAluOp {
             // (`add; cmp; movgt; cmp; movlt`) computes, so translation is
             // lossless for every input. On element-range inputs this is
             // identical to true saturating hardware.
-            VAluOp::SatAdd => {
-                i64::from(ai.wrapping_add(bi)).clamp(0, sat_u_max) as u32
-            }
-            VAluOp::SatSub => {
-                i64::from(ai.wrapping_sub(bi)).clamp(0, sat_u_max) as u32
-            }
-            VAluOp::SSatAdd => {
-                i64::from(ai.wrapping_add(bi)).clamp(sat_s.0, sat_s.1) as u32
-            }
-            VAluOp::SSatSub => {
-                i64::from(ai.wrapping_sub(bi)).clamp(sat_s.0, sat_s.1) as u32
-            }
+            VAluOp::SatAdd => i64::from(ai.wrapping_add(bi)).clamp(0, sat_u_max) as u32,
+            VAluOp::SatSub => i64::from(ai.wrapping_sub(bi)).clamp(0, sat_u_max) as u32,
+            VAluOp::SSatAdd => i64::from(ai.wrapping_add(bi)).clamp(sat_s.0, sat_s.1) as u32,
+            VAluOp::SSatSub => i64::from(ai.wrapping_sub(bi)).clamp(sat_s.0, sat_s.1) as u32,
             VAluOp::Lsl => a << (b & 31),
             VAluOp::Lsr => a >> (b & 31),
             VAluOp::Asr => (ai >> (b & 31)) as u32,

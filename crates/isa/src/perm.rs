@@ -119,7 +119,7 @@ impl PermKind {
     pub fn apply<T: Copy>(self, src: &[T]) -> Vec<T> {
         let b = self.block() as usize;
         assert!(
-            src.len() % b == 0,
+            src.len().is_multiple_of(b),
             "vector length {} not a multiple of permutation block {b}",
             src.len()
         );
@@ -153,7 +153,7 @@ impl PermKind {
     #[must_use]
     pub fn executable_at(self, lanes: usize) -> bool {
         let b = self.block() as usize;
-        b <= lanes && lanes % b == 0
+        b <= lanes && lanes.is_multiple_of(b)
     }
 
     /// Attempts to recognise an offset pattern as a known permutation at the
@@ -177,7 +177,7 @@ impl PermKind {
     pub fn cam_entries(lanes: usize) -> Vec<PermKind> {
         let mut out = Vec::new();
         let mut b = 2u8;
-        while (b as usize) <= lanes && lanes % (b as usize) == 0 {
+        while (b as usize) <= lanes && lanes.is_multiple_of(b as usize) {
             out.push(PermKind::Bfly { block: b });
             out.push(PermKind::Rev { block: b });
             for amt in 1..b {

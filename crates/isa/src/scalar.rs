@@ -157,9 +157,9 @@ impl ScalarInst {
     #[must_use]
     pub fn fp_def(self) -> Option<FReg> {
         match self {
-            ScalarInst::FAlu { fd, .. } | ScalarInst::FMov { fd, .. } | ScalarInst::LdF { fd, .. } => {
-                Some(fd)
-            }
+            ScalarInst::FAlu { fd, .. }
+            | ScalarInst::FMov { fd, .. }
+            | ScalarInst::LdF { fd, .. } => Some(fd),
             _ => None,
         }
     }
@@ -192,7 +192,9 @@ impl ScalarInst {
                 push_base(base, &mut uses);
                 uses.push(index);
             }
-            ScalarInst::StInt { rs, base, index, .. } => {
+            ScalarInst::StInt {
+                rs, base, index, ..
+            } => {
                 uses.push(rs);
                 push_base(base, &mut uses);
                 uses.push(index);
@@ -250,12 +252,7 @@ impl ScalarInst {
     }
 }
 
-fn fmt_mem(
-    f: &mut fmt::Formatter<'_>,
-    mnemonic: &str,
-    base: Base,
-    index: Reg,
-) -> fmt::Result {
+fn fmt_mem(f: &mut fmt::Formatter<'_>, mnemonic: &str, base: Base, index: Reg) -> fmt::Result {
     match base {
         Base::Reg(r) => write!(f, "{mnemonic} [{r} + {index}]"),
         Base::Sym(s) => write!(f, "{mnemonic} [{s} + {index}]"),

@@ -1,242 +1,346 @@
 //! Property-based round-trip testing of the binary encoding and the
 //! assembler over the full instruction space.
+//!
+//! Random instructions come from a small inline xorshift generator (the
+//! ISA crate is dependency-free, so no external PRNG). Each case is
+//! reproducible from its printed seed; build with `--features fuzz` for a
+//! deeper sweep.
 
 use liquid_simd_isa::{
     asm,
-    encode::{decode, encode, ALU_IMM_MAX, ALU_IMM_MIN, MOV_IMM_MAX, MOV_IMM_MIN, VALU_IMM_MAX,
-             VALU_IMM_MIN},
+    encode::{
+        decode, encode, ALU_IMM_MAX, ALU_IMM_MIN, MOV_IMM_MAX, MOV_IMM_MIN, VALU_IMM_MAX,
+        VALU_IMM_MIN,
+    },
     AluOp, Base, Cond, ElemType, FReg, FpOp, Inst, MemWidth, Operand2, PermKind, ProgramBuilder,
     RedOp, Reg, ScalarInst, ScalarSrc, SymId, VAluOp, VReg, VectorInst,
 };
-use proptest::prelude::*;
 
-fn reg() -> impl Strategy<Value = Reg> {
-    (0u8..16).prop_map(Reg::of)
+const CASES: u64 = if cfg!(feature = "fuzz") { 16_384 } else { 2048 };
+
+/// Inline xorshift64* — enough randomness for instruction fuzzing.
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Rng {
+        Rng(if seed == 0 {
+            0x9E37_79B9_7F4A_7C15
+        } else {
+            seed
+        })
+    }
+
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Uniform in `[lo, hi)`.
+    fn range(&mut self, lo: i64, hi: i64) -> i64 {
+        assert!(lo < hi);
+        lo.wrapping_add((self.next() % hi.wrapping_sub(lo) as u64) as i64)
+    }
+
+    fn index(&mut self, len: usize) -> usize {
+        (self.next() % len as u64) as usize
+    }
+
+    fn bool(&mut self) -> bool {
+        self.next() & 1 == 1
+    }
+
+    fn pick<T: Copy>(&mut self, items: &[T]) -> T {
+        items[self.index(items.len())]
+    }
 }
 
-fn freg() -> impl Strategy<Value = FReg> {
-    (0u8..16).prop_map(FReg::of)
+fn reg(rng: &mut Rng) -> Reg {
+    Reg::of(rng.range(0, 16) as u8)
 }
 
-fn vreg() -> impl Strategy<Value = VReg> {
-    (0u8..16).prop_map(VReg::of)
+fn freg(rng: &mut Rng) -> FReg {
+    FReg::of(rng.range(0, 16) as u8)
 }
 
-fn cond() -> impl Strategy<Value = Cond> {
-    prop::sample::select(Cond::ALL.to_vec())
+fn vreg(rng: &mut Rng) -> VReg {
+    VReg::of(rng.range(0, 16) as u8)
 }
 
-fn elem() -> impl Strategy<Value = ElemType> {
-    prop::sample::select(ElemType::ALL.to_vec())
+fn cond(rng: &mut Rng) -> Cond {
+    rng.pick(&Cond::ALL)
 }
 
-fn base() -> impl Strategy<Value = Base> {
-    prop_oneof![
-        reg().prop_map(Base::Reg),
-        (0u16..=SymId::MAX).prop_map(|i| Base::Sym(SymId::new(i))),
-    ]
+fn elem(rng: &mut Rng) -> ElemType {
+    rng.pick(&ElemType::ALL)
 }
 
-fn operand2() -> impl Strategy<Value = Operand2> {
-    prop_oneof![
-        reg().prop_map(Operand2::Reg),
-        (ALU_IMM_MIN..=ALU_IMM_MAX).prop_map(Operand2::Imm),
-    ]
+fn base(rng: &mut Rng) -> Base {
+    if rng.bool() {
+        Base::Reg(reg(rng))
+    } else {
+        Base::Sym(SymId::new(rng.range(0, i64::from(SymId::MAX) + 1) as u16))
+    }
 }
 
-fn perm_kind() -> impl Strategy<Value = PermKind> {
-    prop_oneof![
-        prop::sample::select(vec![2u8, 4, 8, 16]).prop_map(|block| PermKind::Bfly { block }),
-        prop::sample::select(vec![2u8, 4, 8, 16]).prop_map(|block| PermKind::Rev { block }),
-        prop::sample::select(vec![2u8, 4, 8, 16]).prop_flat_map(|block| {
-            (1u8..block).prop_map(move |amt| PermKind::Rot { block, amt })
-        }),
-    ]
+fn operand2(rng: &mut Rng) -> Operand2 {
+    if rng.bool() {
+        Operand2::Reg(reg(rng))
+    } else {
+        Operand2::Imm(rng.range(i64::from(ALU_IMM_MIN), i64::from(ALU_IMM_MAX) + 1) as i32)
+    }
 }
 
-fn scalar_inst() -> impl Strategy<Value = ScalarInst> {
-    prop_oneof![
-        (cond(), reg(), MOV_IMM_MIN..=MOV_IMM_MAX)
-            .prop_map(|(cond, rd, imm)| ScalarInst::MovImm { cond, rd, imm }),
-        (cond(), reg(), reg()).prop_map(|(cond, rd, rm)| ScalarInst::Mov { cond, rd, rm }),
-        (
-            cond(),
-            prop::sample::select(AluOp::ALL.to_vec()),
-            reg(),
-            reg(),
-            operand2()
-        )
-            .prop_map(|(cond, op, rd, rn, op2)| ScalarInst::Alu {
-                cond,
-                op,
-                rd,
-                rn,
-                op2
-            }),
-        (reg(), operand2()).prop_map(|(rn, op2)| ScalarInst::Cmp { rn, op2 }),
-        (
-            prop::sample::select(FpOp::ALL.to_vec()),
-            freg(),
-            freg(),
-            freg()
-        )
-            .prop_map(|(op, fd, fn_, fm)| ScalarInst::FAlu { op, fd, fn_, fm }),
-        (cond(), freg(), freg()).prop_map(|(cond, fd, fm)| ScalarInst::FMov { cond, fd, fm }),
-        (
-            prop::sample::select(MemWidth::ALL.to_vec()),
-            any::<bool>(),
-            reg(),
-            base(),
-            reg()
-        )
-            .prop_map(|(width, signed, rd, base, index)| ScalarInst::LdInt {
-                width,
-                signed,
-                rd,
-                base,
-                index
-            }),
-        (
-            prop::sample::select(MemWidth::ALL.to_vec()),
-            reg(),
-            base(),
-            reg()
-        )
-            .prop_map(|(width, rs, base, index)| ScalarInst::StInt {
-                width,
-                rs,
-                base,
-                index
-            }),
-        (freg(), base(), reg()).prop_map(|(fd, base, index)| ScalarInst::LdF { fd, base, index }),
-        (freg(), base(), reg()).prop_map(|(fs, base, index)| ScalarInst::StF { fs, base, index }),
-        Just(ScalarInst::Ret),
-        Just(ScalarInst::Halt),
-        Just(ScalarInst::Nop),
-    ]
+fn perm_kind(rng: &mut Rng) -> PermKind {
+    let block = rng.pick(&[2u8, 4, 8, 16]);
+    match rng.index(3) {
+        0 => PermKind::Bfly { block },
+        1 => PermKind::Rev { block },
+        _ => PermKind::Rot {
+            block,
+            amt: rng.range(1, i64::from(block)) as u8,
+        },
+    }
 }
 
-fn valu_with_elem() -> impl Strategy<Value = (VAluOp, ElemType)> {
-    (prop::sample::select(VAluOp::ALL.to_vec()), elem())
-        .prop_filter("valid op/elem", |(op, e)| op.valid_for(*e))
+fn scalar_inst(rng: &mut Rng) -> ScalarInst {
+    match rng.index(13) {
+        0 => ScalarInst::MovImm {
+            cond: cond(rng),
+            rd: reg(rng),
+            imm: rng.range(i64::from(MOV_IMM_MIN), i64::from(MOV_IMM_MAX) + 1) as i32,
+        },
+        1 => ScalarInst::Mov {
+            cond: cond(rng),
+            rd: reg(rng),
+            rm: reg(rng),
+        },
+        2 => ScalarInst::Alu {
+            cond: cond(rng),
+            op: rng.pick(&AluOp::ALL),
+            rd: reg(rng),
+            rn: reg(rng),
+            op2: operand2(rng),
+        },
+        3 => ScalarInst::Cmp {
+            rn: reg(rng),
+            op2: operand2(rng),
+        },
+        4 => ScalarInst::FAlu {
+            op: rng.pick(&FpOp::ALL),
+            fd: freg(rng),
+            fn_: freg(rng),
+            fm: freg(rng),
+        },
+        5 => ScalarInst::FMov {
+            cond: cond(rng),
+            fd: freg(rng),
+            fm: freg(rng),
+        },
+        6 => ScalarInst::LdInt {
+            width: rng.pick(&MemWidth::ALL),
+            signed: rng.bool(),
+            rd: reg(rng),
+            base: base(rng),
+            index: reg(rng),
+        },
+        7 => ScalarInst::StInt {
+            width: rng.pick(&MemWidth::ALL),
+            rs: reg(rng),
+            base: base(rng),
+            index: reg(rng),
+        },
+        8 => ScalarInst::LdF {
+            fd: freg(rng),
+            base: base(rng),
+            index: reg(rng),
+        },
+        9 => ScalarInst::StF {
+            fs: freg(rng),
+            base: base(rng),
+            index: reg(rng),
+        },
+        10 => ScalarInst::Ret,
+        11 => ScalarInst::Halt,
+        _ => ScalarInst::Nop,
+    }
 }
 
-fn vector_inst() -> impl Strategy<Value = VectorInst> {
-    prop_oneof![
-        (elem(), any::<bool>(), vreg(), base(), reg()).prop_map(
-            |(elem, signed, vd, base, index)| VectorInst::VLd {
-                elem,
-                signed,
-                vd,
-                base,
-                index
-            }
-        ),
-        (elem(), vreg(), base(), reg()).prop_map(|(elem, vs, base, index)| VectorInst::VSt {
-            elem,
-            vs,
-            base,
-            index
-        }),
-        (valu_with_elem(), vreg(), vreg(), vreg()).prop_map(|((op, elem), vd, vn, vm)| {
+fn valu_with_elem(rng: &mut Rng) -> (VAluOp, ElemType) {
+    loop {
+        let op = rng.pick(&VAluOp::ALL);
+        let e = elem(rng);
+        if op.valid_for(e) {
+            return (op, e);
+        }
+    }
+}
+
+fn vector_inst(rng: &mut Rng) -> VectorInst {
+    match rng.index(10) {
+        0 => VectorInst::VLd {
+            elem: elem(rng),
+            signed: rng.bool(),
+            vd: vreg(rng),
+            base: base(rng),
+            index: reg(rng),
+        },
+        1 => VectorInst::VSt {
+            elem: elem(rng),
+            vs: vreg(rng),
+            base: base(rng),
+            index: reg(rng),
+        },
+        2 => {
+            let (op, elem) = valu_with_elem(rng);
             VectorInst::VAlu {
                 op,
                 elem,
-                vd,
-                vn,
-                vm,
+                vd: vreg(rng),
+                vn: vreg(rng),
+                vm: vreg(rng),
             }
-        }),
-        (valu_with_elem(), vreg(), vreg(), VALU_IMM_MIN..=VALU_IMM_MAX).prop_map(
-            |((op, elem), vd, vn, imm)| VectorInst::VAluImm {
+        }
+        3 => {
+            let (op, elem) = valu_with_elem(rng);
+            VectorInst::VAluImm {
                 op,
                 elem,
-                vd,
-                vn,
-                imm
+                vd: vreg(rng),
+                vn: vreg(rng),
+                imm: rng.range(i64::from(VALU_IMM_MIN), i64::from(VALU_IMM_MAX) + 1) as i32,
             }
-        ),
-        (valu_with_elem(), vreg(), vreg(), 0u16..512).prop_map(
-            |((op, elem), vd, vn, sym)| VectorInst::VAluConst {
+        }
+        4 => {
+            let (op, elem) = valu_with_elem(rng);
+            VectorInst::VAluConst {
                 op,
                 elem,
-                vd,
-                vn,
-                cnst: SymId::new(sym)
+                vd: vreg(rng),
+                vn: vreg(rng),
+                cnst: SymId::new(rng.range(0, 512) as u16),
             }
-        ),
-        (
-            valu_with_elem(),
-            vreg(),
-            vreg(),
-            prop_oneof![reg().prop_map(ScalarSrc::R), freg().prop_map(ScalarSrc::F)]
-        )
-            .prop_map(|((op, elem), vd, vn, src)| VectorInst::VAluScalar {
+        }
+        5 => {
+            let (op, elem) = valu_with_elem(rng);
+            VectorInst::VAluScalar {
                 op,
                 elem,
-                vd,
-                vn,
-                src
-            }),
-        (
-            prop::sample::select(RedOp::ALL.to_vec()),
-            prop::sample::select(vec![ElemType::I8, ElemType::I16, ElemType::I32]),
-            reg(),
-            vreg()
-        )
-            .prop_map(|(op, elem, rd, vn)| VectorInst::VRedI { op, elem, rd, vn }),
-        (prop::sample::select(RedOp::ALL.to_vec()), freg(), vreg())
-            .prop_map(|(op, fd, vn)| VectorInst::VRedF { op, fd, vn }),
-        (perm_kind(), elem(), vreg(), vreg())
-            .prop_map(|(kind, elem, vd, vn)| VectorInst::VPerm { kind, elem, vd, vn }),
-        (elem(), vreg(), -(1 << 16)..(1i32 << 16) - 1)
-            .prop_map(|(elem, vd, imm)| VectorInst::VSplat { elem, vd, imm }),
-    ]
+                vd: vreg(rng),
+                vn: vreg(rng),
+                src: if rng.bool() {
+                    ScalarSrc::R(reg(rng))
+                } else {
+                    ScalarSrc::F(freg(rng))
+                },
+            }
+        }
+        6 => VectorInst::VRedI {
+            op: rng.pick(&RedOp::ALL),
+            elem: rng.pick(&[ElemType::I8, ElemType::I16, ElemType::I32]),
+            rd: reg(rng),
+            vn: vreg(rng),
+        },
+        7 => VectorInst::VRedF {
+            op: rng.pick(&RedOp::ALL),
+            fd: freg(rng),
+            vn: vreg(rng),
+        },
+        8 => VectorInst::VPerm {
+            kind: perm_kind(rng),
+            elem: elem(rng),
+            vd: vreg(rng),
+            vn: vreg(rng),
+        },
+        _ => VectorInst::VSplat {
+            elem: elem(rng),
+            vd: vreg(rng),
+            imm: rng.range(-(1 << 16), 1 << 16) as i32,
+        },
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(2048))]
-
-    #[test]
-    fn scalar_encoding_roundtrips(inst in scalar_inst(), pc in 0u32..100_000) {
-        let i = Inst::S(inst);
+#[test]
+fn scalar_encoding_roundtrips() {
+    let mut rng = Rng::new(0x5CA1);
+    for case in 0..CASES {
+        let i = Inst::S(scalar_inst(&mut rng));
+        let pc = rng.range(0, 100_000) as u32;
         let word = encode(&i, pc).expect("encodes");
         let back = decode(word, pc).expect("decodes");
-        prop_assert_eq!(back, i);
+        assert_eq!(back, i, "case {case} at pc {pc}");
     }
+}
 
-    #[test]
-    fn vector_encoding_roundtrips(inst in vector_inst(), pc in 0u32..100_000) {
-        let i = Inst::V(inst);
+#[test]
+fn vector_encoding_roundtrips() {
+    let mut rng = Rng::new(0x7EC7);
+    for case in 0..CASES {
+        let i = Inst::V(vector_inst(&mut rng));
+        let pc = rng.range(0, 100_000) as u32;
         let word = encode(&i, pc).expect("encodes");
         let back = decode(word, pc).expect("decodes");
-        prop_assert_eq!(back, i);
+        assert_eq!(back, i, "case {case} at pc {pc}");
     }
+}
 
-    #[test]
-    fn branches_roundtrip_with_relative_offsets(pc in 0u32..1_000_000, delta in -100_000i64..100_000) {
+#[test]
+fn branches_roundtrip_with_relative_offsets() {
+    let mut rng = Rng::new(0xB4A9);
+    let mut cases = 0;
+    while cases < CASES {
+        let pc = rng.range(0, 1_000_000) as u32;
+        let delta = rng.range(-100_000, 100_000);
         let target = i64::from(pc) + delta;
-        prop_assume!(target >= 0);
-        let i = Inst::S(ScalarInst::B { cond: Cond::Lt, target: target as u32 });
+        if target < 0 {
+            continue;
+        }
+        cases += 1;
+        let i = Inst::S(ScalarInst::B {
+            cond: Cond::Lt,
+            target: target as u32,
+        });
         let word = encode(&i, pc).expect("encodes");
-        prop_assert_eq!(decode(word, pc).expect("decodes"), i);
-        let c = Inst::S(ScalarInst::Bl { target: target as u32, vectorizable: delta % 2 == 0 });
+        assert_eq!(decode(word, pc).expect("decodes"), i);
+        let c = Inst::S(ScalarInst::Bl {
+            target: target as u32,
+            vectorizable: delta % 2 == 0,
+        });
         let word = encode(&c, pc).expect("encodes");
-        prop_assert_eq!(decode(word, pc).expect("decodes"), c);
+        assert_eq!(decode(word, pc).expect("decodes"), c);
     }
+}
 
-    #[test]
-    fn decode_never_panics_on_garbage(word in any::<u32>(), pc in 0u32..1_000_000) {
+#[test]
+fn decode_never_panics_on_garbage() {
+    let mut rng = Rng::new(0xDEAD);
+    for _ in 0..CASES * 4 {
+        let word = rng.next() as u32;
+        let pc = rng.range(0, 1_000_000) as u32;
         let _ = decode(word, pc); // must return Ok or Err, never panic
     }
+}
 
-    /// Text round-trip: random (straight-line) programs survive
-    /// disassemble → assemble intact.
-    #[test]
-    fn assembler_roundtrips_programs(insts in prop::collection::vec(
-        prop_oneof![scalar_inst().prop_map(Inst::S), vector_inst().prop_map(Inst::V)],
-        1..40,
-    )) {
+/// Text round-trip: random (straight-line) programs survive
+/// disassemble → assemble intact.
+#[test]
+fn assembler_roundtrips_programs() {
+    let mut rng = Rng::new(0xA53B);
+    for case in 0..CASES / 8 {
+        let len = rng.range(1, 40) as usize;
+        let insts: Vec<Inst> = (0..len)
+            .map(|_| {
+                if rng.bool() {
+                    Inst::S(scalar_inst(&mut rng))
+                } else {
+                    Inst::V(vector_inst(&mut rng))
+                }
+            })
+            .collect();
+
         let mut b = ProgramBuilder::new();
         // Enough symbols for every possible SymId reference below 512 would
         // be wasteful; instead, remap symbol references into a small table.
@@ -250,20 +354,77 @@ proptest! {
         };
         for inst in &insts {
             let inst = match *inst {
-                Inst::S(ScalarInst::LdInt { width, signed, rd, base, index }) =>
-                    Inst::S(ScalarInst::LdInt { width, signed, rd, base: fix_base(base), index }),
-                Inst::S(ScalarInst::StInt { width, rs, base, index }) =>
-                    Inst::S(ScalarInst::StInt { width, rs, base: fix_base(base), index }),
-                Inst::S(ScalarInst::LdF { fd, base, index }) =>
-                    Inst::S(ScalarInst::LdF { fd, base: fix_base(base), index }),
-                Inst::S(ScalarInst::StF { fs, base, index }) =>
-                    Inst::S(ScalarInst::StF { fs, base: fix_base(base), index }),
-                Inst::V(VectorInst::VLd { elem, signed, vd, base, index }) =>
-                    Inst::V(VectorInst::VLd { elem, signed, vd, base: fix_base(base), index }),
-                Inst::V(VectorInst::VSt { elem, vs, base, index }) =>
-                    Inst::V(VectorInst::VSt { elem, vs, base: fix_base(base), index }),
-                Inst::V(VectorInst::VAluConst { op, elem, vd, vn, cnst }) =>
-                    Inst::V(VectorInst::VAluConst { op, elem, vd, vn, cnst: fixup_sym(cnst) }),
+                Inst::S(ScalarInst::LdInt {
+                    width,
+                    signed,
+                    rd,
+                    base,
+                    index,
+                }) => Inst::S(ScalarInst::LdInt {
+                    width,
+                    signed,
+                    rd,
+                    base: fix_base(base),
+                    index,
+                }),
+                Inst::S(ScalarInst::StInt {
+                    width,
+                    rs,
+                    base,
+                    index,
+                }) => Inst::S(ScalarInst::StInt {
+                    width,
+                    rs,
+                    base: fix_base(base),
+                    index,
+                }),
+                Inst::S(ScalarInst::LdF { fd, base, index }) => Inst::S(ScalarInst::LdF {
+                    fd,
+                    base: fix_base(base),
+                    index,
+                }),
+                Inst::S(ScalarInst::StF { fs, base, index }) => Inst::S(ScalarInst::StF {
+                    fs,
+                    base: fix_base(base),
+                    index,
+                }),
+                Inst::V(VectorInst::VLd {
+                    elem,
+                    signed,
+                    vd,
+                    base,
+                    index,
+                }) => Inst::V(VectorInst::VLd {
+                    elem,
+                    signed,
+                    vd,
+                    base: fix_base(base),
+                    index,
+                }),
+                Inst::V(VectorInst::VSt {
+                    elem,
+                    vs,
+                    base,
+                    index,
+                }) => Inst::V(VectorInst::VSt {
+                    elem,
+                    vs,
+                    base: fix_base(base),
+                    index,
+                }),
+                Inst::V(VectorInst::VAluConst {
+                    op,
+                    elem,
+                    vd,
+                    vn,
+                    cnst,
+                }) => Inst::V(VectorInst::VAluConst {
+                    op,
+                    elem,
+                    vd,
+                    vn,
+                    cnst: fixup_sym(cnst),
+                }),
                 // `ret`/`halt` would be fine, but keep the program shape
                 // trivially valid by dropping nothing.
                 other => other,
@@ -274,7 +435,7 @@ proptest! {
         let p = b.finish().expect("valid program");
         let text = p.disassemble();
         let p2 = asm::assemble(&text)
-            .unwrap_or_else(|e| panic!("reassembly failed: {e}\n{text}"));
-        prop_assert_eq!(&p.code, &p2.code, "text:\n{}", text);
+            .unwrap_or_else(|e| panic!("case {case}: reassembly failed: {e}\n{text}"));
+        assert_eq!(&p.code, &p2.code, "case {case} text:\n{text}");
     }
 }

@@ -2,6 +2,8 @@
 
 use std::fmt;
 
+use liquid_simd_trace::{CacheKind, TraceEvent, Tracer};
+
 /// Geometry and latency of one cache.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct CacheConfig {
@@ -110,6 +112,9 @@ pub struct Cache {
     ways: Vec<Way>,
     tick: u64,
     stats: CacheStats,
+    /// Optional event recorder; set with [`Cache::attach_tracer`]. Without
+    /// it, the access path pays one branch.
+    tracer: Option<(Tracer, CacheKind)>,
 }
 
 impl Cache {
@@ -123,7 +128,14 @@ impl Cache {
             ways: vec![Way::default(); (sets * config.ways) as usize],
             tick: 0,
             stats: CacheStats::default(),
+            tracer: None,
         }
+    }
+
+    /// Attaches a tracer; every miss then emits a
+    /// [`TraceEvent::CacheMiss`] tagged with `kind`.
+    pub fn attach_tracer(&mut self, tracer: Tracer, kind: CacheKind) {
+        self.tracer = Some((tracer, kind));
     }
 
     /// The configuration this cache was built with.
@@ -165,6 +177,9 @@ impl Cache {
             return true;
         }
         // Miss: fill into the invalid or least-recently-used way.
+        if let Some((tracer, kind)) = &self.tracer {
+            tracer.emit(TraceEvent::CacheMiss { cache: *kind, addr });
+        }
         let victim = ways
             .iter_mut()
             .min_by_key(|w| if w.valid { w.last_use } else { 0 })

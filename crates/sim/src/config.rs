@@ -1,6 +1,7 @@
 //! Machine configuration.
 
 use liquid_simd_mem::CacheConfig;
+use liquid_simd_trace::Tracer;
 
 /// Functional-unit and structural latencies, in cycles.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -76,7 +77,11 @@ impl Default for TranslationConfig {
 }
 
 /// Full machine configuration.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+///
+/// Equality compares the architectural parameters only; the attached
+/// [`MachineConfig::tracer`] is an observer and never affects behaviour,
+/// so two configs that differ only in tracing compare equal.
+#[derive(Clone, Debug)]
 pub struct MachineConfig {
     /// SIMD accelerator width in lanes; `0` means no accelerator (vector
     /// instructions fault, translation is pointless).
@@ -100,6 +105,25 @@ pub struct MachineConfig {
     /// Raise an external translator abort every this many retired
     /// instructions (simulated interrupts; `0` disables).
     pub interrupt_every: u64,
+    /// Optional event recorder threaded through every component. `None`
+    /// (the default) costs one branch per emit site and changes no
+    /// simulated timing.
+    pub tracer: Option<Tracer>,
+}
+
+impl PartialEq for MachineConfig {
+    fn eq(&self, other: &MachineConfig) -> bool {
+        self.lanes == other.lanes
+            && self.icache == other.icache
+            && self.dcache == other.dcache
+            && self.lat == other.lat
+            && self.mcache_entries == other.mcache_entries
+            && self.mcache_uops == other.mcache_uops
+            && self.translation == other.translation
+            && self.mem_headroom == other.mem_headroom
+            && self.max_cycles == other.max_cycles
+            && self.interrupt_every == other.interrupt_every
+    }
 }
 
 impl Default for MachineConfig {
@@ -115,6 +139,7 @@ impl Default for MachineConfig {
             mem_headroom: 4096,
             max_cycles: 10_000_000_000,
             interrupt_every: 0,
+            tracer: None,
         }
     }
 }
@@ -156,6 +181,14 @@ impl MachineConfig {
             },
             ..MachineConfig::default()
         }
+    }
+
+    /// Attaches a tracer (builder style): the machine and every component
+    /// under it will record dynamic events into it.
+    #[must_use]
+    pub fn with_tracer(mut self, tracer: Tracer) -> MachineConfig {
+        self.tracer = Some(tracer);
+        self
     }
 }
 

@@ -3,9 +3,7 @@
 use std::error::Error;
 use std::fmt;
 
-use liquid_simd_isa::{
-    Base, ElemType, Inst, Operand2, Program, RedOp, ScalarInst, VectorInst,
-};
+use liquid_simd_isa::{Base, ElemType, Inst, Operand2, Program, RedOp, ScalarInst, VectorInst};
 use liquid_simd_mem::{MemError, Memory};
 
 use crate::regfile::RegFile;
@@ -380,7 +378,12 @@ fn exec_vector(
                 regs.v[vd.index() as usize][i] = op.eval_lane(elem, a, broadcast);
             }
         }
-        VectorInst::VRedI { op, elem: _, rd, vn } => {
+        VectorInst::VRedI {
+            op,
+            elem: _,
+            rd,
+            vn,
+        } => {
             let mut acc = regs.r[rd.index() as usize] as i32;
             for i in 0..lanes {
                 let lane = regs.v[vn.index() as usize][i] as i32;
@@ -405,14 +408,17 @@ fn exec_vector(
             }
             regs.set_f32(fd.index(), acc);
         }
-        VectorInst::VPerm { kind, elem: _, vd, vn } => {
+        VectorInst::VPerm {
+            kind,
+            elem: _,
+            vd,
+            vn,
+        } => {
             let block = kind.block() as usize;
-            if block > lanes || lanes % block != 0 {
+            if block > lanes || !lanes.is_multiple_of(block) {
                 return Err(SimError::Fault {
                     pc,
-                    what: format!(
-                        "permutation block {block} not executable at {lanes} lanes"
-                    ),
+                    what: format!("permutation block {block} not executable at {lanes} lanes"),
                 });
             }
             let src = regs.v[vn.index() as usize].clone();
@@ -582,7 +588,12 @@ mod tests {
         assert_eq!(regs.r[1], 5);
 
         regs.set_f32(2, 1.0);
-        regs.v[4] = vec![2.0f32.to_bits(), 3.0f32.to_bits(), 4.0f32.to_bits(), 5.0f32.to_bits()];
+        regs.v[4] = vec![
+            2.0f32.to_bits(),
+            3.0f32.to_bits(),
+            4.0f32.to_bits(),
+            5.0f32.to_bits(),
+        ];
         let vsum = Inst::V(VectorInst::VRedF {
             op: RedOp::Sum,
             fd: FReg::F2,

@@ -3,10 +3,9 @@
 
 use std::collections::HashSet;
 
-use liquid_simd_isa::{
-    Cond, ElemType, FpOp, Inst, Program, ScalarInst, VAluOp, VectorInst,
-};
+use liquid_simd_isa::{Cond, ElemType, FpOp, Inst, Program, ScalarInst, VAluOp, VectorInst};
 use liquid_simd_mem::{Cache, Memory};
+use liquid_simd_trace::{CacheKind, CallMode as TraceCallMode, TraceEvent, Tracer};
 use liquid_simd_translator::{Progress, Retired, Translator, TranslatorConfig};
 
 use crate::config::MachineConfig;
@@ -57,6 +56,12 @@ pub struct Machine<'p> {
     ready_flags: u64,
     stream: Stream,
     report: RunReport,
+    /// Optional event recorder (cloned from the config; the same handle is
+    /// attached to the caches and the translator).
+    tracer: Option<Tracer>,
+    /// Entry PCs of scalar calls in flight, for matching `CallExit` events.
+    /// Only maintained when a tracer is attached.
+    scalar_calls: Vec<u32>,
 }
 
 impl<'p> Machine<'p> {
@@ -76,14 +81,23 @@ impl<'p> Machine<'p> {
             value_bits: config.translation.value_bits,
             hw_value_limit: config.translation.hw_value_limit,
         };
+        let tracer = config.tracer.clone();
+        let mut icache = Cache::new(config.icache);
+        let mut dcache = Cache::new(config.dcache);
+        let mut translator = Translator::new(tconfig);
+        if let Some(t) = &tracer {
+            icache.attach_tracer(t.clone(), CacheKind::Instruction);
+            dcache.attach_tracer(t.clone(), CacheKind::Data);
+            translator.attach_tracer(t.clone());
+        }
         Machine {
             prog,
             regs: RegFile::new(config.lanes.max(1)),
             mem,
-            icache: Cache::new(config.icache),
-            dcache: Cache::new(config.dcache),
+            icache,
+            dcache,
             mcache: Mcache::new(config.mcache_entries, config.mcache_uops),
-            translator: Translator::new(tconfig),
+            translator,
             translating: None,
             failed: HashSet::new(),
             cycle: 0,
@@ -93,6 +107,8 @@ impl<'p> Machine<'p> {
             ready_flags: 0,
             stream: Stream::Prog { pc: prog.entry },
             report: RunReport::default(),
+            tracer,
+            scalar_calls: Vec::new(),
             config,
         }
     }
@@ -117,7 +133,21 @@ impl<'p> Machine<'p> {
     /// from a prior run of the same binary.
     pub fn preload_microcode(&mut self, entries: &[(u32, Vec<liquid_simd_isa::Inst>)]) {
         for (pc, code) in entries {
-            self.mcache.insert(*pc, code.clone(), 0);
+            let _ = self.mcache.insert(*pc, code.clone(), 0);
+        }
+    }
+
+    /// Invalidates the whole microcode cache and aborts any in-flight
+    /// translation — the paper's context-switch behaviour (§4.1: microcode
+    /// is not architectural state and is simply dropped).
+    pub fn flush_microcode(&mut self) {
+        let entries = self.mcache.flush();
+        self.translator.abort_external("context-switch");
+        self.translating = None;
+        if let Some(t) = &self.tracer {
+            t.emit(TraceEvent::McacheInvalidate {
+                entries: entries as u64,
+            });
         }
     }
 
@@ -165,6 +195,9 @@ impl<'p> Machine<'p> {
     /// Executes one instruction; returns `true` on halt.
     #[allow(clippy::too_many_lines)]
     fn step(&mut self) -> Result<bool, SimError> {
+        if let Some(t) = &self.tracer {
+            t.set_now(self.cycle);
+        }
         // ---- fetch -------------------------------------------------------
         let (inst, pc, in_micro) = match self.stream {
             Stream::Prog { pc } => {
@@ -257,9 +290,24 @@ impl<'p> Machine<'p> {
         } else {
             self.report.scalar_retired += 1;
         }
+        if let Some(t) = &self.tracer {
+            t.set_now(self.cycle);
+            t.emit(TraceEvent::InstrRetired {
+                pc,
+                vector: inst.is_vector(),
+            });
+        }
         if self.config.interrupt_every > 0
-            && self.report.retired % self.config.interrupt_every == 0
+            && self
+                .report
+                .retired
+                .is_multiple_of(self.config.interrupt_every)
         {
+            if let Some(t) = &self.tracer {
+                t.emit(TraceEvent::InterruptInjected {
+                    retired: self.report.retired,
+                });
+            }
             self.translator.abort_external("interrupt");
         }
 
@@ -286,14 +334,21 @@ impl<'p> Machine<'p> {
                             self.cycle + work * self.config.translation.cycles_per_instr
                         };
                         self.report.translations.push((tr.func_pc, tr.code.len()));
-                        self.mcache.insert(tr.func_pc, tr.code, valid_at);
+                        let uops = tr.code.len() as u64;
+                        let evicted = self.mcache.insert(tr.func_pc, tr.code, valid_at);
+                        if let Some(t) = &self.tracer {
+                            if let Some(victim) = evicted {
+                                t.emit(TraceEvent::McacheEvict { func_pc: victim });
+                            }
+                            t.emit(TraceEvent::McacheInsert {
+                                func_pc: tr.func_pc,
+                                uops,
+                            });
+                        }
                         self.translating = None;
                     }
                     Progress::Aborted(reason) => {
-                        if !matches!(
-                            reason,
-                            liquid_simd_translator::AbortReason::External { .. }
-                        ) {
+                        if !matches!(reason, liquid_simd_translator::AbortReason::External { .. }) {
                             // Deterministic failure: don't retry every call.
                             // (External aborts — interrupts — retry later.)
                             if let Some(f) = self.translating_target() {
@@ -331,7 +386,13 @@ impl<'p> Machine<'p> {
                 self.handle_call(pc, target, vectorizable)?;
             }
             Control::Return => match self.stream {
-                Stream::Micro { ret_pc, .. } => {
+                Stream::Micro { idx, ret_pc, .. } => {
+                    if let Some(t) = &self.tracer {
+                        t.emit(TraceEvent::CallExit {
+                            target: self.mcache.func_pc(idx),
+                            mode: TraceCallMode::Simd,
+                        });
+                    }
                     self.stream = Stream::Prog { pc: ret_pc };
                 }
                 Stream::Prog { .. } => {
@@ -341,6 +402,14 @@ impl<'p> Machine<'p> {
                             pc,
                             what: format!("return to wild address @{ret}"),
                         });
+                    }
+                    if let Some(t) = &self.tracer {
+                        if let Some(target) = self.scalar_calls.pop() {
+                            t.emit(TraceEvent::CallExit {
+                                target,
+                                mode: TraceCallMode::Scalar,
+                            });
+                        }
                     }
                     self.stream = Stream::Prog { pc: ret };
                 }
@@ -369,7 +438,15 @@ impl<'p> Machine<'p> {
             && !self.failed.contains(&target);
         let mut mode = CallMode::Scalar;
         if candidate {
-            match self.mcache.lookup(target, self.cycle) {
+            let lookup = self.mcache.lookup(target, self.cycle);
+            if let Some(t) = &self.tracer {
+                t.emit(match lookup {
+                    Lookup::Hit(_) => TraceEvent::McacheHit { func_pc: target },
+                    Lookup::Pending => TraceEvent::McachePending { func_pc: target },
+                    Lookup::Miss => TraceEvent::McacheMiss { func_pc: target },
+                });
+            }
+            match lookup {
                 Lookup::Hit(idx) => {
                     mode = CallMode::Microcode;
                     self.report.calls.push(CallEvent {
@@ -377,6 +454,12 @@ impl<'p> Machine<'p> {
                         cycle: self.cycle,
                         mode,
                     });
+                    if let Some(t) = &self.tracer {
+                        t.emit(TraceEvent::CallEnter {
+                            target,
+                            mode: TraceCallMode::Simd,
+                        });
+                    }
                     self.stream = Stream::Micro {
                         idx,
                         pos: 0,
@@ -398,6 +481,13 @@ impl<'p> Machine<'p> {
             cycle: self.cycle,
             mode,
         });
+        if let Some(t) = &self.tracer {
+            t.emit(TraceEvent::CallEnter {
+                target,
+                mode: TraceCallMode::Scalar,
+            });
+            self.scalar_calls.push(target);
+        }
         self.stream = Stream::Prog { pc: target };
         Ok(())
     }
@@ -405,7 +495,7 @@ impl<'p> Machine<'p> {
     fn latency_of(&self, inst: &Inst) -> u32 {
         let lat = &self.config.lat;
         let lanes = self.config.lanes.max(2);
-        let tree = (usize::BITS - (lanes - 1).leading_zeros()) as u32; // ceil(log2)
+        let tree = usize::BITS - (lanes - 1).leading_zeros(); // ceil(log2)
         match inst {
             Inst::S(s) => match s {
                 ScalarInst::Alu {

@@ -102,13 +102,20 @@ impl Mcache {
         &self.entries[idx].code
     }
 
-    /// Inserts translated microcode, evicting the LRU entry if full.
+    /// The function entry PC of entry `idx` (from [`Lookup::Hit`]).
+    #[must_use]
+    pub fn func_pc(&self, idx: usize) -> u32 {
+        self.entries[idx].func_pc
+    }
+
+    /// Inserts translated microcode, evicting the LRU entry if full;
+    /// returns the evicted function's entry PC, if any.
     ///
     /// # Panics
     ///
     /// Panics if `code` exceeds the per-entry capacity (the translator's
     /// buffer enforces the same limit, so this indicates a logic error).
-    pub fn insert(&mut self, func_pc: u32, code: Vec<Inst>, valid_at: u64) {
+    pub fn insert(&mut self, func_pc: u32, code: Vec<Inst>, valid_at: u64) -> Option<u32> {
         assert!(
             code.len() <= self.max_uops,
             "microcode of {} uops exceeds entry capacity {}",
@@ -121,8 +128,9 @@ impl Mcache {
             e.code = code;
             e.valid_at = valid_at;
             e.last_use = self.tick;
-            return;
+            return None;
         }
+        let mut evicted = None;
         if self.entries.len() == self.capacity {
             let lru = self
                 .entries
@@ -131,7 +139,7 @@ impl Mcache {
                 .min_by_key(|(_, e)| e.last_use)
                 .map(|(i, _)| i)
                 .expect("capacity > 0");
-            self.entries.swap_remove(lru);
+            evicted = Some(self.entries.swap_remove(lru).func_pc);
             self.stats.evictions += 1;
         }
         self.entries.push(Entry {
@@ -140,6 +148,7 @@ impl Mcache {
             valid_at,
             last_use: self.tick,
         });
+        evicted
     }
 
     /// Number of resident entries.
@@ -154,9 +163,12 @@ impl Mcache {
         self.entries.is_empty()
     }
 
-    /// Invalidates everything (context switch).
-    pub fn flush(&mut self) {
+    /// Invalidates everything (context switch); returns how many entries
+    /// were resident.
+    pub fn flush(&mut self) -> usize {
+        let n = self.entries.len();
         self.entries.clear();
+        n
     }
 
     /// Snapshots the resident microcode: `(function pc, code)` pairs. Used

@@ -78,15 +78,13 @@ impl RunReport {
     /// Fraction of calls to `target` serviced by microcode.
     #[must_use]
     pub fn microcode_fraction(&self, target: u32) -> f64 {
-        let (total, micro) = self.calls.iter().filter(|c| c.target == target).fold(
-            (0u64, 0u64),
-            |(t, m), c| {
-                (
-                    t + 1,
-                    m + u64::from(c.mode == CallMode::Microcode),
-                )
-            },
-        );
+        let (total, micro) = self
+            .calls
+            .iter()
+            .filter(|c| c.target == target)
+            .fold((0u64, 0u64), |(t, m), c| {
+                (t + 1, m + u64::from(c.mode == CallMode::Microcode))
+            });
         if total == 0 {
             0.0
         } else {
@@ -101,24 +99,26 @@ mod tests {
 
     #[test]
     fn call_gap_and_fraction() {
-        let mut r = RunReport::default();
-        r.calls = vec![
-            CallEvent {
-                target: 5,
-                cycle: 100,
-                mode: CallMode::Scalar,
-            },
-            CallEvent {
-                target: 9,
-                cycle: 200,
-                mode: CallMode::Scalar,
-            },
-            CallEvent {
-                target: 5,
-                cycle: 450,
-                mode: CallMode::Microcode,
-            },
-        ];
+        let r = RunReport {
+            calls: vec![
+                CallEvent {
+                    target: 5,
+                    cycle: 100,
+                    mode: CallMode::Scalar,
+                },
+                CallEvent {
+                    target: 9,
+                    cycle: 200,
+                    mode: CallMode::Scalar,
+                },
+                CallEvent {
+                    target: 5,
+                    cycle: 450,
+                    mode: CallMode::Microcode,
+                },
+            ],
+            ..RunReport::default()
+        };
         assert_eq!(r.first_call_gap(5), Some(350));
         assert_eq!(r.first_call_gap(9), None);
         assert_eq!(r.call_targets(), vec![5, 9]);

@@ -55,7 +55,11 @@ fn translation_produces_identical_memory() {
 
     // The first call runs scalar (translating); later calls hit microcode.
     assert_eq!(liquid_report.translator.successes, 1);
-    assert!(liquid_report.mcache.hits >= 4, "mcache hits: {:?}", liquid_report.mcache);
+    assert!(
+        liquid_report.mcache.hits >= 4,
+        "mcache hits: {:?}",
+        liquid_report.mcache
+    );
     assert!(liquid_report.vector_retired > 0);
     assert!(
         liquid_report.cycles < scalar_report.cycles,
@@ -169,8 +173,7 @@ top:
     let mut m = Machine::new(&p, MachineConfig::liquid(4));
     let report = m.run().unwrap();
     assert_eq!(
-        report.translator.successes,
-        1,
+        report.translator.successes, 1,
         "aborts: {:?}",
         report.translator.aborts
     );
@@ -209,7 +212,13 @@ fn interrupts_abort_translation_externally() {
     // External aborts retry on later calls; depending on spacing some
     // translation may eventually finish, but at least one abort happened.
     assert!(
-        report.translator.aborts.get("external").copied().unwrap_or(0) >= 1,
+        report
+            .translator
+            .aborts
+            .get("external")
+            .copied()
+            .unwrap_or(0)
+            >= 1,
         "aborts: {:?}",
         report.translator.aborts
     );

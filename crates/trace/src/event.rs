@@ -1,0 +1,281 @@
+//! The dynamic-event schema of the pipeline.
+//!
+//! Every observable moment of a Liquid SIMD run is one [`TraceEvent`]: the
+//! pipeline retiring an instruction, an outlined call entering or leaving,
+//! the post-retirement translator making progress or aborting, microcode
+//! cache residency changing, memory misses, interrupt injection. Events are
+//! plain data — no references back into the simulator — so recorded traces
+//! outlive the machine that produced them.
+
+/// How an outlined-function call was serviced.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CallMode {
+    /// Executed the scalar fallback body.
+    Scalar,
+    /// Executed translated SIMD microcode.
+    Simd,
+}
+
+impl CallMode {
+    /// Stable lowercase name.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            CallMode::Scalar => "scalar",
+            CallMode::Simd => "simd",
+        }
+    }
+}
+
+/// Which hardware cache an event refers to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CacheKind {
+    /// The instruction cache.
+    Instruction,
+    /// The data cache.
+    Data,
+}
+
+impl CacheKind {
+    /// Stable lowercase name.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            CacheKind::Instruction => "icache",
+            CacheKind::Data => "dcache",
+        }
+    }
+}
+
+/// The subsystem an event belongs to — one Chrome-trace track each.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Track {
+    /// Fetch/execute/retire and call handling.
+    Pipeline,
+    /// The post-retirement dynamic translator.
+    Translator,
+    /// The microcode cache.
+    Mcache,
+    /// The I/D cache hierarchy.
+    Memory,
+}
+
+impl Track {
+    /// Stable display name.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Track::Pipeline => "pipeline",
+            Track::Translator => "translator",
+            Track::Mcache => "mcache",
+            Track::Memory => "memory",
+        }
+    }
+
+    /// Chrome-trace thread id for this track.
+    #[must_use]
+    pub fn tid(self) -> u32 {
+        match self {
+            Track::Pipeline => 1,
+            Track::Translator => 2,
+            Track::Mcache => 3,
+            Track::Memory => 4,
+        }
+    }
+
+    /// All tracks, in tid order.
+    pub const ALL: [Track; 4] = [
+        Track::Pipeline,
+        Track::Translator,
+        Track::Mcache,
+        Track::Memory,
+    ];
+}
+
+/// One dynamic event in the pipeline's lifecycle.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// An instruction retired. High-volume: recorded in the ring buffer only
+    /// when [`TraceConfig::instructions`](crate::TraceConfig::instructions)
+    /// is set, but always tallied.
+    InstrRetired {
+        /// Code index (program stream) or microcode position.
+        pc: u32,
+        /// Whether the instruction was a vector operation.
+        vector: bool,
+    },
+    /// An outlined (or plain) function call entered.
+    CallEnter {
+        /// Callee entry PC.
+        target: u32,
+        /// How the call is serviced.
+        mode: CallMode,
+    },
+    /// A call returned to its caller.
+    CallExit {
+        /// Callee entry PC.
+        target: u32,
+        /// How the call was serviced.
+        mode: CallMode,
+    },
+    /// The translator started shadowing an outlined function.
+    TranslationBegin {
+        /// Entry PC of the function under translation.
+        func_pc: u32,
+    },
+    /// The translator observed another slice of the retired stream.
+    /// Recorded in the ring buffer only when
+    /// [`TraceConfig::progress`](crate::TraceConfig::progress) is set.
+    TranslationProgress {
+        /// Entry PC of the function under translation.
+        func_pc: u32,
+        /// Dynamic instructions observed so far in this attempt.
+        observed: u64,
+    },
+    /// A translation finished and its microcode was handed to the cache.
+    TranslationCommit {
+        /// Entry PC of the translated function.
+        func_pc: u32,
+        /// Microcode instructions produced.
+        uops: u64,
+        /// Dynamic scalar instructions observed during translation.
+        dynamic_instrs: u64,
+    },
+    /// A translation attempt was abandoned; scalar code remains the
+    /// fallback.
+    TranslationAbort {
+        /// Entry PC of the function whose translation aborted.
+        func_pc: u32,
+        /// Stable reason tag (matches `AbortReason::tag()` in the
+        /// translator crate).
+        reason: &'static str,
+    },
+    /// A microcode-cache lookup found ready microcode.
+    McacheHit {
+        /// Looked-up function entry PC.
+        func_pc: u32,
+    },
+    /// A microcode-cache lookup found nothing.
+    McacheMiss {
+        /// Looked-up function entry PC.
+        func_pc: u32,
+    },
+    /// A microcode-cache lookup found an entry still being written
+    /// (translation latency not yet elapsed).
+    McachePending {
+        /// Looked-up function entry PC.
+        func_pc: u32,
+    },
+    /// Microcode was inserted into the cache.
+    McacheInsert {
+        /// Function entry PC of the new entry.
+        func_pc: u32,
+        /// Microcode length in instructions.
+        uops: u64,
+    },
+    /// A resident entry was evicted to make room.
+    McacheEvict {
+        /// Function entry PC of the victim.
+        func_pc: u32,
+    },
+    /// The whole microcode cache was invalidated (context switch).
+    McacheInvalidate {
+        /// Entries that were resident.
+        entries: u64,
+    },
+    /// An I- or D-cache miss.
+    CacheMiss {
+        /// Which cache missed.
+        cache: CacheKind,
+        /// The missing byte address.
+        addr: u32,
+    },
+    /// A simulated interrupt was injected (externally aborts any in-flight
+    /// translation).
+    InterruptInjected {
+        /// Instructions retired when the interrupt fired.
+        retired: u64,
+    },
+}
+
+impl TraceEvent {
+    /// Stable kebab-case kind tag, used for tallies and export.
+    #[must_use]
+    pub fn kind(&self) -> &'static str {
+        match self {
+            TraceEvent::InstrRetired { .. } => "instr-retired",
+            TraceEvent::CallEnter { .. } => "call-enter",
+            TraceEvent::CallExit { .. } => "call-exit",
+            TraceEvent::TranslationBegin { .. } => "translation-begin",
+            TraceEvent::TranslationProgress { .. } => "translation-progress",
+            TraceEvent::TranslationCommit { .. } => "translation-commit",
+            TraceEvent::TranslationAbort { .. } => "translation-abort",
+            TraceEvent::McacheHit { .. } => "mcache-hit",
+            TraceEvent::McacheMiss { .. } => "mcache-miss",
+            TraceEvent::McachePending { .. } => "mcache-pending",
+            TraceEvent::McacheInsert { .. } => "mcache-insert",
+            TraceEvent::McacheEvict { .. } => "mcache-evict",
+            TraceEvent::McacheInvalidate { .. } => "mcache-invalidate",
+            TraceEvent::CacheMiss { .. } => "cache-miss",
+            TraceEvent::InterruptInjected { .. } => "interrupt",
+        }
+    }
+
+    /// The subsystem track this event renders on.
+    #[must_use]
+    pub fn track(&self) -> Track {
+        match self {
+            TraceEvent::InstrRetired { .. }
+            | TraceEvent::CallEnter { .. }
+            | TraceEvent::CallExit { .. }
+            | TraceEvent::InterruptInjected { .. } => Track::Pipeline,
+            TraceEvent::TranslationBegin { .. }
+            | TraceEvent::TranslationProgress { .. }
+            | TraceEvent::TranslationCommit { .. }
+            | TraceEvent::TranslationAbort { .. } => Track::Translator,
+            TraceEvent::McacheHit { .. }
+            | TraceEvent::McacheMiss { .. }
+            | TraceEvent::McachePending { .. }
+            | TraceEvent::McacheInsert { .. }
+            | TraceEvent::McacheEvict { .. }
+            | TraceEvent::McacheInvalidate { .. } => Track::Mcache,
+            TraceEvent::CacheMiss { .. } => Track::Memory,
+        }
+    }
+}
+
+/// A recorded event: sequence number, cycle stamp, payload.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TraceRecord {
+    /// Monotonic emission index (gap-free across ring-buffer drops).
+    pub seq: u64,
+    /// Machine cycle at emission.
+    pub cycle: u64,
+    /// The event itself.
+    pub event: TraceEvent,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds_and_tracks_are_stable() {
+        let e = TraceEvent::TranslationAbort {
+            func_pc: 3,
+            reason: "cam-miss",
+        };
+        assert_eq!(e.kind(), "translation-abort");
+        assert_eq!(e.track(), Track::Translator);
+        assert_eq!(
+            TraceEvent::CacheMiss {
+                cache: CacheKind::Data,
+                addr: 64
+            }
+            .track(),
+            Track::Memory
+        );
+        assert_eq!(CallMode::Simd.as_str(), "simd");
+        assert_eq!(Track::Mcache.tid(), 3);
+    }
+}

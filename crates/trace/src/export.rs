@@ -1,0 +1,248 @@
+//! Exporters: JSON-lines, Chrome trace-event format, and a human-readable
+//! summary. All JSON is hand-rolled (the crate has no dependencies); the
+//! emitted values are numbers and escaped strings only.
+
+use std::fmt::Write as _;
+
+use crate::event::{TraceEvent, TraceRecord, Track};
+use crate::tracer::Tracer;
+
+/// Escapes a string for inclusion in a JSON string literal.
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// The event-specific payload fields as JSON key/value text, e.g.
+/// `"func_pc":12,"reason":"cam-miss"`.
+fn payload(event: &TraceEvent) -> String {
+    match event {
+        TraceEvent::InstrRetired { pc, vector } => {
+            format!("\"pc\":{pc},\"vector\":{vector}")
+        }
+        TraceEvent::CallEnter { target, mode } | TraceEvent::CallExit { target, mode } => {
+            format!("\"target\":{target},\"mode\":\"{}\"", mode.as_str())
+        }
+        TraceEvent::TranslationBegin { func_pc } => format!("\"func_pc\":{func_pc}"),
+        TraceEvent::TranslationProgress { func_pc, observed } => {
+            format!("\"func_pc\":{func_pc},\"observed\":{observed}")
+        }
+        TraceEvent::TranslationCommit {
+            func_pc,
+            uops,
+            dynamic_instrs,
+        } => format!("\"func_pc\":{func_pc},\"uops\":{uops},\"dynamic_instrs\":{dynamic_instrs}"),
+        TraceEvent::TranslationAbort { func_pc, reason } => {
+            format!("\"func_pc\":{func_pc},\"reason\":\"{}\"", escape(reason))
+        }
+        TraceEvent::McacheHit { func_pc }
+        | TraceEvent::McacheMiss { func_pc }
+        | TraceEvent::McachePending { func_pc }
+        | TraceEvent::McacheEvict { func_pc } => format!("\"func_pc\":{func_pc}"),
+        TraceEvent::McacheInsert { func_pc, uops } => {
+            format!("\"func_pc\":{func_pc},\"uops\":{uops}")
+        }
+        TraceEvent::McacheInvalidate { entries } => format!("\"entries\":{entries}"),
+        TraceEvent::CacheMiss { cache, addr } => {
+            format!("\"cache\":\"{}\",\"addr\":{addr}", cache.as_str())
+        }
+        TraceEvent::InterruptInjected { retired } => format!("\"retired\":{retired}"),
+    }
+}
+
+/// Renders records as JSON-lines: one object per line with `seq`, `cycle`,
+/// `kind`, `track`, and the event's payload fields inline.
+#[must_use]
+pub fn json_lines(records: &[TraceRecord]) -> String {
+    let mut out = String::new();
+    for r in records {
+        let _ = writeln!(
+            out,
+            "{{\"seq\":{},\"cycle\":{},\"kind\":\"{}\",\"track\":\"{}\",{}}}",
+            r.seq,
+            r.cycle,
+            r.event.kind(),
+            r.event.track().as_str(),
+            payload(&r.event)
+        );
+    }
+    out
+}
+
+/// A short human label for an event, used as the Chrome-trace `name`.
+fn chrome_name(event: &TraceEvent) -> String {
+    match event {
+        TraceEvent::CallEnter { target, mode } | TraceEvent::CallExit { target, mode } => {
+            format!("call@{target} ({})", mode.as_str())
+        }
+        TraceEvent::TranslationBegin { func_pc }
+        | TraceEvent::TranslationProgress { func_pc, .. }
+        | TraceEvent::TranslationCommit { func_pc, .. }
+        | TraceEvent::TranslationAbort { func_pc, .. } => format!("translate@{func_pc}"),
+        other => other.kind().to_string(),
+    }
+}
+
+/// Renders records in Chrome trace-event format (`chrome://tracing`,
+/// Perfetto). Cycles map to microseconds one-to-one. Durations are emitted
+/// as `B`/`E` pairs: call enter→exit on the pipeline track and translation
+/// begin→commit/abort on the translator track; everything else is an
+/// instant. Each subsystem gets its own named thread track.
+#[must_use]
+pub fn chrome_trace(records: &[TraceRecord]) -> String {
+    let mut events: Vec<String> = Vec::with_capacity(records.len() + 8);
+    events.push(
+        "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,\
+         \"args\":{\"name\":\"liquid-simd\"}}"
+            .to_string(),
+    );
+    for track in Track::ALL {
+        events.push(format!(
+            "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":{},\
+             \"args\":{{\"name\":\"{}\"}}}}",
+            track.tid(),
+            track.as_str()
+        ));
+    }
+    for r in records {
+        let ph = match &r.event {
+            TraceEvent::CallEnter { .. } | TraceEvent::TranslationBegin { .. } => "B",
+            TraceEvent::CallExit { .. }
+            | TraceEvent::TranslationCommit { .. }
+            | TraceEvent::TranslationAbort { .. } => "E",
+            _ => "i",
+        };
+        let scope = if ph == "i" { ",\"s\":\"t\"" } else { "" };
+        events.push(format!(
+            "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"{ph}\"{scope},\"ts\":{},\
+             \"pid\":1,\"tid\":{},\"args\":{{{}}}}}",
+            escape(&chrome_name(&r.event)),
+            r.event.kind(),
+            r.cycle,
+            r.event.track().tid(),
+            payload(&r.event)
+        ));
+    }
+    let mut out = String::from("{\"traceEvents\":[\n");
+    out.push_str(&events.join(",\n"));
+    out.push_str("\n]}\n");
+    out
+}
+
+/// Renders a human-readable summary of everything the tracer recorded:
+/// buffered/dropped record counts, per-kind event tallies, counters, and
+/// histograms.
+#[must_use]
+pub fn summary(tracer: &Tracer) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "trace: {} events emitted, {} buffered, {} dropped (last cycle {})",
+        tracer.emitted(),
+        tracer.len(),
+        tracer.dropped(),
+        tracer.now()
+    );
+    let kinds = tracer.kind_counts();
+    if !kinds.is_empty() {
+        let _ = writeln!(out, "events:");
+        for (kind, n) in &kinds {
+            let _ = writeln!(out, "  {kind:<22} {n}");
+        }
+    }
+    let metrics = tracer.metrics();
+    if !metrics.counters().is_empty() {
+        let _ = writeln!(out, "counters:");
+        for (name, n) in metrics.counters() {
+            let _ = writeln!(out, "  {name:<30} {n}");
+        }
+    }
+    if !metrics.histograms().is_empty() {
+        let _ = writeln!(out, "histograms:");
+        for (name, h) in metrics.histograms() {
+            let _ = writeln!(out, "  {name:<30} {h}");
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{CallMode, TraceEvent};
+    use crate::tracer::Tracer;
+
+    fn sample_records() -> Vec<TraceRecord> {
+        let t = Tracer::new();
+        t.set_now(10);
+        t.emit(TraceEvent::CallEnter {
+            target: 8,
+            mode: CallMode::Scalar,
+        });
+        t.emit(TraceEvent::TranslationBegin { func_pc: 8 });
+        t.set_now(40);
+        t.emit(TraceEvent::TranslationCommit {
+            func_pc: 8,
+            uops: 5,
+            dynamic_instrs: 64,
+        });
+        t.set_now(41);
+        t.emit(TraceEvent::CallExit {
+            target: 8,
+            mode: CallMode::Scalar,
+        });
+        t.records()
+    }
+
+    #[test]
+    fn json_lines_one_object_per_line() {
+        let text = json_lines(&sample_records());
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with('{') && lines[0].ends_with('}'));
+        assert!(lines[0].contains("\"kind\":\"call-enter\""));
+        assert!(lines[2].contains("\"uops\":5"));
+    }
+
+    #[test]
+    fn chrome_trace_has_pairs_and_metadata() {
+        let text = chrome_trace(&sample_records());
+        assert!(text.starts_with("{\"traceEvents\":["));
+        assert!(text.contains("\"thread_name\""));
+        assert!(text.contains("\"ph\":\"B\""));
+        assert!(text.contains("\"ph\":\"E\""));
+        // Balanced B/E per track in this simple case.
+        let b = text.matches("\"ph\":\"B\"").count();
+        let e = text.matches("\"ph\":\"E\"").count();
+        assert_eq!(b, e);
+    }
+
+    #[test]
+    fn summary_lists_tallies_and_metrics() {
+        let t = Tracer::new();
+        t.emit(TraceEvent::McacheHit { func_pc: 4 });
+        t.emit(TraceEvent::McacheHit { func_pc: 4 });
+        let text = summary(&t);
+        assert!(text.contains("mcache-hit"));
+        assert!(text.contains("mcache.hit"));
+        assert!(text.contains("2 events emitted"));
+    }
+
+    #[test]
+    fn escape_handles_specials() {
+        assert_eq!(escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+    }
+}

@@ -1,0 +1,52 @@
+//! Unified tracing and metrics for the Liquid SIMD pipeline.
+//!
+//! The simulator's correctness story (and the paper's argument) is built on
+//! *dynamic* events: the post-retirement translator shadowing a retired
+//! stream, translations committing or aborting, microcode-cache residency
+//! changing, early calls of a loop still running scalar while translation
+//! races them. This crate gives every component a shared, dependency-free
+//! way to record those moments:
+//!
+//! * [`TraceEvent`] — the event schema, from instruction retire to
+//!   interrupt injection, each tagged with a subsystem [`Track`].
+//! * [`Tracer`] — a cheaply cloneable handle over a bounded ring-buffer
+//!   recorder plus per-kind tallies. A machine built *without* a tracer
+//!   pays only a branch per emit site.
+//! * [`Metrics`] — named counters and fixed-bucket [`Histogram`]s
+//!   (translation latency, cycles between calls, abort-reason tallies),
+//!   maintained by the tracer as events stream through it.
+//! * [`export`] — JSON-lines, Chrome trace-event format (one track per
+//!   subsystem, loadable in Perfetto / `chrome://tracing`), and a
+//!   human-readable summary.
+//!
+//! ```
+//! use liquid_simd_trace::{CallMode, TraceEvent, Tracer};
+//!
+//! let tracer = Tracer::new();
+//! tracer.set_now(120);
+//! tracer.emit(TraceEvent::CallEnter { target: 8, mode: CallMode::Scalar });
+//! tracer.emit(TraceEvent::TranslationBegin { func_pc: 8 });
+//! tracer.set_now(450);
+//! tracer.emit(TraceEvent::TranslationCommit {
+//!     func_pc: 8,
+//!     uops: 9,
+//!     dynamic_instrs: 130,
+//! });
+//! assert_eq!(tracer.kind_count("translation-commit"), 1);
+//! let lat = tracer.metrics();
+//! let lat = lat.histogram("translation.latency.cycles").unwrap();
+//! assert_eq!(lat.max(), 330);
+//! println!("{}", liquid_simd_trace::export::summary(&tracer));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod event;
+pub mod export;
+pub mod metrics;
+pub mod tracer;
+
+pub use event::{CacheKind, CallMode, TraceEvent, TraceRecord, Track};
+pub use metrics::{Histogram, Metrics};
+pub use tracer::{TraceConfig, Tracer, DEFAULT_CAPACITY};

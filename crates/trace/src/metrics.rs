@@ -1,0 +1,249 @@
+//! A lightweight metrics registry: named counters and fixed-bucket
+//! histograms. No background threads, no atomics — the simulator is
+//! single-threaded and metrics are read after (or between) runs.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A fixed-bucket histogram over `u64` samples.
+///
+/// `bounds` are inclusive upper edges; a sample lands in the first bucket
+/// whose bound is `>= sample`, or in the implicit overflow bucket. The
+/// bucket layout is fixed at construction — recording never allocates.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Histogram {
+    bounds: Vec<u64>,
+    counts: Vec<u64>,
+    count: u64,
+    sum: u64,
+    max: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram with the given inclusive upper bucket edges
+    /// (must be strictly increasing).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bounds` is empty or not strictly increasing.
+    #[must_use]
+    pub fn new(bounds: &[u64]) -> Histogram {
+        assert!(!bounds.is_empty(), "histogram needs at least one bound");
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must be strictly increasing"
+        );
+        Histogram {
+            bounds: bounds.to_vec(),
+            counts: vec![0; bounds.len() + 1],
+            count: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+
+    /// Records one sample.
+    pub fn observe(&mut self, sample: u64) {
+        let idx = self
+            .bounds
+            .iter()
+            .position(|&b| sample <= b)
+            .unwrap_or(self.bounds.len());
+        self.counts[idx] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(sample);
+        self.max = self.max.max(sample);
+    }
+
+    /// Total samples recorded.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples (saturating).
+    #[must_use]
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Largest sample seen.
+    #[must_use]
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Arithmetic mean, or 0 with no samples.
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// The inclusive upper edges.
+    #[must_use]
+    pub fn bounds(&self) -> &[u64] {
+        &self.bounds
+    }
+
+    /// Per-bucket counts; one longer than [`Histogram::bounds`] (the last
+    /// entry is the overflow bucket).
+    #[must_use]
+    pub fn bucket_counts(&self) -> &[u64] {
+        &self.counts
+    }
+}
+
+impl fmt::Display for Histogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "n={} mean={:.1} max={}",
+            self.count,
+            self.mean(),
+            self.max
+        )?;
+        let mut prev = 0u64;
+        for (i, &b) in self.bounds.iter().enumerate() {
+            if self.counts[i] > 0 {
+                write!(f, " [{prev}..{b}]:{}", self.counts[i])?;
+            }
+            prev = b + 1;
+        }
+        if self.counts[self.bounds.len()] > 0 {
+            write!(f, " [{prev}..]:{}", self.counts[self.bounds.len()])?;
+        }
+        Ok(())
+    }
+}
+
+/// A registry of counters and histograms keyed by dotted names
+/// (`"mcache.hit"`, `"translation.latency.cycles"`).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Metrics {
+    counters: BTreeMap<String, u64>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+impl Metrics {
+    /// Creates an empty registry.
+    #[must_use]
+    pub fn new() -> Metrics {
+        Metrics::default()
+    }
+
+    /// Adds `n` to counter `name`, creating it at zero first if needed.
+    pub fn add(&mut self, name: &str, n: u64) {
+        if let Some(c) = self.counters.get_mut(name) {
+            *c += n;
+        } else {
+            self.counters.insert(name.to_string(), n);
+        }
+    }
+
+    /// Reads counter `name` (0 when absent).
+    #[must_use]
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// All counters, sorted by name.
+    #[must_use]
+    pub fn counters(&self) -> &BTreeMap<String, u64> {
+        &self.counters
+    }
+
+    /// Registers a histogram with the given bucket edges if absent.
+    pub fn register_histogram(&mut self, name: &str, bounds: &[u64]) {
+        self.histograms
+            .entry(name.to_string())
+            .or_insert_with(|| Histogram::new(bounds));
+    }
+
+    /// Records a sample into histogram `name`, registering it with the
+    /// given default bounds on first use.
+    pub fn observe(&mut self, name: &str, sample: u64, default_bounds: &[u64]) {
+        self.register_histogram(name, default_bounds);
+        self.histograms
+            .get_mut(name)
+            .expect("registered above")
+            .observe(sample);
+    }
+
+    /// Reads a histogram by name.
+    #[must_use]
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
+    /// All histograms, sorted by name.
+    #[must_use]
+    pub fn histograms(&self) -> &BTreeMap<String, Histogram> {
+        &self.histograms
+    }
+
+    /// Counters whose name starts with `prefix`, with the prefix stripped.
+    /// Useful for abort-reason tallies (`metrics.with_prefix("translator.abort.")`).
+    #[must_use]
+    pub fn with_prefix(&self, prefix: &str) -> BTreeMap<String, u64> {
+        self.counters
+            .iter()
+            .filter_map(|(k, &v)| k.strip_prefix(prefix).map(|rest| (rest.to_string(), v)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_and_stats() {
+        let mut h = Histogram::new(&[10, 100, 1000]);
+        for s in [5, 10, 11, 99, 5000] {
+            h.observe(s);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.bucket_counts(), &[2, 2, 0, 1]);
+        assert_eq!(h.max(), 5000);
+        assert!((h.mean() - 1025.0).abs() < 1e-9);
+        let text = h.to_string();
+        assert!(text.contains("n=5"));
+        assert!(text.contains("[0..10]:2"));
+        assert!(text.contains("[1001..]:1"));
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn unsorted_bounds_panic() {
+        let _ = Histogram::new(&[10, 10]);
+    }
+
+    #[test]
+    fn counters_and_prefixes() {
+        let mut m = Metrics::new();
+        m.add("translator.abort.cam-miss", 2);
+        m.add("translator.abort.no-loop", 1);
+        m.add("translator.abort.cam-miss", 1);
+        m.add("mcache.hit", 7);
+        assert_eq!(m.counter("translator.abort.cam-miss"), 3);
+        assert_eq!(m.counter("missing"), 0);
+        let aborts = m.with_prefix("translator.abort.");
+        assert_eq!(aborts.len(), 2);
+        assert_eq!(aborts["cam-miss"], 3);
+        assert_eq!(aborts["no-loop"], 1);
+    }
+
+    #[test]
+    fn observe_registers_on_first_use() {
+        let mut m = Metrics::new();
+        m.observe("lat", 42, &[10, 100]);
+        m.observe("lat", 7, &[1]); // bounds ignored after registration
+        let h = m.histogram("lat").unwrap();
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.bounds(), &[10, 100]);
+    }
+}

@@ -1,0 +1,408 @@
+//! The [`Tracer`]: a cheaply cloneable recording handle shared by every
+//! pipeline component.
+//!
+//! The simulator is single-threaded, so the handle is `Rc<RefCell<..>>`;
+//! cloning it hands the same underlying recorder to the caches, the
+//! translator, and the machine. The clock owner (the machine) stamps the
+//! shared `now` each step; emitters never need to know the cycle.
+//!
+//! A machine constructed *without* a tracer pays exactly one branch per
+//! emit site — no event is constructed, no clock is stamped.
+
+use std::cell::RefCell;
+use std::collections::{BTreeMap, VecDeque};
+use std::fmt;
+use std::rc::Rc;
+
+use crate::event::{TraceEvent, TraceRecord};
+use crate::metrics::Metrics;
+
+/// Default ring-buffer capacity (records).
+pub const DEFAULT_CAPACITY: usize = 1 << 16;
+
+/// Bucket edges for translation latency in cycles (begin → commit).
+const LATENCY_BOUNDS: [u64; 7] = [10, 30, 100, 300, 1_000, 3_000, 10_000];
+/// Bucket edges for microcode length in instructions.
+const UOPS_BOUNDS: [u64; 5] = [4, 8, 16, 32, 64];
+/// Bucket edges for cycles between consecutive calls of the same target
+/// (the paper's Table 6 buckets, extended).
+const CALL_GAP_BOUNDS: [u64; 5] = [150, 300, 1_000, 10_000, 100_000];
+
+/// Recorder configuration.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TraceConfig {
+    /// Ring-buffer capacity in records; the oldest records are dropped
+    /// (and counted) once full.
+    pub capacity: usize,
+    /// Record per-instruction retire events in the ring buffer. Off by
+    /// default — they are high-volume; tallies are kept either way.
+    pub instructions: bool,
+    /// Record per-instruction translation-progress events in the ring
+    /// buffer. On by default (translation windows are short).
+    pub progress: bool,
+}
+
+impl Default for TraceConfig {
+    fn default() -> TraceConfig {
+        TraceConfig {
+            capacity: DEFAULT_CAPACITY,
+            instructions: false,
+            progress: true,
+        }
+    }
+}
+
+struct Inner {
+    config: TraceConfig,
+    now: u64,
+    seq: u64,
+    ring: VecDeque<TraceRecord>,
+    dropped: u64,
+    /// Per-kind tallies, independent of ring capacity: these never disagree
+    /// with the subsystem aggregate counters even after ring drops.
+    kind_counts: BTreeMap<&'static str, u64>,
+    metrics: Metrics,
+    /// Begin cycle of the in-flight translation per function, for latency.
+    translation_begin: BTreeMap<u32, u64>,
+    /// Last call-enter cycle per target, for call-gap histograms.
+    last_call: BTreeMap<u32, u64>,
+}
+
+/// The shared tracing handle. Clone freely — all clones record into the
+/// same buffer and registry.
+#[derive(Clone)]
+pub struct Tracer {
+    inner: Rc<RefCell<Inner>>,
+}
+
+impl Default for Tracer {
+    fn default() -> Tracer {
+        Tracer::new()
+    }
+}
+
+impl fmt::Debug for Tracer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let inner = self.inner.borrow();
+        f.debug_struct("Tracer")
+            .field("now", &inner.now)
+            .field("recorded", &inner.seq)
+            .field("buffered", &inner.ring.len())
+            .field("dropped", &inner.dropped)
+            .finish()
+    }
+}
+
+impl Tracer {
+    /// Creates a tracer with the default configuration.
+    #[must_use]
+    pub fn new() -> Tracer {
+        Tracer::with_config(TraceConfig::default())
+    }
+
+    /// Creates a tracer with an explicit configuration.
+    #[must_use]
+    pub fn with_config(config: TraceConfig) -> Tracer {
+        Tracer {
+            inner: Rc::new(RefCell::new(Inner {
+                config,
+                now: 0,
+                seq: 0,
+                ring: VecDeque::with_capacity(config.capacity.min(4096)),
+                dropped: 0,
+                kind_counts: BTreeMap::new(),
+                metrics: Metrics::new(),
+                translation_begin: BTreeMap::new(),
+                last_call: BTreeMap::new(),
+            })),
+        }
+    }
+
+    /// Stamps the shared clock; subsequent emissions carry this cycle.
+    /// Called by whoever owns machine time (the simulator's step loop).
+    pub fn set_now(&self, cycle: u64) {
+        self.inner.borrow_mut().now = cycle;
+    }
+
+    /// The current clock stamp.
+    #[must_use]
+    pub fn now(&self) -> u64 {
+        self.inner.borrow().now
+    }
+
+    /// Records one event at the current clock, updating tallies and
+    /// derived metrics.
+    pub fn emit(&self, event: TraceEvent) {
+        let mut inner = self.inner.borrow_mut();
+        let now = inner.now;
+        let kind = event.kind();
+        *inner.kind_counts.entry(kind).or_insert(0) += 1;
+
+        // Derived metrics.
+        match &event {
+            TraceEvent::CallEnter { target, mode } => {
+                inner.metrics.add("calls.total", 1);
+                let name = format!("calls.{}", mode.as_str());
+                inner.metrics.add(&name, 1);
+                if let Some(prev) = inner.last_call.insert(*target, now) {
+                    inner
+                        .metrics
+                        .observe("call.gap.cycles", now - prev, &CALL_GAP_BOUNDS);
+                }
+            }
+            TraceEvent::TranslationBegin { func_pc } => {
+                inner.metrics.add("translation.attempts", 1);
+                inner.translation_begin.insert(*func_pc, now);
+            }
+            TraceEvent::TranslationCommit { func_pc, uops, .. } => {
+                inner.metrics.add("translation.commits", 1);
+                inner
+                    .metrics
+                    .observe("translation.uops", *uops, &UOPS_BOUNDS);
+                if let Some(begin) = inner.translation_begin.remove(func_pc) {
+                    inner.metrics.observe(
+                        "translation.latency.cycles",
+                        now - begin,
+                        &LATENCY_BOUNDS,
+                    );
+                }
+            }
+            TraceEvent::TranslationAbort { func_pc, reason } => {
+                let name = format!("translator.abort.{reason}");
+                inner.metrics.add(&name, 1);
+                inner.translation_begin.remove(func_pc);
+            }
+            TraceEvent::McacheHit { .. } => inner.metrics.add("mcache.hit", 1),
+            TraceEvent::McacheMiss { .. } => inner.metrics.add("mcache.miss", 1),
+            TraceEvent::McachePending { .. } => inner.metrics.add("mcache.pending", 1),
+            TraceEvent::McacheInsert { .. } => inner.metrics.add("mcache.insert", 1),
+            TraceEvent::McacheEvict { .. } => inner.metrics.add("mcache.evict", 1),
+            TraceEvent::McacheInvalidate { .. } => inner.metrics.add("mcache.invalidate", 1),
+            TraceEvent::CacheMiss { cache, .. } => {
+                let name = format!("{}.miss", cache.as_str());
+                inner.metrics.add(&name, 1);
+            }
+            TraceEvent::InstrRetired { vector, .. } => {
+                inner.metrics.add("instr.retired", 1);
+                if *vector {
+                    inner.metrics.add("instr.vector", 1);
+                }
+            }
+            TraceEvent::InterruptInjected { .. } => inner.metrics.add("interrupts", 1),
+            TraceEvent::CallExit { .. } | TraceEvent::TranslationProgress { .. } => {}
+        }
+
+        // Ring-buffer admission (high-volume kinds are gated).
+        let admit = match &event {
+            TraceEvent::InstrRetired { .. } => inner.config.instructions,
+            TraceEvent::TranslationProgress { .. } => inner.config.progress,
+            _ => true,
+        };
+        let seq = inner.seq;
+        inner.seq += 1;
+        if admit {
+            if inner.ring.len() == inner.config.capacity {
+                inner.ring.pop_front();
+                inner.dropped += 1;
+            }
+            inner.ring.push_back(TraceRecord {
+                seq,
+                cycle: now,
+                event,
+            });
+        }
+    }
+
+    /// Snapshot of the buffered records, oldest first.
+    #[must_use]
+    pub fn records(&self) -> Vec<TraceRecord> {
+        self.inner.borrow().ring.iter().cloned().collect()
+    }
+
+    /// Records currently buffered.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.inner.borrow().ring.len()
+    }
+
+    /// Whether nothing is buffered.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.inner.borrow().ring.is_empty()
+    }
+
+    /// Records dropped from the ring buffer (capacity pressure).
+    #[must_use]
+    pub fn dropped(&self) -> u64 {
+        self.inner.borrow().dropped
+    }
+
+    /// Total events emitted (buffered or not).
+    #[must_use]
+    pub fn emitted(&self) -> u64 {
+        self.inner.borrow().seq
+    }
+
+    /// How many events of `kind` were emitted — unaffected by ring drops
+    /// or admission gating, so these tallies can be compared against the
+    /// subsystem aggregate counters.
+    #[must_use]
+    pub fn kind_count(&self, kind: &str) -> u64 {
+        self.inner
+            .borrow()
+            .kind_counts
+            .get(kind)
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// All per-kind tallies.
+    #[must_use]
+    pub fn kind_counts(&self) -> BTreeMap<&'static str, u64> {
+        self.inner.borrow().kind_counts.clone()
+    }
+
+    /// A snapshot of the metrics registry.
+    #[must_use]
+    pub fn metrics(&self) -> Metrics {
+        self.inner.borrow().metrics.clone()
+    }
+
+    /// The recorder configuration.
+    #[must_use]
+    pub fn config(&self) -> TraceConfig {
+        self.inner.borrow().config
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{CacheKind, CallMode};
+
+    #[test]
+    fn clock_stamps_and_sequences() {
+        let t = Tracer::new();
+        t.set_now(10);
+        t.emit(TraceEvent::McacheMiss { func_pc: 5 });
+        t.set_now(99);
+        t.emit(TraceEvent::McacheInsert {
+            func_pc: 5,
+            uops: 7,
+        });
+        let r = t.records();
+        assert_eq!(r.len(), 2);
+        assert_eq!((r[0].seq, r[0].cycle), (0, 10));
+        assert_eq!((r[1].seq, r[1].cycle), (1, 99));
+    }
+
+    #[test]
+    fn ring_is_bounded_and_counts_drops() {
+        let t = Tracer::with_config(TraceConfig {
+            capacity: 4,
+            ..TraceConfig::default()
+        });
+        for pc in 0..10u32 {
+            t.emit(TraceEvent::McacheMiss { func_pc: pc });
+        }
+        assert_eq!(t.len(), 4);
+        assert_eq!(t.dropped(), 6);
+        assert_eq!(t.emitted(), 10);
+        // Tallies are unaffected by drops.
+        assert_eq!(t.kind_count("mcache-miss"), 10);
+        assert_eq!(t.metrics().counter("mcache.miss"), 10);
+        // The survivors are the newest records.
+        assert_eq!(t.records()[0].seq, 6);
+    }
+
+    #[test]
+    fn instruction_events_gated_but_tallied() {
+        let t = Tracer::new();
+        t.emit(TraceEvent::InstrRetired {
+            pc: 0,
+            vector: false,
+        });
+        assert!(t.is_empty());
+        assert_eq!(t.kind_count("instr-retired"), 1);
+        assert_eq!(t.metrics().counter("instr.retired"), 1);
+
+        let t = Tracer::with_config(TraceConfig {
+            instructions: true,
+            ..TraceConfig::default()
+        });
+        t.emit(TraceEvent::InstrRetired {
+            pc: 0,
+            vector: true,
+        });
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.metrics().counter("instr.vector"), 1);
+    }
+
+    #[test]
+    fn translation_latency_and_call_gap_metrics() {
+        let t = Tracer::new();
+        t.set_now(100);
+        t.emit(TraceEvent::CallEnter {
+            target: 7,
+            mode: CallMode::Scalar,
+        });
+        t.emit(TraceEvent::TranslationBegin { func_pc: 7 });
+        t.set_now(350);
+        t.emit(TraceEvent::TranslationCommit {
+            func_pc: 7,
+            uops: 9,
+            dynamic_instrs: 120,
+        });
+        t.set_now(400);
+        t.emit(TraceEvent::CallEnter {
+            target: 7,
+            mode: CallMode::Simd,
+        });
+        let m = t.metrics();
+        let lat = m.histogram("translation.latency.cycles").unwrap();
+        assert_eq!(lat.count(), 1);
+        assert_eq!(lat.max(), 250);
+        let gap = m.histogram("call.gap.cycles").unwrap();
+        assert_eq!(gap.max(), 300);
+        assert_eq!(m.counter("calls.total"), 2);
+        assert_eq!(m.counter("calls.simd"), 1);
+    }
+
+    #[test]
+    fn abort_tallies_by_reason() {
+        let t = Tracer::new();
+        t.emit(TraceEvent::TranslationBegin { func_pc: 1 });
+        t.emit(TraceEvent::TranslationAbort {
+            func_pc: 1,
+            reason: "cam-miss",
+        });
+        t.emit(TraceEvent::CacheMiss {
+            cache: CacheKind::Instruction,
+            addr: 4,
+        });
+        let m = t.metrics();
+        assert_eq!(m.counter("translator.abort.cam-miss"), 1);
+        assert_eq!(m.counter("icache.miss"), 1);
+        // A later commit for the same pc must not produce a bogus latency
+        // sample (the begin record was consumed by the abort).
+        t.emit(TraceEvent::TranslationCommit {
+            func_pc: 1,
+            uops: 3,
+            dynamic_instrs: 10,
+        });
+        assert!(t
+            .metrics()
+            .histogram("translation.latency.cycles")
+            .is_none());
+    }
+
+    #[test]
+    fn clones_share_the_recorder() {
+        let a = Tracer::new();
+        let b = a.clone();
+        a.set_now(5);
+        b.emit(TraceEvent::McacheHit { func_pc: 2 });
+        assert_eq!(a.len(), 1);
+        assert_eq!(a.records()[0].cycle, 5);
+    }
+}

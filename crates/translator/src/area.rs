@@ -120,8 +120,8 @@ impl SynthesisEstimate {
 /// Estimates synthesis results for a translator geometry.
 #[must_use]
 pub fn estimate(geom: &TranslatorGeometry) -> SynthesisEstimate {
-    let reg_bits = f64::from(bits_per_register(geom.lanes, geom.value_bits))
-        * f64::from(TRACKED_REGISTERS);
+    let reg_bits =
+        f64::from(bits_per_register(geom.lanes, geom.value_bits)) * f64::from(TRACKED_REGISTERS);
     let regstate_cells = reg_bits * REG_CELLS_PER_BIT;
 
     let buf_bits = geom.buffer_entries as f64 * f64::from(geom.uop_bits);
@@ -133,8 +133,7 @@ pub fn estimate(geom: &TranslatorGeometry) -> SynthesisEstimate {
     // One CAM entry per recognisable permutation pattern; each entry stores
     // `lanes` offsets of `value_bits` bits.
     let entries = PermKind::cam_entries(geom.lanes).len() as f64;
-    let cam_cells =
-        entries * geom.lanes as f64 * f64::from(geom.value_bits) * CAM_CELLS_PER_BIT;
+    let cam_cells = entries * geom.lanes as f64 * f64::from(geom.value_bits) * CAM_CELLS_PER_BIT;
 
     let logic_cells = DECODER_CELLS + LEGALITY_CELLS + OPGEN_CELLS;
 

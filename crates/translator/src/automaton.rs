@@ -16,14 +16,16 @@
 
 use liquid_simd_isa::{
     encode::{VALU_IMM_MAX, VALU_IMM_MIN},
-    AluOp, Base, Cond, ElemType, FpOp, Inst, MemWidth, Operand2, RedOp, Reg, ScalarInst,
-    ScalarSrc, VAluOp, VReg, VectorInst,
+    AluOp, Base, Cond, ElemType, FpOp, Inst, MemWidth, Operand2, RedOp, Reg, ScalarInst, ScalarSrc,
+    VAluOp, VReg, VectorInst,
 };
 
 /// Whether a constant fits the vector-immediate field.
 fn fits_valu_imm(value: i64) -> bool {
     i32::try_from(value).is_ok_and(|v| (VALU_IMM_MIN..=VALU_IMM_MAX).contains(&v))
 }
+
+use liquid_simd_trace::{TraceEvent, Tracer};
 
 use crate::buffer::{Slot, UopBuffer};
 use crate::event::Retired;
@@ -179,6 +181,7 @@ pub struct Translator {
     config: TranslatorConfig,
     stats: TranslatorStats,
     active: Option<Active>,
+    tracer: Option<Tracer>,
 }
 
 impl std::fmt::Debug for Translator {
@@ -199,7 +202,15 @@ impl Translator {
             config,
             stats: TranslatorStats::default(),
             active: None,
+            tracer: None,
         }
+    }
+
+    /// Attaches a tracer; every lifecycle transition (begin / progress /
+    /// commit / abort) then emits a matching [`TraceEvent`]. Without a
+    /// tracer each site pays one branch.
+    pub fn attach_tracer(&mut self, tracer: Tracer) {
+        self.tracer = Some(tracer);
     }
 
     /// The configured parameters.
@@ -234,6 +245,9 @@ impl Translator {
             "translator is single-threaded: finish or abort first"
         );
         self.stats.attempts += 1;
+        if let Some(tracer) = &self.tracer {
+            tracer.emit(TraceEvent::TranslationBegin { func_pc });
+        }
         self.active = Some(Active {
             func_pc,
             dynamic: 0,
@@ -251,9 +265,15 @@ impl Translator {
     /// Aborts any in-flight translation from outside (interrupt / context
     /// switch — the pipeline `Abort` input of paper Figure 5).
     pub fn abort_external(&mut self, what: &'static str) {
-        if self.active.take().is_some() {
+        if let Some(active) = self.active.take() {
             let reason = AbortReason::External { what };
             self.stats.record_abort(reason.tag());
+            if let Some(tracer) = &self.tracer {
+                tracer.emit(TraceEvent::TranslationAbort {
+                    func_pc: active.func_pc,
+                    reason: reason.tag(),
+                });
+            }
         }
     }
 
@@ -264,18 +284,38 @@ impl Translator {
         };
         active.dynamic += 1;
         self.stats.instrs_observed += 1;
+        let func_pc = active.func_pc;
         match step(&mut active, r, &self.config) {
             Ok(None) => {
+                if let Some(tracer) = &self.tracer {
+                    tracer.emit(TraceEvent::TranslationProgress {
+                        func_pc,
+                        observed: active.dynamic,
+                    });
+                }
                 self.active = Some(active);
                 Progress::Ongoing
             }
             Ok(Some(translation)) => {
                 self.stats.successes += 1;
                 self.stats.uops_emitted += translation.code.len() as u64;
+                if let Some(tracer) = &self.tracer {
+                    tracer.emit(TraceEvent::TranslationCommit {
+                        func_pc,
+                        uops: translation.code.len() as u64,
+                        dynamic_instrs: translation.dynamic_instrs,
+                    });
+                }
                 Progress::Finished(translation)
             }
             Err(reason) => {
                 self.stats.record_abort(reason.tag());
+                if let Some(tracer) = &self.tracer {
+                    tracer.emit(TraceEvent::TranslationAbort {
+                        func_pc,
+                        reason: reason.tag(),
+                    });
+                }
                 Progress::Aborted(reason)
             }
         }
@@ -315,9 +355,10 @@ fn step_collect(
                 return Err(AbortReason::NoLoop);
             }
             active.buffer.push(Slot::Fixed(Inst::S(ScalarInst::Ret)));
-            let code = active
-                .buffer
-                .materialize(&active.trackers, config.lanes, config.max_uops)?;
+            let code =
+                active
+                    .buffer
+                    .materialize(&active.trackers, config.lanes, config.max_uops)?;
             Ok(Some(Translation {
                 func_pc: active.func_pc,
                 code,
@@ -333,12 +374,11 @@ fn step_collect(
             }
             // Backward-taken branch: the loop's first iteration just ended.
             let events = take_events(active);
-            let split = events
-                .iter()
-                .position(|e| e.pc == target)
-                .ok_or(AbortReason::UnsupportedShape {
+            let split = events.iter().position(|e| e.pc == target).ok_or(
+                AbortReason::UnsupportedShape {
                     what: "loop entered other than at its top",
-                })?;
+                },
+            )?;
             let (prologue, body) = events.split_at(split);
             for ev in prologue {
                 classify_straightline(active, ev)?;
@@ -533,10 +573,7 @@ fn classify_straightline(active: &mut Active, ev: &Event) -> Result<(), AbortRea
             }
         }
         ScalarInst::Nop => {}
-        ScalarInst::B { .. }
-        | ScalarInst::Bl { .. }
-        | ScalarInst::Ret
-        | ScalarInst::Halt => {
+        ScalarInst::B { .. } | ScalarInst::Bl { .. } | ScalarInst::Ret | ScalarInst::Halt => {
             unreachable!("control flow handled by step_collect")
         }
     }
@@ -611,12 +648,16 @@ fn induction_reg(active: &Active) -> Result<Reg, AbortReason> {
     })
 }
 
+/// Loop bound (if the body revealed one) plus `(position, register-slot)`
+/// pairs of tracked loop-carried values.
+type BodyClassification = (Option<i64>, Vec<(usize, usize)>);
+
 #[allow(clippy::too_many_lines)]
 fn classify_body(
     active: &mut Active,
     body: &[Event],
     config: &TranslatorConfig,
-) -> Result<(Option<i64>, Vec<(usize, usize)>), AbortReason> {
+) -> Result<BodyClassification, AbortReason> {
     let insts: Vec<ScalarInst> = body.iter().map(|e| e.inst).collect();
     let ops: Vec<BodyOp> = collapse(&insts);
     let mut bound: Option<i64> = None;
@@ -760,9 +801,7 @@ fn classify_body(
                     active.buffer.push(Slot::Fixed(Inst::S(inst)));
                 }
                 ScalarInst::FMov { cond, fd, fm } => {
-                    if cond != Cond::Al
-                        || !active.fregs[fm.index() as usize].is_scalarish()
-                    {
+                    if cond != Cond::Al || !active.fregs[fm.index() as usize].is_scalarish() {
                         return Err(AbortReason::UnsupportedShape {
                             what: "vector fp move",
                         });
@@ -859,18 +898,14 @@ fn classify_body(
                         }))
                     }
                     Operand2::Reg(rm) => match active.regs[rm.index() as usize] {
-                        RegClass::Const(c) if fits_valu_imm(c) => {
-                            sat_imm_slot(op, eff, vd, vn, c)?
-                        }
-                        c if c.is_scalarish() => {
-                            Slot::Fixed(Inst::V(VectorInst::VAluScalar {
-                                op,
-                                elem: eff,
-                                vd,
-                                vn,
-                                src: ScalarSrc::R(rm),
-                            }))
-                        }
+                        RegClass::Const(c) if fits_valu_imm(c) => sat_imm_slot(op, eff, vd, vn, c)?,
+                        c if c.is_scalarish() => Slot::Fixed(Inst::V(VectorInst::VAluScalar {
+                            op,
+                            elem: eff,
+                            vd,
+                            vn,
+                            src: ScalarSrc::R(rm),
+                        })),
                         _ => {
                             return Err(AbortReason::UnsupportedShape {
                                 what: "saturating idiom with non-scalar operand",
@@ -978,16 +1013,15 @@ fn classify_alu(
     if op == AluOp::Add {
         let as_rule8 = |a: RegClass, b: RegClass| -> Option<Result<usize, AbortReason>> {
             match (a, b) {
-                (RegClass::Induction, RegClass::Vector { tracker, .. }) => Some(
-                    tracker.ok_or(AbortReason::RuntimeIndexedPermute),
-                ),
+                (RegClass::Induction, RegClass::Vector { tracker, .. }) => {
+                    Some(tracker.ok_or(AbortReason::RuntimeIndexedPermute))
+                }
                 _ => None,
             }
         };
         if let Operand2::Reg(rm) = op2 {
             let rm_class = active.regs[rm.index() as usize];
-            if let Some(t) = as_rule8(rn_class, rm_class).or_else(|| as_rule8(rm_class, rn_class))
-            {
+            if let Some(t) = as_rule8(rn_class, rm_class).or_else(|| as_rule8(rm_class, rn_class)) {
                 let tracker = t?;
                 active.regs[rd.index() as usize] = RegClass::AddrVector { tracker };
                 return Ok(());
@@ -1093,9 +1127,7 @@ fn classify_alu(
                 let vd = active.vmap.get(Bank::Int, rd.index())?;
                 let vn = active.vmap.get(Bank::Int, rm.index())?;
                 let slot = match rn_class {
-                    RegClass::Const(c) if fits_valu_imm(c) => {
-                        sat_check_imm(vop, elem, vd, vn, c)?
-                    }
+                    RegClass::Const(c) if fits_valu_imm(c) => sat_check_imm(vop, elem, vd, vn, c)?,
                     _ => Slot::Fixed(Inst::V(VectorInst::VAluScalar {
                         op: vop,
                         elem,
@@ -1200,11 +1232,9 @@ fn classify_falu(
             what: "fp reduction op without vector equivalent",
         })?;
         let vn = active.vmap.get(Bank::Fp, fm.index())?;
-        active.buffer.push(Slot::Fixed(Inst::V(VectorInst::VRedF {
-            op: red,
-            fd,
-            vn,
-        })));
+        active
+            .buffer
+            .push(Slot::Fixed(Inst::V(VectorInst::VRedF { op: red, fd, vn })));
         active.fregs[fd.index() as usize] = RegClass::Scalar;
         return Ok(());
     }
@@ -1212,11 +1242,9 @@ fn classify_falu(
         if matches!(op, FpOp::Add | FpOp::Min | FpOp::Max) {
             let red = fred_op(op).expect("add/min/max have reductions");
             let vn = active.vmap.get(Bank::Fp, fn_.index())?;
-            active.buffer.push(Slot::Fixed(Inst::V(VectorInst::VRedF {
-                op: red,
-                fd,
-                vn,
-            })));
+            active
+                .buffer
+                .push(Slot::Fixed(Inst::V(VectorInst::VRedF { op: red, fd, vn })));
             active.fregs[fd.index() as usize] = RegClass::Scalar;
             return Ok(());
         }
@@ -1286,20 +1314,16 @@ fn classify_falu(
     // All scalar: pass through.
     if fn_class.is_scalarish() && fm_class.is_scalarish() {
         active.fregs[fd.index() as usize] = RegClass::Scalar;
-        active.buffer.push(Slot::Fixed(Inst::S(ScalarInst::FAlu {
-            op,
-            fd,
-            fn_,
-            fm,
-        })));
+        active
+            .buffer
+            .push(Slot::Fixed(Inst::S(ScalarInst::FAlu { op, fd, fn_, fm })));
         return Ok(());
     }
 
     Err(AbortReason::UnsupportedShape {
         what: "mixed scalar/vector fp operands",
     })
-    .map_err(|e| {
+    .inspect_err(|_e| {
         let _ = pc;
-        e
     })
 }

@@ -9,8 +9,8 @@
 //! are removed or idioms invalidate previously generated instructions.
 
 use liquid_simd_isa::{
-    Base, Cond, ElemType, Inst, PermKind, Reg, ScalarInst, VAluOp, VReg, VectorInst,
     encode::{VALU_IMM_MAX, VALU_IMM_MIN},
+    Base, Cond, ElemType, Inst, PermKind, Reg, ScalarInst, VAluOp, VReg, VectorInst,
 };
 
 use crate::state::{AbortReason, Tracker};
@@ -146,11 +146,7 @@ impl UopBuffer {
                 Slot::PermLoad { tracker, .. } | Slot::PermStore { tracker, .. } => {
                     let t = &trackers[tracker];
                     if t.wide {
-                        let value = *t
-                            .values
-                            .iter()
-                            .max_by_key(|v| v.abs())
-                            .unwrap_or(&0);
+                        let value = *t.values.iter().max_by_key(|v| v.abs()).unwrap_or(&0);
                         return Err(AbortReason::ValueTooWide { value });
                     }
                     if !t.complete() || !t.consistent {
@@ -294,7 +290,6 @@ impl UopBuffer {
 mod tests {
     use super::*;
     use liquid_simd_isa::SymId;
-    
 
     fn tracker_with(values: &[i64], lanes: usize) -> Tracker {
         let mut t = Tracker::new(lanes);
@@ -362,10 +357,7 @@ mod tests {
             index: Reg::R0,
         });
         let trackers = vec![tracker_with(&[0, 2, -1, 3], 4)];
-        assert_eq!(
-            buf.materialize(&trackers, 4, 64),
-            Err(AbortReason::CamMiss)
-        );
+        assert_eq!(buf.materialize(&trackers, 4, 64), Err(AbortReason::CamMiss));
     }
 
     #[test]
@@ -382,10 +374,7 @@ mod tests {
             index: Reg::R0,
         });
         let trackers = vec![tracker_with(&[4, 4, 4, 4], 4)];
-        assert_eq!(
-            buf.materialize(&trackers, 4, 64),
-            Err(AbortReason::CamMiss)
-        );
+        assert_eq!(buf.materialize(&trackers, 4, 64), Err(AbortReason::CamMiss));
     }
 
     #[test]

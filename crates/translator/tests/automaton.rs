@@ -3,8 +3,8 @@
 //! and the new vector-by-scalar broadcast refinements.
 
 use liquid_simd_isa::{
-    AluOp, Base, Cond, ElemType, FReg, FpOp, Inst, MemWidth, Operand2, Reg, ScalarInst,
-    ScalarSrc, SymId, VAluOp, VectorInst,
+    AluOp, Base, Cond, ElemType, FReg, FpOp, Inst, MemWidth, Operand2, Reg, ScalarInst, ScalarSrc,
+    SymId, VAluOp, VectorInst,
 };
 use liquid_simd_translator::{Progress, Retired, Translator, TranslatorConfig};
 
@@ -12,16 +12,12 @@ use liquid_simd_translator::{Progress, Retired, Translator, TranslatorConfig};
 /// instruction stream and feeds retirement events until `ret`.
 struct MiniMachine {
     r: [i64; 16],
-    flags: (i64, i64), // last cmp operands
+    flags: (i64, i64),                 // last cmp operands
     mem: Box<dyn Fn(u32, i64) -> i64>, // (symbol id, element index) -> value
 }
 
 impl MiniMachine {
-    fn feed(
-        &mut self,
-        code: &[ScalarInst],
-        translator: &mut Translator,
-    ) -> Progress {
+    fn feed(&mut self, code: &[ScalarInst], translator: &mut Translator) -> Progress {
         let mut pc = 0u32;
         loop {
             let inst = code[pc as usize];
@@ -63,7 +59,9 @@ impl MiniMachine {
                     };
                     self.flags = (self.r[rn.index() as usize], b);
                 }
-                ScalarInst::LdInt { rd, base, index, .. } => {
+                ScalarInst::LdInt {
+                    rd, base, index, ..
+                } => {
                     let sym = match base {
                         Base::Sym(s) => s.index() as u32,
                         Base::Reg(_) => 999,

@@ -36,7 +36,7 @@
 mod kernels;
 mod media;
 mod specfp;
-mod util;
+pub mod util;
 
 pub use kernels::{fft, fir, lu};
 pub use media::{gsmdec, gsmenc, mpeg2dec, mpeg2enc};
@@ -94,8 +94,7 @@ mod tests {
     #[test]
     fn all_benchmarks_evaluate_under_gold() {
         for w in all() {
-            liquid_simd_compiler::gold::run_gold(&w)
-                .unwrap_or_else(|e| panic!("{}: {e}", w.name));
+            liquid_simd_compiler::gold::run_gold(&w).unwrap_or_else(|e| panic!("{}: {e}", w.name));
         }
     }
 }

@@ -20,10 +20,7 @@ pub fn mpeg2dec() -> Workload {
     // two shifted taps, descale with arithmetic shifts.
     let mut idct = KernelBuilder::new("idct_pass", N);
     let c = idct.load("coef", ElemType::I16);
-    let basis = idct.constv(
-        ElemType::I16,
-        vec![181, 178, 167, 150, 128, 100, 69, 35],
-    );
+    let basis = idct.constv(ElemType::I16, vec![181, 178, 167, 150, 128, 100, 69, 35]);
     let p0 = idct.bin(VAluOp::Mul, c, basis);
     let c1 = idct.load_at("coef", ElemType::I16, 1);
     let basis2 = idct.constv(ElemType::I16, vec![128, -128]);
@@ -42,7 +39,11 @@ pub fn mpeg2dec() -> Workload {
     mc.store("pixels", pix);
 
     let data = ArrayBuilder::new()
-        .int("coef", ElemType::I16, ivec(0x2DEC, N as usize + 1, -256, 256))
+        .int(
+            "coef",
+            ElemType::I16,
+            ivec(0x2DEC, N as usize + 1, -256, 256),
+        )
         .int("pred", ElemType::I8, ivec(0x2DED, N as usize, 0, 256))
         .zeroed("residual", ElemType::I16, N as usize)
         .zeroed("pixels", ElemType::I8, N as usize)
@@ -122,7 +123,11 @@ pub fn gsmdec() -> Workload {
 
     let data = ArrayBuilder::new()
         .int("resid", ElemType::I16, ivec(0x65D, N as usize, -4000, 4000))
-        .int("hist", ElemType::I16, ivec(0x65E, N as usize + 1, -12000, 12000))
+        .int(
+            "hist",
+            ElemType::I16,
+            ivec(0x65E, N as usize + 1, -12000, 12000),
+        )
         .zeroed("speech", ElemType::I16, N as usize)
         .zeroed("framepeak", ElemType::I32, 1)
         .build();
@@ -159,7 +164,11 @@ pub fn gsmenc() -> Workload {
     ltp.reduce(RedOp::Max, corr, "bestlag", ReduceInit::Int(i32::MIN));
 
     let data = ArrayBuilder::new()
-        .int("frame", ElemType::I16, ivec(0x65F, N as usize + 2, -16000, 16000))
+        .int(
+            "frame",
+            ElemType::I16,
+            ivec(0x65F, N as usize + 2, -16000, 16000),
+        )
         .zeroed("ac0", ElemType::I32, 1)
         .zeroed("ac1", ElemType::I32, 1)
         .zeroed("ac2", ElemType::I32, 1)

@@ -240,14 +240,9 @@ pub fn hydro2d() -> Workload {
     let n = N as usize;
     let mut kernels = Vec::new();
     // Flux updates in each direction.
-    for (i, (src, dst)) in [
-        ("rho", "fx"),
-        ("mx", "fy"),
-        ("my", "fz"),
-        ("en", "fw"),
-    ]
-    .iter()
-    .enumerate()
+    for (i, (src, dst)) in [("rho", "fx"), ("mx", "fy"), ("my", "fz"), ("en", "fw")]
+        .iter()
+        .enumerate()
     {
         let mut k = KernelBuilder::new(&format!("flux{i}"), N);
         let u = k.load(src, ElemType::F32);

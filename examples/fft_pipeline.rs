@@ -12,7 +12,11 @@ use liquid_simd_isa::{asm, Program};
 
 fn main() {
     let w = liquid_simd_workloads::fft();
-    println!("FFT workload: {} stage kernels, {} repetitions\n", w.kernels.len(), w.reps);
+    println!(
+        "FFT workload: {} stage kernels, {} repetitions\n",
+        w.kernels.len(),
+        w.reps
+    );
 
     // ---- native SIMD code for stage 3 (block-8 butterfly, Figure 4A) ----
     let native = build_native(&w, 8).expect("native build");
@@ -31,7 +35,10 @@ fn main() {
         .iter()
         .find(|f| f.name == "fft_stage3")
         .expect("stage 3 exists");
-    println!("\nLiquid scalar representation of {} (note the offset-array", stage.name);
+    println!(
+        "\nLiquid scalar representation of {} (note the offset-array",
+        stage.name
+    );
     println!("loads feeding the butterflied accesses, paper Table 1 cat. 7):");
     print_fn(&liquid.program, stage.entry, stage.instrs);
 

@@ -25,7 +25,11 @@ fn main() {
     let kernel = k.build().expect("kernel validates");
 
     let data = ArrayBuilder::new()
-        .int("x", ElemType::I32, (0..256).map(|i| i * 7 - 300).collect::<Vec<i64>>())
+        .int(
+            "x",
+            ElemType::I32,
+            (0..256).map(|i| i * 7 - 300).collect::<Vec<i64>>(),
+        )
         .zeroed("y", ElemType::I32, 256)
         .zeroed("peak", ElemType::I32, 1)
         .build();
@@ -36,12 +40,14 @@ fn main() {
     let liquid = build_liquid(&w).expect("liquid build");
     let native = build_native(&w, 8).expect("native build");
 
-    println!("binaries: plain {} B, liquid {} B (+{:.2}%), native {} B",
+    println!(
+        "binaries: plain {} B, liquid {} B (+{:.2}%), native {} B",
         plain.program.code_bytes(),
         liquid.program.code_bytes(),
         100.0 * (liquid.program.code_bytes() as f64 - plain.program.code_bytes() as f64)
             / plain.program.code_bytes() as f64,
-        native.program.code_bytes());
+        native.program.code_bytes()
+    );
 
     println!("\nThe outlined scalar representation of the hot loop:");
     let f = &liquid.outlined[0];

@@ -15,12 +15,25 @@ fn main() {
     let plain = build_plain(&w).expect("plain build");
     let gold_env = gold::run_gold(&w).expect("gold");
 
-    println!("benchmark: {} ({} hot loops outlined)", w.name, liquid.outlined.len());
-    println!("one binary: {} bytes of code\n", liquid.program.code_bytes());
+    println!(
+        "benchmark: {} ({} hot loops outlined)",
+        w.name,
+        liquid.outlined.len()
+    );
+    println!(
+        "one binary: {} bytes of code\n",
+        liquid.program.code_bytes()
+    );
 
     let base = run(&plain.program, MachineConfig::scalar_only()).expect("baseline");
-    println!("{:<34} {:>12} {:>9}", "machine generation", "cycles", "speedup");
-    println!("{:<34} {:>12} {:>9.2}", "scalar reference (no outlining)", base.report.cycles, 1.0);
+    println!(
+        "{:<34} {:>12} {:>9}",
+        "machine generation", "cycles", "speedup"
+    );
+    println!(
+        "{:<34} {:>12} {:>9.2}",
+        "scalar reference (no outlining)", base.report.cycles, 1.0
+    );
 
     // Generation 0: no SIMD hardware at all. The same Liquid binary simply
     // executes its scalar representation.

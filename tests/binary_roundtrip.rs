@@ -14,10 +14,7 @@ fn roundtrip_program(p: &Program) -> Program {
     assert_eq!(words.len(), p.code.len());
     let code = decode_code(&words).expect("decodes");
     assert_eq!(code, p.code, "decode(encode(p)) differs");
-    Program {
-        code,
-        ..p.clone()
-    }
+    Program { code, ..p.clone() }
 }
 
 #[test]
@@ -75,8 +72,7 @@ fn translated_microcode_encodes_to_machine_words() {
         let mut m = Machine::new(&b.program, MachineConfig::liquid(8));
         m.run().unwrap();
         for (pc, code) in m.microcode_snapshot() {
-            encode_code(&code)
-                .unwrap_or_else(|e| panic!("{} microcode @{pc}: {e}", w.name));
+            encode_code(&code).unwrap_or_else(|e| panic!("{} microcode @{pc}: {e}", w.name));
         }
     }
 }

@@ -20,7 +20,11 @@ fn twelve_loop_workload() -> Workload {
         k.store(&format!("out{i}"), c);
         kernels.push(k.build().unwrap());
         data = data
-            .int(&format!("in{i}"), ElemType::I32, (0..32).map(|x| x * 3 + i64::from(i)).collect::<Vec<i64>>())
+            .int(
+                &format!("in{i}"),
+                ElemType::I32,
+                (0..32).map(|x| x * 3 + i64::from(i)).collect::<Vec<i64>>(),
+            )
             .zeroed(&format!("out{i}"), ElemType::I32, 32);
     }
     Workload::new("twelve", kernels, data.build(), 12)
