@@ -11,30 +11,33 @@ use liquid_simd_bench as render;
 fn main() {
     let workloads = liquid_simd_workloads::all();
     let widths = render::WIDTHS;
+    // Fan the independent simulations across cores; any job count yields
+    // identical tables (see liquid_simd::harness).
+    let jobs = liquid_simd::default_jobs();
 
     println!("{}", render::render_table2());
 
-    let t5 = experiments::table5(&workloads).expect("table5");
+    let t5 = experiments::table5_jobs(&workloads, jobs).expect("table5");
     println!("{}", render::render_table5(&t5));
 
-    let t6 = experiments::table6(&workloads).expect("table6");
+    let t6 = experiments::table6_jobs(&workloads, jobs).expect("table6");
     println!("{}", render::render_table6(&t6));
 
-    let f6 = experiments::figure6(&workloads, &widths).expect("figure6");
+    let f6 = experiments::figure6_jobs(&workloads, &widths, jobs).expect("figure6");
     println!("{}", render::render_figure6(&f6));
 
     println!("{}", render::render_callout());
 
-    let cs = experiments::code_size(&workloads).expect("code size");
+    let cs = experiments::code_size_jobs(&workloads, jobs).expect("code size");
     println!("{}", render::render_code_size(&cs));
 
-    let mc = experiments::mcache(&workloads).expect("mcache");
+    let mc = experiments::mcache_jobs(&workloads, jobs).expect("mcache");
     println!("{}", render::render_mcache(&mc));
 
     let costs = [1u64, 10, 40, 100];
-    let lat = experiments::ablation_latency(&workloads, &costs).expect("latency ablation");
+    let lat = experiments::ablation_latency_jobs(&workloads, &costs, jobs).expect("latency ablation");
     println!("{}", render::render_latency(&lat, &costs));
 
-    let jit = experiments::ablation_jit(&workloads, 40).expect("jit ablation");
+    let jit = experiments::ablation_jit_jobs(&workloads, 40, jobs).expect("jit ablation");
     println!("{}", render::render_jit(&jit));
 }

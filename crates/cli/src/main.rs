@@ -15,12 +15,18 @@
 //!                      run once and print each translated microcode block
 //! liquid-simd trace program.{s,lsim} [--lanes N] [--out trace.json]
 //!                      traced run; write Chrome trace + print summary
+//! liquid-simd tables [--jobs N] [--smoke]
+//!                      regenerate the paper's tables/figures in parallel
+//! liquid-simd bench [--jobs N] [--smoke] [--out BENCH_sim.json]
+//!                      wall-clock benchmark of the simulator and the
+//!                      parallel sweep; writes a JSON report
 //! ```
 
 use std::fs;
 use std::process::ExitCode;
+use std::time::Instant;
 
-use liquid_simd::{Machine, MachineConfig, RunReport};
+use liquid_simd::{experiments, Machine, MachineConfig, RunReport};
 use liquid_simd_isa::{asm, object, Program};
 use liquid_simd_trace::{export, TraceConfig, Tracer};
 
@@ -46,6 +52,8 @@ fn run_cli(args: &[String]) -> Result<(), String> {
         "run" => cmd_run(rest),
         "translate" => cmd_translate(rest),
         "trace" => cmd_trace(rest),
+        "tables" => cmd_tables(rest),
+        "bench" => cmd_bench(rest),
         "help" | "--help" | "-h" => {
             println!("{}", usage());
             Ok(())
@@ -55,7 +63,7 @@ fn run_cli(args: &[String]) -> Result<(), String> {
 }
 
 fn usage() -> String {
-    "usage: liquid-simd <asm|disasm|run|translate|trace|help> [args]\n\
+    "usage: liquid-simd <asm|disasm|run|translate|trace|tables|bench|help> [args]\n\
      \n\
      asm <input.s> -o <out.lsim>\n\
      disasm <prog.lsim>\n\
@@ -63,7 +71,9 @@ fn usage() -> String {
          [--trace] [--trace-out FILE]\n\
      translate <prog.s|prog.lsim> [--lanes N]\n\
      trace <prog.s|prog.lsim> [--lanes N] [--native] [--jit]\n\
-         [--out trace.json] [--instructions]"
+         [--out trace.json] [--instructions]\n\
+     tables [--jobs N] [--smoke]\n\
+     bench [--jobs N] [--smoke] [--out BENCH_sim.json]"
         .to_string()
 }
 
@@ -282,6 +292,152 @@ fn cmd_translate(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+fn parse_jobs(args: &[String]) -> Result<usize, String> {
+    match option_value(args, "--jobs")? {
+        None => Ok(liquid_simd::default_jobs()),
+        Some(v) => match v.parse::<usize>() {
+            Ok(j) if j >= 1 => Ok(j),
+            _ => Err(format!("bad --jobs `{v}` (need an integer >= 1)")),
+        },
+    }
+}
+
+/// The workload set and width sweep a `tables`/`bench` invocation uses:
+/// all fifteen benchmarks over the paper's widths, or the three-benchmark
+/// smoke subset over two widths with `--smoke` (CI-sized).
+fn bench_suite(args: &[String]) -> (Vec<liquid_simd::Workload>, Vec<usize>) {
+    if flag(args, "--smoke") {
+        (liquid_simd_workloads::smoke(), vec![2, 8])
+    } else {
+        (liquid_simd_workloads::all(), experiments::paper_widths())
+    }
+}
+
+fn cmd_tables(args: &[String]) -> Result<(), String> {
+    let jobs = parse_jobs(args)?;
+    let (workloads, widths) = bench_suite(args);
+    let err = |e: liquid_simd::VerifyError| e.to_string();
+
+    println!("── Table 5: outlined-function sizes (functions, mean, max) ──");
+    for row in experiments::table5_jobs(&workloads, jobs).map_err(err)? {
+        println!("{row}");
+    }
+    println!("\n── Table 6: first-call gaps (<150, <300, >=300, mean) ──");
+    for row in experiments::table6_jobs(&workloads, jobs).map_err(err)? {
+        println!("{row}");
+    }
+    println!("\n── Figure 6: speedup at widths {widths:?} (liquid | built-in | native) ──");
+    for row in experiments::figure6_jobs(&workloads, &widths, jobs).map_err(err)? {
+        println!("{row}");
+    }
+    println!("\n── Code size (plain, liquid, overhead, extra data) ──");
+    for row in experiments::code_size_jobs(&workloads, jobs).map_err(err)? {
+        println!("{row}");
+    }
+    println!("\n── Microcode cache at 8x64 (loops, max uops, evictions, microcode calls) ──");
+    for row in experiments::mcache_jobs(&workloads, jobs).map_err(err)? {
+        println!("{row}");
+    }
+    Ok(())
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders experiment rows to the exact text a user would see, so serial
+/// and parallel sweeps can be compared byte for byte.
+fn render_rows<T: std::fmt::Display>(rows: &[T]) -> String {
+    rows.iter().map(|r| format!("{r}\n")).collect()
+}
+
+fn cmd_bench(args: &[String]) -> Result<(), String> {
+    let jobs = parse_jobs(args)?;
+    let (workloads, widths) = bench_suite(args);
+    let out_path = option_value(args, "--out")?.unwrap_or("BENCH_sim.json");
+    let err = |e: liquid_simd::VerifyError| e.to_string();
+
+    // Per-workload simulator throughput: simulated cycles per wall-clock
+    // second for the Liquid binary at 8 lanes (the predecoded-metadata
+    // fast path is what this number measures).
+    let mut per_workload = Vec::new();
+    for w in &workloads {
+        let b = liquid_simd::build_liquid(w).map_err(|e| format!("{}: {e}", w.name))?;
+        let t0 = Instant::now();
+        let out =
+            liquid_simd::run(&b.program, MachineConfig::liquid(8)).map_err(|e| e.to_string())?;
+        let wall = t0.elapsed().as_secs_f64();
+        let rate = out.report.cycles as f64 / wall.max(1e-9);
+        println!(
+            "{:<14} {:>12} cycles  {:>8.3} ms  {:>12.0} sim-cycles/s",
+            w.name,
+            out.report.cycles,
+            wall * 1e3,
+            rate
+        );
+        per_workload.push((w.name.clone(), out.report.cycles, wall, rate));
+    }
+
+    // The Figure 6 sweep, serial then parallel: wall-clock speedup plus a
+    // byte-identity check on the rendered rows (determinism gate).
+    let t0 = Instant::now();
+    let serial = experiments::figure6_jobs(&workloads, &widths, 1).map_err(err)?;
+    let serial_s = t0.elapsed().as_secs_f64();
+    let t0 = Instant::now();
+    let parallel = experiments::figure6_jobs(&workloads, &widths, jobs).map_err(err)?;
+    let parallel_s = t0.elapsed().as_secs_f64();
+    let deterministic = render_rows(&serial) == render_rows(&parallel);
+    let speedup = serial_s / parallel_s.max(1e-9);
+    println!(
+        "figure6 sweep: serial {serial_s:.3}s, parallel ({jobs} jobs) {parallel_s:.3}s, \
+         {speedup:.2}x, {}",
+        if deterministic {
+            "byte-identical"
+        } else {
+            "NONDETERMINISTIC"
+        }
+    );
+
+    let mut json = String::from("{\n  \"schema\": \"liquid-simd-bench-v1\",\n");
+    json.push_str(&format!("  \"jobs\": {jobs},\n"));
+    json.push_str(&format!("  \"smoke\": {},\n", flag(args, "--smoke")));
+    json.push_str(&format!("  \"widths\": {widths:?},\n"));
+    json.push_str("  \"workloads\": [\n");
+    for (i, (name, cycles, wall, rate)) in per_workload.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"name\": \"{}\", \"sim_cycles\": {}, \"wall_s\": {:.6}, \
+             \"sim_cycles_per_sec\": {:.0}}}{}\n",
+            json_escape(name),
+            cycles,
+            wall,
+            rate,
+            if i + 1 < per_workload.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str(&format!(
+        "  \"figure6_sweep\": {{\"serial_s\": {serial_s:.6}, \"parallel_s\": {parallel_s:.6}, \
+         \"speedup\": {speedup:.3}, \"deterministic\": {deterministic}}}\n"
+    ));
+    json.push_str("}\n");
+    fs::write(out_path, &json).map_err(|e| format!("{out_path}: {e}"))?;
+    println!("{out_path}: written");
+
+    if !deterministic {
+        return Err("parallel figure6 sweep diverged from the serial sweep".into());
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -295,6 +451,22 @@ mod tests {
         assert!(parse_lanes(&a("3")).is_err());
         assert!(parse_lanes(&a("32")).is_err());
         assert!(parse_lanes(&a("x")).is_err());
+    }
+
+    #[test]
+    fn jobs_parsing() {
+        let a = |s: &str| vec!["--jobs".to_string(), s.to_string()];
+        assert_eq!(parse_jobs(&a("4")).unwrap(), 4);
+        assert!(parse_jobs(&a("0")).is_err());
+        assert!(parse_jobs(&a("x")).is_err());
+        assert!(parse_jobs(&[]).unwrap() >= 1);
+    }
+
+    #[test]
+    fn json_escaping() {
+        assert_eq!(json_escape("plain"), "plain");
+        assert_eq!(json_escape("a\"b\\c"), "a\\\"b\\\\c");
+        assert_eq!(json_escape("x\ny"), "x\\u000ay");
     }
 
     #[test]

@@ -1,14 +1,23 @@
 //! Drivers regenerating every table and figure of the paper's evaluation
 //! (see DESIGN.md §5 for the experiment index and EXPERIMENTS.md for
 //! paper-vs-measured results).
+//!
+//! Every driver comes in two forms: the original serial name (`table5`,
+//! `figure6`, ...) and a `*_jobs` variant that fans the independent
+//! `(workload, width, mode)` simulation units across worker threads via
+//! [`crate::harness::run_tasks`]. The serial names are thin `jobs = 1`
+//! wrappers, and the parallel variants reassemble results in task order,
+//! so both produce identical rows — see `tests/parallel.rs` for the
+//! byte-identity check.
 
 use std::collections::BTreeMap;
 use std::fmt;
 
-use liquid_simd_compiler::{build_liquid, build_native, build_plain, Workload};
+use liquid_simd_compiler::Workload;
 use liquid_simd_isa::SUPPORTED_WIDTHS;
 use liquid_simd_sim::MachineConfig;
 
+use crate::harness::{run_tasks, BuildCache};
 use crate::VerifyError;
 
 /// Table 5: scalar instructions per outlined function, per benchmark.
@@ -30,21 +39,33 @@ pub struct Table5Row {
 ///
 /// Returns a [`VerifyError`] if a workload fails to compile.
 pub fn table5(workloads: &[Workload]) -> Result<Vec<Table5Row>, VerifyError> {
-    let mut rows = Vec::new();
-    for w in workloads {
-        let b = build_liquid(w)?;
-        let sizes: Vec<usize> = b.outlined.iter().map(|f| f.instrs).collect();
-        let functions = sizes.len();
-        let mean = sizes.iter().sum::<usize>() as f64 / functions.max(1) as f64;
-        let max = sizes.iter().copied().max().unwrap_or(0);
-        rows.push(Table5Row {
-            benchmark: w.name.clone(),
-            functions,
-            mean,
-            max,
-        });
-    }
-    Ok(rows)
+    table5_jobs(workloads, 1)
+}
+
+/// [`table5`] with the work spread over `jobs` worker threads.
+///
+/// # Errors
+///
+/// Returns a [`VerifyError`] if a workload fails to compile.
+pub fn table5_jobs(workloads: &[Workload], jobs: usize) -> Result<Vec<Table5Row>, VerifyError> {
+    let cache = BuildCache::new(workloads, &[]);
+    run_tasks(
+        jobs,
+        workloads.len(),
+        |i| -> Result<Table5Row, VerifyError> {
+            let b = cache.liquid(i)?;
+            let sizes: Vec<usize> = b.outlined.iter().map(|f| f.instrs).collect();
+            let functions = sizes.len();
+            let mean = sizes.iter().sum::<usize>() as f64 / functions.max(1) as f64;
+            let max = sizes.iter().copied().max().unwrap_or(0);
+            Ok(Table5Row {
+                benchmark: cache.workload(i).name.clone(),
+                functions,
+                mean,
+                max,
+            })
+        },
+    )
 }
 
 impl fmt::Display for Table5Row {
@@ -81,37 +102,49 @@ pub struct Table6Row {
 ///
 /// Returns a [`VerifyError`] if a workload fails to compile or simulate.
 pub fn table6(workloads: &[Workload]) -> Result<Vec<Table6Row>, VerifyError> {
-    let mut rows = Vec::new();
-    for w in workloads {
-        let b = build_liquid(w)?;
-        // Translation disabled: we want raw call spacing of the scalar
-        // binary, exactly the paper's measurement setup.
-        let mut cfg = MachineConfig::scalar_only();
-        cfg.max_cycles = 50_000_000_000;
-        let out = crate::run(&b.program, cfg)?;
-        let mut gaps = Vec::new();
-        for f in &b.outlined {
-            if let Some(gap) = out.report.first_call_gap(f.entry) {
-                gaps.push(gap);
+    table6_jobs(workloads, 1)
+}
+
+/// [`table6`] with one simulation per worker-thread task.
+///
+/// # Errors
+///
+/// Returns a [`VerifyError`] if a workload fails to compile or simulate.
+pub fn table6_jobs(workloads: &[Workload], jobs: usize) -> Result<Vec<Table6Row>, VerifyError> {
+    let cache = BuildCache::new(workloads, &[]);
+    run_tasks(
+        jobs,
+        workloads.len(),
+        |i| -> Result<Table6Row, VerifyError> {
+            let b = cache.liquid(i)?;
+            // Translation disabled: we want raw call spacing of the scalar
+            // binary, exactly the paper's measurement setup.
+            let mut cfg = MachineConfig::scalar_only();
+            cfg.max_cycles = 50_000_000_000;
+            let out = crate::run(&b.program, cfg)?;
+            let mut gaps = Vec::new();
+            for f in &b.outlined {
+                if let Some(gap) = out.report.first_call_gap(f.entry) {
+                    gaps.push(gap);
+                }
             }
-        }
-        let lt150 = gaps.iter().filter(|&&g| g < 150).count();
-        let lt300 = gaps.iter().filter(|&&g| (150..300).contains(&g)).count();
-        let ge300 = gaps.iter().filter(|&&g| g >= 300).count();
-        let mean = if gaps.is_empty() {
-            0.0
-        } else {
-            gaps.iter().sum::<u64>() as f64 / gaps.len() as f64
-        };
-        rows.push(Table6Row {
-            benchmark: w.name.clone(),
-            lt150,
-            lt300,
-            ge300,
-            mean,
-        });
-    }
-    Ok(rows)
+            let lt150 = gaps.iter().filter(|&&g| g < 150).count();
+            let lt300 = gaps.iter().filter(|&&g| (150..300).contains(&g)).count();
+            let ge300 = gaps.iter().filter(|&&g| g >= 300).count();
+            let mean = if gaps.is_empty() {
+                0.0
+            } else {
+                gaps.iter().sum::<u64>() as f64 / gaps.len() as f64
+            };
+            Ok(Table6Row {
+                benchmark: cache.workload(i).name.clone(),
+                lt150,
+                lt300,
+                ge300,
+                mean,
+            })
+        },
+    )
 }
 
 impl fmt::Display for Table6Row {
@@ -158,36 +191,76 @@ impl Figure6Row {
 ///
 /// Returns a [`VerifyError`] if a workload fails to compile or simulate.
 pub fn figure6(workloads: &[Workload], widths: &[usize]) -> Result<Vec<Figure6Row>, VerifyError> {
-    let mut rows = Vec::new();
-    for w in workloads {
-        let plain = build_plain(w)?;
-        let base = crate::run(&plain.program, MachineConfig::scalar_only())?;
-        let baseline_cycles = base.report.cycles;
+    figure6_jobs(workloads, widths, 1)
+}
 
-        let liquid_build = build_liquid(w)?;
-        let mut liquid = BTreeMap::new();
-        let mut pretranslated = BTreeMap::new();
-        let mut native = BTreeMap::new();
-        for &width in widths {
-            let out = crate::run(&liquid_build.program, MachineConfig::liquid(width))?;
-            liquid.insert(width, baseline_cycles as f64 / out.report.cycles as f64);
+/// [`figure6`] decomposed into `(workload, width, mode)` simulation units
+/// and fanned over `jobs` worker threads. This is the heaviest sweep in
+/// the repo — `1 + 3 * widths.len()` simulations per workload — and every
+/// unit is independent, so it scales until cores run out.
+///
+/// # Errors
+///
+/// Returns a [`VerifyError`] if a workload fails to compile or simulate.
+pub fn figure6_jobs(
+    workloads: &[Workload],
+    widths: &[usize],
+    jobs: usize,
+) -> Result<Vec<Figure6Row>, VerifyError> {
+    let cache = BuildCache::new(workloads, widths);
+    // Unit layout per workload: [baseline, then (liquid, pretranslated,
+    // native) per width]. Reassembly below depends on this order.
+    let per = 1 + widths.len() * 3;
+    let cycles = run_tasks(
+        jobs,
+        workloads.len() * per,
+        |i| -> Result<u64, VerifyError> {
+            let (wi, unit) = (i / per, i % per);
+            if unit == 0 {
+                let plain = cache.plain(wi)?;
+                let out = crate::run(&plain.program, MachineConfig::scalar_only())?;
+                return Ok(out.report.cycles);
+            }
+            let k = unit - 1;
+            let width = widths[k / 3];
+            let out = match k % 3 {
+                0 => crate::run(&cache.liquid(wi)?.program, MachineConfig::liquid(width))?,
+                1 => crate::run_pretranslated(
+                    &cache.liquid(wi)?.program,
+                    MachineConfig::liquid(width),
+                )?,
+                _ => crate::run(
+                    &cache.native(wi, width)?.program,
+                    MachineConfig::native(width),
+                )?,
+            };
+            Ok(out.report.cycles)
+        },
+    )?;
 
-            let out =
-                crate::run_pretranslated(&liquid_build.program, MachineConfig::liquid(width))?;
-            pretranslated.insert(width, baseline_cycles as f64 / out.report.cycles as f64);
-
-            let native_build = build_native(w, width)?;
-            let out = crate::run(&native_build.program, MachineConfig::native(width))?;
-            native.insert(width, baseline_cycles as f64 / out.report.cycles as f64);
-        }
-        rows.push(Figure6Row {
-            benchmark: w.name.clone(),
-            baseline_cycles,
-            liquid,
-            pretranslated,
-            native,
-        });
-    }
+    let rows = workloads
+        .iter()
+        .enumerate()
+        .map(|(wi, w)| {
+            let chunk = &cycles[wi * per..(wi + 1) * per];
+            let baseline_cycles = chunk[0];
+            let mut liquid = BTreeMap::new();
+            let mut pretranslated = BTreeMap::new();
+            let mut native = BTreeMap::new();
+            for (k, &width) in widths.iter().enumerate() {
+                liquid.insert(width, baseline_cycles as f64 / chunk[1 + 3 * k] as f64);
+                pretranslated.insert(width, baseline_cycles as f64 / chunk[2 + 3 * k] as f64);
+                native.insert(width, baseline_cycles as f64 / chunk[3 + 3 * k] as f64);
+            }
+            Figure6Row {
+                benchmark: w.name.clone(),
+                baseline_cycles,
+                liquid,
+                pretranslated,
+                native,
+            }
+        })
+        .collect();
     Ok(rows)
 }
 
@@ -247,19 +320,34 @@ impl CodeSizeRow {
 ///
 /// Returns a [`VerifyError`] if a workload fails to compile.
 pub fn code_size(workloads: &[Workload]) -> Result<Vec<CodeSizeRow>, VerifyError> {
-    let mut rows = Vec::new();
-    for w in workloads {
-        let plain = build_plain(w)?;
-        let liquid = build_liquid(w)?;
-        rows.push(CodeSizeRow {
-            benchmark: w.name.clone(),
-            plain_bytes: plain.program.code_bytes(),
-            liquid_bytes: liquid.program.code_bytes(),
-            extra_data_bytes: liquid.program.data_bytes() as i64
-                - plain.program.data_bytes() as i64,
-        });
-    }
-    Ok(rows)
+    code_size_jobs(workloads, 1)
+}
+
+/// [`code_size`] with compilation spread over `jobs` worker threads.
+///
+/// # Errors
+///
+/// Returns a [`VerifyError`] if a workload fails to compile.
+pub fn code_size_jobs(
+    workloads: &[Workload],
+    jobs: usize,
+) -> Result<Vec<CodeSizeRow>, VerifyError> {
+    let cache = BuildCache::new(workloads, &[]);
+    run_tasks(
+        jobs,
+        workloads.len(),
+        |i| -> Result<CodeSizeRow, VerifyError> {
+            let plain = cache.plain(i)?;
+            let liquid = cache.liquid(i)?;
+            Ok(CodeSizeRow {
+                benchmark: cache.workload(i).name.clone(),
+                plain_bytes: plain.program.code_bytes(),
+                liquid_bytes: liquid.program.code_bytes(),
+                extra_data_bytes: liquid.program.data_bytes() as i64
+                    - plain.program.data_bytes() as i64,
+            })
+        },
+    )
 }
 
 impl fmt::Display for CodeSizeRow {
@@ -299,34 +387,46 @@ pub struct McacheRow {
 ///
 /// Returns a [`VerifyError`] if a workload fails to compile or simulate.
 pub fn mcache(workloads: &[Workload]) -> Result<Vec<McacheRow>, VerifyError> {
-    let mut rows = Vec::new();
-    for w in workloads {
-        let b = build_liquid(w)?;
-        let out = crate::run(&b.program, MachineConfig::liquid(8))?;
-        let hot_loops = out.report.translations.len();
-        let max_uops = out
-            .report
-            .translations
-            .iter()
-            .map(|&(_, n)| n)
-            .max()
-            .unwrap_or(0);
-        let micro = out
-            .report
-            .calls
-            .iter()
-            .filter(|c| c.mode == crate::CallMode::Microcode)
-            .count();
-        let total = out.report.calls.len().max(1);
-        rows.push(McacheRow {
-            benchmark: w.name.clone(),
-            hot_loops,
-            max_uops,
-            evictions: out.report.mcache.evictions,
-            microcode_call_fraction: micro as f64 / total as f64,
-        });
-    }
-    Ok(rows)
+    mcache_jobs(workloads, 1)
+}
+
+/// [`mcache`] with one simulation per worker-thread task.
+///
+/// # Errors
+///
+/// Returns a [`VerifyError`] if a workload fails to compile or simulate.
+pub fn mcache_jobs(workloads: &[Workload], jobs: usize) -> Result<Vec<McacheRow>, VerifyError> {
+    let cache = BuildCache::new(workloads, &[]);
+    run_tasks(
+        jobs,
+        workloads.len(),
+        |i| -> Result<McacheRow, VerifyError> {
+            let b = cache.liquid(i)?;
+            let out = crate::run(&b.program, MachineConfig::liquid(8))?;
+            let hot_loops = out.report.translations.len();
+            let max_uops = out
+                .report
+                .translations
+                .iter()
+                .map(|&(_, n)| n)
+                .max()
+                .unwrap_or(0);
+            let micro = out
+                .report
+                .calls
+                .iter()
+                .filter(|c| c.mode == crate::CallMode::Microcode)
+                .count();
+            let total = out.report.calls.len().max(1);
+            Ok(McacheRow {
+                benchmark: cache.workload(i).name.clone(),
+                hot_loops,
+                max_uops,
+                evictions: out.report.mcache.evictions,
+                microcode_call_fraction: micro as f64 / total as f64,
+            })
+        },
+    )
 }
 
 impl fmt::Display for McacheRow {
@@ -363,22 +463,46 @@ pub fn ablation_latency(
     workloads: &[Workload],
     costs: &[u64],
 ) -> Result<Vec<LatencyAblationRow>, VerifyError> {
-    let mut rows = Vec::new();
-    for w in workloads {
-        let b = build_liquid(w)?;
-        let mut cycles_by_cost = BTreeMap::new();
-        for &cost in costs {
+    ablation_latency_jobs(workloads, costs, 1)
+}
+
+/// [`ablation_latency`] decomposed into `(workload, cost)` simulation
+/// units and fanned over `jobs` worker threads.
+///
+/// # Errors
+///
+/// Returns a [`VerifyError`] if a workload fails to compile or simulate.
+pub fn ablation_latency_jobs(
+    workloads: &[Workload],
+    costs: &[u64],
+    jobs: usize,
+) -> Result<Vec<LatencyAblationRow>, VerifyError> {
+    let cache = BuildCache::new(workloads, &[]);
+    let per = costs.len();
+    let cycles = run_tasks(
+        jobs,
+        workloads.len() * per,
+        |i| -> Result<u64, VerifyError> {
+            let (wi, ci) = (i / per, i % per);
+            let b = cache.liquid(wi)?;
             let mut cfg = MachineConfig::liquid(8);
-            cfg.translation.cycles_per_instr = cost;
+            cfg.translation.cycles_per_instr = costs[ci];
             let out = crate::run(&b.program, cfg)?;
-            cycles_by_cost.insert(cost, out.report.cycles);
-        }
-        rows.push(LatencyAblationRow {
+            Ok(out.report.cycles)
+        },
+    )?;
+    Ok(workloads
+        .iter()
+        .enumerate()
+        .map(|(wi, w)| LatencyAblationRow {
             benchmark: w.name.clone(),
-            cycles_by_cost,
-        });
-    }
-    Ok(rows)
+            cycles_by_cost: costs
+                .iter()
+                .enumerate()
+                .map(|(ci, &cost)| (cost, cycles[wi * per + ci]))
+                .collect(),
+        })
+        .collect())
 }
 
 /// Ablation A2: hardware translator vs software JIT (which stalls the CPU
@@ -402,22 +526,42 @@ pub fn ablation_jit(
     workloads: &[Workload],
     jit_cost: u64,
 ) -> Result<Vec<JitAblationRow>, VerifyError> {
-    let mut rows = Vec::new();
-    for w in workloads {
-        let b = build_liquid(w)?;
-        let hw = crate::run(&b.program, MachineConfig::liquid(8))?;
+    ablation_jit_jobs(workloads, jit_cost, 1)
+}
+
+/// [`ablation_jit`] decomposed into `(workload, translator-kind)` units
+/// and fanned over `jobs` worker threads.
+///
+/// # Errors
+///
+/// Returns a [`VerifyError`] if a workload fails to compile or simulate.
+pub fn ablation_jit_jobs(
+    workloads: &[Workload],
+    jit_cost: u64,
+    jobs: usize,
+) -> Result<Vec<JitAblationRow>, VerifyError> {
+    let cache = BuildCache::new(workloads, &[]);
+    let cycles = run_tasks(jobs, workloads.len() * 2, |i| -> Result<u64, VerifyError> {
+        let (wi, unit) = (i / 2, i % 2);
+        let b = cache.liquid(wi)?;
         let mut cfg = MachineConfig::liquid(8);
-        cfg.translation.jit = true;
-        cfg.translation.jit_cycles_per_instr = jit_cost;
-        cfg.translation.hw_value_limit = false; // JITs keep full-width values
-        let jit = crate::run(&b.program, cfg)?;
-        rows.push(JitAblationRow {
+        if unit == 1 {
+            cfg.translation.jit = true;
+            cfg.translation.jit_cycles_per_instr = jit_cost;
+            cfg.translation.hw_value_limit = false; // JITs keep full-width values
+        }
+        let out = crate::run(&b.program, cfg)?;
+        Ok(out.report.cycles)
+    })?;
+    Ok(workloads
+        .iter()
+        .enumerate()
+        .map(|(wi, w)| JitAblationRow {
             benchmark: w.name.clone(),
-            hw_cycles: hw.report.cycles,
-            jit_cycles: jit.report.cycles,
-        });
-    }
-    Ok(rows)
+            hw_cycles: cycles[wi * 2],
+            jit_cycles: cycles[wi * 2 + 1],
+        })
+        .collect())
 }
 
 /// The Figure 6 callout: the paper measured the worst-case speedup
@@ -451,9 +595,11 @@ impl OverheadCallout {
 ///
 /// Returns a [`VerifyError`] if the workload fails to compile or simulate.
 pub fn overhead_callout(w: &Workload) -> Result<OverheadCallout, VerifyError> {
-    let plain = build_plain(w)?;
+    let workloads = std::slice::from_ref(w);
+    let cache = BuildCache::new(workloads, &[]);
+    let plain = cache.plain(0)?;
     let base = crate::run(&plain.program, MachineConfig::scalar_only())?;
-    let b = build_liquid(w)?;
+    let b = cache.liquid(0)?;
     let liquid = crate::run(&b.program, MachineConfig::liquid(8))?;
     let builtin = crate::run_pretranslated(&b.program, MachineConfig::liquid(8))?;
     Ok(OverheadCallout {
@@ -493,20 +639,36 @@ impl MetricsRow {
 ///
 /// Returns a [`VerifyError`] if a workload fails to compile or simulate.
 pub fn metrics(workloads: &[Workload]) -> Result<Vec<MetricsRow>, VerifyError> {
-    let mut rows = Vec::new();
-    for w in workloads {
-        let b = build_liquid(w)?;
-        let tracer = liquid_simd_trace::Tracer::new();
-        let cfg = MachineConfig::liquid(8).with_tracer(tracer.clone());
-        let out = crate::run(&b.program, cfg)?;
-        rows.push(MetricsRow {
-            benchmark: w.name.clone(),
-            cycles: out.report.cycles,
-            metrics: tracer.metrics(),
-            events: tracer.kind_counts(),
-        });
-    }
-    Ok(rows)
+    metrics_jobs(workloads, 1)
+}
+
+/// [`metrics`] with one traced simulation per worker-thread task. The
+/// tracer handle is not `Send` (`Rc`-based), so each task creates its own
+/// tracer and ships back only the plain-data [`Metrics`] registry.
+///
+/// [`Metrics`]: liquid_simd_trace::Metrics
+///
+/// # Errors
+///
+/// Returns a [`VerifyError`] if a workload fails to compile or simulate.
+pub fn metrics_jobs(workloads: &[Workload], jobs: usize) -> Result<Vec<MetricsRow>, VerifyError> {
+    let cache = BuildCache::new(workloads, &[]);
+    run_tasks(
+        jobs,
+        workloads.len(),
+        |i| -> Result<MetricsRow, VerifyError> {
+            let b = cache.liquid(i)?;
+            let tracer = liquid_simd_trace::Tracer::new();
+            let cfg = MachineConfig::liquid(8).with_tracer(tracer.clone());
+            let out = crate::run(&b.program, cfg)?;
+            Ok(MetricsRow {
+                benchmark: cache.workload(i).name.clone(),
+                cycles: out.report.cycles,
+                metrics: tracer.metrics(),
+                events: tracer.kind_counts(),
+            })
+        },
+    )
 }
 
 impl fmt::Display for MetricsRow {

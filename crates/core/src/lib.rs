@@ -44,8 +44,10 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod harness;
 mod verify;
 
+pub use harness::{default_jobs, run_tasks, BuildCache};
 pub use liquid_simd_compiler::{
     build_liquid, build_native, build_plain, gold, ArrayBuilder, Build, CompileError, DataEnv,
     Kernel, KernelBuilder, OutlinedFn, ReduceInit, Workload,
@@ -59,7 +61,7 @@ pub use liquid_simd_sim::{
 pub use liquid_simd_trace as trace;
 pub use liquid_simd_trace::{TraceConfig, TraceEvent, Tracer};
 pub use liquid_simd_translator as translator;
-pub use verify::{verify_against_gold, verify_workload, VerifyError};
+pub use verify::{verify_against_gold, verify_workload, verify_workloads, VerifyError};
 
 use liquid_simd_isa::Program;
 use liquid_simd_mem::Memory;

@@ -3,9 +3,7 @@
 use std::error::Error;
 use std::fmt;
 
-use liquid_simd_compiler::{
-    build_liquid, build_native, build_plain, gold, ArrayData, CompileError, DataEnv, Workload,
-};
+use liquid_simd_compiler::{ArrayData, CompileError, DataEnv, Workload};
 use liquid_simd_isa::{ElemType, Program, SUPPORTED_WIDTHS};
 use liquid_simd_mem::Memory;
 use liquid_simd_sim::{MachineConfig, SimError};
@@ -155,35 +153,64 @@ pub fn verify_against_gold(
 ///
 /// Returns the first failure.
 pub fn verify_workload(w: &Workload) -> Result<(), VerifyError> {
-    let gold_env = gold::run_gold(w)?;
+    verify_workloads(std::slice::from_ref(w), 1)
+}
 
-    let plain = build_plain(w)?;
-    let out = crate::run(&plain.program, MachineConfig::scalar_only())?;
-    verify_against_gold("plain/scalar", &plain.program, &out.memory, &gold_env)?;
-
-    let liquid = build_liquid(w)?;
-    let out = crate::run(&liquid.program, MachineConfig::scalar_only())?;
-    verify_against_gold("liquid/scalar", &liquid.program, &out.memory, &gold_env)?;
-
-    for &lanes in &SUPPORTED_WIDTHS {
-        let out = crate::run(&liquid.program, MachineConfig::liquid(lanes))?;
-        verify_against_gold(
-            &format!("liquid/translated@{lanes}"),
-            &liquid.program,
-            &out.memory,
-            &gold_env,
-        )?;
-
-        let native = build_native(w, lanes)?;
-        let out = crate::run(&native.program, MachineConfig::native(lanes))?;
-        verify_against_gold(
-            &format!("native@{lanes}"),
-            &native.program,
-            &out.memory,
-            &gold_env,
-        )?;
-    }
-    Ok(())
+/// [`verify_workload`] over many workloads, with every
+/// `(workload, configuration)` check fanned over `jobs` worker threads via
+/// [`crate::harness::run_tasks`]. Builds and gold results are memoized in
+/// a [`crate::harness::BuildCache`], so each binary is compiled once no
+/// matter how many configurations exercise it. On failure the error is the
+/// one a serial [`verify_workload`] loop would have hit first.
+///
+/// # Errors
+///
+/// Returns the first failure (in serial check order).
+pub fn verify_workloads(workloads: &[Workload], jobs: usize) -> Result<(), VerifyError> {
+    let cache = crate::harness::BuildCache::new(workloads, &SUPPORTED_WIDTHS);
+    // Unit layout per workload: [plain/scalar, liquid/scalar, then
+    // (liquid/translated, native) per supported width].
+    let per = 2 + 2 * SUPPORTED_WIDTHS.len();
+    crate::harness::run_tasks(jobs, workloads.len() * per, |i| {
+        let (wi, unit) = (i / per, i % per);
+        let gold_env = cache.gold(wi)?;
+        match unit {
+            0 => {
+                let plain = cache.plain(wi)?;
+                let out = crate::run(&plain.program, MachineConfig::scalar_only())?;
+                verify_against_gold("plain/scalar", &plain.program, &out.memory, gold_env)
+            }
+            1 => {
+                let liquid = cache.liquid(wi)?;
+                let out = crate::run(&liquid.program, MachineConfig::scalar_only())?;
+                verify_against_gold("liquid/scalar", &liquid.program, &out.memory, gold_env)
+            }
+            _ => {
+                let k = unit - 2;
+                let lanes = SUPPORTED_WIDTHS[k / 2];
+                if k % 2 == 0 {
+                    let liquid = cache.liquid(wi)?;
+                    let out = crate::run(&liquid.program, MachineConfig::liquid(lanes))?;
+                    verify_against_gold(
+                        &format!("liquid/translated@{lanes}"),
+                        &liquid.program,
+                        &out.memory,
+                        gold_env,
+                    )
+                } else {
+                    let native = cache.native(wi, lanes)?;
+                    let out = crate::run(&native.program, MachineConfig::native(lanes))?;
+                    verify_against_gold(
+                        &format!("native@{lanes}"),
+                        &native.program,
+                        &out.memory,
+                        gold_env,
+                    )
+                }
+            }
+        }
+    })
+    .map(|_| ())
 }
 
 #[cfg(test)]

@@ -421,11 +421,13 @@ fn exec_vector(
                     what: format!("permutation block {block} not executable at {lanes} lanes"),
                 });
             }
-            let src = regs.v[vn.index() as usize].clone();
+            // Snapshot the source into the register file's scratch lane
+            // buffer (`vd` may alias `vn`) — no per-step heap allocation.
+            regs.scratch.copy_from_slice(&regs.v[vn.index() as usize]);
             let dst = &mut regs.v[vd.index() as usize];
             for (i, d) in dst.iter_mut().enumerate() {
                 let base = i - (i % block);
-                *d = src[base + kind.source_index(i)];
+                *d = regs.scratch[base + kind.source_index(i)];
             }
         }
         VectorInst::VSplat { elem: _, vd, imm } => {

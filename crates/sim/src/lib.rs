@@ -53,6 +53,7 @@ mod config;
 mod exec;
 mod machine;
 mod mcache;
+pub mod meta;
 mod regfile;
 mod report;
 
@@ -60,4 +61,5 @@ pub use config::{LatencyModel, MachineConfig, TranslationConfig};
 pub use exec::SimError;
 pub use machine::Machine;
 pub use mcache::{Mcache, McacheStats};
+pub use meta::{InstMeta, RegRef};
 pub use report::{CallEvent, CallMode, RunReport};

@@ -3,7 +3,7 @@
 
 use std::collections::HashSet;
 
-use liquid_simd_isa::{Cond, ElemType, FpOp, Inst, Program, ScalarInst, VAluOp, VectorInst};
+use liquid_simd_isa::{Inst, Program};
 use liquid_simd_mem::{Cache, Memory};
 use liquid_simd_trace::{CacheKind, CallMode as TraceCallMode, TraceEvent, Tracer};
 use liquid_simd_translator::{Progress, Retired, Translator, TranslatorConfig};
@@ -11,6 +11,7 @@ use liquid_simd_translator::{Progress, Retired, Translator, TranslatorConfig};
 use crate::config::MachineConfig;
 use crate::exec::{exec, Control, SimError};
 use crate::mcache::{Lookup, Mcache};
+use crate::meta::{meta_of_code, InstMeta, RegRef};
 use crate::regfile::RegFile;
 use crate::report::{CallEvent, CallMode, RunReport};
 
@@ -21,15 +22,6 @@ enum Stream {
     Micro { idx: usize, pos: u32, ret_pc: u32 },
 }
 
-/// A register reference for the timing scoreboard.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-enum RR {
-    R(u8),
-    F(u8),
-    V(u8),
-    Flags,
-}
-
 /// The simulated machine.
 ///
 /// Construct with a program and configuration, then call [`Machine::run`].
@@ -37,6 +29,9 @@ enum RR {
 /// comparison.
 pub struct Machine<'p> {
     prog: &'p Program,
+    /// Predecoded static metadata for `prog.code`, indexed by PC — the
+    /// step-loop fast path (see `crate::meta`).
+    prog_meta: Vec<InstMeta>,
     config: MachineConfig,
     regs: RegFile,
     mem: Memory,
@@ -92,6 +87,7 @@ impl<'p> Machine<'p> {
         }
         Machine {
             prog,
+            prog_meta: meta_of_code(&prog.code, &config.lat, config.lanes),
             regs: RegFile::new(config.lanes.max(1)),
             mem,
             icache,
@@ -133,8 +129,25 @@ impl<'p> Machine<'p> {
     /// from a prior run of the same binary.
     pub fn preload_microcode(&mut self, entries: &[(u32, Vec<liquid_simd_isa::Inst>)]) {
         for (pc, code) in entries {
-            let _ = self.mcache.insert(*pc, code.clone(), 0);
+            let meta = meta_of_code(code, &self.config.lat, self.config.lanes);
+            let _ = self.mcache.insert(*pc, code.clone(), meta, 0);
         }
+    }
+
+    /// Test hook: checks every predecoded metadata table (program and
+    /// resident microcode) against fresh recomputation. The metadata-
+    /// equivalence property test calls this after runs that insert and
+    /// evict microcode.
+    #[doc(hidden)]
+    #[must_use]
+    pub fn metadata_consistent(&self) -> bool {
+        if self.prog_meta != meta_of_code(&self.prog.code, &self.config.lat, self.config.lanes) {
+            return false;
+        }
+        (0..self.mcache.len()).all(|idx| {
+            self.mcache.meta(idx)
+                == meta_of_code(self.mcache.code(idx), &self.config.lat, self.config.lanes)
+        })
     }
 
     /// Invalidates the whole microcode cache and aborts any in-flight
@@ -193,19 +206,24 @@ impl<'p> Machine<'p> {
     }
 
     /// Executes one instruction; returns `true` on halt.
+    ///
+    /// The hot path reads predecoded [`InstMeta`] (uses/def/flags/latency)
+    /// from the side tables built at construction and at microcode insert,
+    /// instead of re-deriving them from the `Inst` enum on every retire.
+    /// The tracer clock is stamped once per step, at retire; emission sites
+    /// between retires reuse that stamp, which matches the cycle the old
+    /// start-of-step stamp would have produced (machine time only advances
+    /// at retire).
     #[allow(clippy::too_many_lines)]
     fn step(&mut self) -> Result<bool, SimError> {
-        if let Some(t) = &self.tracer {
-            t.set_now(self.cycle);
-        }
         // ---- fetch -------------------------------------------------------
-        let (inst, pc, in_micro) = match self.stream {
+        let (inst, meta, pc, in_micro) = match self.stream {
             Stream::Prog { pc } => {
                 let inst = *self.prog.code.get(pc as usize).ok_or(SimError::Fault {
                     pc,
                     what: "fell off the end of the code section".to_string(),
                 })?;
-                (inst, pc, false)
+                (inst, self.prog_meta[pc as usize], pc, false)
             }
             Stream::Micro { idx, pos, .. } => {
                 let code = self.mcache.code(idx);
@@ -213,20 +231,18 @@ impl<'p> Machine<'p> {
                     pc: pos,
                     what: "fell off the end of microcode".to_string(),
                 })?;
-                (inst, pos, true)
+                (inst, self.mcache.meta(idx)[pos as usize], pos, true)
             }
         };
 
         // ---- issue: operand readiness ------------------------------------
         let mut issue = self.cycle + 1;
-        let mut srcs = [None; 6];
-        collect_uses(&inst, &mut srcs);
-        for src in srcs.into_iter().flatten() {
+        for src in meta.srcs.iter().take_while(|s| s.is_some()).flatten() {
             let ready = match src {
-                RR::R(i) => self.ready_r[i as usize],
-                RR::F(i) => self.ready_f[i as usize],
-                RR::V(i) => self.ready_v[i as usize],
-                RR::Flags => self.ready_flags,
+                RegRef::Int(i) => self.ready_r[*i as usize],
+                RegRef::Fp(i) => self.ready_f[*i as usize],
+                RegRef::Vec(i) => self.ready_v[*i as usize],
+                RegRef::Flags => self.ready_flags,
             };
             issue = issue.max(ready);
         }
@@ -255,20 +271,18 @@ impl<'p> Machine<'p> {
         }
 
         // ---- latency & writeback -------------------------------------------
-        let latency = self.latency_of(&inst);
-        let done = issue + u64::from(latency) + mem_extra;
-        let (def, writes_flags) = def_of(&inst);
+        let done = issue + u64::from(meta.latency) + mem_extra;
         if outcome.executed {
-            if let Some(d) = def {
+            if let Some(d) = meta.def {
                 match d {
-                    RR::R(i) => self.ready_r[i as usize] = done,
-                    RR::F(i) => self.ready_f[i as usize] = done,
-                    RR::V(i) => self.ready_v[i as usize] = done,
-                    RR::Flags => {}
+                    RegRef::Int(i) => self.ready_r[i as usize] = done,
+                    RegRef::Fp(i) => self.ready_f[i as usize] = done,
+                    RegRef::Vec(i) => self.ready_v[i as usize] = done,
+                    RegRef::Flags => {}
                 }
             }
         }
-        if writes_flags {
+        if meta.writes_flags {
             self.ready_flags = issue + 1;
         }
 
@@ -285,7 +299,7 @@ impl<'p> Machine<'p> {
 
         // ---- retire counters ------------------------------------------------
         self.report.retired += 1;
-        if inst.is_vector() {
+        if meta.vector {
             self.report.vector_retired += 1;
         } else {
             self.report.scalar_retired += 1;
@@ -294,7 +308,7 @@ impl<'p> Machine<'p> {
             t.set_now(self.cycle);
             t.emit(TraceEvent::InstrRetired {
                 pc,
-                vector: inst.is_vector(),
+                vector: meta.vector,
             });
         }
         if self.config.interrupt_every > 0
@@ -329,13 +343,19 @@ impl<'p> Machine<'p> {
                             // A software JIT shares the CPU: stall the
                             // pipeline for the translation work.
                             self.cycle += work * self.config.translation.jit_cycles_per_instr;
+                            if let Some(t) = &self.tracer {
+                                // The clock moved after the retire stamp;
+                                // restamp so later events carry the stall.
+                                t.set_now(self.cycle);
+                            }
                             self.cycle
                         } else {
                             self.cycle + work * self.config.translation.cycles_per_instr
                         };
                         self.report.translations.push((tr.func_pc, tr.code.len()));
                         let uops = tr.code.len() as u64;
-                        let evicted = self.mcache.insert(tr.func_pc, tr.code, valid_at);
+                        let meta = meta_of_code(&tr.code, &self.config.lat, self.config.lanes);
+                        let evicted = self.mcache.insert(tr.func_pc, tr.code, meta, valid_at);
                         if let Some(t) = &self.tracer {
                             if let Some(victim) = evicted {
                                 t.emit(TraceEvent::McacheEvict { func_pc: victim });
@@ -490,125 +510,6 @@ impl<'p> Machine<'p> {
         }
         self.stream = Stream::Prog { pc: target };
         Ok(())
-    }
-
-    fn latency_of(&self, inst: &Inst) -> u32 {
-        let lat = &self.config.lat;
-        let lanes = self.config.lanes.max(2);
-        let tree = usize::BITS - (lanes - 1).leading_zeros(); // ceil(log2)
-        match inst {
-            Inst::S(s) => match s {
-                ScalarInst::Alu {
-                    op: liquid_simd_isa::AluOp::Mul,
-                    ..
-                } => lat.int_mul,
-                ScalarInst::FAlu { op, .. } => match op {
-                    FpOp::Mul => lat.fp_mul,
-                    FpOp::Div => lat.fp_div,
-                    _ => lat.fp_alu,
-                },
-                ScalarInst::LdInt { .. } | ScalarInst::LdF { .. } => lat.load,
-                _ => lat.int_alu,
-            },
-            Inst::V(v) => match v {
-                VectorInst::VLd { .. } => lat.load,
-                VectorInst::VSt { .. } => lat.int_alu,
-                VectorInst::VAlu { op, elem, .. }
-                | VectorInst::VAluImm { op, elem, .. }
-                | VectorInst::VAluConst { op, elem, .. }
-                | VectorInst::VAluScalar { op, elem, .. } => match op {
-                    VAluOp::Div => lat.fp_div,
-                    VAluOp::Mul if *elem == ElemType::F32 => lat.fp_mul,
-                    VAluOp::Mul => lat.int_mul,
-                    _ if *elem == ElemType::F32 => lat.fp_alu,
-                    _ => lat.int_alu,
-                },
-                VectorInst::VRedI { .. } => lat.int_alu + tree,
-                VectorInst::VRedF { .. } => lat.fp_alu * tree.max(1),
-                VectorInst::VPerm { .. } | VectorInst::VSplat { .. } => lat.int_alu,
-            },
-        }
-    }
-}
-
-fn push(buf: &mut [Option<RR>; 6], n: &mut usize, rr: RR) {
-    if *n < buf.len() {
-        buf[*n] = Some(rr);
-        *n += 1;
-    }
-}
-
-fn collect_uses(inst: &Inst, buf: &mut [Option<RR>; 6]) {
-    let mut n = 0;
-    match inst {
-        Inst::S(s) => {
-            for r in s.int_uses() {
-                push(buf, &mut n, RR::R(r.index()));
-            }
-            match s {
-                ScalarInst::FAlu { fn_, fm, .. } => {
-                    push(buf, &mut n, RR::F(fn_.index()));
-                    push(buf, &mut n, RR::F(fm.index()));
-                }
-                ScalarInst::FMov { fm, .. } => push(buf, &mut n, RR::F(fm.index())),
-                ScalarInst::StF { fs, .. } => push(buf, &mut n, RR::F(fs.index())),
-                _ => {}
-            }
-            let cond = match s {
-                ScalarInst::MovImm { cond, .. }
-                | ScalarInst::Mov { cond, .. }
-                | ScalarInst::Alu { cond, .. }
-                | ScalarInst::FMov { cond, .. }
-                | ScalarInst::B { cond, .. } => *cond,
-                _ => Cond::Al,
-            };
-            if cond != Cond::Al {
-                push(buf, &mut n, RR::Flags);
-            }
-        }
-        Inst::V(v) => {
-            for vr in v.vec_uses() {
-                push(buf, &mut n, RR::V(vr.index()));
-            }
-            match v {
-                VectorInst::VLd { base, index, .. } | VectorInst::VSt { base, index, .. } => {
-                    push(buf, &mut n, RR::R(index.index()));
-                    if let liquid_simd_isa::Base::Reg(r) = base {
-                        push(buf, &mut n, RR::R(r.index()));
-                    }
-                }
-                VectorInst::VRedI { rd, .. } => push(buf, &mut n, RR::R(rd.index())),
-                VectorInst::VRedF { fd, .. } => push(buf, &mut n, RR::F(fd.index())),
-                VectorInst::VAluScalar { src, .. } => match src {
-                    liquid_simd_isa::ScalarSrc::R(r) => push(buf, &mut n, RR::R(r.index())),
-                    liquid_simd_isa::ScalarSrc::F(fr) => push(buf, &mut n, RR::F(fr.index())),
-                },
-                _ => {}
-            }
-        }
-    }
-    for slot in buf.iter_mut().skip(n) {
-        *slot = None;
-    }
-}
-
-fn def_of(inst: &Inst) -> (Option<RR>, bool) {
-    match inst {
-        Inst::S(s) => {
-            let def = s
-                .int_def()
-                .map(|r| RR::R(r.index()))
-                .or_else(|| s.fp_def().map(|f| RR::F(f.index())));
-            (def, matches!(s, ScalarInst::Cmp { .. }))
-        }
-        Inst::V(v) => {
-            let def = v.vec_def().map(|r| RR::V(r.index())).or(match v {
-                VectorInst::VRedI { rd, .. } => Some(RR::R(rd.index())),
-                VectorInst::VRedF { fd, .. } => Some(RR::F(fd.index())),
-                _ => None,
-            });
-            (def, false)
-        }
     }
 }
 

@@ -6,6 +6,8 @@
 
 use liquid_simd_isa::Inst;
 
+use crate::meta::InstMeta;
+
 /// Microcode-cache statistics.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct McacheStats {
@@ -26,6 +28,9 @@ pub struct McacheStats {
 struct Entry {
     func_pc: u32,
     code: Vec<Inst>,
+    /// Predecoded static metadata, parallel to `code` (the simulator's
+    /// fast path; computed once at insert, never per retire).
+    meta: Vec<InstMeta>,
     valid_at: u64,
     last_use: u64,
 }
@@ -108,24 +113,41 @@ impl Mcache {
         self.entries[idx].func_pc
     }
 
-    /// Inserts translated microcode, evicting the LRU entry if full;
-    /// returns the evicted function's entry PC, if any.
+    /// The predecoded metadata of entry `idx`, parallel to
+    /// [`Mcache::code`].
+    #[must_use]
+    pub fn meta(&self, idx: usize) -> &[InstMeta] {
+        &self.entries[idx].meta
+    }
+
+    /// Inserts translated microcode with its predecoded metadata, evicting
+    /// the LRU entry if full; returns the evicted function's entry PC, if
+    /// any.
     ///
     /// # Panics
     ///
     /// Panics if `code` exceeds the per-entry capacity (the translator's
-    /// buffer enforces the same limit, so this indicates a logic error).
-    pub fn insert(&mut self, func_pc: u32, code: Vec<Inst>, valid_at: u64) -> Option<u32> {
+    /// buffer enforces the same limit, so this indicates a logic error) or
+    /// if `meta` is not parallel to `code`.
+    pub fn insert(
+        &mut self,
+        func_pc: u32,
+        code: Vec<Inst>,
+        meta: Vec<InstMeta>,
+        valid_at: u64,
+    ) -> Option<u32> {
         assert!(
             code.len() <= self.max_uops,
             "microcode of {} uops exceeds entry capacity {}",
             code.len(),
             self.max_uops
         );
+        assert_eq!(code.len(), meta.len(), "metadata must be parallel to code");
         self.tick += 1;
         self.stats.inserts += 1;
         if let Some(e) = self.entries.iter_mut().find(|e| e.func_pc == func_pc) {
             e.code = code;
+            e.meta = meta;
             e.valid_at = valid_at;
             e.last_use = self.tick;
             return None;
@@ -145,6 +167,7 @@ impl Mcache {
         self.entries.push(Entry {
             func_pc,
             code,
+            meta,
             valid_at,
             last_use: self.tick,
         });
@@ -186,16 +209,27 @@ impl Mcache {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::config::LatencyModel;
+    use crate::meta::meta_of_code;
     use liquid_simd_isa::ScalarInst;
 
     fn code(n: usize) -> Vec<Inst> {
         vec![Inst::S(ScalarInst::Nop); n]
     }
 
+    fn meta(code: &[Inst]) -> Vec<InstMeta> {
+        meta_of_code(code, &LatencyModel::default(), 8)
+    }
+
+    fn insert(mc: &mut Mcache, pc: u32, code: Vec<Inst>, valid_at: u64) -> Option<u32> {
+        let m = meta(&code);
+        mc.insert(pc, code, m, valid_at)
+    }
+
     #[test]
     fn pending_until_valid_at() {
         let mut mc = Mcache::new(2, 64);
-        mc.insert(10, code(3), 100);
+        insert(&mut mc, 10, code(3), 100);
         assert_eq!(mc.lookup(10, 50), Lookup::Pending);
         assert_eq!(mc.lookup(10, 100), Lookup::Hit(0));
         assert_eq!(mc.code(0).len(), 3);
@@ -206,10 +240,10 @@ mod tests {
     #[test]
     fn lru_eviction() {
         let mut mc = Mcache::new(2, 64);
-        mc.insert(1, code(1), 0);
-        mc.insert(2, code(1), 0);
+        insert(&mut mc, 1, code(1), 0);
+        insert(&mut mc, 2, code(1), 0);
         assert_eq!(mc.lookup(1, 10), Lookup::Hit(0)); // touch 1
-        mc.insert(3, code(1), 0); // evicts 2
+        insert(&mut mc, 3, code(1), 0); // evicts 2
         assert_eq!(mc.lookup(2, 10), Lookup::Miss);
         assert!(matches!(mc.lookup(1, 10), Lookup::Hit(_)));
         assert!(matches!(mc.lookup(3, 10), Lookup::Hit(_)));
@@ -219,8 +253,8 @@ mod tests {
     #[test]
     fn reinsert_updates_in_place() {
         let mut mc = Mcache::new(2, 64);
-        mc.insert(1, code(1), 0);
-        mc.insert(1, code(5), 7);
+        insert(&mut mc, 1, code(1), 0);
+        insert(&mut mc, 1, code(5), 7);
         assert_eq!(mc.len(), 1);
         assert_eq!(mc.lookup(1, 3), Lookup::Pending);
         let Lookup::Hit(i) = mc.lookup(1, 7) else {
@@ -239,6 +273,6 @@ mod tests {
     #[should_panic(expected = "exceeds entry capacity")]
     fn oversized_microcode_panics() {
         let mut mc = Mcache::new(1, 4);
-        mc.insert(1, code(5), 0);
+        insert(&mut mc, 1, code(5), 0);
     }
 }

@@ -14,6 +14,10 @@ pub struct RegFile {
     pub v: Vec<Vec<u32>>,
     /// Condition flags.
     pub flags: Flags,
+    /// Scratch lane buffer for in-place permutations — avoids a heap
+    /// allocation per executed `vperm` (simulator-internal, not
+    /// architectural state).
+    pub(crate) scratch: Vec<u32>,
 }
 
 impl RegFile {
@@ -25,6 +29,7 @@ impl RegFile {
             f: [0; 16],
             v: vec![vec![0; lanes]; 16],
             flags: Flags::default(),
+            scratch: vec![0; lanes],
         }
     }
 
