@@ -15,11 +15,22 @@
 //!                      run once and print each translated microcode block
 //! liquid-simd trace program.{s,lsim} [--lanes N] [--out trace.json]
 //!                      traced run; write Chrome trace + print summary
+//! liquid-simd explain program.{s,lsim}|workload [--widths 2,4] [--json]
+//!                      per-region translation verdicts: translated (uops)
+//!                      or aborted with full provenance, at every width
+//!     --interrupt-every N   inject an external interrupt every N cycles
+//!     --all-calls           also attempt plain `bl` (no `bl.v`) calls
+//! liquid-simd profile program.{s,lsim}|workload [--lanes N] [--json]
+//!                      cycle breakdown: phases, spans, hottest call
+//!                      targets, per-entry microcode-cache statistics
+//!     --top N          rows per table (default 10)
+//!     --trace-out F    also write the Chrome trace with nested spans
 //! liquid-simd tables [--jobs N] [--smoke]
 //!                      regenerate the paper's tables/figures in parallel
-//! liquid-simd bench [--jobs N] [--smoke] [--out BENCH_sim.json]
+//! liquid-simd bench [--jobs N] [--smoke] [--progress] [--out BENCH_sim.json]
 //!                      wall-clock benchmark of the simulator and the
-//!                      parallel sweep; writes a JSON report
+//!                      parallel sweep; writes a JSON report with per-task
+//!                      and per-worker wall times
 //! ```
 
 use std::fs;
@@ -52,6 +63,8 @@ fn run_cli(args: &[String]) -> Result<(), String> {
         "run" => cmd_run(rest),
         "translate" => cmd_translate(rest),
         "trace" => cmd_trace(rest),
+        "explain" => cmd_explain(rest),
+        "profile" => cmd_profile(rest),
         "tables" => cmd_tables(rest),
         "bench" => cmd_bench(rest),
         "help" | "--help" | "-h" => {
@@ -63,7 +76,7 @@ fn run_cli(args: &[String]) -> Result<(), String> {
 }
 
 fn usage() -> String {
-    "usage: liquid-simd <asm|disasm|run|translate|trace|tables|bench|help> [args]\n\
+    "usage: liquid-simd <asm|disasm|run|translate|trace|explain|profile|tables|bench|help> [args]\n\
      \n\
      asm <input.s> -o <out.lsim>\n\
      disasm <prog.lsim>\n\
@@ -72,8 +85,12 @@ fn usage() -> String {
      translate <prog.s|prog.lsim> [--lanes N]\n\
      trace <prog.s|prog.lsim> [--lanes N] [--native] [--jit]\n\
          [--out trace.json] [--instructions]\n\
+     explain <prog|workload> [--widths 2,4,8,16] [--json]\n\
+         [--interrupt-every N] [--all-calls]\n\
+     profile <prog|workload> [--lanes N] [--json] [--top N]\n\
+         [--trace-out trace.json]\n\
      tables [--jobs N] [--smoke]\n\
-     bench [--jobs N] [--smoke] [--out BENCH_sim.json]"
+     bench [--jobs N] [--smoke] [--progress] [--out BENCH_sim.json]"
         .to_string()
 }
 
@@ -292,6 +309,112 @@ fn cmd_translate(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// Resolves an input that is either a program file (by path) or a
+/// benchmark workload name (case-insensitive match against the suite, in
+/// which case the Liquid build's program is used). Returns the program and
+/// a display name.
+fn resolve_program(input: &str) -> Result<(Program, String), String> {
+    if std::path::Path::new(input).exists() {
+        return Ok((load_program(input)?, input.to_string()));
+    }
+    let wanted = input.to_ascii_lowercase();
+    for w in liquid_simd_workloads::all() {
+        if w.name.to_ascii_lowercase() == wanted {
+            let b = liquid_simd::build_liquid(&w).map_err(|e| format!("{}: {e}", w.name))?;
+            return Ok((b.program, w.name));
+        }
+    }
+    let names: Vec<String> = liquid_simd_workloads::all()
+        .into_iter()
+        .map(|w| w.name)
+        .collect();
+    Err(format!(
+        "`{input}` is neither a file nor a workload (workloads: {})",
+        names.join(", ")
+    ))
+}
+
+fn parse_widths(args: &[String]) -> Result<Vec<usize>, String> {
+    let Some(list) = option_value(args, "--widths")? else {
+        return Ok(experiments::paper_widths());
+    };
+    let mut widths = Vec::new();
+    for part in list.split(',') {
+        let w: usize = part
+            .trim()
+            .parse()
+            .map_err(|_| format!("bad width `{part}` in --widths"))?;
+        if !((2..=16).contains(&w) && w.is_power_of_two()) {
+            return Err(format!(
+                "--widths entries must be powers of two in 2..=16, got {w}"
+            ));
+        }
+        widths.push(w);
+    }
+    if widths.is_empty() {
+        return Err("--widths needs at least one width".into());
+    }
+    Ok(widths)
+}
+
+fn cmd_explain(args: &[String]) -> Result<(), String> {
+    let input = args
+        .iter()
+        .find(|a| !a.starts_with('-'))
+        .ok_or("explain: missing program file or workload name")?;
+    let (program, name) = resolve_program(input)?;
+    let interrupt_every = match option_value(args, "--interrupt-every")? {
+        None => 0,
+        Some(v) => v
+            .parse()
+            .map_err(|_| format!("bad --interrupt-every `{v}`"))?,
+    };
+    let opts = liquid_simd::ExplainOptions {
+        widths: parse_widths(args)?,
+        interrupt_every,
+        all_calls: flag(args, "--all-calls"),
+    };
+    let report = liquid_simd::explain(&program, &name, &opts).map_err(|e| e.to_string())?;
+    if flag(args, "--json") {
+        print!("{}", liquid_simd::diagnose::explain_json(&report));
+    } else {
+        print!("{}", liquid_simd::diagnose::render_explain(&report));
+    }
+    Ok(())
+}
+
+fn cmd_profile(args: &[String]) -> Result<(), String> {
+    let input = args
+        .iter()
+        .find(|a| !a.starts_with('-'))
+        .ok_or("profile: missing program file or workload name")?;
+    let (program, name) = resolve_program(input)?;
+    let lanes = parse_lanes(args)?;
+    let top = match option_value(args, "--top")? {
+        None => 10,
+        Some(v) => match v.parse::<usize>() {
+            Ok(n) if n >= 1 => n,
+            _ => return Err(format!("bad --top `{v}` (need an integer >= 1)")),
+        },
+    };
+    let report = liquid_simd::profile(&program, &name, lanes).map_err(|e| e.to_string())?;
+    if let Some(path) = option_value(args, "--trace-out")? {
+        let text = export::chrome_trace_with_spans(&report.records, &report.spans);
+        fs::write(path, text).map_err(|e| format!("{path}: {e}"))?;
+        eprintln!(
+            "{path}: {} events, {} spans written",
+            report.records.len(),
+            report.spans.len()
+        );
+    }
+    if flag(args, "--json") {
+        print!("{}", liquid_simd::diagnose::profile_json(&report, top));
+    } else {
+        print!("{}", liquid_simd::diagnose::render_profile(&report, top));
+    }
+    Ok(())
+}
+
 fn parse_jobs(args: &[String]) -> Result<usize, String> {
     match option_value(args, "--jobs")? {
         None => Ok(liquid_simd::default_jobs()),
@@ -388,12 +511,29 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
     }
 
     // The Figure 6 sweep, serial then parallel: wall-clock speedup plus a
-    // byte-identity check on the rendered rows (determinism gate).
+    // byte-identity check on the rendered rows (determinism gate). Per-task
+    // timings go into the report so a disappointing speedup is diagnosable
+    // (the 2024-era anomaly was a speedup of 0.992 with no way to tell
+    // whether scheduling, build memoization, or one slow unit was at
+    // fault).
+    let n_units = workloads.len() * (1 + widths.len() * 3);
+    let progress = |t: &liquid_simd::TaskTiming| {
+        if flag(args, "--progress") {
+            eprintln!(
+                "  [worker {}] unit {}/{} done in {:.1} ms",
+                t.worker,
+                t.index + 1,
+                n_units,
+                t.wall_s * 1e3
+            );
+        }
+    };
     let t0 = Instant::now();
-    let serial = experiments::figure6_jobs(&workloads, &widths, 1).map_err(err)?;
+    let (serial, _) = experiments::figure6_timed(&workloads, &widths, 1, &progress).map_err(err)?;
     let serial_s = t0.elapsed().as_secs_f64();
     let t0 = Instant::now();
-    let parallel = experiments::figure6_jobs(&workloads, &widths, jobs).map_err(err)?;
+    let (parallel, timings) =
+        experiments::figure6_timed(&workloads, &widths, jobs, &progress).map_err(err)?;
     let parallel_s = t0.elapsed().as_secs_f64();
     let deterministic = render_rows(&serial) == render_rows(&parallel);
     let speedup = serial_s / parallel_s.max(1e-9);
@@ -406,6 +546,26 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
             "NONDETERMINISTIC"
         }
     );
+    // Busy seconds per worker: imbalance here (one worker owning most of
+    // the wall time) explains a poor speedup.
+    let n_workers = timings.iter().map(|t| t.worker + 1).max().unwrap_or(1);
+    let mut worker_busy_s = vec![0.0f64; n_workers];
+    for t in &timings {
+        worker_busy_s[t.worker] += t.wall_s;
+    }
+    let speedup_warning = jobs > 1 && speedup < 1.05;
+    if speedup_warning {
+        println!(
+            "warning: parallel sweep speedup {speedup:.3}x < 1.05x at {jobs} jobs — see the \
+             per-task wall times in the report (worker busy seconds: {})",
+            worker_busy_s
+                .iter()
+                .enumerate()
+                .map(|(w, s)| format!("w{w}={s:.3}"))
+                .collect::<Vec<_>>()
+                .join(", ")
+        );
+    }
 
     let mut json = String::from("{\n  \"schema\": \"liquid-simd-bench-v1\",\n");
     json.push_str(&format!("  \"jobs\": {jobs},\n"));
@@ -426,9 +586,30 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
     json.push_str("  ],\n");
     json.push_str(&format!(
         "  \"figure6_sweep\": {{\"serial_s\": {serial_s:.6}, \"parallel_s\": {parallel_s:.6}, \
-         \"speedup\": {speedup:.3}, \"deterministic\": {deterministic}}}\n"
+         \"speedup\": {speedup:.3}, \"deterministic\": {deterministic}, \
+         \"speedup_warning\": {speedup_warning}}},\n"
     ));
-    json.push_str("}\n");
+    json.push_str(&format!(
+        "  \"figure6_workers\": [{}],\n",
+        worker_busy_s
+            .iter()
+            .enumerate()
+            .map(|(w, s)| format!("{{\"worker\": {w}, \"busy_s\": {s:.6}}}"))
+            .collect::<Vec<_>>()
+            .join(", ")
+    ));
+    json.push_str("  \"figure6_tasks\": [\n");
+    for (i, t) in timings.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"index\": {}, \"worker\": {}, \"start_s\": {:.6}, \"wall_s\": {:.6}}}{}\n",
+            t.index,
+            t.worker,
+            t.start_s,
+            t.wall_s,
+            if i + 1 < timings.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
     fs::write(out_path, &json).map_err(|e| format!("{out_path}: {e}"))?;
     println!("{out_path}: written");
 

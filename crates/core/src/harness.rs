@@ -9,6 +9,8 @@
 //!   task indices from a shared atomic counter; each result lands in its
 //!   own slot, and the caller reassembles them **in task order**, so the
 //!   output of a parallel run is byte-identical to the serial run.
+//!   [`run_tasks_timed`] is the same scheduler with per-task wall-clock
+//!   [`TaskTiming`] and a streaming progress callback.
 //! * [`BuildCache`] — [`OnceLock`]-memoized compilation. A width sweep
 //!   needs each workload's plain/liquid build once, not once per width;
 //!   the first task to need a build compiles it, everyone else blocks
@@ -23,6 +25,7 @@
 
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
 
 use liquid_simd_compiler::{
     build_liquid, build_native, build_plain, gold, Build, DataEnv, Workload,
@@ -60,17 +63,87 @@ where
     E: Send,
     F: Fn(usize) -> Result<T, E> + Sync,
 {
+    run_tasks_timed(jobs, count, task, |_| {}).map(|(out, _)| out)
+}
+
+/// Wall-clock timing of one scheduled task, as observed by the worker that
+/// ran it. Timings are observational only: they never influence what a
+/// task computes, so the determinism guarantee of [`run_tasks`] is
+/// untouched (the *timings themselves* naturally vary run to run).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TaskTiming {
+    /// Task index (matches the result's position).
+    pub index: usize,
+    /// Worker that ran the task (0-based; always 0 on the serial path).
+    pub worker: usize,
+    /// Seconds from scheduler start to task start.
+    pub start_s: f64,
+    /// Task wall time in seconds.
+    pub wall_s: f64,
+}
+
+/// [`run_tasks`] plus per-task wall-clock timing and a progress callback.
+///
+/// `progress` is invoked from the worker thread as each task completes
+/// (successfully or not) — callers use it to stream progress lines while a
+/// long sweep runs. On success the returned timings are in task order,
+/// parallel to the results.
+///
+/// # Errors
+///
+/// Returns the error of the lowest-indexed failing task, exactly as
+/// [`run_tasks`] does.
+///
+/// # Panics
+///
+/// Propagates a panic from any task or progress callback.
+pub fn run_tasks_timed<T, E, F, P>(
+    jobs: usize,
+    count: usize,
+    task: F,
+    progress: P,
+) -> Result<(Vec<T>, Vec<TaskTiming>), E>
+where
+    T: Send,
+    E: Send,
+    F: Fn(usize) -> Result<T, E> + Sync,
+    P: Fn(&TaskTiming) + Sync,
+{
+    let epoch = Instant::now();
+    let timed = |i: usize, worker: usize| {
+        let start_s = epoch.elapsed().as_secs_f64();
+        let t0 = Instant::now();
+        let result = task(i);
+        let timing = TaskTiming {
+            index: i,
+            worker,
+            start_s,
+            wall_s: t0.elapsed().as_secs_f64(),
+        };
+        progress(&timing);
+        (result, timing)
+    };
+
     if jobs <= 1 || count <= 1 {
-        return (0..count).map(&task).collect();
+        let mut out = Vec::with_capacity(count);
+        let mut timings = Vec::with_capacity(count);
+        for i in 0..count {
+            let (result, timing) = timed(i, 0);
+            out.push(result?);
+            timings.push(timing);
+        }
+        return Ok((out, timings));
     }
 
-    let slots: Vec<Mutex<Option<Result<T, E>>>> = (0..count).map(|_| Mutex::new(None)).collect();
+    type Slot<T, E> = Mutex<Option<(Result<T, E>, TaskTiming)>>;
+    let slots: Vec<Slot<T, E>> = (0..count).map(|_| Mutex::new(None)).collect();
     let next = AtomicUsize::new(0);
     let failed = AtomicBool::new(false);
 
     std::thread::scope(|scope| {
-        for _ in 0..jobs.min(count) {
-            scope.spawn(|| loop {
+        for worker in 0..jobs.min(count) {
+            let (slots, next, failed, timed) = (&slots, &next, &failed, &timed);
+            scope.spawn(move || loop {
                 if failed.load(Ordering::Relaxed) {
                     break;
                 }
@@ -78,11 +151,11 @@ where
                 if i >= count {
                     break;
                 }
-                let result = task(i);
+                let (result, timing) = timed(i, worker);
                 if result.is_err() {
                     failed.store(true, Ordering::Relaxed);
                 }
-                *slots[i].lock().expect("result slot poisoned") = Some(result);
+                *slots[i].lock().expect("result slot poisoned") = Some((result, timing));
             });
         }
     });
@@ -90,14 +163,18 @@ where
     // Indices are claimed monotonically, so filled slots form a prefix; in
     // index order any error precedes every abandoned (`None`) slot.
     let mut out = Vec::with_capacity(count);
+    let mut timings = Vec::with_capacity(count);
     for slot in slots {
         match slot.into_inner().expect("result slot poisoned") {
-            Some(Ok(value)) => out.push(value),
-            Some(Err(e)) => return Err(e),
+            Some((Ok(value), timing)) => {
+                out.push(value);
+                timings.push(timing);
+            }
+            Some((Err(e), _)) => return Err(e),
             None => unreachable!("slot abandoned without a preceding error"),
         }
     }
-    Ok(out)
+    Ok((out, timings))
 }
 
 /// Memoized compilation results shared by all tasks of one experiment.
@@ -236,6 +313,45 @@ mod tests {
         });
         assert_eq!(out.unwrap().len(), 64);
         assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn timed_results_match_and_progress_fires_per_task() {
+        for jobs in [1, 4] {
+            let progressed = AtomicU32::new(0);
+            let (out, timings) = run_tasks_timed(
+                jobs,
+                11,
+                |i| Ok::<usize, ()>(i * 2),
+                |_| {
+                    progressed.fetch_add(1, Ordering::Relaxed);
+                },
+            )
+            .unwrap();
+            assert_eq!(out, (0..11).map(|i| i * 2).collect::<Vec<_>>());
+            assert_eq!(timings.len(), 11);
+            assert!(timings.iter().enumerate().all(|(i, t)| t.index == i));
+            assert!(timings.iter().all(|t| t.wall_s >= 0.0 && t.start_s >= 0.0));
+            assert_eq!(progressed.load(Ordering::Relaxed), 11);
+            if jobs == 1 {
+                assert!(timings.iter().all(|t| t.worker == 0));
+            } else {
+                assert!(timings.iter().all(|t| t.worker < 4));
+            }
+        }
+    }
+
+    #[test]
+    fn timed_errors_match_untimed_semantics() {
+        for jobs in [1, 3] {
+            let out = run_tasks_timed(
+                jobs,
+                16,
+                |i| if i == 5 || i == 11 { Err(i) } else { Ok(i) },
+                |_| {},
+            );
+            assert_eq!(out.unwrap_err(), 5);
+        }
     }
 
     #[test]

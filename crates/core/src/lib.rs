@@ -43,11 +43,15 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod diagnose;
 pub mod experiments;
 pub mod harness;
 mod verify;
 
-pub use harness::{default_jobs, run_tasks, BuildCache};
+pub use diagnose::{
+    explain, profile, ExplainOptions, ExplainReport, ProfileReport, RegionOutcome, RegionReport,
+};
+pub use harness::{default_jobs, run_tasks, run_tasks_timed, BuildCache, TaskTiming};
 pub use liquid_simd_compiler::{
     build_liquid, build_native, build_plain, gold, ArrayBuilder, Build, CompileError, DataEnv,
     Kernel, KernelBuilder, OutlinedFn, ReduceInit, Workload,

@@ -60,6 +60,6 @@ mod report;
 pub use config::{LatencyModel, MachineConfig, TranslationConfig};
 pub use exec::SimError;
 pub use machine::Machine;
-pub use mcache::{Mcache, McacheStats};
+pub use mcache::{Mcache, McacheEntryStats, McacheStats};
 pub use meta::{InstMeta, RegRef};
-pub use report::{CallEvent, CallMode, RunReport};
+pub use report::{CallEvent, CallMode, PhaseBreakdown, RunReport, TargetProfile};

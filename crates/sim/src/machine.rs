@@ -5,7 +5,7 @@ use std::collections::HashSet;
 
 use liquid_simd_isa::{Inst, Program};
 use liquid_simd_mem::{Cache, Memory};
-use liquid_simd_trace::{CacheKind, CallMode as TraceCallMode, TraceEvent, Tracer};
+use liquid_simd_trace::{CacheKind, CallMode as TraceCallMode, SpanId, TraceEvent, Tracer, Track};
 use liquid_simd_translator::{Progress, Retired, Translator, TranslatorConfig};
 
 use crate::config::MachineConfig;
@@ -18,8 +18,16 @@ use crate::report::{CallEvent, CallMode, RunReport};
 /// Instruction source: the program binary or a microcode-cache entry.
 #[derive(Clone, Copy, Debug)]
 enum Stream {
-    Prog { pc: u32 },
-    Micro { idx: usize, pos: u32, ret_pc: u32 },
+    Prog {
+        pc: u32,
+    },
+    Micro {
+        idx: usize,
+        pos: u32,
+        ret_pc: u32,
+        /// Cycle at which this microcode call entered (target profiling).
+        entered: u64,
+    },
 }
 
 /// The simulated machine.
@@ -54,9 +62,13 @@ pub struct Machine<'p> {
     /// Optional event recorder (cloned from the config; the same handle is
     /// attached to the caches and the translator).
     tracer: Option<Tracer>,
-    /// Entry PCs of scalar calls in flight, for matching `CallExit` events.
-    /// Only maintained when a tracer is attached.
-    scalar_calls: Vec<u32>,
+    /// Scalar calls in flight: `(entry pc, call cycle)`, for `CallExit`
+    /// events and per-target cycle attribution.
+    scalar_stack: Vec<(u32, u64)>,
+    /// The open execution-phase span and whether it covers microcode
+    /// (tracer only): `exec:scalar` / `exec:microcode` segments tile the
+    /// whole run, so their cycle totals sum to the run's cycle count.
+    exec_span: Option<(SpanId, bool)>,
 }
 
 impl<'p> Machine<'p> {
@@ -104,7 +116,8 @@ impl<'p> Machine<'p> {
             stream: Stream::Prog { pc: prog.entry },
             report: RunReport::default(),
             tracer,
-            scalar_calls: Vec::new(),
+            scalar_stack: Vec::new(),
+            exec_span: None,
             config,
         }
     }
@@ -188,12 +201,24 @@ impl<'p> Machine<'p> {
                 break;
             }
         }
+        if let Some(t) = &self.tracer {
+            t.set_now(self.cycle);
+            if let Some((span, _)) = self.exec_span.take() {
+                t.span_end(span);
+            }
+        }
+        // Calls still on the stack at halt get attributed up to the end.
+        while let Some((target, entered)) = self.scalar_stack.pop() {
+            let tp = self.report.targets.entry(target).or_default();
+            tp.scalar_cycles += self.cycle - entered;
+        }
         let mut report = std::mem::take(&mut self.report);
         report.cycles = self.cycle;
         report.icache = self.icache.stats();
         report.dcache = self.dcache.stats();
         report.translator = self.translator.stats().clone();
         report.mcache = self.mcache.stats();
+        report.mcache_entries = self.mcache.entry_stats().clone();
         report.halted = true;
         Ok(report)
     }
@@ -234,6 +259,26 @@ impl<'p> Machine<'p> {
                 (inst, self.mcache.meta(idx)[pos as usize], pos, true)
             }
         };
+
+        // Execution-phase spans: open/rotate a `exec:scalar`/`exec:microcode`
+        // segment whenever the stream mode flips. Boundaries land on the
+        // previous retire stamp, so consecutive segments tile the run and
+        // their cycle totals sum to the final cycle count.
+        if let Some(t) = &self.tracer {
+            let rotate = self.exec_span.is_none_or(|(_, micro)| micro != in_micro);
+            if rotate {
+                if let Some((span, _)) = self.exec_span.take() {
+                    t.span_end(span);
+                }
+                let name = if in_micro {
+                    "exec:microcode"
+                } else {
+                    "exec:scalar"
+                };
+                self.exec_span = Some((t.span_begin(Track::Pipeline, name), in_micro));
+            }
+        }
+        let cycle_before = self.cycle;
 
         // ---- issue: operand readiness ------------------------------------
         let mut issue = self.cycle + 1;
@@ -296,6 +341,12 @@ impl<'p> Machine<'p> {
             busy += u64::from(self.config.lat.branch_taken);
         }
         self.cycle = busy;
+        let exec_delta = self.cycle - cycle_before;
+        if in_micro {
+            self.report.phases.micro_cycles += exec_delta;
+        } else {
+            self.report.phases.scalar_cycles += exec_delta;
+        }
 
         // ---- retire counters ------------------------------------------------
         self.report.retired += 1;
@@ -342,7 +393,9 @@ impl<'p> Machine<'p> {
                         let valid_at = if self.config.translation.jit {
                             // A software JIT shares the CPU: stall the
                             // pipeline for the translation work.
-                            self.cycle += work * self.config.translation.jit_cycles_per_instr;
+                            let stall = work * self.config.translation.jit_cycles_per_instr;
+                            self.cycle += stall;
+                            self.report.phases.jit_stall_cycles += stall;
                             if let Some(t) = &self.tracer {
                                 // The clock moved after the retire stamp;
                                 // restamp so later events carry the stall.
@@ -406,10 +459,18 @@ impl<'p> Machine<'p> {
                 self.handle_call(pc, target, vectorizable)?;
             }
             Control::Return => match self.stream {
-                Stream::Micro { idx, ret_pc, .. } => {
+                Stream::Micro {
+                    idx,
+                    ret_pc,
+                    entered,
+                    ..
+                } => {
+                    let target = self.mcache.func_pc(idx);
+                    let tp = self.report.targets.entry(target).or_default();
+                    tp.micro_cycles += self.cycle - entered;
                     if let Some(t) = &self.tracer {
                         t.emit(TraceEvent::CallExit {
-                            target: self.mcache.func_pc(idx),
+                            target,
                             mode: TraceCallMode::Simd,
                         });
                     }
@@ -423,8 +484,10 @@ impl<'p> Machine<'p> {
                             what: format!("return to wild address @{ret}"),
                         });
                     }
-                    if let Some(t) = &self.tracer {
-                        if let Some(target) = self.scalar_calls.pop() {
+                    if let Some((target, entered)) = self.scalar_stack.pop() {
+                        let tp = self.report.targets.entry(target).or_default();
+                        tp.scalar_cycles += self.cycle - entered;
+                        if let Some(t) = &self.tracer {
                             t.emit(TraceEvent::CallExit {
                                 target,
                                 mode: TraceCallMode::Scalar,
@@ -474,6 +537,7 @@ impl<'p> Machine<'p> {
                         cycle: self.cycle,
                         mode,
                     });
+                    self.report.targets.entry(target).or_default().micro_calls += 1;
                     if let Some(t) = &self.tracer {
                         t.emit(TraceEvent::CallEnter {
                             target,
@@ -484,6 +548,7 @@ impl<'p> Machine<'p> {
                         idx,
                         pos: 0,
                         ret_pc: pc + 1,
+                        entered: self.cycle,
                     };
                     return Ok(());
                 }
@@ -501,13 +566,14 @@ impl<'p> Machine<'p> {
             cycle: self.cycle,
             mode,
         });
+        self.report.targets.entry(target).or_default().scalar_calls += 1;
         if let Some(t) = &self.tracer {
             t.emit(TraceEvent::CallEnter {
                 target,
                 mode: TraceCallMode::Scalar,
             });
-            self.scalar_calls.push(target);
         }
+        self.scalar_stack.push((target, self.cycle));
         self.stream = Stream::Prog { pc: target };
         Ok(())
     }

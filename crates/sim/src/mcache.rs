@@ -4,6 +4,8 @@
 //! The paper sizes it at 8 entries × 64 instructions (2 KB) and shows this
 //! captures the hot-loop working set of every benchmark.
 
+use std::collections::BTreeMap;
+
 use liquid_simd_isa::Inst;
 
 use crate::meta::InstMeta;
@@ -22,6 +24,28 @@ pub struct McacheStats {
     pub inserts: u64,
     /// Entries evicted by capacity.
     pub evictions: u64,
+}
+
+/// Per-function microcode-cache statistics. Keyed by the function's entry
+/// PC and kept *across* evictions, so a thrashing entry's history survives
+/// its residency.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct McacheEntryStats {
+    /// Lookups that found this function's microcode ready.
+    pub hits: u64,
+    /// Lookups for this function that found nothing resident.
+    pub misses: u64,
+    /// Lookups that found this function's entry still being written.
+    pub pending: u64,
+    /// Times this function's microcode was inserted (reinserts included).
+    pub inserts: u64,
+    /// Times this function was evicted by capacity.
+    pub evictions: u64,
+    /// Entry PC of the function whose insert evicted this one, once per
+    /// eviction, in order — the evictor identity.
+    pub evicted_by: Vec<u32>,
+    /// Microcode length of the most recent insert.
+    pub uops: usize,
 }
 
 #[derive(Clone, Debug)]
@@ -54,6 +78,7 @@ pub struct Mcache {
     max_uops: usize,
     tick: u64,
     stats: McacheStats,
+    per_entry: BTreeMap<u32, McacheEntryStats>,
 }
 
 impl Mcache {
@@ -67,6 +92,7 @@ impl Mcache {
             max_uops,
             tick: 0,
             stats: McacheStats::default(),
+            per_entry: BTreeMap::new(),
         }
     }
 
@@ -74,6 +100,13 @@ impl Mcache {
     #[must_use]
     pub fn stats(&self) -> McacheStats {
         self.stats
+    }
+
+    /// Per-function statistics, keyed by entry PC. Entries persist across
+    /// evictions and flushes.
+    #[must_use]
+    pub fn entry_stats(&self) -> &BTreeMap<u32, McacheEntryStats> {
+        &self.per_entry
     }
 
     /// Storage size in bytes (entries × instructions × 4), the paper's
@@ -92,12 +125,15 @@ impl Mcache {
                 if e.valid_at <= now {
                     e.last_use = self.tick;
                     self.stats.hits += 1;
+                    self.per_entry.entry(func_pc).or_default().hits += 1;
                     return Lookup::Hit(i);
                 }
                 self.stats.pending += 1;
+                self.per_entry.entry(func_pc).or_default().pending += 1;
                 return Lookup::Pending;
             }
         }
+        self.per_entry.entry(func_pc).or_default().misses += 1;
         Lookup::Miss
     }
 
@@ -145,6 +181,11 @@ impl Mcache {
         assert_eq!(code.len(), meta.len(), "metadata must be parallel to code");
         self.tick += 1;
         self.stats.inserts += 1;
+        {
+            let es = self.per_entry.entry(func_pc).or_default();
+            es.inserts += 1;
+            es.uops = code.len();
+        }
         if let Some(e) = self.entries.iter_mut().find(|e| e.func_pc == func_pc) {
             e.code = code;
             e.meta = meta;
@@ -161,8 +202,12 @@ impl Mcache {
                 .min_by_key(|(_, e)| e.last_use)
                 .map(|(i, _)| i)
                 .expect("capacity > 0");
-            evicted = Some(self.entries.swap_remove(lru).func_pc);
+            let victim = self.entries.swap_remove(lru).func_pc;
             self.stats.evictions += 1;
+            let vs = self.per_entry.entry(victim).or_default();
+            vs.evictions += 1;
+            vs.evicted_by.push(func_pc);
+            evicted = Some(victim);
         }
         self.entries.push(Entry {
             func_pc,
@@ -274,5 +319,22 @@ mod tests {
     fn oversized_microcode_panics() {
         let mut mc = Mcache::new(1, 4);
         insert(&mut mc, 1, code(5), 0);
+    }
+
+    #[test]
+    fn per_entry_stats_survive_eviction_and_name_the_evictor() {
+        let mut mc = Mcache::new(1, 64);
+        assert_eq!(mc.lookup(1, 0), Lookup::Miss);
+        insert(&mut mc, 1, code(3), 0);
+        assert!(matches!(mc.lookup(1, 10), Lookup::Hit(_)));
+        insert(&mut mc, 2, code(2), 0); // evicts 1
+        assert_eq!(mc.lookup(1, 20), Lookup::Miss);
+        let one = &mc.entry_stats()[&1];
+        assert_eq!((one.hits, one.misses, one.inserts), (1, 2, 1));
+        assert_eq!(one.evictions, 1);
+        assert_eq!(one.evicted_by, vec![2]);
+        assert_eq!(one.uops, 3);
+        let two = &mc.entry_stats()[&2];
+        assert_eq!((two.inserts, two.evictions, two.uops), (1, 0, 2));
     }
 }

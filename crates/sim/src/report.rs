@@ -1,9 +1,11 @@
 //! Run reports.
 
+use std::collections::BTreeMap;
+
 use liquid_simd_mem::CacheStats;
 use liquid_simd_translator::TranslatorStats;
 
-use crate::mcache::McacheStats;
+use crate::mcache::{McacheEntryStats, McacheStats};
 
 /// How a call to an outlined function was serviced.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -26,6 +28,49 @@ pub struct CallEvent {
     pub mode: CallMode,
 }
 
+/// Where the run's cycles went, partitioned exactly: the three fields sum
+/// to [`RunReport::cycles`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PhaseBreakdown {
+    /// Cycles advanced while executing the program (scalar) stream.
+    pub scalar_cycles: u64,
+    /// Cycles advanced while executing translated microcode.
+    pub micro_cycles: u64,
+    /// Pipeline-stall cycles charged by a software-JIT translation
+    /// (hardware translation runs off the critical path and charges none).
+    pub jit_stall_cycles: u64,
+}
+
+impl PhaseBreakdown {
+    /// Sum of all phases — equals the run's total cycles.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.scalar_cycles + self.micro_cycles + self.jit_stall_cycles
+    }
+}
+
+/// Cycle attribution for one call target: how often and how long it ran
+/// in each servicing mode. Cycles are inclusive call-to-return deltas.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TargetProfile {
+    /// Calls serviced by the scalar fallback body.
+    pub scalar_calls: u64,
+    /// Cycles spent inside scalar-serviced calls.
+    pub scalar_cycles: u64,
+    /// Calls serviced by translated microcode.
+    pub micro_calls: u64,
+    /// Cycles spent inside microcode-serviced calls.
+    pub micro_cycles: u64,
+}
+
+impl TargetProfile {
+    /// Total cycles attributed to this target.
+    #[must_use]
+    pub fn total_cycles(&self) -> u64 {
+        self.scalar_cycles + self.micro_cycles
+    }
+}
+
 /// Everything measured during one simulation.
 #[derive(Clone, Debug, Default)]
 pub struct RunReport {
@@ -45,6 +90,13 @@ pub struct RunReport {
     pub translator: TranslatorStats,
     /// Microcode-cache statistics.
     pub mcache: McacheStats,
+    /// Per-function microcode-cache statistics (keyed by entry PC; history
+    /// survives eviction, including the evictor's identity).
+    pub mcache_entries: BTreeMap<u32, McacheEntryStats>,
+    /// Exact cycle partition: scalar vs microcode execution vs JIT stall.
+    pub phases: PhaseBreakdown,
+    /// Per-call-target cycle attribution, keyed by entry PC.
+    pub targets: BTreeMap<u32, TargetProfile>,
     /// Call log (for call-distance analyses).
     pub calls: Vec<CallEvent>,
     /// Completed translations: `(function pc, microcode length)`.

@@ -15,6 +15,9 @@
 //! * [`Metrics`] — named counters and fixed-bucket [`Histogram`]s
 //!   (translation latency, cycles between calls, abort-reason tallies),
 //!   maintained by the tracer as events stream through it.
+//! * [`span`] — named durations with per-track nesting and both sim-cycle
+//!   and wall-clock deltas ([`Tracer::span_begin`]/[`Tracer::span_end`] or
+//!   the RAII [`Tracer::span`]), aggregated by name for profile reports.
 //! * [`export`] — JSON-lines, Chrome trace-event format (one track per
 //!   subsystem, loadable in Perfetto / `chrome://tracing`), and a
 //!   human-readable summary.
@@ -45,8 +48,10 @@
 pub mod event;
 pub mod export;
 pub mod metrics;
+pub mod span;
 pub mod tracer;
 
 pub use event::{CacheKind, CallMode, TraceEvent, TraceRecord, Track};
 pub use metrics::{Histogram, Metrics};
+pub use span::{SpanAgg, SpanGuard, SpanId, SpanRecord};
 pub use tracer::{TraceConfig, Tracer, DEFAULT_CAPACITY};

@@ -1,0 +1,246 @@
+//! Spans: named durations with nesting, cycle and wall-clock deltas.
+//!
+//! Events ([`TraceEvent`](crate::TraceEvent)) answer *what happened*;
+//! spans answer *where the time went*. A span opens with
+//! [`Tracer::span_begin`](crate::Tracer::span_begin) (or the RAII
+//! [`Tracer::span`](crate::Tracer::span)) and closes with
+//! [`Tracer::span_end`](crate::Tracer::span_end); while open it carries the
+//! machine cycle and wall-clock instant at which it began, and on close it
+//! records both deltas. Spans nest per [`Track`]: opening a span while
+//! another is open on the same track records a deeper level, which the
+//! Chrome-trace exporter renders as stacked `B`/`E` events.
+//!
+//! Spans are kept in an append-only list (they are few — phases, calls,
+//! translation attempts — not per-instruction), so a closed span is never
+//! lost the way ring-buffer records can be.
+
+use crate::event::Track;
+use crate::tracer::Tracer;
+
+/// Opaque handle to an open (or closed) span.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SpanId(pub(crate) u64);
+
+impl SpanId {
+    /// The span's index in the tracer's span list.
+    #[must_use]
+    pub fn index(self) -> usize {
+        usize::try_from(self.0).unwrap_or(usize::MAX)
+    }
+}
+
+/// One recorded span: a named duration on a subsystem track.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// The span's id (its index in the tracer's span list).
+    pub id: u64,
+    /// Span name, e.g. `exec:scalar` or `translate@12`.
+    pub name: String,
+    /// The subsystem track the span renders on.
+    pub track: Track,
+    /// Nesting depth within the track at begin time (0 = top level).
+    pub depth: u32,
+    /// Begin order across *all* span begins and ends — used to emit
+    /// Chrome `B`/`E` events in a valid chronological interleaving.
+    pub begin_order: u64,
+    /// End order, if closed (shares the counter with `begin_order`).
+    pub end_order: Option<u64>,
+    /// Machine cycle at begin.
+    pub begin_cycle: u64,
+    /// Machine cycle at end, if closed.
+    pub end_cycle: Option<u64>,
+    /// Wall-clock nanoseconds since tracer creation at begin.
+    pub begin_wall_ns: u64,
+    /// Wall-clock nanoseconds since tracer creation at end, if closed.
+    pub end_wall_ns: Option<u64>,
+}
+
+impl SpanRecord {
+    /// Whether the span has been closed.
+    #[must_use]
+    pub fn closed(&self) -> bool {
+        self.end_cycle.is_some()
+    }
+
+    /// Simulated cycles covered (0 while still open).
+    #[must_use]
+    pub fn cycles(&self) -> u64 {
+        self.end_cycle
+            .map_or(0, |end| end.saturating_sub(self.begin_cycle))
+    }
+
+    /// Wall-clock nanoseconds covered (0 while still open).
+    #[must_use]
+    pub fn wall_ns(&self) -> u64 {
+        self.end_wall_ns
+            .map_or(0, |end| end.saturating_sub(self.begin_wall_ns))
+    }
+}
+
+/// RAII guard returned by [`Tracer::span`]: ends the span when dropped.
+#[derive(Debug)]
+pub struct SpanGuard {
+    tracer: Tracer,
+    id: SpanId,
+}
+
+impl SpanGuard {
+    pub(crate) fn new(tracer: Tracer, id: SpanId) -> SpanGuard {
+        SpanGuard { tracer, id }
+    }
+
+    /// The guarded span's id.
+    #[must_use]
+    pub fn id(&self) -> SpanId {
+        self.id
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        self.tracer.span_end(self.id);
+    }
+}
+
+/// Aggregated statistics for all spans sharing one name.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SpanAgg {
+    /// The shared span name.
+    pub name: String,
+    /// Closed spans with this name.
+    pub count: u64,
+    /// Spans with this name still open at snapshot time (not counted in
+    /// the totals below).
+    pub open: u64,
+    /// Total simulated cycles across closed spans.
+    pub total_cycles: u64,
+    /// Largest single-span cycle delta.
+    pub max_cycles: u64,
+    /// Total wall-clock nanoseconds across closed spans.
+    pub total_wall_ns: u64,
+}
+
+impl SpanAgg {
+    /// Mean cycles per closed span (0 when none closed).
+    #[must_use]
+    pub fn mean_cycles(&self) -> u64 {
+        self.total_cycles.checked_div(self.count).unwrap_or(0)
+    }
+}
+
+/// Groups spans by name and aggregates their deltas, sorted by total
+/// cycles descending (ties broken by name, so output is deterministic).
+#[must_use]
+pub fn aggregate(spans: &[SpanRecord]) -> Vec<SpanAgg> {
+    let mut by_name: std::collections::BTreeMap<&str, SpanAgg> = std::collections::BTreeMap::new();
+    for s in spans {
+        let agg = by_name.entry(&s.name).or_insert_with(|| SpanAgg {
+            name: s.name.clone(),
+            count: 0,
+            open: 0,
+            total_cycles: 0,
+            max_cycles: 0,
+            total_wall_ns: 0,
+        });
+        if s.closed() {
+            agg.count += 1;
+            agg.total_cycles += s.cycles();
+            agg.max_cycles = agg.max_cycles.max(s.cycles());
+            agg.total_wall_ns += s.wall_ns();
+        } else {
+            agg.open += 1;
+        }
+    }
+    let mut out: Vec<SpanAgg> = by_name.into_values().collect();
+    out.sort_by(|a, b| {
+        b.total_cycles
+            .cmp(&a.total_cycles)
+            .then_with(|| a.name.cmp(&b.name))
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::Track;
+    use crate::tracer::Tracer;
+
+    #[test]
+    fn begin_end_records_cycle_delta() {
+        let t = Tracer::new();
+        t.set_now(100);
+        let id = t.span_begin(Track::Pipeline, "exec:scalar");
+        t.set_now(340);
+        t.span_end(id);
+        let spans = t.spans();
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].name, "exec:scalar");
+        assert_eq!(spans[0].cycles(), 240);
+        assert!(spans[0].closed());
+    }
+
+    #[test]
+    fn nesting_depth_tracks_per_track() {
+        let t = Tracer::new();
+        let outer = t.span_begin(Track::Pipeline, "outer");
+        let inner = t.span_begin(Track::Pipeline, "inner");
+        // A different track does not nest under the pipeline.
+        let other = t.span_begin(Track::Translator, "translate");
+        t.span_end(other);
+        t.span_end(inner);
+        t.span_end(outer);
+        let spans = t.spans();
+        assert_eq!(spans[0].depth, 0);
+        assert_eq!(spans[1].depth, 1);
+        assert_eq!(spans[2].depth, 0);
+        // begin/end order counters form a valid interleaving.
+        assert!(spans[1].begin_order > spans[0].begin_order);
+        assert!(spans[1].end_order.unwrap() < spans[0].end_order.unwrap());
+    }
+
+    #[test]
+    fn span_end_is_idempotent() {
+        let t = Tracer::new();
+        let id = t.span_begin(Track::Mcache, "fill");
+        t.set_now(7);
+        t.span_end(id);
+        t.set_now(99);
+        t.span_end(id); // second end must not move the close point
+        assert_eq!(t.spans()[0].end_cycle, Some(7));
+        assert_eq!(t.open_spans(), 0);
+    }
+
+    #[test]
+    fn guard_ends_on_drop() {
+        let t = Tracer::new();
+        {
+            let _g = t.span(Track::Pipeline, "scoped");
+            assert_eq!(t.open_spans(), 1);
+        }
+        assert_eq!(t.open_spans(), 0);
+        assert!(t.spans()[0].closed());
+    }
+
+    #[test]
+    fn aggregate_groups_and_sorts() {
+        let t = Tracer::new();
+        for (name, len) in [("a", 10), ("b", 50), ("a", 30)] {
+            let start = t.now();
+            let id = t.span_begin(Track::Pipeline, name);
+            t.set_now(start + len);
+            t.span_end(id);
+        }
+        let open = t.span_begin(Track::Pipeline, "a");
+        let aggs = aggregate(&t.spans());
+        assert_eq!(aggs.len(), 2);
+        assert_eq!(aggs[0].name, "b"); // 50 > 40
+        assert_eq!(aggs[1].name, "a");
+        assert_eq!(aggs[1].count, 2);
+        assert_eq!(aggs[1].open, 1);
+        assert_eq!(aggs[1].total_cycles, 40);
+        assert_eq!(aggs[1].mean_cycles(), 20);
+        assert_eq!(aggs[1].max_cycles, 30);
+        t.span_end(open);
+    }
+}

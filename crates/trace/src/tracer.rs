@@ -13,9 +13,11 @@ use std::cell::RefCell;
 use std::collections::{BTreeMap, VecDeque};
 use std::fmt;
 use std::rc::Rc;
+use std::time::Instant;
 
-use crate::event::{TraceEvent, TraceRecord};
+use crate::event::{TraceEvent, TraceRecord, Track};
 use crate::metrics::Metrics;
+use crate::span::{SpanGuard, SpanId, SpanRecord};
 
 /// Default ring-buffer capacity (records).
 pub const DEFAULT_CAPACITY: usize = 1 << 16;
@@ -66,6 +68,14 @@ struct Inner {
     translation_begin: BTreeMap<u32, u64>,
     /// Last call-enter cycle per target, for call-gap histograms.
     last_call: BTreeMap<u32, u64>,
+    /// Wall-clock reference point for span wall deltas.
+    epoch: Instant,
+    /// Append-only span list; a [`SpanId`] indexes into it.
+    spans: Vec<SpanRecord>,
+    /// Shared begin/end ordering counter for spans.
+    span_order: u64,
+    /// Open-span count per track (indexed `tid - 1`), for nesting depth.
+    open_depth: [u32; 4],
 }
 
 /// The shared tracing handle. Clone freely — all clones record into the
@@ -114,6 +124,10 @@ impl Tracer {
                 metrics: Metrics::new(),
                 translation_begin: BTreeMap::new(),
                 last_call: BTreeMap::new(),
+                epoch: Instant::now(),
+                spans: Vec::new(),
+                span_order: 0,
+                open_depth: [0; 4],
             })),
         }
     }
@@ -273,6 +287,84 @@ impl Tracer {
     pub fn config(&self) -> TraceConfig {
         self.inner.borrow().config
     }
+
+    /// Opens a span named `name` on `track` at the current clock,
+    /// recording both the cycle and the wall-clock instant. Returns a
+    /// handle for [`Tracer::span_end`].
+    pub fn span_begin(&self, track: Track, name: &str) -> SpanId {
+        let mut inner = self.inner.borrow_mut();
+        let id = inner.spans.len() as u64;
+        let order = inner.span_order;
+        inner.span_order += 1;
+        let slot = track.tid() as usize - 1;
+        let depth = inner.open_depth[slot];
+        inner.open_depth[slot] += 1;
+        let record = SpanRecord {
+            id,
+            name: name.to_string(),
+            track,
+            depth,
+            begin_order: order,
+            end_order: None,
+            begin_cycle: inner.now,
+            end_cycle: None,
+            begin_wall_ns: wall_ns(inner.epoch),
+            end_wall_ns: None,
+        };
+        inner.spans.push(record);
+        SpanId(id)
+    }
+
+    /// Closes the span at the current clock. Idempotent: ending an
+    /// already-closed span (or an unknown id) does nothing, so the RAII
+    /// guard composes with manual ends.
+    pub fn span_end(&self, id: SpanId) {
+        let mut inner = self.inner.borrow_mut();
+        let order = inner.span_order;
+        let now = inner.now;
+        let wall = wall_ns(inner.epoch);
+        let Some(span) = inner.spans.get_mut(id.index()) else {
+            return;
+        };
+        if span.end_order.is_some() {
+            return;
+        }
+        span.end_order = Some(order);
+        span.end_cycle = Some(now);
+        span.end_wall_ns = Some(wall);
+        let slot = span.track.tid() as usize - 1;
+        inner.span_order += 1;
+        inner.open_depth[slot] = inner.open_depth[slot].saturating_sub(1);
+    }
+
+    /// Opens a span and returns an RAII guard that closes it on drop.
+    #[must_use]
+    pub fn span(&self, track: Track, name: &str) -> SpanGuard {
+        SpanGuard::new(self.clone(), self.span_begin(track, name))
+    }
+
+    /// Snapshot of every span recorded so far (open ones included), in
+    /// begin order.
+    #[must_use]
+    pub fn spans(&self) -> Vec<SpanRecord> {
+        self.inner.borrow().spans.clone()
+    }
+
+    /// How many spans are currently open across all tracks.
+    #[must_use]
+    pub fn open_spans(&self) -> usize {
+        self.inner
+            .borrow()
+            .open_depth
+            .iter()
+            .map(|&d| d as usize)
+            .sum()
+    }
+}
+
+/// Nanoseconds elapsed since `epoch`, saturating at `u64::MAX`.
+fn wall_ns(epoch: Instant) -> u64 {
+    u64::try_from(epoch.elapsed().as_nanos()).unwrap_or(u64::MAX)
 }
 
 #[cfg(test)]

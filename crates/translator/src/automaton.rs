@@ -25,13 +25,13 @@ fn fits_valu_imm(value: i64) -> bool {
     i32::try_from(value).is_ok_and(|v| (VALU_IMM_MIN..=VALU_IMM_MAX).contains(&v))
 }
 
-use liquid_simd_trace::{TraceEvent, Tracer};
+use liquid_simd_trace::{SpanId, TraceEvent, Tracer, Track};
 
 use crate::buffer::{Slot, UopBuffer};
 use crate::event::Retired;
 use crate::idiom::{collapse, BodyOp, BodyOpKind};
 use crate::state::{AbortReason, RegClass, Tracker};
-use crate::stats::TranslatorStats;
+use crate::stats::{AbortRecord, TrackerSnapshot, TranslatorStats};
 
 /// Configuration of a dynamic translator instance.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -163,6 +163,11 @@ enum Phase {
 struct Active {
     func_pc: u32,
     dynamic: u64,
+    /// PC of the most recently observed retired instruction (abort
+    /// provenance; stays 0 if the region aborts before observing any).
+    last_pc: u32,
+    /// The most recently observed instruction itself.
+    last_inst: Option<ScalarInst>,
     regs: [RegClass; 16],
     fregs: [RegClass; 16],
     vmap: VMap,
@@ -171,6 +176,44 @@ struct Active {
     loops: usize,
     induction: Option<Reg>,
     phase: Phase,
+}
+
+/// Snapshots the automaton state at the moment `reason` fired.
+fn abort_record(active: &Active, reason: AbortReason) -> AbortRecord {
+    fn classes(bank: &[RegClass; 16]) -> Vec<(u8, RegClass)> {
+        bank.iter()
+            .enumerate()
+            .filter(|&(_, c)| *c != RegClass::Unknown)
+            .map(|(i, c)| (i as u8, *c))
+            .collect()
+    }
+    AbortRecord {
+        func_pc: active.func_pc,
+        pc: active.last_pc,
+        opcode: active
+            .last_inst
+            .map_or_else(|| "-".to_string(), |inst| inst.to_string()),
+        instr_index: active.dynamic,
+        phase: match active.phase {
+            Phase::Collect { .. } => "collect",
+            Phase::Loop(_) => "loop",
+        },
+        regs: classes(&active.regs),
+        fregs: classes(&active.fregs),
+        trackers: active
+            .trackers
+            .iter()
+            .map(|t| TrackerSnapshot {
+                values: t.values.clone(),
+                complete: t.complete(),
+                consistent: t.consistent,
+                wide: t.wide,
+                address_use: t.address_use,
+            })
+            .collect(),
+        loops_done: active.loops,
+        reason,
+    }
 }
 
 /// The post-retirement dynamic translator.
@@ -182,6 +225,8 @@ pub struct Translator {
     stats: TranslatorStats,
     active: Option<Active>,
     tracer: Option<Tracer>,
+    /// Open `translate@pc` span for the in-flight attempt (tracer only).
+    span: Option<SpanId>,
 }
 
 impl std::fmt::Debug for Translator {
@@ -203,6 +248,7 @@ impl Translator {
             stats: TranslatorStats::default(),
             active: None,
             tracer: None,
+            span: None,
         }
     }
 
@@ -247,10 +293,13 @@ impl Translator {
         self.stats.attempts += 1;
         if let Some(tracer) = &self.tracer {
             tracer.emit(TraceEvent::TranslationBegin { func_pc });
+            self.span = Some(tracer.span_begin(Track::Translator, &format!("translate@{func_pc}")));
         }
         self.active = Some(Active {
             func_pc,
             dynamic: 0,
+            last_pc: 0,
+            last_inst: None,
             regs: Default::default(),
             fregs: Default::default(),
             vmap: VMap::default(),
@@ -267,13 +316,22 @@ impl Translator {
     pub fn abort_external(&mut self, what: &'static str) {
         if let Some(active) = self.active.take() {
             let reason = AbortReason::External { what };
-            self.stats.record_abort(reason.tag());
+            let tag = reason.tag();
+            self.stats.record_abort_with(abort_record(&active, reason));
             if let Some(tracer) = &self.tracer {
                 tracer.emit(TraceEvent::TranslationAbort {
                     func_pc: active.func_pc,
-                    reason: reason.tag(),
+                    reason: tag,
                 });
             }
+            self.end_span();
+        }
+    }
+
+    /// Closes the open translation span, if any.
+    fn end_span(&mut self) {
+        if let (Some(tracer), Some(span)) = (&self.tracer, self.span.take()) {
+            tracer.span_end(span);
         }
     }
 
@@ -283,6 +341,8 @@ impl Translator {
             return Progress::Ongoing;
         };
         active.dynamic += 1;
+        active.last_pc = r.pc;
+        active.last_inst = Some(r.inst);
         self.stats.instrs_observed += 1;
         let func_pc = active.func_pc;
         match step(&mut active, r, &self.config) {
@@ -306,16 +366,19 @@ impl Translator {
                         dynamic_instrs: translation.dynamic_instrs,
                     });
                 }
+                self.end_span();
                 Progress::Finished(translation)
             }
             Err(reason) => {
-                self.stats.record_abort(reason.tag());
+                self.stats
+                    .record_abort_with(abort_record(&active, reason.clone()));
                 if let Some(tracer) = &self.tracer {
                     tracer.emit(TraceEvent::TranslationAbort {
                         func_pc,
                         reason: reason.tag(),
                     });
                 }
+                self.end_span();
                 Progress::Aborted(reason)
             }
         }

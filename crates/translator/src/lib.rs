@@ -106,4 +106,4 @@ mod stats;
 pub use automaton::{Progress, Translation, Translator, TranslatorConfig};
 pub use event::Retired;
 pub use state::{AbortReason, RegClass};
-pub use stats::TranslatorStats;
+pub use stats::{AbortRecord, TrackerSnapshot, TranslatorStats, MAX_ABORT_RECORDS};

@@ -1,7 +1,77 @@
-//! Translator statistics.
+//! Translator statistics and abort provenance.
+//!
+//! An abort is not a failure — the scalar loop remains correct — but it
+//! *is* lost performance, and diagnosing one needs more than a reason tag.
+//! [`AbortRecord`] captures the full automaton state at the moment a
+//! legality check fired: the retired instruction (PC and rendered opcode),
+//! how many dynamic instructions into the region translation died, the
+//! register-class map, and the value-tracker (idiom/CAM) state. Records
+//! accumulate in [`TranslatorStats`] next to the per-reason tallies and a
+//! per-region breakdown.
 
 use std::collections::BTreeMap;
 use std::fmt;
+
+use crate::state::{AbortReason, RegClass};
+
+/// Cap on retained [`AbortRecord`]s — tallies keep counting past it, the
+/// detailed records just stop growing (a pathological run can abort on
+/// every call).
+pub const MAX_ABORT_RECORDS: usize = 256;
+
+/// Plain-data snapshot of one value tracker at abort time (the "previous
+/// values" slice of the paper's register state).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TrackerSnapshot {
+    /// Values observed so far (up to one pattern of `lanes`).
+    pub values: Vec<i64>,
+    /// Whether a full pattern had been collected.
+    pub complete: bool,
+    /// Whether observations still repeated with the expected period.
+    pub consistent: bool,
+    /// Whether any value exceeded the hardware value-field width.
+    pub wide: bool,
+    /// Whether the tracker was used as a permutation address pattern.
+    pub address_use: bool,
+}
+
+/// Everything known about one translation abort: where it fired, what the
+/// automaton had concluded up to that point.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AbortRecord {
+    /// Entry PC of the region whose translation aborted.
+    pub func_pc: u32,
+    /// The legality check that fired.
+    pub reason: AbortReason,
+    /// Code index of the retired instruction that triggered the abort
+    /// (the last observed instruction, for external aborts).
+    pub pc: u32,
+    /// Rendered opcode of that instruction (`-` if none was observed).
+    pub opcode: String,
+    /// Dynamic instructions into the region when the abort fired
+    /// (1-based: the aborting instruction itself counts).
+    pub instr_index: u64,
+    /// Automaton phase at the abort: `collect` or `loop`.
+    pub phase: &'static str,
+    /// Non-default integer register classes, `(register index, class)`.
+    pub regs: Vec<(u8, RegClass)>,
+    /// Non-default floating-point register classes.
+    pub fregs: Vec<(u8, RegClass)>,
+    /// Value-tracker (idiom / permutation-CAM candidate) state.
+    pub trackers: Vec<TrackerSnapshot>,
+    /// Loops already vectorised in this region before the abort.
+    pub loops_done: usize,
+}
+
+impl fmt::Display for AbortRecord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "region @{}: {} at pc={} instr #{} ({}, {} phase)",
+            self.func_pc, self.reason, self.pc, self.instr_index, self.opcode, self.phase
+        )
+    }
+}
 
 /// Counters accumulated across a translator's lifetime.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
@@ -16,6 +86,12 @@ pub struct TranslatorStats {
     pub instrs_observed: u64,
     /// Abort counts bucketed by [`AbortReason::tag`](crate::AbortReason::tag).
     pub aborts: BTreeMap<&'static str, u64>,
+    /// Abort counts per region entry PC, bucketed by reason tag.
+    pub aborts_by_region: BTreeMap<u32, BTreeMap<&'static str, u64>>,
+    /// Detailed provenance, capped at [`MAX_ABORT_RECORDS`].
+    pub abort_records: Vec<AbortRecord>,
+    /// Records discarded once the cap was reached (tallies still count).
+    pub abort_records_dropped: u64,
 }
 
 impl TranslatorStats {
@@ -25,9 +101,34 @@ impl TranslatorStats {
         self.aborts.values().sum()
     }
 
-    /// Records an abort bucket.
+    /// Records an abort bucket (tag-only; no provenance).
     pub fn record_abort(&mut self, tag: &'static str) {
         *self.aborts.entry(tag).or_insert(0) += 1;
+    }
+
+    /// Records an abort with full provenance: updates the per-reason and
+    /// per-region tallies and retains the record (up to the cap).
+    pub fn record_abort_with(&mut self, record: AbortRecord) {
+        let tag = record.reason.tag();
+        self.record_abort(tag);
+        *self
+            .aborts_by_region
+            .entry(record.func_pc)
+            .or_default()
+            .entry(tag)
+            .or_insert(0) += 1;
+        if self.abort_records.len() < MAX_ABORT_RECORDS {
+            self.abort_records.push(record);
+        } else {
+            self.abort_records_dropped += 1;
+        }
+    }
+
+    /// The retained abort records for one region, in order of occurrence.
+    pub fn region_aborts(&self, func_pc: u32) -> impl Iterator<Item = &AbortRecord> {
+        self.abort_records
+            .iter()
+            .filter(move |r| r.func_pc == func_pc)
     }
 }
 
@@ -67,5 +168,46 @@ mod tests {
         let text = s.to_string();
         assert!(text.contains("cam-miss: 2"));
         assert!(text.contains("no-loop: 1"));
+    }
+
+    fn sample_record(func_pc: u32, reason: AbortReason) -> AbortRecord {
+        AbortRecord {
+            func_pc,
+            reason,
+            pc: 12,
+            opcode: "ld.w r1, [a + r0]".to_string(),
+            instr_index: 7,
+            phase: "loop",
+            regs: vec![(0, RegClass::Induction)],
+            fregs: Vec::new(),
+            trackers: Vec::new(),
+            loops_done: 0,
+        }
+    }
+
+    #[test]
+    fn provenance_feeds_region_breakdown() {
+        let mut s = TranslatorStats::default();
+        s.record_abort_with(sample_record(4, AbortReason::CamMiss));
+        s.record_abort_with(sample_record(4, AbortReason::CamMiss));
+        s.record_abort_with(sample_record(9, AbortReason::NoLoop));
+        assert_eq!(s.aborted(), 3);
+        assert_eq!(s.aborts_by_region[&4]["cam-miss"], 2);
+        assert_eq!(s.aborts_by_region[&9]["no-loop"], 1);
+        assert_eq!(s.region_aborts(4).count(), 2);
+        let shown = s.abort_records[0].to_string();
+        assert!(shown.contains("region @4"));
+        assert!(shown.contains("instr #7"));
+    }
+
+    #[test]
+    fn records_are_capped_but_tallies_keep_counting() {
+        let mut s = TranslatorStats::default();
+        for _ in 0..(MAX_ABORT_RECORDS + 10) {
+            s.record_abort_with(sample_record(1, AbortReason::NoLoop));
+        }
+        assert_eq!(s.abort_records.len(), MAX_ABORT_RECORDS);
+        assert_eq!(s.abort_records_dropped, 10);
+        assert_eq!(s.aborted(), (MAX_ABORT_RECORDS + 10) as u64);
     }
 }

@@ -116,7 +116,14 @@ impl MiniMachine {
             Cond::Le => a <= b,
             Cond::Eq => a == b,
             Cond::Ne => a != b,
-            _ => unimplemented!("condition not needed in these tests"),
+            // Unsigned predicates, modelled exhaustively so this helper can
+            // never panic: a predicate the *automaton* cannot vectorise
+            // surfaces as a translation abort, which tests can then assert
+            // on, instead of dying inside the interpreter.
+            Cond::Lo => (a as u64) < (b as u64),
+            Cond::Ls => (a as u64) <= (b as u64),
+            Cond::Hi => (a as u64) > (b as u64),
+            Cond::Hs => (a as u64) >= (b as u64),
         }
     }
 }

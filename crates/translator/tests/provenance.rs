@@ -1,0 +1,452 @@
+//! Abort provenance: every [`AbortReason`] variant, driven by a hand-fed
+//! retirement stream, must leave an [`AbortRecord`] whose PC and dynamic
+//! instruction index point at the injected illegal input.
+//!
+//! The recorded `pc` is always the *last retired* instruction at the
+//! moment the legality check fired — for checks that fire during deferred
+//! classification (at the loop back-edge or the region's `ret`) that is
+//! the back-edge / `ret` itself, with the offending PC carried inside the
+//! reason (e.g. [`AbortReason::UnsupportedOpcode`]).
+
+use liquid_simd_isa::{AluOp, Base, Cond, FReg, MemWidth, Operand2, Reg, ScalarInst, SymId};
+use liquid_simd_translator::{
+    AbortReason, AbortRecord, Progress, Retired, Translator, TranslatorConfig,
+};
+
+fn mov(rd: u8, imm: i32) -> ScalarInst {
+    ScalarInst::MovImm {
+        cond: Cond::Al,
+        rd: Reg::of(rd),
+        imm,
+    }
+}
+
+fn alu(op: AluOp, rd: u8, rn: u8, op2: Operand2) -> ScalarInst {
+    ScalarInst::Alu {
+        cond: Cond::Al,
+        op,
+        rd: Reg::of(rd),
+        rn: Reg::of(rn),
+        op2,
+    }
+}
+
+fn ld(rd: u8, sym: u16, index: u8) -> ScalarInst {
+    ScalarInst::LdInt {
+        width: MemWidth::W,
+        signed: false,
+        rd: Reg::of(rd),
+        base: Base::Sym(SymId::new(sym)),
+        index: Reg::of(index),
+    }
+}
+
+fn ldf(fd: u8, sym: u16, index: u8) -> ScalarInst {
+    ScalarInst::LdF {
+        fd: FReg::of(fd),
+        base: Base::Sym(SymId::new(sym)),
+        index: Reg::of(index),
+    }
+}
+
+fn st(rs: u8, sym: u16, index: u8) -> ScalarInst {
+    ScalarInst::StInt {
+        width: MemWidth::W,
+        rs: Reg::of(rs),
+        base: Base::Sym(SymId::new(sym)),
+        index: Reg::of(index),
+    }
+}
+
+fn cmp(rn: u8, imm: i32) -> ScalarInst {
+    ScalarInst::Cmp {
+        rn: Reg::of(rn),
+        op2: Operand2::Imm(imm),
+    }
+}
+
+fn blt(target: u32) -> ScalarInst {
+    ScalarInst::B {
+        cond: Cond::Lt,
+        target,
+    }
+}
+
+/// Feeds a translator while tracking exactly what was retired, so tests
+/// can assert the recorded provenance against ground truth.
+struct Drive {
+    t: Translator,
+    fed: u64,
+    last_pc: u32,
+}
+
+impl Drive {
+    fn new(config: TranslatorConfig) -> Drive {
+        let mut t = Translator::new(config);
+        t.begin(0);
+        Drive {
+            t,
+            fed: 0,
+            last_pc: 0,
+        }
+    }
+
+    fn lanes(lanes: usize) -> Drive {
+        Drive::new(TranslatorConfig {
+            lanes,
+            ..TranslatorConfig::default()
+        })
+    }
+
+    fn feed(&mut self, pc: u32, inst: ScalarInst, value: Option<i64>, taken: bool) -> Progress {
+        self.fed += 1;
+        self.last_pc = pc;
+        self.t.observe(&Retired {
+            pc,
+            inst,
+            executed: true,
+            value,
+            taken,
+        })
+    }
+
+    /// Runs `iters` iterations of the canonical add-one body at `pcs`
+    /// 1..=6 (`ld, add, st, add, cmp, blt`) over a `bound`-element compare,
+    /// returning early if the translator finishes or aborts.
+    fn add_one_iters(&mut self, iters: u64, bound: i32) -> Progress {
+        for i in 0..iters {
+            let i = i as i64;
+            let body = [
+                (1, ld(1, 0, 0), Some(i)),
+                (2, alu(AluOp::Add, 1, 1, Operand2::Imm(1)), Some(i + 1)),
+                (3, st(1, 0, 0), None),
+                (4, alu(AluOp::Add, 0, 0, Operand2::Imm(1)), Some(i + 1)),
+                (5, cmp(0, bound), None),
+            ];
+            for (pc, inst, value) in body {
+                match self.feed(pc, inst, value, false) {
+                    Progress::Ongoing => {}
+                    done => return done,
+                }
+            }
+            let taken = (i + 1) < iters as i64;
+            match self.feed(6, blt(1), None, taken) {
+                Progress::Ongoing => {}
+                done => return done,
+            }
+        }
+        Progress::Ongoing
+    }
+
+    /// The single retained abort record, checked against the drive's
+    /// ground truth: region 0, the last retired PC, the exact dynamic
+    /// instruction count.
+    fn assert_abort(&self, tag: &str) -> &AbortRecord {
+        let records = &self.t.stats().abort_records;
+        assert_eq!(records.len(), 1, "records: {records:?}");
+        let r = &records[0];
+        assert_eq!(r.reason.tag(), tag);
+        assert_eq!(r.func_pc, 0);
+        assert_eq!(r.pc, self.last_pc, "recorded pc vs last retired");
+        assert_eq!(
+            r.instr_index, self.fed,
+            "recorded index vs instructions fed"
+        );
+        assert_eq!(self.t.stats().aborts_by_region[&0][tag], 1);
+        r
+    }
+}
+
+#[test]
+fn unsupported_opcode_names_the_offending_pc() {
+    let mut d = Drive::lanes(4);
+    d.feed(0, mov(0, 0), Some(0), false);
+    d.feed(1, ld(1, 0, 0), Some(0), false);
+    let p = d.feed(2, ScalarInst::Halt, None, false);
+    assert!(matches!(p, Progress::Aborted(_)), "got {p:?}");
+    let r = d.assert_abort("unsupported-opcode");
+    assert_eq!(r.reason, AbortReason::UnsupportedOpcode { pc: 2 });
+    assert_eq!(r.opcode, "halt");
+    assert_eq!(r.phase, "collect");
+}
+
+#[test]
+fn nested_call_records_the_call_site() {
+    let mut d = Drive::lanes(4);
+    d.feed(0, mov(0, 0), Some(0), false);
+    let call = ScalarInst::Bl {
+        target: 40,
+        vectorizable: false,
+    };
+    let p = d.feed(1, call, None, true);
+    assert!(matches!(p, Progress::Aborted(AbortReason::NestedCall)));
+    let r = d.assert_abort("nested-call");
+    assert_eq!((r.pc, r.instr_index), (1, 2));
+}
+
+#[test]
+fn no_loop_records_the_return() {
+    let mut d = Drive::lanes(4);
+    d.feed(0, mov(0, 0), Some(0), false);
+    d.feed(1, alu(AluOp::Add, 0, 0, Operand2::Imm(1)), Some(1), false);
+    let p = d.feed(2, ScalarInst::Ret, None, true);
+    assert!(matches!(p, Progress::Aborted(AbortReason::NoLoop)));
+    let r = d.assert_abort("no-loop");
+    assert_eq!((r.pc, r.instr_index), (2, 3));
+}
+
+#[test]
+fn too_many_uops_fires_at_materialization() {
+    let mut d = Drive::new(TranslatorConfig {
+        lanes: 2,
+        max_uops: 3,
+        ..TranslatorConfig::default()
+    });
+    d.feed(0, mov(0, 0), Some(0), false);
+    assert_eq!(d.add_one_iters(2, 2), Progress::Ongoing);
+    let p = d.feed(7, ScalarInst::Ret, None, true);
+    assert!(matches!(
+        p,
+        Progress::Aborted(AbortReason::TooManyUops { limit: 3 })
+    ));
+    let r = d.assert_abort("too-many-uops");
+    assert_eq!(r.pc, 7, "abort surfaces at the region's ret");
+}
+
+#[test]
+fn trip_not_multiple_records_the_exiting_branch() {
+    let mut d = Drive::lanes(4);
+    d.feed(0, mov(0, 0), Some(0), false);
+    let p = d.add_one_iters(2, 2); // trip 2 at 4 lanes
+    assert!(matches!(
+        p,
+        Progress::Aborted(AbortReason::TripNotMultiple { trip: 2, lanes: 4 })
+    ));
+    let r = d.assert_abort("trip-not-multiple");
+    assert_eq!(r.pc, 6, "the untaken back-edge");
+    assert_eq!(r.phase, "loop");
+}
+
+#[test]
+fn bound_mismatch_when_compare_disagrees_with_trip() {
+    let mut d = Drive::lanes(2);
+    d.feed(0, mov(0, 0), Some(0), false);
+    // The compare claims 16 iterations; the loop exits after 2.
+    let p = d.add_one_iters(2, 16);
+    assert!(matches!(p, Progress::Aborted(AbortReason::BoundMismatch)));
+    let r = d.assert_abort("bound-mismatch");
+    assert_eq!(r.pc, 6);
+}
+
+#[test]
+fn iteration_mismatch_names_the_diverging_pc() {
+    let mut d = Drive::lanes(2);
+    d.feed(0, mov(0, 0), Some(0), false);
+    // One clean iteration (back-edge taken)...
+    let body = [
+        (1, ld(1, 0, 0), Some(0)),
+        (2, alu(AluOp::Add, 1, 1, Operand2::Imm(1)), Some(1)),
+        (3, st(1, 0, 0), None),
+        (4, alu(AluOp::Add, 0, 0, Operand2::Imm(1)), Some(1)),
+        (5, cmp(0, 4), None),
+    ];
+    for (pc, inst, value) in body {
+        assert_eq!(d.feed(pc, inst, value, false), Progress::Ongoing);
+    }
+    assert_eq!(d.feed(6, blt(1), None, true), Progress::Ongoing);
+    // ...then iteration 2 re-enters at the wrong pc.
+    let p = d.feed(2, alu(AluOp::Add, 1, 1, Operand2::Imm(1)), Some(2), false);
+    assert!(matches!(
+        p,
+        Progress::Aborted(AbortReason::IterationMismatch { pc: 2 })
+    ));
+    let r = d.assert_abort("iteration-mismatch");
+    assert_eq!((r.pc, r.phase), (2, "loop"));
+}
+
+/// Permutation loop skeleton, the paper's CAM idiom: an offset array load
+/// (`r2 = OFF[i]`) combined with the induction variable (`r3 = r0 + r2`)
+/// and used to index a second load. `offsets[i]` is the value retired by
+/// the offset load on iteration `i`.
+fn permute_loop(d: &mut Drive, offsets: &[i64]) -> Progress {
+    let trip = offsets.len() as i64;
+    d.feed(0, mov(0, 0), Some(0), false);
+    for (i, &off) in offsets.iter().enumerate() {
+        let i = i as i64;
+        let body = [
+            (1, ld(2, 1, 0), Some(off)),
+            (
+                2,
+                alu(AluOp::Add, 3, 0, Operand2::Reg(Reg::of(2))),
+                Some(i + off),
+            ),
+            (3, ld(1, 0, 3), Some(0)),
+            (4, st(1, 2, 0), None),
+            (5, alu(AluOp::Add, 0, 0, Operand2::Imm(1)), Some(i + 1)),
+            (6, cmp(0, trip as i32), None),
+        ];
+        for (pc, inst, value) in body {
+            match d.feed(pc, inst, value, false) {
+                Progress::Ongoing => {}
+                done => return done,
+            }
+        }
+        let taken = (i + 1) < trip;
+        match d.feed(7, blt(1), None, taken) {
+            Progress::Ongoing => {}
+            done => return done,
+        }
+    }
+    d.feed(8, ScalarInst::Ret, None, true)
+}
+
+#[test]
+fn cam_miss_surfaces_at_the_ret() {
+    let mut d = Drive::lanes(4);
+    // A gather pattern no blocked permutation produces (cf. the CAM's
+    // own `cam_miss_on_unknown_pattern` test).
+    let p = permute_loop(&mut d, &[0, 2, -1, 3]);
+    assert!(
+        matches!(p, Progress::Aborted(AbortReason::CamMiss)),
+        "{p:?}"
+    );
+    let r = d.assert_abort("cam-miss");
+    assert_eq!(r.pc, 8, "abort surfaces at materialization (ret)");
+    assert!(
+        r.trackers.iter().any(|t| t.values == vec![0, 2, -1, 3]),
+        "tracker snapshot should hold the offending offsets: {:?}",
+        r.trackers
+    );
+}
+
+#[test]
+fn value_too_wide_records_the_oversized_offset() {
+    let mut d = Drive::lanes(4);
+    let p = permute_loop(&mut d, &[0, 5000, 1, 2]);
+    assert!(matches!(
+        p,
+        Progress::Aborted(AbortReason::ValueTooWide { value: 5000 })
+    ));
+    let r = d.assert_abort("value-too-wide");
+    assert!(r.trackers.iter().any(|t| t.wide));
+}
+
+#[test]
+fn runtime_indexed_permute_on_untracked_vector_index() {
+    let mut d = Drive::lanes(2);
+    d.feed(0, mov(0, 0), Some(0), false);
+    // r2 = A[i] + 1: a vector with no offset tracker — using it as an
+    // index is a VTBL-like runtime permutation.
+    let body = [
+        (1, ld(2, 1, 0), Some(0)),
+        (2, alu(AluOp::Add, 2, 2, Operand2::Imm(1)), Some(1)),
+        (3, ld(1, 0, 2), Some(0)),
+        (4, st(1, 2, 0), None),
+        (5, alu(AluOp::Add, 0, 0, Operand2::Imm(1)), Some(1)),
+        (6, cmp(0, 2), None),
+    ];
+    for (pc, inst, value) in body {
+        assert_eq!(d.feed(pc, inst, value, false), Progress::Ongoing);
+    }
+    let p = d.feed(7, blt(1), None, true);
+    assert!(
+        matches!(p, Progress::Aborted(AbortReason::RuntimeIndexedPermute)),
+        "{p:?}"
+    );
+    let r = d.assert_abort("runtime-indexed-permute");
+    assert_eq!(r.pc, 7, "abort surfaces at first-iteration classification");
+}
+
+#[test]
+fn scalar_store_inside_the_loop_body() {
+    let mut d = Drive::lanes(2);
+    d.feed(0, mov(7, 3), Some(3), false);
+    d.feed(1, mov(0, 0), Some(0), false);
+    // st B[i] = r7 with r7 a loop-invariant scalar: the stored value is
+    // not a vector, so the store cannot be widened.
+    let body = [
+        (2, ld(1, 0, 0), Some(0)),
+        (3, alu(AluOp::Add, 1, 1, Operand2::Imm(1)), Some(1)),
+        (4, st(7, 1, 0), None),
+        (5, alu(AluOp::Add, 0, 0, Operand2::Imm(1)), Some(1)),
+        (6, cmp(0, 2), None),
+    ];
+    for (pc, inst, value) in body {
+        assert_eq!(d.feed(pc, inst, value, false), Progress::Ongoing);
+    }
+    let p = d.feed(7, blt(2), None, true);
+    assert!(
+        matches!(p, Progress::Aborted(AbortReason::ScalarStore)),
+        "{p:?}"
+    );
+    let r = d.assert_abort("scalar-store");
+    assert_eq!(r.instr_index, d.fed);
+    assert!(
+        r.regs
+            .contains(&(7, liquid_simd_translator::RegClass::Const(3))),
+        "register snapshot should show r7's class: {:?}",
+        r.regs
+    );
+}
+
+#[test]
+fn register_pressure_when_vector_registers_run_out() {
+    let mut d = Drive::lanes(2);
+    d.feed(0, mov(0, 0), Some(0), false);
+    // 15 integer loads + 2 fp loads want 17 vector registers; the file
+    // has 16.
+    let mut pc = 1u32;
+    for k in 0..15u8 {
+        assert_eq!(
+            d.feed(pc, ld(k + 1, u16::from(k), 0), Some(0), false),
+            Progress::Ongoing
+        );
+        pc += 1;
+    }
+    for k in 0..2u8 {
+        assert_eq!(
+            d.feed(pc, ldf(k, u16::from(15 + k), 0), None, false),
+            Progress::Ongoing
+        );
+        pc += 1;
+    }
+    for inst in [
+        st(1, 0, 0),
+        alu(AluOp::Add, 0, 0, Operand2::Imm(1)),
+        cmp(0, 2),
+    ] {
+        assert_eq!(d.feed(pc, inst, None, false), Progress::Ongoing);
+        pc += 1;
+    }
+    let p = d.feed(pc, blt(1), None, true);
+    assert!(
+        matches!(p, Progress::Aborted(AbortReason::RegisterPressure)),
+        "{p:?}"
+    );
+    d.assert_abort("register-pressure");
+}
+
+#[test]
+fn unsupported_shape_on_forward_control_flow() {
+    let mut d = Drive::lanes(4);
+    d.feed(0, mov(0, 0), Some(0), false);
+    let p = d.feed(1, blt(5), None, true); // forward-taken branch
+    assert!(
+        matches!(p, Progress::Aborted(AbortReason::UnsupportedShape { .. })),
+        "{p:?}"
+    );
+    let r = d.assert_abort("unsupported-shape");
+    assert_eq!((r.pc, r.instr_index), (1, 2));
+}
+
+#[test]
+fn external_abort_keeps_last_observed_instruction() {
+    let mut d = Drive::lanes(4);
+    d.feed(0, mov(0, 0), Some(0), false);
+    d.feed(1, ld(1, 0, 0), Some(0), false);
+    d.t.abort_external("interrupt");
+    let r = d.assert_abort("external");
+    assert_eq!(r.reason, AbortReason::External { what: "interrupt" });
+    assert_eq!((r.pc, r.instr_index), (1, 2));
+    assert!(r.opcode.starts_with("ldw"), "opcode: {}", r.opcode);
+}
