@@ -31,6 +31,14 @@
 //!                      wall-clock benchmark of the simulator and the
 //!                      parallel sweep; writes a JSON report with per-task
 //!                      and per-worker wall times
+//! liquid-simd conform [--seed S] [--cases N] [--jobs N] [--json]
+//!                      generative differential conformance: random legal
+//!                      and illegal loops through every pipeline at every
+//!                      width, plus the abort-injection sweep; failing
+//!                      cases are shrunk and written to the corpus dir
+//!     --out FILE       write the conform-v1 JSON report to FILE
+//!     --corpus-dir D   where minimized failures go (default tests/corpus)
+//!     --no-shrink      report raw failing specs without minimizing
 //! ```
 
 use std::fs;
@@ -67,6 +75,7 @@ fn run_cli(args: &[String]) -> Result<(), String> {
         "profile" => cmd_profile(rest),
         "tables" => cmd_tables(rest),
         "bench" => cmd_bench(rest),
+        "conform" => cmd_conform(rest),
         "help" | "--help" | "-h" => {
             println!("{}", usage());
             Ok(())
@@ -76,7 +85,7 @@ fn run_cli(args: &[String]) -> Result<(), String> {
 }
 
 fn usage() -> String {
-    "usage: liquid-simd <asm|disasm|run|translate|trace|explain|profile|tables|bench|help> [args]\n\
+    "usage: liquid-simd <asm|disasm|run|translate|trace|explain|profile|tables|bench|conform|help> [args]\n\
      \n\
      asm <input.s> -o <out.lsim>\n\
      disasm <prog.lsim>\n\
@@ -90,7 +99,9 @@ fn usage() -> String {
      profile <prog|workload> [--lanes N] [--json] [--top N]\n\
          [--trace-out trace.json]\n\
      tables [--jobs N] [--smoke]\n\
-     bench [--jobs N] [--smoke] [--progress] [--out BENCH_sim.json]"
+     bench [--jobs N] [--smoke] [--progress] [--out BENCH_sim.json]\n\
+     conform [--seed S] [--cases N] [--jobs N] [--json] [--out FILE]\n\
+         [--corpus-dir DIR] [--no-shrink]"
         .to_string()
 }
 
@@ -615,6 +626,75 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
 
     if !deterministic {
         return Err("parallel figure6 sweep diverged from the serial sweep".into());
+    }
+    Ok(())
+}
+
+fn cmd_conform(args: &[String]) -> Result<(), String> {
+    let seed = match option_value(args, "--seed")? {
+        None => 0xC0FFEE,
+        Some(v) => {
+            let parsed = if let Some(hex) = v.strip_prefix("0x") {
+                u64::from_str_radix(hex, 16)
+            } else {
+                v.parse()
+            };
+            parsed.map_err(|_| format!("bad --seed `{v}`"))?
+        }
+    };
+    let cases = match option_value(args, "--cases")? {
+        None => 200,
+        Some(v) => v.parse().map_err(|_| format!("bad --cases `{v}`"))?,
+    };
+    let opts = liquid_simd_conform::ConformOptions {
+        seed,
+        cases,
+        jobs: parse_jobs(args)?,
+        shrink: !flag(args, "--no-shrink"),
+    };
+    let report = liquid_simd_conform::run_conform(&opts);
+
+    let json = liquid_simd_conform::report_to_json(&report);
+    if let Some(path) = option_value(args, "--out")? {
+        fs::write(path, &json).map_err(|e| format!("{path}: {e}"))?;
+        eprintln!("{path}: written");
+    }
+    if flag(args, "--json") {
+        print!("{json}");
+    } else {
+        let (passed, failed) = report.tally();
+        let translated = report.cases.iter().filter(|c| c.translated).count();
+        println!(
+            "conform: seed {seed:#x}, {} cases — {passed} passed, {failed} failed \
+             ({translated} exercised the translator)",
+            report.cases.len()
+        );
+        for sw in &report.sweeps {
+            println!(
+                "abort sweep `{}` @ {} lanes: {} injection points — {}",
+                sw.name,
+                sw.lanes,
+                sw.points,
+                if sw.passed { "all clean" } else { &sw.detail }
+            );
+        }
+        for f in &report.failures {
+            println!("FAIL {}: {}", f.outcome.name, f.outcome.detail);
+        }
+    }
+
+    // Persist minimized failures so they can be promoted to regression
+    // cases (and uploaded as CI artifacts).
+    if !report.failures.is_empty() {
+        let dir = option_value(args, "--corpus-dir")?.unwrap_or("tests/corpus");
+        for f in &report.failures {
+            let path = liquid_simd_conform::corpus::save(std::path::Path::new(dir), &f.case)
+                .map_err(|e| e.to_string())?;
+            eprintln!("minimized failing case written to {}", path.display());
+        }
+    }
+    if !report.passed() {
+        return Err("conformance run failed".into());
     }
     Ok(())
 }

@@ -20,6 +20,18 @@ pub enum CompileError {
         /// Kernel name.
         kernel: String,
     },
+    /// The gold evaluator hit a malformed dataflow graph — a node
+    /// referencing an unevaluated or untyped value. Builder-validated IR
+    /// never triggers this; hand- or fuzz-constructed kernels can, and the
+    /// driver reports it instead of crashing.
+    Gold {
+        /// Kernel name.
+        kernel: String,
+        /// Index of the offending node in the kernel body.
+        node: usize,
+        /// Explanation.
+        reason: String,
+    },
     /// An ISA-level error surfaced during emission.
     Isa(IsaError),
 }
@@ -32,6 +44,16 @@ impl fmt::Display for CompileError {
             }
             CompileError::RegisterPressure { kernel } => {
                 write!(f, "kernel `{kernel}` exceeds the register files")
+            }
+            CompileError::Gold {
+                kernel,
+                node,
+                reason,
+            } => {
+                write!(
+                    f,
+                    "gold evaluation of `{kernel}` failed at node {node}: {reason}"
+                )
             }
             CompileError::Isa(e) => write!(f, "emission failed: {e}"),
         }

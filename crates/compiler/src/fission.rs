@@ -328,7 +328,16 @@ fn split_at(
 
     let temp_name = |temps: &mut Vec<(String, ElemType, u32)>, elem: ElemType| -> String {
         let name = format!("__t_{}_{}_{}", kernel.name(), piece, temps.len());
-        temps.push((name.clone(), elem, trip));
+        // Cross-cut spills are `wide` (full 32-bit lane) stores, so the
+        // backing array must be word-sized per element — reserving at the
+        // semantic element width would let `stw` overrun into whatever the
+        // program builder placed next.
+        let storage = if elem.is_float() {
+            ElemType::F32
+        } else {
+            ElemType::I32
+        };
+        temps.push((name.clone(), storage, trip));
         name
     };
 
@@ -509,6 +518,31 @@ mod tests {
             .any(|n| matches!(n, Node::Store { perm: Some(_), .. })));
         let k1 = &r.kernels[1];
         assert!(matches!(k1.nodes()[0], Node::Load { .. }));
+    }
+
+    #[test]
+    fn narrow_element_temps_are_word_sized() {
+        // Cross-cut spills use `wide` (full 32-bit) stores, so the temp
+        // arrays must be registered at word width even for i8 kernels —
+        // element-width temps let the spill stores overrun into the next
+        // data symbol (historically the `__rep` driver counter, which made
+        // the program non-terminating).
+        let mut k = KernelBuilder::new("k", 32);
+        let a = k.load("A", ElemType::I8);
+        let b = k.bin_imm(VAluOp::SatAdd, a, 9);
+        let p = k.perm(PermKind::Bfly { block: 4 }, b);
+        let c = k.bin(VAluOp::Min, p, a); // keeps `a` live across the cut
+        k.store("B", c);
+        let r = fission(&k.build().unwrap(), 60).unwrap();
+        assert_eq!(r.temps.len(), 2);
+        for (name, elem, len) in &r.temps {
+            assert_eq!(
+                *elem,
+                ElemType::I32,
+                "{name}: spills are wide, storage must be word-sized"
+            );
+            assert_eq!(*len, 32);
+        }
     }
 
     #[test]

@@ -8,13 +8,47 @@
 use liquid_simd_isa::ElemType;
 
 use crate::error::CompileError;
-use crate::ir::{ArrayData, DataEnv, Kernel, Node, ReduceInit};
+use crate::ir::{ArrayData, DataEnv, Kernel, Node, NodeId, ReduceInit};
 
 fn invalid(kernel: &Kernel, reason: impl Into<String>) -> CompileError {
     CompileError::Invalid {
         kernel: kernel.name().to_string(),
         reason: reason.into(),
     }
+}
+
+fn gold(kernel: &Kernel, node: usize, reason: impl Into<String>) -> CompileError {
+    CompileError::Gold {
+        kernel: kernel.name().to_string(),
+        node,
+        reason: reason.into(),
+    }
+}
+
+/// Looks up an operand's evaluated lanes, turning a dangling or
+/// not-yet-evaluated reference into a typed error instead of a panic.
+fn operand<'v>(
+    values: &'v [Option<Vec<u32>>],
+    kernel: &Kernel,
+    node: usize,
+    a: NodeId,
+) -> Result<&'v Vec<u32>, CompileError> {
+    values
+        .get(a.0 as usize)
+        .and_then(Option::as_ref)
+        .ok_or_else(|| gold(kernel, node, format!("operand %{} is not evaluated", a.0)))
+}
+
+/// Resolves an operand's element type, with a typed error for value-less
+/// nodes (stores/reductions produce no value to type).
+fn operand_elem(kernel: &Kernel, node: usize, a: NodeId) -> Result<ElemType, CompileError> {
+    kernel.elem_of(a).ok_or_else(|| {
+        gold(
+            kernel,
+            node,
+            format!("operand %{} has no element type", a.0),
+        )
+    })
 }
 
 /// Sign- or zero-extends a canonical bit pattern into a 32-bit lane.
@@ -34,7 +68,10 @@ fn extend(elem: ElemType, signed: bool, bits: i64) -> u32 {
 ///
 /// # Errors
 ///
-/// Returns [`CompileError::Invalid`] for missing/mistyped/undersized arrays.
+/// Returns [`CompileError::Invalid`] for missing/mistyped/undersized arrays
+/// and [`CompileError::Gold`] for malformed dataflow (a node referencing an
+/// unevaluated or untyped value) — evaluation never panics, so fuzz-built
+/// IR surfaces a diagnostic instead of crashing the driver.
 pub fn eval_kernel(kernel: &Kernel, env: &mut DataEnv) -> Result<(), CompileError> {
     let trip = kernel.trip() as usize;
     let mut values: Vec<Option<Vec<u32>>> = vec![None; kernel.nodes().len()];
@@ -127,9 +164,9 @@ pub fn eval_kernel(kernel: &Kernel, env: &mut DataEnv) -> Result<(), CompileErro
                 values[i] = Some(lanes);
             }
             Node::Bin { op, a, b } => {
-                let elem = kernel.elem_of(*a).expect("value");
-                let va = values[a.0 as usize].as_ref().expect("evaluated");
-                let vb = values[b.0 as usize].as_ref().expect("evaluated");
+                let va = operand(&values, kernel, i, *a)?;
+                let vb = operand(&values, kernel, i, *b)?;
+                let elem = operand_elem(kernel, i, *a)?;
                 let lanes = va
                     .iter()
                     .zip(vb)
@@ -138,8 +175,8 @@ pub fn eval_kernel(kernel: &Kernel, env: &mut DataEnv) -> Result<(), CompileErro
                 values[i] = Some(lanes);
             }
             Node::BinImm { op, a, imm } => {
-                let elem = kernel.elem_of(*a).expect("value");
-                let va = values[a.0 as usize].as_ref().expect("evaluated");
+                let va = operand(&values, kernel, i, *a)?;
+                let elem = operand_elem(kernel, i, *a)?;
                 let lanes = va
                     .iter()
                     .map(|&x| op.eval_lane(elem, x, *imm as u32))
@@ -147,7 +184,7 @@ pub fn eval_kernel(kernel: &Kernel, env: &mut DataEnv) -> Result<(), CompileErro
                 values[i] = Some(lanes);
             }
             Node::Perm { kind, a } => {
-                let va = values[a.0 as usize].as_ref().expect("evaluated");
+                let va = operand(&values, kernel, i, *a)?;
                 let b = kind.block() as usize;
                 let lanes = (0..trip)
                     .map(|idx| va[idx - idx % b + kind.source_index(idx)])
@@ -155,7 +192,7 @@ pub fn eval_kernel(kernel: &Kernel, env: &mut DataEnv) -> Result<(), CompileErro
                 values[i] = Some(lanes);
             }
             Node::Reduce { op, a, out, init } => {
-                let va = values[a.0 as usize].as_ref().expect("evaluated");
+                let va = operand(&values, kernel, i, *a)?;
                 let is_float = kernel.is_float(*a);
                 let result: (Option<i64>, Option<f32>) = if is_float {
                     let ReduceInit::F32(mut acc) = *init else {
@@ -207,7 +244,8 @@ pub fn eval_kernel(kernel: &Kernel, env: &mut DataEnv) -> Result<(), CompileErro
                 wide,
                 perm,
             } => {
-                let elem = kernel.elem_of(*value).expect("value");
+                let lanes = operand(&values, kernel, i, *value)?.clone();
+                let elem = operand_elem(kernel, i, *value)?;
                 let store_elem = if *wide {
                     if elem.is_float() {
                         ElemType::F32
@@ -217,10 +255,6 @@ pub fn eval_kernel(kernel: &Kernel, env: &mut DataEnv) -> Result<(), CompileErro
                 } else {
                     elem
                 };
-                let lanes = values[value.0 as usize]
-                    .as_ref()
-                    .expect("evaluated")
-                    .clone();
                 let (decl_elem, data) = env
                     .arrays
                     .get_mut(array)
@@ -304,12 +338,12 @@ mod tests {
             .build();
         eval_kernel(&k, &mut env).unwrap();
         let (_, ArrayData::Int(b)) = env.get("B").unwrap() else {
-            panic!()
+            panic!("array `B` must hold integers after evaluation")
         };
         assert_eq!(b[0], 3);
         assert_eq!(b[15], 48);
         let (_, ArrayData::Int(out)) = env.get("out").unwrap() else {
-            panic!()
+            panic!("reduction output `out` must hold integers")
         };
         assert_eq!(out[0], 3 * (16 * 17 / 2));
     }
@@ -327,7 +361,7 @@ mod tests {
             .build();
         eval_kernel(&k, &mut env).unwrap();
         let (_, ArrayData::Int(b)) = env.get("B").unwrap() else {
-            panic!()
+            panic!("array `B` must hold integers after evaluation")
         };
         assert_eq!(b[0], 255); // clamped
     }
@@ -348,7 +382,7 @@ mod tests {
             .build();
         eval_kernel(&k, &mut env).unwrap();
         let (_, ArrayData::Int(b)) = env.get("B").unwrap() else {
-            panic!()
+            panic!("array `B` must hold integers after evaluation")
         };
         assert_eq!(*b, data, "perm then inverse-perm is identity");
     }

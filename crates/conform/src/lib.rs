@@ -1,0 +1,287 @@
+//! Generative differential conformance for the Liquid SIMD pipeline.
+//!
+//! The paper's contract is stark: a Liquid binary must behave *identically*
+//! on every machine — scalar-only, or any accelerator width, interrupted
+//! at any instant — and an untranslatable region must abort, never
+//! mistranslate. This crate stress-tests that contract generatively:
+//!
+//! 1. **Generate** ([`gen`]): a seeded stream of random-but-valid
+//!    vectorizable kernels (saturating idioms, reductions, butterfly
+//!    permutations, constant patterns, fission-forcing shapes) plus a
+//!    deliberate population of *illegal* regions (non-affine strides,
+//!    runtime-indexed permutes, scalar stores, CAM-missing offset maps,
+//!    oversized bodies, nested calls).
+//! 2. **Check** ([`oracle`]): each case runs through every pipeline — gold
+//!    evaluator, plain scalar, Liquid untranslated, Liquid translated at
+//!    every supported width, native SIMD — and final memory plus live-out
+//!    registers are diffed byte-for-byte.
+//! 3. **Sweep** ([`abort`]): external aborts are injected at *every*
+//!    retired-instruction index of a translating region, asserting the
+//!    scalar fallback stays gold-correct and the microcode cache holds no
+//!    partial entry.
+//! 4. **Shrink** ([`shrink`]) and **persist** ([`corpus`]): failing cases
+//!    are minimised and written as `.case` files that replay as permanent
+//!    regression tests.
+//!
+//! The whole run is deterministic: the same seed produces byte-identical
+//! reports at any `--jobs`, because the report orders by case index and
+//! contains no timing.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod abort;
+pub mod corpus;
+pub mod gen;
+pub mod oracle;
+pub mod shrink;
+
+use liquid_simd::run_tasks;
+
+use abort::SweepOutcome;
+use gen::CaseSpec;
+use oracle::CaseOutcome;
+
+/// Options for one conformance run.
+#[derive(Clone, Debug)]
+pub struct ConformOptions {
+    /// Master seed; every case derives a decorrelated stream from it.
+    pub seed: u64,
+    /// Number of generated cases.
+    pub cases: u64,
+    /// Worker threads (`1` = serial; never affects results).
+    pub jobs: usize,
+    /// Shrink failing legal cases before reporting (slower on failure,
+    /// minimal repros in the report).
+    pub shrink: bool,
+}
+
+impl Default for ConformOptions {
+    fn default() -> ConformOptions {
+        ConformOptions {
+            seed: 0xC0FFEE,
+            cases: 200,
+            jobs: 1,
+            shrink: true,
+        }
+    }
+}
+
+/// A failing case, minimised and serialised for the corpus.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Failure {
+    /// The (possibly shrunk) failing spec.
+    pub case: CaseSpec,
+    /// The oracle's verdict on the *shrunk* spec.
+    pub outcome: CaseOutcome,
+    /// `conform-case-v1` text, ready to drop into `tests/corpus/`.
+    pub corpus_text: String,
+}
+
+/// The result of one conformance run.
+#[derive(Clone, Debug)]
+pub struct ConformReport {
+    /// Seed the run used.
+    pub seed: u64,
+    /// Per-case verdicts, in case-index order.
+    pub cases: Vec<CaseOutcome>,
+    /// Minimised failures (empty on a clean run).
+    pub failures: Vec<Failure>,
+    /// Abort-injection sweep results for the standard workloads.
+    pub sweeps: Vec<SweepOutcome>,
+}
+
+impl ConformReport {
+    /// `true` when every case and every sweep passed.
+    #[must_use]
+    pub fn passed(&self) -> bool {
+        self.cases.iter().all(|c| c.passed) && self.sweeps.iter().all(|s| s.passed)
+    }
+
+    /// Counts `(passed, failed)` cases.
+    #[must_use]
+    pub fn tally(&self) -> (u64, u64) {
+        let passed = self.cases.iter().filter(|c| c.passed).count() as u64;
+        (passed, self.cases.len() as u64 - passed)
+    }
+}
+
+/// Runs the full conformance suite: generated cases through the oracle
+/// (in parallel, deterministically), failing legal cases shrunk, plus the
+/// standard abort-injection sweeps.
+#[must_use]
+pub fn run_conform(opts: &ConformOptions) -> ConformReport {
+    // Case checking is embarrassingly parallel, and each task is
+    // infallible — a failing case is data, not an error — so the scheduler
+    // can never reorder or drop results.
+    let cases: Vec<CaseOutcome> = run_tasks(opts.jobs, opts.cases as usize, |i| {
+        let spec = gen::generate_case(opts.seed, i as u64);
+        Ok::<_, std::convert::Infallible>(oracle::check_case(&spec))
+    })
+    .unwrap_or_else(|e| match e {});
+
+    // Shrinking re-runs the oracle many times per failure; keep it serial
+    // (failures are rare) and ordered (determinism).
+    let failures: Vec<Failure> = cases
+        .iter()
+        .enumerate()
+        .filter(|(_, c)| !c.passed)
+        .map(|(i, _)| {
+            let spec = gen::generate_case(opts.seed, i as u64);
+            let (case, outcome) = match spec {
+                CaseSpec::Legal(l) if opts.shrink => {
+                    let small = shrink::shrink_legal(&l, &|s| !oracle::check_legal(s).passed);
+                    let outcome = oracle::check_legal(&small);
+                    (CaseSpec::Legal(small), outcome)
+                }
+                other => {
+                    let outcome = oracle::check_case(&other);
+                    (other, outcome)
+                }
+            };
+            let corpus_text = corpus::to_text(&case);
+            Failure {
+                case,
+                outcome,
+                corpus_text,
+            }
+        })
+        .collect();
+
+    let sweeps = abort::run_standard_sweeps(8);
+
+    ConformReport {
+        seed: opts.seed,
+        cases,
+        failures,
+        sweeps,
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders the report as `conform-v1` JSON. Deliberately free of timing,
+/// job counts, and machine details: the same seed must produce
+/// byte-identical output on any host at any parallelism.
+#[must_use]
+pub fn report_to_json(report: &ConformReport) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str("  \"schema\": \"conform-v1\",\n");
+    s.push_str(&format!("  \"seed\": {},\n", report.seed));
+    s.push_str(&format!("  \"cases\": {},\n", report.cases.len()));
+    s.push_str("  \"widths\": [2, 4, 8, 16],\n");
+    let (passed, failed) = report.tally();
+    let translated = report.cases.iter().filter(|c| c.translated).count();
+    s.push_str(&format!(
+        "  \"summary\": {{\"passed\": {passed}, \"failed\": {failed}, \"translated\": {translated}, \"ok\": {}}},\n",
+        report.passed()
+    ));
+
+    s.push_str("  \"case_results\": [\n");
+    for (i, c) in report.cases.iter().enumerate() {
+        let comma = if i + 1 < report.cases.len() { "," } else { "" };
+        s.push_str(&format!(
+            "    {{\"name\": \"{}\", \"kind\": \"{}\", \"passed\": {}, \"translated\": {}, \"detail\": \"{}\"}}{comma}\n",
+            json_escape(&c.name),
+            c.kind,
+            c.passed,
+            c.translated,
+            json_escape(&c.detail)
+        ));
+    }
+    s.push_str("  ],\n");
+
+    s.push_str("  \"failures\": [\n");
+    for (i, f) in report.failures.iter().enumerate() {
+        let comma = if i + 1 < report.failures.len() {
+            ","
+        } else {
+            ""
+        };
+        s.push_str(&format!(
+            "    {{\"name\": \"{}\", \"detail\": \"{}\", \"corpus\": \"{}\"}}{comma}\n",
+            json_escape(&f.outcome.name),
+            json_escape(&f.outcome.detail),
+            json_escape(&f.corpus_text)
+        ));
+    }
+    s.push_str("  ],\n");
+
+    s.push_str("  \"abort_sweep\": [\n");
+    for (i, sw) in report.sweeps.iter().enumerate() {
+        let comma = if i + 1 < report.sweeps.len() { "," } else { "" };
+        s.push_str(&format!(
+            "    {{\"name\": \"{}\", \"lanes\": {}, \"points\": {}, \"passed\": {}, \"detail\": \"{}\"}}{comma}\n",
+            json_escape(&sw.name),
+            sw.lanes,
+            sw.points,
+            sw.passed,
+            json_escape(&sw.detail)
+        ));
+    }
+    s.push_str("  ]\n");
+    s.push_str("}\n");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_opts(jobs: usize) -> ConformOptions {
+        ConformOptions {
+            seed: 0xC0FFEE,
+            cases: 8,
+            jobs,
+            shrink: true,
+        }
+    }
+
+    #[test]
+    fn small_run_passes_and_is_deterministic_across_jobs() {
+        let serial = run_conform(&small_opts(1));
+        assert!(serial.passed(), "failures: {:?}", serial.failures);
+        let parallel = run_conform(&small_opts(4));
+        assert_eq!(
+            report_to_json(&serial),
+            report_to_json(&parallel),
+            "JSON must be byte-identical at any --jobs"
+        );
+    }
+
+    #[test]
+    fn report_json_shape() {
+        let report = run_conform(&ConformOptions {
+            cases: 3,
+            ..small_opts(2)
+        });
+        let json = report_to_json(&report);
+        assert!(json.contains("\"schema\": \"conform-v1\""));
+        assert!(json.contains("\"abort_sweep\""));
+        assert!(json.contains("sweep_sat"));
+        assert!(json.contains("sweep_red"));
+        // No timing anywhere: reruns must be byte-identical.
+        assert!(!json.contains("seconds") && !json.contains("jobs"));
+    }
+
+    #[test]
+    fn json_escaping() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+    }
+}

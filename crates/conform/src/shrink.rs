@@ -1,0 +1,276 @@
+//! Greedy spec minimisation for failing cases.
+//!
+//! When a generated case fails the oracle, the raw spec is usually far
+//! bigger than the actual trigger. The shrinker repeatedly tries
+//! structure-removing transformations — fewer reps, the minimal trip,
+//! dropped ops and inputs, simplified operands — keeping a candidate only
+//! if it (a) still *builds* and (b) still *fails* the caller's predicate.
+//! Every accepted candidate restarts the pass list, so the result is a
+//! local fixpoint: no single transformation can shrink it further.
+//!
+//! The shrinker is deliberately ignorant of *why* the case fails: the
+//! predicate is a closure, so the same machinery minimises oracle
+//! mismatches, abort-sweep failures, and hand-fed reproductions alike.
+
+use crate::gen::{LegalSpec, OpSpec, Rhs};
+
+/// One attempted transformation: returns the shrunk candidate, or `None`
+/// when the transformation does not apply to this spec.
+type Pass = fn(&LegalSpec) -> Option<LegalSpec>;
+
+fn reps_to_one(s: &LegalSpec) -> Option<LegalSpec> {
+    (s.reps > 1).then(|| LegalSpec {
+        reps: 1,
+        ..s.clone()
+    })
+}
+
+fn trip_to_min(s: &LegalSpec) -> Option<LegalSpec> {
+    (s.trip > 16).then(|| LegalSpec {
+        trip: 16,
+        ..s.clone()
+    })
+}
+
+fn drop_reduce(s: &LegalSpec) -> Option<LegalSpec> {
+    s.reduce.is_some().then(|| LegalSpec {
+        reduce: None,
+        ..s.clone()
+    })
+}
+
+fn drop_mid_perm(s: &LegalSpec) -> Option<LegalSpec> {
+    s.mid_perm.is_some().then(|| LegalSpec {
+        mid_perm: None,
+        ..s.clone()
+    })
+}
+
+fn clear_input_decorations(s: &LegalSpec) -> Option<LegalSpec> {
+    if s.inputs.iter().all(|i| !i.unsigned && i.perm.is_none()) {
+        return None;
+    }
+    let mut c = s.clone();
+    for input in &mut c.inputs {
+        input.unsigned = false;
+        input.perm = None;
+    }
+    Some(c)
+}
+
+/// Rewrites a value reference after the value at global index `g` was
+/// removed: references to `g` become `to`, later references shift down.
+fn remap(r: usize, g: usize, to: usize) -> usize {
+    use std::cmp::Ordering;
+    match r.cmp(&g) {
+        Ordering::Less => r,
+        Ordering::Equal => to,
+        Ordering::Greater => r - 1,
+    }
+}
+
+fn remap_spec(c: &mut LegalSpec, g: usize, to: usize) {
+    for op in &mut c.ops {
+        op.a = remap(op.a, g, to);
+        if let Rhs::Value(b) = &mut op.rhs {
+            *b = remap(*b, g, to);
+        }
+    }
+    if let Some(r) = &mut c.reduce {
+        r.target = remap(r.target, g, to);
+    }
+}
+
+/// Drops op `j`, redirecting every reference to its value to the op's own
+/// left operand (the natural "splice out of the chain" rewrite).
+fn drop_op(s: &LegalSpec, j: usize) -> Option<LegalSpec> {
+    if j >= s.ops.len() {
+        return None;
+    }
+    let g = s.inputs.len() + j;
+    let to = s.ops[j].a;
+    let mut c = s.clone();
+    c.ops.remove(j);
+    remap_spec(&mut c, g, to);
+    Some(c)
+}
+
+/// Drops input `j` (only when more than one remains), redirecting
+/// references to another input.
+fn drop_input(s: &LegalSpec, j: usize) -> Option<LegalSpec> {
+    if s.inputs.len() < 2 || j >= s.inputs.len() {
+        return None;
+    }
+    let to = usize::from(j == 0);
+    let mut c = s.clone();
+    c.inputs.remove(j);
+    remap_spec(&mut c, j, to);
+    Some(c)
+}
+
+/// Simplifies op `j`'s right-hand side one notch: constant patterns to a
+/// single element, value references to `imm 1` (integer kernels only).
+fn simplify_rhs(s: &LegalSpec, j: usize) -> Option<LegalSpec> {
+    let op = s.ops.get(j)?;
+    let rhs = match &op.rhs {
+        Rhs::ConstI(p) if p.len() > 1 => Rhs::ConstI(vec![p[0]]),
+        Rhs::ConstF(p) if p.len() > 1 => Rhs::ConstF(vec![p[0]]),
+        Rhs::Value(_) if s.elem != liquid_simd_isa::ElemType::F32 => Rhs::Imm(1),
+        _ => return None,
+    };
+    let mut c = s.clone();
+    c.ops[j] = OpSpec { rhs, ..op.clone() };
+    Some(c)
+}
+
+/// Accepts a candidate only if it still describes a buildable workload and
+/// still fails the predicate.
+fn still_fails(c: &LegalSpec, fails: &dyn Fn(&LegalSpec) -> bool) -> bool {
+    c.to_workload().is_ok() && fails(c)
+}
+
+/// Minimises `spec` under the failure predicate. `fails(spec)` must be
+/// `true` on entry (a non-failing spec is returned unchanged). The
+/// predicate is re-run on every candidate, so keep it deterministic.
+#[must_use]
+pub fn shrink_legal(spec: &LegalSpec, fails: &dyn Fn(&LegalSpec) -> bool) -> LegalSpec {
+    let mut cur = spec.clone();
+    if !fails(&cur) {
+        return cur;
+    }
+
+    let simple_passes: [Pass; 5] = [
+        reps_to_one,
+        trip_to_min,
+        drop_reduce,
+        drop_mid_perm,
+        clear_input_decorations,
+    ];
+
+    'restart: loop {
+        for pass in simple_passes {
+            if let Some(c) = pass(&cur) {
+                if still_fails(&c, fails) {
+                    cur = c;
+                    continue 'restart;
+                }
+            }
+        }
+        // Indexed passes, widest surviving index first so the chain tail
+        // (the stored value) is preferred for removal.
+        for j in (0..cur.ops.len()).rev() {
+            if let Some(c) = drop_op(&cur, j) {
+                if still_fails(&c, fails) {
+                    cur = c;
+                    continue 'restart;
+                }
+            }
+            if let Some(c) = simplify_rhs(&cur, j) {
+                if still_fails(&c, fails) {
+                    cur = c;
+                    continue 'restart;
+                }
+            }
+        }
+        for j in (0..cur.inputs.len()).rev() {
+            if let Some(c) = drop_input(&cur, j) {
+                if still_fails(&c, fails) {
+                    cur = c;
+                    continue 'restart;
+                }
+            }
+        }
+        return cur;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{generate_case, CaseSpec, InputSpec, ReduceSpec};
+    use liquid_simd_isa::{ElemType, RedOp, VAluOp};
+
+    fn fat_spec() -> LegalSpec {
+        LegalSpec {
+            name: "fat".to_string(),
+            trip: 32,
+            reps: 2,
+            elem: ElemType::I16,
+            inputs: vec![
+                InputSpec {
+                    unsigned: true,
+                    perm: None,
+                },
+                InputSpec {
+                    unsigned: false,
+                    perm: None,
+                },
+            ],
+            ops: vec![
+                OpSpec {
+                    op: VAluOp::Add,
+                    a: 0,
+                    rhs: Rhs::Value(1),
+                },
+                OpSpec {
+                    op: VAluOp::SatAdd,
+                    a: 2,
+                    rhs: Rhs::Imm(90),
+                },
+                OpSpec {
+                    op: VAluOp::Mul,
+                    a: 3,
+                    rhs: Rhs::ConstI(vec![3, 5]),
+                },
+            ],
+            mid_perm: None,
+            reduce: Some(ReduceSpec {
+                op: RedOp::Sum,
+                target: 4,
+            }),
+            data_seed: 11,
+            inject_last: false,
+        }
+    }
+
+    #[test]
+    fn shrinks_to_minimal_saturating_core() {
+        // "Fails" whenever a saturating op is present: the shrinker must
+        // strip everything else but keep one.
+        let fails = |s: &LegalSpec| {
+            s.ops.iter().any(|o| {
+                matches!(
+                    o.op,
+                    VAluOp::SatAdd | VAluOp::SatSub | VAluOp::SSatAdd | VAluOp::SSatSub
+                )
+            })
+        };
+        let small = shrink_legal(&fat_spec(), &fails);
+        assert!(fails(&small));
+        assert_eq!(small.reps, 1);
+        assert_eq!(small.trip, 16);
+        assert!(small.reduce.is_none());
+        assert_eq!(small.inputs.len(), 1);
+        assert_eq!(small.ops.len(), 1, "only the saturating op survives");
+        small.to_workload().expect("shrunk spec still builds");
+    }
+
+    #[test]
+    fn non_failing_spec_is_untouched() {
+        let spec = fat_spec();
+        let out = shrink_legal(&spec, &|_| false);
+        assert_eq!(out, spec);
+    }
+
+    #[test]
+    fn shrunk_generated_specs_always_build() {
+        // Shrinking must preserve buildability whatever the predicate.
+        let fails = |s: &LegalSpec| s.ops.len() > 1 || s.reduce.is_some();
+        for i in 0..24 {
+            if let CaseSpec::Legal(spec) = generate_case(0xFEED, i) {
+                let small = shrink_legal(&spec, &fails);
+                small.to_workload().expect("shrunk spec builds");
+            }
+        }
+    }
+}

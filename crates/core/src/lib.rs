@@ -60,12 +60,12 @@ pub use liquid_simd_isa as isa;
 pub use liquid_simd_mem as mem;
 pub use liquid_simd_sim::{
     CallEvent, CallMode, LatencyModel, Machine, MachineConfig, RunReport, SimError,
-    TranslationConfig,
+    TranslationConfig, TranslationWindow,
 };
 pub use liquid_simd_trace as trace;
 pub use liquid_simd_trace::{TraceConfig, TraceEvent, Tracer};
 pub use liquid_simd_translator as translator;
-pub use verify::{verify_against_gold, verify_workload, verify_workloads, VerifyError};
+pub use verify::{verify_against_gold, verify_workload, verify_workloads, VerifyError, F32_RTOL};
 
 use liquid_simd_isa::Program;
 use liquid_simd_mem::Memory;

@@ -21,4 +21,4 @@ mod cache;
 mod memory;
 
 pub use cache::{Cache, CacheConfig, CacheStats};
-pub use memory::{MemError, Memory};
+pub use memory::{MemError, MemErrorKind, Memory};

@@ -3,7 +3,17 @@
 use std::error::Error;
 use std::fmt;
 
-/// An out-of-range or misaligned memory access.
+/// What made a memory access fault.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MemErrorKind {
+    /// The access falls (partly) outside the mapped window.
+    OutOfRange,
+    /// The access width is not 1, 2, or 4 bytes — a malformed instruction
+    /// (e.g. fuzz-generated) rather than a wild address.
+    UnsupportedSize,
+}
+
+/// A faulting memory access: out of range or of unsupported width.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct MemError {
     /// The faulting byte address.
@@ -12,17 +22,25 @@ pub struct MemError {
     pub size: u32,
     /// Whether it was a write.
     pub write: bool,
+    /// What went wrong.
+    pub kind: MemErrorKind,
 }
 
 impl fmt::Display for MemError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "{} of {} bytes at {:#010x} is outside mapped memory",
-            if self.write { "write" } else { "read" },
-            self.size,
-            self.addr
-        )
+        let dir = if self.write { "write" } else { "read" };
+        match self.kind {
+            MemErrorKind::OutOfRange => write!(
+                f,
+                "{dir} of {} bytes at {:#010x} is outside mapped memory",
+                self.size, self.addr
+            ),
+            MemErrorKind::UnsupportedSize => write!(
+                f,
+                "{dir} at {:#010x} uses unsupported access size {} (must be 1, 2, or 4)",
+                self.addr, self.size
+            ),
+        }
     }
 }
 
@@ -71,7 +89,12 @@ impl Memory {
     }
 
     fn offset(&self, addr: u32, size: u32, write: bool) -> Result<usize, MemError> {
-        let err = MemError { addr, size, write };
+        let err = MemError {
+            addr,
+            size,
+            write,
+            kind: MemErrorKind::OutOfRange,
+        };
         let off = addr.checked_sub(self.base).ok_or(err)? as usize;
         let end = off.checked_add(size as usize).ok_or(err)?;
         if end > self.bytes.len() {
@@ -80,23 +103,37 @@ impl Memory {
         Ok(off)
     }
 
+    fn check_size(addr: u32, size: u32, write: bool) -> Result<(), MemError> {
+        if matches!(size, 1 | 2 | 4) {
+            Ok(())
+        } else {
+            Err(MemError {
+                addr,
+                size,
+                write,
+                kind: MemErrorKind::UnsupportedSize,
+            })
+        }
+    }
+
     /// Reads `size` (1, 2, or 4) bytes at `addr`, zero-extended to `u32`.
     ///
     /// # Errors
     ///
-    /// Returns [`MemError`] if the access falls outside the window.
+    /// Returns [`MemError`] if the access falls outside the window or uses
+    /// an unsupported size.
     pub fn read(&self, addr: u32, size: u32) -> Result<u32, MemError> {
+        Memory::check_size(addr, size, false)?;
         let off = self.offset(addr, size, false)?;
         Ok(match size {
             1 => u32::from(self.bytes[off]),
             2 => u32::from(u16::from_le_bytes([self.bytes[off], self.bytes[off + 1]])),
-            4 => u32::from_le_bytes([
+            _ => u32::from_le_bytes([
                 self.bytes[off],
                 self.bytes[off + 1],
                 self.bytes[off + 2],
                 self.bytes[off + 3],
             ]),
-            _ => panic!("unsupported access size {size}"),
         })
     }
 
@@ -119,8 +156,10 @@ impl Memory {
     ///
     /// # Errors
     ///
-    /// Returns [`MemError`] if the access falls outside the window.
+    /// Returns [`MemError`] if the access falls outside the window or uses
+    /// an unsupported size.
     pub fn write(&mut self, addr: u32, size: u32, value: u32) -> Result<(), MemError> {
+        Memory::check_size(addr, size, true)?;
         let off = self.offset(addr, size, true)?;
         let le = value.to_le_bytes();
         self.bytes[off..off + size as usize].copy_from_slice(&le[..size as usize]);
@@ -198,6 +237,25 @@ mod tests {
         let e = m.read(0x2000, 4).unwrap_err();
         assert_eq!(e.addr, 0x2000);
         assert!(!e.write);
+        assert_eq!(e.kind, MemErrorKind::OutOfRange);
+    }
+
+    #[test]
+    fn unsupported_size_is_an_error_not_a_panic() {
+        let mut m = Memory::new(0x1000, 64);
+        for bad in [0, 3, 5, 8, 64] {
+            let e = m.read(0x1000, bad).unwrap_err();
+            assert_eq!(e.kind, MemErrorKind::UnsupportedSize);
+            assert_eq!(e.size, bad);
+            assert!(!e.write);
+            let e = m.write(0x1000, bad, 7).unwrap_err();
+            assert_eq!(e.kind, MemErrorKind::UnsupportedSize);
+            assert!(e.write);
+        }
+        // The size check fires even when the address would also be wild.
+        let e = m.read(0x9000, 3).unwrap_err();
+        assert_eq!(e.kind, MemErrorKind::UnsupportedSize);
+        assert!(e.to_string().contains("unsupported access size 3"));
     }
 
     #[test]

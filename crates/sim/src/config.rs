@@ -105,6 +105,12 @@ pub struct MachineConfig {
     /// Raise an external translator abort every this many retired
     /// instructions (simulated interrupts; `0` disables).
     pub interrupt_every: u64,
+    /// Raise an external translator abort when the retired-instruction
+    /// count reaches each listed value exactly — deterministic abort-point
+    /// injection for the conformance sweep (empty disables). Unlike
+    /// [`MachineConfig::interrupt_every`] this targets *one* retire index,
+    /// so a sweep can pre-empt a translation at every point of its window.
+    pub interrupt_at: Vec<u64>,
     /// Optional event recorder threaded through every component. `None`
     /// (the default) costs one branch per emit site and changes no
     /// simulated timing.
@@ -123,6 +129,7 @@ impl PartialEq for MachineConfig {
             && self.mem_headroom == other.mem_headroom
             && self.max_cycles == other.max_cycles
             && self.interrupt_every == other.interrupt_every
+            && self.interrupt_at == other.interrupt_at
     }
 }
 
@@ -139,6 +146,7 @@ impl Default for MachineConfig {
             mem_headroom: 4096,
             max_cycles: 10_000_000_000,
             interrupt_every: 0,
+            interrupt_at: Vec::new(),
             tracer: None,
         }
     }

@@ -62,4 +62,6 @@ pub use exec::SimError;
 pub use machine::Machine;
 pub use mcache::{Mcache, McacheEntryStats, McacheStats};
 pub use meta::{InstMeta, RegRef};
-pub use report::{CallEvent, CallMode, PhaseBreakdown, RunReport, TargetProfile};
+pub use report::{
+    CallEvent, CallMode, PhaseBreakdown, RunReport, TargetProfile, TranslationWindow,
+};

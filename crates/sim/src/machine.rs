@@ -13,7 +13,7 @@ use crate::exec::{exec, Control, SimError};
 use crate::mcache::{Lookup, Mcache};
 use crate::meta::{meta_of_code, InstMeta, RegRef};
 use crate::regfile::RegFile;
-use crate::report::{CallEvent, CallMode, RunReport};
+use crate::report::{CallEvent, CallMode, RunReport, TranslationWindow};
 
 /// Instruction source: the program binary or a microcode-cache entry.
 #[derive(Clone, Copy, Debug)]
@@ -49,6 +49,8 @@ pub struct Machine<'p> {
     translator: Translator,
     /// Entry PC of the function currently being translated, if any.
     translating: Option<u32>,
+    /// Index into `report.windows` of the open translation window, if any.
+    window: Option<usize>,
     /// Functions that aborted translation for a permanent (non-external)
     /// reason; retrying them every call would only waste the translator.
     failed: HashSet<u32>,
@@ -107,6 +109,7 @@ impl<'p> Machine<'p> {
             mcache: Mcache::new(config.mcache_entries, config.mcache_uops),
             translator,
             translating: None,
+            window: None,
             failed: HashSet::new(),
             cycle: 0,
             ready_r: [0; 16],
@@ -168,6 +171,7 @@ impl<'p> Machine<'p> {
     /// is not architectural state and is simply dropped).
     pub fn flush_microcode(&mut self) {
         let entries = self.mcache.flush();
+        self.close_window(false);
         self.translator.abort_external("context-switch");
         self.translating = None;
         if let Some(t) = &self.tracer {
@@ -373,7 +377,21 @@ impl<'p> Machine<'p> {
                     retired: self.report.retired,
                 });
             }
+            self.close_window(false);
             self.translator.abort_external("interrupt");
+            self.translating = None;
+        }
+        if !self.config.interrupt_at.is_empty()
+            && self.config.interrupt_at.contains(&self.report.retired)
+        {
+            if let Some(t) = &self.tracer {
+                t.emit(TraceEvent::InterruptInjected {
+                    retired: self.report.retired,
+                });
+            }
+            self.close_window(false);
+            self.translator.abort_external("injected-abort");
+            self.translating = None;
         }
 
         // ---- translator tap (post-retirement, program stream only) ---------
@@ -418,9 +436,11 @@ impl<'p> Machine<'p> {
                                 uops,
                             });
                         }
+                        self.close_window(true);
                         self.translating = None;
                     }
                     Progress::Aborted(reason) => {
+                        self.close_window(false);
                         if !matches!(reason, liquid_simd_translator::AbortReason::External { .. }) {
                             // Deterministic failure: don't retry every call.
                             // (External aborts — interrupts — retry later.)
@@ -502,6 +522,17 @@ impl<'p> Machine<'p> {
         Ok(false)
     }
 
+    /// Closes the open translation window (if any) at the current retired
+    /// count. Call on every translator-lifecycle end — commit, translation
+    /// abort, or external abort — so the window log stays exact.
+    fn close_window(&mut self, completed: bool) {
+        if let Some(i) = self.window.take() {
+            let w = &mut self.report.windows[i];
+            w.end_retired = self.report.retired;
+            w.completed = completed;
+        }
+    }
+
     fn advance(&mut self, next: u32) {
         match &mut self.stream {
             Stream::Prog { pc } => *pc = next,
@@ -557,6 +588,13 @@ impl<'p> Machine<'p> {
                     if !self.translator.is_active() {
                         self.translator.begin(target);
                         self.translating = Some(target);
+                        self.window = Some(self.report.windows.len());
+                        self.report.windows.push(TranslationWindow {
+                            func_pc: target,
+                            begin_retired: self.report.retired,
+                            end_retired: 0,
+                            completed: false,
+                        });
                     }
                 }
             }

@@ -28,6 +28,27 @@ pub struct CallEvent {
     pub mode: CallMode,
 }
 
+/// One translation attempt's lifetime, in retired-instruction indices.
+///
+/// `begin_retired` is the retire index of the `bl.v` that started the
+/// translation; the first observed body instruction retires at
+/// `begin_retired + 1` and the window closes at `end_retired` (the retire
+/// index of the `ret` that finished it, or of the instruction whose retire
+/// aborted it). The conformance abort sweep replays the run injecting an
+/// external abort at every index in `begin_retired..=end_retired`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TranslationWindow {
+    /// Entry PC of the outlined function being shadowed.
+    pub func_pc: u32,
+    /// Retired-instruction count when the translation began.
+    pub begin_retired: u64,
+    /// Retired-instruction count when it finished or aborted (`0` while
+    /// still open — a window left open at halt stays `0`).
+    pub end_retired: u64,
+    /// Whether the attempt committed microcode (`false`: aborted or open).
+    pub completed: bool,
+}
+
 /// Where the run's cycles went, partitioned exactly: the three fields sum
 /// to [`RunReport::cycles`].
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -101,6 +122,9 @@ pub struct RunReport {
     pub calls: Vec<CallEvent>,
     /// Completed translations: `(function pc, microcode length)`.
     pub translations: Vec<(u32, usize)>,
+    /// Every translation attempt's retired-instruction window, in begin
+    /// order (committed, aborted, and still-open attempts alike).
+    pub windows: Vec<TranslationWindow>,
     /// Whether the program reached `halt`.
     pub halted: bool,
 }

@@ -6,6 +6,7 @@
 
 pub use liquid_simd as facade;
 pub use liquid_simd_compiler as compiler;
+pub use liquid_simd_conform as conform;
 pub use liquid_simd_isa as isa;
 pub use liquid_simd_mem as mem;
 pub use liquid_simd_sim as sim;

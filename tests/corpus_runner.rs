@@ -1,0 +1,90 @@
+//! Replays every minimized conformance case under `tests/corpus/` through
+//! the full differential oracle. Corpus files are permanent regression
+//! tests: each one captures a shape that either once failed or pins a
+//! boundary behaviour (saturation clamps, reduction epilogues, permuted
+//! loads, loop fission, abort at the final retired instruction), so this
+//! suite is tier-1 — it runs on every `cargo test`, no fuzzing involved.
+
+use std::path::Path;
+
+use liquid_simd_repro::conform::{corpus, oracle};
+
+fn corpus_dir() -> std::path::PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/corpus")
+}
+
+#[test]
+fn corpus_is_present_and_parses() {
+    let cases = corpus::load_dir(&corpus_dir()).expect("corpus parses");
+    assert!(
+        cases.len() >= 5,
+        "expected the seeded corpus (5+ cases), found {}",
+        cases.len()
+    );
+    for (file, case) in &cases {
+        let stem = file.trim_end_matches(".case");
+        assert_eq!(
+            case.name(),
+            stem,
+            "{file}: case name must match the file name"
+        );
+    }
+}
+
+#[test]
+fn corpus_round_trips_through_the_text_format() {
+    for (file, case) in corpus::load_dir(&corpus_dir()).expect("corpus parses") {
+        let text = corpus::to_text(&case);
+        let back = corpus::parse(&file, &text).expect("re-parse");
+        assert_eq!(back, case, "{file}: corpus round-trip changed the case");
+    }
+}
+
+#[test]
+fn every_corpus_case_passes_the_oracle() {
+    let cases = corpus::load_dir(&corpus_dir()).expect("corpus parses");
+    for (file, case) in &cases {
+        let outcome = oracle::check_case(case);
+        assert!(
+            outcome.passed,
+            "{file} ({}) regressed: {}",
+            outcome.name, outcome.detail
+        );
+    }
+}
+
+#[test]
+fn corpus_covers_the_required_shapes() {
+    let cases = corpus::load_dir(&corpus_dir()).expect("corpus parses");
+    let has = |pred: &dyn Fn(&liquid_simd_repro::conform::gen::CaseSpec) -> bool| {
+        cases.iter().any(|(_, c)| pred(c))
+    };
+    use liquid_simd_repro::conform::gen::CaseSpec;
+    use liquid_simd_repro::isa::VAluOp;
+    assert!(
+        has(
+            &|c| matches!(c, CaseSpec::Legal(l) if l.ops.iter().any(|o| matches!(
+                o.op,
+                VAluOp::SatAdd | VAluOp::SatSub | VAluOp::SSatAdd | VAluOp::SSatSub
+            )))
+        ),
+        "corpus must keep a saturation case"
+    );
+    assert!(
+        has(&|c| matches!(c, CaseSpec::Legal(l) if l.reduce.is_some())),
+        "corpus must keep a reduction case"
+    );
+    assert!(
+        has(&|c| matches!(c, CaseSpec::Legal(l)
+            if l.inputs.iter().any(|i| i.perm.is_some()))),
+        "corpus must keep a permuted-load case"
+    );
+    assert!(
+        has(&|c| matches!(c, CaseSpec::Legal(l) if l.mid_perm.is_some())),
+        "corpus must keep a fission-forcing case"
+    );
+    assert!(
+        has(&|c| matches!(c, CaseSpec::Legal(l) if l.inject_last)),
+        "corpus must keep an abort-at-last-instruction case"
+    );
+}

@@ -1,0 +1,118 @@
+//! Microcode-cache hygiene across external aborts.
+//!
+//! The paper's Figure 5 pipeline only commits a translation to the
+//! microcode cache when the *whole* region has been observed; an abort —
+//! interrupt, context switch — at any earlier point must leave the cache
+//! untouched. These tests pin that contract end to end: an abort injected
+//! mid-translation leaves no entry for the region, a later call to the
+//! same region re-translates cleanly, and the results stay gold-correct
+//! throughout.
+
+use liquid_simd_repro::conform::gen::LegalSpec;
+use liquid_simd_repro::conform::oracle::saw_injected_abort;
+use liquid_simd_repro::facade::{build_liquid, gold, verify_against_gold, Machine, MachineConfig};
+
+/// The sweep-sat workload with two driver reps: the region is called
+/// twice, so an abort on the first call leaves a second call to observe
+/// the retry.
+fn two_rep_workload() -> liquid_simd_repro::facade::Workload {
+    let spec = LegalSpec {
+        reps: 2,
+        ..LegalSpec::sweep_sat()
+    };
+    spec.to_workload().expect("sweep spec builds")
+}
+
+#[test]
+fn external_abort_leaves_no_partial_entry_and_retry_translates() {
+    let w = two_rep_workload();
+    let gold_env = gold::run_gold(&w).expect("gold");
+    let build = build_liquid(&w).expect("build");
+
+    // Clean run: learn the first translation window.
+    let mut clean = Machine::new(&build.program, MachineConfig::liquid(8));
+    let clean_report = clean.run().expect("clean run");
+    let window = clean_report
+        .windows
+        .iter()
+        .find(|win| win.completed)
+        .expect("the region translates cleanly");
+    assert!(window.end_retired > window.begin_retired + 1);
+
+    // Abort mid-window (injection at begin_retired is a no-op: translation
+    // begins in the control-flow phase *after* that step's injection
+    // point, so the first effective index is begin_retired + 1).
+    let mid = (window.begin_retired + 1 + window.end_retired) / 2;
+    let mut cfg = MachineConfig::liquid(8);
+    cfg.interrupt_at = vec![mid];
+    let mut m = Machine::new(&build.program, cfg);
+    let report = m.run().expect("injected run");
+
+    assert!(
+        saw_injected_abort(&report),
+        "the injection must surface as an external abort: {:?}",
+        report.translator.aborts
+    );
+    // First attempt aborted, second call re-translated from scratch.
+    assert_eq!(report.translator.attempts, 2, "abort then retry");
+    assert_eq!(report.translator.successes, 1, "only the retry commits");
+    assert_eq!(
+        report.mcache.inserts, 1,
+        "exactly one cache insert: no partial entry was ever committed"
+    );
+
+    // The window log mirrors the story: one aborted window, one completed.
+    assert_eq!(report.windows.len(), 2);
+    assert!(!report.windows[0].completed);
+    assert_eq!(report.windows[0].end_retired, mid);
+    assert!(report.windows[1].completed);
+
+    // And the cache now holds the retry's (complete) entry for the region.
+    let entries: Vec<u32> = m.microcode_snapshot().iter().map(|(pc, _)| *pc).collect();
+    assert_eq!(entries, vec![window.func_pc]);
+
+    verify_against_gold("post-abort", &build.program, m.memory(), &gold_env)
+        .expect("scalar fallback plus retry must stay gold-correct");
+}
+
+#[test]
+fn single_rep_abort_leaves_the_cache_empty() {
+    // With one rep there is no second call: after the abort the cache must
+    // hold nothing at all for the region.
+    let spec = LegalSpec::sweep_sat();
+    let w = spec.to_workload().expect("builds");
+    let gold_env = gold::run_gold(&w).expect("gold");
+    let build = build_liquid(&w).expect("build");
+
+    let mut clean = Machine::new(&build.program, MachineConfig::liquid(8));
+    let clean_report = clean.run().expect("clean run");
+    let window = clean_report
+        .windows
+        .iter()
+        .find(|win| win.completed)
+        .expect("translates cleanly");
+
+    let mid = (window.begin_retired + 1 + window.end_retired) / 2;
+    let mut cfg = MachineConfig::liquid(8);
+    cfg.interrupt_at = vec![mid];
+    let mut m = Machine::new(&build.program, cfg);
+    let report = m.run().expect("injected run");
+
+    assert!(saw_injected_abort(&report));
+    assert_eq!(report.translator.successes, 0);
+    assert_eq!(report.mcache.inserts, 0, "no partial entry");
+    assert!(m.microcode_snapshot().is_empty());
+    verify_against_gold("aborted", &build.program, m.memory(), &gold_env)
+        .expect("scalar fallback must stay gold-correct");
+}
+
+#[test]
+fn every_injection_index_is_clean_on_the_sweep_workloads() {
+    // The full exhaustive sweep (every retire index of every window) on
+    // both standard workloads — the in-tree version of `liquid-simd
+    // conform`'s abort_sweep section.
+    for outcome in liquid_simd_repro::conform::abort::run_standard_sweeps(8) {
+        assert!(outcome.passed, "{}: {}", outcome.name, outcome.detail);
+        assert!(outcome.points > 0, "{} swept nothing", outcome.name);
+    }
+}
