@@ -28,9 +28,28 @@
 //! liquid-simd tables [--jobs N] [--smoke]
 //!                      regenerate the paper's tables/figures in parallel
 //! liquid-simd bench [--jobs N] [--smoke] [--progress] [--out BENCH_sim.json]
-//!                      wall-clock benchmark of the simulator and the
-//!                      parallel sweep; writes a JSON report with per-task
-//!                      and per-worker wall times
+//!                      benchmark of the simulator: scalar baseline plus
+//!                      liquid cycles at every width per workload, counter
+//!                      telemetry, and the parallel sweep; writes a JSON
+//!                      snapshot AND appends one perfhist-v1 record to the
+//!                      append-only history
+//!     --history F      history file (default bench/history.jsonl)
+//!     --no-history     skip the history append
+//! liquid-simd sentinel [--baseline REF] [--json]
+//!                      regression gate over the history: deterministic
+//!                      sim_cycles must match the baseline record exactly
+//!                      (any drift fails, improvements included);
+//!                      wall-clock throughput only warns (median/MAD band)
+//!     --history F      history file (default bench/history.jsonl)
+//!     --window N       baseline window size (default 5)
+//!     --noise-frac X   wall-clock warn fraction (default 0.15)
+//! liquid-simd dashboard [--out report.html]
+//!                      render the history as one self-contained HTML file
+//!                      (inline SVG/CSS, no JavaScript, no external
+//!                      fetches): cycle-trend sparklines, width-speedup
+//!                      bars, counter deltas, and a flamegraph
+//!     --history F      history file (default bench/history.jsonl)
+//!     --flame W        workload profiled for the flamegraph (default fir)
 //! liquid-simd conform [--seed S] [--cases N] [--jobs N] [--json]
 //!                      generative differential conformance: random legal
 //!                      and illegal loops through every pipeline at every
@@ -47,6 +66,7 @@ use std::time::Instant;
 
 use liquid_simd::{experiments, Machine, MachineConfig, RunReport};
 use liquid_simd_isa::{asm, object, Program};
+use liquid_simd_perfhist as perfhist;
 use liquid_simd_trace::{export, TraceConfig, Tracer};
 
 fn main() -> ExitCode {
@@ -75,6 +95,8 @@ fn run_cli(args: &[String]) -> Result<(), String> {
         "profile" => cmd_profile(rest),
         "tables" => cmd_tables(rest),
         "bench" => cmd_bench(rest),
+        "sentinel" => cmd_sentinel(rest),
+        "dashboard" => cmd_dashboard(rest),
         "conform" => cmd_conform(rest),
         "help" | "--help" | "-h" => {
             println!("{}", usage());
@@ -85,7 +107,7 @@ fn run_cli(args: &[String]) -> Result<(), String> {
 }
 
 fn usage() -> String {
-    "usage: liquid-simd <asm|disasm|run|translate|trace|explain|profile|tables|bench|conform|help> [args]\n\
+    "usage: liquid-simd <asm|disasm|run|translate|trace|explain|profile|tables|bench|sentinel|dashboard|conform|help> [args]\n\
      \n\
      asm <input.s> -o <out.lsim>\n\
      disasm <prog.lsim>\n\
@@ -100,6 +122,10 @@ fn usage() -> String {
          [--trace-out trace.json]\n\
      tables [--jobs N] [--smoke]\n\
      bench [--jobs N] [--smoke] [--progress] [--out BENCH_sim.json]\n\
+         [--history bench/history.jsonl] [--no-history]\n\
+     sentinel [--baseline REF] [--json] [--history FILE]\n\
+         [--window N] [--noise-frac X]\n\
+     dashboard [--out report.html] [--history FILE] [--flame WORKLOAD]\n\
      conform [--seed S] [--cases N] [--jobs N] [--json] [--out FILE]\n\
          [--corpus-dir DIR] [--no-shrink]"
         .to_string()
@@ -202,12 +228,14 @@ fn print_report(report: &RunReport) {
     println!("dcache            {}", report.dcache);
     println!("translator        {}", report.translator);
     println!(
-        "microcode cache   {} lookups, {} hits, {} pending, {} inserts, {} evictions",
+        "microcode cache   {} lookups, {} hits, {} pending, {} inserts, {} evictions, \
+         {} conflicts",
         report.mcache.lookups,
         report.mcache.hits,
         report.mcache.pending,
         report.mcache.inserts,
-        report.mcache.evictions
+        report.mcache.evictions,
+        report.mcache.conflicts
     );
     for (pc, len) in &report.translations {
         println!("translated        @{pc}: {len} microcode instructions");
@@ -497,28 +525,64 @@ fn render_rows<T: std::fmt::Display>(rows: &[T]) -> String {
 fn cmd_bench(args: &[String]) -> Result<(), String> {
     let jobs = parse_jobs(args)?;
     let (workloads, widths) = bench_suite(args);
+    let smoke = flag(args, "--smoke");
     let out_path = option_value(args, "--out")?.unwrap_or("BENCH_sim.json");
+    let history_path = option_value(args, "--history")?.unwrap_or("bench/history.jsonl");
     let err = |e: liquid_simd::VerifyError| e.to_string();
+    // The headline width: the paper's 8-lane configuration when swept,
+    // else the widest width in the sweep.
+    let headline = if widths.contains(&8) {
+        8
+    } else {
+        *widths.last().ok_or("bench: empty width sweep")?
+    };
 
-    // Per-workload simulator throughput: simulated cycles per wall-clock
-    // second for the Liquid binary at 8 lanes (the predecoded-metadata
-    // fast path is what this number measures).
-    let mut per_workload = Vec::new();
+    // Per-workload measurements, all deterministic except wall clock: the
+    // scalar baseline (speedup denominator), liquid cycles at every swept
+    // width, wall-clock throughput of the headline run (the
+    // predecoded-metadata fast path is what that number measures), and the
+    // headline run's counter-telemetry snapshot.
+    let mut rows: Vec<perfhist::WorkloadRow> = Vec::new();
+    let mut counters = std::collections::BTreeMap::new();
     for w in &workloads {
+        let plain = liquid_simd::build_plain(w).map_err(|e| format!("{}: {e}", w.name))?;
+        let base = liquid_simd::run(&plain.program, MachineConfig::scalar_only())
+            .map_err(|e| e.to_string())?;
         let b = liquid_simd::build_liquid(w).map_err(|e| format!("{}: {e}", w.name))?;
-        let t0 = Instant::now();
-        let out =
-            liquid_simd::run(&b.program, MachineConfig::liquid(8)).map_err(|e| e.to_string())?;
-        let wall = t0.elapsed().as_secs_f64();
-        let rate = out.report.cycles as f64 / wall.max(1e-9);
+        let mut row = perfhist::WorkloadRow {
+            name: w.name.clone(),
+            baseline_cycles: base.report.cycles,
+            sim_cycles: 0,
+            cycles_by_width: Vec::new(),
+            wall_s: 0.0,
+            cycles_per_sec: 0.0,
+        };
+        for &width in &widths {
+            let t0 = Instant::now();
+            let out = liquid_simd::run(&b.program, MachineConfig::liquid(width))
+                .map_err(|e| e.to_string())?;
+            if width == headline {
+                row.wall_s = t0.elapsed().as_secs_f64();
+                row.sim_cycles = out.report.cycles;
+                row.cycles_per_sec = out.report.cycles as f64 / row.wall_s.max(1e-9);
+                perfhist::counters::merge(
+                    &mut counters,
+                    &perfhist::counters::snapshot(&out.report),
+                );
+            }
+            row.cycles_by_width.push((width, out.report.cycles));
+        }
         println!(
-            "{:<14} {:>12} cycles  {:>8.3} ms  {:>12.0} sim-cycles/s",
+            "{:<14} {:>12} cycles @ {headline} lanes  ({:>9} scalar, {:.2}x)  \
+             {:>8.3} ms  {:>12.0} sim-cycles/s",
             w.name,
-            out.report.cycles,
-            wall * 1e3,
-            rate
+            row.sim_cycles,
+            row.baseline_cycles,
+            row.baseline_cycles as f64 / row.sim_cycles.max(1) as f64,
+            row.wall_s * 1e3,
+            row.cycles_per_sec
         );
-        per_workload.push((w.name.clone(), out.report.cycles, wall, rate));
+        rows.push(row);
     }
 
     // The Figure 6 sweep, serial then parallel: wall-clock speedup plus a
@@ -580,18 +644,26 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
 
     let mut json = String::from("{\n  \"schema\": \"liquid-simd-bench-v1\",\n");
     json.push_str(&format!("  \"jobs\": {jobs},\n"));
-    json.push_str(&format!("  \"smoke\": {},\n", flag(args, "--smoke")));
+    json.push_str(&format!("  \"smoke\": {smoke},\n"));
     json.push_str(&format!("  \"widths\": {widths:?},\n"));
     json.push_str("  \"workloads\": [\n");
-    for (i, (name, cycles, wall, rate)) in per_workload.iter().enumerate() {
+    for (i, row) in rows.iter().enumerate() {
+        let by_width = row
+            .cycles_by_width
+            .iter()
+            .map(|(w, c)| format!("\"{w}\": {c}"))
+            .collect::<Vec<_>>()
+            .join(", ");
         json.push_str(&format!(
-            "    {{\"name\": \"{}\", \"sim_cycles\": {}, \"wall_s\": {:.6}, \
+            "    {{\"name\": \"{}\", \"baseline_cycles\": {}, \"sim_cycles\": {}, \
+             \"cycles_by_width\": {{{by_width}}}, \"wall_s\": {:.6}, \
              \"sim_cycles_per_sec\": {:.0}}}{}\n",
-            json_escape(name),
-            cycles,
-            wall,
-            rate,
-            if i + 1 < per_workload.len() { "," } else { "" }
+            json_escape(&row.name),
+            row.baseline_cycles,
+            row.sim_cycles,
+            row.wall_s,
+            row.cycles_per_sec,
+            if i + 1 < rows.len() { "," } else { "" }
         ));
     }
     json.push_str("  ],\n");
@@ -624,9 +696,149 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
     fs::write(out_path, &json).map_err(|e| format!("{out_path}: {e}"))?;
     println!("{out_path}: written");
 
+    // Append one perfhist-v1 record to the history. The record carries no
+    // `jobs` field and isolates every wall-clock measurement, so two runs
+    // of the same code differ only in scrubbable fields regardless of
+    // parallelism (the determinism contract the sentinel gates on).
+    if !flag(args, "--no-history") {
+        let meta = perfhist::RecordMeta {
+            commit: perfhist::record::git_commit(std::path::Path::new(".")),
+            timestamp: perfhist::record::unix_now(),
+            host: perfhist::record::host_fingerprint(),
+            config_hash: format!("{:016x}", MachineConfig::liquid(headline).fingerprint()),
+            smoke,
+            widths: widths.clone(),
+        };
+        let wall_extras = vec![
+            ("figure6_serial_s".to_string(), serial_s),
+            ("figure6_parallel_s".to_string(), parallel_s),
+            ("figure6_speedup".to_string(), speedup),
+        ];
+        let record = perfhist::record::build(&meta, &rows, &counters, &wall_extras);
+        perfhist::store::append(std::path::Path::new(history_path), &record)?;
+        println!(
+            "{history_path}: appended perfhist-v1 record for {}",
+            meta.commit
+        );
+    }
+
     if !deterministic {
         return Err("parallel figure6 sweep diverged from the serial sweep".into());
     }
+    Ok(())
+}
+
+fn cmd_sentinel(args: &[String]) -> Result<(), String> {
+    let history_path = option_value(args, "--history")?.unwrap_or("bench/history.jsonl");
+    let mut opts = perfhist::SentinelOptions {
+        baseline_commit: option_value(args, "--baseline")?.map(str::to_string),
+        ..perfhist::SentinelOptions::default()
+    };
+    if let Some(v) = option_value(args, "--window")? {
+        opts.window = match v.parse() {
+            Ok(n) if n >= 1 => n,
+            _ => return Err(format!("bad --window `{v}` (need an integer >= 1)")),
+        };
+    }
+    if let Some(v) = option_value(args, "--noise-frac")? {
+        opts.noise_frac = match v.parse::<f64>() {
+            Ok(f) if f > 0.0 => f,
+            _ => return Err(format!("bad --noise-frac `{v}` (need a fraction > 0)")),
+        };
+    }
+    let history = perfhist::store::load(std::path::Path::new(history_path))?;
+    let verdict = perfhist::sentinel::check(&history, &opts);
+    if flag(args, "--json") {
+        println!("{}", verdict.json.write());
+    } else {
+        render_verdict(&verdict.json);
+    }
+    if verdict.failed {
+        return Err("sentinel: deterministic cycle counts drifted from the baseline".into());
+    }
+    Ok(())
+}
+
+/// Human rendering of a `sentinel-v1` verdict document.
+fn render_verdict(v: &perfhist::Json) {
+    use perfhist::Json;
+    let get_str = |k: &str| v.get(k).and_then(Json::as_str).unwrap_or("?");
+    let get_arr = |k: &str| {
+        v.get(k)
+            .and_then(Json::as_arr)
+            .map(<[Json]>::to_vec)
+            .unwrap_or_default()
+    };
+    println!(
+        "sentinel: {} (commit {}, baseline {}, window {}, {} workloads checked)",
+        get_str("status"),
+        get_str("commit"),
+        get_str("baseline_commit"),
+        v.get("baseline_window").and_then(Json::as_u64).unwrap_or(0),
+        v.get("workloads_checked")
+            .and_then(Json::as_u64)
+            .unwrap_or(0),
+    );
+    for d in get_arr("cycle_drift") {
+        println!(
+            "  DRIFT {} {}: {} -> {}",
+            d.get("workload").and_then(Json::as_str).unwrap_or("?"),
+            d.get("metric").and_then(Json::as_str).unwrap_or("?"),
+            d.get("baseline").and_then(Json::as_u64).unwrap_or(0),
+            d.get("current").and_then(Json::as_u64).unwrap_or(0),
+        );
+    }
+    for w in get_arr("wall_warnings") {
+        println!(
+            "  warn {}: {:.0} sim-cycles/s vs median {:.0} (MAD {:.0}) — wall clock only, not gated",
+            w.get("workload").and_then(Json::as_str).unwrap_or("?"),
+            w.get("current").and_then(Json::as_f64).unwrap_or(0.0),
+            w.get("median").and_then(Json::as_f64).unwrap_or(0.0),
+            w.get("mad").and_then(Json::as_f64).unwrap_or(0.0),
+        );
+    }
+    let deltas = get_arr("counter_deltas");
+    if !deltas.is_empty() {
+        println!(
+            "  {} counter(s) changed vs baseline (informational):",
+            deltas.len()
+        );
+        for d in deltas.iter().take(10) {
+            println!(
+                "    {} {} -> {}",
+                d.get("counter").and_then(Json::as_str).unwrap_or("?"),
+                d.get("baseline").and_then(Json::as_u64).unwrap_or(0),
+                d.get("current").and_then(Json::as_u64).unwrap_or(0),
+            );
+        }
+        if deltas.len() > 10 {
+            println!("    … and {} more", deltas.len() - 10);
+        }
+    }
+}
+
+fn cmd_dashboard(args: &[String]) -> Result<(), String> {
+    let history_path = option_value(args, "--history")?.unwrap_or("bench/history.jsonl");
+    let out = option_value(args, "--out")?.unwrap_or("report.html");
+    let flame_workload = option_value(args, "--flame")?.unwrap_or("fir");
+    let history = if std::path::Path::new(history_path).exists() {
+        perfhist::store::load(std::path::Path::new(history_path))?
+    } else {
+        Vec::new()
+    };
+    // A traced run of one workload supplies the flamegraph: its span
+    // records fold into `track;parent;child self_cycles` stacks.
+    let (program, name) = resolve_program(flame_workload)?;
+    let prof = liquid_simd::profile(&program, &name, 8).map_err(|e| e.to_string())?;
+    let folded = export::folded_stacks(&prof.spans);
+    let html = perfhist::dashboard::render(&history, &folded);
+    fs::write(out, &html).map_err(|e| format!("{out}: {e}"))?;
+    println!(
+        "{out}: written ({} history records, {} flame frames from {name}, {} bytes, self-contained)",
+        history.len(),
+        folded.lines().count(),
+        html.len()
+    );
     Ok(())
 }
 
@@ -734,5 +946,37 @@ mod tests {
     fn unknown_command_errors() {
         assert!(run_cli(&["frobnicate".to_string()]).is_err());
         assert!(run_cli(&[]).is_err());
+    }
+
+    /// The acceptance-criteria exit-code contract: `sentinel` succeeds on a
+    /// clean history and errors (→ process exit 1) the moment a record's
+    /// deterministic `sim_cycles` drifts from the baseline.
+    #[test]
+    fn sentinel_exit_code_tracks_cycle_drift() {
+        let dir = std::env::temp_dir().join(format!("cli-sentinel-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("history.jsonl");
+        let _ = std::fs::remove_file(&path);
+        let rec = |cycles: u64| {
+            perfhist::Json::parse(&format!(
+                r#"{{"schema":"perfhist-v1","commit":"c","timestamp":1,"host":"h","config_hash":"cafe","smoke":true,"widths":[2,8],"workloads":[{{"name":"FIR","baseline_cycles":1000,"sim_cycles":{cycles},"cycles_by_width":{{"8":{cycles}}},"wall_s":0.5,"sim_cycles_per_sec":100.0}}],"counters":{{}},"wall":{{}}}}"#
+            ))
+            .unwrap()
+        };
+        perfhist::store::append(&path, &rec(250)).unwrap();
+        perfhist::store::append(&path, &rec(250)).unwrap();
+        let hist = path.to_str().unwrap().to_string();
+        let args = |h: &str| {
+            vec![
+                "sentinel".to_string(),
+                "--history".to_string(),
+                h.to_string(),
+                "--json".to_string(),
+            ]
+        };
+        assert!(run_cli(&args(&hist)).is_ok(), "identical cycles pass");
+        perfhist::store::append(&path, &rec(251)).unwrap();
+        assert!(run_cli(&args(&hist)).is_err(), "perturbed cycles fail");
+        let _ = std::fs::remove_file(&path);
     }
 }

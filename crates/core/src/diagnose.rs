@@ -110,6 +110,9 @@ pub struct ExplainReport {
     pub widths: Vec<usize>,
     /// Total cycles per width, parallel to `widths`.
     pub cycles: Vec<u64>,
+    /// Aggregate microcode-cache statistics per width, parallel to
+    /// `widths` — surfaces evictions and tag-conflict replacements.
+    pub mcache: Vec<McacheStats>,
     /// Every region that was called, translated, or aborted, by entry PC.
     pub regions: Vec<RegionReport>,
 }
@@ -190,6 +193,7 @@ pub fn explain(
         program: name.to_string(),
         widths,
         cycles: runs.iter().map(|(_, r)| r.cycles).collect(),
+        mcache: runs.iter().map(|(_, r)| r.mcache).collect(),
         regions,
     })
 }
@@ -358,10 +362,17 @@ pub fn explain_json(report: &ExplainReport) -> String {
     let runs: Vec<String> = report
         .widths
         .iter()
-        .zip(&report.cycles)
-        .map(|(w, c)| format!("{{\"width\": {w}, \"cycles\": {c}}}"))
+        .zip(report.cycles.iter().zip(&report.mcache))
+        .map(|(w, (c, m))| {
+            format!(
+                "{{\"width\": {w}, \"cycles\": {c}, \"mcache\": {{\"lookups\": {}, \
+                 \"hits\": {}, \"pending\": {}, \"inserts\": {}, \"evictions\": {}, \
+                 \"conflicts\": {}}}}}",
+                m.lookups, m.hits, m.pending, m.inserts, m.evictions, m.conflicts
+            )
+        })
         .collect();
-    let _ = writeln!(j, "  \"runs\": [{}],", runs.join(", "));
+    let _ = writeln!(j, "  \"runs\": [\n    {}\n  ],", runs.join(",\n    "));
     j.push_str("  \"regions\": [\n");
     for (i, region) in report.regions.iter().enumerate() {
         let _ = writeln!(j, "    {{");
@@ -420,8 +431,16 @@ pub fn render_explain(report: &ExplainReport) -> String {
         "{} — explain at widths {:?}",
         report.program, report.widths
     );
-    for (w, c) in report.widths.iter().zip(&report.cycles) {
-        let _ = writeln!(out, "  w{w:<2} {c} cycles");
+    for (w, (c, m)) in report
+        .widths
+        .iter()
+        .zip(report.cycles.iter().zip(&report.mcache))
+    {
+        let _ = writeln!(
+            out,
+            "  w{w:<2} {c} cycles — mcache {}/{} hits, {} evictions, {} conflicts",
+            m.hits, m.lookups, m.evictions, m.conflicts
+        );
     }
     if report.regions.is_empty() {
         let _ = writeln!(out, "\nno outlined regions were called");

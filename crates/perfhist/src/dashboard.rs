@@ -1,0 +1,694 @@
+//! The self-contained HTML dashboard: one file, inline SVG, inline CSS,
+//! zero JavaScript and zero external fetches — it must render from a CI
+//! artifact viewer, an `mailcap` handler, or `file://` with no network.
+//!
+//! Sections: run header, per-workload cycle-trend sparklines across the
+//! history, width-speedup bars (the paper's Figure 6 shape), counter
+//! deltas vs the baseline record, and a flamegraph folded from the
+//! tracer's span records. Colors are CSS custom properties with selected
+//! light/dark values (`prefers-color-scheme` plus a `data-theme`
+//! override); tooltips are native SVG `<title>` elements; every chart has
+//! a plain-table equivalent so nothing is gated on color vision.
+
+use std::fmt::Write as _;
+
+use crate::json::Json;
+use crate::record::SCHEMA;
+
+/// Ordinal blue ramp for the width series (steps 250/400/500/600 of the
+/// sequential ramp — legal nearest-surface step in both modes).
+const WIDTH_RAMP: [&str; 4] = ["#86b6ef", "#3987e5", "#256abf", "#184f95"];
+
+/// Sequential blue ramp for flamegraph depth (steps 150..650).
+const FLAME_RAMP: [&str; 6] = [
+    "#b7d3f6", "#9ec5f4", "#6da7ec", "#5598e7", "#2a78d6", "#1c5cab",
+];
+
+fn esc(s: &str) -> String {
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
+        .replace('"', "&quot;")
+}
+
+fn commas(v: u64) -> String {
+    let digits = v.to_string();
+    let mut out = String::new();
+    for (i, c) in digits.chars().enumerate() {
+        if i > 0 && (digits.len() - i).is_multiple_of(3) {
+            out.push(',');
+        }
+        out.push(c);
+    }
+    out
+}
+
+/// One workload's numbers pulled out of a record.
+struct Row {
+    name: String,
+    baseline_cycles: u64,
+    sim_cycles: u64,
+    by_width: Vec<(usize, u64)>,
+}
+
+fn rows_of(record: &Json) -> Vec<Row> {
+    record
+        .get("workloads")
+        .and_then(Json::as_arr)
+        .map(|rows| {
+            rows.iter()
+                .map(|r| Row {
+                    name: r
+                        .get("name")
+                        .and_then(Json::as_str)
+                        .unwrap_or("?")
+                        .to_string(),
+                    baseline_cycles: r.get("baseline_cycles").and_then(Json::as_u64).unwrap_or(0),
+                    sim_cycles: r.get("sim_cycles").and_then(Json::as_u64).unwrap_or(0),
+                    by_width: r
+                        .get("cycles_by_width")
+                        .and_then(Json::as_obj)
+                        .map(|pairs| {
+                            pairs
+                                .iter()
+                                .filter_map(|(w, v)| Some((w.parse().ok()?, v.as_u64()?)))
+                                .collect()
+                        })
+                        .unwrap_or_default(),
+                })
+                .collect()
+        })
+        .unwrap_or_default()
+}
+
+/// Renders the dashboard over a loaded history (oldest first) plus an
+/// optional folded-stacks profile (`trace::export::folded_stacks` output).
+#[must_use]
+pub fn render(history: &[Json], folded: &str) -> String {
+    let records: Vec<&Json> = history
+        .iter()
+        .filter(|r| r.get("schema").and_then(Json::as_str) == Some(SCHEMA))
+        .collect();
+    let mut out = String::new();
+    out.push_str(HEAD);
+    if let Some(newest) = records.last() {
+        header_section(&mut out, newest, records.len());
+        sparkline_section(&mut out, &records);
+        figure6_section(&mut out, newest);
+        counter_section(&mut out, &records);
+    } else {
+        out.push_str("<p class=\"empty\">No perfhist-v1 records in history.</p>");
+    }
+    flame_section(&mut out, folded);
+    out.push_str("</main></body></html>\n");
+    out
+}
+
+fn header_section(out: &mut String, newest: &Json, n_records: usize) {
+    let commit = newest.get("commit").and_then(Json::as_str).unwrap_or("?");
+    let host = newest.get("host").and_then(Json::as_str).unwrap_or("?");
+    let ts = newest.get("timestamp").and_then(Json::as_u64).unwrap_or(0);
+    let total: u64 = rows_of(newest).iter().map(|r| r.sim_cycles).sum();
+    let _ = write!(
+        out,
+        "<header><h1>Liquid SIMD performance history</h1>\
+         <div class=\"hero\"><span class=\"hero-value\">{}</span>\
+         <span class=\"hero-label\">simulated cycles, full suite @ 8 lanes</span></div>\
+         <p class=\"meta\">commit <code>{}</code> · host {} · unix {} · {} record{}</p></header>",
+        commas(total),
+        esc(&commit.chars().take(12).collect::<String>()),
+        esc(host),
+        ts,
+        n_records,
+        if n_records == 1 { "" } else { "s" }
+    );
+}
+
+/// Per-workload cycle trend across records: 2px line, end dot with a 2px
+/// surface ring, no legend (single series), native tooltips per point.
+fn sparkline_section(out: &mut String, records: &[&Json]) {
+    let Some(newest) = records.last() else { return };
+    out.push_str("<section><h2>Cycle trend per workload</h2><div class=\"sparks\">");
+    let (w, h, pad) = (180.0, 44.0, 6.0);
+    for row in rows_of(newest) {
+        let series: Vec<(usize, u64)> = records
+            .iter()
+            .enumerate()
+            .filter_map(|(i, r)| {
+                rows_of(r)
+                    .into_iter()
+                    .find(|x| x.name == row.name)
+                    .map(|x| (i, x.sim_cycles))
+            })
+            .collect();
+        if series.is_empty() {
+            continue;
+        }
+        let lo = series.iter().map(|&(_, c)| c).min().unwrap_or(0);
+        let hi = series
+            .iter()
+            .map(|&(_, c)| c)
+            .max()
+            .unwrap_or(1)
+            .max(lo + 1);
+        let x_of = |i: usize| {
+            if series.len() == 1 {
+                w / 2.0
+            } else {
+                pad + (w - 2.0 * pad) * i as f64 / (series.len() - 1) as f64
+            }
+        };
+        let y_of = |c: u64| pad + (h - 2.0 * pad) * (1.0 - (c - lo) as f64 / (hi - lo) as f64);
+        let pts: Vec<String> = series
+            .iter()
+            .enumerate()
+            .map(|(i, &(_, c))| format!("{:.1},{:.1}", x_of(i), y_of(c)))
+            .collect();
+        let (lx, ly) = (
+            x_of(series.len() - 1),
+            y_of(series.last().map(|&(_, c)| c).unwrap_or(0)),
+        );
+        let delta = if series.len() >= 2 {
+            let first = series[0].1 as i128;
+            let last = series[series.len() - 1].1 as i128;
+            last - first
+        } else {
+            0
+        };
+        let _ = write!(
+            out,
+            "<figure class=\"spark\"><figcaption>{}</figcaption>\
+             <svg viewBox=\"0 0 {w} {h}\" width=\"{w}\" height=\"{h}\" role=\"img\" \
+              aria-label=\"{} cycle trend\">\
+             <title>{}: {} → {} cycles across {} records</title>\
+             <polyline points=\"{}\" fill=\"none\" stroke=\"var(--series-1)\" \
+              stroke-width=\"2\" stroke-linejoin=\"round\" stroke-linecap=\"round\"/>\
+             <circle cx=\"{lx:.1}\" cy=\"{ly:.1}\" r=\"6\" fill=\"var(--surface-1)\"/>\
+             <circle cx=\"{lx:.1}\" cy=\"{ly:.1}\" r=\"4\" fill=\"var(--series-1)\"/>\
+             </svg><span class=\"spark-value\">{}{}</span></figure>",
+            esc(&row.name),
+            esc(&row.name),
+            esc(&row.name),
+            commas(series[0].1),
+            commas(series[series.len() - 1].1),
+            series.len(),
+            pts.join(" "),
+            commas(row.sim_cycles),
+            match delta.signum() {
+                1 => format!(
+                    " <span class=\"delta-up\">(+{})</span>",
+                    commas(delta as u64)
+                ),
+                -1 => format!(
+                    " <span class=\"delta-down\">(−{})</span>",
+                    commas((-delta) as u64)
+                ),
+                _ => String::new(),
+            }
+        );
+    }
+    out.push_str("</div></section>");
+}
+
+/// Width-speedup bars, paper Figure 6 shape: grouped bars per workload,
+/// one ordinal-ramp series per lane width, speedup = scalar baseline
+/// cycles / liquid cycles at that width. Reference hairline at 1.0.
+fn figure6_section(out: &mut String, newest: &Json) {
+    let rows: Vec<Row> = rows_of(newest)
+        .into_iter()
+        .filter(|r| r.baseline_cycles > 0 && !r.by_width.is_empty())
+        .collect();
+    if rows.is_empty() {
+        return;
+    }
+    let widths: Vec<usize> = {
+        let mut ws: Vec<usize> = rows
+            .iter()
+            .flat_map(|r| r.by_width.iter().map(|&(w, _)| w))
+            .collect();
+        ws.sort_unstable();
+        ws.dedup();
+        ws
+    };
+    let speedup = |r: &Row, w: usize| -> Option<f64> {
+        let &(_, cycles) = r.by_width.iter().find(|&&(bw, _)| bw == w)?;
+        (cycles > 0).then(|| r.baseline_cycles as f64 / cycles as f64)
+    };
+    let max_speedup = rows
+        .iter()
+        .flat_map(|r| widths.iter().filter_map(|&w| speedup(r, w)))
+        .fold(1.0f64, f64::max);
+    let y_top = max_speedup.ceil().max(2.0);
+    // Geometry: bars 12px with a 2px surface gap, groups padded.
+    let (bar_w, gap, group_pad) = (12.0, 2.0, 14.0);
+    let group_w = widths.len() as f64 * (bar_w + gap) - gap + group_pad;
+    let (pad_l, pad_t, plot_h, label_h) = (36.0, 8.0, 180.0, 64.0);
+    let svg_w = pad_l + rows.len() as f64 * group_w + 8.0;
+    let svg_h = pad_t + plot_h + label_h;
+    out.push_str("<section><h2>Width speedup (Figure 6 shape)</h2>");
+    // Legend: ≥2 series, so always present; swatch carries the color.
+    out.push_str("<div class=\"legend\">");
+    for (i, w) in widths.iter().enumerate() {
+        let _ = write!(
+            out,
+            "<span class=\"key\"><span class=\"swatch\" style=\"background:{}\"></span>{} lanes</span>",
+            WIDTH_RAMP[i.min(WIDTH_RAMP.len() - 1)],
+            w
+        );
+    }
+    out.push_str("</div>");
+    let _ = write!(
+        out,
+        "<svg viewBox=\"0 0 {svg_w:.0} {svg_h:.0}\" width=\"{svg_w:.0}\" height=\"{svg_h:.0}\" \
+         role=\"img\" aria-label=\"speedup over scalar by lane width\">"
+    );
+    let y_of = |s: f64| pad_t + plot_h * (1.0 - s / y_top);
+    // Hairline grid + ticks at integer speedups; emphasised baseline at 1×.
+    let mut tick = 0.0;
+    while tick <= y_top {
+        let y = y_of(tick);
+        let stroke = if (tick - 1.0).abs() < 1e-9 {
+            "var(--baseline)"
+        } else {
+            "var(--grid)"
+        };
+        let _ = write!(
+            out,
+            "<line x1=\"{pad_l:.0}\" y1=\"{y:.1}\" x2=\"{:.0}\" y2=\"{y:.1}\" \
+             stroke=\"{stroke}\" stroke-width=\"1\"/>\
+             <text x=\"{:.0}\" y=\"{:.1}\" class=\"tick\" text-anchor=\"end\">{tick:.0}×</text>",
+            svg_w - 4.0,
+            pad_l - 6.0,
+            y + 3.5
+        );
+        tick += 1.0;
+    }
+    for (gi, r) in rows.iter().enumerate() {
+        let gx = pad_l + gi as f64 * group_w;
+        for (wi, &w) in widths.iter().enumerate() {
+            let Some(s) = speedup(r, w) else { continue };
+            let x = gx + wi as f64 * (bar_w + gap);
+            let y = y_of(s);
+            let color = WIDTH_RAMP[wi.min(WIDTH_RAMP.len() - 1)];
+            // 4px rounded data-end, square baseline: round the top only.
+            let _ = write!(
+                out,
+                "<path d=\"M{x:.1} {:.1} V{:.1} Q{x:.1} {y:.1} {:.1} {y:.1} H{:.1} \
+                 Q{:.1} {y:.1} {:.1} {:.1} V{:.1} Z\" fill=\"{color}\">\
+                 <title>{} @ {w} lanes: {s:.2}× ({} / {} cycles)</title></path>",
+                pad_t + plot_h,
+                (y + 4.0).min(pad_t + plot_h),
+                x + 4.0,
+                x + bar_w - 4.0,
+                x + bar_w,
+                x + bar_w,
+                (y + 4.0).min(pad_t + plot_h),
+                pad_t + plot_h,
+                esc(&r.name),
+                commas(r.baseline_cycles),
+                commas(
+                    r.by_width
+                        .iter()
+                        .find(|&&(bw, _)| bw == w)
+                        .map(|&(_, c)| c)
+                        .unwrap_or(0)
+                ),
+            );
+        }
+        let cx = gx + (group_w - group_pad) / 2.0;
+        let _ = write!(
+            out,
+            "<text x=\"{cx:.1}\" y=\"{:.1}\" class=\"xlabel\" \
+             transform=\"rotate(-38 {cx:.1} {:.1})\" text-anchor=\"end\">{}</text>",
+            pad_t + plot_h + 14.0,
+            pad_t + plot_h + 14.0,
+            esc(&r.name)
+        );
+    }
+    out.push_str("</svg>");
+    // Table view: the accessibility channel for the same numbers.
+    out.push_str("<details><summary>Data table</summary><table><thead><tr><th>workload</th><th>scalar cycles</th>");
+    for w in &widths {
+        let _ = write!(out, "<th>{w} lanes</th><th>speedup</th>");
+    }
+    out.push_str("</tr></thead><tbody>");
+    for r in &rows {
+        let _ = write!(
+            out,
+            "<tr><td>{}</td><td class=\"num\">{}</td>",
+            esc(&r.name),
+            commas(r.baseline_cycles)
+        );
+        for &w in &widths {
+            match r.by_width.iter().find(|&&(bw, _)| bw == w) {
+                Some(&(_, c)) => {
+                    let _ = write!(
+                        out,
+                        "<td class=\"num\">{}</td><td class=\"num\">{:.2}×</td>",
+                        commas(c),
+                        r.baseline_cycles as f64 / c.max(1) as f64
+                    );
+                }
+                None => out.push_str("<td class=\"num\">—</td><td class=\"num\">—</td>"),
+            }
+        }
+        out.push_str("</tr>");
+    }
+    out.push_str("</tbody></table></details></section>");
+}
+
+/// Counter deltas: newest record vs the previous comparable record.
+fn counter_section(out: &mut String, records: &[&Json]) {
+    if records.len() < 2 {
+        return;
+    }
+    let newest = records[records.len() - 1];
+    let baseline = records[records.len() - 2];
+    let (Some(base_c), Some(cur_c)) = (
+        baseline.get("counters").and_then(Json::as_obj),
+        newest.get("counters").and_then(Json::as_obj),
+    ) else {
+        return;
+    };
+    let mut rows: Vec<(String, Option<u64>, u64)> = Vec::new();
+    for (name, v) in cur_c {
+        let Some(cur) = v.as_u64() else { continue };
+        let base = base_c
+            .iter()
+            .find(|(k, _)| k == name)
+            .and_then(|(_, v)| v.as_u64());
+        if base != Some(cur) {
+            rows.push((name.clone(), base, cur));
+        }
+    }
+    if rows.is_empty() {
+        return;
+    }
+    rows.sort_by(|a, b| a.0.cmp(&b.0));
+    out.push_str(
+        "<section><h2>Counter deltas vs previous record</h2><table>\
+         <thead><tr><th>counter</th><th>previous</th><th>current</th><th>Δ</th></tr></thead><tbody>",
+    );
+    for (name, base, cur) in rows {
+        let delta_cell = match base {
+            Some(b) if cur > b => format!("<td class=\"num delta-up\">+{}</td>", commas(cur - b)),
+            Some(b) => format!("<td class=\"num delta-down\">−{}</td>", commas(b - cur)),
+            None => "<td class=\"num\">new</td>".to_string(),
+        };
+        let _ = write!(
+            out,
+            "<tr><td><code>{}</code></td><td class=\"num\">{}</td><td class=\"num\">{}</td>{}</tr>",
+            esc(&name),
+            base.map_or("—".to_string(), commas),
+            commas(cur),
+            delta_cell
+        );
+    }
+    out.push_str("</tbody></table></section>");
+}
+
+/// One frame of the flamegraph tree.
+struct Frame {
+    name: String,
+    self_cycles: u64,
+    children: Vec<Frame>,
+}
+
+impl Frame {
+    fn total(&self) -> u64 {
+        self.self_cycles + self.children.iter().map(Frame::total).sum::<u64>()
+    }
+
+    fn insert(&mut self, path: &[&str], cycles: u64) {
+        let Some((head, rest)) = path.split_first() else {
+            self.self_cycles += cycles;
+            return;
+        };
+        if let Some(c) = self.children.iter_mut().find(|c| c.name == *head) {
+            c.insert(rest, cycles);
+        } else {
+            let mut child = Frame {
+                name: (*head).to_string(),
+                self_cycles: 0,
+                children: Vec::new(),
+            };
+            child.insert(rest, cycles);
+            self.children.push(child);
+        }
+    }
+}
+
+/// Flamegraph from folded stacks: nested rects, depth colored by the
+/// sequential ramp, labels only where they fit, `<title>` everywhere.
+fn flame_section(out: &mut String, folded: &str) {
+    let mut root = Frame {
+        name: String::new(),
+        self_cycles: 0,
+        children: Vec::new(),
+    };
+    for line in folded.lines() {
+        let Some((path, n)) = line.rsplit_once(' ') else {
+            continue;
+        };
+        let Ok(cycles) = n.parse::<u64>() else {
+            continue;
+        };
+        let frames: Vec<&str> = path.split(';').collect();
+        root.insert(&frames, cycles);
+    }
+    let total = root.total();
+    if total == 0 {
+        return;
+    }
+    fn depth_of(f: &Frame) -> usize {
+        1 + f.children.iter().map(depth_of).max().unwrap_or(0)
+    }
+    let depth = root.children.iter().map(depth_of).max().unwrap_or(1);
+    let (svg_w, row_h) = (1080.0, 20.0);
+    let svg_h = depth as f64 * (row_h + 2.0);
+    out.push_str("<section><h2>Where the cycles went (flamegraph)</h2>");
+    let _ = write!(
+        out,
+        "<svg viewBox=\"0 0 {svg_w:.0} {svg_h:.0}\" width=\"100%\" role=\"img\" \
+         aria-label=\"flamegraph of simulated cycles by span\">"
+    );
+    // Recursive x-ordered layout; siblings sorted by total descending so
+    // the big frames read left to right.
+    fn draw(
+        out: &mut String,
+        f: &Frame,
+        x: f64,
+        level: usize,
+        scale: f64,
+        row_h: f64,
+        grand_total: u64,
+    ) {
+        let w = f.total() as f64 * scale;
+        if w < 0.5 {
+            return;
+        }
+        let y = level as f64 * (row_h + 2.0);
+        let color = FLAME_RAMP[level.min(FLAME_RAMP.len() - 1)];
+        let pct = 100.0 * f.total() as f64 / grand_total as f64;
+        let _ = write!(
+            out,
+            "<g><rect x=\"{x:.1}\" y=\"{y:.1}\" width=\"{:.1}\" height=\"{row_h:.0}\" \
+             rx=\"2\" fill=\"{color}\"/>\
+             <title>{}: {} cycles ({pct:.1}%, self {})</title>",
+            (w - 1.0).max(0.5),
+            esc(&f.name),
+            commas(f.total()),
+            commas(f.self_cycles)
+        );
+        // ~7px per character at 12px font: label only when it fits with
+        // padding, never clipped by its own mark.
+        if w > 7.0 * f.name.len() as f64 + 12.0 {
+            let _ = write!(
+                out,
+                "<text x=\"{:.1}\" y=\"{:.1}\" class=\"flame-label\">{}</text>",
+                x + 6.0,
+                y + row_h - 6.0,
+                esc(&f.name)
+            );
+        }
+        out.push_str("</g>");
+        let mut cx = x;
+        let mut kids: Vec<&Frame> = f.children.iter().collect();
+        kids.sort_by(|a, b| b.total().cmp(&a.total()).then(a.name.cmp(&b.name)));
+        for c in kids {
+            draw(out, c, cx, level + 1, scale, row_h, grand_total);
+            cx += c.total() as f64 * scale;
+        }
+    }
+    let scale = svg_w / total as f64;
+    let mut x = 0.0;
+    let mut tracks: Vec<&Frame> = root.children.iter().collect();
+    tracks.sort_by(|a, b| b.total().cmp(&a.total()).then(a.name.cmp(&b.name)));
+    for track in tracks {
+        draw(out, track, x, 0, scale, row_h, total);
+        x += track.total() as f64 * scale;
+    }
+    out.push_str("</svg>");
+    // Table view of the folded stacks themselves.
+    out.push_str(
+        "<details><summary>Folded stacks</summary><table>\
+         <thead><tr><th>stack</th><th>self cycles</th></tr></thead><tbody>",
+    );
+    for line in folded.lines() {
+        if let Some((path, n)) = line.rsplit_once(' ') {
+            let _ = write!(
+                out,
+                "<tr><td><code>{}</code></td><td class=\"num\">{}</td></tr>",
+                esc(path),
+                esc(n)
+            );
+        }
+    }
+    out.push_str("</tbody></table></details></section>");
+}
+
+/// Document head: title + the full style block. Light values inline, dark
+/// values behind both the OS media query and a `data-theme` override.
+const HEAD: &str = r##"<!DOCTYPE html>
+<html lang="en"><head><meta charset="utf-8">
+<meta name="viewport" content="width=device-width, initial-scale=1">
+<title>Liquid SIMD performance history</title>
+<style>
+.viz-root {
+  color-scheme: light;
+  --surface-1: #fcfcfb;
+  --page: #f9f9f7;
+  --text-primary: #0b0b0b;
+  --text-secondary: #52514e;
+  --muted: #898781;
+  --grid: #e1e0d9;
+  --baseline: #c3c2b7;
+  --series-1: #2a78d6;
+  --delta-good: #006300;
+  --delta-bad: #d03b3b;
+}
+@media (prefers-color-scheme: dark) {
+  :root:where(:not([data-theme="light"])) .viz-root {
+    color-scheme: dark;
+    --surface-1: #1a1a19;
+    --page: #0d0d0d;
+    --text-primary: #ffffff;
+    --text-secondary: #c3c2b7;
+    --muted: #898781;
+    --grid: #2c2c2a;
+    --baseline: #383835;
+    --series-1: #3987e5;
+    --delta-good: #0ca30c;
+    --delta-bad: #d03b3b;
+  }
+}
+:root[data-theme="dark"] .viz-root {
+  color-scheme: dark;
+  --surface-1: #1a1a19;
+  --page: #0d0d0d;
+  --text-primary: #ffffff;
+  --text-secondary: #c3c2b7;
+  --muted: #898781;
+  --grid: #2c2c2a;
+  --baseline: #383835;
+  --series-1: #3987e5;
+  --delta-good: #0ca30c;
+  --delta-bad: #d03b3b;
+}
+.viz-root {
+  font-family: system-ui, -apple-system, "Segoe UI", sans-serif;
+  background: var(--page); color: var(--text-primary);
+  margin: 0; padding: 24px;
+}
+main { max-width: 1160px; margin: 0 auto; }
+h1 { font-size: 22px; margin: 0 0 4px; }
+h2 { font-size: 16px; margin: 28px 0 8px; color: var(--text-primary); }
+.hero { margin: 12px 0 4px; }
+.hero-value { font-size: 48px; font-weight: 600; }
+.hero-label { margin-left: 10px; color: var(--text-secondary); font-size: 14px; }
+.meta { color: var(--muted); font-size: 13px; margin: 0; }
+code { font-size: 0.92em; }
+section { background: var(--surface-1); border: 1px solid var(--grid);
+  border-radius: 8px; padding: 16px 18px; margin-top: 16px; }
+.sparks { display: flex; flex-wrap: wrap; gap: 14px 22px; }
+.spark { margin: 0; }
+.spark figcaption { font-size: 12px; color: var(--text-secondary); }
+.spark-value { font-size: 13px; font-weight: 600; }
+.delta-up { color: var(--delta-bad); font-weight: 400; }
+.delta-down { color: var(--delta-good); font-weight: 400; }
+.legend { display: flex; gap: 16px; font-size: 13px; color: var(--text-secondary);
+  margin-bottom: 8px; }
+.swatch { display: inline-block; width: 12px; height: 12px; border-radius: 3px;
+  margin-right: 5px; vertical-align: -1px; }
+.tick { font-size: 11px; fill: var(--muted); }
+.xlabel { font-size: 11px; fill: var(--text-secondary); }
+.flame-label { font-size: 12px; fill: #0b0b0b; }
+svg { display: block; max-width: 100%; }
+table { border-collapse: collapse; font-size: 13px; margin-top: 8px; }
+th, td { text-align: left; padding: 3px 12px 3px 0; border-bottom: 1px solid var(--grid); }
+th { color: var(--text-secondary); font-weight: 600; }
+td.num, th.num { text-align: right; font-variant-numeric: tabular-nums; }
+details summary { cursor: pointer; color: var(--text-secondary); font-size: 13px;
+  margin-top: 10px; }
+.empty { color: var(--muted); }
+</style></head>
+<body class="viz-root"><main>
+"##;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_record() -> Json {
+        Json::parse(
+            r#"{"schema":"perfhist-v1","commit":"abc123def","timestamp":1700000000,"host":"linux-x86_64-h","config_hash":"cafe","smoke":false,"widths":[2,8],"workloads":[{"name":"FIR","baseline_cycles":1000,"sim_cycles":250,"cycles_by_width":{"2":600,"8":250},"wall_s":0.5,"sim_cycles_per_sec":500.0}],"counters":{"cycles":250,"mcache.hits":7},"wall":{}}"#,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn dashboard_is_self_contained() {
+        let mut second = sample_record();
+        second.set("commit", Json::Str("def456".to_string()));
+        second.set(
+            "counters",
+            Json::parse(r#"{"cycles":250,"mcache.hits":9}"#).unwrap(),
+        );
+        let history = vec![sample_record(), second];
+        let folded = "pipeline;run 30\npipeline;run;exec:scalar 70\n";
+        let html = render(&history, folded);
+        assert!(html.starts_with("<!DOCTYPE html>"));
+        assert!(html.contains("</html>"));
+        // Single file, no external fetches of any kind.
+        for needle in [
+            "http://", "https://", "<script", "src=", "@import", "url(", "href=",
+        ] {
+            assert!(!html.contains(needle), "external reference: {needle}");
+        }
+        // All four sections rendered.
+        assert!(html.contains("Cycle trend"));
+        assert!(html.contains("Figure 6"));
+        assert!(html.contains("Counter deltas"));
+        assert!(html.contains("flamegraph"));
+        assert!(html.contains("mcache.hits"));
+        // Tooltips are native <title> elements.
+        assert!(html.contains("<title>FIR @ 8 lanes: 4.00×"));
+        // Table views exist for the charts.
+        assert!(html.matches("<details>").count() >= 2);
+    }
+
+    #[test]
+    fn empty_history_still_renders() {
+        let html = render(&[], "");
+        assert!(html.contains("No perfhist-v1 records"));
+        assert!(html.ends_with("</html>\n"));
+    }
+
+    #[test]
+    fn commas_groups_thousands() {
+        assert_eq!(commas(0), "0");
+        assert_eq!(commas(999), "999");
+        assert_eq!(commas(1_000), "1,000");
+        assert_eq!(commas(1_234_567), "1,234,567");
+    }
+}

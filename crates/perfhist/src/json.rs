@@ -1,0 +1,433 @@
+//! A minimal JSON value model built for *fidelity*, not convenience.
+//!
+//! History records must survive append → load → re-serialize byte-for-byte
+//! (the round-trip acceptance gate), including records written by future
+//! versions with fields this version does not know. Two design choices
+//! follow: object keys keep their **insertion order** (no sorting, no
+//! hashing), and numbers keep their **original text** (`Json::Num` stores
+//! the raw token, so `1.50` never becomes `1.5` and `u64::MAX` never loses
+//! precision through an `f64` detour).
+//!
+//! The crate has no dependencies, so the parser and writer are hand-rolled
+//! — the same policy as the rest of the workspace.
+
+use std::fmt::Write as _;
+
+/// One JSON value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A number, kept as its original (or formatted-once) text.
+    Num(String),
+    /// A string (decoded; re-escaped on write).
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, in insertion order (never sorted — fidelity first).
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// An integer number value.
+    #[must_use]
+    pub fn u64(v: u64) -> Json {
+        Json::Num(v.to_string())
+    }
+
+    /// A float number value, formatted with enough digits to round-trip.
+    #[must_use]
+    pub fn f64(v: f64) -> Json {
+        if v.is_finite() {
+            let mut s = format!("{v}");
+            if !s.contains('.') && !s.contains('e') && !s.contains('E') {
+                s.push_str(".0");
+            }
+            Json::Num(s)
+        } else {
+            Json::Null
+        }
+    }
+
+    /// Looks up a key in an object (None for non-objects/missing keys).
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice, if it is one.
+    #[must_use]
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as a `u64`, if it is an unsigned integer number.
+    #[must_use]
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Num(s) => s.parse().ok(),
+            _ => None,
+        }
+    }
+
+    /// The value as an `f64`, if it is a number.
+    #[must_use]
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(s) => s.parse().ok(),
+            _ => None,
+        }
+    }
+
+    /// The value as an array slice, if it is one.
+    #[must_use]
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The object's key/value pairs in document order, if it is one.
+    #[must_use]
+    pub fn as_obj(&self) -> Option<&[(String, Json)]> {
+        match self {
+            Json::Obj(pairs) => Some(pairs),
+            _ => None,
+        }
+    }
+
+    /// Inserts or replaces `key` in an object (no-op on non-objects).
+    pub fn set(&mut self, key: &str, value: Json) {
+        if let Json::Obj(pairs) = self {
+            if let Some(slot) = pairs.iter_mut().find(|(k, _)| k == key) {
+                slot.1 = value;
+            } else {
+                pairs.push((key.to_string(), value));
+            }
+        }
+    }
+
+    /// Removes `key` from an object, returning the removed value.
+    pub fn remove(&mut self, key: &str) -> Option<Json> {
+        if let Json::Obj(pairs) = self {
+            let idx = pairs.iter().position(|(k, _)| k == key)?;
+            return Some(pairs.remove(idx).1);
+        }
+        None
+    }
+
+    /// Serializes compactly (no whitespace), preserving key order and the
+    /// original number text — the writer half of the byte-identity
+    /// guarantee.
+    #[must_use]
+    pub fn write(&self) -> String {
+        let mut out = String::new();
+        self.write_into(&mut out);
+        out
+    }
+
+    fn write_into(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Num(s) => out.push_str(s),
+            Json::Str(s) => {
+                out.push('"');
+                for c in s.chars() {
+                    match c {
+                        '"' => out.push_str("\\\""),
+                        '\\' => out.push_str("\\\\"),
+                        '\n' => out.push_str("\\n"),
+                        '\r' => out.push_str("\\r"),
+                        '\t' => out.push_str("\\t"),
+                        c if (c as u32) < 0x20 => {
+                            let _ = write!(out, "\\u{:04x}", c as u32);
+                        }
+                        c => out.push(c),
+                    }
+                }
+                out.push('"');
+            }
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write_into(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(pairs) => {
+                out.push('{');
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    Json::Str(k.clone()).write_into(out);
+                    out.push(':');
+                    v.write_into(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
+    /// Parses one JSON document (surrounding whitespace allowed).
+    ///
+    /// # Errors
+    ///
+    /// Returns a position-annotated message on malformed input or trailing
+    /// garbage.
+    pub fn parse(text: &str) -> Result<Json, String> {
+        let bytes = text.as_bytes();
+        let mut pos = 0;
+        let value = parse_value(text, bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(format!("trailing data at byte {pos}"));
+        }
+        Ok(value)
+    }
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(bytes: &[u8], pos: &mut usize, b: u8) -> Result<(), String> {
+    if *pos < bytes.len() && bytes[*pos] == b {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(format!("expected '{}' at byte {}", b as char, *pos))
+    }
+}
+
+fn parse_value(text: &str, bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    skip_ws(bytes, pos);
+    let Some(&b) = bytes.get(*pos) else {
+        return Err("unexpected end of input".to_string());
+    };
+    match b {
+        b'n' => parse_lit(bytes, pos, "null", Json::Null),
+        b't' => parse_lit(bytes, pos, "true", Json::Bool(true)),
+        b'f' => parse_lit(bytes, pos, "false", Json::Bool(false)),
+        b'"' => Ok(Json::Str(parse_string(text, bytes, pos)?)),
+        b'[' => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            loop {
+                items.push(parse_value(text, bytes, pos)?);
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Json::Arr(items));
+                    }
+                    _ => return Err(format!("expected ',' or ']' at byte {}", *pos)),
+                }
+            }
+        }
+        b'{' => {
+            *pos += 1;
+            let mut pairs = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Json::Obj(pairs));
+            }
+            loop {
+                skip_ws(bytes, pos);
+                let key = parse_string(text, bytes, pos)?;
+                skip_ws(bytes, pos);
+                expect(bytes, pos, b':')?;
+                let value = parse_value(text, bytes, pos)?;
+                pairs.push((key, value));
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Json::Obj(pairs));
+                    }
+                    _ => return Err(format!("expected ',' or '}}' at byte {}", *pos)),
+                }
+            }
+        }
+        b'-' | b'0'..=b'9' => {
+            let start = *pos;
+            if bytes[*pos] == b'-' {
+                *pos += 1;
+            }
+            while *pos < bytes.len()
+                && matches!(bytes[*pos], b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')
+            {
+                *pos += 1;
+            }
+            let tok = &text[start..*pos];
+            // Validate via Rust's float parser; store the original text.
+            tok.parse::<f64>()
+                .map_err(|_| format!("bad number '{tok}' at byte {start}"))?;
+            Ok(Json::Num(tok.to_string()))
+        }
+        other => Err(format!("unexpected '{}' at byte {}", other as char, *pos)),
+    }
+}
+
+fn parse_lit(bytes: &[u8], pos: &mut usize, lit: &str, value: Json) -> Result<Json, String> {
+    if bytes[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(value)
+    } else {
+        Err(format!("expected '{lit}' at byte {}", *pos))
+    }
+}
+
+fn parse_string(text: &str, bytes: &[u8], pos: &mut usize) -> Result<String, String> {
+    expect(bytes, pos, b'"')?;
+    let mut out = String::new();
+    loop {
+        let Some(&b) = bytes.get(*pos) else {
+            return Err("unterminated string".to_string());
+        };
+        match b {
+            b'"' => {
+                *pos += 1;
+                return Ok(out);
+            }
+            b'\\' => {
+                *pos += 1;
+                let Some(&esc) = bytes.get(*pos) else {
+                    return Err("unterminated escape".to_string());
+                };
+                *pos += 1;
+                match esc {
+                    b'"' => out.push('"'),
+                    b'\\' => out.push('\\'),
+                    b'/' => out.push('/'),
+                    b'b' => out.push('\u{8}'),
+                    b'f' => out.push('\u{c}'),
+                    b'n' => out.push('\n'),
+                    b'r' => out.push('\r'),
+                    b't' => out.push('\t'),
+                    b'u' => {
+                        let hex = text
+                            .get(*pos..*pos + 4)
+                            .ok_or("truncated \\u escape".to_string())?;
+                        let code = u32::from_str_radix(hex, 16)
+                            .map_err(|_| format!("bad \\u escape '{hex}'"))?;
+                        *pos += 4;
+                        // Surrogate pairs: decode the low half if present.
+                        let c = if (0xD800..0xDC00).contains(&code) {
+                            if bytes.get(*pos) == Some(&b'\\') && bytes.get(*pos + 1) == Some(&b'u')
+                            {
+                                let hex2 = text
+                                    .get(*pos + 2..*pos + 6)
+                                    .ok_or("truncated surrogate".to_string())?;
+                                let low = u32::from_str_radix(hex2, 16)
+                                    .map_err(|_| format!("bad \\u escape '{hex2}'"))?;
+                                *pos += 6;
+                                0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00)
+                            } else {
+                                return Err("lone high surrogate".to_string());
+                            }
+                        } else {
+                            code
+                        };
+                        out.push(char::from_u32(c).ok_or("invalid codepoint".to_string())?);
+                    }
+                    other => return Err(format!("bad escape '\\{}'", other as char)),
+                }
+            }
+            _ => {
+                // Consume one UTF-8 scalar from the source text.
+                let rest = &text[*pos..];
+                let c = rest.chars().next().ok_or("invalid UTF-8".to_string())?;
+                out.push(c);
+                *pos += c.len_utf8();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_write_round_trips_bytes() {
+        let text = r#"{"schema":"perfhist-v1","n":1.50,"big":18446744073709551615,"arr":[1,2,{"z":null,"a":true}],"s":"a\"b\\c\nd"}"#;
+        let v = Json::parse(text).unwrap();
+        assert_eq!(v.write(), text, "byte-identical round-trip");
+    }
+
+    #[test]
+    fn key_order_is_preserved_not_sorted() {
+        let v = Json::parse(r#"{"z":1,"a":2}"#).unwrap();
+        assert_eq!(v.write(), r#"{"z":1,"a":2}"#);
+        assert_eq!(v.get("z").and_then(Json::as_u64), Some(1));
+    }
+
+    #[test]
+    fn numbers_keep_raw_text() {
+        let v = Json::parse("[1.50,1e3,-0.25]").unwrap();
+        assert_eq!(v.write(), "[1.50,1e3,-0.25]");
+        assert_eq!(v.as_arr().unwrap()[1].as_f64(), Some(1000.0));
+    }
+
+    #[test]
+    fn unknown_fields_survive() {
+        let text = r#"{"schema":"perfhist-v9","future_field":{"deep":[1,2,3]}}"#;
+        let v = Json::parse(text).unwrap();
+        assert_eq!(v.write(), text);
+    }
+
+    #[test]
+    fn set_and_remove() {
+        let mut v = Json::parse(r#"{"a":1}"#).unwrap();
+        v.set("b", Json::u64(2));
+        v.set("a", Json::u64(9));
+        assert_eq!(v.write(), r#"{"a":9,"b":2}"#);
+        assert_eq!(v.remove("a"), Some(Json::u64(9)));
+        assert_eq!(v.write(), r#"{"b":2}"#);
+    }
+
+    #[test]
+    fn escapes_and_unicode() {
+        let v = Json::parse(r#""tab\there A 😀""#).unwrap();
+        assert_eq!(v.as_str(), Some("tab\there A 😀"));
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(Json::parse("{").is_err());
+        assert!(Json::parse("[1,]").is_err());
+        assert!(Json::parse("1 2").is_err());
+        assert!(Json::parse("nulll").is_err());
+    }
+
+    #[test]
+    fn f64_formatting() {
+        assert_eq!(Json::f64(2.0).write(), "2.0");
+        assert_eq!(Json::f64(0.125).write(), "0.125");
+        assert_eq!(Json::f64(f64::NAN).write(), "null");
+    }
+}

@@ -1,0 +1,43 @@
+//! Performance history and regression gating for the Liquid SIMD repo.
+//!
+//! The paper's whole pipeline is deterministic by construction: the same
+//! program on the same [`liquid_simd_sim::MachineConfig`] retires the same
+//! instructions in the same cycles, every run, on every host. That makes
+//! simulated cycle counts a *regression contract*, not a measurement — any
+//! drift is a code change, never noise. This crate turns that property
+//! into infrastructure:
+//!
+//! * [`store`] — an append-only `bench/history.jsonl`: every `liquid-simd
+//!   bench` run appends one [`record`]-built `perfhist-v1` line keyed by
+//!   git commit, timestamp, host fingerprint, and machine-config hash.
+//!   Loading preserves unknown fields and future schemas byte-for-byte.
+//! * [`counters`] — one flat, dotted-name snapshot per record of
+//!   everything the run counted: translator automaton phase occupancy and
+//!   abort tallies, mcache hit/miss/eviction/conflict counts, SIMD lane
+//!   utilization, microcode-buffer high-water.
+//! * [`sentinel`] — the regression gate. Deterministic `sim_cycles` are
+//!   compared *exactly* against a comparable baseline record (same config
+//!   hash, suite, and widths) and any drift — regression or improvement —
+//!   fails, because an unexplained cycle change means the simulator
+//!   changed. Wall-clock throughput gets robust median/MAD statistics and
+//!   can only warn.
+//! * [`dashboard`] — a single self-contained HTML report (inline SVG and
+//!   CSS, no JavaScript, no external fetches): cycle-trend sparklines,
+//!   width-speedup bars in the paper's Figure 6 shape, counter deltas,
+//!   and a flamegraph folded from the tracer's span records.
+//! * [`json`] — the hand-rolled, zero-dependency JSON model underneath it
+//!   all, which preserves key order and raw number text so that
+//!   append → load → re-serialize is the identity function.
+
+#![warn(missing_docs)]
+
+pub mod counters;
+pub mod dashboard;
+pub mod json;
+pub mod record;
+pub mod sentinel;
+pub mod store;
+
+pub use json::Json;
+pub use record::{RecordMeta, WorkloadRow, SCHEMA};
+pub use sentinel::{SentinelOptions, Verdict};

@@ -1,0 +1,341 @@
+//! `perfhist-v1` record construction and manipulation.
+//!
+//! One record captures one bench invocation: identity (git commit,
+//! timestamp, host, machine-config hash), the deterministic results
+//! (per-workload simulated cycles, including the scalar baseline and every
+//! swept width), the counter-telemetry snapshot, and the wall-clock
+//! measurements. Deterministic and wall-clock fields are deliberately
+//! separated: `sim_cycles` must be byte-identical run-to-run (the sentinel
+//! hard gate), while `wall_s` legitimately varies — [`scrub_wall`] strips
+//! exactly the varying fields, and the equality of two scrubbed records is
+//! the acceptance test for `--jobs 1` vs `--jobs 8`.
+
+use std::collections::BTreeMap;
+
+use crate::json::Json;
+
+/// The record schema tag this crate writes.
+pub const SCHEMA: &str = "perfhist-v1";
+
+/// One workload's measurements inside a record.
+#[derive(Clone, Debug, PartialEq)]
+pub struct WorkloadRow {
+    /// Workload name (paper Table 5 set).
+    pub name: String,
+    /// Scalar-only machine cycles — the speedup denominator.
+    pub baseline_cycles: u64,
+    /// Liquid machine cycles at the headline width (8 lanes).
+    pub sim_cycles: u64,
+    /// Liquid machine cycles at every swept width, `(width, cycles)`.
+    pub cycles_by_width: Vec<(usize, u64)>,
+    /// Wall-clock seconds of the timed 8-lane run.
+    pub wall_s: f64,
+    /// Simulated cycles per wall-clock second (throughput).
+    pub cycles_per_sec: f64,
+}
+
+/// Identity fields shared by every record from one bench invocation.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RecordMeta {
+    /// `git rev-parse HEAD`, or `"unknown"` outside a checkout.
+    pub commit: String,
+    /// Unix seconds at record creation.
+    pub timestamp: u64,
+    /// Host fingerprint (`os-arch-hostname`).
+    pub host: String,
+    /// Hex `MachineConfig::fingerprint()` of the liquid config measured.
+    pub config_hash: String,
+    /// Whether this was the reduced `--smoke` suite.
+    pub smoke: bool,
+    /// Widths swept.
+    pub widths: Vec<usize>,
+}
+
+/// Builds a `perfhist-v1` record. `wall` carries invocation-level
+/// wall-clock extras (e.g. the figure-6 sweep timings) and may be empty.
+#[must_use]
+pub fn build(
+    meta: &RecordMeta,
+    workloads: &[WorkloadRow],
+    counters: &BTreeMap<String, u64>,
+    wall: &[(String, f64)],
+) -> Json {
+    let mut rec = Json::Obj(vec![
+        ("schema".to_string(), Json::Str(SCHEMA.to_string())),
+        ("commit".to_string(), Json::Str(meta.commit.clone())),
+        ("timestamp".to_string(), Json::u64(meta.timestamp)),
+        ("host".to_string(), Json::Str(meta.host.clone())),
+        (
+            "config_hash".to_string(),
+            Json::Str(meta.config_hash.clone()),
+        ),
+        ("smoke".to_string(), Json::Bool(meta.smoke)),
+        (
+            "widths".to_string(),
+            Json::Arr(meta.widths.iter().map(|&w| Json::u64(w as u64)).collect()),
+        ),
+    ]);
+    let rows = workloads
+        .iter()
+        .map(|w| {
+            let mut row = Json::Obj(vec![
+                ("name".to_string(), Json::Str(w.name.clone())),
+                ("baseline_cycles".to_string(), Json::u64(w.baseline_cycles)),
+                ("sim_cycles".to_string(), Json::u64(w.sim_cycles)),
+            ]);
+            row.set(
+                "cycles_by_width",
+                Json::Obj(
+                    w.cycles_by_width
+                        .iter()
+                        .map(|&(width, cycles)| (width.to_string(), Json::u64(cycles)))
+                        .collect(),
+                ),
+            );
+            row.set("wall_s", Json::f64(w.wall_s));
+            row.set("sim_cycles_per_sec", Json::f64(w.cycles_per_sec));
+            row
+        })
+        .collect();
+    rec.set("workloads", Json::Arr(rows));
+    rec.set(
+        "counters",
+        Json::Obj(
+            counters
+                .iter()
+                .map(|(k, &v)| (k.clone(), Json::u64(v)))
+                .collect(),
+        ),
+    );
+    rec.set(
+        "wall",
+        Json::Obj(
+            wall.iter()
+                .map(|(k, v)| (k.clone(), Json::f64(*v)))
+                .collect(),
+        ),
+    );
+    rec
+}
+
+/// Strips every field that legitimately varies between two runs of the
+/// same code on the same machine: the timestamp and all wall-clock
+/// measurements. What remains must be byte-identical for identical code —
+/// the determinism contract `--jobs 1` vs `--jobs 8` is tested against.
+pub fn scrub_wall(record: &mut Json) {
+    record.remove("timestamp");
+    record.remove("wall");
+    if let Some(Json::Arr(rows)) = record.get("workloads").cloned().as_ref() {
+        let scrubbed: Vec<Json> = rows
+            .iter()
+            .map(|r| {
+                let mut r = r.clone();
+                r.remove("wall_s");
+                r.remove("sim_cycles_per_sec");
+                r
+            })
+            .collect();
+        record.set("workloads", Json::Arr(scrubbed));
+    }
+}
+
+/// Converts a `liquid-simd-bench-v1` snapshot (the legacy overwritten
+/// `BENCH_sim.json`) into one `perfhist-v1` record, so an existing
+/// snapshot can seed a history file. Per-width cycles and the scalar
+/// baseline carry over when the snapshot has them (pre-history snapshots
+/// don't; those fields default to empty/zero).
+///
+/// # Errors
+///
+/// Returns a message when `snapshot` is not a bench-v1 object.
+pub fn from_bench_snapshot(snapshot: &Json, meta: &RecordMeta) -> Result<Json, String> {
+    let schema = snapshot.get("schema").and_then(Json::as_str).unwrap_or("");
+    if schema != "liquid-simd-bench-v1" {
+        return Err(format!("expected liquid-simd-bench-v1, got '{schema}'"));
+    }
+    let rows = snapshot
+        .get("workloads")
+        .and_then(Json::as_arr)
+        .ok_or("bench snapshot has no workloads array")?;
+    let workloads: Vec<WorkloadRow> = rows
+        .iter()
+        .map(|r| WorkloadRow {
+            name: r
+                .get("name")
+                .and_then(Json::as_str)
+                .unwrap_or("?")
+                .to_string(),
+            baseline_cycles: r.get("baseline_cycles").and_then(Json::as_u64).unwrap_or(0),
+            sim_cycles: r.get("sim_cycles").and_then(Json::as_u64).unwrap_or(0),
+            cycles_by_width: r
+                .get("cycles_by_width")
+                .and_then(Json::as_obj)
+                .map(|pairs| {
+                    pairs
+                        .iter()
+                        .filter_map(|(w, v)| Some((w.parse().ok()?, v.as_u64()?)))
+                        .collect()
+                })
+                .unwrap_or_default(),
+            wall_s: r.get("wall_s").and_then(Json::as_f64).unwrap_or(0.0),
+            cycles_per_sec: r
+                .get("sim_cycles_per_sec")
+                .and_then(Json::as_f64)
+                .unwrap_or(0.0),
+        })
+        .collect();
+    let mut meta = meta.clone();
+    meta.smoke = snapshot
+        .get("smoke")
+        .map(|s| *s == Json::Bool(true))
+        .unwrap_or(false);
+    if let Some(widths) = snapshot.get("widths").and_then(Json::as_arr) {
+        meta.widths = widths
+            .iter()
+            .filter_map(|w| w.as_u64().map(|v| v as usize))
+            .collect();
+    }
+    let mut wall = Vec::new();
+    if let Some(sweep) = snapshot.get("figure6_sweep").and_then(Json::as_obj) {
+        for (k, v) in sweep {
+            if let Some(f) = v.as_f64() {
+                wall.push((format!("figure6_{k}"), f));
+            }
+        }
+    }
+    Ok(build(&meta, &workloads, &BTreeMap::new(), &wall))
+}
+
+/// `git rev-parse HEAD` in `dir`, or `"unknown"` when unavailable.
+#[must_use]
+pub fn git_commit(dir: &std::path::Path) -> String {
+    std::process::Command::new("git")
+        .arg("rev-parse")
+        .arg("HEAD")
+        .current_dir(dir)
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+/// `os-arch-hostname` host fingerprint, from compile-time target facts and
+/// the runtime hostname (`HOSTNAME` env, then `/etc/hostname`, then
+/// `"unknown-host"`).
+#[must_use]
+pub fn host_fingerprint() -> String {
+    let hostname = std::env::var("HOSTNAME")
+        .ok()
+        .filter(|h| !h.is_empty())
+        .or_else(|| {
+            std::fs::read_to_string("/etc/hostname")
+                .ok()
+                .map(|s| s.trim().to_string())
+                .filter(|h| !h.is_empty())
+        })
+        .unwrap_or_else(|| "unknown-host".to_string());
+    format!(
+        "{}-{}-{hostname}",
+        std::env::consts::OS,
+        std::env::consts::ARCH
+    )
+}
+
+/// Unix seconds now (0 if the clock predates the epoch).
+#[must_use]
+pub fn unix_now() -> u64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn meta() -> RecordMeta {
+        RecordMeta {
+            commit: "abc123".to_string(),
+            timestamp: 1_700_000_000,
+            host: "linux-x86_64-test".to_string(),
+            config_hash: "deadbeef".to_string(),
+            smoke: false,
+            widths: vec![2, 8],
+        }
+    }
+
+    fn row(name: &str, wall_s: f64) -> WorkloadRow {
+        WorkloadRow {
+            name: name.to_string(),
+            baseline_cycles: 1000,
+            sim_cycles: 250,
+            cycles_by_width: vec![(2, 600), (8, 250)],
+            wall_s,
+            cycles_per_sec: 250.0 / wall_s,
+        }
+    }
+
+    #[test]
+    fn build_emits_schema_and_round_trips() {
+        let mut counters = BTreeMap::new();
+        counters.insert("cycles".to_string(), 250u64);
+        let rec = build(
+            &meta(),
+            &[row("FIR", 0.5)],
+            &counters,
+            &[("figure6_serial_s".to_string(), 1.25)],
+        );
+        let text = rec.write();
+        assert!(text.starts_with("{\"schema\":\"perfhist-v1\""));
+        let back = Json::parse(&text).unwrap();
+        assert_eq!(back.write(), text);
+        let rows = back.get("workloads").and_then(Json::as_arr).unwrap();
+        let cbw = rows[0].get("cycles_by_width").unwrap();
+        assert_eq!(cbw.get("8").and_then(Json::as_u64), Some(250));
+    }
+
+    #[test]
+    fn scrub_wall_removes_exactly_the_varying_fields() {
+        let counters = BTreeMap::new();
+        let mut a = build(&meta(), &[row("FIR", 0.5)], &counters, &[]);
+        let mut b = build(
+            &RecordMeta {
+                timestamp: 1_700_009_999,
+                ..meta()
+            },
+            &[row("FIR", 0.125)],
+            &counters,
+            &[("x".to_string(), 9.0)],
+        );
+        assert_ne!(a.write(), b.write());
+        scrub_wall(&mut a);
+        scrub_wall(&mut b);
+        assert_eq!(a.write(), b.write(), "only wall fields differed");
+        assert!(a.get("commit").is_some(), "identity fields survive");
+        assert!(a.get("counters").is_some());
+    }
+
+    #[test]
+    fn bench_snapshot_converts() {
+        let snap = Json::parse(
+            r#"{"schema":"liquid-simd-bench-v1","jobs":2,"smoke":true,"widths":[2,8],
+                "workloads":[{"name":"FIR","sim_cycles":123,"wall_s":0.5,"sim_cycles_per_sec":246.0}],
+                "figure6_sweep":{"serial_s":1.0,"parallel_s":0.5,"speedup":2.0,"deterministic":true}}"#,
+        )
+        .unwrap();
+        let rec = from_bench_snapshot(&snap, &meta()).unwrap();
+        assert_eq!(rec.get("schema").and_then(Json::as_str), Some(SCHEMA));
+        assert_eq!(rec.get("smoke"), Some(&Json::Bool(true)));
+        let rows = rec.get("workloads").and_then(Json::as_arr).unwrap();
+        assert_eq!(rows[0].get("sim_cycles").and_then(Json::as_u64), Some(123));
+        assert!(rec
+            .get("wall")
+            .and_then(|w| w.get("figure6_serial_s"))
+            .is_some());
+        assert!(from_bench_snapshot(&Json::Null, &meta()).is_err());
+    }
+}

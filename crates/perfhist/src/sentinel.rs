@@ -1,0 +1,363 @@
+//! The regression sentinel: compares the newest history record against a
+//! baseline window and emits a `sentinel-v1` verdict.
+//!
+//! Two classes of signal, treated very differently:
+//!
+//! * **Simulated cycles are deterministic.** The same code at the same
+//!   machine config must produce *identical* `sim_cycles` — so the gate is
+//!   exact match, and **any** drift (faster or slower) fails: an
+//!   unexplained improvement is as suspicious as a regression, and an
+//!   intended one must be acknowledged by appending a fresh baseline.
+//! * **Wall-clock throughput is noisy.** The sentinel compares the newest
+//!   `sim_cycles_per_sec` against the baseline window's median with a MAD-
+//!   scaled noise band and only *warns* — CI never fails on wall clock.
+
+use liquid_simd_trace::metrics::{mad, median};
+
+use crate::json::Json;
+use crate::record::SCHEMA;
+
+/// Sentinel tuning.
+#[derive(Clone, Debug)]
+pub struct SentinelOptions {
+    /// Only accept baseline records whose `commit` equals this.
+    pub baseline_commit: Option<String>,
+    /// Baseline window size (most recent comparable records).
+    pub window: usize,
+    /// Wall-clock noise threshold as a fraction of the baseline median
+    /// (the warn band is `max(noise_frac × median, 3 × MAD)`).
+    pub noise_frac: f64,
+}
+
+impl Default for SentinelOptions {
+    fn default() -> SentinelOptions {
+        SentinelOptions {
+            baseline_commit: None,
+            window: 5,
+            noise_frac: 0.15,
+        }
+    }
+}
+
+/// The sentinel's outcome: the `sentinel-v1` verdict document plus the
+/// process-level pass/fail bit CI keys off.
+#[derive(Clone, Debug)]
+pub struct Verdict {
+    /// The `sentinel-v1` JSON document.
+    pub json: Json,
+    /// Whether CI must fail (any cycle drift, or no history at all).
+    pub failed: bool,
+}
+
+fn is_perfhist(r: &Json) -> bool {
+    r.get("schema").and_then(Json::as_str) == Some(SCHEMA)
+}
+
+fn comparable(newest: &Json, candidate: &Json) -> bool {
+    for key in ["config_hash", "smoke", "widths"] {
+        if newest.get(key) != candidate.get(key) {
+            return false;
+        }
+    }
+    true
+}
+
+fn workload_rows(record: &Json) -> Vec<&Json> {
+    record
+        .get("workloads")
+        .and_then(Json::as_arr)
+        .map(|rows| rows.iter().collect())
+        .unwrap_or_default()
+}
+
+fn row_named<'a>(record: &'a Json, name: &str) -> Option<&'a Json> {
+    workload_rows(record)
+        .into_iter()
+        .find(|r| r.get("name").and_then(Json::as_str) == Some(name))
+}
+
+/// Runs the sentinel over a loaded history (file order: oldest first).
+#[must_use]
+pub fn check(history: &[Json], opts: &SentinelOptions) -> Verdict {
+    let records: Vec<&Json> = history.iter().filter(|r| is_perfhist(r)).collect();
+    let Some((newest, older)) = records.split_last() else {
+        let json = Json::Obj(vec![
+            ("schema".to_string(), Json::Str("sentinel-v1".to_string())),
+            ("status".to_string(), Json::Str("no-history".to_string())),
+        ]);
+        return Verdict { json, failed: true };
+    };
+    let commit = newest.get("commit").and_then(Json::as_str).unwrap_or("?");
+    let mut window: Vec<&&Json> = older
+        .iter()
+        .filter(|r| comparable(newest, r))
+        .filter(|r| {
+            opts.baseline_commit
+                .as_deref()
+                .is_none_or(|want| r.get("commit").and_then(Json::as_str) == Some(want))
+        })
+        .collect();
+    if window.len() > opts.window {
+        window.drain(..window.len() - opts.window);
+    }
+    let mut verdict = Json::Obj(vec![
+        ("schema".to_string(), Json::Str("sentinel-v1".to_string())),
+        ("commit".to_string(), Json::Str(commit.to_string())),
+    ]);
+    let Some(reference) = window.last().copied() else {
+        verdict.set("status", Json::Str("no-baseline".to_string()));
+        verdict.set("baseline_window", Json::u64(0));
+        return Verdict {
+            json: verdict,
+            failed: false,
+        };
+    };
+    verdict.set(
+        "baseline_commit",
+        Json::Str(
+            reference
+                .get("commit")
+                .and_then(Json::as_str)
+                .unwrap_or("?")
+                .to_string(),
+        ),
+    );
+    verdict.set("baseline_window", Json::u64(window.len() as u64));
+
+    // --- Exact-match gate on deterministic cycles --------------------------
+    let mut drift: Vec<Json> = Vec::new();
+    let mut checked = 0u64;
+    for row in workload_rows(newest) {
+        let Some(name) = row.get("name").and_then(Json::as_str) else {
+            continue;
+        };
+        let Some(base_row) = row_named(reference, name) else {
+            continue; // new workload: nothing to gate against
+        };
+        checked += 1;
+        let mut gate = |metric: String, base: Option<u64>, cur: Option<u64>| {
+            if let (Some(b), Some(c)) = (base, cur) {
+                if b != c {
+                    drift.push(Json::Obj(vec![
+                        ("workload".to_string(), Json::Str(name.to_string())),
+                        ("metric".to_string(), Json::Str(metric)),
+                        ("baseline".to_string(), Json::u64(b)),
+                        ("current".to_string(), Json::u64(c)),
+                    ]));
+                }
+            }
+        };
+        gate(
+            "sim_cycles".to_string(),
+            base_row.get("sim_cycles").and_then(Json::as_u64),
+            row.get("sim_cycles").and_then(Json::as_u64),
+        );
+        gate(
+            "baseline_cycles".to_string(),
+            base_row.get("baseline_cycles").and_then(Json::as_u64),
+            row.get("baseline_cycles").and_then(Json::as_u64),
+        );
+        if let (Some(base_w), Some(cur_w)) = (
+            base_row.get("cycles_by_width").and_then(Json::as_obj),
+            row.get("cycles_by_width").and_then(Json::as_obj),
+        ) {
+            for (width, cur_v) in cur_w {
+                let base_v = base_w.iter().find(|(k, _)| k == width).map(|(_, v)| v);
+                gate(
+                    format!("cycles_by_width.{width}"),
+                    base_v.and_then(Json::as_u64),
+                    cur_v.as_u64(),
+                );
+            }
+        }
+    }
+
+    // --- Robust wall-clock advisory ---------------------------------------
+    let mut warnings: Vec<Json> = Vec::new();
+    for row in workload_rows(newest) {
+        let Some(name) = row.get("name").and_then(Json::as_str) else {
+            continue;
+        };
+        let Some(current) = row.get("sim_cycles_per_sec").and_then(Json::as_f64) else {
+            continue;
+        };
+        let rates: Vec<f64> = window
+            .iter()
+            .filter_map(|r| row_named(r, name))
+            .filter_map(|r| r.get("sim_cycles_per_sec").and_then(Json::as_f64))
+            .filter(|&r| r > 0.0)
+            .collect();
+        if rates.is_empty() || current <= 0.0 {
+            continue;
+        }
+        let med = median(&rates);
+        let spread = mad(&rates);
+        let band = (opts.noise_frac * med).max(3.0 * spread);
+        if current < med - band {
+            warnings.push(Json::Obj(vec![
+                ("workload".to_string(), Json::Str(name.to_string())),
+                ("median".to_string(), Json::f64(med)),
+                ("mad".to_string(), Json::f64(spread)),
+                ("current".to_string(), Json::f64(current)),
+            ]));
+        }
+    }
+
+    // --- Counter deltas (informational) ------------------------------------
+    let mut deltas: Vec<Json> = Vec::new();
+    if let (Some(base_c), Some(cur_c)) = (
+        reference.get("counters").and_then(Json::as_obj),
+        newest.get("counters").and_then(Json::as_obj),
+    ) {
+        for (name, cur_v) in cur_c {
+            let base_v = base_c
+                .iter()
+                .find(|(k, _)| k == name)
+                .and_then(|(_, v)| v.as_u64());
+            if let (Some(b), Some(c)) = (base_v, cur_v.as_u64()) {
+                if b != c {
+                    deltas.push(Json::Obj(vec![
+                        ("counter".to_string(), Json::Str(name.clone())),
+                        ("baseline".to_string(), Json::u64(b)),
+                        ("current".to_string(), Json::u64(c)),
+                    ]));
+                }
+            }
+        }
+    }
+
+    let failed = !drift.is_empty();
+    verdict.set(
+        "status",
+        Json::Str(if failed { "fail" } else { "pass" }.to_string()),
+    );
+    verdict.set("workloads_checked", Json::u64(checked));
+    verdict.set("noise_frac", Json::f64(opts.noise_frac));
+    verdict.set("cycle_drift", Json::Arr(drift));
+    verdict.set("wall_warnings", Json::Arr(warnings));
+    verdict.set("counter_deltas", Json::Arr(deltas));
+    Verdict {
+        json: verdict,
+        failed,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(commit: &str, cycles: u64, rate: f64) -> Json {
+        Json::parse(&format!(
+            r#"{{"schema":"perfhist-v1","commit":"{commit}","timestamp":1,"host":"h","config_hash":"cafe","smoke":false,"widths":[2,8],"workloads":[{{"name":"FIR","baseline_cycles":1000,"sim_cycles":{cycles},"cycles_by_width":{{"2":600,"8":{cycles}}},"wall_s":0.5,"sim_cycles_per_sec":{rate}}}],"counters":{{"cycles":{cycles}}},"wall":{{}}}}"#
+        ))
+        .unwrap()
+    }
+
+    #[test]
+    fn identical_cycles_pass() {
+        let h = vec![record("a", 250, 100.0), record("b", 250, 101.0)];
+        let v = check(&h, &SentinelOptions::default());
+        assert!(!v.failed);
+        assert_eq!(v.json.get("status").and_then(Json::as_str), Some("pass"));
+        assert_eq!(
+            v.json.get("workloads_checked").and_then(Json::as_u64),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn any_cycle_drift_fails_even_improvements() {
+        let h = vec![record("a", 250, 100.0), record("b", 240, 100.0)];
+        let v = check(&h, &SentinelOptions::default());
+        assert!(v.failed, "faster is still drift");
+        let drift = v.json.get("cycle_drift").and_then(Json::as_arr).unwrap();
+        // sim_cycles and the width-8 entry both moved.
+        assert_eq!(drift.len(), 2);
+        assert_eq!(
+            drift[0].get("metric").and_then(Json::as_str),
+            Some("sim_cycles")
+        );
+    }
+
+    #[test]
+    fn incomparable_configs_are_skipped() {
+        let mut other = record("a", 999, 100.0);
+        other.set("config_hash", Json::Str("beef".to_string()));
+        let h = vec![other, record("b", 250, 100.0)];
+        let v = check(&h, &SentinelOptions::default());
+        assert!(!v.failed);
+        assert_eq!(
+            v.json.get("status").and_then(Json::as_str),
+            Some("no-baseline")
+        );
+    }
+
+    #[test]
+    fn baseline_commit_filter_selects_reference() {
+        let h = vec![
+            record("good", 250, 100.0),
+            record("noise", 999, 100.0),
+            record("new", 250, 100.0),
+        ];
+        let against_noise = check(&h, &SentinelOptions::default());
+        assert!(
+            against_noise.failed,
+            "latest record is the default baseline"
+        );
+        let against_good = check(
+            &h,
+            &SentinelOptions {
+                baseline_commit: Some("good".to_string()),
+                ..SentinelOptions::default()
+            },
+        );
+        assert!(!against_good.failed);
+        assert_eq!(
+            against_good
+                .json
+                .get("baseline_commit")
+                .and_then(Json::as_str),
+            Some("good")
+        );
+    }
+
+    #[test]
+    fn slow_wall_clock_warns_but_passes() {
+        let h = vec![
+            record("a", 250, 100.0),
+            record("b", 250, 102.0),
+            record("c", 250, 98.0),
+            record("d", 250, 10.0), // 10× slower wall clock, same cycles
+        ];
+        let v = check(&h, &SentinelOptions::default());
+        assert!(!v.failed, "wall clock never fails CI");
+        let warns = v.json.get("wall_warnings").and_then(Json::as_arr).unwrap();
+        assert_eq!(warns.len(), 1);
+        assert_eq!(warns[0].get("workload").and_then(Json::as_str), Some("FIR"));
+    }
+
+    #[test]
+    fn empty_history_fails_loudly() {
+        let v = check(&[], &SentinelOptions::default());
+        assert!(v.failed);
+        assert_eq!(
+            v.json.get("status").and_then(Json::as_str),
+            Some("no-history")
+        );
+    }
+
+    #[test]
+    fn counter_deltas_are_reported() {
+        let h = vec![record("a", 250, 100.0), record("b", 250, 100.0)];
+        let mut h2 = h;
+        h2[1].set(
+            "counters",
+            Json::parse(r#"{"cycles":250,"mcache.hits":7}"#).unwrap(),
+        );
+        let v = check(&h2, &SentinelOptions::default());
+        assert!(!v.failed);
+        // "cycles" unchanged; "mcache.hits" has no baseline → not a delta.
+        let deltas = v.json.get("counter_deltas").and_then(Json::as_arr).unwrap();
+        assert!(deltas.is_empty());
+    }
+}

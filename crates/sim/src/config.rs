@@ -198,6 +198,56 @@ impl MachineConfig {
         self.tracer = Some(tracer);
         self
     }
+
+    /// A stable FNV-1a hash of the architectural parameters — everything
+    /// [`PartialEq`] compares, nothing it ignores (the tracer). Two configs
+    /// compare equal iff they fingerprint equal, so performance-history
+    /// records keyed by this hash are only ever compared like-for-like.
+    #[must_use]
+    pub fn fingerprint(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut mix = |v: u64| {
+            for b in v.to_le_bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        };
+        mix(self.lanes as u64);
+        for c in [&self.icache, &self.dcache] {
+            mix(u64::from(c.size_bytes));
+            mix(u64::from(c.ways));
+            mix(u64::from(c.line_bytes));
+            mix(u64::from(c.miss_penalty));
+        }
+        for l in [
+            self.lat.int_alu,
+            self.lat.int_mul,
+            self.lat.fp_alu,
+            self.lat.fp_mul,
+            self.lat.fp_div,
+            self.lat.load,
+            self.lat.branch_taken,
+        ] {
+            mix(u64::from(l));
+        }
+        mix(self.mcache_entries as u64);
+        mix(self.mcache_uops as u64);
+        mix(u64::from(self.translation.enabled));
+        mix(self.translation.cycles_per_instr);
+        mix(u64::from(self.translation.jit));
+        mix(self.translation.jit_cycles_per_instr);
+        mix(u64::from(self.translation.translate_plain_bl));
+        mix(u64::from(self.translation.value_bits));
+        mix(u64::from(self.translation.hw_value_limit));
+        mix(self.mem_headroom as u64);
+        mix(self.max_cycles);
+        mix(self.interrupt_every);
+        mix(self.interrupt_at.len() as u64);
+        for &at in &self.interrupt_at {
+            mix(at);
+        }
+        h
+    }
 }
 
 #[cfg(test)]
@@ -215,5 +265,18 @@ mod tests {
         let n = MachineConfig::native(4);
         assert!(!n.translation.enabled);
         assert_eq!(n.mcache_entries, 8);
+    }
+
+    #[test]
+    fn fingerprint_tracks_architectural_equality() {
+        let a = MachineConfig::liquid(8);
+        let b = MachineConfig::liquid(8).with_tracer(Tracer::default());
+        assert_eq!(a, b);
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        let c = MachineConfig::liquid(16);
+        assert_ne!(a.fingerprint(), c.fingerprint());
+        let mut d = MachineConfig::liquid(8);
+        d.translation.cycles_per_instr = 2;
+        assert_ne!(a.fingerprint(), d.fingerprint());
     }
 }

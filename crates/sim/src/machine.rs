@@ -356,6 +356,7 @@ impl<'p> Machine<'p> {
         self.report.retired += 1;
         if meta.vector {
             self.report.vector_retired += 1;
+            self.report.lane_ops += u64::from(meta.active_lanes);
         } else {
             self.report.scalar_retired += 1;
         }

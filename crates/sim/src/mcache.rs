@@ -24,6 +24,10 @@ pub struct McacheStats {
     pub inserts: u64,
     /// Entries evicted by capacity.
     pub evictions: u64,
+    /// Tag-conflict replacements: inserts that found microcode already
+    /// resident for the same function and overwrote it in place (a retry
+    /// after an external abort, or a retranslation at a new width).
+    pub conflicts: u64,
 }
 
 /// Per-function microcode-cache statistics. Keyed by the function's entry
@@ -41,6 +45,9 @@ pub struct McacheEntryStats {
     pub inserts: u64,
     /// Times this function was evicted by capacity.
     pub evictions: u64,
+    /// Times a fresh insert for this function found its old microcode still
+    /// resident and replaced it in place (tag conflict).
+    pub conflicts: u64,
     /// Entry PC of the function whose insert evicted this one, once per
     /// eviction, in order — the evictor identity.
     pub evicted_by: Vec<u32>,
@@ -187,6 +194,8 @@ impl Mcache {
             es.uops = code.len();
         }
         if let Some(e) = self.entries.iter_mut().find(|e| e.func_pc == func_pc) {
+            self.stats.conflicts += 1;
+            self.per_entry.entry(func_pc).or_default().conflicts += 1;
             e.code = code;
             e.meta = meta;
             e.valid_at = valid_at;
@@ -306,6 +315,8 @@ mod tests {
             panic!("expected hit")
         };
         assert_eq!(mc.code(i).len(), 5);
+        assert_eq!(mc.stats().conflicts, 1);
+        assert_eq!(mc.entry_stats()[&1].conflicts, 1);
     }
 
     #[test]

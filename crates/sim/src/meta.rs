@@ -48,6 +48,11 @@ pub struct InstMeta {
     pub latency: u32,
     /// Whether this is a vector instruction.
     pub vector: bool,
+    /// Lanes this instruction actually operates on when it retires: the
+    /// machine's lane count for most vector instructions, the permute's
+    /// block size (capped at the lane count) for `vperm`, and `0` for
+    /// scalar instructions. Feeds the lane-utilization counters.
+    pub active_lanes: u16,
 }
 
 impl InstMeta {
@@ -62,6 +67,7 @@ impl InstMeta {
             writes_flags,
             latency: latency_of(inst, lat, lanes),
             vector: inst.is_vector(),
+            active_lanes: active_lanes_of(inst, lanes),
         }
     }
 }
@@ -160,6 +166,19 @@ pub fn def_of(inst: &Inst) -> (Option<RegRef>, bool) {
             });
             (def, false)
         }
+    }
+}
+
+/// Lanes an instruction occupies when it retires: `0` for scalar
+/// instructions, the permute's block size (capped at the machine's lane
+/// count — a butterfly over 4-element blocks only touches 4 lanes per
+/// block-pair step) for `vperm`, and the full lane count otherwise.
+#[must_use]
+pub fn active_lanes_of(inst: &Inst, lanes: usize) -> u16 {
+    match inst {
+        Inst::S(_) => 0,
+        Inst::V(VectorInst::VPerm { kind, .. }) => (usize::from(kind.block()).min(lanes)) as u16,
+        Inst::V(_) => lanes as u16,
     }
 }
 

@@ -103,6 +103,11 @@ pub struct RunReport {
     pub scalar_retired: u64,
     /// Retired vector instructions.
     pub vector_retired: u64,
+    /// Total lane-operations performed by retired vector instructions:
+    /// each vector retire contributes its active lane count (`vperm`
+    /// contributes its block size). `lane_ops / (vector_retired × lanes)`
+    /// is the run's SIMD lane utilization.
+    pub lane_ops: u64,
     /// I-cache statistics.
     pub icache: CacheStats,
     /// D-cache statistics.

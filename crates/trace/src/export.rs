@@ -182,6 +182,59 @@ pub fn chrome_trace_with_spans(records: &[TraceRecord], spans: &[SpanRecord]) ->
     out
 }
 
+/// Renders closed spans as folded stacks — the flamegraph input format:
+/// one line per distinct call path, `track;outer;inner <self-cycles>`,
+/// sorted by path. Self time is the span's cycles minus the cycles of its
+/// *direct* children (clamped at zero); zero-self-time paths are kept so
+/// every frame that appears in a deeper path also exists as a line.
+/// Still-open spans are skipped — they have no cycle delta.
+#[must_use]
+pub fn folded_stacks(spans: &[SpanRecord]) -> String {
+    // Reconstruct ancestry per track from the global begin/end ordering:
+    // a span is a child of the most recent same-track span that began
+    // before it and ended after it.
+    let mut ordered: Vec<&SpanRecord> = spans.iter().filter(|s| s.closed()).collect();
+    ordered.sort_by_key(|s| s.begin_order);
+    let mut totals: std::collections::BTreeMap<String, (u64, u64)> =
+        std::collections::BTreeMap::new(); // path -> (cycles, direct children cycles)
+    let mut stacks: std::collections::BTreeMap<&str, Vec<&SpanRecord>> =
+        std::collections::BTreeMap::new();
+    for s in ordered {
+        let stack = stacks.entry(s.track.as_str()).or_default();
+        while let Some(top) = stack.last() {
+            if top.end_order.unwrap_or(u64::MAX) < s.begin_order {
+                stack.pop();
+            } else {
+                break;
+            }
+        }
+        let mut path = String::from(s.track.as_str());
+        for anc in stack.iter() {
+            path.push(';');
+            path.push_str(&anc.name);
+        }
+        if let Some(parent) = stack.last() {
+            let mut parent_path = String::from(s.track.as_str());
+            for anc in &stack[..stack.len() - 1] {
+                parent_path.push(';');
+                parent_path.push_str(&anc.name);
+            }
+            parent_path.push(';');
+            parent_path.push_str(&parent.name);
+            totals.entry(parent_path).or_default().1 += s.cycles();
+        }
+        path.push(';');
+        path.push_str(&s.name);
+        totals.entry(path).or_default().0 += s.cycles();
+        stack.push(s);
+    }
+    let mut out = String::new();
+    for (path, (cycles, children)) in &totals {
+        let _ = writeln!(out, "{path} {}", cycles.saturating_sub(*children));
+    }
+    out
+}
+
 /// Renders a human-readable summary of everything the tracer recorded:
 /// buffered/dropped record counts, per-kind event tallies, counters, and
 /// histograms.
@@ -345,6 +398,36 @@ mod tests {
         let outer_e = pos("\"name\":\"outer\",\"cat\":\"span\",\"ph\":\"E\"");
         assert!(outer_b < inner_b && inner_b < inner_e && inner_e < outer_e);
         assert_eq!(text.matches("\"cat\":\"span\"").count(), 4);
+    }
+
+    #[test]
+    fn folded_stacks_computes_self_time() {
+        let t = Tracer::new();
+        t.set_now(0);
+        let outer = t.span_begin(Track::Pipeline, "run");
+        t.set_now(10);
+        let inner = t.span_begin(Track::Pipeline, "exec:scalar");
+        t.set_now(40);
+        t.span_end(inner);
+        t.set_now(50);
+        let inner2 = t.span_begin(Track::Pipeline, "exec:micro");
+        t.set_now(90);
+        t.span_end(inner2);
+        t.set_now(100);
+        t.span_end(outer);
+        // A sibling on another track must not nest under the pipeline.
+        let tr = t.span_begin(Track::Translator, "translate@4");
+        t.set_now(120);
+        t.span_end(tr);
+        let open = t.span_begin(Track::Pipeline, "left-open");
+        let text = folded_stacks(&t.spans());
+        let lines: Vec<&str> = text.lines().collect();
+        assert!(lines.contains(&"pipeline;run 30")); // 100 - (30 + 40)
+        assert!(lines.contains(&"pipeline;run;exec:scalar 30"));
+        assert!(lines.contains(&"pipeline;run;exec:micro 40"));
+        assert!(lines.contains(&"translator;translate@4 20"));
+        assert!(!text.contains("left-open"), "open spans are skipped");
+        t.span_end(open);
     }
 
     #[test]

@@ -95,6 +95,94 @@ impl Histogram {
     pub fn bucket_counts(&self) -> &[u64] {
         &self.counts
     }
+
+    /// Approximate percentile (`p` in `0.0..=100.0`) from the bucket
+    /// layout: the inclusive upper edge of the bucket containing the
+    /// `ceil(p/100 × n)`-th smallest sample, or [`Histogram::max`] when it
+    /// falls in the overflow bucket. Returns 0 with no samples.
+    #[must_use]
+    pub fn percentile(&self, p: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let p = p.clamp(0.0, 100.0);
+        let rank = ((p / 100.0 * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return if i < self.bounds.len() {
+                    self.bounds[i]
+                } else {
+                    self.max
+                };
+            }
+        }
+        self.max
+    }
+
+    /// Folds another histogram's samples into this one. Identical bucket
+    /// layouts merge exactly; a different layout is re-binned by replaying
+    /// each of `other`'s buckets at its inclusive upper edge (the overflow
+    /// bucket replays at `other.max()`), preserving `count`, `sum`, and
+    /// `max` exactly but only approximating the distribution.
+    pub fn merge(&mut self, other: &Histogram) {
+        if self.bounds == other.bounds {
+            for (c, &o) in self.counts.iter_mut().zip(&other.counts) {
+                *c += o;
+            }
+        } else {
+            for (i, &c) in other.counts.iter().enumerate() {
+                if c == 0 {
+                    continue;
+                }
+                let edge = if i < other.bounds.len() {
+                    other.bounds[i]
+                } else {
+                    other.max
+                };
+                let idx = self
+                    .bounds
+                    .iter()
+                    .position(|&b| edge <= b)
+                    .unwrap_or(self.bounds.len());
+                self.counts[idx] += c;
+            }
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// Median of a sample set (mean of the middle pair for even counts).
+/// Returns 0.0 for an empty slice. The input need not be sorted.
+#[must_use]
+pub fn median(samples: &[f64]) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    let mut v: Vec<f64> = samples.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let mid = v.len() / 2;
+    if v.len() % 2 == 1 {
+        v[mid]
+    } else {
+        (v[mid - 1] + v[mid]) / 2.0
+    }
+}
+
+/// Median absolute deviation — the robust spread estimator the regression
+/// sentinel uses for noisy wall-clock throughput. A single sample (or an
+/// empty slice) has zero spread by definition.
+#[must_use]
+pub fn mad(samples: &[f64]) -> f64 {
+    if samples.len() < 2 {
+        return 0.0;
+    }
+    let m = median(samples);
+    let dev: Vec<f64> = samples.iter().map(|s| (s - m).abs()).collect();
+    median(&dev)
 }
 
 impl fmt::Display for Histogram {
@@ -194,6 +282,22 @@ impl Metrics {
             .filter_map(|(k, &v)| k.strip_prefix(prefix).map(|rest| (rest.to_string(), v)))
             .collect()
     }
+
+    /// Folds another registry into this one: counters add, histograms
+    /// merge via [`Histogram::merge`] (names absent here are cloned in).
+    /// Disjoint registries simply union.
+    pub fn merge(&mut self, other: &Metrics) {
+        for (name, &v) in &other.counters {
+            self.add(name, v);
+        }
+        for (name, h) in &other.histograms {
+            if let Some(mine) = self.histograms.get_mut(name) {
+                mine.merge(h);
+            } else {
+                self.histograms.insert(name.clone(), h.clone());
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -245,5 +349,84 @@ mod tests {
         let h = m.histogram("lat").unwrap();
         assert_eq!(h.count(), 2);
         assert_eq!(h.bounds(), &[10, 100]);
+    }
+
+    #[test]
+    fn empty_histogram_percentile_is_zero() {
+        let h = Histogram::new(&[10, 100]);
+        assert_eq!(h.percentile(0.0), 0);
+        assert_eq!(h.percentile(50.0), 0);
+        assert_eq!(h.percentile(100.0), 0);
+    }
+
+    #[test]
+    fn percentile_walks_buckets_and_overflow() {
+        let mut h = Histogram::new(&[10, 100, 1000]);
+        for s in [5, 6, 50, 60, 70, 80, 90, 99, 500, 9999] {
+            h.observe(s);
+        }
+        assert_eq!(h.percentile(10.0), 10); // 1st of 10 → first bucket edge
+        assert_eq!(h.percentile(50.0), 100);
+        assert_eq!(h.percentile(90.0), 1000);
+        assert_eq!(h.percentile(100.0), 9999); // overflow → observed max
+    }
+
+    #[test]
+    fn median_and_mad_edge_cases() {
+        assert_eq!(median(&[]), 0.0);
+        assert_eq!(median(&[7.0]), 7.0);
+        assert_eq!(median(&[4.0, 1.0, 3.0, 2.0]), 2.5);
+        assert_eq!(mad(&[]), 0.0);
+        assert_eq!(mad(&[42.0]), 0.0, "single-sample MAD is zero spread");
+        assert_eq!(mad(&[1.0, 1.0, 1.0]), 0.0);
+        assert_eq!(mad(&[1.0, 2.0, 9.0]), 1.0);
+    }
+
+    #[test]
+    fn merge_same_bounds_is_exact() {
+        let mut a = Histogram::new(&[10, 100]);
+        let mut b = Histogram::new(&[10, 100]);
+        a.observe(5);
+        b.observe(50);
+        b.observe(5000);
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.sum(), 5055);
+        assert_eq!(a.max(), 5000);
+        assert_eq!(a.bucket_counts(), &[1, 1, 1]);
+    }
+
+    #[test]
+    fn merge_different_bounds_rebins_but_keeps_totals() {
+        let mut a = Histogram::new(&[1000]);
+        let mut b = Histogram::new(&[10, 100]);
+        b.observe(5);
+        b.observe(50);
+        b.observe(7000);
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.sum(), 7055);
+        assert_eq!(a.max(), 7000);
+        // Edges 10 and 100 rebin under 1000; overflow replays at max 7000.
+        assert_eq!(a.bucket_counts(), &[2, 1]);
+    }
+
+    #[test]
+    fn merge_disjoint_registries_unions() {
+        let mut a = Metrics::new();
+        a.add("only.a", 1);
+        a.add("shared", 2);
+        a.observe("hist.a", 5, &[10]);
+        let mut b = Metrics::new();
+        b.add("only.b", 10);
+        b.add("shared", 3);
+        b.observe("hist.b", 50, &[100]);
+        a.merge(&b);
+        assert_eq!(a.counter("only.a"), 1);
+        assert_eq!(a.counter("only.b"), 10);
+        assert_eq!(a.counter("shared"), 5);
+        assert_eq!(a.histogram("hist.a").unwrap().count(), 1);
+        assert_eq!(a.histogram("hist.b").unwrap().count(), 1);
+        assert_eq!(a.histogram("hist.b").unwrap().bounds(), &[100]);
     }
 }

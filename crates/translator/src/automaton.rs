@@ -344,8 +344,14 @@ impl Translator {
         active.last_pc = r.pc;
         active.last_inst = Some(r.inst);
         self.stats.instrs_observed += 1;
+        match active.phase {
+            Phase::Collect { .. } => self.stats.collect_observed += 1,
+            Phase::Loop(_) => self.stats.loop_observed += 1,
+        }
         let func_pc = active.func_pc;
-        match step(&mut active, r, &self.config) {
+        let outcome = step(&mut active, r, &self.config);
+        self.stats.buffer_high_water = self.stats.buffer_high_water.max(active.buffer.len() as u64);
+        match outcome {
             Ok(None) => {
                 if let Some(tracer) = &self.tracer {
                     tracer.emit(TraceEvent::TranslationProgress {

@@ -121,6 +121,13 @@ impl UopBuffer {
         self.slots.len() - 1
     }
 
+    /// Number of slots currently buffered (the high-water-mark counter
+    /// samples this after every observed instruction).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
     /// Resolves deferred slots and produces the final microcode.
     ///
     /// # Errors

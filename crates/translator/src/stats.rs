@@ -92,6 +92,15 @@ pub struct TranslatorStats {
     pub abort_records: Vec<AbortRecord>,
     /// Records discarded once the cap was reached (tallies still count).
     pub abort_records_dropped: u64,
+    /// Dynamic instructions observed while the automaton sat in the
+    /// collect phase (first loop iteration: classification + buffering).
+    pub collect_observed: u64,
+    /// Dynamic instructions observed while the automaton sat in the loop
+    /// phase (verification iterations).
+    pub loop_observed: u64,
+    /// Deepest microcode-buffer occupancy (in slots) ever reached across
+    /// all attempts — how close translations come to the 64-uop limit.
+    pub buffer_high_water: u64,
 }
 
 impl TranslatorStats {
