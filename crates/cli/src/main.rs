@@ -754,7 +754,22 @@ fn cmd_sentinel(args: &[String]) -> Result<(), String> {
         render_verdict(&verdict.json);
     }
     if verdict.failed {
-        return Err("sentinel: deterministic cycle counts drifted from the baseline".into());
+        let status = verdict
+            .json
+            .get("status")
+            .and_then(perfhist::Json::as_str)
+            .unwrap_or("fail");
+        return Err(match status {
+            "no-history" => {
+                "sentinel: no history — run `liquid-simd bench` to seed bench/history.jsonl"
+                    .to_string()
+            }
+            "no-baseline" => "sentinel: no comparable baseline record (config hash, width \
+                 sweep, or smoke set changed) — re-seed bench/history.jsonl to acknowledge \
+                 the change"
+                .to_string(),
+            _ => "sentinel: deterministic cycle counts drifted from the baseline".to_string(),
+        });
     }
     Ok(())
 }

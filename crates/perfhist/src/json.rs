@@ -344,6 +344,9 @@ fn parse_string(text: &str, bytes: &[u8], pos: &mut usize) -> Result<String, Str
                                     .ok_or("truncated surrogate".to_string())?;
                                 let low = u32::from_str_radix(hex2, 16)
                                     .map_err(|_| format!("bad \\u escape '{hex2}'"))?;
+                                if !(0xDC00..0xE000).contains(&low) {
+                                    return Err(format!("invalid low surrogate '\\u{hex2}'"));
+                                }
                                 *pos += 6;
                                 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00)
                             } else {
@@ -414,6 +417,17 @@ mod tests {
     fn escapes_and_unicode() {
         let v = Json::parse(r#""tab\there A 😀""#).unwrap();
         assert_eq!(v.as_str(), Some("tab\there A 😀"));
+    }
+
+    #[test]
+    fn surrogate_pairs_decode_or_error() {
+        let v = Json::parse(r#""😀""#).unwrap();
+        assert_eq!(v.as_str(), Some("😀"));
+        // A high surrogate must be followed by a \u escape in the low
+        // range; anything else is an error, never a panic or underflow.
+        assert!(Json::parse(r#""\uD800\u0041""#).is_err());
+        assert!(Json::parse(r#""\uD800\uD800""#).is_err());
+        assert!(Json::parse(r#""\uD800x""#).is_err());
     }
 
     #[test]

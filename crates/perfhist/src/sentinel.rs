@@ -45,7 +45,12 @@ impl Default for SentinelOptions {
 pub struct Verdict {
     /// The `sentinel-v1` JSON document.
     pub json: Json,
-    /// Whether CI must fail (any cycle drift, or no history at all).
+    /// Whether CI must fail: any cycle drift, no history at all, or no
+    /// comparable baseline. The last matters because a config change
+    /// (MachineConfig defaults, width sweep, smoke set) changes the
+    /// comparability key — if that silently passed, such a change would
+    /// disable the gate until someone noticed; instead it must be
+    /// acknowledged by re-seeding the history.
     pub failed: bool,
 }
 
@@ -105,11 +110,15 @@ pub fn check(history: &[Json], opts: &SentinelOptions) -> Verdict {
         ("commit".to_string(), Json::Str(commit.to_string())),
     ]);
     let Some(reference) = window.last().copied() else {
+        // No comparable record: the config hash, width sweep, or smoke
+        // set changed (or the only record is the newest one). Fail loudly
+        // — a green job here would mean the gate silently turned itself
+        // off; a deliberate config change re-seeds bench/history.jsonl.
         verdict.set("status", Json::Str("no-baseline".to_string()));
         verdict.set("baseline_window", Json::u64(0));
         return Verdict {
             json: verdict,
-            failed: false,
+            failed: true,
         };
     };
     verdict.set(
@@ -280,16 +289,21 @@ mod tests {
     }
 
     #[test]
-    fn incomparable_configs_are_skipped() {
+    fn incomparable_configs_fail_as_no_baseline() {
         let mut other = record("a", 999, 100.0);
         other.set("config_hash", Json::Str("beef".to_string()));
         let h = vec![other, record("b", 250, 100.0)];
         let v = check(&h, &SentinelOptions::default());
-        assert!(!v.failed);
+        // The mismatched record is never compared cycle-for-cycle, but a
+        // config change must not silently disable the gate: no comparable
+        // baseline is itself a failure until the history is re-seeded.
+        assert!(v.failed, "no comparable baseline must fail CI");
         assert_eq!(
             v.json.get("status").and_then(Json::as_str),
             Some("no-baseline")
         );
+        let drift = v.json.get("cycle_drift").and_then(Json::as_arr);
+        assert!(drift.is_none_or(<[Json]>::is_empty), "no cycles compared");
     }
 
     #[test]
