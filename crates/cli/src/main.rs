@@ -35,6 +35,27 @@
 //!                      append-only history
 //!     --history F      history file (default bench/history.jsonl)
 //!     --no-history     skip the history append
+//!     --serve          load-test the serve daemon instead: N clients × M
+//!                      pipelined requests, run at 1 shard and again at
+//!                      --shards K, hard-failing on any byte difference
+//!                      between the passes or a translation-cache hit
+//!                      rate below 90%; appends perfhist-serve-v1 records
+//!     --clients N      concurrent client connections (default 4)
+//!     --requests N     requests per client (default auto-sized)
+//!     --shards N       shard count of the sharded pass (default 8)
+//! liquid-simd serve [--addr A] [--shards N]
+//!                      batched simulation daemon: line-delimited JSON
+//!                      requests (translate|run|explain|conform|stats|
+//!                      shutdown) over TCP, answered in request order per
+//!                      connection; repeat requests are served from a
+//!                      cross-request translation cache and responses are
+//!                      byte-identical at every shard count
+//!     --addr A         bind address (default 127.0.0.1:7070)
+//!     --shards N       worker shards (default min(cores, 8))
+//!     --history F      perfhist-serve-v1 batch telemetry (default
+//!                      bench/history.jsonl; --no-history to disable)
+//!     --history-every N   flush a batch record every N requests
+//!                      (default 64; a final record flushes at shutdown)
 //! liquid-simd sentinel [--baseline REF] [--json]
 //!                      regression gate over the history: deterministic
 //!                      sim_cycles must match the baseline record exactly
@@ -67,6 +88,7 @@ use std::time::Instant;
 use liquid_simd::{experiments, Machine, MachineConfig, RunReport};
 use liquid_simd_isa::{asm, object, Program};
 use liquid_simd_perfhist as perfhist;
+use liquid_simd_serve as serve;
 use liquid_simd_trace::{export, TraceConfig, Tracer};
 
 fn main() -> ExitCode {
@@ -95,6 +117,7 @@ fn run_cli(args: &[String]) -> Result<(), String> {
         "profile" => cmd_profile(rest),
         "tables" => cmd_tables(rest),
         "bench" => cmd_bench(rest),
+        "serve" => cmd_serve(rest),
         "sentinel" => cmd_sentinel(rest),
         "dashboard" => cmd_dashboard(rest),
         "conform" => cmd_conform(rest),
@@ -107,7 +130,7 @@ fn run_cli(args: &[String]) -> Result<(), String> {
 }
 
 fn usage() -> String {
-    "usage: liquid-simd <asm|disasm|run|translate|trace|explain|profile|tables|bench|sentinel|dashboard|conform|help> [args]\n\
+    "usage: liquid-simd <asm|disasm|run|translate|trace|explain|profile|tables|bench|serve|sentinel|dashboard|conform|help> [args]\n\
      \n\
      asm <input.s> -o <out.lsim>\n\
      disasm <prog.lsim>\n\
@@ -123,6 +146,9 @@ fn usage() -> String {
      tables [--jobs N] [--smoke]\n\
      bench [--jobs N] [--smoke] [--progress] [--out BENCH_sim.json]\n\
          [--history bench/history.jsonl] [--no-history]\n\
+         [--serve [--clients N] [--requests N] [--shards N]]\n\
+     serve [--addr 127.0.0.1:7070] [--shards N] [--history FILE]\n\
+         [--no-history] [--history-every N]\n\
      sentinel [--baseline REF] [--json] [--history FILE]\n\
          [--window N] [--noise-frac X]\n\
      dashboard [--out report.html] [--history FILE] [--flame WORKLOAD]\n\
@@ -202,44 +228,23 @@ fn cmd_disasm(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// Maps the CLI's `--lanes 0` / `--native` / `--jit` flag triage onto the
+/// shared renderer's [`machine_config`](serve::ops::machine_config), so
+/// one-shot runs and the serve daemon configure machines identically.
 fn config_from(args: &[String]) -> Result<MachineConfig, String> {
     let lanes = parse_lanes(args)?;
-    let mut cfg = if lanes == 0 {
-        MachineConfig::scalar_only()
+    let mode = if lanes == 0 {
+        serve::proto::Mode::Scalar
     } else if flag(args, "--native") {
-        MachineConfig::native(lanes)
+        serve::proto::Mode::Native
     } else {
-        MachineConfig::liquid(lanes)
+        serve::proto::Mode::Liquid
     };
-    if flag(args, "--jit") {
-        cfg.translation.jit = true;
-        cfg.translation.hw_value_limit = false;
-    }
-    Ok(cfg)
+    Ok(serve::ops::machine_config(mode, lanes, flag(args, "--jit")))
 }
 
 fn print_report(report: &RunReport) {
-    println!("cycles            {}", report.cycles);
-    println!(
-        "instructions      {} ({} scalar, {} vector)",
-        report.retired, report.scalar_retired, report.vector_retired
-    );
-    println!("icache            {}", report.icache);
-    println!("dcache            {}", report.dcache);
-    println!("translator        {}", report.translator);
-    println!(
-        "microcode cache   {} lookups, {} hits, {} pending, {} inserts, {} evictions, \
-         {} conflicts",
-        report.mcache.lookups,
-        report.mcache.hits,
-        report.mcache.pending,
-        report.mcache.inserts,
-        report.mcache.evictions,
-        report.mcache.conflicts
-    );
-    for (pc, len) in &report.translations {
-        println!("translated        @{pc}: {len} microcode instructions");
-    }
+    print!("{}", serve::ops::report_text(report));
 }
 
 fn cmd_run(args: &[String]) -> Result<(), String> {
@@ -260,10 +265,7 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
     if flag(args, "--report") {
         print_report(&report);
     } else {
-        println!(
-            "halted after {} cycles ({} instructions)",
-            report.cycles, report.retired
-        );
+        print!("{}", serve::ops::run_summary(&report));
     }
     if let Some(t) = &tracer {
         if let Some(path) = &trace_out {
@@ -325,26 +327,8 @@ fn cmd_translate(args: &[String]) -> Result<(), String> {
     if lanes < 2 {
         return Err("translate: --lanes must be >= 2".into());
     }
-    let mut machine = Machine::new(&program, MachineConfig::liquid(lanes));
-    let report = machine.run().map_err(|e| e.to_string())?;
-    let micro = machine.microcode_snapshot();
-    if micro.is_empty() {
-        println!("no loops translated ({})", report.translator);
-        return Ok(());
-    }
-    for (pc, code) in micro {
-        let name = program
-            .label_at(pc)
-            .map_or_else(|| format!("@{pc}"), str::to_string);
-        println!(
-            "── {name} → {} microcode instructions at {lanes} lanes ──",
-            code.len()
-        );
-        print!("{}", asm::disassemble_microcode(&code, &program));
-    }
-    if report.translator.aborted() > 0 {
-        println!("aborts: {:?}", report.translator.aborts);
-    }
+    let (text, _) = serve::ops::translate_text(&program, lanes).map_err(|e| e.to_string())?;
+    print!("{text}");
     Ok(())
 }
 
@@ -522,7 +506,31 @@ fn render_rows<T: std::fmt::Display>(rows: &[T]) -> String {
     rows.iter().map(|r| format!("{r}\n")).collect()
 }
 
+/// Flags workloads where a wider SIMD width simulated **more** cycles than
+/// the next narrower one. Legal (strip-mining remainders, width-dependent
+/// abort fallbacks) but always worth a human look — e.g. `179.art` at
+/// width 16 costing more cycles than at width 8.
+fn width_anomalies(rows: &[perfhist::WorkloadRow]) -> Vec<String> {
+    let mut out = Vec::new();
+    for row in rows {
+        for pair in row.cycles_by_width.windows(2) {
+            let ((narrow, narrow_cycles), (wide, wide_cycles)) = (pair[0], pair[1]);
+            if wide > narrow && wide_cycles > narrow_cycles {
+                out.push(format!(
+                    "{}: width {wide} took {wide_cycles} cycles, more than width \
+                     {narrow}'s {narrow_cycles}",
+                    row.name
+                ));
+            }
+        }
+    }
+    out
+}
+
 fn cmd_bench(args: &[String]) -> Result<(), String> {
+    if flag(args, "--serve") {
+        return cmd_bench_serve(args);
+    }
     let jobs = parse_jobs(args)?;
     let (workloads, widths) = bench_suite(args);
     let smoke = flag(args, "--smoke");
@@ -583,6 +591,13 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
             row.cycles_per_sec
         );
         rows.push(row);
+    }
+
+    // A wider machine that loses to a narrower one is surprising enough to
+    // say out loud, not leave buried in the JSON snapshot.
+    let anomalies = width_anomalies(&rows);
+    for a in &anomalies {
+        println!("warning: width anomaly — {a}");
     }
 
     // The Figure 6 sweep, serial then parallel: wall-clock speedup plus a
@@ -668,6 +683,14 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
     }
     json.push_str("  ],\n");
     json.push_str(&format!(
+        "  \"width_anomalies\": [{}],\n",
+        anomalies
+            .iter()
+            .map(|a| format!("\"{}\"", json_escape(a)))
+            .collect::<Vec<_>>()
+            .join(", ")
+    ));
+    json.push_str(&format!(
         "  \"figure6_sweep\": {{\"serial_s\": {serial_s:.6}, \"parallel_s\": {parallel_s:.6}, \
          \"speedup\": {speedup:.3}, \"deterministic\": {deterministic}, \
          \"speedup_warning\": {speedup_warning}}},\n"
@@ -728,6 +751,97 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+fn parse_count(args: &[String], name: &str, default: usize) -> Result<usize, String> {
+    match option_value(args, name)? {
+        None => Ok(default),
+        Some(v) => match v.parse::<usize>() {
+            Ok(n) if n >= 1 => Ok(n),
+            _ => Err(format!("bad {name} `{v}` (need an integer >= 1)")),
+        },
+    }
+}
+
+/// `bench --serve`: the daemon load generator. Two passes over the same
+/// request multiset — one shard, then `--shards` — diffed byte for byte,
+/// with the translation-cache hit rate gated at 90%.
+fn cmd_bench_serve(args: &[String]) -> Result<(), String> {
+    let history_path = option_value(args, "--history")?.unwrap_or("bench/history.jsonl");
+    let opts = serve::loadgen::LoadOptions {
+        smoke: flag(args, "--smoke"),
+        clients: parse_count(args, "--clients", 4)?,
+        requests_per_client: match option_value(args, "--requests")? {
+            None => 0,
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("bad --requests `{v}` (need an integer)"))?,
+        },
+        shards: parse_count(args, "--shards", 8)?,
+        min_hit_rate: 0.9,
+        history: (!flag(args, "--no-history")).then(|| std::path::PathBuf::from(history_path)),
+        seed: 0xC0FFEE,
+    };
+    let report = serve::loadgen::run(&opts)?;
+    println!(
+        "bench --serve: {} requests × 2 passes ({} clients) — byte-identical at 1 and {} shards",
+        report.requests,
+        opts.clients.max(1),
+        report.shards
+    );
+    println!(
+        "translation cache: {:.1}% hit rate (gate 90.0%), {} hits / {} misses in the sharded pass",
+        report.hit_rate * 100.0,
+        report.sharded.cache_hits,
+        report.sharded.cache_misses
+    );
+    println!(
+        "determinism: requests {:016x}, responses {:016x}, {} sim-cycles total \
+         ({} error responses, identical in both passes)",
+        report.sharded.determinism.0,
+        report.sharded.determinism.1,
+        report.sharded.determinism.2,
+        report.errors
+    );
+    if let Some(history) = &opts.history {
+        println!(
+            "{}: appended {} perfhist-serve-v1 records",
+            history.display(),
+            report.single.records_appended + report.sharded.records_appended
+        );
+    }
+    Ok(())
+}
+
+/// `liquid-simd serve`: bind the daemon and block until a `shutdown`
+/// request (or a bind/accept failure) stops it.
+fn cmd_serve(args: &[String]) -> Result<(), String> {
+    let addr = option_value(args, "--addr")?.unwrap_or("127.0.0.1:7070");
+    let shards = parse_count(args, "--shards", liquid_simd::default_jobs().clamp(1, 8))?;
+    let history_path = option_value(args, "--history")?.unwrap_or("bench/history.jsonl");
+    let opts = serve::ServeOptions {
+        addr: addr.to_string(),
+        shards,
+        history: (!flag(args, "--no-history")).then(|| std::path::PathBuf::from(history_path)),
+        history_every: parse_count(args, "--history-every", 64)?,
+    };
+    let handle = serve::spawn(opts)?;
+    println!(
+        "liquid-simd serve: listening on {} ({shards} shards) — line-delimited JSON, \
+         {{\"op\":\"shutdown\"}} to stop",
+        handle.addr
+    );
+    let summary = handle.join()?;
+    println!(
+        "liquid-simd serve: {} requests ({} errors), cache {} hits / {} misses, \
+         {} history records",
+        summary.requests,
+        summary.errors,
+        summary.cache_hits,
+        summary.cache_misses,
+        summary.records_appended
+    );
+    Ok(())
+}
+
 fn cmd_sentinel(args: &[String]) -> Result<(), String> {
     let history_path = option_value(args, "--history")?.unwrap_or("bench/history.jsonl");
     let mut opts = perfhist::SentinelOptions {
@@ -768,7 +882,9 @@ fn cmd_sentinel(args: &[String]) -> Result<(), String> {
                  sweep, or smoke set changed) — re-seed bench/history.jsonl to acknowledge \
                  the change"
                 .to_string(),
-            _ => "sentinel: deterministic cycle counts drifted from the baseline".to_string(),
+            _ => "sentinel: deterministic results drifted from the baseline (bench cycle \
+                 counts or serve determinism hashes)"
+                .to_string(),
         });
     }
     Ok(())
@@ -828,6 +944,30 @@ fn render_verdict(v: &perfhist::Json) {
         }
         if deltas.len() > 10 {
             println!("    … and {} more", deltas.len() - 10);
+        }
+    }
+    if let Some(serve) = v.get("serve") {
+        println!(
+            "  serve: {} ({} serve records, requests {})",
+            serve.get("status").and_then(Json::as_str).unwrap_or("?"),
+            serve.get("records").and_then(Json::as_u64).unwrap_or(0),
+            serve
+                .get("requests_hash")
+                .and_then(Json::as_str)
+                .unwrap_or("-"),
+        );
+        for d in serve
+            .get("drift")
+            .and_then(Json::as_arr)
+            .unwrap_or(&[])
+            .iter()
+        {
+            println!(
+                "  SERVE DRIFT {}: {} -> {}",
+                d.get("metric").and_then(Json::as_str).unwrap_or("?"),
+                d.get("baseline").map_or("?".to_string(), Json::write),
+                d.get("current").map_or("?".to_string(), Json::write),
+            );
         }
     }
 }
@@ -955,6 +1095,32 @@ mod tests {
         assert_eq!(json_escape("plain"), "plain");
         assert_eq!(json_escape("a\"b\\c"), "a\\\"b\\\\c");
         assert_eq!(json_escape("x\ny"), "x\\u000ay");
+    }
+
+    #[test]
+    fn width_anomaly_detection_flags_slower_wider_widths() {
+        let row = |name: &str, by_width: &[(usize, u64)]| perfhist::WorkloadRow {
+            name: name.to_string(),
+            baseline_cycles: 1_000,
+            sim_cycles: by_width.last().map_or(0, |&(_, c)| c),
+            cycles_by_width: by_width.to_vec(),
+            wall_s: 0.0,
+            cycles_per_sec: 0.0,
+        };
+        // The motivating case: 179.art costs more cycles at width 16 than 8.
+        let rows = vec![
+            row(
+                "179.art",
+                &[(2, 3_000_000), (8, 2_380_481), (16, 2_482_896)],
+            ),
+            row("fir", &[(2, 300), (8, 200), (16, 100)]),
+        ];
+        let warnings = width_anomalies(&rows);
+        assert_eq!(warnings.len(), 1, "{warnings:?}");
+        assert!(warnings[0].contains("179.art"));
+        assert!(warnings[0].contains("width 16"));
+        assert!(warnings[0].contains("2482896"));
+        assert!(width_anomalies(&[]).is_empty());
     }
 
     #[test]

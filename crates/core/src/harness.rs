@@ -23,6 +23,8 @@
 //! always sees the error of the **lowest-indexed** failing task, matching
 //! what a serial loop would have returned first.
 
+use std::any::Any;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Mutex, OnceLock};
 use std::time::Instant;
@@ -56,7 +58,9 @@ pub fn default_jobs() -> usize {
 ///
 /// # Panics
 ///
-/// Propagates a panic from any task.
+/// A panicking task does not kill the queue: the panic is caught, the
+/// remaining tasks still run to completion, and the payload of the
+/// lowest-indexed panicking task is re-raised once the queue has drained.
 pub fn run_tasks<T, E, F>(jobs: usize, count: usize, task: F) -> Result<Vec<T>, E>
 where
     T: Send,
@@ -96,7 +100,12 @@ pub struct TaskTiming {
 ///
 /// # Panics
 ///
-/// Propagates a panic from any task or progress callback.
+/// A panicking task is contained, not fatal to the queue: the panic is
+/// caught, every remaining task still runs (and `progress` still fires for
+/// the panicked one), and once the queue has drained the payload of the
+/// **lowest-indexed** panicking task is re-raised — so a panic is never
+/// swallowed, and never takes unrelated in-flight work down with it. A
+/// re-raised panic takes precedence over any task `Err`.
 pub fn run_tasks_timed<T, E, F, P>(
     jobs: usize,
     count: usize,
@@ -110,10 +119,12 @@ where
     P: Fn(&TaskTiming) + Sync,
 {
     let epoch = Instant::now();
-    let timed = |i: usize, worker: usize| {
+    // Lowest-indexed panic payload; re-raised only after the queue drains.
+    let first_panic: Mutex<Option<(usize, Box<dyn Any + Send>)>> = Mutex::new(None);
+    let timed = |i: usize, worker: usize| -> Option<(Result<T, E>, TaskTiming)> {
         let start_s = epoch.elapsed().as_secs_f64();
         let t0 = Instant::now();
-        let result = task(i);
+        let result = catch_unwind(AssertUnwindSafe(|| task(i)));
         let timing = TaskTiming {
             index: i,
             worker,
@@ -121,18 +132,45 @@ where
             wall_s: t0.elapsed().as_secs_f64(),
         };
         progress(&timing);
-        (result, timing)
+        match result {
+            Ok(r) => Some((r, timing)),
+            Err(payload) => {
+                let mut slot = first_panic.lock().expect("panic slot poisoned");
+                if slot.as_ref().is_none_or(|(idx, _)| i < *idx) {
+                    *slot = Some((i, payload));
+                }
+                None
+            }
+        }
     };
 
     if jobs <= 1 || count <= 1 {
         let mut out = Vec::with_capacity(count);
         let mut timings = Vec::with_capacity(count);
+        let mut first_err = None;
         for i in 0..count {
-            let (result, timing) = timed(i, 0);
-            out.push(result?);
-            timings.push(timing);
+            match timed(i, 0) {
+                Some((Ok(value), timing)) => {
+                    out.push(value);
+                    timings.push(timing);
+                }
+                // An Err stops claiming new tasks, exactly as the parallel
+                // path's `failed` flag does.
+                Some((Err(e), _)) => {
+                    first_err = Some(e);
+                    break;
+                }
+                // A panic drains: keep running the remaining tasks.
+                None => {}
+            }
         }
-        return Ok((out, timings));
+        if let Some((_, payload)) = first_panic.into_inner().expect("panic slot poisoned") {
+            resume_unwind(payload);
+        }
+        return match first_err {
+            Some(e) => Err(e),
+            None => Ok((out, timings)),
+        };
     }
 
     type Slot<T, E> = Mutex<Option<(Result<T, E>, TaskTiming)>>;
@@ -151,7 +189,11 @@ where
                 if i >= count {
                     break;
                 }
-                let (result, timing) = timed(i, worker);
+                // A panicked task leaves its slot empty but does not set
+                // `failed`: the queue keeps draining.
+                let Some((result, timing)) = timed(i, worker) else {
+                    continue;
+                };
                 if result.is_err() {
                     failed.store(true, Ordering::Relaxed);
                 }
@@ -160,8 +202,14 @@ where
         }
     });
 
-    // Indices are claimed monotonically, so filled slots form a prefix; in
-    // index order any error precedes every abandoned (`None`) slot.
+    if let Some((_, payload)) = first_panic.into_inner().expect("panic slot poisoned") {
+        resume_unwind(payload);
+    }
+
+    // Indices are claimed monotonically and (absent panics, re-raised
+    // above) every claimed task fills its slot, so filled slots form a
+    // prefix; in index order any error precedes every abandoned (`None`)
+    // slot.
     let mut out = Vec::with_capacity(count);
     let mut timings = Vec::with_capacity(count);
     for slot in slots {
@@ -351,6 +399,59 @@ mod tests {
                 |_| {},
             );
             assert_eq!(out.unwrap_err(), 5);
+        }
+    }
+
+    #[test]
+    fn panicking_task_drains_queue_and_panic_is_surfaced() {
+        // One task panics; the queue must still drain (every other task
+        // runs) and the original payload must reach the caller — on both
+        // the serial and the parallel path.
+        for jobs in [1, 4] {
+            let started: Vec<AtomicU32> = (0..16).map(|_| AtomicU32::new(0)).collect();
+            let caught = catch_unwind(AssertUnwindSafe(|| {
+                run_tasks(jobs, 16, |i| {
+                    started[i].fetch_add(1, Ordering::Relaxed);
+                    assert!(i != 3, "boom at {i}");
+                    Ok::<usize, ()>(i)
+                })
+            }));
+            let payload = caught.expect_err("panic must be surfaced, not swallowed");
+            let msg = payload
+                .downcast_ref::<String>()
+                .expect("original payload preserved");
+            assert!(msg.contains("boom at 3"), "payload intact: {msg}");
+            // Queue drained: every task was claimed and entered, including
+            // the ones after the panic.
+            assert!(
+                started.iter().all(|h| h.load(Ordering::Relaxed) == 1),
+                "jobs={jobs}: remaining tasks must complete after a panic"
+            );
+        }
+    }
+
+    #[test]
+    fn lowest_indexed_panic_wins_and_progress_still_fires() {
+        for jobs in [1, 4] {
+            let progressed = AtomicU32::new(0);
+            let caught = catch_unwind(AssertUnwindSafe(|| {
+                run_tasks_timed(
+                    jobs,
+                    12,
+                    |i| {
+                        assert!(i != 2 && i != 9, "panic {i}");
+                        Ok::<usize, ()>(i)
+                    },
+                    |_| {
+                        progressed.fetch_add(1, Ordering::Relaxed);
+                    },
+                )
+            }));
+            let payload = caught.expect_err("panic surfaced");
+            let msg = payload.downcast_ref::<String>().unwrap();
+            assert!(msg.contains("panic 2"), "lowest index wins: {msg}");
+            // Progress fires for every task, panicked ones included.
+            assert_eq!(progressed.load(Ordering::Relaxed), 12);
         }
     }
 

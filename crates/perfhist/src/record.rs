@@ -17,6 +17,13 @@ use crate::json::Json;
 /// The record schema tag this crate writes.
 pub const SCHEMA: &str = "perfhist-v1";
 
+/// The schema tag of serving-telemetry records: one per completed serve
+/// batch, written by `liquid-simd serve` / `bench --serve`. They share the
+/// history file with [`SCHEMA`] records — readers filter by schema — and
+/// carry throughput/latency/cache telemetry plus the order-independent
+/// determinism hashes the sentinel gates on.
+pub const SERVE_SCHEMA: &str = "perfhist-serve-v1";
+
 /// One workload's measurements inside a record.
 #[derive(Clone, Debug, PartialEq)]
 pub struct WorkloadRow {

@@ -11,11 +11,19 @@
 //! * **Wall-clock throughput is noisy.** The sentinel compares the newest
 //!   `sim_cycles_per_sec` against the baseline window's median with a MAD-
 //!   scaled noise band and only *warns* — CI never fails on wall clock.
+//!
+//! `perfhist-serve-v1` records (the serve daemon's batch telemetry) get
+//! the same two-class treatment: the `determinism` hashes are exact-match
+//! gated against the latest older serve record that served the same
+//! request multiset (equal `requests_hash`), while throughput and latency
+//! are advisory. A serve record with no comparable baseline is only a
+//! failure when the history has nothing else to gate on — the bench gate
+//! keeps CI honest while a new request mix seeds its first record.
 
 use liquid_simd_trace::metrics::{mad, median};
 
 use crate::json::Json;
-use crate::record::SCHEMA;
+use crate::record::{SCHEMA, SERVE_SCHEMA};
 
 /// Sentinel tuning.
 #[derive(Clone, Debug)]
@@ -58,6 +66,67 @@ fn is_perfhist(r: &Json) -> bool {
     r.get("schema").and_then(Json::as_str) == Some(SCHEMA)
 }
 
+fn is_serve(r: &Json) -> bool {
+    r.get("schema").and_then(Json::as_str) == Some(SERVE_SCHEMA)
+}
+
+fn serve_det<'a>(r: &'a Json, key: &str) -> Option<&'a Json> {
+    r.get("determinism").and_then(|d| d.get(key))
+}
+
+/// Gates the newest `perfhist-serve-v1` record against the latest older
+/// serve record that served the same request multiset. Returns the serve
+/// sub-verdict and whether it fails CI; `None` when the history holds no
+/// serve records at all.
+fn serve_check(records: &[&Json], have_bench: bool) -> Option<(Json, bool)> {
+    let (newest, older) = records.split_last()?;
+    let req_hash = serve_det(newest, "requests_hash").and_then(Json::as_str);
+    let mut verdict = Json::Obj(vec![(
+        "records".to_string(),
+        Json::u64(records.len() as u64),
+    )]);
+    let baseline = req_hash.and_then(|want| {
+        older
+            .iter()
+            .rev()
+            .find(|r| serve_det(r, "requests_hash").and_then(Json::as_str) == Some(want))
+    });
+    let Some(baseline) = baseline else {
+        // Nothing served this request multiset before. With bench records
+        // around the deterministic gate is still armed, so this is
+        // advisory; in a serve-only history it is the no-baseline failure.
+        let failed = !have_bench;
+        verdict.set(
+            "status",
+            Json::Str(if failed { "no-baseline" } else { "unchecked" }.to_string()),
+        );
+        return Some((verdict, failed));
+    };
+    let mut drift: Vec<Json> = Vec::new();
+    for key in ["responses_hash", "sim_cycles_total"] {
+        let base = serve_det(baseline, key);
+        let cur = serve_det(newest, key);
+        if base != cur {
+            drift.push(Json::Obj(vec![
+                ("metric".to_string(), Json::Str(key.to_string())),
+                ("baseline".to_string(), base.cloned().unwrap_or(Json::Null)),
+                ("current".to_string(), cur.cloned().unwrap_or(Json::Null)),
+            ]));
+        }
+    }
+    let failed = !drift.is_empty();
+    verdict.set(
+        "status",
+        Json::Str(if failed { "fail" } else { "pass" }.to_string()),
+    );
+    verdict.set(
+        "requests_hash",
+        Json::Str(req_hash.unwrap_or("?").to_string()),
+    );
+    verdict.set("drift", Json::Arr(drift));
+    Some((verdict, failed))
+}
+
 fn comparable(newest: &Json, candidate: &Json) -> bool {
     for key in ["config_hash", "smoke", "widths"] {
         if newest.get(key) != candidate.get(key) {
@@ -85,7 +154,31 @@ fn row_named<'a>(record: &'a Json, name: &str) -> Option<&'a Json> {
 #[must_use]
 pub fn check(history: &[Json], opts: &SentinelOptions) -> Verdict {
     let records: Vec<&Json> = history.iter().filter(|r| is_perfhist(r)).collect();
+    let serve_records: Vec<&Json> = history.iter().filter(|r| is_serve(r)).collect();
+    let serve = serve_check(&serve_records, !records.is_empty());
     let Some((newest, older)) = records.split_last() else {
+        if let Some((serve_json, serve_failed)) = serve {
+            // Serve-only history: the serve gate is the whole verdict.
+            let mut json = Json::Obj(vec![
+                ("schema".to_string(), Json::Str("sentinel-v1".to_string())),
+                (
+                    "status".to_string(),
+                    Json::Str(
+                        match serve_json.get("status").and_then(Json::as_str) {
+                            Some("no-baseline") => "no-baseline",
+                            _ if serve_failed => "fail",
+                            _ => "pass",
+                        }
+                        .to_string(),
+                    ),
+                ),
+            ]);
+            json.set("serve", serve_json);
+            return Verdict {
+                json,
+                failed: serve_failed,
+            };
+        }
         let json = Json::Obj(vec![
             ("schema".to_string(), Json::Str("sentinel-v1".to_string())),
             ("status".to_string(), Json::Str("no-history".to_string())),
@@ -116,6 +209,9 @@ pub fn check(history: &[Json], opts: &SentinelOptions) -> Verdict {
         // off; a deliberate config change re-seeds bench/history.jsonl.
         verdict.set("status", Json::Str("no-baseline".to_string()));
         verdict.set("baseline_window", Json::u64(0));
+        if let Some((serve_json, _)) = serve {
+            verdict.set("serve", serve_json);
+        }
         return Verdict {
             json: verdict,
             failed: true,
@@ -235,7 +331,11 @@ pub fn check(history: &[Json], opts: &SentinelOptions) -> Verdict {
         }
     }
 
-    let failed = !drift.is_empty();
+    let (serve_json, serve_failed) = match serve {
+        Some((j, f)) => (Some(j), f),
+        None => (None, false),
+    };
+    let failed = !drift.is_empty() || serve_failed;
     verdict.set(
         "status",
         Json::Str(if failed { "fail" } else { "pass" }.to_string()),
@@ -245,6 +345,9 @@ pub fn check(history: &[Json], opts: &SentinelOptions) -> Verdict {
     verdict.set("cycle_drift", Json::Arr(drift));
     verdict.set("wall_warnings", Json::Arr(warnings));
     verdict.set("counter_deltas", Json::Arr(deltas));
+    if let Some(j) = serve_json {
+        verdict.set("serve", j);
+    }
     Verdict {
         json: verdict,
         failed,
@@ -357,6 +460,111 @@ mod tests {
         assert_eq!(
             v.json.get("status").and_then(Json::as_str),
             Some("no-history")
+        );
+    }
+
+    fn serve_record(req: &str, resp: &str, cycles: u64) -> Json {
+        Json::parse(&format!(
+            r#"{{"schema":"perfhist-serve-v1","commit":"c","timestamp":1,"host":"h","shards":4,"batch":{{"requests":10,"errors":0,"by_op":{{}}}},"cache":{{"hits":9,"misses":1,"entries":1,"hit_rate":0.9}},"determinism":{{"requests_hash":"{req}","responses_hash":"{resp}","sim_cycles_total":{cycles}}},"latency":{{"p50_us":1,"p95_us":2,"p99_us":3,"max_us":4}},"throughput_rps":5.0,"wall_s":2.0}}"#
+        ))
+        .unwrap()
+    }
+
+    #[test]
+    fn matching_serve_records_pass_and_drift_fails() {
+        let h = vec![
+            serve_record("aaaa", "bbbb", 100),
+            serve_record("aaaa", "bbbb", 100),
+        ];
+        let v = check(&h, &SentinelOptions::default());
+        assert!(!v.failed, "{}", v.json.write());
+        let serve = v.json.get("serve").unwrap();
+        assert_eq!(serve.get("status").and_then(Json::as_str), Some("pass"));
+
+        // Same requests, different responses: cross-run nondeterminism.
+        let h = vec![
+            serve_record("aaaa", "bbbb", 100),
+            serve_record("aaaa", "XXXX", 100),
+        ];
+        let v = check(&h, &SentinelOptions::default());
+        assert!(v.failed, "response drift must fail");
+        assert_eq!(v.json.get("status").and_then(Json::as_str), Some("fail"));
+        let drift = v
+            .json
+            .get("serve")
+            .and_then(|s| s.get("drift"))
+            .and_then(Json::as_arr)
+            .unwrap();
+        assert_eq!(drift.len(), 1);
+        assert_eq!(
+            drift[0].get("metric").and_then(Json::as_str),
+            Some("responses_hash")
+        );
+
+        // Same requests and responses, drifted cycle total.
+        let h = vec![
+            serve_record("aaaa", "bbbb", 100),
+            serve_record("aaaa", "bbbb", 101),
+        ];
+        assert!(check(&h, &SentinelOptions::default()).failed);
+    }
+
+    #[test]
+    fn serve_baseline_skips_unrelated_request_mixes() {
+        // The comparable baseline is the latest older record with the SAME
+        // requests_hash — a different mix in between must not confuse it.
+        let h = vec![
+            serve_record("aaaa", "bbbb", 100),
+            serve_record("9999", "zzzz", 7),
+            serve_record("aaaa", "bbbb", 100),
+        ];
+        assert!(!check(&h, &SentinelOptions::default()).failed);
+    }
+
+    #[test]
+    fn fresh_serve_mix_is_unchecked_with_bench_but_fails_alone() {
+        // Bench records keep CI green while a new serve mix seeds itself…
+        let h = vec![
+            record("a", 250, 100.0),
+            record("b", 250, 100.0),
+            serve_record("aaaa", "bbbb", 100),
+        ];
+        let v = check(&h, &SentinelOptions::default());
+        assert!(!v.failed, "{}", v.json.write());
+        assert_eq!(
+            v.json
+                .get("serve")
+                .and_then(|s| s.get("status"))
+                .and_then(Json::as_str),
+            Some("unchecked")
+        );
+        // …but a serve-only history with no baseline is a hard failure.
+        let h = vec![serve_record("aaaa", "bbbb", 100)];
+        let v = check(&h, &SentinelOptions::default());
+        assert!(v.failed);
+        assert_eq!(
+            v.json.get("status").and_then(Json::as_str),
+            Some("no-baseline")
+        );
+    }
+
+    #[test]
+    fn serve_drift_fails_even_when_bench_passes() {
+        let h = vec![
+            record("a", 250, 100.0),
+            serve_record("aaaa", "bbbb", 100),
+            record("b", 250, 100.0),
+            serve_record("aaaa", "CCCC", 100),
+        ];
+        let v = check(&h, &SentinelOptions::default());
+        assert!(v.failed, "serve drift alone must fail CI");
+        assert_eq!(v.json.get("status").and_then(Json::as_str), Some("fail"));
+        assert!(
+            v.json
+                .get("cycle_drift")
+                .and_then(Json::as_arr)
+                .is_some_and(<[Json]>::is_empty),
+            "bench side itself was clean"
         );
     }
 

@@ -12,9 +12,18 @@ use crate::json::Json;
 /// Appends one record as a single JSONL line, creating the file (and its
 /// parent directory) on first use.
 ///
+/// Safe under concurrent writers: the line (record text plus trailing
+/// newline) is assembled in memory and handed to the kernel as **one**
+/// `write` on an `O_APPEND` descriptor, so two appenders — several serve
+/// shards flushing batches, or a daemon racing a `bench` run — can never
+/// interleave partial lines. The one-syscall discipline is what makes
+/// `O_APPEND` sufficient; a `writeln!` that splits the record across
+/// multiple writes would not be.
+///
 /// # Errors
 ///
-/// Returns a message on any I/O failure.
+/// Returns a message on any I/O failure, including a short write (which
+/// would indicate the atomicity assumption no longer holds).
 pub fn append(path: &Path, record: &Json) -> Result<(), String> {
     if let Some(parent) = path.parent() {
         if !parent.as_os_str().is_empty() {
@@ -27,7 +36,10 @@ pub fn append(path: &Path, record: &Json) -> Result<(), String> {
         .append(true)
         .open(path)
         .map_err(|e| format!("open {}: {e}", path.display()))?;
-    writeln!(file, "{}", record.write()).map_err(|e| format!("write {}: {e}", path.display()))
+    let mut line = record.write();
+    line.push('\n');
+    file.write_all(line.as_bytes())
+        .map_err(|e| format!("write {}: {e}", path.display()))
 }
 
 /// Loads every record in file order. Blank lines are skipped; a malformed
@@ -95,6 +107,42 @@ mod tests {
         append(&path, &Json::parse("{}").unwrap()).unwrap();
         let longer = std::fs::read_to_string(&path).unwrap();
         assert!(longer.starts_with(&on_disk));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn concurrent_appends_never_interleave_partial_lines() {
+        let path = tmpfile("concurrent.jsonl");
+        let _ = std::fs::remove_file(&path);
+        let writers = 8;
+        let per_writer = 25;
+        std::thread::scope(|scope| {
+            for w in 0..writers {
+                let path = &path;
+                scope.spawn(move || {
+                    for i in 0..per_writer {
+                        // A record bulky enough that a multi-write append
+                        // would get caught interleaving.
+                        let rec = Json::parse(&format!(
+                            r#"{{"schema":"perfhist-v1","writer":{w},"seq":{i},"pad":"{}"}}"#,
+                            "x".repeat(400)
+                        ))
+                        .unwrap();
+                        append(path, &rec).unwrap();
+                    }
+                });
+            }
+        });
+        // Every line parses (no torn writes) and every record arrived.
+        let records = load(&path).unwrap();
+        assert_eq!(records.len(), writers * per_writer);
+        for w in 0..writers as u64 {
+            let count = records
+                .iter()
+                .filter(|r| r.get("writer").and_then(Json::as_u64) == Some(w))
+                .count();
+            assert_eq!(count, per_writer, "writer {w} records all present");
+        }
         let _ = std::fs::remove_file(&path);
     }
 

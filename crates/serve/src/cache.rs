@@ -1,0 +1,220 @@
+//! The serving caches: compiled programs and finished translations,
+//! shared across every request the daemon will ever see.
+//!
+//! Two layers, by analogy with the paper's hardware:
+//!
+//! * [`BuildCache`] is the *front end* — workload name (or inline-source
+//!   hash) → compiled Liquid program plus its content hash. Compiling a
+//!   workload is the expensive per-program step, done once per daemon
+//!   lifetime.
+//! * [`TranslationCache`] is the service-level *microcode cache* — the
+//!   canonical request key (program hash, width, `MachineConfig` hash,
+//!   request params; see [`crate::proto::canonical_key`]) → the finished
+//!   response body and, for `translate` requests, the translated microcode
+//!   itself. A repeat translation costs one map lookup, the way a repeat
+//!   region entry costs one CAM hit in hardware.
+//!
+//! Correctness under concurrency is free because entries are *derived
+//! deterministically from their key*: two workers that race on the same
+//! miss compute byte-identical entries, so whichever insert wins is
+//! indistinguishable. Only the hit/miss counters are schedule-dependent,
+//! and they are advisory telemetry, never part of a response.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use liquid_simd_isa::{object, Inst, Program};
+
+use crate::fnv1a;
+use crate::ops::OpOutput;
+
+/// A compiled program plus its identity hash (FNV-1a over the object-file
+/// bytes for workloads, over the source text for inline programs).
+#[derive(Debug)]
+pub struct ProgramEntry {
+    /// The compiled program.
+    pub program: Program,
+    /// Content hash — the shard-assignment and cache-key ingredient.
+    pub hash: u64,
+    /// Canonical display name (workload name as defined by the suite).
+    pub name: String,
+}
+
+/// Cross-request compiled-program cache.
+#[derive(Default)]
+pub struct BuildCache {
+    entries: Mutex<HashMap<String, Arc<ProgramEntry>>>,
+}
+
+impl BuildCache {
+    /// Returns the cached build of `workload` (case-insensitive name),
+    /// compiling it on first use. Racing callers may both compile; the
+    /// first insert wins and the builds are identical.
+    ///
+    /// # Errors
+    ///
+    /// Returns the resolver/compiler message for unknown names or broken
+    /// builds.
+    pub fn workload(&self, name: &str) -> Result<Arc<ProgramEntry>, String> {
+        let key = format!("workload:{}", name.to_ascii_lowercase());
+        if let Some(hit) = self.entries.lock().expect("build cache poisoned").get(&key) {
+            return Ok(Arc::clone(hit));
+        }
+        let w = crate::ops::resolve_workload(name)?;
+        let canonical = w.name.clone();
+        let b = liquid_simd::build_liquid(&w).map_err(|e| format!("{canonical}: {e}"))?;
+        let bytes = object::write(&b.program).map_err(|e| e.to_string())?;
+        let entry = Arc::new(ProgramEntry {
+            program: b.program,
+            hash: fnv1a(&bytes),
+            name: canonical,
+        });
+        let mut map = self.entries.lock().expect("build cache poisoned");
+        Ok(Arc::clone(map.entry(key).or_insert(entry)))
+    }
+
+    /// Returns the cached assembly of inline `source`, assembling on first
+    /// use. The identity hash is over the source text, so repeat inline
+    /// submissions of the same program hit without re-assembling.
+    ///
+    /// # Errors
+    ///
+    /// Returns the assembler's message.
+    pub fn inline(&self, source: &str, name: Option<&str>) -> Result<Arc<ProgramEntry>, String> {
+        let hash = fnv1a(source.as_bytes());
+        let key = format!("inline:{hash:016x}");
+        if let Some(hit) = self.entries.lock().expect("build cache poisoned").get(&key) {
+            return Ok(Arc::clone(hit));
+        }
+        let program = crate::ops::assemble_inline(source)?;
+        let entry = Arc::new(ProgramEntry {
+            program,
+            hash,
+            name: name.unwrap_or("<inline>").to_string(),
+        });
+        let mut map = self.entries.lock().expect("build cache poisoned");
+        Ok(Arc::clone(map.entry(key).or_insert(entry)))
+    }
+
+    /// Number of cached builds.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.lock().expect("build cache poisoned").len()
+    }
+
+    /// Whether no builds are cached yet.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// One finished translation/response, keyed by its canonical request key.
+#[derive(Debug)]
+pub struct CacheEntry {
+    /// The id-less response body (see [`crate::proto::with_id`]).
+    pub output: OpOutput,
+    /// For `translate` requests: the translated microcode blocks, exactly
+    /// as [`Machine::microcode_snapshot`](liquid_simd::Machine) returned
+    /// them — the cached microcode a future execution layer could preload.
+    pub microcode: Vec<(u32, Vec<Inst>)>,
+}
+
+/// The global cross-request translation cache with hit/miss telemetry.
+#[derive(Default)]
+pub struct TranslationCache {
+    entries: Mutex<HashMap<String, Arc<CacheEntry>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl TranslationCache {
+    /// Looks up `key`, computing and inserting the entry on a miss.
+    /// `compute` runs outside the map lock (a translation can take a
+    /// while; lookups must not stall behind it).
+    pub fn get_or_compute(
+        &self,
+        key: &str,
+        compute: impl FnOnce() -> CacheEntry,
+    ) -> Arc<CacheEntry> {
+        if let Some(hit) = self.entries.lock().expect("cache poisoned").get(key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Arc::clone(hit);
+        }
+        let entry = Arc::new(compute());
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let mut map = self.entries.lock().expect("cache poisoned");
+        Arc::clone(map.entry(key.to_string()).or_insert(entry))
+    }
+
+    /// `(hits, misses, entries)` counters. Hit/miss tallies are advisory:
+    /// two workers racing the same miss may both count a miss, but the
+    /// cached bytes (and thus every response) are unaffected.
+    #[must_use]
+    pub fn stats(&self) -> (u64, u64, u64) {
+        let entries = self.entries.lock().expect("cache poisoned").len() as u64;
+        (
+            self.hits.load(Ordering::Relaxed),
+            self.misses.load(Ordering::Relaxed),
+            entries,
+        )
+    }
+
+    /// Hits as a fraction of all lookups (0.0 when nothing was looked up).
+    #[must_use]
+    pub fn hit_rate(&self) -> f64 {
+        let (h, m, _) = self.stats();
+        if h + m == 0 {
+            0.0
+        } else {
+            h as f64 / (h + m) as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_cache_hits_by_name_case_insensitively() {
+        let cache = BuildCache::default();
+        let a = cache.workload("fir").unwrap();
+        let b = cache.workload("FIR").unwrap();
+        assert!(Arc::ptr_eq(&a, &b), "one compile, shared entry");
+        assert_eq!(cache.len(), 1);
+        assert!(cache.workload("no-such-workload").is_err());
+    }
+
+    #[test]
+    fn inline_cache_keys_by_source_hash() {
+        let cache = BuildCache::default();
+        let src = ".text\nmain:\n    halt\n";
+        let a = cache.inline(src, None).unwrap();
+        let b = cache.inline(src, None).unwrap();
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(a.name, "<inline>");
+        assert_eq!(a.hash, crate::fnv1a(src.as_bytes()));
+    }
+
+    #[test]
+    fn translation_cache_counts_hits_and_shares_entries() {
+        let cache = TranslationCache::default();
+        let make = || CacheEntry {
+            output: OpOutput {
+                body: "{}".to_string(),
+                ok: true,
+                cycles: 5,
+            },
+            microcode: Vec::new(),
+        };
+        let a = cache.get_or_compute("k", make);
+        let b = cache.get_or_compute("k", || panic!("hit must not recompute"));
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(cache.stats(), (1, 1, 1));
+        cache.get_or_compute("k2", make);
+        assert_eq!(cache.stats(), (1, 2, 2));
+        assert!((cache.hit_rate() - 1.0 / 3.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,700 @@
+//! The daemon: TCP accept loop, sharded dispatch, per-connection ordered
+//! writers, batched telemetry flushes.
+//!
+//! Thread shape (all scoped, all `std`):
+//!
+//! ```text
+//! accept loop ──spawns──▶ connection reader ──┐ (Job via mpsc)
+//!                                             ▼
+//!                               shard workers 0..N  (one queue each)
+//!                                             │ (seq, line)
+//!                                             ▼
+//!                         per-connection writer (reorders by seq)
+//! ```
+//!
+//! Determinism across shard counts: a request is assigned to shard
+//! `program_hash % shards` (conform: `seed % shards`), but a shard never
+//! contributes anything to a response — it only decides *where* the pure
+//! function [`ops::execute`] runs, and the per-connection writer restores
+//! request order with sequence numbers. Changing `--shards` therefore
+//! changes scheduling, never bytes; `bench --serve` hard-fails if that
+//! ever stops being true.
+//!
+//! Failure containment: a worker wraps request execution in
+//! `catch_unwind`, so a panicking request yields a `serve-err-v1` response
+//! of kind `panic` and the shard lives on. Budget violations and
+//! simulation faults are ordinary error responses from [`ops::execute`].
+
+use std::collections::BTreeMap;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use liquid_simd_perfhist::Json;
+
+use crate::cache::{BuildCache, CacheEntry, ProgramEntry, TranslationCache};
+use crate::fnv1a;
+use crate::ops::{self, OpOutput};
+use crate::proto::{self, Op, Request};
+use crate::record::{BatchStats, CacheStats, Determinism};
+
+/// Daemon configuration.
+#[derive(Clone, Debug)]
+pub struct ServeOptions {
+    /// Bind address (`127.0.0.1:0` picks an ephemeral port).
+    pub addr: String,
+    /// Worker shard count (floored to 1).
+    pub shards: usize,
+    /// History file for `perfhist-serve-v1` batch records (`None` = no
+    /// telemetry).
+    pub history: Option<PathBuf>,
+    /// Flush a batch record every this many requests (`0` = only the
+    /// final flush at shutdown).
+    pub history_every: usize,
+}
+
+impl Default for ServeOptions {
+    fn default() -> ServeOptions {
+        ServeOptions {
+            addr: "127.0.0.1:0".to_string(),
+            shards: 4,
+            history: None,
+            history_every: 0,
+        }
+    }
+}
+
+/// What a daemon did with its life, returned when it exits.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ServeSummary {
+    /// Requests answered (errors included, stats/shutdown included).
+    pub requests: u64,
+    /// `serve-err-v1` responses.
+    pub errors: u64,
+    /// Translation-cache hits.
+    pub cache_hits: u64,
+    /// Translation-cache misses.
+    pub cache_misses: u64,
+    /// History records appended.
+    pub records_appended: u64,
+    /// Final determinism hashes (requests, responses) and cycle total.
+    pub determinism: (u64, u64, u64),
+}
+
+/// Shared daemon state.
+struct State {
+    opts: ServeOptions,
+    builds: BuildCache,
+    cache: TranslationCache,
+    shutdown: AtomicBool,
+    requests: AtomicU64,
+    errors: AtomicU64,
+    req_hash: AtomicU64,
+    resp_hash: AtomicU64,
+    sim_cycles: AtomicU64,
+    records_appended: AtomicU64,
+    batch: Mutex<Batch>,
+}
+
+struct Batch {
+    requests: u64,
+    errors: u64,
+    by_op: BTreeMap<String, u64>,
+    latencies_us: Vec<u64>,
+    started: Instant,
+}
+
+impl Batch {
+    fn new() -> Batch {
+        Batch {
+            requests: 0,
+            errors: 0,
+            by_op: BTreeMap::new(),
+            latencies_us: Vec::new(),
+            started: Instant::now(),
+        }
+    }
+}
+
+impl State {
+    fn new(opts: ServeOptions) -> State {
+        State {
+            opts,
+            builds: BuildCache::default(),
+            cache: TranslationCache::default(),
+            shutdown: AtomicBool::new(false),
+            requests: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
+            req_hash: AtomicU64::new(0),
+            resp_hash: AtomicU64::new(0),
+            sim_cycles: AtomicU64::new(0),
+            records_appended: AtomicU64::new(0),
+            batch: Mutex::new(Batch::new()),
+        }
+    }
+
+    /// Tallies one answered request into the cumulative counters and the
+    /// current batch, then flushes the batch if it reached the configured
+    /// size. `op` is the op name (or `"invalid"` for unparseable lines).
+    fn tally(&self, op: &str, ok: bool, latency_us: u64) {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        if !ok {
+            self.errors.fetch_add(1, Ordering::Relaxed);
+        }
+        let flush_now = {
+            let mut batch = self.batch.lock().expect("batch poisoned");
+            batch.requests += 1;
+            if !ok {
+                batch.errors += 1;
+            }
+            *batch.by_op.entry(op.to_string()).or_insert(0) += 1;
+            batch.latencies_us.push(latency_us);
+            self.opts.history_every > 0 && batch.requests >= self.opts.history_every as u64
+        };
+        if flush_now {
+            self.flush_batch();
+        }
+    }
+
+    /// Appends one `perfhist-serve-v1` record covering the current batch
+    /// (no-op when the batch is empty or telemetry is off) and starts a
+    /// fresh batch.
+    fn flush_batch(&self) {
+        let Some(history) = self.opts.history.clone() else {
+            return;
+        };
+        let taken = {
+            let mut batch = self.batch.lock().expect("batch poisoned");
+            if batch.requests == 0 {
+                return;
+            }
+            std::mem::replace(&mut *batch, Batch::new())
+        };
+        let stats = BatchStats {
+            requests: taken.requests,
+            errors: taken.errors,
+            by_op: taken.by_op,
+            latencies_us: taken.latencies_us,
+            wall_s: taken.started.elapsed().as_secs_f64(),
+        };
+        let (hits, misses, entries) = self.cache.stats();
+        let rec = crate::record::build(
+            self.opts.shards,
+            &stats,
+            &CacheStats {
+                hits,
+                misses,
+                entries,
+            },
+            &Determinism {
+                requests_hash: self.req_hash.load(Ordering::Relaxed),
+                responses_hash: self.resp_hash.load(Ordering::Relaxed),
+                sim_cycles_total: self.sim_cycles.load(Ordering::Relaxed),
+            },
+        );
+        match liquid_simd_perfhist::store::append(&history, &rec) {
+            Ok(()) => {
+                self.records_appended.fetch_add(1, Ordering::Relaxed);
+            }
+            Err(e) => eprintln!("liquid-simd serve: history append failed: {e}"),
+        }
+    }
+
+    fn stats_body(&self) -> String {
+        let (hits, misses, entries) = self.cache.stats();
+        let hit_rate = if hits + misses == 0 {
+            0.0
+        } else {
+            hits as f64 / (hits + misses) as f64
+        };
+        proto::ok_body(
+            Op::Stats,
+            vec![
+                ("shards".to_string(), Json::u64(self.opts.shards as u64)),
+                (
+                    "requests".to_string(),
+                    Json::u64(self.requests.load(Ordering::Relaxed)),
+                ),
+                (
+                    "errors".to_string(),
+                    Json::u64(self.errors.load(Ordering::Relaxed)),
+                ),
+                (
+                    "cache".to_string(),
+                    Json::Obj(vec![
+                        ("hits".to_string(), Json::u64(hits)),
+                        ("misses".to_string(), Json::u64(misses)),
+                        ("entries".to_string(), Json::u64(entries)),
+                        ("hit_rate".to_string(), Json::f64(hit_rate)),
+                    ]),
+                ),
+                ("builds".to_string(), Json::u64(self.builds.len() as u64)),
+            ],
+        )
+    }
+
+    fn summary(&self) -> ServeSummary {
+        let (hits, misses, _) = self.cache.stats();
+        ServeSummary {
+            requests: self.requests.load(Ordering::Relaxed),
+            errors: self.errors.load(Ordering::Relaxed),
+            cache_hits: hits,
+            cache_misses: misses,
+            records_appended: self.records_appended.load(Ordering::Relaxed),
+            determinism: (
+                self.req_hash.load(Ordering::Relaxed),
+                self.resp_hash.load(Ordering::Relaxed),
+                self.sim_cycles.load(Ordering::Relaxed),
+            ),
+        }
+    }
+}
+
+/// One unit of shard work: a resolved request plus its reply route.
+struct Job {
+    seq: u64,
+    req: Request,
+    program: Option<Arc<ProgramEntry>>,
+    key: String,
+    arrived: Instant,
+    reply: mpsc::Sender<(u64, String)>,
+}
+
+/// A running daemon.
+pub struct ServerHandle {
+    /// The bound address (resolves `:0` to the actual port).
+    pub addr: SocketAddr,
+    join: std::thread::JoinHandle<ServeSummary>,
+    state: Arc<State>,
+}
+
+impl ServerHandle {
+    /// Requests shutdown without a client connection (same effect as a
+    /// `shutdown` op).
+    pub fn shutdown(&self) {
+        self.state.shutdown.store(true, Ordering::Relaxed);
+    }
+
+    /// Waits for the daemon to exit and returns its lifetime summary.
+    ///
+    /// # Errors
+    ///
+    /// Reports a panicked daemon thread (which would be a bug — workers
+    /// contain panics).
+    pub fn join(self) -> Result<ServeSummary, String> {
+        self.join
+            .join()
+            .map_err(|_| "serve daemon thread panicked".to_string())
+    }
+}
+
+/// Binds `opts.addr` and starts the daemon on a background thread.
+///
+/// # Errors
+///
+/// Returns a message if the address cannot be bound.
+pub fn spawn(opts: ServeOptions) -> Result<ServerHandle, String> {
+    let listener = TcpListener::bind(&opts.addr).map_err(|e| format!("bind {}: {e}", opts.addr))?;
+    listener
+        .set_nonblocking(true)
+        .map_err(|e| format!("set_nonblocking: {e}"))?;
+    let addr = listener
+        .local_addr()
+        .map_err(|e| format!("local_addr: {e}"))?;
+    let shards = opts.shards.max(1);
+    let state = Arc::new(State::new(ServeOptions { shards, ..opts }));
+    let thread_state = Arc::clone(&state);
+    let join = std::thread::spawn(move || run_loop(&listener, &thread_state));
+    Ok(ServerHandle { addr, join, state })
+}
+
+/// Binds, serves until shutdown, and returns the summary — the blocking
+/// form the CLI `serve` command uses.
+///
+/// # Errors
+///
+/// Returns a message if the address cannot be bound.
+pub fn serve_blocking(opts: ServeOptions) -> Result<ServeSummary, String> {
+    spawn(opts)?.join()
+}
+
+fn run_loop(listener: &TcpListener, state: &Arc<State>) -> ServeSummary {
+    let shards = state.opts.shards;
+    let mut senders = Vec::with_capacity(shards);
+    let mut receivers = Vec::with_capacity(shards);
+    for _ in 0..shards {
+        let (tx, rx) = mpsc::channel::<Job>();
+        senders.push(tx);
+        receivers.push(rx);
+    }
+    std::thread::scope(|scope| {
+        for rx in receivers {
+            scope.spawn(|| shard_worker(rx, state));
+        }
+        loop {
+            if state.shutdown.load(Ordering::Relaxed) {
+                break;
+            }
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    let txs = senders.clone();
+                    scope.spawn(|| connection(stream, txs, state));
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(2));
+                }
+                Err(e) => {
+                    eprintln!("liquid-simd serve: accept failed: {e}");
+                    break;
+                }
+            }
+        }
+        // Closing the original senders lets each shard drain its queue and
+        // exit once the connection threads (which hold clones) finish.
+        drop(senders);
+    });
+    state.flush_batch();
+    state.summary()
+}
+
+fn shard_worker(rx: mpsc::Receiver<Job>, state: &State) {
+    while let Ok(job) = rx.recv() {
+        let body = answer(&job, state);
+        let latency = job.arrived.elapsed().as_micros() as u64;
+        // Stats/shutdown never reach a shard, so every job here is a
+        // deterministic op: fold it into the determinism accumulators.
+        // Wrapping sums (not XOR) so the multiset hash is both
+        // order-independent and multiplicity-sensitive — N clients
+        // repeating one request must not cancel out of the hash.
+        state
+            .req_hash
+            .fetch_add(fnv1a(job.key.as_bytes()), Ordering::Relaxed);
+        let mut pair = job.key.clone().into_bytes();
+        pair.extend_from_slice(body.output.body.as_bytes());
+        state.resp_hash.fetch_add(fnv1a(&pair), Ordering::Relaxed);
+        state
+            .sim_cycles
+            .fetch_add(body.output.cycles, Ordering::Relaxed);
+        state.tally(job.req.op.name(), body.output.ok, latency);
+        let line = proto::with_id(&body.output.body, job.req.id.as_ref());
+        // A dropped receiver means the client went away; nothing to do.
+        let _ = job.reply.send((job.seq, line));
+    }
+}
+
+/// Computes (or cache-hits) the response for one shard job, containing
+/// any panic as a `serve-err-v1` of kind `panic`.
+fn answer(job: &Job, state: &State) -> Arc<CacheEntry> {
+    state.cache.get_or_compute(&job.key, || {
+        let computed = catch_unwind(AssertUnwindSafe(|| match &job.program {
+            Some(entry) => {
+                let output = ops::execute(&job.req, &entry.program, &entry.name);
+                // Retain the translated microcode alongside the rendered
+                // response: this entry *is* the service's microcode cache
+                // line, preloadable by a future execution layer.
+                let micro = if job.req.op == Op::Translate && output.ok {
+                    snapshot_microcode(&entry.program, job.req.lanes)
+                } else {
+                    Vec::new()
+                };
+                CacheEntry {
+                    output,
+                    microcode: micro,
+                }
+            }
+            // Conform carries no program; execute() never reads the
+            // placeholder.
+            None => CacheEntry {
+                output: ops::execute(
+                    &job.req,
+                    &ops::assemble_inline(".text\nmain:\n    halt\n")
+                        .expect("placeholder program assembles"),
+                    "<none>",
+                ),
+                microcode: Vec::new(),
+            },
+        }));
+        computed.unwrap_or_else(|payload| {
+            let msg = payload
+                .downcast_ref::<String>()
+                .map(String::as_str)
+                .or_else(|| payload.downcast_ref::<&str>().copied())
+                .unwrap_or("opaque panic payload");
+            CacheEntry {
+                output: OpOutput {
+                    body: proto::err_body(Some(job.req.op), "panic", msg),
+                    ok: false,
+                    cycles: 0,
+                },
+                microcode: Vec::new(),
+            }
+        })
+    })
+}
+
+fn snapshot_microcode(
+    program: &liquid_simd_isa::Program,
+    lanes: usize,
+) -> Vec<(u32, Vec<liquid_simd_isa::Inst>)> {
+    let mut machine = liquid_simd::Machine::new(program, liquid_simd::MachineConfig::liquid(lanes));
+    match machine.run() {
+        Ok(_) => machine.microcode_snapshot(),
+        Err(_) => Vec::new(),
+    }
+}
+
+/// Reads request lines, resolves programs, dispatches to shards, and
+/// joins its ordered writer before returning.
+fn connection(stream: TcpStream, shard_txs: Vec<mpsc::Sender<Job>>, state: &State) {
+    let Ok(write_stream) = stream.try_clone() else {
+        return;
+    };
+    let (reply_tx, reply_rx) = mpsc::channel::<(u64, String)>();
+    let writer = std::thread::spawn(move || ordered_writer(write_stream, &reply_rx));
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    let mut seq: u64 = 0;
+    loop {
+        match reader.read_line(&mut line) {
+            Ok(0) => break,
+            Ok(_) => {
+                if !line.trim().is_empty() {
+                    handle_line(
+                        line.trim_end_matches(['\r', '\n']),
+                        seq,
+                        &shard_txs,
+                        state,
+                        &reply_tx,
+                    );
+                    seq += 1;
+                }
+                line.clear();
+            }
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                // `read_line` preserves bytes already appended to `line`,
+                // so retrying cannot tear a request across reads.
+                if state.shutdown.load(Ordering::Relaxed) {
+                    break;
+                }
+            }
+            Err(_) => break,
+        }
+    }
+    drop(reply_tx);
+    drop(shard_txs);
+    // Joining the writer blocks until every in-flight job for this
+    // connection has replied and been flushed.
+    let _ = writer.join();
+}
+
+/// Parses one request line and routes it: immediate front-end answers for
+/// stats/shutdown/bad requests, shard dispatch for deterministic ops.
+fn handle_line(
+    line: &str,
+    seq: u64,
+    shard_txs: &[mpsc::Sender<Job>],
+    state: &State,
+    reply_tx: &mpsc::Sender<(u64, String)>,
+) {
+    let arrived = Instant::now();
+    let front = |body: String, id: Option<&Json>, op: &str, ok: bool| {
+        state.tally(op, ok, arrived.elapsed().as_micros() as u64);
+        let _ = reply_tx.send((seq, proto::with_id(&body, id)));
+    };
+    let req = match proto::parse_request(line) {
+        Ok(req) => req,
+        Err(msg) => {
+            front(
+                proto::err_body(None, "bad-request", &msg),
+                None,
+                "invalid",
+                false,
+            );
+            return;
+        }
+    };
+    match req.op {
+        Op::Stats => front(state.stats_body(), req.id.as_ref(), Op::Stats.name(), true),
+        Op::Shutdown => {
+            state.shutdown.store(true, Ordering::Relaxed);
+            front(
+                proto::ok_body(Op::Shutdown, Vec::new()),
+                req.id.as_ref(),
+                Op::Shutdown.name(),
+                true,
+            );
+        }
+        Op::Translate | Op::Run | Op::Explain | Op::Conform => {
+            let program = if req.op == Op::Conform {
+                None
+            } else {
+                let resolved = match (&req.workload, &req.program) {
+                    (Some(name), _) => state.builds.workload(name),
+                    (None, Some(src)) => state.builds.inline(src, req.name.as_deref()),
+                    (None, None) => Err("missing program".to_string()),
+                };
+                match resolved {
+                    Ok(entry) => Some(entry),
+                    Err(msg) => {
+                        front(
+                            proto::err_body(Some(req.op), "bad-request", &msg),
+                            req.id.as_ref(),
+                            req.op.name(),
+                            false,
+                        );
+                        return;
+                    }
+                }
+            };
+            let prog_hash = program.as_ref().map_or(req.seed, |p| p.hash);
+            let cfg_hash = ops::machine_config(req.mode, req.lanes, req.jit).fingerprint();
+            let key = proto::canonical_key(&req, prog_hash, cfg_hash);
+            let shard = (prog_hash % shard_txs.len() as u64) as usize;
+            let job = Job {
+                seq,
+                req,
+                program,
+                key,
+                arrived,
+                reply: reply_tx.clone(),
+            };
+            // A send can only fail after shutdown closed the shard; the
+            // writer then simply never sees this seq, and the connection
+            // is going away anyway.
+            let _ = shard_txs[shard].send(job);
+        }
+    }
+}
+
+/// Writes `(seq, line)` replies to the socket in strict `seq` order,
+/// buffering out-of-order arrivals — the piece that makes per-connection
+/// responses independent of shard scheduling.
+fn ordered_writer(mut stream: TcpStream, rx: &mpsc::Receiver<(u64, String)>) {
+    let mut pending: BTreeMap<u64, String> = BTreeMap::new();
+    let mut next_seq: u64 = 0;
+    while let Ok((seq, line)) = rx.recv() {
+        pending.insert(seq, line);
+        while let Some(line) = pending.remove(&next_seq) {
+            if stream.write_all(line.as_bytes()).is_err() || stream.write_all(b"\n").is_err() {
+                return;
+            }
+            next_seq += 1;
+        }
+        let _ = stream.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn client(addr: SocketAddr, lines: &[String]) -> Vec<String> {
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        for l in lines {
+            stream.write_all(l.as_bytes()).unwrap();
+            stream.write_all(b"\n").unwrap();
+        }
+        stream.flush().unwrap();
+        let reader = BufReader::new(stream);
+        reader
+            .lines()
+            .take(lines.len())
+            .map(|l| l.expect("response line"))
+            .collect()
+    }
+
+    #[test]
+    fn responses_preserve_request_order_and_echo_ids() {
+        let handle = spawn(ServeOptions {
+            shards: 2,
+            ..ServeOptions::default()
+        })
+        .unwrap();
+        let lines: Vec<String> = vec![
+            r#"{"op":"run","workload":"fir","id":"a"}"#.to_string(),
+            r#"{"op":"run","workload":"fft","id":"b"}"#.to_string(),
+            r#"{"op":"stats","id":"c"}"#.to_string(),
+            r#"{"op":"shutdown","id":"d"}"#.to_string(),
+        ];
+        let responses = client(handle.addr, &lines);
+        assert_eq!(responses.len(), 4);
+        for (resp, id) in responses.iter().zip(["a", "b", "c", "d"]) {
+            let doc = Json::parse(resp).unwrap();
+            assert_eq!(doc.get("id").and_then(Json::as_str), Some(id), "{resp}");
+            assert_eq!(doc.get("ok"), Some(&Json::Bool(true)), "{resp}");
+        }
+        let summary = handle.join().unwrap();
+        assert_eq!(summary.requests, 4);
+        assert_eq!(summary.errors, 0);
+    }
+
+    #[test]
+    fn repeat_requests_hit_the_translation_cache() {
+        let handle = spawn(ServeOptions::default()).unwrap();
+        let lines: Vec<String> = (0..5)
+            .map(|i| format!(r#"{{"op":"translate","workload":"fir","width":8,"id":{i}}}"#))
+            .collect();
+        let responses = client(handle.addr, &lines);
+        // All five translate responses are byte-identical apart from ids.
+        let strip = |s: &str| {
+            Json::parse(s).map(|mut d| {
+                d.remove("id");
+                d.write()
+            })
+        };
+        let first = strip(&responses[0]).unwrap();
+        for r in &responses[1..5] {
+            assert_eq!(strip(r).unwrap(), first);
+        }
+        // Stats reflect the counters at arrival time, so ask only after
+        // every translate response has been read back.
+        let stats_resp = client(handle.addr, &[r#"{"op":"stats","id":"s"}"#.to_string()]);
+        let stats = Json::parse(&stats_resp[0]).unwrap();
+        let cache = stats.get("cache").unwrap();
+        assert!(cache.get("hits").and_then(Json::as_u64).unwrap() >= 4);
+        assert_eq!(cache.get("entries").and_then(Json::as_u64), Some(1));
+        handle.shutdown();
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn bad_requests_and_budgets_answer_gracefully() {
+        let handle = spawn(ServeOptions::default()).unwrap();
+        let lines: Vec<String> = vec![
+            "this is not json".to_string(),
+            r#"{"op":"run","workload":"no-such-workload","id":1}"#.to_string(),
+            r#"{"op":"run","workload":"fir","budget_cycles":10,"id":2}"#.to_string(),
+            r#"{"op":"run","workload":"fir","id":3}"#.to_string(),
+        ];
+        let responses = client(handle.addr, &lines);
+        let kinds: Vec<Option<String>> = responses
+            .iter()
+            .map(|r| {
+                Json::parse(r)
+                    .unwrap()
+                    .get("kind")
+                    .and_then(Json::as_str)
+                    .map(str::to_string)
+            })
+            .collect();
+        assert_eq!(kinds[0].as_deref(), Some("bad-request"));
+        assert_eq!(kinds[1].as_deref(), Some("bad-request"));
+        assert_eq!(kinds[2].as_deref(), Some("budget-exceeded"));
+        assert_eq!(
+            kinds[3], None,
+            "healthy request still served: {}",
+            responses[3]
+        );
+        handle.shutdown();
+        let summary = handle.join().unwrap();
+        assert_eq!(summary.errors, 3);
+    }
+}

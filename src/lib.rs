@@ -10,6 +10,7 @@ pub use liquid_simd_conform as conform;
 pub use liquid_simd_isa as isa;
 pub use liquid_simd_mem as mem;
 pub use liquid_simd_perfhist as perfhist;
+pub use liquid_simd_serve as serve;
 pub use liquid_simd_sim as sim;
 pub use liquid_simd_translator as translator;
 pub use liquid_simd_workloads as workloads;
