@@ -5,6 +5,8 @@
 //! liquid-simd disasm program.lsim             disassemble an object file
 //! liquid-simd run program.{s,lsim} [FLAGS]    simulate to halt
 //!     --lanes N        SIMD accelerator width (default 8; 0 = scalar only)
+//!     --backend B      execution backend: interp (default) or superblock
+//!                      (pre-lowered straight-line blocks, same cycles)
 //!     --native         no dynamic translation (vector binaries)
 //!     --jit            software-JIT translation (stalls the CPU)
 //!     --report         print cache/translator statistics
@@ -33,6 +35,8 @@
 //!                      telemetry, and the parallel sweep; writes a JSON
 //!                      snapshot AND appends one perfhist-v1 record to the
 //!                      append-only history
+//!     --backend B      run every simulation on this backend; recorded in
+//!                      the snapshot and the perfhist-v1 record
 //!     --history F      history file (default bench/history.jsonl)
 //!     --no-history     skip the history append
 //!     --serve          load-test the serve daemon instead: N clients × M
@@ -52,6 +56,8 @@
 //!                      byte-identical at every shard count
 //!     --addr A         bind address (default 127.0.0.1:7070)
 //!     --shards N       worker shards (default min(cores, 8))
+//!     --backend B      backend the daemon simulates with (responses are
+//!                      byte-identical either way)
 //!     --history F      perfhist-serve-v1 batch telemetry (default
 //!                      bench/history.jsonl; --no-history to disable)
 //!     --history-every N   flush a batch record every N requests
@@ -60,10 +66,14 @@
 //!                      regression gate over the history: deterministic
 //!                      sim_cycles must match the baseline record exactly
 //!                      (any drift fails, improvements included);
-//!                      wall-clock throughput only warns (median/MAD band)
+//!                      wall-clock throughput only warns (median/MAD band);
+//!                      baselines pair only within the same backend
 //!     --history F      history file (default bench/history.jsonl)
 //!     --window N       baseline window size (default 5)
 //!     --noise-frac X   wall-clock warn fraction (default 0.15)
+//!     --cross-backend  instead gate that the newest interp and superblock
+//!                      records (same commit/config) report identical
+//!                      deterministic sim cycles at every width
 //! liquid-simd dashboard [--out report.html]
 //!                      render the history as one self-contained HTML file
 //!                      (inline SVG/CSS, no JavaScript, no external
@@ -134,23 +144,23 @@ fn usage() -> String {
      \n\
      asm <input.s> -o <out.lsim>\n\
      disasm <prog.lsim>\n\
-     run <prog.s|prog.lsim> [--lanes N] [--native] [--jit] [--report]\n\
-         [--trace] [--trace-out FILE]\n\
+     run <prog.s|prog.lsim> [--lanes N] [--backend interp|superblock]\n\
+         [--native] [--jit] [--report] [--trace] [--trace-out FILE]\n\
      translate <prog.s|prog.lsim> [--lanes N]\n\
-     trace <prog.s|prog.lsim> [--lanes N] [--native] [--jit]\n\
+     trace <prog.s|prog.lsim> [--lanes N] [--backend B] [--native] [--jit]\n\
          [--out trace.json] [--instructions]\n\
-     explain <prog|workload> [--widths 2,4,8,16] [--json]\n\
+     explain <prog|workload> [--widths 2,4,8,16] [--backend B] [--json]\n\
          [--interrupt-every N] [--all-calls]\n\
      profile <prog|workload> [--lanes N] [--json] [--top N]\n\
          [--trace-out trace.json]\n\
      tables [--jobs N] [--smoke]\n\
-     bench [--jobs N] [--smoke] [--progress] [--out BENCH_sim.json]\n\
-         [--history bench/history.jsonl] [--no-history]\n\
-         [--serve [--clients N] [--requests N] [--shards N]]\n\
-     serve [--addr 127.0.0.1:7070] [--shards N] [--history FILE]\n\
-         [--no-history] [--history-every N]\n\
+     bench [--jobs N] [--smoke] [--backend B] [--progress]\n\
+         [--out BENCH_sim.json] [--history bench/history.jsonl]\n\
+         [--no-history] [--serve [--clients N] [--requests N] [--shards N]]\n\
+     serve [--addr 127.0.0.1:7070] [--shards N] [--backend B]\n\
+         [--history FILE] [--no-history] [--history-every N]\n\
      sentinel [--baseline REF] [--json] [--history FILE]\n\
-         [--window N] [--noise-frac X]\n\
+         [--window N] [--noise-frac X] [--cross-backend]\n\
      dashboard [--out report.html] [--history FILE] [--flame WORKLOAD]\n\
      conform [--seed S] [--cases N] [--jobs N] [--json] [--out FILE]\n\
          [--corpus-dir DIR] [--no-shrink]"
@@ -184,6 +194,17 @@ fn option_value<'a>(args: &'a [String], name: &str) -> Result<Option<&'a str>, S
         }
     }
     Ok(None)
+}
+
+/// `--backend interp|superblock` — which execution backend simulates the
+/// program. Both retire bit-identical architectural state and cycle
+/// counts; superblock pre-lowers straight-line runs for throughput.
+fn parse_backend(args: &[String]) -> Result<liquid_simd::BackendKind, String> {
+    match option_value(args, "--backend")? {
+        None => Ok(liquid_simd::BackendKind::default()),
+        Some(v) => liquid_simd::BackendKind::parse(v)
+            .ok_or_else(|| format!("bad --backend `{v}` (interp or superblock)")),
+    }
 }
 
 fn parse_lanes(args: &[String]) -> Result<usize, String> {
@@ -240,7 +261,8 @@ fn config_from(args: &[String]) -> Result<MachineConfig, String> {
     } else {
         serve::proto::Mode::Liquid
     };
-    Ok(serve::ops::machine_config(mode, lanes, flag(args, "--jit")))
+    Ok(serve::ops::machine_config(mode, lanes, flag(args, "--jit"))
+        .with_backend(parse_backend(args)?))
 }
 
 fn print_report(report: &RunReport) {
@@ -396,6 +418,7 @@ fn cmd_explain(args: &[String]) -> Result<(), String> {
         widths: parse_widths(args)?,
         interrupt_every,
         all_calls: flag(args, "--all-calls"),
+        backend: parse_backend(args)?,
     };
     let report = liquid_simd::explain(&program, &name, &opts).map_err(|e| e.to_string())?;
     if flag(args, "--json") {
@@ -534,6 +557,7 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
     let jobs = parse_jobs(args)?;
     let (workloads, widths) = bench_suite(args);
     let smoke = flag(args, "--smoke");
+    let backend = parse_backend(args)?;
     let out_path = option_value(args, "--out")?.unwrap_or("BENCH_sim.json");
     let history_path = option_value(args, "--history")?.unwrap_or("bench/history.jsonl");
     let err = |e: liquid_simd::VerifyError| e.to_string();
@@ -554,8 +578,11 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
     let mut counters = std::collections::BTreeMap::new();
     for w in &workloads {
         let plain = liquid_simd::build_plain(w).map_err(|e| format!("{}: {e}", w.name))?;
-        let base = liquid_simd::run(&plain.program, MachineConfig::scalar_only())
-            .map_err(|e| e.to_string())?;
+        let base = liquid_simd::run(
+            &plain.program,
+            MachineConfig::scalar_only().with_backend(backend),
+        )
+        .map_err(|e| e.to_string())?;
         let b = liquid_simd::build_liquid(w).map_err(|e| format!("{}: {e}", w.name))?;
         let mut row = perfhist::WorkloadRow {
             name: w.name.clone(),
@@ -567,8 +594,11 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
         };
         for &width in &widths {
             let t0 = Instant::now();
-            let out = liquid_simd::run(&b.program, MachineConfig::liquid(width))
-                .map_err(|e| e.to_string())?;
+            let out = liquid_simd::run(
+                &b.program,
+                MachineConfig::liquid(width).with_backend(backend),
+            )
+            .map_err(|e| e.to_string())?;
             if width == headline {
                 row.wall_s = t0.elapsed().as_secs_f64();
                 row.sim_cycles = out.report.cycles;
@@ -658,6 +688,7 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
     }
 
     let mut json = String::from("{\n  \"schema\": \"liquid-simd-bench-v1\",\n");
+    json.push_str(&format!("  \"backend\": \"{backend}\",\n"));
     json.push_str(&format!("  \"jobs\": {jobs},\n"));
     json.push_str(&format!("  \"smoke\": {smoke},\n"));
     json.push_str(&format!("  \"widths\": {widths:?},\n"));
@@ -731,6 +762,7 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
             config_hash: format!("{:016x}", MachineConfig::liquid(headline).fingerprint()),
             smoke,
             widths: widths.clone(),
+            backend: backend.name().to_string(),
         };
         let wall_extras = vec![
             ("figure6_serial_s".to_string(), serial_s),
@@ -768,6 +800,7 @@ fn cmd_bench_serve(args: &[String]) -> Result<(), String> {
     let history_path = option_value(args, "--history")?.unwrap_or("bench/history.jsonl");
     let opts = serve::loadgen::LoadOptions {
         smoke: flag(args, "--smoke"),
+        backend: parse_backend(args)?,
         clients: parse_count(args, "--clients", 4)?,
         requests_per_client: match option_value(args, "--requests")? {
             None => 0,
@@ -822,6 +855,7 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         shards,
         history: (!flag(args, "--no-history")).then(|| std::path::PathBuf::from(history_path)),
         history_every: parse_count(args, "--history-every", 64)?,
+        backend: parse_backend(args)?,
     };
     let handle = serve::spawn(opts)?;
     println!(
@@ -844,6 +878,9 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
 
 fn cmd_sentinel(args: &[String]) -> Result<(), String> {
     let history_path = option_value(args, "--history")?.unwrap_or("bench/history.jsonl");
+    if flag(args, "--cross-backend") {
+        return cmd_sentinel_cross(args, history_path);
+    }
     let mut opts = perfhist::SentinelOptions {
         baseline_commit: option_value(args, "--baseline")?.map(str::to_string),
         ..perfhist::SentinelOptions::default()
@@ -886,6 +923,68 @@ fn cmd_sentinel(args: &[String]) -> Result<(), String> {
                  counts or serve determinism hashes)"
                 .to_string(),
         });
+    }
+    Ok(())
+}
+
+/// `sentinel --cross-backend`: assert the newest interp and superblock
+/// bench records (same commit, same config) agree on every deterministic
+/// cycle count. The regular sentinel pairs baselines *within* a backend;
+/// this is the *between*-backend equality gate.
+fn cmd_sentinel_cross(args: &[String], history_path: &str) -> Result<(), String> {
+    let history = perfhist::store::load(std::path::Path::new(history_path))?;
+    let verdict = perfhist::cross_check(&history);
+    if flag(args, "--json") {
+        println!("{}", verdict.json.write());
+    } else {
+        use perfhist::Json;
+        let get_str = |k: &str| verdict.json.get(k).and_then(Json::as_str).unwrap_or("?");
+        println!(
+            "sentinel --cross-backend: {} (interp {}, superblock {}, {} workloads checked)",
+            get_str("status"),
+            get_str("interp_commit"),
+            get_str("superblock_commit"),
+            verdict
+                .json
+                .get("workloads_checked")
+                .and_then(Json::as_u64)
+                .unwrap_or(0),
+        );
+        for d in verdict
+            .json
+            .get("cycle_drift")
+            .and_then(Json::as_arr)
+            .unwrap_or(&[])
+        {
+            println!(
+                "  DRIFT {} {}: interp {} vs superblock {}",
+                d.get("workload").and_then(Json::as_str).unwrap_or("?"),
+                d.get("metric").and_then(Json::as_str).unwrap_or("?"),
+                d.get("interp").map_or("?".to_string(), Json::write),
+                d.get("superblock").map_or("?".to_string(), Json::write),
+            );
+        }
+    }
+    if verdict.failed {
+        return Err(
+            match verdict
+                .json
+                .get("status")
+                .and_then(perfhist::Json::as_str)
+                .unwrap_or("fail")
+            {
+                "no-pair" => "sentinel --cross-backend: need one bench record from each backend — \
+                 run `liquid-simd bench` and `liquid-simd bench --backend superblock`"
+                    .to_string(),
+                "incomparable" => "sentinel --cross-backend: the newest interp and superblock \
+                 records are from different commits or configs — re-run both benches on the \
+                 same tree"
+                    .to_string(),
+                _ => "sentinel --cross-backend: superblock sim cycles diverged from the \
+                 interpreter (the backends must be bit-exact)"
+                    .to_string(),
+            },
+        );
     }
     Ok(())
 }

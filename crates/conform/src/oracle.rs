@@ -144,6 +144,43 @@ fn diff_memory(a: &Memory, b: &Memory, rtol_ranges: &[(u32, u32)]) -> Option<Str
     None
 }
 
+/// Re-runs `program` with the same configuration on the superblock
+/// backend and requires bit-exact agreement with the interpreter run that
+/// produced `interp`: the simulated cycle count, the final memory image,
+/// and the full register file. Pre-lowered dispatch is an implementation
+/// detail of the simulator — any observable difference is a backend bug,
+/// so there is no tolerance here (not even the f32-reduction allowance;
+/// identical configs must reassociate identically).
+fn diff_backend(
+    what: &str,
+    program: &Program,
+    config: MachineConfig,
+    interp: (&RunReport, &Memory, &[u32; 16]),
+) -> Option<String> {
+    let sb = config.with_backend(liquid_simd::BackendKind::Superblock);
+    let (report, mem, regs) = match run_full(program, sb) {
+        Ok(v) => v,
+        Err(e) => return Some(format!("{what} superblock run: {e}")),
+    };
+    if report.cycles != interp.0.cycles {
+        return Some(format!(
+            "{what}: superblock simulated {} cycles, interpreter {}",
+            report.cycles, interp.0.cycles
+        ));
+    }
+    if let Some(d) = diff_memory(interp.1, &mem, &[]) {
+        return Some(format!("{what} superblock vs interpreter: {d}"));
+    }
+    if &regs != interp.2 {
+        let r = (0..16).find(|&r| regs[r] != interp.2[r]).unwrap_or(0);
+        return Some(format!(
+            "{what} superblock vs interpreter: r{r} differs ({:#x} vs {:#x})",
+            regs[r], interp.2[r]
+        ));
+    }
+    None
+}
+
 fn diff_live_outs(a: &[u32; 16], b: &[u32; 16]) -> Option<String> {
     LIVE_OUT_REGS.iter().find_map(|&r| {
         (a[r] != b[r]).then(|| format!("live-out r{r} differs: {:#x} vs {:#x}", a[r], b[r]))
@@ -175,7 +212,7 @@ pub fn check_legal(spec: &LegalSpec) -> CaseOutcome {
     }
 
     let plain = try_or_fail!(build_plain(&w), "plain build");
-    let (_, mem, _) = try_or_fail!(
+    let (plain_report, mem, plain_regs) = try_or_fail!(
         run_full(&plain.program, MachineConfig::scalar_only()),
         "plain run"
     );
@@ -183,9 +220,17 @@ pub fn check_legal(spec: &LegalSpec) -> CaseOutcome {
         verify_against_gold("plain/scalar", &plain.program, &mem, &gold_env),
         "plain vs gold"
     );
+    if let Some(d) = diff_backend(
+        "plain/scalar",
+        &plain.program,
+        MachineConfig::scalar_only(),
+        (&plain_report, &mem, &plain_regs),
+    ) {
+        return fail(&name, kind, d);
+    }
 
     let liquid = try_or_fail!(build_liquid(&w), "liquid build");
-    let (_, scalar_mem, scalar_regs) = try_or_fail!(
+    let (scalar_report, scalar_mem, scalar_regs) = try_or_fail!(
         run_full(&liquid.program, MachineConfig::scalar_only()),
         "liquid scalar run"
     );
@@ -193,6 +238,14 @@ pub fn check_legal(spec: &LegalSpec) -> CaseOutcome {
         verify_against_gold("liquid/scalar", &liquid.program, &scalar_mem, &gold_env),
         "liquid scalar vs gold"
     );
+    if let Some(d) = diff_backend(
+        "liquid/scalar",
+        &liquid.program,
+        MachineConfig::scalar_only(),
+        (&scalar_report, &scalar_mem, &scalar_regs),
+    ) {
+        return fail(&name, kind, d);
+    }
 
     // Reduction cells of f32 kernels legitimately differ between scalar
     // and vector order; everything else must be byte-identical.
@@ -228,6 +281,14 @@ pub fn check_legal(spec: &LegalSpec) -> CaseOutcome {
         }
         if let Some(d) = diff_live_outs(&scalar_regs, &t_regs) {
             return fail(&name, kind, format!("translated@{width} vs scalar: {d}"));
+        }
+        if let Some(d) = diff_backend(
+            &format!("liquid/translated@{width}"),
+            &liquid.program,
+            MachineConfig::liquid(width),
+            (&report, &t_mem, &t_regs),
+        ) {
+            return fail(&name, kind, d);
         }
 
         let native = try_or_fail!(build_native(&w, width), "native build");
@@ -287,6 +348,35 @@ fn check_inject_last(program: &Program, gold_env: &liquid_simd::DataEnv) -> Opti
     }
     if let Err(e) = verify_against_gold("inject-last", program, m.memory(), gold_env) {
         return Some(format!("inject-last vs gold: {e}"));
+    }
+
+    // The same injection on the superblock backend: the external abort
+    // lands mid-block, so the backend must fall back to the interpreter's
+    // gold-correct scalar recovery — bit-identically.
+    let mut sb_cfg = MachineConfig::liquid(8).with_backend(liquid_simd::BackendKind::Superblock);
+    sb_cfg.interrupt_at = vec![window.end_retired];
+    let mut sb = Machine::new(program, sb_cfg);
+    let sb_report = match sb.run() {
+        Ok(r) => r,
+        Err(e) => return Some(format!("inject-last superblock run: {e}")),
+    };
+    if !saw_injected_abort(&sb_report) {
+        return Some(format!(
+            "inject-last superblock at retire {} raised no injected abort: {:?}",
+            window.end_retired, sb_report.translator.aborts
+        ));
+    }
+    if sb_report.cycles != report.cycles {
+        return Some(format!(
+            "inject-last: superblock simulated {} cycles, interpreter {}",
+            sb_report.cycles, report.cycles
+        ));
+    }
+    if let Some(d) = diff_memory(m.memory(), sb.memory(), &[]) {
+        return Some(format!("inject-last superblock vs interpreter: {d}"));
+    }
+    if sb.regs().r != m.regs().r {
+        return Some("inject-last superblock vs interpreter: register file differs".to_string());
     }
     None
 }
@@ -357,6 +447,16 @@ pub fn check_illegal(spec: &IllegalSpec) -> CaseOutcome {
                     regs[r], ref_regs[r]
                 ),
             );
+        }
+        // Aborting regions exercise the backend's fallback paths; the
+        // superblock run must still be bit-identical to the interpreter.
+        if let Some(d) = diff_backend(
+            &format!("illegal liquid@{width}"),
+            &program,
+            MachineConfig::liquid(width),
+            (&report, &mem, &regs),
+        ) {
+            return fail(&name, kind, d);
         }
     }
 

@@ -26,7 +26,8 @@ use std::fmt::Write as _;
 
 use liquid_simd_isa::{Program, SUPPORTED_WIDTHS};
 use liquid_simd_sim::{
-    MachineConfig, McacheEntryStats, McacheStats, PhaseBreakdown, SimError, TargetProfile,
+    BackendKind, BlockStats, MachineConfig, McacheEntryStats, McacheStats, PhaseBreakdown,
+    SimError, TargetProfile,
 };
 use liquid_simd_trace::{span, SpanAgg, SpanRecord, TraceRecord, Tracer};
 use liquid_simd_translator::{AbortRecord, RegClass, TranslatorStats};
@@ -42,6 +43,10 @@ pub struct ExplainOptions {
     pub interrupt_every: u64,
     /// Also attempt translation of plain `bl` calls (no `bl.v` marker).
     pub all_calls: bool,
+    /// Execution backend for every run of the sweep. Backends are
+    /// observationally identical, so this changes throughput and the
+    /// `blocks` telemetry, never the verdicts.
+    pub backend: BackendKind,
 }
 
 impl Default for ExplainOptions {
@@ -50,6 +55,7 @@ impl Default for ExplainOptions {
             widths: SUPPORTED_WIDTHS.to_vec(),
             interrupt_every: 0,
             all_calls: false,
+            backend: BackendKind::Interp,
         }
     }
 }
@@ -113,6 +119,11 @@ pub struct ExplainReport {
     /// Aggregate microcode-cache statistics per width, parallel to
     /// `widths` — surfaces evictions and tag-conflict replacements.
     pub mcache: Vec<McacheStats>,
+    /// Execution backend used for the sweep.
+    pub backend: BackendKind,
+    /// Superblock block-cache telemetry per width, parallel to `widths`
+    /// (all zeros under the interpreter backend).
+    pub blocks: Vec<BlockStats>,
     /// Every region that was called, translated, or aborted, by entry PC.
     pub regions: Vec<RegionReport>,
 }
@@ -135,7 +146,7 @@ pub fn explain(
     };
     let mut runs = Vec::new();
     for &w in &widths {
-        let mut cfg = MachineConfig::liquid(w);
+        let mut cfg = MachineConfig::liquid(w).with_backend(opts.backend);
         cfg.interrupt_every = opts.interrupt_every;
         cfg.translation.translate_plain_bl = opts.all_calls;
         runs.push((w, crate::run(program, cfg)?.report));
@@ -194,6 +205,8 @@ pub fn explain(
         widths,
         cycles: runs.iter().map(|(_, r)| r.cycles).collect(),
         mcache: runs.iter().map(|(_, r)| r.mcache).collect(),
+        backend: opts.backend,
+        blocks: runs.iter().map(|(_, r)| r.blocks).collect(),
         regions,
     })
 }
@@ -353,21 +366,33 @@ fn tally_json(tally: &BTreeMap<&'static str, u64>) -> String {
     format!("{{{}}}", parts.join(", "))
 }
 
-/// Renders an [`ExplainReport`] as JSON (schema `liquid-simd-explain-v1`).
+/// Renders an [`ExplainReport`] as JSON (schema `liquid-simd-explain-v2`;
+/// v2 added the execution-backend name and the per-run `blocks`
+/// block-cache counters).
 #[must_use]
 pub fn explain_json(report: &ExplainReport) -> String {
-    let mut j = String::from("{\n  \"schema\": \"liquid-simd-explain-v1\",\n");
+    let mut j = String::from("{\n  \"schema\": \"liquid-simd-explain-v2\",\n");
     let _ = writeln!(j, "  \"program\": \"{}\",", esc(&report.program));
+    let _ = writeln!(j, "  \"backend\": \"{}\",", report.backend);
     let _ = writeln!(j, "  \"widths\": {:?},", report.widths);
     let runs: Vec<String> = report
         .widths
         .iter()
+        .enumerate()
         .zip(report.cycles.iter().zip(&report.mcache))
-        .map(|(w, (c, m))| {
+        .map(|((i, w), (c, m))| {
+            let b = report.blocks.get(i).copied().unwrap_or_default();
+            let blocks = b
+                .metrics()
+                .counters()
+                .iter()
+                .map(|(k, v)| format!("\"{}\": {v}", k.trim_start_matches("blocks.")))
+                .collect::<Vec<_>>()
+                .join(", ");
             format!(
                 "{{\"width\": {w}, \"cycles\": {c}, \"mcache\": {{\"lookups\": {}, \
                  \"hits\": {}, \"pending\": {}, \"inserts\": {}, \"evictions\": {}, \
-                 \"conflicts\": {}}}}}",
+                 \"conflicts\": {}}}, \"blocks\": {{{blocks}}}}}",
                 m.lookups, m.hits, m.pending, m.inserts, m.evictions, m.conflicts
             )
         })
@@ -794,11 +819,40 @@ top:
             assert!(rw.micro_calls > 0);
         }
         let json = explain_json(&report);
-        assert!(json.contains("\"schema\": \"liquid-simd-explain-v1\""));
+        assert!(json.contains("\"schema\": \"liquid-simd-explain-v2\""));
+        assert!(json.contains("\"backend\": \"interp\""));
         assert!(json.contains("\"status\": \"translated\""));
         let human = render_explain(&report);
         assert!(human.contains("region kernel"));
         assert!(human.contains("translated:"));
+    }
+
+    #[test]
+    fn explain_sweeps_identically_under_the_superblock_backend() {
+        let p = asm::assemble(ADD_ONE).unwrap();
+        let base = ExplainOptions {
+            widths: vec![2, 4],
+            ..ExplainOptions::default()
+        };
+        let interp = explain(&p, "add_one", &base).unwrap();
+        let sb = explain(
+            &p,
+            "add_one",
+            &ExplainOptions {
+                backend: liquid_simd_sim::BackendKind::Superblock,
+                ..base
+            },
+        )
+        .unwrap();
+        // The verdict surface is backend-independent…
+        assert_eq!(interp.cycles, sb.cycles);
+        assert_eq!(interp.regions.len(), sb.regions.len());
+        // …but the superblock run carries block-cache telemetry.
+        assert!(interp.blocks.iter().all(|b| *b == BlockStats::default()));
+        assert!(sb.blocks.iter().any(|b| b.lowered > 0));
+        let json = explain_json(&sb);
+        assert!(json.contains("\"backend\": \"superblock\""));
+        assert!(json.contains("\"cache_hits\""));
     }
 
     #[test]

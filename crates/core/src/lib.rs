@@ -59,8 +59,9 @@ pub use liquid_simd_compiler::{
 pub use liquid_simd_isa as isa;
 pub use liquid_simd_mem as mem;
 pub use liquid_simd_sim::{
-    CallEvent, CallMode, LatencyModel, Machine, MachineConfig, RunReport, SimError,
-    TranslationConfig, TranslationWindow,
+    BackendKind, BlockStats, CallEvent, CallMode, ExecBackend, InterpBackend, LatencyModel,
+    Machine, MachineConfig, RunReport, SimError, SuperblockBackend, TranslationConfig,
+    TranslationWindow,
 };
 pub use liquid_simd_trace as trace;
 pub use liquid_simd_trace::{TraceConfig, TraceEvent, Tracer};

@@ -193,6 +193,17 @@ impl Memory {
         let off = self.offset(addr, len as u32, false)?;
         Ok(&self.bytes[off..off + len])
     }
+
+    /// Borrows a raw byte range mutably (bulk store fast paths: callers
+    /// that would otherwise issue `len` adjacent [`Memory::write`]s).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError`] if the range falls outside the window.
+    pub fn slice_mut(&mut self, addr: u32, len: usize) -> Result<&mut [u8], MemError> {
+        let off = self.offset(addr, len as u32, true)?;
+        Ok(&mut self.bytes[off..off + len])
+    }
 }
 
 #[cfg(test)]

@@ -57,6 +57,16 @@ pub fn snapshot(report: &RunReport) -> BTreeMap<String, u64> {
     for (tag, &n) in &t.aborts {
         out.insert(format!("translator.abort.{tag}"), n);
     }
+    // Superblock block-cache telemetry, under the canonical `blocks.*`
+    // names the sim crate defines. Only emitted when the backend actually
+    // did block work, so interpreter records stay byte-compatible with
+    // pre-backend history baselines.
+    let blocks = report.blocks.metrics();
+    if blocks.counters().values().any(|&v| v > 0) {
+        for (name, &v) in blocks.counters() {
+            out.insert(name.clone(), v);
+        }
+    }
     out
 }
 
@@ -103,5 +113,25 @@ mod tests {
         merge(&mut acc, &a);
         assert_eq!(acc["cycles"], 200);
         assert_eq!(acc["translator.abort.cam-miss"], 2);
+        // Interpreter runs (all-zero block stats) emit no blocks.* keys.
+        assert!(!a.keys().any(|k| k.starts_with("blocks.")));
+    }
+
+    #[test]
+    fn superblock_runs_emit_blocks_counters() {
+        let r = RunReport {
+            blocks: liquid_simd_sim::BlockStats {
+                lowered: 3,
+                lowered_instrs: 21,
+                hits: 40,
+                misses: 3,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let c = snapshot(&r);
+        assert_eq!(c["blocks.lowered"], 3);
+        assert_eq!(c["blocks.cache_hits"], 40);
+        assert_eq!(c["blocks.fallback.control"], 0);
     }
 }

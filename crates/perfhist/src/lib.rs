@@ -40,4 +40,4 @@ pub mod store;
 
 pub use json::Json;
 pub use record::{RecordMeta, WorkloadRow, SCHEMA, SERVE_SCHEMA};
-pub use sentinel::{SentinelOptions, Verdict};
+pub use sentinel::{cross_check, SentinelOptions, Verdict};

@@ -56,6 +56,12 @@ pub struct RecordMeta {
     pub smoke: bool,
     /// Widths swept.
     pub widths: Vec<usize>,
+    /// Execution backend name (`"interp"` / `"superblock"`). Backends are
+    /// observationally identical, so this is excluded from `config_hash`;
+    /// the sentinel still pairs baselines per backend because wall-clock
+    /// throughput differs wildly between them. Records written before the
+    /// field existed are read as `"interp"`.
+    pub backend: String,
 }
 
 /// Builds a `perfhist-v1` record. `wall` carries invocation-level
@@ -81,6 +87,7 @@ pub fn build(
             "widths".to_string(),
             Json::Arr(meta.widths.iter().map(|&w| Json::u64(w as u64)).collect()),
         ),
+        ("backend".to_string(), Json::Str(meta.backend.clone())),
     ]);
     let rows = workloads
         .iter()
@@ -202,6 +209,9 @@ pub fn from_bench_snapshot(snapshot: &Json, meta: &RecordMeta) -> Result<Json, S
             .filter_map(|w| w.as_u64().map(|v| v as usize))
             .collect();
     }
+    if let Some(backend) = snapshot.get("backend").and_then(Json::as_str) {
+        meta.backend = backend.to_string();
+    }
     let mut wall = Vec::new();
     if let Some(sweep) = snapshot.get("figure6_sweep").and_then(Json::as_obj) {
         for (k, v) in sweep {
@@ -272,6 +282,7 @@ mod tests {
             config_hash: "deadbeef".to_string(),
             smoke: false,
             widths: vec![2, 8],
+            backend: "interp".to_string(),
         }
     }
 

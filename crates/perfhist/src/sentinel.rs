@@ -127,7 +127,22 @@ fn serve_check(records: &[&Json], have_bench: bool) -> Option<(Json, bool)> {
     Some((verdict, failed))
 }
 
+/// Backend name of a record. The field postdates the history format;
+/// records written before execution backends existed are interpreter
+/// records.
+fn backend_of(r: &Json) -> &str {
+    r.get("backend").and_then(Json::as_str).unwrap_or("interp")
+}
+
 fn comparable(newest: &Json, candidate: &Json) -> bool {
+    // Backends must agree cycle-for-cycle, but their wall-clock throughput
+    // differs by design — pairing across backends would drown the
+    // advisory wall-clock band in backend noise, so baselines are
+    // per-backend (cross-backend equality has its own gate,
+    // [`cross_check`]).
+    if backend_of(newest) != backend_of(candidate) {
+        return false;
+    }
     for key in ["config_hash", "smoke", "widths"] {
         if newest.get(key) != candidate.get(key) {
             return false;
@@ -354,6 +369,121 @@ pub fn check(history: &[Json], opts: &SentinelOptions) -> Verdict {
     }
 }
 
+/// The cross-backend gate (`sentinel --cross-backend`): execution
+/// backends are required to be observationally identical, so the newest
+/// interpreter record and the newest superblock record must agree
+/// *exactly* on every deterministic cycle count. Both records must come
+/// from the same commit and the same config/smoke/width sweep — comparing
+/// across code versions would report version drift as backend drift.
+#[must_use]
+pub fn cross_check(history: &[Json]) -> Verdict {
+    let records: Vec<&Json> = history.iter().filter(|r| is_perfhist(r)).collect();
+    let newest_of = |name: &str| {
+        records
+            .iter()
+            .rev()
+            .find(|r| backend_of(r) == name)
+            .copied()
+    };
+    let mut verdict = Json::Obj(vec![(
+        "schema".to_string(),
+        Json::Str("sentinel-cross-v1".to_string()),
+    )]);
+    let (Some(interp), Some(superblock)) = (newest_of("interp"), newest_of("superblock")) else {
+        // The gate needs one record from each backend; a missing side must
+        // fail loudly (a green job here would mean the equality gate
+        // silently turned itself off).
+        verdict.set("status", Json::Str("no-pair".to_string()));
+        return Verdict {
+            json: verdict,
+            failed: true,
+        };
+    };
+    for (side, r) in [("interp", interp), ("superblock", superblock)] {
+        verdict.set(
+            &format!("{side}_commit"),
+            Json::Str(
+                r.get("commit")
+                    .and_then(Json::as_str)
+                    .unwrap_or("?")
+                    .to_string(),
+            ),
+        );
+    }
+    let mismatched: Vec<&str> = ["commit", "config_hash", "smoke", "widths"]
+        .into_iter()
+        .filter(|key| interp.get(key) != superblock.get(key))
+        .collect();
+    if !mismatched.is_empty() {
+        verdict.set("status", Json::Str("incomparable".to_string()));
+        verdict.set(
+            "mismatched",
+            Json::Arr(
+                mismatched
+                    .iter()
+                    .map(|k| Json::Str((*k).to_string()))
+                    .collect(),
+            ),
+        );
+        return Verdict {
+            json: verdict,
+            failed: true,
+        };
+    }
+
+    let mut drift: Vec<Json> = Vec::new();
+    let mut checked = 0u64;
+    for row in workload_rows(superblock) {
+        let Some(name) = row.get("name").and_then(Json::as_str) else {
+            continue;
+        };
+        let Some(base_row) = row_named(interp, name) else {
+            drift.push(Json::Obj(vec![
+                ("workload".to_string(), Json::Str(name.to_string())),
+                (
+                    "metric".to_string(),
+                    Json::Str("missing-in-interp".to_string()),
+                ),
+            ]));
+            continue;
+        };
+        checked += 1;
+        for metric in ["sim_cycles", "baseline_cycles"] {
+            let a = base_row.get(metric).and_then(Json::as_u64);
+            let b = row.get(metric).and_then(Json::as_u64);
+            if a != b {
+                drift.push(Json::Obj(vec![
+                    ("workload".to_string(), Json::Str(name.to_string())),
+                    ("metric".to_string(), Json::Str(metric.to_string())),
+                    ("interp".to_string(), Json::u64(a.unwrap_or(0))),
+                    ("superblock".to_string(), Json::u64(b.unwrap_or(0))),
+                ]));
+            }
+        }
+        if base_row.get("cycles_by_width") != row.get("cycles_by_width") {
+            drift.push(Json::Obj(vec![
+                ("workload".to_string(), Json::Str(name.to_string())),
+                (
+                    "metric".to_string(),
+                    Json::Str("cycles_by_width".to_string()),
+                ),
+            ]));
+        }
+    }
+    // Zero overlapping workloads means nothing was actually gated.
+    let failed = !drift.is_empty() || checked == 0;
+    verdict.set(
+        "status",
+        Json::Str(if failed { "fail" } else { "pass" }.to_string()),
+    );
+    verdict.set("workloads_checked", Json::u64(checked));
+    verdict.set("cycle_drift", Json::Arr(drift));
+    Verdict {
+        json: verdict,
+        failed,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -566,6 +696,87 @@ mod tests {
                 .is_some_and(<[Json]>::is_empty),
             "bench side itself was clean"
         );
+    }
+
+    fn backend_record(commit: &str, backend: &str, cycles: u64) -> Json {
+        let mut r = record(commit, cycles, 100.0);
+        r.set("backend", Json::Str(backend.to_string()));
+        r
+    }
+
+    #[test]
+    fn baselines_pair_only_within_a_backend() {
+        // A superblock record between two interp records must not become
+        // the interp baseline (and vice versa), even with equal cycles.
+        let h = vec![
+            record("a", 250, 100.0), // legacy record: implicitly interp
+            backend_record("b", "superblock", 999),
+            backend_record("c", "interp", 250),
+        ];
+        let v = check(&h, &SentinelOptions::default());
+        assert!(!v.failed, "{}", v.json.write());
+        assert_eq!(
+            v.json.get("baseline_commit").and_then(Json::as_str),
+            Some("a"),
+            "legacy records count as interp"
+        );
+
+        // Newest is superblock: only the superblock record can gate it,
+        // and there is none older → no-baseline.
+        let h = vec![
+            record("a", 250, 100.0),
+            backend_record("b", "superblock", 250),
+        ];
+        let v = check(&h, &SentinelOptions::default());
+        assert!(v.failed);
+        assert_eq!(
+            v.json.get("status").and_then(Json::as_str),
+            Some("no-baseline")
+        );
+    }
+
+    #[test]
+    fn cross_check_gates_backend_equality() {
+        // Equal cycles on the same commit: pass.
+        let h = vec![
+            backend_record("c1", "interp", 250),
+            backend_record("c1", "superblock", 250),
+        ];
+        let v = cross_check(&h);
+        assert!(!v.failed, "{}", v.json.write());
+        assert_eq!(v.json.get("status").and_then(Json::as_str), Some("pass"));
+        assert_eq!(
+            v.json.get("workloads_checked").and_then(Json::as_u64),
+            Some(1)
+        );
+
+        // Any cycle difference between the backends fails.
+        let h = vec![
+            backend_record("c1", "interp", 250),
+            backend_record("c1", "superblock", 251),
+        ];
+        let v = cross_check(&h);
+        assert!(v.failed);
+        let drift = v.json.get("cycle_drift").and_then(Json::as_arr).unwrap();
+        assert!(!drift.is_empty());
+
+        // Records from different commits are incomparable, not "equal".
+        let h = vec![
+            backend_record("c1", "interp", 250),
+            backend_record("c2", "superblock", 250),
+        ];
+        let v = cross_check(&h);
+        assert!(v.failed);
+        assert_eq!(
+            v.json.get("status").and_then(Json::as_str),
+            Some("incomparable")
+        );
+
+        // A missing side fails loudly.
+        let h = vec![backend_record("c1", "interp", 250)];
+        let v = cross_check(&h);
+        assert!(v.failed);
+        assert_eq!(v.json.get("status").and_then(Json::as_str), Some("no-pair"));
     }
 
     #[test]

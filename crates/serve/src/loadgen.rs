@@ -40,6 +40,8 @@ pub struct LoadOptions {
     pub history: Option<PathBuf>,
     /// Template-selection seed (same seed ⇒ same request mix).
     pub seed: u64,
+    /// Execution backend the daemon under test simulates with.
+    pub backend: liquid_simd::BackendKind,
 }
 
 impl Default for LoadOptions {
@@ -52,6 +54,7 @@ impl Default for LoadOptions {
             min_hit_rate: 0.9,
             history: None,
             seed: 0xC0FFEE,
+            backend: liquid_simd::BackendKind::Interp,
         }
     }
 }
@@ -172,6 +175,7 @@ fn one_pass(
         shards,
         history: opts.history.clone(),
         history_every: 0,
+        backend: opts.backend,
     })?;
     let addr = handle.addr;
     let sessions = liquid_simd::run_tasks(opts.clients, opts.clients, |c| {

@@ -9,7 +9,7 @@
 //! serve workers call [`execute`], which calls the same functions. The
 //! identity holds by construction.
 
-use liquid_simd::{Machine, MachineConfig, RunReport, SimError};
+use liquid_simd::{BackendKind, Machine, MachineConfig, RunReport, SimError};
 use liquid_simd_isa::{asm, Program};
 use liquid_simd_perfhist::Json;
 
@@ -102,7 +102,21 @@ pub fn run_summary(report: &RunReport) -> String {
 ///
 /// Propagates the simulation fault, if any.
 pub fn translate_text(program: &Program, lanes: usize) -> Result<(String, RunReport), SimError> {
-    let mut machine = Machine::new(program, MachineConfig::liquid(lanes));
+    translate_text_with(program, lanes, BackendKind::Interp)
+}
+
+/// [`translate_text`] on a chosen execution backend (identical output by
+/// the backend contract; only throughput differs).
+///
+/// # Errors
+///
+/// Propagates the simulation fault, if any.
+pub fn translate_text_with(
+    program: &Program,
+    lanes: usize,
+    backend: BackendKind,
+) -> Result<(String, RunReport), SimError> {
+    let mut machine = Machine::new(program, MachineConfig::liquid(lanes).with_backend(backend));
     let report = machine.run()?;
     let micro = machine.microcode_snapshot();
     let mut out = String::new();
@@ -168,8 +182,24 @@ fn sim_error_output(op: Op, budget: Option<u64>, e: &SimError) -> OpOutput {
 /// (the canonical workload name, or the inline program's `name` field).
 #[must_use]
 pub fn execute(req: &Request, program: &Program, display_name: &str) -> OpOutput {
+    execute_with_backend(req, program, display_name, BackendKind::Interp)
+}
+
+/// [`execute`] on a chosen execution backend — the daemon-wide setting
+/// (`serve --backend`). Simulation results are identical across backends
+/// (the backend contract), so `run`/`translate` responses are
+/// byte-identical too; `explain --json` responses name the backend and
+/// carry its block-cache telemetry, so they are identical only between
+/// daemons running the same backend.
+#[must_use]
+pub fn execute_with_backend(
+    req: &Request,
+    program: &Program,
+    display_name: &str,
+    backend: BackendKind,
+) -> OpOutput {
     match req.op {
-        Op::Translate => match translate_text(program, req.lanes) {
+        Op::Translate => match translate_text_with(program, req.lanes, backend) {
             Ok((text, report)) => OpOutput {
                 body: proto::ok_body(
                     Op::Translate,
@@ -193,7 +223,7 @@ pub fn execute(req: &Request, program: &Program, display_name: &str) -> OpOutput
             Err(e) => sim_error_output(Op::Translate, req.budget_cycles, &e),
         },
         Op::Run => {
-            let mut cfg = machine_config(req.mode, req.lanes, req.jit);
+            let mut cfg = machine_config(req.mode, req.lanes, req.jit).with_backend(backend);
             if let Some(b) = req.budget_cycles {
                 cfg.max_cycles = cfg.max_cycles.min(b);
             }
@@ -239,6 +269,7 @@ pub fn execute(req: &Request, program: &Program, display_name: &str) -> OpOutput
                 widths: req.widths.clone(),
                 interrupt_every: 0,
                 all_calls: false,
+                backend,
             };
             match liquid_simd::explain(program, display_name, &opts) {
                 Ok(report) => {
@@ -409,6 +440,7 @@ mod tests {
             widths: vec![2, 8],
             interrupt_every: 0,
             all_calls: false,
+            backend: Default::default(),
         };
         let direct = liquid_simd::diagnose::explain_json(
             &liquid_simd::explain(&program, &name, &opts).unwrap(),

@@ -55,6 +55,10 @@ pub struct ServeOptions {
     /// Flush a batch record every this many requests (`0` = only the
     /// final flush at shutdown).
     pub history_every: usize,
+    /// Execution backend every shard simulates with (`serve --backend`).
+    /// Simulation results are backend-independent, so this only changes
+    /// daemon throughput (and the backend tag in `explain` output).
+    pub backend: liquid_simd::BackendKind,
 }
 
 impl Default for ServeOptions {
@@ -64,6 +68,7 @@ impl Default for ServeOptions {
             shards: 4,
             history: None,
             history_every: 0,
+            backend: liquid_simd::BackendKind::Interp,
         }
     }
 }
@@ -392,7 +397,12 @@ fn answer(job: &Job, state: &State) -> Arc<CacheEntry> {
     state.cache.get_or_compute(&job.key, || {
         let computed = catch_unwind(AssertUnwindSafe(|| match &job.program {
             Some(entry) => {
-                let output = ops::execute(&job.req, &entry.program, &entry.name);
+                let output = ops::execute_with_backend(
+                    &job.req,
+                    &entry.program,
+                    &entry.name,
+                    state.opts.backend,
+                );
                 // Retain the translated microcode alongside the rendered
                 // response: this entry *is* the service's microcode cache
                 // line, preloadable by a future execution layer.
@@ -409,11 +419,12 @@ fn answer(job: &Job, state: &State) -> Arc<CacheEntry> {
             // Conform carries no program; execute() never reads the
             // placeholder.
             None => CacheEntry {
-                output: ops::execute(
+                output: ops::execute_with_backend(
                     &job.req,
                     &ops::assemble_inline(".text\nmain:\n    halt\n")
                         .expect("placeholder program assembles"),
                     "<none>",
+                    state.opts.backend,
                 ),
                 microcode: Vec::new(),
             },

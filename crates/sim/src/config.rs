@@ -76,11 +76,56 @@ impl Default for TranslationConfig {
     }
 }
 
+/// Which execution engine drives the machine's fetch/issue/exec/retire
+/// loop. Backends are *implementation strategies*, not architecture: every
+/// backend must produce bit-identical architectural state, reports, and
+/// cycle counts (the conformance oracle and the perf sentinel's
+/// cross-backend gate both enforce this).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum BackendKind {
+    /// The reference interpreter: one `Machine::step` per instruction.
+    #[default]
+    Interp,
+    /// The superblock engine: straight-line instruction runs are pre-lowered
+    /// once into threaded-code blocks and replayed from a block cache.
+    Superblock,
+}
+
+impl BackendKind {
+    /// Stable lowercase name (CLI flag values, perfhist record field).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            BackendKind::Interp => "interp",
+            BackendKind::Superblock => "superblock",
+        }
+    }
+
+    /// Parses a CLI flag value.
+    #[must_use]
+    pub fn parse(s: &str) -> Option<BackendKind> {
+        match s {
+            "interp" | "interpreter" => Some(BackendKind::Interp),
+            "superblock" | "sb" => Some(BackendKind::Superblock),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for BackendKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
 /// Full machine configuration.
 ///
 /// Equality compares the architectural parameters only; the attached
 /// [`MachineConfig::tracer`] is an observer and never affects behaviour,
-/// so two configs that differ only in tracing compare equal.
+/// so two configs that differ only in tracing compare equal. The same goes
+/// for [`MachineConfig::backend`]: it selects an execution strategy that is
+/// required to be observationally identical, so it participates in neither
+/// equality nor [`MachineConfig::fingerprint`].
 #[derive(Clone, Debug)]
 pub struct MachineConfig {
     /// SIMD accelerator width in lanes; `0` means no accelerator (vector
@@ -115,6 +160,9 @@ pub struct MachineConfig {
     /// (the default) costs one branch per emit site and changes no
     /// simulated timing.
     pub tracer: Option<Tracer>,
+    /// Execution engine. Like the tracer, this is excluded from equality
+    /// and the fingerprint: backends must be observationally identical.
+    pub backend: BackendKind,
 }
 
 impl PartialEq for MachineConfig {
@@ -148,6 +196,7 @@ impl Default for MachineConfig {
             interrupt_every: 0,
             interrupt_at: Vec::new(),
             tracer: None,
+            backend: BackendKind::default(),
         }
     }
 }
@@ -196,6 +245,13 @@ impl MachineConfig {
     #[must_use]
     pub fn with_tracer(mut self, tracer: Tracer) -> MachineConfig {
         self.tracer = Some(tracer);
+        self
+    }
+
+    /// Selects the execution backend (builder style).
+    #[must_use]
+    pub fn with_backend(mut self, backend: BackendKind) -> MachineConfig {
+        self.backend = backend;
         self
     }
 
@@ -278,5 +334,17 @@ mod tests {
         let mut d = MachineConfig::liquid(8);
         d.translation.cycles_per_instr = 2;
         assert_ne!(a.fingerprint(), d.fingerprint());
+    }
+
+    #[test]
+    fn backend_is_observer_like_not_architectural() {
+        let a = MachineConfig::liquid(8);
+        let b = MachineConfig::liquid(8).with_backend(BackendKind::Superblock);
+        assert_eq!(a, b);
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        assert_eq!(BackendKind::parse("interp"), Some(BackendKind::Interp));
+        assert_eq!(BackendKind::parse("sb"), Some(BackendKind::Superblock));
+        assert_eq!(BackendKind::parse("jet"), None);
+        assert_eq!(BackendKind::Superblock.name(), "superblock");
     }
 }

@@ -105,7 +105,12 @@ fn base_addr(base: Base, regs: &RegFile, prog: &Program, pc: u32) -> Result<u32,
 // (`AluOp::eval`, `FpOp::eval`, `VAluOp::eval_lane`, `RedOp::eval_*`), so
 // the simulator and the compiler's gold evaluator cannot drift apart.
 
-fn load_extend(mem: &Memory, addr: u32, width: u32, signed: bool) -> Result<(u32, i64), SimError> {
+pub(crate) fn load_extend(
+    mem: &Memory,
+    addr: u32,
+    width: u32,
+    signed: bool,
+) -> Result<(u32, i64), SimError> {
     if signed || width == 4 {
         let v = mem.read_signed(addr, width)?;
         Ok((v as u32, i64::from(v)))

@@ -49,6 +49,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod backend;
+mod block;
 mod config;
 mod exec;
 mod machine;
@@ -57,11 +59,12 @@ pub mod meta;
 mod regfile;
 mod report;
 
-pub use config::{LatencyModel, MachineConfig, TranslationConfig};
+pub use backend::{ExecBackend, InterpBackend, SuperblockBackend};
+pub use config::{BackendKind, LatencyModel, MachineConfig, TranslationConfig};
 pub use exec::SimError;
 pub use machine::Machine;
 pub use mcache::{Mcache, McacheEntryStats, McacheStats};
 pub use meta::{InstMeta, RegRef};
 pub use report::{
-    CallEvent, CallMode, PhaseBreakdown, RunReport, TargetProfile, TranslationWindow,
+    BlockStats, CallEvent, CallMode, PhaseBreakdown, RunReport, TargetProfile, TranslationWindow,
 };

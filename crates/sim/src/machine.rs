@@ -8,7 +8,8 @@ use liquid_simd_mem::{Cache, Memory};
 use liquid_simd_trace::{CacheKind, CallMode as TraceCallMode, SpanId, TraceEvent, Tracer, Track};
 use liquid_simd_translator::{Progress, Retired, Translator, TranslatorConfig};
 
-use crate::config::MachineConfig;
+use crate::backend::{ExecBackend, InterpBackend, SuperblockBackend};
+use crate::config::{BackendKind, MachineConfig};
 use crate::exec::{exec, Control, SimError};
 use crate::mcache::{Lookup, Mcache};
 use crate::meta::{meta_of_code, InstMeta, RegRef};
@@ -17,7 +18,7 @@ use crate::report::{CallEvent, CallMode, RunReport, TranslationWindow};
 
 /// Instruction source: the program binary or a microcode-cache entry.
 #[derive(Clone, Copy, Debug)]
-enum Stream {
+pub(crate) enum Stream {
     Prog {
         pc: u32,
     },
@@ -36,17 +37,17 @@ enum Stream {
 /// After the run, [`Machine::memory`] exposes final memory for gold-output
 /// comparison.
 pub struct Machine<'p> {
-    prog: &'p Program,
+    pub(crate) prog: &'p Program,
     /// Predecoded static metadata for `prog.code`, indexed by PC — the
     /// step-loop fast path (see `crate::meta`).
-    prog_meta: Vec<InstMeta>,
-    config: MachineConfig,
-    regs: RegFile,
-    mem: Memory,
-    icache: Cache,
-    dcache: Cache,
-    mcache: Mcache,
-    translator: Translator,
+    pub(crate) prog_meta: Vec<InstMeta>,
+    pub(crate) config: MachineConfig,
+    pub(crate) regs: RegFile,
+    pub(crate) mem: Memory,
+    pub(crate) icache: Cache,
+    pub(crate) dcache: Cache,
+    pub(crate) mcache: Mcache,
+    pub(crate) translator: Translator,
     /// Entry PC of the function currently being translated, if any.
     translating: Option<u32>,
     /// Index into `report.windows` of the open translation window, if any.
@@ -54,16 +55,16 @@ pub struct Machine<'p> {
     /// Functions that aborted translation for a permanent (non-external)
     /// reason; retrying them every call would only waste the translator.
     failed: HashSet<u32>,
-    cycle: u64,
-    ready_r: [u64; 16],
-    ready_f: [u64; 16],
-    ready_v: [u64; 16],
-    ready_flags: u64,
-    stream: Stream,
-    report: RunReport,
+    pub(crate) cycle: u64,
+    pub(crate) ready_r: [u64; 16],
+    pub(crate) ready_f: [u64; 16],
+    pub(crate) ready_v: [u64; 16],
+    pub(crate) ready_flags: u64,
+    pub(crate) stream: Stream,
+    pub(crate) report: RunReport,
     /// Optional event recorder (cloned from the config; the same handle is
     /// attached to the caches and the translator).
-    tracer: Option<Tracer>,
+    pub(crate) tracer: Option<Tracer>,
     /// Scalar calls in flight: `(entry pc, call cycle)`, for `CallExit`
     /// events and per-target cycle attribution.
     scalar_stack: Vec<(u32, u64)>,
@@ -187,21 +188,31 @@ impl<'p> Machine<'p> {
         &self.regs
     }
 
-    /// Runs until `halt`, producing the measurement report.
+    /// Runs until `halt`, producing the measurement report. The execution
+    /// engine is selected by [`MachineConfig::backend`]; all backends are
+    /// observationally identical.
     ///
     /// # Errors
     ///
     /// Returns [`SimError`] on memory faults, wild control flow, or when the
     /// configured cycle limit is exceeded.
     pub fn run(&mut self) -> Result<RunReport, SimError> {
+        match self.config.backend {
+            BackendKind::Interp => self.run_with(&mut InterpBackend),
+            BackendKind::Superblock => self.run_with(&mut SuperblockBackend::new()),
+        }
+    }
+
+    /// Runs to `halt` under an explicit execution backend. The report's
+    /// `backend` field is stamped from the config, so callers driving a
+    /// hand-built backend should keep the config consistent.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError`] exactly as [`Machine::run`] does.
+    pub fn run_with(&mut self, backend: &mut dyn ExecBackend) -> Result<RunReport, SimError> {
         loop {
-            if self.cycle > self.config.max_cycles {
-                return Err(SimError::Fault {
-                    pc: self.current_pc(),
-                    what: format!("cycle limit {} exceeded", self.config.max_cycles),
-                });
-            }
-            if self.step()? {
+            if backend.dispatch(self)? {
                 break;
             }
         }
@@ -224,10 +235,12 @@ impl<'p> Machine<'p> {
         report.mcache = self.mcache.stats();
         report.mcache_entries = self.mcache.entry_stats().clone();
         report.halted = true;
+        report.backend = self.config.backend;
+        report.blocks = backend.block_stats();
         Ok(report)
     }
 
-    fn current_pc(&self) -> u32 {
+    pub(crate) fn current_pc(&self) -> u32 {
         match self.stream {
             Stream::Prog { pc } => pc,
             Stream::Micro { pos, .. } => pos,
@@ -244,7 +257,7 @@ impl<'p> Machine<'p> {
     /// start-of-step stamp would have produced (machine time only advances
     /// at retire).
     #[allow(clippy::too_many_lines)]
-    fn step(&mut self) -> Result<bool, SimError> {
+    pub(crate) fn step(&mut self) -> Result<bool, SimError> {
         // ---- fetch -------------------------------------------------------
         let (inst, meta, pc, in_micro) = match self.stream {
             Stream::Prog { pc } => {
@@ -534,7 +547,7 @@ impl<'p> Machine<'p> {
         }
     }
 
-    fn advance(&mut self, next: u32) {
+    pub(crate) fn advance(&mut self, next: u32) {
         match &mut self.stream {
             Stream::Prog { pc } => *pc = next,
             Stream::Micro { pos, .. } => *pos = next,

@@ -64,6 +64,11 @@ struct Entry {
     meta: Vec<InstMeta>,
     valid_at: u64,
     last_use: u64,
+    /// Monotonic code generation: bumped on every insert, including
+    /// in-place overwrites, so anything derived from this entry's code
+    /// (lowered superblocks) can detect that the code changed underneath
+    /// it. Two entries never share a generation.
+    gen: u64,
 }
 
 /// Result of a microcode-cache lookup.
@@ -86,6 +91,13 @@ pub struct Mcache {
     tick: u64,
     stats: McacheStats,
     per_entry: BTreeMap<u32, McacheEntryStats>,
+    /// Generation source for [`Entry::gen`].
+    next_gen: u64,
+    /// Invalidation epoch: bumped whenever resident code changes or
+    /// disappears (insert, overwrite, eviction, flush). Derived structures
+    /// (the superblock backend's block cache) compare this against the
+    /// epoch they last synchronised at and re-validate on any change.
+    epoch: u64,
 }
 
 impl Mcache {
@@ -100,7 +112,36 @@ impl Mcache {
             tick: 0,
             stats: McacheStats::default(),
             per_entry: BTreeMap::new(),
+            next_gen: 0,
+            epoch: 0,
         }
+    }
+
+    /// The invalidation epoch: changes exactly when resident code changes
+    /// (insert, in-place overwrite, eviction, or flush). Lookups never move
+    /// it.
+    #[must_use]
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The code generation of entry `idx` (from [`Lookup::Hit`]). Each
+    /// insert — including an in-place overwrite of the same function —
+    /// gets a fresh generation, so `(func_pc, gen)` uniquely names one
+    /// immutable code image for the cache's whole lifetime.
+    #[must_use]
+    pub fn gen(&self, idx: usize) -> u64 {
+        self.entries[idx].gen
+    }
+
+    /// The generation of the resident entry for `func_pc`, if any — the
+    /// revalidation probe for derived structures (no LRU tick, no stats).
+    #[must_use]
+    pub fn resident_gen(&self, func_pc: u32) -> Option<u64> {
+        self.entries
+            .iter()
+            .find(|e| e.func_pc == func_pc)
+            .map(|e| e.gen)
     }
 
     /// Accumulated statistics.
@@ -188,6 +229,9 @@ impl Mcache {
         assert_eq!(code.len(), meta.len(), "metadata must be parallel to code");
         self.tick += 1;
         self.stats.inserts += 1;
+        self.epoch += 1;
+        self.next_gen += 1;
+        let gen = self.next_gen;
         {
             let es = self.per_entry.entry(func_pc).or_default();
             es.inserts += 1;
@@ -200,6 +244,7 @@ impl Mcache {
             e.meta = meta;
             e.valid_at = valid_at;
             e.last_use = self.tick;
+            e.gen = gen;
             return None;
         }
         let mut evicted = None;
@@ -224,6 +269,7 @@ impl Mcache {
             meta,
             valid_at,
             last_use: self.tick,
+            gen,
         });
         evicted
     }
@@ -245,6 +291,9 @@ impl Mcache {
     pub fn flush(&mut self) -> usize {
         let n = self.entries.len();
         self.entries.clear();
+        if n > 0 {
+            self.epoch += 1;
+        }
         n
     }
 
@@ -330,6 +379,42 @@ mod tests {
     fn oversized_microcode_panics() {
         let mut mc = Mcache::new(1, 4);
         insert(&mut mc, 1, code(5), 0);
+    }
+
+    #[test]
+    fn generations_and_epoch_track_every_code_change() {
+        let mut mc = Mcache::new(2, 64);
+        assert_eq!(mc.epoch(), 0);
+        insert(&mut mc, 1, code(1), 0);
+        let e1 = mc.epoch();
+        assert!(e1 > 0);
+        let g1 = mc.resident_gen(1).unwrap();
+        // In-place overwrite must change the generation AND the epoch.
+        insert(&mut mc, 1, code(2), 0);
+        let g2 = mc.resident_gen(1).unwrap();
+        assert_ne!(g1, g2);
+        assert!(mc.epoch() > e1);
+        // A lookup moves neither.
+        let before = mc.epoch();
+        let Lookup::Hit(idx) = mc.lookup(1, 10) else {
+            panic!("expected hit")
+        };
+        assert_eq!(mc.epoch(), before);
+        assert_eq!(mc.gen(idx), g2);
+        // Eviction bumps the epoch and clears the victim's residency.
+        // Inserts tick the LRU clock too, so 1 (last touched by the lookup
+        // above, before 2's insert) is the LRU victim.
+        insert(&mut mc, 2, code(1), 0);
+        insert(&mut mc, 3, code(1), 0); // capacity 2: evicts LRU (1)
+        assert!(mc.epoch() > before);
+        assert_eq!(mc.resident_gen(1), None);
+        // Distinct entries never share a generation.
+        assert_ne!(mc.resident_gen(2), mc.resident_gen(3));
+        // Flush bumps the epoch once more.
+        let before = mc.epoch();
+        mc.flush();
+        assert!(mc.epoch() > before);
+        assert_eq!(mc.resident_gen(2), None);
     }
 
     #[test]

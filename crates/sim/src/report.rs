@@ -5,7 +5,88 @@ use std::collections::BTreeMap;
 use liquid_simd_mem::CacheStats;
 use liquid_simd_translator::TranslatorStats;
 
+use crate::config::BackendKind;
 use crate::mcache::{McacheEntryStats, McacheStats};
+
+/// Superblock-backend telemetry: what the block cache did and when the
+/// backend had to fall back to single-step interpretation. All zeros under
+/// the interpreter backend.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct BlockStats {
+    /// Blocks lowered (one per block-cache miss).
+    pub lowered: u64,
+    /// Total instructions across all lowered blocks (so
+    /// `lowered_instrs / lowered` is the average block length).
+    pub lowered_instrs: u64,
+    /// Dispatches that reused an already-lowered block.
+    pub hits: u64,
+    /// Dispatches that had to lower a block first.
+    pub misses: u64,
+    /// Lowered blocks dropped because the microcode they were derived from
+    /// was evicted, overwritten, or flushed in the microcode cache.
+    pub invalidations: u64,
+    /// Instructions retired through lowered blocks (the rest went through
+    /// the interpreter: block terminators and fallback steps).
+    pub block_instrs: u64,
+    /// Fallback steps: a tracer is attached (trace-exact event streams
+    /// require the interpreter's per-step stamping).
+    pub fallback_tracer: u64,
+    /// Fallback steps: the translator had an open window (its
+    /// post-retirement tap observes every program-stream retire).
+    pub fallback_translator: u64,
+    /// Fallback steps: interrupt injection is configured (`interrupt_every`
+    /// / `interrupt_at` fire on exact retire indices).
+    pub fallback_interrupts: u64,
+    /// Fallback steps: the next instruction is control flow (branch, call,
+    /// return, halt) — always executed by the interpreter.
+    pub fallback_control: u64,
+}
+
+impl BlockStats {
+    /// Total single-step fallbacks, all reasons.
+    #[must_use]
+    pub fn fallbacks(&self) -> u64 {
+        self.fallback_tracer
+            + self.fallback_translator
+            + self.fallback_interrupts
+            + self.fallback_control
+    }
+
+    /// Average lowered-block length in instructions (0 if none).
+    #[must_use]
+    pub fn avg_block_len(&self) -> f64 {
+        if self.lowered == 0 {
+            0.0
+        } else {
+            self.lowered_instrs as f64 / self.lowered as f64
+        }
+    }
+
+    /// Records the counters into a trace-metrics registry under dotted
+    /// `blocks.*` names — the canonical spelling every observability
+    /// surface shares (perfhist counters, `explain --json`, the dashboard
+    /// delta table).
+    pub fn record_metrics(&self, m: &mut liquid_simd_trace::Metrics) {
+        m.add("blocks.lowered", self.lowered);
+        m.add("blocks.lowered_instrs", self.lowered_instrs);
+        m.add("blocks.cache_hits", self.hits);
+        m.add("blocks.cache_misses", self.misses);
+        m.add("blocks.invalidations", self.invalidations);
+        m.add("blocks.instrs", self.block_instrs);
+        m.add("blocks.fallback.tracer", self.fallback_tracer);
+        m.add("blocks.fallback.translator", self.fallback_translator);
+        m.add("blocks.fallback.interrupts", self.fallback_interrupts);
+        m.add("blocks.fallback.control", self.fallback_control);
+    }
+
+    /// The `blocks.*` counters as a fresh registry (see [`Self::record_metrics`]).
+    #[must_use]
+    pub fn metrics(&self) -> liquid_simd_trace::Metrics {
+        let mut m = liquid_simd_trace::Metrics::new();
+        self.record_metrics(&mut m);
+        m
+    }
+}
 
 /// How a call to an outlined function was serviced.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -132,6 +213,12 @@ pub struct RunReport {
     pub windows: Vec<TranslationWindow>,
     /// Whether the program reached `halt`.
     pub halted: bool,
+    /// Which execution backend produced this report. Backends are required
+    /// to be observationally identical; everything else in the report is
+    /// backend-independent.
+    pub backend: BackendKind,
+    /// Superblock-backend telemetry (all zeros under the interpreter).
+    pub blocks: BlockStats,
 }
 
 impl RunReport {
@@ -177,6 +264,30 @@ impl RunReport {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn block_stats_metrics_use_stable_dotted_names() {
+        let b = BlockStats {
+            lowered: 2,
+            lowered_instrs: 10,
+            hits: 7,
+            misses: 2,
+            invalidations: 1,
+            block_instrs: 80,
+            fallback_tracer: 0,
+            fallback_translator: 3,
+            fallback_interrupts: 0,
+            fallback_control: 11,
+        };
+        let m = b.metrics();
+        assert_eq!(m.counter("blocks.lowered"), 2);
+        assert_eq!(m.counter("blocks.cache_hits"), 7);
+        assert_eq!(m.counter("blocks.invalidations"), 1);
+        assert_eq!(m.counter("blocks.fallback.control"), 11);
+        assert_eq!(m.with_prefix("blocks.").len(), 10);
+        assert!((b.avg_block_len() - 5.0).abs() < 1e-12);
+        assert_eq!(b.fallbacks(), 14);
+    }
 
     #[test]
     fn call_gap_and_fraction() {

@@ -107,6 +107,83 @@ fn single_rep_abort_leaves_the_cache_empty() {
 }
 
 #[test]
+fn superblock_blocks_are_invalidated_by_evictions_under_tag_pressure() {
+    // The superblock hygiene case: `f0` runs hot (its microcode gets
+    // lowered into blocks), a sweep of eight other functions then evicts
+    // `f0`'s entry under genuine tag pressure (nine entries, the paper's
+    // 8-entry geometry), and `f0` retranslates on its next call. The
+    // eviction and the overwrite each bump the mcache epoch, which must
+    // drop every lowered block keyed on the dead generations — a stale
+    // block would replay the evicted microcode. The whole run is diffed
+    // byte-for-byte against the interpreter.
+    use liquid_simd_repro::facade::BackendKind;
+    use liquid_simd_repro::isa::asm;
+
+    let mut data = String::from(".data\n");
+    let mut text = String::from(
+        ".text\nmain:\n    mov r5, #0\nphase1:\n    bl.v f0\n    add r5, r5, #1\n\
+         \x20   cmp r5, #6\n    blt phase1\n",
+    );
+    for i in 1..9 {
+        text.push_str(&format!("    bl.v f{i}\n"));
+    }
+    text.push_str(
+        "    mov r5, #0\nphase3:\n    bl.v f0\n    add r5, r5, #1\n    cmp r5, #4\n\
+         \x20   blt phase3\n    halt\n",
+    );
+    for i in 0..9 {
+        let vals: Vec<String> = (0..16).map(|x| (x * 5 + i * 7).to_string()).collect();
+        data.push_str(&format!(
+            ".i32 A{i}: {}\n.zero B{i}: 16 x 4\n",
+            vals.join(", ")
+        ));
+        text.push_str(&format!(
+            "\nf{i}:\n    mov r0, #0\nt{i}:\n    ldw r2, [A{i} + r0]\n    add r2, r2, #{}\n\
+             \x20   stw [B{i} + r0], r2\n    add r0, r0, #1\n    cmp r0, #16\n    blt t{i}\n    ret\n",
+            i + 1
+        ));
+    }
+    let program = asm::assemble(&format!("{data}\n{text}")).expect("assembles");
+
+    let mut interp = Machine::new(&program, MachineConfig::liquid(8));
+    let interp_report = interp.run().expect("interp run");
+    let mut sb = Machine::new(
+        &program,
+        MachineConfig::liquid(8).with_backend(BackendKind::Superblock),
+    );
+    let sb_report = sb.run().expect("superblock run");
+
+    // The story happened, identically on both backends: nine functions
+    // translated, f0 evicted by the sweep and translated a second time.
+    assert_eq!(interp_report.translator.successes, 10, "9 + f0's retry");
+    assert!(interp_report.mcache.evictions > 0, "no tag pressure");
+    assert_eq!(interp_report.mcache, sb_report.mcache);
+    assert_eq!(
+        interp_report.translator.successes,
+        sb_report.translator.successes
+    );
+
+    // The hygiene contract: f0's microcode ran hot enough to be lowered,
+    // and the eviction dropped those blocks instead of replaying them.
+    assert!(sb_report.blocks.lowered > 0, "nothing was lowered");
+    assert!(
+        sb_report.blocks.invalidations > 0,
+        "evictions must invalidate dependent lowered blocks: {:?}",
+        sb_report.blocks
+    );
+
+    // Byte-for-byte: cycles, registers, the whole memory image.
+    assert_eq!(interp_report.cycles, sb_report.cycles);
+    assert_eq!(interp.regs().r, sb.regs().r);
+    let (base, len) = (interp.memory().base(), interp.memory().size());
+    assert_eq!(
+        interp.memory().slice(base, len).ok(),
+        sb.memory().slice(base, len).ok(),
+        "memory images diverged"
+    );
+}
+
+#[test]
 fn every_injection_index_is_clean_on_the_sweep_workloads() {
     // The full exhaustive sweep (every retire index of every window) on
     // both standard workloads — the in-tree version of `liquid-simd

@@ -26,6 +26,7 @@ fn meta() -> RecordMeta {
         config_hash: format!("{:016x}", MachineConfig::liquid(8).fingerprint()),
         smoke: true,
         widths: vec![2, 8],
+        backend: "interp".to_string(),
     }
 }
 

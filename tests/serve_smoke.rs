@@ -27,6 +27,7 @@ fn spawn_daemon(shards: usize, history: Option<PathBuf>) -> liquid_simd_repro::s
         shards,
         history,
         history_every: 0,
+        backend: Default::default(),
     })
     .expect("daemon binds loopback")
 }
@@ -148,6 +149,7 @@ fn loadgen_history_feeds_the_sentinel() {
     let _ = std::fs::remove_file(&history);
     let report = loadgen::run(&LoadOptions {
         smoke: true,
+        backend: Default::default(),
         clients: 2,
         requests_per_client: 12,
         shards: 3,
