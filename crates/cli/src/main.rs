@@ -47,13 +47,16 @@
 //!     --clients N      concurrent client connections (default 4)
 //!     --requests N     requests per client (default auto-sized)
 //!     --shards N       shard count of the sharded pass (default 8)
+//!     --measure-recorder   third pass with the flight recorder disabled;
+//!                      prints the wall-clock overhead delta and records
+//!                      it in the BENCH_sim.json `notes` field
 //! liquid-simd serve [--addr A] [--shards N]
 //!                      batched simulation daemon: line-delimited JSON
 //!                      requests (translate|run|explain|conform|stats|
-//!                      shutdown) over TCP, answered in request order per
-//!                      connection; repeat requests are served from a
-//!                      cross-request translation cache and responses are
-//!                      byte-identical at every shard count
+//!                      inspect|dump|shutdown) over TCP, answered in
+//!                      request order per connection; repeat requests are
+//!                      served from a cross-request translation cache and
+//!                      responses are byte-identical at every shard count
 //!     --addr A         bind address (default 127.0.0.1:7070)
 //!     --shards N       worker shards (default min(cores, 8))
 //!     --backend B      backend the daemon simulates with (responses are
@@ -62,6 +65,29 @@
 //!                      bench/history.jsonl; --no-history to disable)
 //!     --history-every N   flush a batch record every N requests
 //!                      (default 64; a final record flushes at shutdown)
+//!     --flight-capacity N   per-shard flight-recorder ring capacity
+//!                      (default 4096; 0 disables the recorder)
+//!     --flight-dir D   where black-box dumps go (worker panic,
+//!                      budget-exceeded bursts, or the `dump` op); no
+//!                      dumps are written without it
+//!     --burst-threshold N   consecutive budget-exceeded errors that
+//!                      trigger an automatic dump (default 8)
+//!     --cache-cap N    translation-cache entry cap (default 0 =
+//!                      unbounded; bounded caches evict LRU)
+//!     --inject-faults  honor the test-only `inject:"panic"` request
+//!                      field (crash drills; off by default)
+//! liquid-simd inspect [--addr A] [--raw] [--scrub]
+//!                      one `metrics-v1` snapshot from a live daemon:
+//!                      counters, pow2 latency/cycle histograms, cache
+//!                      occupancy, flight-ring health — rendered as text
+//!                      (--raw: the JSON line; --scrub: schedule-scrubbed
+//!                      JSON for byte-comparing daemons)
+//! liquid-simd top [--addr A] [--interval S] [--count N] [--once]
+//!                      live terminal view over `inspect`: throughput,
+//!                      p50/p95/p99 latency, cache hit rate, abort
+//!                      tallies; plain ANSI, redrawn every --interval
+//!                      seconds (default 2; --once prints a single frame
+//!                      with no escape codes)
 //! liquid-simd sentinel [--baseline REF] [--json]
 //!                      regression gate over the history: deterministic
 //!                      sim_cycles must match the baseline record exactly
@@ -81,6 +107,10 @@
 //!                      bars, counter deltas, and a flamegraph
 //!     --history F      history file (default bench/history.jsonl)
 //!     --flame W        workload profiled for the flamegraph (default fir)
+//!     --flight-dir D   fold any flight-v1 dumps in D into the report
+//!                      (stage tallies + failing-request lifecycle)
+//!     --snapshot F     embed a `metrics-v1` snapshot (an `inspect`
+//!                      response line) as live tiles + histogram charts
 //! liquid-simd conform [--seed S] [--cases N] [--jobs N] [--json]
 //!                      generative differential conformance: random legal
 //!                      and illegal loops through every pipeline at every
@@ -128,6 +158,8 @@ fn run_cli(args: &[String]) -> Result<(), String> {
         "tables" => cmd_tables(rest),
         "bench" => cmd_bench(rest),
         "serve" => cmd_serve(rest),
+        "inspect" => cmd_inspect(rest),
+        "top" => cmd_top(rest),
         "sentinel" => cmd_sentinel(rest),
         "dashboard" => cmd_dashboard(rest),
         "conform" => cmd_conform(rest),
@@ -140,7 +172,7 @@ fn run_cli(args: &[String]) -> Result<(), String> {
 }
 
 fn usage() -> String {
-    "usage: liquid-simd <asm|disasm|run|translate|trace|explain|profile|tables|bench|serve|sentinel|dashboard|conform|help> [args]\n\
+    "usage: liquid-simd <asm|disasm|run|translate|trace|explain|profile|tables|bench|serve|inspect|top|sentinel|dashboard|conform|help> [args]\n\
      \n\
      asm <input.s> -o <out.lsim>\n\
      disasm <prog.lsim>\n\
@@ -156,12 +188,18 @@ fn usage() -> String {
      tables [--jobs N] [--smoke]\n\
      bench [--jobs N] [--smoke] [--backend B] [--progress]\n\
          [--out BENCH_sim.json] [--history bench/history.jsonl]\n\
-         [--no-history] [--serve [--clients N] [--requests N] [--shards N]]\n\
+         [--no-history] [--serve [--clients N] [--requests N] [--shards N]\n\
+         [--measure-recorder]]\n\
      serve [--addr 127.0.0.1:7070] [--shards N] [--backend B]\n\
          [--history FILE] [--no-history] [--history-every N]\n\
+         [--flight-capacity N] [--flight-dir DIR] [--burst-threshold N]\n\
+         [--cache-cap N] [--inject-faults]\n\
+     inspect [--addr 127.0.0.1:7070] [--raw] [--scrub]\n\
+     top [--addr 127.0.0.1:7070] [--interval SECS] [--count N] [--once]\n\
      sentinel [--baseline REF] [--json] [--history FILE]\n\
          [--window N] [--noise-frac X] [--cross-backend]\n\
      dashboard [--out report.html] [--history FILE] [--flame WORKLOAD]\n\
+         [--flight-dir DIR] [--snapshot FILE]\n\
      conform [--seed S] [--cases N] [--jobs N] [--json] [--out FILE]\n\
          [--corpus-dir DIR] [--no-shrink]"
         .to_string()
@@ -812,6 +850,7 @@ fn cmd_bench_serve(args: &[String]) -> Result<(), String> {
         min_hit_rate: 0.9,
         history: (!flag(args, "--no-history")).then(|| std::path::PathBuf::from(history_path)),
         seed: 0xC0FFEE,
+        measure_recorder: flag(args, "--measure-recorder"),
     };
     let report = serve::loadgen::run(&opts)?;
     println!(
@@ -841,7 +880,64 @@ fn cmd_bench_serve(args: &[String]) -> Result<(), String> {
             report.single.records_appended + report.sharded.records_appended
         );
     }
+    if let Some((on_s, off_s)) = report.recorder_walls_s {
+        let frac = report.recorder_overhead_frac().unwrap_or(0.0);
+        println!(
+            "flight recorder overhead: {:+.1}% wall ({on_s:.3}s on vs {off_s:.3}s off, \
+             sharded pass; responses byte-identical with the recorder off)",
+            frac * 100.0
+        );
+        let note = format!(
+            "flight recorder overhead {:+.1}% wall ({:.3}s on vs {:.3}s off, {} requests, \
+             {} shards, backend {})",
+            frac * 100.0,
+            on_s,
+            off_s,
+            report.requests,
+            report.shards,
+            opts.backend.name()
+        );
+        let out = option_value(args, "--out")?.unwrap_or("BENCH_sim.json");
+        record_bench_note(out, &note)?;
+        println!("{out}: recorder-overhead note recorded");
+    }
     Ok(())
+}
+
+/// Records one line in the bench snapshot's `notes` array (replacing any
+/// previous notes), preserving the rest of the hand-formatted file so
+/// `bench` diffs stay readable. The note lands right after the `schema`
+/// line; a missing snapshot gets a minimal one.
+fn record_bench_note(path: &str, note: &str) -> Result<(), String> {
+    let entry = format!("  \"notes\": [\"{}\"],", json_escape(note));
+    let Ok(text) = fs::read_to_string(path) else {
+        let doc = format!(
+            "{{\n  \"schema\": \"liquid-simd-bench-v1\",\n{}\n}}\n",
+            entry.trim_end_matches(',')
+        );
+        return fs::write(path, doc).map_err(|e| format!("{path}: {e}"));
+    };
+    let mut out = String::with_capacity(text.len() + entry.len() + 1);
+    let mut inserted = false;
+    for line in text.lines() {
+        if line.trim_start().starts_with("\"notes\":") {
+            continue; // replaced below
+        }
+        out.push_str(line);
+        out.push('\n');
+        if !inserted && line.contains("\"schema\":") {
+            out.push_str(&entry);
+            out.push('\n');
+            inserted = true;
+        }
+    }
+    if !inserted {
+        return Err(format!("{path}: no \"schema\" line to anchor the note on"));
+    }
+    // If the note ended up as the last member (minimal snapshot), drop the
+    // trailing comma so the document stays valid JSON.
+    let out = out.replace("],\n}", "]\n}");
+    fs::write(path, out).map_err(|e| format!("{path}: {e}"))
 }
 
 /// `liquid-simd serve`: bind the daemon and block until a `shutdown`
@@ -850,13 +946,33 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     let addr = option_value(args, "--addr")?.unwrap_or("127.0.0.1:7070");
     let shards = parse_count(args, "--shards", liquid_simd::default_jobs().clamp(1, 8))?;
     let history_path = option_value(args, "--history")?.unwrap_or("bench/history.jsonl");
+    let flight_capacity = match option_value(args, "--flight-capacity")? {
+        None => liquid_simd_trace::DEFAULT_FLIGHT_CAPACITY,
+        Some(v) => v
+            .parse()
+            .map_err(|_| format!("bad --flight-capacity `{v}` (need an integer; 0 disables)"))?,
+    };
+    let cache_capacity = match option_value(args, "--cache-cap")? {
+        None => 0,
+        Some(v) => v
+            .parse()
+            .map_err(|_| format!("bad --cache-cap `{v}` (need an integer; 0 = unbounded)"))?,
+    };
     let opts = serve::ServeOptions {
         addr: addr.to_string(),
         shards,
         history: (!flag(args, "--no-history")).then(|| std::path::PathBuf::from(history_path)),
         history_every: parse_count(args, "--history-every", 64)?,
         backend: parse_backend(args)?,
+        flight_capacity,
+        flight_dir: option_value(args, "--flight-dir")?.map(std::path::PathBuf::from),
+        inject_faults: flag(args, "--inject-faults"),
+        burst_threshold: parse_count(args, "--burst-threshold", 8)? as u64,
+        cache_capacity,
     };
+    if opts.inject_faults {
+        eprintln!("liquid-simd serve: --inject-faults is on (test-only crash drills enabled)");
+    }
     let handle = serve::spawn(opts)?;
     println!(
         "liquid-simd serve: listening on {} ({shards} shards) — line-delimited JSON, \
@@ -866,14 +982,275 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     let summary = handle.join()?;
     println!(
         "liquid-simd serve: {} requests ({} errors), cache {} hits / {} misses, \
-         {} history records",
+         {} history records, {} flight dumps",
         summary.requests,
         summary.errors,
         summary.cache_hits,
         summary.cache_misses,
-        summary.records_appended
+        summary.records_appended,
+        summary.dumps
     );
     Ok(())
+}
+
+/// Sends one line-JSON request to a running daemon and parses the single
+/// response line. `inspect` and `top` are pure observers, so a blocking
+/// round-trip per poll is plenty.
+fn serve_request(addr: &str, line: &str) -> Result<perfhist::Json, String> {
+    use std::io::{BufRead, BufReader, Write};
+    let mut stream = std::net::TcpStream::connect(addr)
+        .map_err(|e| format!("connect {addr}: {e} (is `liquid-simd serve` running?)"))?;
+    stream
+        .set_read_timeout(Some(std::time::Duration::from_secs(30)))
+        .map_err(|e| e.to_string())?;
+    stream
+        .write_all(line.as_bytes())
+        .and_then(|()| stream.write_all(b"\n"))
+        .and_then(|()| stream.flush())
+        .map_err(|e| format!("{addr}: send: {e}"))?;
+    let mut resp = String::new();
+    BufReader::new(stream)
+        .read_line(&mut resp)
+        .map_err(|e| format!("{addr}: recv: {e}"))?;
+    if resp.trim().is_empty() {
+        return Err(format!(
+            "{addr}: daemon closed the connection without answering"
+        ));
+    }
+    perfhist::Json::parse(resp.trim_end()).map_err(|e| format!("{addr}: bad response: {e}"))
+}
+
+/// Fetches one `metrics-v1` document from a daemon's `inspect` op.
+fn fetch_metrics(addr: &str) -> Result<perfhist::Json, String> {
+    let resp = serve_request(addr, "{\"op\":\"inspect\"}")?;
+    match resp.get("metrics") {
+        Some(m) => Ok(m.clone()),
+        None => Err(format!(
+            "{addr}: unexpected inspect response: {}",
+            resp.write()
+        )),
+    }
+}
+
+/// Walks a dotted path through nested JSON objects; absent → 0.
+fn path_u64(doc: &perfhist::Json, path: &[&str]) -> u64 {
+    let mut cur = doc;
+    for key in path {
+        match cur.get(key) {
+            Some(v) => cur = v,
+            None => return 0,
+        }
+    }
+    cur.as_u64().unwrap_or(0)
+}
+
+fn path_f64(doc: &perfhist::Json, path: &[&str]) -> f64 {
+    let mut cur = doc;
+    for key in path {
+        match cur.get(key) {
+            Some(v) => cur = v,
+            None => return 0.0,
+        }
+    }
+    cur.as_f64().unwrap_or(0.0)
+}
+
+/// One text frame over a `metrics-v1` document — shared by `inspect`
+/// (one shot, with the full counter table) and `top` (redrawn per poll,
+/// with a throughput line computed from the previous poll).
+fn render_metrics_frame(
+    out: &mut String,
+    addr: &str,
+    m: &perfhist::Json,
+    throughput: Option<f64>,
+    counters_table: bool,
+) {
+    use std::fmt::Write;
+    let backend = m
+        .get("backend")
+        .and_then(perfhist::Json::as_str)
+        .unwrap_or("?");
+    let _ = writeln!(
+        out,
+        "liquid-simd @ {addr} — backend {backend}, {} shards, up {:.1}s",
+        path_u64(m, &["shards"]),
+        path_u64(m, &["uptime_us"]) as f64 / 1e6
+    );
+    let by_op = m
+        .get("requests")
+        .and_then(|r| r.get("by_op"))
+        .and_then(perfhist::Json::as_obj)
+        .map(|pairs| {
+            pairs
+                .iter()
+                .map(|(k, v)| format!("{k}={}", v.as_u64().unwrap_or(0)))
+                .collect::<Vec<_>>()
+                .join(" ")
+        })
+        .unwrap_or_default();
+    let _ = write!(
+        out,
+        "requests   {} total ({} errors)",
+        path_u64(m, &["requests", "total"]),
+        path_u64(m, &["requests", "errors"])
+    );
+    if let Some(rps) = throughput {
+        let _ = write!(out, "   throughput {rps:.1} req/s");
+    }
+    out.push('\n');
+    if !by_op.is_empty() {
+        let _ = writeln!(out, "ops        {by_op}");
+    }
+    for (label, name, unit) in [
+        ("latency", "wall.latency_us", "us"),
+        ("cycles", "request.cycles", ""),
+    ] {
+        let Some(h) = m.get("histograms").and_then(|hs| hs.get(name)) else {
+            continue;
+        };
+        let _ = writeln!(
+            out,
+            "{label:<10} p50 <={}{unit}  p95 <={}{unit}  p99 <={}{unit}  max {}{unit}  \
+             ({} samples)",
+            serve::inspect::percentile_json(h, 50.0),
+            serve::inspect::percentile_json(h, 95.0),
+            serve::inspect::percentile_json(h, 99.0),
+            path_u64(h, &["max"]),
+            path_u64(h, &["count"])
+        );
+    }
+    let cap = path_u64(m, &["cache", "translations", "capacity"]);
+    let _ = writeln!(
+        out,
+        "cache      {:.1}% hit rate ({} hits / {} misses), {} entries{}, generation {}, \
+         {} evictions, {} cached builds",
+        path_f64(m, &["cache", "translations", "hit_rate"]) * 100.0,
+        path_u64(m, &["cache", "translations", "hits"]),
+        path_u64(m, &["cache", "translations", "misses"]),
+        path_u64(m, &["cache", "translations", "entries"]),
+        if cap == 0 {
+            " (unbounded)".to_string()
+        } else {
+            format!(" (cap {cap})")
+        },
+        path_u64(m, &["cache", "translations", "generation"]),
+        path_u64(m, &["cache", "translations", "evictions"]),
+        path_u64(m, &["cache", "builds"])
+    );
+    let _ = writeln!(
+        out,
+        "flight     {} events (cap {}), {} dropped, {} contended",
+        path_u64(m, &["flight", "events"]),
+        path_u64(m, &["flight", "capacity"]),
+        path_u64(m, &["flight", "dropped"]),
+        path_u64(m, &["flight", "contended"])
+    );
+    // Abort-reason tallies straight from the merged shard counters
+    // (`sim.translator.abort.<reason>`), the live view of why regions
+    // fell back to scalar execution.
+    let aborts = m
+        .get("counters")
+        .and_then(perfhist::Json::as_obj)
+        .map(|pairs| {
+            pairs
+                .iter()
+                .filter_map(|(k, v)| {
+                    k.strip_prefix("sim.translator.abort.")
+                        .map(|tag| format!("{tag}={}", v.as_u64().unwrap_or(0)))
+                })
+                .collect::<Vec<_>>()
+                .join(" ")
+        })
+        .unwrap_or_default();
+    let _ = writeln!(
+        out,
+        "aborts     {}",
+        if aborts.is_empty() { "none" } else { &aborts }
+    );
+    if counters_table {
+        if let Some(pairs) = m.get("counters").and_then(perfhist::Json::as_obj) {
+            let table: std::collections::BTreeMap<String, u64> = pairs
+                .iter()
+                .map(|(k, v)| (k.clone(), v.as_u64().unwrap_or(0)))
+                .collect();
+            out.push_str("counters\n");
+            out.push_str(&liquid_simd::render_counter_table(&table));
+        }
+    }
+}
+
+/// `liquid-simd inspect`: one `metrics-v1` snapshot, rendered for humans
+/// (or raw/scrubbed JSON for scripts and byte-comparisons).
+fn cmd_inspect(args: &[String]) -> Result<(), String> {
+    let addr = option_value(args, "--addr")?.unwrap_or("127.0.0.1:7070");
+    let metrics = fetch_metrics(addr)?;
+    if flag(args, "--raw") {
+        println!("{}", metrics.write());
+        return Ok(());
+    }
+    if flag(args, "--scrub") {
+        println!("{}", serve::inspect::scrub(&metrics).write());
+        return Ok(());
+    }
+    let mut frame = String::new();
+    render_metrics_frame(&mut frame, addr, &metrics, None, true);
+    print!("{frame}");
+    Ok(())
+}
+
+/// `liquid-simd top`: poll `inspect` and redraw a plain-ANSI terminal
+/// frame — throughput from the delta between polls, p50/p95/p99, cache
+/// hit rate, abort tallies.
+fn cmd_top(args: &[String]) -> Result<(), String> {
+    let addr = option_value(args, "--addr")?.unwrap_or("127.0.0.1:7070");
+    let interval = match option_value(args, "--interval")? {
+        None => 2.0,
+        Some(v) => match v.parse::<f64>() {
+            Ok(s) if s > 0.0 => s,
+            _ => return Err(format!("bad --interval `{v}` (need seconds > 0)")),
+        },
+    };
+    let once = flag(args, "--once");
+    let frames = if once {
+        1
+    } else {
+        match option_value(args, "--count")? {
+            None => 0, // poll until the daemon goes away (or ctrl-c)
+            Some(v) => match v.parse::<usize>() {
+                Ok(n) if n >= 1 => n,
+                _ => return Err(format!("bad --count `{v}` (need an integer >= 1)")),
+            },
+        }
+    };
+    let mut prev: Option<(Instant, u64)> = None;
+    let mut drawn = 0usize;
+    loop {
+        let metrics = fetch_metrics(addr)?;
+        let now = Instant::now();
+        let total = path_u64(&metrics, &["requests", "total"]);
+        let throughput = prev.map(|(t0, n0)| {
+            let dt = now.duration_since(t0).as_secs_f64().max(1e-9);
+            total.saturating_sub(n0) as f64 / dt
+        });
+        prev = Some((now, total));
+        let mut frame = String::new();
+        render_metrics_frame(&mut frame, addr, &metrics, throughput, false);
+        if once {
+            // A single frame with no escape codes: pipeline-friendly.
+            print!("{frame}");
+        } else {
+            // Home + clear-to-end keeps the redraw flicker-free on any
+            // ANSI terminal; no raw mode, no external TUI machinery.
+            print!("\x1b[H\x1b[2J{frame}");
+            use std::io::Write;
+            let _ = std::io::stdout().flush();
+        }
+        drawn += 1;
+        if frames != 0 && drawn >= frames {
+            return Ok(());
+        }
+        std::thread::sleep(std::time::Duration::from_secs_f64(interval));
+    }
 }
 
 fn cmd_sentinel(args: &[String]) -> Result<(), String> {
@@ -1085,12 +1462,39 @@ fn cmd_dashboard(args: &[String]) -> Result<(), String> {
     let (program, name) = resolve_program(flame_workload)?;
     let prof = liquid_simd::profile(&program, &name, 8).map_err(|e| e.to_string())?;
     let folded = export::folded_stacks(&prof.spans);
-    let html = perfhist::dashboard::render(&history, &folded);
+    // Optional observability panels: every flight-v1 dump under
+    // --flight-dir (sorted by file name, i.e. dump order) and one
+    // metrics-v1 snapshot file (an `inspect` response line works as-is).
+    let mut dumps: Vec<(String, String)> = Vec::new();
+    if let Some(dir) = option_value(args, "--flight-dir")? {
+        let entries = fs::read_dir(dir).map_err(|e| format!("{dir}: {e}"))?;
+        for entry in entries {
+            let entry = entry.map_err(|e| format!("{dir}: {e}"))?;
+            let file = entry.file_name().to_string_lossy().into_owned();
+            if !file.ends_with(".jsonl") {
+                continue;
+            }
+            let text = fs::read_to_string(entry.path())
+                .map_err(|e| format!("{}: {e}", entry.path().display()))?;
+            dumps.push((file, text));
+        }
+        dumps.sort();
+    }
+    let snapshot = match option_value(args, "--snapshot")? {
+        None => None,
+        Some(path) => {
+            let text = fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+            Some(perfhist::Json::parse(text.trim()).map_err(|e| format!("{path}: {e}"))?)
+        }
+    };
+    let html = perfhist::dashboard::render_extended(&history, &folded, &dumps, snapshot.as_ref());
     fs::write(out, &html).map_err(|e| format!("{out}: {e}"))?;
     println!(
-        "{out}: written ({} history records, {} flame frames from {name}, {} bytes, self-contained)",
+        "{out}: written ({} history records, {} flame frames from {name}, {} flight dumps, \
+         {} bytes, self-contained)",
         history.len(),
         folded.lines().count(),
+        dumps.len(),
         html.len()
     );
     Ok(())
@@ -1258,5 +1662,83 @@ mod tests {
         perfhist::store::append(&path, &rec(251)).unwrap();
         assert!(run_cli(&args(&hist)).is_err(), "perturbed cycles fail");
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn inspect_and_top_poll_a_live_daemon() {
+        let handle = serve::spawn(serve::ServeOptions {
+            addr: "127.0.0.1:0".to_string(),
+            shards: 2,
+            history: None,
+            ..serve::ServeOptions::default()
+        })
+        .unwrap();
+        let addr = handle.addr.to_string();
+        // Push one real request through so the histograms have samples.
+        let resp = serve_request(&addr, r#"{"op":"run","workload":"fir","id":"t1"}"#).unwrap();
+        assert_eq!(
+            resp.get("schema").and_then(perfhist::Json::as_str),
+            Some("serve-v1"),
+            "{}",
+            resp.write()
+        );
+        let args = |extra: &[&str]| {
+            let mut v = vec![
+                "inspect".to_string(),
+                "--addr".to_string(),
+                addr.to_string(),
+            ];
+            v.extend(extra.iter().map(|s| (*s).to_string()));
+            v
+        };
+        assert!(run_cli(&args(&[])).is_ok(), "human inspect");
+        assert!(run_cli(&args(&["--raw"])).is_ok(), "raw inspect");
+        assert!(run_cli(&args(&["--scrub"])).is_ok(), "scrubbed inspect");
+        let top = vec![
+            "top".to_string(),
+            "--addr".to_string(),
+            addr.to_string(),
+            "--once".to_string(),
+        ];
+        assert!(run_cli(&top).is_ok(), "top --once");
+        // The frame itself carries the live numbers `top` renders.
+        let metrics = fetch_metrics(&addr).unwrap();
+        let mut frame = String::new();
+        render_metrics_frame(&mut frame, &addr, &metrics, Some(12.5), false);
+        assert!(frame.contains("throughput 12.5 req/s"), "{frame}");
+        assert!(frame.contains("latency    p50 <="), "{frame}");
+        assert!(frame.contains("aborts"), "{frame}");
+        handle.shutdown();
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn bench_notes_splice_keeps_the_snapshot_valid() {
+        let dir = std::env::temp_dir().join(format!("cli-bench-note-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("BENCH_sim.json");
+        let p = path.to_str().unwrap();
+        std::fs::write(
+            &path,
+            "{\n  \"schema\": \"liquid-simd-bench-v1\",\n  \"jobs\": 4,\n  \"workloads\": [\n  ]\n}\n",
+        )
+        .unwrap();
+        record_bench_note(p, "overhead +1.0% wall").unwrap();
+        // Replacing an existing note must not duplicate the key.
+        record_bench_note(p, "overhead +2.0% wall").unwrap();
+        let doc = perfhist::Json::parse(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        let notes = doc.get("notes").and_then(perfhist::Json::as_arr).unwrap();
+        assert_eq!(notes.len(), 1);
+        assert_eq!(notes[0].as_str(), Some("overhead +2.0% wall"));
+        assert_eq!(doc.get("jobs").and_then(perfhist::Json::as_u64), Some(4));
+        // A missing snapshot gets a minimal, parseable one.
+        let fresh = dir.join("fresh.json");
+        record_bench_note(fresh.to_str().unwrap(), "n").unwrap();
+        let doc = perfhist::Json::parse(&std::fs::read_to_string(&fresh).unwrap()).unwrap();
+        assert!(doc.get("notes").is_some());
+        // And re-noting the minimal file stays valid (no trailing comma).
+        record_bench_note(fresh.to_str().unwrap(), "n2").unwrap();
+        perfhist::Json::parse(&std::fs::read_to_string(&fresh).unwrap()).unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -731,6 +731,32 @@ pub fn render_profile(report: &ProfileReport, top: usize) -> String {
     out
 }
 
+/// Renders a flat dotted-name counter table (the `counters` object of a
+/// `metrics-v1` snapshot or a `perfhist-v1` record) as aligned human text,
+/// grouped by top-level prefix with a blank line between groups — the
+/// human channel of `liquid-simd inspect`, next to `--raw` JSON.
+#[must_use]
+pub fn render_counter_table(counters: &std::collections::BTreeMap<String, u64>) -> String {
+    let mut out = String::new();
+    if counters.is_empty() {
+        out.push_str("(no counters)\n");
+        return out;
+    }
+    let width = counters.keys().map(String::len).max().unwrap_or(0);
+    let mut last_group: Option<&str> = None;
+    for (name, v) in counters {
+        let group = name.split('.').next().unwrap_or(name);
+        if let Some(prev) = last_group {
+            if prev != group {
+                out.push('\n');
+            }
+        }
+        last_group = Some(group);
+        let _ = writeln!(out, "  {name:<width$}  {v}");
+    }
+    out
+}
+
 /// Looks up a target's label from the report's own target table (the
 /// report is self-contained; no `Program` needed at render time).
 fn report_label(report: &ProfileReport, pc: u32) -> Option<String> {
@@ -928,5 +954,30 @@ top:
         let human = render_profile(&report, 10);
         assert!(human.contains("spans (by total simulated cycles)"));
         assert!(human.contains("hottest call targets"));
+    }
+
+    #[test]
+    fn counter_table_aligns_and_groups_by_prefix() {
+        let mut counters = std::collections::BTreeMap::new();
+        counters.insert("cycles".to_string(), 1234u64);
+        counters.insert("mcache.hits".to_string(), 7);
+        counters.insert("mcache.lookups".to_string(), 9);
+        counters.insert("translator.attempts".to_string(), 3);
+        let text = render_counter_table(&counters);
+        assert!(text.contains("cycles"));
+        assert!(text.contains("mcache.hits"));
+        // One blank line between the cycles, mcache, and translator groups.
+        assert_eq!(text.matches("\n\n").count(), 2, "{text}");
+        // Values aligned to one column past the longest name.
+        let hit_line = text.lines().find(|l| l.contains("mcache.hits")).unwrap();
+        let attempt_line = text
+            .lines()
+            .find(|l| l.contains("translator.attempts"))
+            .unwrap();
+        assert_eq!(hit_line.rfind(' '), attempt_line.rfind(' '), "{text}");
+        assert_eq!(
+            render_counter_table(&std::collections::BTreeMap::new()),
+            "(no counters)\n"
+        );
     }
 }

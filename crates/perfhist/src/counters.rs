@@ -54,6 +54,14 @@ pub fn snapshot(report: &RunReport) -> BTreeMap<String, u64> {
     put("phases.scalar_cycles", report.phases.scalar_cycles);
     put("phases.micro_cycles", report.phases.micro_cycles);
     put("phases.jit_stall_cycles", report.phases.jit_stall_cycles);
+    // Backend attribution (one run, tagged with whichever backend executed
+    // it) — summed across runs or serve shards, these show how work split
+    // between backends.
+    put(&format!("backend.{}.runs", report.backend.name()), 1);
+    put(
+        &format!("backend.{}.cycles", report.backend.name()),
+        report.cycles,
+    );
     for (tag, &n) in &t.aborts {
         out.insert(format!("translator.abort.{tag}"), n);
     }

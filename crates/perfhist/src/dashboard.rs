@@ -85,6 +85,19 @@ fn rows_of(record: &Json) -> Vec<Row> {
 /// optional folded-stacks profile (`trace::export::folded_stacks` output).
 #[must_use]
 pub fn render(history: &[Json], folded: &str) -> String {
+    render_extended(history, folded, &[], None)
+}
+
+/// [`render`] plus the observability panels: `flight-v1` black-box dumps
+/// (each `(file name, JSONL text)`) and a live `metrics-v1` snapshot from
+/// the `inspect` serve op, rendered as power-of-two histogram charts.
+#[must_use]
+pub fn render_extended(
+    history: &[Json],
+    folded: &str,
+    flight_dumps: &[(String, String)],
+    snapshot: Option<&Json>,
+) -> String {
     let records: Vec<&Json> = history
         .iter()
         .filter(|r| r.get("schema").and_then(Json::as_str) == Some(SCHEMA))
@@ -104,6 +117,8 @@ pub fn render(history: &[Json], folded: &str) -> String {
         out.push_str("<p class=\"empty\">No perfhist-v1 records in history.</p>");
     }
     service_section(&mut out, &serve_records);
+    snapshot_section(&mut out, snapshot);
+    flight_section(&mut out, flight_dumps);
     flame_section(&mut out, folded);
     out.push_str("</main></body></html>\n");
     out
@@ -524,6 +539,227 @@ fn service_section(out: &mut String, records: &[&Json]) {
     out.push_str("</tbody></table></details></section>");
 }
 
+/// Short label for a power-of-two bucket upper edge.
+fn pow2_label(bound: u64) -> String {
+    if bound.is_power_of_two() {
+        format!("≤2^{}", bound.trailing_zeros())
+    } else {
+        format!("≤{}", commas(bound))
+    }
+}
+
+/// One `metrics-v1` histogram as a horizontal bar chart: a bar per
+/// non-empty bucket, log-free linear widths (counts, not values), native
+/// tooltips with the exact bucket edge and count.
+fn histogram_chart(out: &mut String, name: &str, hist: &Json) {
+    let (Some(bounds), Some(counts)) = (
+        hist.get("bounds").and_then(Json::as_arr),
+        hist.get("counts").and_then(Json::as_arr),
+    ) else {
+        return;
+    };
+    let total = hist.get("count").and_then(Json::as_u64).unwrap_or(0);
+    if total == 0 {
+        return;
+    }
+    let max_bound = hist.get("max").and_then(Json::as_u64).unwrap_or(0);
+    let rows: Vec<(String, u64)> = counts
+        .iter()
+        .enumerate()
+        .filter_map(|(i, c)| {
+            let n = c.as_u64()?;
+            (n > 0).then(|| {
+                let label = match bounds.get(i).and_then(Json::as_u64) {
+                    Some(b) => pow2_label(b),
+                    None => format!(
+                        ">{} (max {})",
+                        bounds
+                            .last()
+                            .and_then(Json::as_u64)
+                            .map_or_else(|| "?".to_string(), commas),
+                        commas(max_bound)
+                    ),
+                };
+                (label, n)
+            })
+        })
+        .collect();
+    let peak = rows.iter().map(|&(_, n)| n).max().unwrap_or(1);
+    let (bar_max, row_h, label_w) = (320.0, 16.0, 110.0);
+    let svg_h = rows.len() as f64 * (row_h + 3.0);
+    let _ = write!(
+        out,
+        "<figure class=\"spark\"><figcaption><code>{}</code> ({} samples, sum {}, max {})</figcaption>\
+         <svg viewBox=\"0 0 {:.0} {svg_h:.0}\" width=\"{:.0}\" height=\"{svg_h:.0}\" role=\"img\" \
+          aria-label=\"{} histogram\">",
+        esc(name),
+        commas(total),
+        commas(hist.get("sum").and_then(Json::as_u64).unwrap_or(0)),
+        commas(max_bound),
+        label_w + bar_max + 60.0,
+        label_w + bar_max + 60.0,
+        esc(name)
+    );
+    for (i, (label, n)) in rows.iter().enumerate() {
+        let y = i as f64 * (row_h + 3.0);
+        let w = (bar_max * *n as f64 / peak as f64).max(1.0);
+        let _ = write!(
+            out,
+            "<text x=\"{:.0}\" y=\"{:.1}\" class=\"tick\" text-anchor=\"end\">{}</text>\
+             <rect x=\"{label_w:.0}\" y=\"{y:.1}\" width=\"{w:.1}\" height=\"{row_h:.0}\" rx=\"2\" \
+              fill=\"var(--series-1)\"><title>{label}: {} samples</title></rect>\
+             <text x=\"{:.1}\" y=\"{:.1}\" class=\"tick\">{}</text>",
+            label_w - 6.0,
+            y + row_h - 4.0,
+            esc(label),
+            commas(*n),
+            label_w + w + 6.0,
+            y + row_h - 4.0,
+            commas(*n)
+        );
+    }
+    out.push_str("</svg></figure>");
+}
+
+/// Live-introspection panel from a `metrics-v1` snapshot (the `inspect`
+/// serve op): request/cache tiles plus every histogram the registry holds.
+fn snapshot_section(out: &mut String, snapshot: Option<&Json>) {
+    let Some(snap) = snapshot else { return };
+    let snap = if snap.get("schema").and_then(Json::as_str) == Some("metrics-v1") {
+        snap
+    } else if let Some(inner) = snap.get("metrics") {
+        inner // a raw inspect response line: unwrap its metrics field
+    } else {
+        return;
+    };
+    let num_u = |path: &[&str]| jpath(snap, path).and_then(Json::as_u64).unwrap_or(0);
+    out.push_str("<section><h2>Live snapshot (inspect)</h2><div class=\"sparks\">");
+    let tiles: Vec<(&str, String)> = vec![
+        (
+            "backend",
+            snap.get("backend")
+                .and_then(Json::as_str)
+                .unwrap_or("?")
+                .to_string(),
+        ),
+        ("requests", commas(num_u(&["requests", "total"]))),
+        ("errors", commas(num_u(&["requests", "errors"]))),
+        (
+            "cache entries",
+            commas(num_u(&["cache", "translations", "entries"])),
+        ),
+        (
+            "cache generation",
+            commas(num_u(&["cache", "translations", "generation"])),
+        ),
+        (
+            "evictions",
+            commas(num_u(&["cache", "translations", "evictions"])),
+        ),
+        ("flight events", commas(num_u(&["flight", "events"]))),
+        ("flight dropped", commas(num_u(&["flight", "dropped"]))),
+    ];
+    for (label, value) in tiles {
+        let _ = write!(
+            out,
+            "<figure class=\"spark\"><figcaption>{label}</figcaption>\
+             <span class=\"spark-value\">{}</span></figure>",
+            esc(&value)
+        );
+    }
+    out.push_str("</div><div class=\"sparks\">");
+    if let Some(hists) = snap.get("histograms").and_then(Json::as_obj) {
+        for (name, h) in hists {
+            histogram_chart(out, name, h);
+        }
+    }
+    out.push_str("</div></section>");
+}
+
+/// Black-box panel: one block per `flight-v1` dump — header facts plus a
+/// stage tally so "where did requests die" is answerable at a glance, and
+/// the last events of the failing request when the dump names a panic.
+fn flight_section(out: &mut String, dumps: &[(String, String)]) {
+    if dumps.is_empty() {
+        return;
+    }
+    out.push_str("<section><h2>Flight-recorder dumps</h2>");
+    for (name, text) in dumps {
+        let mut lines = text.lines();
+        let Some(header) = lines.next().and_then(|l| Json::parse(l).ok()) else {
+            continue;
+        };
+        if header.get("schema").and_then(Json::as_str) != Some("flight-v1") {
+            continue;
+        }
+        let events: Vec<Json> = lines.filter_map(|l| Json::parse(l).ok()).collect();
+        let _ = write!(
+            out,
+            "<h3><code>{}</code></h3><p class=\"meta\">reason <b>{}</b> · backend {} · \
+             {} events · {} dropped · {} contended</p>",
+            esc(name),
+            esc(header.get("reason").and_then(Json::as_str).unwrap_or("?")),
+            esc(header.get("backend").and_then(Json::as_str).unwrap_or("?")),
+            commas(header.get("events").and_then(Json::as_u64).unwrap_or(0)),
+            commas(header.get("dropped").and_then(Json::as_u64).unwrap_or(0)),
+            commas(header.get("contended").and_then(Json::as_u64).unwrap_or(0)),
+        );
+        // Stage tally across the whole ring.
+        let mut stages: Vec<(String, u64)> = Vec::new();
+        for e in &events {
+            let stage = e.get("stage").and_then(Json::as_str).unwrap_or("?");
+            match stages.iter_mut().find(|(s, _)| s == stage) {
+                Some((_, n)) => *n += 1,
+                None => stages.push((stage.to_string(), 1)),
+            }
+        }
+        out.push_str("<table><thead><tr><th>stage</th><th>events</th></tr></thead><tbody>");
+        for (stage, n) in &stages {
+            let _ = write!(
+                out,
+                "<tr><td><code>{}</code></td><td class=\"num\">{}</td></tr>",
+                esc(stage),
+                commas(*n)
+            );
+        }
+        out.push_str("</tbody></table>");
+        // The failing request's tail: every event of the last id that
+        // recorded a panic stage, in sequence order.
+        if let Some(victim) = events
+            .iter()
+            .rev()
+            .find(|e| e.get("stage").and_then(Json::as_str) == Some("panic"))
+            .and_then(|e| e.get("id").and_then(Json::as_str))
+        {
+            let _ = write!(
+                out,
+                "<details open><summary>lifecycle of failing request <code>{}</code></summary>\
+                 <table><thead><tr><th>seq</th><th>stage</th><th>ok</th><th>detail</th></tr></thead><tbody>",
+                esc(victim)
+            );
+            for e in events
+                .iter()
+                .filter(|e| e.get("id").and_then(Json::as_str) == Some(victim))
+            {
+                let _ = write!(
+                    out,
+                    "<tr><td class=\"num\">{}</td><td><code>{}</code></td>\
+                     <td>{}</td><td>{}</td></tr>",
+                    e.get("seq").and_then(Json::as_u64).unwrap_or(0),
+                    esc(e.get("stage").and_then(Json::as_str).unwrap_or("?")),
+                    match e.get("ok") {
+                        Some(Json::Bool(false)) => "✗",
+                        _ => "✓",
+                    },
+                    esc(e.get("detail").and_then(Json::as_str).unwrap_or("")),
+                );
+            }
+            out.push_str("</tbody></table></details>");
+        }
+    }
+    out.push_str("</section>");
+}
+
 /// One frame of the flamegraph tree.
 struct Frame {
     name: String,
@@ -831,6 +1067,55 @@ mod tests {
         let html = render(&history, "");
         assert!(html.contains("Serving (batch telemetry)"));
         assert!(!html.contains("throughput trend"));
+    }
+
+    #[test]
+    fn flight_and_snapshot_panels_render() {
+        let dump = "\
+{\"schema\":\"flight-v1\",\"reason\":\"worker-panic\",\"backend\":\"interp\",\"shards\":2,\"capacity\":4096,\"events\":4,\"dropped\":0,\"contended\":0}\n\
+{\"seq\":0,\"wall_us\":10,\"shard\":0,\"id\":\"boom\",\"op\":\"run\",\"stage\":\"accept\",\"ok\":true}\n\
+{\"seq\":1,\"wall_us\":11,\"shard\":0,\"id\":\"boom\",\"op\":\"run\",\"stage\":\"translate\",\"ok\":true}\n\
+{\"seq\":2,\"wall_us\":12,\"shard\":0,\"id\":\"boom\",\"op\":\"run\",\"stage\":\"panic\",\"ok\":false,\"detail\":\"injected\"}\n\
+{\"seq\":3,\"wall_us\":13,\"shard\":1,\"id\":\"fine\",\"op\":\"run\",\"stage\":\"respond\",\"ok\":true}\n";
+        let snapshot = Json::parse(
+            r#"{"schema":"metrics-v1","backend":"interp","requests":{"total":9,"errors":1},
+            "cache":{"translations":{"entries":3,"generation":3,"evictions":0}},
+            "flight":{"events":40,"dropped":2},
+            "histograms":{"request.cycles":{"bounds":[1,2,4,8],"counts":[0,3,5,1,0],"count":9,"sum":40,"max":7}}}"#,
+        )
+        .unwrap();
+        let html = render_extended(
+            &[],
+            "",
+            &[(
+                "flight-000-worker-panic.jsonl".to_string(),
+                dump.to_string(),
+            )],
+            Some(&snapshot),
+        );
+        assert!(html.contains("Flight-recorder dumps"));
+        assert!(html.contains("worker-panic"));
+        assert!(html.contains("lifecycle of failing request <code>boom</code>"));
+        assert!(html.contains("injected"), "panic detail shown");
+        assert!(html.contains("Live snapshot (inspect)"));
+        assert!(html.contains("request.cycles"));
+        assert!(html.contains("≤2^1"), "pow2 bucket labels");
+        for needle in [
+            "http://", "https://", "<script", "src=", "@import", "url(", "href=",
+        ] {
+            assert!(!html.contains(needle), "external reference: {needle}");
+        }
+    }
+
+    #[test]
+    fn snapshot_section_unwraps_a_raw_inspect_response() {
+        let resp = Json::parse(
+            r#"{"schema":"serve-v1","op":"inspect","ok":true,"metrics":{"schema":"metrics-v1","backend":"superblock","requests":{"total":1,"errors":0},"histograms":{}}}"#,
+        )
+        .unwrap();
+        let html = render_extended(&[], "", &[], Some(&resp));
+        assert!(html.contains("Live snapshot (inspect)"));
+        assert!(html.contains("superblock"));
     }
 
     #[test]

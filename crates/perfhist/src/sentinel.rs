@@ -312,14 +312,32 @@ pub fn check(history: &[Json], opts: &SentinelOptions) -> Verdict {
         }
         let med = median(&rates);
         let spread = mad(&rates);
-        let band = (opts.noise_frac * med).max(3.0 * spread);
+        // A single-sample baseline has no measurable spread — `mad()`
+        // returns 0 below two samples by construction — so the 3×MAD term
+        // would silently contribute nothing and the band would understate
+        // real run-to-run noise. Double the configured fraction instead
+        // and mark the warning as resting on a degenerate MAD.
+        let degenerate = rates.len() < 2;
+        let band = if degenerate {
+            2.0 * opts.noise_frac * med
+        } else {
+            (opts.noise_frac * med).max(3.0 * spread)
+        };
         if current < med - band {
-            warnings.push(Json::Obj(vec![
+            let mut warning = Json::Obj(vec![
                 ("workload".to_string(), Json::Str(name.to_string())),
                 ("median".to_string(), Json::f64(med)),
                 ("mad".to_string(), Json::f64(spread)),
                 ("current".to_string(), Json::f64(current)),
-            ]));
+                (
+                    "baseline_samples".to_string(),
+                    Json::u64(rates.len() as u64),
+                ),
+            ]);
+            if degenerate {
+                warning.set("degenerate_mad", Json::Bool(true));
+            }
+            warnings.push(warning);
         }
     }
 
@@ -581,6 +599,51 @@ mod tests {
         let warns = v.json.get("wall_warnings").and_then(Json::as_arr).unwrap();
         assert_eq!(warns.len(), 1);
         assert_eq!(warns[0].get("workload").and_then(Json::as_str), Some("FIR"));
+    }
+
+    #[test]
+    fn single_sample_baseline_widens_band_and_flags_degenerate_mad() {
+        // One comparable record: MAD is degenerate (0), so the warn band
+        // doubles to 2×noise_frac. A 25 % slowdown sits inside that wider
+        // band (noise_frac 0.15 ⇒ band 30 %) and must NOT warn…
+        let h = vec![record("a", 250, 100.0), record("b", 250, 75.0)];
+        let v = check(&h, &SentinelOptions::default());
+        assert!(!v.failed);
+        let warns = v.json.get("wall_warnings").and_then(Json::as_arr).unwrap();
+        assert!(warns.is_empty(), "{}", v.json.write());
+
+        // …while a 2× slowdown still does, and the warning says its MAD
+        // was degenerate instead of pretending spread was measured.
+        let h = vec![record("a", 250, 100.0), record("b", 250, 50.0)];
+        let v = check(&h, &SentinelOptions::default());
+        assert!(!v.failed, "wall clock stays advisory");
+        let warns = v.json.get("wall_warnings").and_then(Json::as_arr).unwrap();
+        assert_eq!(warns.len(), 1);
+        assert_eq!(
+            warns[0].get("degenerate_mad"),
+            Some(&Json::Bool(true)),
+            "{}",
+            v.json.write()
+        );
+        assert_eq!(
+            warns[0].get("baseline_samples").and_then(Json::as_u64),
+            Some(1)
+        );
+
+        // A multi-sample baseline never carries the flag.
+        let h = vec![
+            record("a", 250, 100.0),
+            record("b", 250, 102.0),
+            record("c", 250, 10.0),
+        ];
+        let v = check(&h, &SentinelOptions::default());
+        let warns = v.json.get("wall_warnings").and_then(Json::as_arr).unwrap();
+        assert_eq!(warns.len(), 1);
+        assert_eq!(warns[0].get("degenerate_mad"), None);
+        assert_eq!(
+            warns[0].get("baseline_samples").and_then(Json::as_u64),
+            Some(2)
+        );
     }
 
     #[test]

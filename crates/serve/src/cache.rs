@@ -20,7 +20,7 @@
 //! indistinguishable. Only the hit/miss counters are schedule-dependent,
 //! and they are advisory telemetry, never part of a response.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
@@ -121,15 +121,99 @@ pub struct CacheEntry {
     pub microcode: Vec<(u32, Vec<Inst>)>,
 }
 
-/// The global cross-request translation cache with hit/miss telemetry.
+/// The map plus its FIFO insertion order — one lock covers both so an
+/// eviction can never orphan an order entry.
+#[derive(Default)]
+struct TranslationInner {
+    map: HashMap<String, Arc<CacheEntry>>,
+    order: VecDeque<String>,
+}
+
+/// The global cross-request translation cache with hit/miss/eviction
+/// telemetry and a monotonic generation stamp (insert count) — the
+/// service-level analogue of the simulator's mcache generation, used by
+/// the flight recorder to tie each event to the cache state it saw.
 #[derive(Default)]
 pub struct TranslationCache {
-    entries: Mutex<HashMap<String, Arc<CacheEntry>>>,
+    entries: Mutex<TranslationInner>,
     hits: AtomicU64,
     misses: AtomicU64,
+    evictions: AtomicU64,
+    generation: AtomicU64,
+    capacity: AtomicU64,
 }
 
 impl TranslationCache {
+    /// Creates a cache bounded to `capacity` entries (`0` = unbounded).
+    /// When full, an insert evicts the oldest-inserted entry (FIFO) —
+    /// responses stay byte-identical because an evicted entry simply
+    /// recomputes to the same bytes on its next miss.
+    #[must_use]
+    pub fn with_capacity(capacity: usize) -> TranslationCache {
+        let cache = TranslationCache::default();
+        cache.capacity.store(capacity as u64, Ordering::Relaxed);
+        cache
+    }
+
+    /// The configured entry bound (`0` = unbounded).
+    #[must_use]
+    pub fn capacity(&self) -> u64 {
+        self.capacity.load(Ordering::Relaxed)
+    }
+
+    /// Monotonic insert count — every insert bumps it, so an event
+    /// stamped with a generation happened-after exactly that many
+    /// inserts.
+    #[must_use]
+    pub fn generation(&self) -> u64 {
+        self.generation.load(Ordering::Relaxed)
+    }
+
+    /// Looks up `key` without computing, counting a hit or miss.
+    #[must_use]
+    pub fn lookup(&self, key: &str) -> Option<Arc<CacheEntry>> {
+        let inner = self.entries.lock().expect("cache poisoned");
+        match inner.map.get(key) {
+            Some(hit) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(Arc::clone(hit))
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Inserts a computed entry (first insert wins under a race),
+    /// evicting FIFO when over capacity. Returns the entry that is now
+    /// cached, whether *this* call's entry won the insert, and how many
+    /// entries this call evicted.
+    pub fn insert(&self, key: &str, entry: CacheEntry) -> (Arc<CacheEntry>, bool, u64) {
+        let capacity = self.capacity();
+        let mut inner = self.entries.lock().expect("cache poisoned");
+        if let Some(existing) = inner.map.get(key) {
+            return (Arc::clone(existing), false, 0);
+        }
+        let mut evicted = 0u64;
+        if capacity > 0 {
+            while inner.map.len() as u64 >= capacity {
+                let Some(oldest) = inner.order.pop_front() else {
+                    break;
+                };
+                if inner.map.remove(&oldest).is_some() {
+                    evicted += 1;
+                }
+            }
+        }
+        let arc = Arc::new(entry);
+        inner.map.insert(key.to_string(), Arc::clone(&arc));
+        inner.order.push_back(key.to_string());
+        self.generation.fetch_add(1, Ordering::Relaxed);
+        self.evictions.fetch_add(evicted, Ordering::Relaxed);
+        (arc, true, evicted)
+    }
+
     /// Looks up `key`, computing and inserting the entry on a miss.
     /// `compute` runs outside the map lock (a translation can take a
     /// while; lookups must not stall behind it).
@@ -138,14 +222,11 @@ impl TranslationCache {
         key: &str,
         compute: impl FnOnce() -> CacheEntry,
     ) -> Arc<CacheEntry> {
-        if let Some(hit) = self.entries.lock().expect("cache poisoned").get(key) {
-            self.hits.fetch_add(1, Ordering::Relaxed);
-            return Arc::clone(hit);
+        if let Some(hit) = self.lookup(key) {
+            return hit;
         }
-        let entry = Arc::new(compute());
-        self.misses.fetch_add(1, Ordering::Relaxed);
-        let mut map = self.entries.lock().expect("cache poisoned");
-        Arc::clone(map.entry(key.to_string()).or_insert(entry))
+        let (arc, _, _) = self.insert(key, compute());
+        arc
     }
 
     /// `(hits, misses, entries)` counters. Hit/miss tallies are advisory:
@@ -153,12 +234,18 @@ impl TranslationCache {
     /// cached bytes (and thus every response) are unaffected.
     #[must_use]
     pub fn stats(&self) -> (u64, u64, u64) {
-        let entries = self.entries.lock().expect("cache poisoned").len() as u64;
+        let entries = self.entries.lock().expect("cache poisoned").map.len() as u64;
         (
             self.hits.load(Ordering::Relaxed),
             self.misses.load(Ordering::Relaxed),
             entries,
         )
+    }
+
+    /// Entries evicted over the cache's lifetime (0 while unbounded).
+    #[must_use]
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
     }
 
     /// Hits as a fraction of all lookups (0.0 when nothing was looked up).
@@ -206,6 +293,8 @@ mod tests {
                 body: "{}".to_string(),
                 ok: true,
                 cycles: 5,
+                kind: String::new(),
+                counters: std::collections::BTreeMap::new(),
             },
             microcode: Vec::new(),
         };
@@ -216,5 +305,32 @@ mod tests {
         cache.get_or_compute("k2", make);
         assert_eq!(cache.stats(), (1, 2, 2));
         assert!((cache.hit_rate() - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(cache.generation(), 2, "one bump per insert");
+        assert_eq!(cache.evictions(), 0, "unbounded cache never evicts");
+    }
+
+    #[test]
+    fn bounded_cache_evicts_fifo_and_counts() {
+        let cache = TranslationCache::with_capacity(2);
+        let make = || CacheEntry {
+            output: OpOutput {
+                body: "{}".to_string(),
+                ok: true,
+                cycles: 0,
+                kind: String::new(),
+                counters: std::collections::BTreeMap::new(),
+            },
+            microcode: Vec::new(),
+        };
+        for k in ["a", "b", "c"] {
+            cache.get_or_compute(k, make);
+        }
+        let (_, _, entries) = cache.stats();
+        assert_eq!(entries, 2, "capacity bound holds");
+        assert_eq!(cache.evictions(), 1);
+        assert_eq!(cache.generation(), 3);
+        // "a" was inserted first, so it was the FIFO victim.
+        assert!(cache.lookup("a").is_none());
+        assert!(cache.lookup("c").is_some());
     }
 }

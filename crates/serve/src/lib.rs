@@ -29,15 +29,21 @@
 //!   (throughput, latency percentiles, cache hit rate, and the
 //!   order-independent determinism hashes the sentinel gates on), appended
 //!   to the same history file the bench records live in.
+//! * [`inspect`] — the `metrics-v1` live-introspection snapshot behind the
+//!   `inspect` op (unified counters, power-of-two histograms, cache and
+//!   flight-recorder state) and the scrubber that makes snapshots
+//!   byte-comparable across shard counts.
 //! * [`loadgen`] — the `bench --serve` load generator: N clients × M
 //!   requests from a seeded template mix, run once at `--shards 1` and once
 //!   at the requested shard count, hard-failing on any cross-shard
-//!   nondeterminism or a cache hit rate below the floor.
+//!   nondeterminism or a cache hit rate below the floor — plus a
+//!   recorder-off pass that measures the flight recorder's overhead.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod cache;
+pub mod inspect;
 pub mod loadgen;
 pub mod ops;
 pub mod proto;

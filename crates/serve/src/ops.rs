@@ -152,14 +152,46 @@ pub struct OpOutput {
     pub ok: bool,
     /// Simulated cycles attributable to the request.
     pub cycles: u64,
+    /// The `serve-err-v1` kind for errors (empty for successes) — the
+    /// flight recorder and burst detector read it without re-parsing the
+    /// body.
+    pub kind: String,
+    /// The run's canonical counter snapshot (`cycles`, `translator.*`,
+    /// `mcache.*`, `blocks.*`, …) — a pure function of the request, so
+    /// shard workers can merge it into per-shard registries without
+    /// breaking cross-shard determinism. Empty for errors and for ops
+    /// that aggregate many runs (`explain`, `conform`).
+    pub counters: std::collections::BTreeMap<String, u64>,
 }
 
 impl OpOutput {
+    fn from_report(body: String, report: &RunReport) -> OpOutput {
+        OpOutput {
+            body,
+            ok: true,
+            cycles: report.cycles,
+            kind: String::new(),
+            counters: liquid_simd_perfhist::counters::snapshot(report),
+        }
+    }
+
+    fn ok_plain(body: String) -> OpOutput {
+        OpOutput {
+            body,
+            ok: true,
+            cycles: 0,
+            kind: String::new(),
+            counters: std::collections::BTreeMap::new(),
+        }
+    }
+
     fn err(op: Op, kind: &str, msg: &str) -> OpOutput {
         OpOutput {
             body: proto::err_body(Some(op), kind, msg),
             ok: false,
             cycles: 0,
+            kind: kind.to_string(),
+            counters: std::collections::BTreeMap::new(),
         }
     }
 }
@@ -198,10 +230,16 @@ pub fn execute_with_backend(
     display_name: &str,
     backend: BackendKind,
 ) -> OpOutput {
+    if req.inject_panic {
+        // Test-only fault injection (`serve --inject-faults`): die inside
+        // the worker exactly as an organic bug would, so the panic
+        // containment + flight-dump path is exercised end to end.
+        panic!("injected worker panic (inject:\"panic\")");
+    }
     match req.op {
         Op::Translate => match translate_text_with(program, req.lanes, backend) {
-            Ok((text, report)) => OpOutput {
-                body: proto::ok_body(
+            Ok((text, report)) => OpOutput::from_report(
+                proto::ok_body(
                     Op::Translate,
                     vec![
                         ("name".to_string(), Json::Str(display_name.to_string())),
@@ -217,9 +255,8 @@ pub fn execute_with_backend(
                         ),
                     ],
                 ),
-                ok: true,
-                cycles: report.cycles,
-            },
+                &report,
+            ),
             Err(e) => sim_error_output(Op::Translate, req.budget_cycles, &e),
         },
         Op::Run => {
@@ -247,8 +284,8 @@ pub fn execute_with_backend(
                     } else {
                         run_summary(&report)
                     };
-                    OpOutput {
-                        body: proto::ok_body(
+                    OpOutput::from_report(
+                        proto::ok_body(
                             Op::Run,
                             vec![
                                 ("name".to_string(), Json::Str(display_name.to_string())),
@@ -257,9 +294,8 @@ pub fn execute_with_backend(
                                 ("retired".to_string(), Json::u64(report.retired)),
                             ],
                         ),
-                        ok: true,
-                        cycles: report.cycles,
-                    }
+                        &report,
+                    )
                 }
                 Err(e) => sim_error_output(Op::Run, req.budget_cycles, &e),
             }
@@ -278,17 +314,13 @@ pub fn execute_with_backend(
                     } else {
                         liquid_simd::diagnose::render_explain(&report)
                     };
-                    OpOutput {
-                        body: proto::ok_body(
-                            Op::Explain,
-                            vec![
-                                ("name".to_string(), Json::Str(display_name.to_string())),
-                                ("output".to_string(), Json::Str(text)),
-                            ],
-                        ),
-                        ok: true,
-                        cycles: 0,
-                    }
+                    OpOutput::ok_plain(proto::ok_body(
+                        Op::Explain,
+                        vec![
+                            ("name".to_string(), Json::Str(display_name.to_string())),
+                            ("output".to_string(), Json::Str(text)),
+                        ],
+                    ))
                 }
                 Err(e) => OpOutput::err(Op::Explain, "sim-error", &e.to_string()),
             }
@@ -317,11 +349,15 @@ pub fn execute_with_backend(
                 ),
                 ok: report.passed(),
                 cycles: 0,
+                kind: String::new(),
+                counters: std::collections::BTreeMap::new(),
             }
         }
-        // Stats and shutdown are answered by the server front-end, never
-        // dispatched to a shard.
-        Op::Stats | Op::Shutdown => OpOutput::err(req.op, "bad-request", "not a shard op"),
+        // Stats, inspect, dump, and shutdown are answered by the server
+        // front-end, never dispatched to a shard.
+        Op::Stats | Op::Inspect | Op::Dump | Op::Shutdown => {
+            OpOutput::err(req.op, "bad-request", "not a shard op")
+        }
     }
 }
 

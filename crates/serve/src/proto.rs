@@ -12,6 +12,8 @@
 //! {"op":"run","program":"halt\n","name":"tiny","budget_cycles":1000}
 //! {"op":"conform","seed":3,"cases":2}
 //! {"op":"stats"}
+//! {"op":"inspect"}
+//! {"op":"dump","reason":"sentinel-drift"}
 //! {"op":"shutdown"}
 //! ```
 //!
@@ -45,6 +47,12 @@ pub enum Op {
     Conform,
     /// Service counters — excluded from determinism hashing.
     Stats,
+    /// Full `metrics-v1` telemetry snapshot (counters, histograms, cache
+    /// and flight-recorder state) — excluded from determinism hashing.
+    Inspect,
+    /// Drain the flight recorder into a `flight-v1` dump file on the
+    /// daemon host (reason `manual` unless the request names one).
+    Dump,
     /// Begin graceful shutdown (in-flight requests still complete).
     Shutdown,
 }
@@ -59,6 +67,8 @@ impl Op {
             Op::Explain => "explain",
             Op::Conform => "conform",
             Op::Stats => "stats",
+            Op::Inspect => "inspect",
+            Op::Dump => "dump",
             Op::Shutdown => "shutdown",
         }
     }
@@ -70,6 +80,8 @@ impl Op {
             "explain" => Op::Explain,
             "conform" => Op::Conform,
             "stats" => Op::Stats,
+            "inspect" => Op::Inspect,
+            "dump" => Op::Dump,
             "shutdown" => Op::Shutdown,
             _ => return None,
         })
@@ -135,6 +147,12 @@ pub struct Request {
     pub seed: u64,
     /// Conformance case count.
     pub cases: u64,
+    /// Test-only fault injection (`"inject":"panic"`): panic inside the
+    /// shard worker. Parsed always, honored only when the daemon runs
+    /// with `--inject-faults` — the front-end rejects it otherwise.
+    pub inject_panic: bool,
+    /// Dump reason for `op:"dump"` (default `manual`).
+    pub reason: Option<String>,
 }
 
 fn get_usize(obj: &Json, key: &str) -> Result<Option<usize>, String> {
@@ -182,7 +200,10 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
     }
     let op_name = get_str(&doc, "op")?.ok_or("missing `op`")?;
     let op = Op::parse(&op_name).ok_or_else(|| {
-        format!("unknown op `{op_name}` (expected translate|run|explain|conform|stats|shutdown)")
+        format!(
+            "unknown op `{op_name}` (expected \
+             translate|run|explain|conform|stats|inspect|dump|shutdown)"
+        )
     })?;
     let id = match doc.get("id") {
         None => None,
@@ -262,6 +283,12 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
         budget_aborts: budget("budget_aborts")?,
         seed: doc.get("seed").and_then(Json::as_u64).unwrap_or(0xC0FFEE),
         cases: doc.get("cases").and_then(Json::as_u64).unwrap_or(20),
+        inject_panic: match get_str(&doc, "inject")?.as_deref() {
+            None => false,
+            Some("panic") => true,
+            Some(other) => return Err(format!("unknown `inject` fault `{other}`")),
+        },
+        reason: get_str(&doc, "reason")?,
     })
 }
 
@@ -322,7 +349,14 @@ pub fn canonical_key(req: &Request, prog_hash: u64, cfg_hash: u64) -> String {
         .or(req.name.as_deref())
         .unwrap_or("<inline>")
         .to_ascii_lowercase();
-    match req.op {
+    // An injected-fault request must never share a cache line with its
+    // healthy twin — the contained panic response is itself cacheable.
+    let inject = if req.inject_panic {
+        "|inject=panic"
+    } else {
+        ""
+    };
+    let key = match req.op {
         Op::Translate => {
             format!(
                 "op=translate|prog={prog_hash:016x}|name={name}|width={}",
@@ -345,8 +379,9 @@ pub fn canonical_key(req: &Request, prog_hash: u64, cfg_hash: u64) -> String {
             req.json
         ),
         Op::Conform => format!("op=conform|seed={}|cases={}", req.seed, req.cases),
-        Op::Stats | Op::Shutdown => format!("op={}", req.op.name()),
-    }
+        Op::Stats | Op::Inspect | Op::Dump | Op::Shutdown => format!("op={}", req.op.name()),
+    };
+    format!("{key}{inject}")
 }
 
 #[cfg(test)]

@@ -1,5 +1,5 @@
 //! The daemon: TCP accept loop, sharded dispatch, per-connection ordered
-//! writers, batched telemetry flushes.
+//! writers, batched telemetry flushes, and the always-on flight recorder.
 //!
 //! Thread shape (all scoped, all `std`):
 //!
@@ -18,12 +18,18 @@
 //! function [`ops::execute`] runs, and the per-connection writer restores
 //! request order with sequence numbers. Changing `--shards` therefore
 //! changes scheduling, never bytes; `bench --serve` hard-fails if that
-//! ever stops being true.
+//! ever stops being true. The same discipline extends to telemetry: the
+//! flight recorder and per-shard metric registries observe requests, they
+//! never touch response bytes, so recording is always on.
 //!
 //! Failure containment: a worker wraps request execution in
 //! `catch_unwind`, so a panicking request yields a `serve-err-v1` response
-//! of kind `panic` and the shard lives on. Budget violations and
-//! simulation faults are ordinary error responses from [`ops::execute`].
+//! of kind `panic` and the shard lives on — and the daemon drains the
+//! flight recorder into a `flight-v1` black-box dump (same for a
+//! configurable streak of budget-exceeded responses, and on demand via
+//! the `dump` op for external triggers like a sentinel-drift alarm).
+//! Budget violations and simulation faults are ordinary error responses
+//! from [`ops::execute`].
 
 use std::collections::BTreeMap;
 use std::io::{BufRead, BufReader, Write};
@@ -35,9 +41,11 @@ use std::sync::{mpsc, Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use liquid_simd_perfhist::Json;
+use liquid_simd_trace::{FlightEvent, FlightRecorder, FlightStage, Metrics};
 
 use crate::cache::{BuildCache, CacheEntry, ProgramEntry, TranslationCache};
 use crate::fnv1a;
+use crate::inspect;
 use crate::ops::{self, OpOutput};
 use crate::proto::{self, Op, Request};
 use crate::record::{BatchStats, CacheStats, Determinism};
@@ -59,6 +67,22 @@ pub struct ServeOptions {
     /// Simulation results are backend-independent, so this only changes
     /// daemon throughput (and the backend tag in `explain` output).
     pub backend: liquid_simd::BackendKind,
+    /// Per-shard flight-recorder ring capacity in events (`0` disables
+    /// recording — the overhead-measurement escape hatch; the recorder is
+    /// otherwise always on).
+    pub flight_capacity: usize,
+    /// Directory receiving `flight-v1` dump files (`None` = incidents are
+    /// still contained, just not dumped).
+    pub flight_dir: Option<PathBuf>,
+    /// Honor test-only `"inject"` request fields (`serve --inject-faults`)
+    /// — off by default so production daemons cannot be panicked remotely.
+    pub inject_faults: bool,
+    /// Dump the flight recorder after this many *consecutive*
+    /// budget-exceeded responses (`0` disables the burst trigger).
+    pub burst_threshold: u64,
+    /// Translation-cache entry bound (`0` = unbounded; see
+    /// [`TranslationCache::with_capacity`]).
+    pub cache_capacity: usize,
 }
 
 impl Default for ServeOptions {
@@ -69,6 +93,11 @@ impl Default for ServeOptions {
             history: None,
             history_every: 0,
             backend: liquid_simd::BackendKind::Interp,
+            flight_capacity: liquid_simd_trace::DEFAULT_FLIGHT_CAPACITY,
+            flight_dir: None,
+            inject_faults: false,
+            burst_threshold: 8,
+            cache_capacity: 0,
         }
     }
 }
@@ -86,8 +115,25 @@ pub struct ServeSummary {
     pub cache_misses: u64,
     /// History records appended.
     pub records_appended: u64,
+    /// `flight-v1` dump files written.
+    pub dumps: u64,
     /// Final determinism hashes (requests, responses) and cycle total.
     pub determinism: (u64, u64, u64),
+}
+
+/// Per-shard telemetry: request tallies, this shard's contribution to the
+/// translation cache, and a metric registry (counters + histograms)
+/// merged from every request the shard answered. Registries merge across
+/// shards in ascending shard order for the `inspect` snapshot.
+#[derive(Default)]
+struct ShardStat {
+    requests: AtomicU64,
+    errors: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    inserts: AtomicU64,
+    evictions: AtomicU64,
+    metrics: Mutex<Metrics>,
 }
 
 /// Shared daemon state.
@@ -95,6 +141,8 @@ struct State {
     opts: ServeOptions,
     builds: BuildCache,
     cache: TranslationCache,
+    recorder: FlightRecorder,
+    shard_stats: Vec<ShardStat>,
     shutdown: AtomicBool,
     requests: AtomicU64,
     errors: AtomicU64,
@@ -102,7 +150,11 @@ struct State {
     resp_hash: AtomicU64,
     sim_cycles: AtomicU64,
     records_appended: AtomicU64,
+    dumps: AtomicU64,
+    budget_streak: AtomicU64,
+    ops_total: Mutex<BTreeMap<String, u64>>,
     batch: Mutex<Batch>,
+    started: Instant,
 }
 
 struct Batch {
@@ -127,10 +179,13 @@ impl Batch {
 
 impl State {
     fn new(opts: ServeOptions) -> State {
+        let shards = opts.shards.max(1);
         State {
+            recorder: FlightRecorder::new(shards, opts.flight_capacity, opts.backend.name()),
+            shard_stats: (0..shards).map(|_| ShardStat::default()).collect(),
+            cache: TranslationCache::with_capacity(opts.cache_capacity),
             opts,
             builds: BuildCache::default(),
-            cache: TranslationCache::default(),
             shutdown: AtomicBool::new(false),
             requests: AtomicU64::new(0),
             errors: AtomicU64::new(0),
@@ -138,7 +193,11 @@ impl State {
             resp_hash: AtomicU64::new(0),
             sim_cycles: AtomicU64::new(0),
             records_appended: AtomicU64::new(0),
+            dumps: AtomicU64::new(0),
+            budget_streak: AtomicU64::new(0),
+            ops_total: Mutex::new(BTreeMap::new()),
             batch: Mutex::new(Batch::new()),
+            started: Instant::now(),
         }
     }
 
@@ -150,6 +209,12 @@ impl State {
         if !ok {
             self.errors.fetch_add(1, Ordering::Relaxed);
         }
+        *self
+            .ops_total
+            .lock()
+            .expect("ops_total poisoned")
+            .entry(op.to_string())
+            .or_insert(0) += 1;
         let flush_now = {
             let mut batch = self.batch.lock().expect("batch poisoned");
             batch.requests += 1;
@@ -216,9 +281,52 @@ impl State {
         } else {
             hits as f64 / (hits + misses) as f64
         };
+        let per_shard: Vec<Json> = self
+            .shard_stats
+            .iter()
+            .enumerate()
+            .map(|(i, s)| {
+                Json::Obj(vec![
+                    ("shard".to_string(), Json::u64(i as u64)),
+                    (
+                        "requests".to_string(),
+                        Json::u64(s.requests.load(Ordering::Relaxed)),
+                    ),
+                    (
+                        "errors".to_string(),
+                        Json::u64(s.errors.load(Ordering::Relaxed)),
+                    ),
+                    (
+                        "cache".to_string(),
+                        Json::Obj(vec![
+                            (
+                                "hits".to_string(),
+                                Json::u64(s.hits.load(Ordering::Relaxed)),
+                            ),
+                            (
+                                "misses".to_string(),
+                                Json::u64(s.misses.load(Ordering::Relaxed)),
+                            ),
+                            (
+                                "inserts".to_string(),
+                                Json::u64(s.inserts.load(Ordering::Relaxed)),
+                            ),
+                            (
+                                "evictions".to_string(),
+                                Json::u64(s.evictions.load(Ordering::Relaxed)),
+                            ),
+                        ]),
+                    ),
+                ])
+            })
+            .collect();
         proto::ok_body(
             Op::Stats,
             vec![
+                (
+                    "backend".to_string(),
+                    Json::Str(self.opts.backend.name().to_string()),
+                ),
                 ("shards".to_string(), Json::u64(self.opts.shards as u64)),
                 (
                     "requests".to_string(),
@@ -234,12 +342,150 @@ impl State {
                         ("hits".to_string(), Json::u64(hits)),
                         ("misses".to_string(), Json::u64(misses)),
                         ("entries".to_string(), Json::u64(entries)),
+                        ("capacity".to_string(), Json::u64(self.cache.capacity())),
+                        ("generation".to_string(), Json::u64(self.cache.generation())),
+                        ("evictions".to_string(), Json::u64(self.cache.evictions())),
                         ("hit_rate".to_string(), Json::f64(hit_rate)),
                     ]),
                 ),
                 ("builds".to_string(), Json::u64(self.builds.len() as u64)),
+                ("per_shard".to_string(), Json::Arr(per_shard)),
             ],
         )
+    }
+
+    /// The `metrics-v1` snapshot behind the `inspect` op: cumulative
+    /// counters, per-shard registries merged in ascending shard order,
+    /// cache and flight-recorder state. Built before the inspect request
+    /// itself is tallied, so a snapshot after a fixed load reflects
+    /// exactly that load.
+    fn inspect_body(&self) -> String {
+        let (hits, misses, entries) = self.cache.stats();
+        let hit_rate = if hits + misses == 0 {
+            0.0
+        } else {
+            hits as f64 / (hits + misses) as f64
+        };
+        let by_op: Vec<(String, Json)> = self
+            .ops_total
+            .lock()
+            .expect("ops_total poisoned")
+            .iter()
+            .map(|(k, &v)| (k.clone(), Json::u64(v)))
+            .collect();
+        // Deterministic merge order: ascending shard index. Counter and
+        // bucket addition is commutative, so the merged registry is also
+        // independent of how requests were scheduled onto shards.
+        let mut merged = Metrics::new();
+        for s in &self.shard_stats {
+            merged.merge(&s.metrics.lock().expect("shard metrics poisoned"));
+        }
+        let (counters, histograms) = inspect::registry_json(&merged);
+        let doc = Json::Obj(vec![
+            (
+                "schema".to_string(),
+                Json::Str(inspect::METRICS_SCHEMA.to_string()),
+            ),
+            (
+                "backend".to_string(),
+                Json::Str(self.opts.backend.name().to_string()),
+            ),
+            ("shards".to_string(), Json::u64(self.opts.shards as u64)),
+            (
+                "uptime_us".to_string(),
+                Json::u64(self.started.elapsed().as_micros() as u64),
+            ),
+            (
+                "requests".to_string(),
+                Json::Obj(vec![
+                    (
+                        "total".to_string(),
+                        Json::u64(self.requests.load(Ordering::Relaxed)),
+                    ),
+                    (
+                        "errors".to_string(),
+                        Json::u64(self.errors.load(Ordering::Relaxed)),
+                    ),
+                    ("by_op".to_string(), Json::Obj(by_op)),
+                ]),
+            ),
+            (
+                "determinism".to_string(),
+                Json::Obj(vec![
+                    (
+                        "requests_hash".to_string(),
+                        Json::u64(self.req_hash.load(Ordering::Relaxed)),
+                    ),
+                    (
+                        "responses_hash".to_string(),
+                        Json::u64(self.resp_hash.load(Ordering::Relaxed)),
+                    ),
+                    (
+                        "sim_cycles_total".to_string(),
+                        Json::u64(self.sim_cycles.load(Ordering::Relaxed)),
+                    ),
+                ]),
+            ),
+            (
+                "cache".to_string(),
+                Json::Obj(vec![
+                    ("builds".to_string(), Json::u64(self.builds.len() as u64)),
+                    (
+                        "translations".to_string(),
+                        Json::Obj(vec![
+                            ("entries".to_string(), Json::u64(entries)),
+                            ("capacity".to_string(), Json::u64(self.cache.capacity())),
+                            ("generation".to_string(), Json::u64(self.cache.generation())),
+                            ("evictions".to_string(), Json::u64(self.cache.evictions())),
+                            ("hits".to_string(), Json::u64(hits)),
+                            ("misses".to_string(), Json::u64(misses)),
+                            ("hit_rate".to_string(), Json::f64(hit_rate)),
+                        ]),
+                    ),
+                ]),
+            ),
+            (
+                "flight".to_string(),
+                Json::Obj(vec![
+                    (
+                        "capacity".to_string(),
+                        Json::u64(self.recorder.capacity() as u64),
+                    ),
+                    ("events".to_string(), Json::u64(self.recorder.events())),
+                    ("dropped".to_string(), Json::u64(self.recorder.dropped())),
+                    (
+                        "contended".to_string(),
+                        Json::u64(self.recorder.contended()),
+                    ),
+                ]),
+            ),
+            ("counters".to_string(), counters),
+            ("histograms".to_string(), histograms),
+        ]);
+        proto::ok_body(Op::Inspect, vec![("metrics".to_string(), doc)])
+    }
+
+    /// Drains the flight recorder into `flight-<n>-<reason>.jsonl` (plus a
+    /// `.folded` flamegraph sidecar) under the configured dump directory.
+    fn dump_flight(&self, reason: &str) -> Result<(PathBuf, u64), String> {
+        let dir = self.opts.flight_dir.clone().ok_or_else(|| {
+            "no flight dump directory configured (serve --flight-dir)".to_string()
+        })?;
+        std::fs::create_dir_all(&dir).map_err(|e| format!("create {}: {e}", dir.display()))?;
+        let records = self.recorder.drain();
+        let idx = self.dumps.fetch_add(1, Ordering::Relaxed);
+        let slug: String = reason
+            .chars()
+            .map(|c| if c.is_ascii_alphanumeric() { c } else { '-' })
+            .collect();
+        let path = dir.join(format!("flight-{idx:03}-{slug}.jsonl"));
+        std::fs::write(&path, self.recorder.dump(reason, &records))
+            .map_err(|e| format!("write {}: {e}", path.display()))?;
+        let folded = liquid_simd_trace::flight::folded_events("serve", &records);
+        let folded_path = path.with_extension("folded");
+        std::fs::write(&folded_path, folded)
+            .map_err(|e| format!("write {}: {e}", folded_path.display()))?;
+        Ok((path, records.len() as u64))
     }
 
     fn summary(&self) -> ServeSummary {
@@ -250,12 +496,22 @@ impl State {
             cache_hits: hits,
             cache_misses: misses,
             records_appended: self.records_appended.load(Ordering::Relaxed),
+            dumps: self.dumps.load(Ordering::Relaxed),
             determinism: (
                 self.req_hash.load(Ordering::Relaxed),
                 self.resp_hash.load(Ordering::Relaxed),
                 self.sim_cycles.load(Ordering::Relaxed),
             ),
         }
+    }
+}
+
+/// The request id as flight-event text (numbers render raw, no id = "").
+fn id_text(id: Option<&Json>) -> String {
+    match id {
+        None => String::new(),
+        Some(Json::Str(s)) => s.clone(),
+        Some(other) => other.write(),
     }
 }
 
@@ -337,8 +593,8 @@ fn run_loop(listener: &TcpListener, state: &Arc<State>) -> ServeSummary {
         receivers.push(rx);
     }
     std::thread::scope(|scope| {
-        for rx in receivers {
-            scope.spawn(|| shard_worker(rx, state));
+        for (shard, rx) in receivers.into_iter().enumerate() {
+            scope.spawn(move || shard_worker(rx, shard, state));
         }
         loop {
             if state.shutdown.load(Ordering::Relaxed) {
@@ -366,9 +622,10 @@ fn run_loop(listener: &TcpListener, state: &Arc<State>) -> ServeSummary {
     state.summary()
 }
 
-fn shard_worker(rx: mpsc::Receiver<Job>, state: &State) {
+fn shard_worker(rx: mpsc::Receiver<Job>, shard: usize, state: &State) {
     while let Ok(job) = rx.recv() {
-        let body = answer(&job, state);
+        let (entry, fresh) = answer(&job, shard, state);
+        let output = &entry.output;
         let latency = job.arrived.elapsed().as_micros() as u64;
         // Stats/shutdown never reach a shard, so every job here is a
         // deterministic op: fold it into the determinism accumulators.
@@ -379,72 +636,175 @@ fn shard_worker(rx: mpsc::Receiver<Job>, state: &State) {
             .req_hash
             .fetch_add(fnv1a(job.key.as_bytes()), Ordering::Relaxed);
         let mut pair = job.key.clone().into_bytes();
-        pair.extend_from_slice(body.output.body.as_bytes());
+        pair.extend_from_slice(output.body.as_bytes());
         state.resp_hash.fetch_add(fnv1a(&pair), Ordering::Relaxed);
-        state
-            .sim_cycles
-            .fetch_add(body.output.cycles, Ordering::Relaxed);
-        state.tally(job.req.op.name(), body.output.ok, latency);
-        let line = proto::with_id(&body.output.body, job.req.id.as_ref());
+        state.sim_cycles.fetch_add(output.cycles, Ordering::Relaxed);
+        // Per-shard telemetry. The counter snapshot inside the entry is a
+        // pure function of the request, so merging it per *request* (hit
+        // or miss alike) keeps the merged registry independent of shard
+        // count and cache schedule.
+        let stat = &state.shard_stats[shard];
+        stat.requests.fetch_add(1, Ordering::Relaxed);
+        if !output.ok {
+            stat.errors.fetch_add(1, Ordering::Relaxed);
+        }
+        {
+            let mut m = stat.metrics.lock().expect("shard metrics poisoned");
+            for (name, &v) in &output.counters {
+                m.add(&format!("sim.{name}"), v);
+            }
+            m.observe("request.cycles", output.cycles, &inspect::cycle_bounds());
+            m.observe("wall.latency_us", latency, &inspect::latency_bounds());
+        }
+        state.recorder.record(
+            shard,
+            FlightEvent::new(
+                &id_text(job.req.id.as_ref()),
+                job.req.op.name(),
+                FlightStage::Respond,
+            )
+            .ok(output.ok)
+            .detail(&output.kind)
+            .cycles(output.cycles)
+            .generation(state.cache.generation()),
+        );
+        // Black-box triggers. A panic entry dumps only when freshly
+        // computed — a cache hit on an old panic is not a new incident.
+        if fresh && output.kind == "panic" {
+            report_dump(state, state.dump_flight("worker-panic"), "worker panic");
+        }
+        if output.kind == "budget-exceeded" {
+            let streak = state.budget_streak.fetch_add(1, Ordering::Relaxed) + 1;
+            if state.opts.burst_threshold > 0 && streak == state.opts.burst_threshold {
+                report_dump(state, state.dump_flight("budget-burst"), "budget burst");
+            }
+        } else {
+            state.budget_streak.store(0, Ordering::Relaxed);
+        }
+        state.tally(job.req.op.name(), output.ok, latency);
+        let line = proto::with_id(&output.body, job.req.id.as_ref());
         // A dropped receiver means the client went away; nothing to do.
         let _ = job.reply.send((job.seq, line));
     }
 }
 
+/// Logs a dump attempt's outcome without failing the request path.
+fn report_dump(state: &State, result: Result<(PathBuf, u64), String>, what: &str) {
+    let _ = state;
+    match result {
+        Ok((path, events)) => {
+            eprintln!(
+                "liquid-simd serve: {what}: dumped {events} flight events to {}",
+                path.display()
+            );
+        }
+        Err(e) => eprintln!("liquid-simd serve: {what}: flight dump skipped: {e}"),
+    }
+}
+
 /// Computes (or cache-hits) the response for one shard job, containing
-/// any panic as a `serve-err-v1` of kind `panic`.
-fn answer(job: &Job, state: &State) -> Arc<CacheEntry> {
-    state.cache.get_or_compute(&job.key, || {
-        let computed = catch_unwind(AssertUnwindSafe(|| match &job.program {
-            Some(entry) => {
-                let output = ops::execute_with_backend(
-                    &job.req,
-                    &entry.program,
-                    &entry.name,
-                    state.opts.backend,
-                );
-                // Retain the translated microcode alongside the rendered
-                // response: this entry *is* the service's microcode cache
-                // line, preloadable by a future execution layer.
-                let micro = if job.req.op == Op::Translate && output.ok {
-                    snapshot_microcode(&entry.program, job.req.lanes)
-                } else {
-                    Vec::new()
-                };
-                CacheEntry {
-                    output,
-                    microcode: micro,
-                }
+/// any panic as a `serve-err-v1` of kind `panic`. Returns the entry and
+/// whether it was freshly computed (false = translation-cache hit).
+fn answer(job: &Job, shard: usize, state: &State) -> (Arc<CacheEntry>, bool) {
+    let id = id_text(job.req.id.as_ref());
+    let op = job.req.op.name();
+    let stat = &state.shard_stats[shard];
+    let probe_gen = state.cache.generation();
+    if let Some(hit) = state.cache.lookup(&job.key) {
+        stat.hits.fetch_add(1, Ordering::Relaxed);
+        state.recorder.record(
+            shard,
+            FlightEvent::new(&id, op, FlightStage::Probe)
+                .detail("hit")
+                .generation(probe_gen),
+        );
+        return (hit, false);
+    }
+    stat.misses.fetch_add(1, Ordering::Relaxed);
+    state.recorder.record(
+        shard,
+        FlightEvent::new(&id, op, FlightStage::Probe)
+            .detail("miss")
+            .generation(probe_gen),
+    );
+    state
+        .recorder
+        .record(shard, FlightEvent::new(&id, op, FlightStage::Translate));
+    let computed = catch_unwind(AssertUnwindSafe(|| match &job.program {
+        Some(entry) => {
+            let output = ops::execute_with_backend(
+                &job.req,
+                &entry.program,
+                &entry.name,
+                state.opts.backend,
+            );
+            // Retain the translated microcode alongside the rendered
+            // response: this entry *is* the service's microcode cache
+            // line, preloadable by a future execution layer.
+            let micro = if job.req.op == Op::Translate && output.ok {
+                snapshot_microcode(&entry.program, job.req.lanes)
+            } else {
+                Vec::new()
+            };
+            CacheEntry {
+                output,
+                microcode: micro,
             }
-            // Conform carries no program; execute() never reads the
-            // placeholder.
-            None => CacheEntry {
-                output: ops::execute_with_backend(
-                    &job.req,
-                    &ops::assemble_inline(".text\nmain:\n    halt\n")
-                        .expect("placeholder program assembles"),
-                    "<none>",
-                    state.opts.backend,
-                ),
-                microcode: Vec::new(),
-            },
-        }));
-        computed.unwrap_or_else(|payload| {
+        }
+        // Conform carries no program; execute() never reads the
+        // placeholder.
+        None => CacheEntry {
+            output: ops::execute_with_backend(
+                &job.req,
+                &ops::assemble_inline(".text\nmain:\n    halt\n")
+                    .expect("placeholder program assembles"),
+                "<none>",
+                state.opts.backend,
+            ),
+            microcode: Vec::new(),
+        },
+    }));
+    let entry = match computed {
+        Ok(entry) => {
+            state.recorder.record(
+                shard,
+                FlightEvent::new(&id, op, FlightStage::Execute)
+                    .ok(entry.output.ok)
+                    .detail(state.opts.backend.name())
+                    .cycles(entry.output.cycles),
+            );
+            entry
+        }
+        Err(payload) => {
             let msg = payload
                 .downcast_ref::<String>()
                 .map(String::as_str)
                 .or_else(|| payload.downcast_ref::<&str>().copied())
                 .unwrap_or("opaque panic payload");
+            state.recorder.record(
+                shard,
+                FlightEvent::new(&id, op, FlightStage::Panic)
+                    .ok(false)
+                    .detail(msg),
+            );
             CacheEntry {
                 output: OpOutput {
                     body: proto::err_body(Some(job.req.op), "panic", msg),
                     ok: false,
                     cycles: 0,
+                    kind: "panic".to_string(),
+                    counters: BTreeMap::new(),
                 },
                 microcode: Vec::new(),
             }
-        })
-    })
+        }
+    };
+    let (arc, inserted, evicted) = state.cache.insert(&job.key, entry);
+    if inserted {
+        stat.inserts.fetch_add(1, Ordering::Relaxed);
+    }
+    stat.evictions.fetch_add(evicted, Ordering::Relaxed);
+    (arc, true)
 }
 
 fn snapshot_microcode(
@@ -507,7 +867,11 @@ fn connection(stream: TcpStream, shard_txs: Vec<mpsc::Sender<Job>>, state: &Stat
 }
 
 /// Parses one request line and routes it: immediate front-end answers for
-/// stats/shutdown/bad requests, shard dispatch for deterministic ops.
+/// stats/inspect/dump/shutdown/bad requests, shard dispatch for
+/// deterministic ops. Front-end lifecycle events land on shard ring 0
+/// (they have no shard of their own); dispatched requests record their
+/// accept/parse/build events on their destination shard's ring so an
+/// incident dump shows each request's full story in one place.
 fn handle_line(
     line: &str,
     seq: u64,
@@ -517,12 +881,22 @@ fn handle_line(
 ) {
     let arrived = Instant::now();
     let front = |body: String, id: Option<&Json>, op: &str, ok: bool| {
+        state.recorder.record(
+            0,
+            FlightEvent::new(&id_text(id), op, FlightStage::Respond).ok(ok),
+        );
         state.tally(op, ok, arrived.elapsed().as_micros() as u64);
         let _ = reply_tx.send((seq, proto::with_id(&body, id)));
     };
     let req = match proto::parse_request(line) {
         Ok(req) => req,
         Err(msg) => {
+            state.recorder.record(
+                0,
+                FlightEvent::new("", "invalid", FlightStage::Parse)
+                    .ok(false)
+                    .detail(&msg),
+            );
             front(
                 proto::err_body(None, "bad-request", &msg),
                 None,
@@ -532,8 +906,51 @@ fn handle_line(
             return;
         }
     };
+    if req.inject_panic && !state.opts.inject_faults {
+        front(
+            proto::err_body(
+                Some(req.op),
+                "bad-request",
+                "fault injection is disabled (start the daemon with --inject-faults)",
+            ),
+            req.id.as_ref(),
+            req.op.name(),
+            false,
+        );
+        return;
+    }
     match req.op {
         Op::Stats => front(state.stats_body(), req.id.as_ref(), Op::Stats.name(), true),
+        Op::Inspect => {
+            // Render before tallying: the snapshot reflects every request
+            // answered so far, not itself.
+            let body = state.inspect_body();
+            front(body, req.id.as_ref(), Op::Inspect.name(), true);
+        }
+        Op::Dump => {
+            let reason = req.reason.clone().unwrap_or_else(|| "manual".to_string());
+            match state.dump_flight(&reason) {
+                Ok((path, events)) => front(
+                    proto::ok_body(
+                        Op::Dump,
+                        vec![
+                            ("reason".to_string(), Json::Str(reason)),
+                            ("path".to_string(), Json::Str(path.display().to_string())),
+                            ("events".to_string(), Json::u64(events)),
+                        ],
+                    ),
+                    req.id.as_ref(),
+                    Op::Dump.name(),
+                    true,
+                ),
+                Err(msg) => front(
+                    proto::err_body(Some(Op::Dump), "no-flight-dir", &msg),
+                    req.id.as_ref(),
+                    Op::Dump.name(),
+                    false,
+                ),
+            }
+        }
         Op::Shutdown => {
             state.shutdown.store(true, Ordering::Relaxed);
             front(
@@ -555,6 +972,16 @@ fn handle_line(
                 match resolved {
                     Ok(entry) => Some(entry),
                     Err(msg) => {
+                        state.recorder.record(
+                            0,
+                            FlightEvent::new(
+                                &id_text(req.id.as_ref()),
+                                req.op.name(),
+                                FlightStage::Build,
+                            )
+                            .ok(false)
+                            .detail(&msg),
+                        );
                         front(
                             proto::err_body(Some(req.op), "bad-request", &msg),
                             req.id.as_ref(),
@@ -569,6 +996,18 @@ fn handle_line(
             let cfg_hash = ops::machine_config(req.mode, req.lanes, req.jit).fingerprint();
             let key = proto::canonical_key(&req, prog_hash, cfg_hash);
             let shard = (prog_hash % shard_txs.len() as u64) as usize;
+            let id = id_text(req.id.as_ref());
+            let op = req.op.name();
+            state
+                .recorder
+                .record(shard, FlightEvent::new(&id, op, FlightStage::Accept));
+            state
+                .recorder
+                .record(shard, FlightEvent::new(&id, op, FlightStage::Parse));
+            state.recorder.record(
+                shard,
+                FlightEvent::new(&id, op, FlightStage::Build).detail(&format!("{prog_hash:016x}")),
+            );
             let job = Job {
                 seq,
                 req,
@@ -672,6 +1111,20 @@ mod tests {
         let cache = stats.get("cache").unwrap();
         assert!(cache.get("hits").and_then(Json::as_u64).unwrap() >= 4);
         assert_eq!(cache.get("entries").and_then(Json::as_u64), Some(1));
+        assert_eq!(cache.get("evictions").and_then(Json::as_u64), Some(0));
+        assert_eq!(cache.get("generation").and_then(Json::as_u64), Some(1));
+        assert_eq!(
+            stats.get("backend").and_then(Json::as_str),
+            Some("interp"),
+            "stats echoes the backend tag"
+        );
+        let per_shard = stats.get("per_shard").and_then(Json::as_arr).unwrap();
+        assert_eq!(per_shard.len(), 4, "one entry per shard");
+        let answered: u64 = per_shard
+            .iter()
+            .filter_map(|s| s.get("requests").and_then(Json::as_u64))
+            .sum();
+        assert_eq!(answered, 5, "all translates answered by shards");
         handle.shutdown();
         handle.join().unwrap();
     }
@@ -707,5 +1160,165 @@ mod tests {
         handle.shutdown();
         let summary = handle.join().unwrap();
         assert_eq!(summary.errors, 3);
+    }
+
+    #[test]
+    fn inject_is_rejected_without_the_flag() {
+        let handle = spawn(ServeOptions::default()).unwrap();
+        let responses = client(
+            handle.addr,
+            &[r#"{"op":"run","workload":"fir","inject":"panic","id":"x"}"#.to_string()],
+        );
+        let doc = Json::parse(&responses[0]).unwrap();
+        assert_eq!(doc.get("kind").and_then(Json::as_str), Some("bad-request"));
+        let err = doc.get("error").and_then(Json::as_str).unwrap();
+        assert!(err.contains("--inject-faults"), "{err}");
+        handle.shutdown();
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn injected_panic_is_contained_and_dumped() {
+        let dir =
+            std::env::temp_dir().join(format!("liquid-simd-flight-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let handle = spawn(ServeOptions {
+            shards: 2,
+            inject_faults: true,
+            flight_dir: Some(dir.clone()),
+            ..ServeOptions::default()
+        })
+        .unwrap();
+        let lines: Vec<String> = vec![
+            r#"{"op":"run","workload":"fir","id":"healthy-1"}"#.to_string(),
+            r#"{"op":"run","workload":"fir","inject":"panic","id":"boom"}"#.to_string(),
+            r#"{"op":"run","workload":"fir","id":"healthy-2"}"#.to_string(),
+        ];
+        let responses = client(handle.addr, &lines);
+        let kind_of = |r: &str| {
+            Json::parse(r)
+                .unwrap()
+                .get("kind")
+                .and_then(Json::as_str)
+                .map(str::to_string)
+        };
+        assert_eq!(kind_of(&responses[0]), None);
+        assert_eq!(kind_of(&responses[1]).as_deref(), Some("panic"));
+        assert_eq!(kind_of(&responses[2]), None, "shard survives the panic");
+        handle.shutdown();
+        let summary = handle.join().unwrap();
+        assert_eq!(summary.dumps, 1, "one worker-panic dump");
+        let dump = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(Result::ok)
+            .find(|e| e.path().extension().is_some_and(|x| x == "jsonl"))
+            .expect("dump file written");
+        let text = std::fs::read_to_string(dump.path()).unwrap();
+        let mut lines = text.lines();
+        let header = lines.next().unwrap();
+        assert!(header.contains("\"schema\":\"flight-v1\""));
+        assert!(header.contains("\"reason\":\"worker-panic\""));
+        // The failing request's lifecycle is in the dump, through panic.
+        for stage in ["accept", "parse", "build", "probe", "translate", "panic"] {
+            assert!(
+                text.lines().any(|l| l.contains("\"id\":\"boom\"")
+                    && l.contains(&format!("\"stage\":\"{stage}\""))),
+                "dump missing boom/{stage}:\n{text}"
+            );
+        }
+        assert!(
+            dump.path().with_extension("folded").exists(),
+            "folded sidecar written"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn budget_burst_triggers_a_dump() {
+        let dir =
+            std::env::temp_dir().join(format!("liquid-simd-burst-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let handle = spawn(ServeOptions {
+            burst_threshold: 3,
+            flight_dir: Some(dir.clone()),
+            ..ServeOptions::default()
+        })
+        .unwrap();
+        let lines: Vec<String> = (0..4)
+            .map(|i| format!(r#"{{"op":"run","workload":"fir","budget_cycles":10,"id":{i}}}"#))
+            .collect();
+        let responses = client(handle.addr, &lines);
+        assert!(responses
+            .iter()
+            .all(|r| r.contains("\"kind\":\"budget-exceeded\"")));
+        handle.shutdown();
+        let summary = handle.join().unwrap();
+        assert_eq!(summary.dumps, 1, "exactly one dump at the threshold");
+        let burst = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(Result::ok)
+            .any(|e| e.file_name().to_string_lossy().contains("budget-burst"));
+        assert!(burst, "dump file names its reason");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn inspect_returns_a_metrics_snapshot_and_dump_op_works() {
+        let dir =
+            std::env::temp_dir().join(format!("liquid-simd-inspect-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let handle = spawn(ServeOptions {
+            flight_dir: Some(dir.clone()),
+            ..ServeOptions::default()
+        })
+        .unwrap();
+        let warm: Vec<String> = vec![
+            r#"{"op":"run","workload":"fir","id":"a"}"#.to_string(),
+            r#"{"op":"run","workload":"fir","id":"b"}"#.to_string(),
+        ];
+        let _ = client(handle.addr, &warm);
+        let responses = client(
+            handle.addr,
+            &[
+                r#"{"op":"inspect","id":"i"}"#.to_string(),
+                r#"{"op":"dump","reason":"sentinel-drift","id":"d"}"#.to_string(),
+            ],
+        );
+        let doc = Json::parse(&responses[0]).unwrap();
+        let metrics = doc.get("metrics").expect("metrics field");
+        assert_eq!(
+            metrics.get("schema").and_then(Json::as_str),
+            Some("metrics-v1")
+        );
+        assert_eq!(
+            metrics
+                .get("requests")
+                .and_then(|r| r.get("total"))
+                .and_then(Json::as_u64),
+            Some(2),
+            "snapshot sees the warm load, not itself"
+        );
+        let hist = metrics
+            .get("histograms")
+            .and_then(|h| h.get("request.cycles"))
+            .expect("cycle histogram");
+        assert_eq!(hist.get("count").and_then(Json::as_u64), Some(2));
+        assert!(
+            metrics
+                .get("counters")
+                .and_then(|c| c.get("sim.cycles"))
+                .and_then(Json::as_u64)
+                .unwrap_or(0)
+                > 0,
+            "merged sim counters present"
+        );
+        let dump = Json::parse(&responses[1]).unwrap();
+        assert_eq!(dump.get("ok"), Some(&Json::Bool(true)), "{}", responses[1]);
+        let path = dump.get("path").and_then(Json::as_str).unwrap();
+        assert!(path.contains("sentinel-drift"));
+        assert!(std::path::Path::new(path).exists());
+        handle.shutdown();
+        handle.join().unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

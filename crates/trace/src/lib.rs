@@ -21,6 +21,9 @@
 //! * [`export`] — JSON-lines, Chrome trace-event format (one track per
 //!   subsystem, loadable in Perfetto / `chrome://tracing`), and a
 //!   human-readable summary.
+//! * [`flight`] — the always-on service flight recorder: per-shard
+//!   bounded rings of request-lifecycle events with a never-blocking
+//!   hot path, drained into `flight-v1` JSONL black-box dumps.
 //!
 //! ```
 //! use liquid_simd_trace::{CallMode, TraceEvent, Tracer};
@@ -47,11 +50,15 @@
 
 pub mod event;
 pub mod export;
+pub mod flight;
 pub mod metrics;
 pub mod span;
 pub mod tracer;
 
 pub use event::{CacheKind, CallMode, TraceEvent, TraceRecord, Track};
-pub use metrics::{Histogram, Metrics};
+pub use flight::{
+    FlightEvent, FlightRecord, FlightRecorder, FlightStage, DEFAULT_FLIGHT_CAPACITY, FLIGHT_SCHEMA,
+};
+pub use metrics::{pow2_bounds, Histogram, Metrics};
 pub use span::{SpanAgg, SpanGuard, SpanId, SpanRecord};
 pub use tracer::{TraceConfig, Tracer, DEFAULT_CAPACITY};

@@ -19,7 +19,23 @@ pub struct Histogram {
     max: u64,
 }
 
+/// Power-of-two inclusive upper edges `[1, 2, 4, …, 2^max_pow]` — the
+/// canonical bucket layout for service latency/cycle histograms. Every
+/// shard using the same `max_pow` gets an identical layout, so
+/// [`Histogram::merge`] across shards is exact and the merged rendering
+/// is byte-identical regardless of how samples were partitioned.
+#[must_use]
+pub fn pow2_bounds(max_pow: u32) -> Vec<u64> {
+    (0..=max_pow.min(63)).map(|p| 1u64 << p).collect()
+}
+
 impl Histogram {
+    /// Creates a power-of-two-bucket histogram (see [`pow2_bounds`]).
+    #[must_use]
+    pub fn pow2(max_pow: u32) -> Histogram {
+        Histogram::new(&pow2_bounds(max_pow))
+    }
+
     /// Creates a histogram with the given inclusive upper bucket edges
     /// (must be strictly increasing).
     ///
@@ -409,6 +425,42 @@ mod tests {
         assert_eq!(a.max(), 7000);
         // Edges 10 and 100 rebin under 1000; overflow replays at max 7000.
         assert_eq!(a.bucket_counts(), &[2, 1]);
+    }
+
+    #[test]
+    fn pow2_bounds_double_and_cap_at_u64() {
+        assert_eq!(pow2_bounds(3), vec![1, 2, 4, 8]);
+        let h = Histogram::pow2(20);
+        assert_eq!(h.bounds().len(), 21);
+        assert_eq!(*h.bounds().last().unwrap(), 1 << 20);
+        // max_pow beyond 63 clamps instead of overflowing the shift.
+        assert_eq!(*pow2_bounds(80).last().unwrap(), 1u64 << 63);
+    }
+
+    #[test]
+    fn shard_merge_is_partition_independent() {
+        // The same sample multiset, partitioned over 1 vs N "shards",
+        // must merge to byte-identical histograms (the metrics-v1
+        // determinism requirement). Exactness holds because every shard
+        // shares one pow2 layout.
+        let samples: Vec<u64> = (0..257).map(|i| (i * i * 7 + 3) % 100_000).collect();
+        let merged_of = |shards: usize| {
+            let mut parts: Vec<Histogram> = (0..shards).map(|_| Histogram::pow2(32)).collect();
+            for (i, &s) in samples.iter().enumerate() {
+                parts[i % shards].observe(s);
+            }
+            let mut merged = Histogram::pow2(32);
+            for p in &parts {
+                merged.merge(p);
+            }
+            merged
+        };
+        let one = merged_of(1);
+        for shards in [2, 3, 8] {
+            let n = merged_of(shards);
+            assert_eq!(one, n, "merge at 1 shard == merge at {shards}");
+            assert_eq!(one.to_string(), n.to_string(), "rendering identical");
+        }
     }
 
     #[test]

@@ -12,5 +12,6 @@ pub use liquid_simd_mem as mem;
 pub use liquid_simd_perfhist as perfhist;
 pub use liquid_simd_serve as serve;
 pub use liquid_simd_sim as sim;
+pub use liquid_simd_trace as trace;
 pub use liquid_simd_translator as translator;
 pub use liquid_simd_workloads as workloads;

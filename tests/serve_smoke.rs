@@ -27,7 +27,7 @@ fn spawn_daemon(shards: usize, history: Option<PathBuf>) -> liquid_simd_repro::s
         shards,
         history,
         history_every: 0,
-        backend: Default::default(),
+        ..ServeOptions::default()
     })
     .expect("daemon binds loopback")
 }
@@ -156,6 +156,7 @@ fn loadgen_history_feeds_the_sentinel() {
         min_hit_rate: 0.0,
         history: Some(history.clone()),
         seed: 0x5EED,
+        measure_recorder: false,
     })
     .expect("load generator passes");
     assert_eq!(report.requests, 24);
