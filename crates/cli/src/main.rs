@@ -50,6 +50,29 @@
 //!     --measure-recorder   third pass with the flight recorder disabled;
 //!                      prints the wall-clock overhead delta and records
 //!                      it in the BENCH_sim.json `notes` field
+//!     --families       benchmark the generated kernel families instead of
+//!                      the fixed suite: every corpus variant at every
+//!                      width, summarised per family as a speedup
+//!                      distribution (p10/p50/p90) with abort-reason
+//!                      tallies and width anomalies; the snapshot has no
+//!                      wall-clock fields, so two runs are byte-identical,
+//!                      and one perfhist-gen-v1 record goes to the history
+//!                      (--smoke keeps variants with trip <= 64, unroll <= 2)
+//! liquid-simd gen [--list|--expand|--emit VARIANT|--check]
+//!                      the declarative kernel-generator corpus
+//!                      (bench/families/*.kernel, kernel-v1 format)
+//!     --list           one variant name per line (the default)
+//!     --expand         the deterministic expansion manifest: name, family,
+//!                      trip, unroll, data seed, payload kind per line —
+//!                      byte-identical across runs and hosts, CI `cmp`s two
+//!     --emit VARIANT   print the variant's program: scalarized+outlined
+//!                      assembly for kernels, raw assembly for the
+//!                      deliberately untranslatable idioms
+//!     --check          run every variant through the conform oracle
+//!                      (translatable: full differential check at every
+//!                      width; untranslatable: abort-never-mistranslate
+//!                      with the expected tag) and gate on abort coverage
+//!                      [--jobs N] [--json] [--out FILE]
 //! liquid-simd serve [--addr A] [--shards N]
 //!                      batched simulation daemon: line-delimited JSON
 //!                      requests (translate|run|explain|conform|stats|
@@ -157,6 +180,7 @@ fn run_cli(args: &[String]) -> Result<(), String> {
         "profile" => cmd_profile(rest),
         "tables" => cmd_tables(rest),
         "bench" => cmd_bench(rest),
+        "gen" => cmd_gen(rest),
         "serve" => cmd_serve(rest),
         "inspect" => cmd_inspect(rest),
         "top" => cmd_top(rest),
@@ -172,7 +196,7 @@ fn run_cli(args: &[String]) -> Result<(), String> {
 }
 
 fn usage() -> String {
-    "usage: liquid-simd <asm|disasm|run|translate|trace|explain|profile|tables|bench|serve|inspect|top|sentinel|dashboard|conform|help> [args]\n\
+    "usage: liquid-simd <asm|disasm|run|translate|trace|explain|profile|tables|bench|gen|serve|inspect|top|sentinel|dashboard|conform|help> [args]\n\
      \n\
      asm <input.s> -o <out.lsim>\n\
      disasm <prog.lsim>\n\
@@ -189,7 +213,9 @@ fn usage() -> String {
      bench [--jobs N] [--smoke] [--backend B] [--progress]\n\
          [--out BENCH_sim.json] [--history bench/history.jsonl]\n\
          [--no-history] [--serve [--clients N] [--requests N] [--shards N]\n\
-         [--measure-recorder]]\n\
+         [--measure-recorder]] [--families]\n\
+     gen [--list] [--expand] [--emit VARIANT] [--check [--jobs N] [--json]]\n\
+         [--out FILE]\n\
      serve [--addr 127.0.0.1:7070] [--shards N] [--backend B]\n\
          [--history FILE] [--no-history] [--history-every N]\n\
          [--flight-capacity N] [--flight-dir DIR] [--burst-threshold N]\n\
@@ -592,6 +618,9 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
     if flag(args, "--serve") {
         return cmd_bench_serve(args);
     }
+    if flag(args, "--families") {
+        return cmd_bench_families(args);
+    }
     let jobs = parse_jobs(args)?;
     let (workloads, widths) = bench_suite(args);
     let smoke = flag(args, "--smoke");
@@ -817,6 +846,340 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
 
     if !deterministic {
         return Err("parallel figure6 sweep diverged from the serial sweep".into());
+    }
+    Ok(())
+}
+
+/// Expands the embedded kernelgen corpus, with the `--smoke` filter (the
+/// CI-sized cut: short trips, shallow unrolls) applied when asked.
+fn gen_variants(smoke: bool) -> Result<Vec<liquid_simd_kernelgen::Variant>, String> {
+    let all = liquid_simd_kernelgen::expand_corpus().map_err(|e| format!("gen: corpus: {e}"))?;
+    Ok(all
+        .into_iter()
+        .filter(|v| !smoke || (v.trip <= 64 && v.unroll <= 2))
+        .collect())
+}
+
+/// One manifest line per variant: everything the expansion determined,
+/// nothing the clock or host did — two runs must produce byte-identical
+/// manifests (the CI `cmp` gate on expansion determinism).
+fn gen_manifest(variants: &[liquid_simd_kernelgen::Variant]) -> String {
+    use liquid_simd_kernelgen::Payload;
+    let mut out = String::new();
+    for v in variants {
+        let kind = match &v.payload {
+            Payload::Kernel(_) => "kernel".to_string(),
+            Payload::Asm { expected_tag, .. } => format!("abort:{expected_tag}"),
+        };
+        out.push_str(&format!(
+            "{}\t{}\ttrip={}\tunroll={}\tseed={:#018x}\t{}\n",
+            v.name, v.family, v.trip, v.unroll, v.data_seed, kind
+        ));
+    }
+    out
+}
+
+/// `liquid-simd gen`: list, expand, emit, or conformance-check the
+/// generated kernel families.
+fn cmd_gen(args: &[String]) -> Result<(), String> {
+    use liquid_simd_kernelgen::Payload;
+    if flag(args, "--check") {
+        return cmd_gen_check(args);
+    }
+    let variants = gen_variants(flag(args, "--smoke"))?;
+    if let Some(wanted) = option_value(args, "--emit")? {
+        let v = variants
+            .iter()
+            .find(|v| v.name == wanted)
+            .ok_or_else(|| format!("gen: no variant named `{wanted}` (try `gen --list`)"))?;
+        match &v.payload {
+            Payload::Kernel(w) => {
+                let b = liquid_simd::build_liquid(w).map_err(|e| format!("{}: {e}", v.name))?;
+                print!("{}", b.program.disassemble());
+            }
+            Payload::Asm { src, expected_tag } => {
+                println!("# untranslatable idiom — expected abort tag: {expected_tag}");
+                print!("{src}");
+            }
+        }
+        return Ok(());
+    }
+    let text = if flag(args, "--expand") {
+        gen_manifest(&variants)
+    } else {
+        // --list (the default): names only.
+        variants.iter().map(|v| format!("{}\n", v.name)).collect()
+    };
+    match option_value(args, "--out")? {
+        Some(path) => {
+            fs::write(path, &text).map_err(|e| format!("{path}: {e}"))?;
+            eprintln!("{path}: {} variants written", variants.len());
+        }
+        None => print!("{text}"),
+    }
+    let families: std::collections::BTreeSet<&str> =
+        variants.iter().map(|v| v.family.as_str()).collect();
+    eprintln!(
+        "gen: {} variants from {} families",
+        variants.len(),
+        families.len()
+    );
+    Ok(())
+}
+
+/// `gen --check`: every corpus variant through the conform oracle, plus
+/// the abort-coverage gate (no reachable tag may go unexercised).
+fn cmd_gen_check(args: &[String]) -> Result<(), String> {
+    let jobs = parse_jobs(args)?;
+    let (outcomes, coverage) = liquid_simd_conform::families::check_corpus(jobs);
+    let passed = outcomes.iter().filter(|o| o.passed).count();
+    let failed = outcomes.len() - passed;
+
+    let mut json = String::from("{\n  \"schema\": \"gen-check-v1\",\n");
+    json.push_str(&format!("  \"variants\": {},\n", outcomes.len()));
+    json.push_str(&format!(
+        "  \"summary\": {{\"passed\": {passed}, \"failed\": {failed}, \"ok\": {}}},\n",
+        failed == 0 && coverage.uncovered.is_empty()
+    ));
+    json.push_str("  \"failures\": [\n");
+    let fails: Vec<&liquid_simd_conform::oracle::CaseOutcome> =
+        outcomes.iter().filter(|o| !o.passed).collect();
+    for (i, f) in fails.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"name\": \"{}\", \"detail\": \"{}\"}}{}\n",
+            json_escape(&f.name),
+            json_escape(&f.detail),
+            if i + 1 < fails.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str(&liquid_simd_conform::coverage_to_json(&coverage, "  "));
+    json.push_str("}\n");
+
+    if let Some(path) = option_value(args, "--out")? {
+        fs::write(path, &json).map_err(|e| format!("{path}: {e}"))?;
+        eprintln!("{path}: written");
+    }
+    if flag(args, "--json") {
+        print!("{json}");
+    } else {
+        println!(
+            "gen --check: {} variants — {passed} passed, {failed} failed",
+            outcomes.len()
+        );
+        for f in &fails {
+            println!("FAIL {}: {}", f.name, f.detail);
+        }
+        println!(
+            "abort coverage: {} families, {} uncovered tag(s){}",
+            coverage.by_family.len(),
+            coverage.uncovered.len(),
+            if coverage.uncovered.is_empty() {
+                String::new()
+            } else {
+                format!(" — {}", coverage.uncovered.join(", "))
+            }
+        );
+        for (tag, why) in &coverage.exempt {
+            println!("  exempt {tag}: {why}");
+        }
+    }
+    if failed > 0 {
+        return Err("gen --check: oracle failures".into());
+    }
+    if !coverage.uncovered.is_empty() {
+        return Err(format!(
+            "gen --check: abort tags with no witness: {}",
+            coverage.uncovered.join(", ")
+        ));
+    }
+    Ok(())
+}
+
+/// `bench --families`: benchmark the generated corpus instead of the
+/// fixed fifteen. Every deterministic number (cycles, speedup
+/// percentiles, abort tallies, width anomalies) goes into the snapshot;
+/// wall-clock stays on stdout only, so the snapshot file is
+/// byte-identical run to run — `cmp` of two runs is the CI determinism
+/// gate.
+fn cmd_bench_families(args: &[String]) -> Result<(), String> {
+    use liquid_simd_kernelgen::Payload;
+    let smoke = flag(args, "--smoke");
+    let backend = parse_backend(args)?;
+    let widths = if smoke {
+        vec![2, 8]
+    } else {
+        experiments::paper_widths()
+    };
+    let headline = if widths.contains(&8) {
+        8
+    } else {
+        *widths.last().unwrap()
+    };
+    let out_path = option_value(args, "--out")?.unwrap_or("BENCH_sim.json");
+    let history_path = option_value(args, "--history")?.unwrap_or("bench/history.jsonl");
+    let variants = gen_variants(smoke)?;
+    let t0 = Instant::now();
+
+    struct FamAcc {
+        variants: u64,
+        speedups: Vec<f64>,
+        aborts: std::collections::BTreeMap<String, u64>,
+    }
+    let mut fams: std::collections::BTreeMap<String, FamAcc> = std::collections::BTreeMap::new();
+    let mut rows: Vec<perfhist::WorkloadRow> = Vec::new();
+    for v in &variants {
+        let acc = fams.entry(v.family.clone()).or_insert_with(|| FamAcc {
+            variants: 0,
+            speedups: Vec::new(),
+            aborts: std::collections::BTreeMap::new(),
+        });
+        acc.variants += 1;
+        // Kernels get the full scalar-baseline + per-width sweep; the
+        // untranslatable assembly idioms run per width only for their
+        // abort tallies (their speedup is 1 by construction — they
+        // always fall back to the scalar loop).
+        let (program, baseline_cycles) = match &v.payload {
+            Payload::Kernel(w) => {
+                let plain = liquid_simd::build_plain(w).map_err(|e| format!("{}: {e}", v.name))?;
+                let base = liquid_simd::run(
+                    &plain.program,
+                    MachineConfig::scalar_only().with_backend(backend),
+                )
+                .map_err(|e| e.to_string())?;
+                let b = liquid_simd::build_liquid(w).map_err(|e| format!("{}: {e}", v.name))?;
+                (b.program, base.report.cycles)
+            }
+            Payload::Asm { src, .. } => {
+                let program = asm::assemble(src).map_err(|e| format!("{}: {e}", v.name))?;
+                (program, 0)
+            }
+        };
+        let mut row = perfhist::WorkloadRow {
+            name: v.name.clone(),
+            baseline_cycles,
+            sim_cycles: 0,
+            cycles_by_width: Vec::new(),
+            wall_s: 0.0,
+            cycles_per_sec: 0.0,
+        };
+        for &width in &widths {
+            let out =
+                liquid_simd::run(&program, MachineConfig::liquid(width).with_backend(backend))
+                    .map_err(|e| format!("{}@{width}: {e}", v.name))?;
+            if width == headline {
+                row.sim_cycles = out.report.cycles;
+            }
+            row.cycles_by_width.push((width, out.report.cycles));
+            for (tag, &n) in &out.report.translator.aborts {
+                *acc.aborts.entry((*tag).to_string()).or_insert(0) += n;
+            }
+        }
+        if baseline_cycles > 0 {
+            acc.speedups
+                .push(baseline_cycles as f64 / row.sim_cycles.max(1) as f64);
+            // Width anomalies only make sense where widths change the
+            // cycle count; always-aborting variants run scalar at every
+            // width.
+            rows.push(row);
+        }
+    }
+
+    let mut fam_rows: Vec<perfhist::FamilyRow> = Vec::new();
+    for (family, acc) in &mut fams {
+        acc.speedups.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        fam_rows.push(perfhist::FamilyRow {
+            family: family.clone(),
+            variants: acc.variants,
+            speedup_p10: perfhist::record::nearest_rank(&acc.speedups, 10.0),
+            speedup_p50: perfhist::record::nearest_rank(&acc.speedups, 50.0),
+            speedup_p90: perfhist::record::nearest_rank(&acc.speedups, 90.0),
+            aborts: acc.aborts.iter().map(|(t, &n)| (t.clone(), n)).collect(),
+        });
+    }
+    for f in &fam_rows {
+        let aborts = f
+            .aborts
+            .iter()
+            .map(|(t, n)| format!("{t}={n}"))
+            .collect::<Vec<_>>()
+            .join(" ");
+        println!(
+            "{:<16} {:>3} variants  speedup p10 {:>5.2}x  p50 {:>5.2}x  p90 {:>5.2}x  {}",
+            f.family,
+            f.variants,
+            f.speedup_p10,
+            f.speedup_p50,
+            f.speedup_p90,
+            if aborts.is_empty() { "-" } else { &aborts }
+        );
+    }
+    let anomalies = width_anomalies(&rows);
+    for a in &anomalies {
+        println!("warning: width anomaly — {a}");
+    }
+
+    // The snapshot: schema'd, sorted, and free of wall-clock and host
+    // facts — rerunning must reproduce it byte for byte.
+    let mut json = String::from("{\n  \"schema\": \"liquid-simd-bench-families-v1\",\n");
+    json.push_str(&format!("  \"backend\": \"{backend}\",\n"));
+    json.push_str(&format!("  \"smoke\": {smoke},\n"));
+    json.push_str(&format!("  \"widths\": {widths:?},\n"));
+    json.push_str(&format!("  \"variants\": {},\n", variants.len()));
+    json.push_str("  \"families\": [\n");
+    for (i, f) in fam_rows.iter().enumerate() {
+        let aborts = f
+            .aborts
+            .iter()
+            .map(|(t, n)| format!("\"{}\": {n}", json_escape(t)))
+            .collect::<Vec<_>>()
+            .join(", ");
+        json.push_str(&format!(
+            "    {{\"family\": \"{}\", \"variants\": {}, \"speedup_p10\": {:.4}, \
+             \"speedup_p50\": {:.4}, \"speedup_p90\": {:.4}, \"aborts\": {{{aborts}}}}}{}\n",
+            json_escape(&f.family),
+            f.variants,
+            f.speedup_p10,
+            f.speedup_p50,
+            f.speedup_p90,
+            if i + 1 < fam_rows.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str(&format!(
+        "  \"width_anomalies\": [{}]\n",
+        anomalies
+            .iter()
+            .map(|a| format!("\"{}\"", json_escape(a)))
+            .collect::<Vec<_>>()
+            .join(", ")
+    ));
+    json.push_str("}\n");
+    fs::write(out_path, &json).map_err(|e| format!("{out_path}: {e}"))?;
+    println!(
+        "{out_path}: written ({} variants, {} families, {:.3}s)",
+        variants.len(),
+        fam_rows.len(),
+        t0.elapsed().as_secs_f64()
+    );
+
+    if !flag(args, "--no-history") {
+        let meta = perfhist::RecordMeta {
+            commit: perfhist::record::git_commit(std::path::Path::new(".")),
+            timestamp: perfhist::record::unix_now(),
+            host: perfhist::record::host_fingerprint(),
+            config_hash: format!("{:016x}", MachineConfig::liquid(headline).fingerprint()),
+            smoke,
+            widths: widths.clone(),
+            backend: backend.name().to_string(),
+        };
+        let wall = vec![("families_total_s".to_string(), t0.elapsed().as_secs_f64())];
+        let record = perfhist::record::build_gen(&meta, &fam_rows, &wall);
+        perfhist::store::append(std::path::Path::new(history_path), &record)?;
+        println!(
+            "{history_path}: appended perfhist-gen-v1 record for {}",
+            meta.commit
+        );
     }
     Ok(())
 }

@@ -214,6 +214,8 @@ pub fn to_text(case: &CaseSpec) -> String {
             let family = match &i.kind {
                 IllegalKind::Strided { stride } => format!("strided {stride}"),
                 IllegalKind::Oversized { adds } => format!("oversized {adds}"),
+                IllegalKind::TripOdd { trip } => format!("trip-odd {trip}"),
+                IllegalKind::WideOffset { offset } => format!("wide-offset {offset}"),
                 k => k.family().to_string(),
             };
             let _ = writeln!(s, "family {family}");
@@ -416,6 +418,18 @@ pub fn parse(what: &str, text: &str) -> Result<CaseSpec, CorpusError> {
                     adds: parse_u64(what, arg)? as u32,
                 },
                 "nested-call" => IllegalKind::NestedCall,
+                "no-loop" => IllegalKind::NoLoop,
+                "trip-odd" => IllegalKind::TripOdd {
+                    trip: parse_u64(what, arg)? as u32,
+                },
+                "bound-drift" => IllegalKind::BoundDrift,
+                "wide-offset" => IllegalKind::WideOffset {
+                    offset: arg
+                        .parse()
+                        .map_err(|_| err(format!("bad offset `{arg}`")))?,
+                },
+                "many-live" => IllegalKind::ManyLive,
+                "cond-alu" => IllegalKind::CondAlu,
                 _ => return Err(err(format!("unknown family `{fam}`"))),
             };
             Ok(CaseSpec::Illegal(IllegalSpec {
@@ -491,6 +505,15 @@ mod tests {
             let text = to_text(&case);
             let back = parse("t", &text).expect("round-trip parse");
             assert_eq!(back, case, "round-trip mismatch:\n{text}");
+        }
+    }
+
+    #[test]
+    fn coverage_specs_round_trip() {
+        for spec in crate::gen::coverage_specs() {
+            let case = CaseSpec::Illegal(spec);
+            let text = to_text(&case);
+            assert_eq!(parse("t", &text).unwrap(), case, "{text}");
         }
     }
 

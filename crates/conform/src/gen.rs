@@ -297,6 +297,29 @@ pub enum IllegalKind {
     },
     /// A nested call inside the outlined region.
     NestedCall,
+    /// A straight-line region with no loop at all.
+    NoLoop,
+    /// A loop whose trip count is not a multiple of any vector width.
+    TripOdd {
+        /// The (odd) trip count.
+        trip: u32,
+    },
+    /// A two-counter loop: the induction's bound compare names one
+    /// count while a separate scalar counter actually exits the loop,
+    /// so the recorded bound disagrees with the observed trip.
+    BoundDrift,
+    /// A gather whose offsets exceed the hardware value tracker's
+    /// 12-bit signed range, overflowing the offset CAM field.
+    WideOffset {
+        /// The out-of-range offset (|offset| ≥ 2048).
+        offset: i32,
+    },
+    /// More simultaneously-live vector values than the 16 hardware
+    /// vector registers.
+    ManyLive,
+    /// A predicated ALU op inside the loop body — the partial decoder
+    /// only recognises unconditional data processing.
+    CondAlu,
 }
 
 impl IllegalKind {
@@ -310,6 +333,12 @@ impl IllegalKind {
             IllegalKind::CamMiss { .. } => "cam-miss",
             IllegalKind::Oversized { .. } => "too-many-uops",
             IllegalKind::NestedCall => "nested-call",
+            IllegalKind::NoLoop => "no-loop",
+            IllegalKind::TripOdd { .. } => "trip-not-multiple",
+            IllegalKind::BoundDrift => "bound-mismatch",
+            IllegalKind::WideOffset { .. } => "value-too-wide",
+            IllegalKind::ManyLive => "register-pressure",
+            IllegalKind::CondAlu => "unsupported-opcode",
         }
     }
 
@@ -323,7 +352,35 @@ impl IllegalKind {
             IllegalKind::CamMiss { .. } => "cam-miss",
             IllegalKind::Oversized { .. } => "oversized",
             IllegalKind::NestedCall => "nested-call",
+            IllegalKind::NoLoop => "no-loop",
+            IllegalKind::TripOdd { .. } => "trip-odd",
+            IllegalKind::BoundDrift => "bound-drift",
+            IllegalKind::WideOffset { .. } => "wide-offset",
+            IllegalKind::ManyLive => "many-live",
+            IllegalKind::CondAlu => "cond-alu",
         }
+    }
+
+    /// Every family, instantiated with canonical parameters — used by
+    /// `coverage_specs` and the family tests.
+    #[must_use]
+    pub fn all_canonical() -> Vec<IllegalKind> {
+        vec![
+            IllegalKind::Strided { stride: 2 },
+            IllegalKind::RuntimePermute,
+            IllegalKind::ScalarStore,
+            IllegalKind::CamMiss {
+                offsets: (0..ILLEGAL_TRIP).map(|i| [0, 2, -1, -1][i % 4]).collect(),
+            },
+            IllegalKind::Oversized { adds: 70 },
+            IllegalKind::NestedCall,
+            IllegalKind::NoLoop,
+            IllegalKind::TripOdd { trip: 17 },
+            IllegalKind::BoundDrift,
+            IllegalKind::WideOffset { offset: 2500 },
+            IllegalKind::ManyLive,
+            IllegalKind::CondAlu,
+        ]
     }
 }
 
@@ -400,8 +457,94 @@ impl IllegalSpec {
                 ".data\n{}\n.text\nmain:\n    bl.v outer\n    halt\nouter:\n    mov r13, r14\n    mov r0, #0\ntop:\n    bl helper\n    stw [A + r0], r1\n    add r0, r0, #1\n    cmp r0, #16\n    blt top\n    mov r14, r13\n    ret\nhelper:\n    ldw r1, [A + r0]\n    add r1, r1, #1\n    ret\n",
                 data_line("A", &a),
             ),
+            IllegalKind::NoLoop => format!(
+                ".data\n{}\n.text\nmain:\n    bl.v straight\n    halt\nstraight:\n    mov r1, #5\n    add r1, r1, #7\n    ret\n",
+                data_line("A", &a),
+            ),
+            IllegalKind::TripOdd { trip } => {
+                let n = *trip as usize;
+                let odd: Vec<i64> = (0..n).map(|_| rng.range_i64(-50, 50)).collect();
+                format!(
+                    ".data\n{}\n.text\nmain:\n    bl.v oddloop\n    halt\noddloop:\n    mov r0, #0\ntop:\n    ldw r1, [A + r0]\n    add r1, r1, #1\n    stw [A + r0], r1\n    add r0, r0, #1\n    cmp r0, #{trip}\n    blt top\n    ret\n",
+                    data_line("A", &odd),
+                )
+            }
+            IllegalKind::BoundDrift => format!(
+                // The induction compare claims 64 iterations; the r2
+                // counter exits after 16. The bound the translator
+                // records (64) disagrees with the trip it observes (16).
+                ".data\n{}{}\n.text\nmain:\n    bl.v drift\n    halt\ndrift:\n    mov r2, #0\n    mov r0, #0\ntop:\n    ldw r1, [A + r0]\n    add r1, r1, #1\n    stw [B + r0], r1\n    add r0, r0, #1\n    cmp r0, #64\n    add r2, r2, #1\n    cmp r2, #16\n    blt top\n    ret\n",
+                data_line("A", &a),
+                data_line("B", &zero),
+            ),
+            IllegalKind::WideOffset { offset } => {
+                // One offset beyond the 12-bit tracker range; the gather
+                // target is sized so the scalar reference stays in bounds.
+                let off: Vec<i64> = (0..ILLEGAL_TRIP)
+                    .map(|i| if i == 1 { i64::from(*offset) } else { 0 })
+                    .collect();
+                let alen = ILLEGAL_TRIP + offset.unsigned_abs() as usize + 4;
+                let big: Vec<i64> = (0..alen).map(|_| rng.range_i64(-50, 50)).collect();
+                format!(
+                    ".data\n{}{}{}\n.text\nmain:\n    bl.v wide\n    halt\nwide:\n    mov r0, #0\ntop:\n    ldw r1, [off + r0]\n    add r1, r0, r1\n    ldw r2, [A + r1]\n    stw [B + r0], r2\n    add r0, r0, #1\n    cmp r0, #16\n    blt top\n    ret\n",
+                    data_line("off", &off),
+                    data_line("A", &big),
+                    data_line("B", &zero),
+                )
+            }
+            IllegalKind::ManyLive => {
+                // 13 int + 4 fp loads = 17 live vector values, one more
+                // than the hardware register file (r14/r15 stay clear
+                // for the link register).
+                let mut data = String::new();
+                for i in 0..13 {
+                    let v: Vec<i64> = (0..ILLEGAL_TRIP).map(|_| rng.range_i64(-50, 50)).collect();
+                    data.push_str(&data_line(&format!("A{i}"), &v));
+                }
+                for i in 0..4 {
+                    let v: Vec<String> = (0..ILLEGAL_TRIP)
+                        .map(|_| format!("{:?}", (rng.range_i64(-400, 400) as f32) / 100.0))
+                        .collect();
+                    data.push_str(&format!(".f32 F{i}: {}\n", v.join(", ")));
+                }
+                data.push_str(&data_line("B", &zero));
+                let mut body = String::new();
+                for i in 0..13 {
+                    body.push_str(&format!("    ldw r{}, [A{i} + r0]\n", i + 1));
+                }
+                for i in 0..4 {
+                    body.push_str(&format!("    ldf f{i}, [F{i} + r0]\n"));
+                }
+                format!(
+                    ".data\n{data}\n.text\nmain:\n    bl.v pressure\n    halt\npressure:\n    mov r0, #0\ntop:\n{body}    stw [B + r0], r1\n    add r0, r0, #1\n    cmp r0, #16\n    blt top\n    ret\n",
+                )
+            }
+            IllegalKind::CondAlu => format!(
+                // `addge` is a no-op either way (adds zero), but the
+                // partial decoder only accepts unconditional data
+                // processing inside the body.
+                ".data\n{}{}\n.text\nmain:\n    bl.v predicated\n    halt\npredicated:\n    mov r0, #0\ntop:\n    ldw r1, [A + r0]\n    add r1, r1, #3\n    addge r1, r1, #0\n    stw [B + r0], r1\n    add r0, r0, #1\n    cmp r0, #16\n    blt top\n    ret\n",
+                data_line("A", &a),
+                data_line("B", &zero),
+            ),
         }
     }
+}
+
+/// One deterministic spec per illegal family, appended to every
+/// conform run so the `abort_coverage` section always has a witness
+/// for each family regardless of what the random mix drew.
+#[must_use]
+pub fn coverage_specs() -> Vec<IllegalSpec> {
+    IllegalKind::all_canonical()
+        .into_iter()
+        .enumerate()
+        .map(|(i, kind)| IllegalSpec {
+            name: format!("cov_{}", kind.family()),
+            kind,
+            data_seed: 0xC0DE_0000 + i as u64,
+        })
+        .collect()
 }
 
 /// `true` with probability `p`.
@@ -453,7 +596,7 @@ pub fn generate_case(seed: u64, index: u64) -> CaseSpec {
     let data_seed = rng.next_u64();
 
     if rng.range_usize(0, 4) == 0 {
-        let kind = match rng.range_usize(0, 6) {
+        let kind = match rng.range_usize(0, 12) {
             0 => IllegalKind::Strided {
                 stride: rng.range_i64(2, 5) as u32,
             },
@@ -465,7 +608,17 @@ pub fn generate_case(seed: u64, index: u64) -> CaseSpec {
             4 => IllegalKind::Oversized {
                 adds: rng.range_i64(66, 96) as u32,
             },
-            _ => IllegalKind::NestedCall,
+            5 => IllegalKind::NestedCall,
+            6 => IllegalKind::NoLoop,
+            7 => IllegalKind::TripOdd {
+                trip: 2 * rng.range_i64(8, 16) as u32 + 1,
+            },
+            8 => IllegalKind::BoundDrift,
+            9 => IllegalKind::WideOffset {
+                offset: rng.range_i64(2100, 3000) as i32,
+            },
+            10 => IllegalKind::ManyLive,
+            _ => IllegalKind::CondAlu,
         };
         return CaseSpec::Illegal(IllegalSpec {
             name: format!("case{index}_{}", kind.family()),

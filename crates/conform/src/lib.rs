@@ -32,11 +32,15 @@
 
 pub mod abort;
 pub mod corpus;
+pub mod families;
 pub mod gen;
 pub mod oracle;
 pub mod shrink;
 
+use std::collections::BTreeMap;
+
 use liquid_simd::run_tasks;
+use liquid_simd::translator::ABORT_TAGS;
 
 use abort::SweepOutcome;
 use gen::CaseSpec;
@@ -78,17 +82,89 @@ pub struct Failure {
     pub corpus_text: String,
 }
 
+/// Which abort paths the run exercised, tallied per case family
+/// (satellite of the kernelgen work: the report now *proves* which
+/// [`AbortReason`](liquid_simd::translator::AbortReason) variants have
+/// a living witness).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct AbortCoverage {
+    /// `family → (tag → times observed)`, ordered by family name.
+    pub by_family: BTreeMap<String, BTreeMap<String, u64>>,
+    /// Translator abort tags no case observed and no exemption covers.
+    /// Non-empty means the suite has a blind spot.
+    pub uncovered: Vec<String>,
+    /// Tags deliberately not expected from generated cases, with the
+    /// reason each is still accounted for.
+    pub exempt: Vec<(String, String)>,
+}
+
+/// Tallies abort coverage over a set of case outcomes. `swept` says
+/// whether abort-injection sweeps ran alongside these cases: the
+/// `external` tag is only reachable through injection, so it is
+/// credited to the sweeps when they ran and listed exempt when not.
+#[must_use]
+pub fn abort_coverage(cases: &[CaseOutcome], swept: bool) -> AbortCoverage {
+    let mut by_family: BTreeMap<String, BTreeMap<String, u64>> = BTreeMap::new();
+    for c in cases {
+        if c.family.is_empty() {
+            continue;
+        }
+        let tags = by_family.entry(c.family.clone()).or_default();
+        for t in &c.abort_tags {
+            *tags.entry(t.clone()).or_insert(0) += 1;
+        }
+    }
+
+    let mut exempt = vec![(
+        "iteration-mismatch".to_string(),
+        "in-order retirement replays iteration one exactly; the divergence path is pinned \
+         unreachable by a translator unit test"
+            .to_string(),
+    )];
+    if swept {
+        by_family
+            .entry("abort-sweep".to_string())
+            .or_default()
+            .insert("external".to_string(), 1);
+    } else {
+        exempt.push((
+            "external".to_string(),
+            "only reachable through abort injection; exercised by the sweep phase, which \
+             this run does not include"
+                .to_string(),
+        ));
+    }
+
+    let uncovered = ABORT_TAGS
+        .iter()
+        .filter(|tag| {
+            !by_family.values().any(|tags| tags.contains_key(**tag))
+                && !exempt.iter().any(|(t, _)| t == *tag)
+        })
+        .map(|t| (*t).to_string())
+        .collect();
+
+    AbortCoverage {
+        by_family,
+        uncovered,
+        exempt,
+    }
+}
+
 /// The result of one conformance run.
 #[derive(Clone, Debug)]
 pub struct ConformReport {
     /// Seed the run used.
     pub seed: u64,
-    /// Per-case verdicts, in case-index order.
+    /// Per-case verdicts, in case-index order: the seeded random cases
+    /// first, then one deterministic `cov_*` witness per illegal family.
     pub cases: Vec<CaseOutcome>,
     /// Minimised failures (empty on a clean run).
     pub failures: Vec<Failure>,
     /// Abort-injection sweep results for the standard workloads.
     pub sweeps: Vec<SweepOutcome>,
+    /// Which abort tags the run exercised, per family.
+    pub coverage: AbortCoverage,
 }
 
 impl ConformReport {
@@ -111,12 +187,19 @@ impl ConformReport {
 /// standard abort-injection sweeps.
 #[must_use]
 pub fn run_conform(opts: &ConformOptions) -> ConformReport {
+    // The seeded random stream, then one deterministic witness per
+    // illegal family so the coverage section never depends on what the
+    // random mix happened to draw.
+    let mut specs: Vec<CaseSpec> = (0..opts.cases)
+        .map(|i| gen::generate_case(opts.seed, i))
+        .collect();
+    specs.extend(gen::coverage_specs().into_iter().map(CaseSpec::Illegal));
+
     // Case checking is embarrassingly parallel, and each task is
     // infallible — a failing case is data, not an error — so the scheduler
     // can never reorder or drop results.
-    let cases: Vec<CaseOutcome> = run_tasks(opts.jobs, opts.cases as usize, |i| {
-        let spec = gen::generate_case(opts.seed, i as u64);
-        Ok::<_, std::convert::Infallible>(oracle::check_case(&spec))
+    let cases: Vec<CaseOutcome> = run_tasks(opts.jobs, specs.len(), |i| {
+        Ok::<_, std::convert::Infallible>(oracle::check_case(&specs[i]))
     })
     .unwrap_or_else(|e| match e {});
 
@@ -127,7 +210,7 @@ pub fn run_conform(opts: &ConformOptions) -> ConformReport {
         .enumerate()
         .filter(|(_, c)| !c.passed)
         .map(|(i, _)| {
-            let spec = gen::generate_case(opts.seed, i as u64);
+            let spec = specs[i].clone();
             let (case, outcome) = match spec {
                 CaseSpec::Legal(l) if opts.shrink => {
                     let small = shrink::shrink_legal(&l, &|s| !oracle::check_legal(s).passed);
@@ -149,12 +232,14 @@ pub fn run_conform(opts: &ConformOptions) -> ConformReport {
         .collect();
 
     let sweeps = abort::run_standard_sweeps(8);
+    let coverage = abort_coverage(&cases, true);
 
     ConformReport {
         seed: opts.seed,
         cases,
         failures,
         sweeps,
+        coverage,
     }
 }
 
@@ -196,9 +281,10 @@ pub fn report_to_json(report: &ConformReport) -> String {
     for (i, c) in report.cases.iter().enumerate() {
         let comma = if i + 1 < report.cases.len() { "," } else { "" };
         s.push_str(&format!(
-            "    {{\"name\": \"{}\", \"kind\": \"{}\", \"passed\": {}, \"translated\": {}, \"detail\": \"{}\"}}{comma}\n",
+            "    {{\"name\": \"{}\", \"kind\": \"{}\", \"family\": \"{}\", \"passed\": {}, \"translated\": {}, \"detail\": \"{}\"}}{comma}\n",
             json_escape(&c.name),
             c.kind,
+            json_escape(&c.family),
             c.passed,
             c.translated,
             json_escape(&c.detail)
@@ -234,8 +320,53 @@ pub fn report_to_json(report: &ConformReport) -> String {
             json_escape(&sw.detail)
         ));
     }
-    s.push_str("  ]\n");
+    s.push_str("  ],\n");
+
+    s.push_str(&coverage_to_json(&report.coverage, "  "));
     s.push_str("}\n");
+    s
+}
+
+/// Renders an [`AbortCoverage`] as the `abort_coverage` JSON member
+/// (shared between `conform --json` and `gen --check --json`).
+#[must_use]
+pub fn coverage_to_json(cov: &AbortCoverage, indent: &str) -> String {
+    let mut s = String::new();
+    s.push_str(&format!("{indent}\"abort_coverage\": {{\n"));
+    s.push_str(&format!("{indent}  \"by_family\": {{\n"));
+    for (i, (family, tags)) in cov.by_family.iter().enumerate() {
+        let comma = if i + 1 < cov.by_family.len() { "," } else { "" };
+        let inner: Vec<String> = tags
+            .iter()
+            .map(|(t, n)| format!("\"{}\": {n}", json_escape(t)))
+            .collect();
+        s.push_str(&format!(
+            "{indent}    \"{}\": {{{}}}{comma}\n",
+            json_escape(family),
+            inner.join(", ")
+        ));
+    }
+    s.push_str(&format!("{indent}  }},\n"));
+    let uncov: Vec<String> = cov
+        .uncovered
+        .iter()
+        .map(|t| format!("\"{}\"", json_escape(t)))
+        .collect();
+    s.push_str(&format!(
+        "{indent}  \"uncovered\": [{}],\n",
+        uncov.join(", ")
+    ));
+    s.push_str(&format!("{indent}  \"exempt\": [\n"));
+    for (i, (tag, why)) in cov.exempt.iter().enumerate() {
+        let comma = if i + 1 < cov.exempt.len() { "," } else { "" };
+        s.push_str(&format!(
+            "{indent}    {{\"tag\": \"{}\", \"why\": \"{}\"}}{comma}\n",
+            json_escape(tag),
+            json_escape(why)
+        ));
+    }
+    s.push_str(&format!("{indent}  ]\n"));
+    s.push_str(&format!("{indent}}}\n"));
     s
 }
 
@@ -275,8 +406,33 @@ mod tests {
         assert!(json.contains("\"abort_sweep\""));
         assert!(json.contains("sweep_sat"));
         assert!(json.contains("sweep_red"));
+        assert!(json.contains("\"abort_coverage\""));
         // No timing anywhere: reruns must be byte-identical.
         assert!(!json.contains("seconds") && !json.contains("jobs"));
+    }
+
+    #[test]
+    fn every_run_covers_every_reachable_abort_tag() {
+        // Even a tiny run appends the per-family coverage witnesses, so
+        // the uncovered list is empty for any seed and case count.
+        let report = run_conform(&small_opts(2));
+        assert!(report.passed(), "failures: {:?}", report.failures);
+        assert_eq!(
+            report.coverage.uncovered,
+            Vec::<String>::new(),
+            "coverage: {:?}",
+            report.coverage.by_family
+        );
+        // 12 illegal families + the sweep credit, at minimum (legal
+        // cases may add a "legal" family when any width aborts).
+        assert!(report.coverage.by_family.len() >= 13);
+        let exempt: Vec<&str> = report
+            .coverage
+            .exempt
+            .iter()
+            .map(|(t, _)| t.as_str())
+            .collect();
+        assert_eq!(exempt, ["iteration-mismatch"]);
     }
 
     #[test]

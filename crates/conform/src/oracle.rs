@@ -59,11 +59,18 @@ pub struct CaseOutcome {
     pub name: String,
     /// `"legal"` or `"illegal"`.
     pub kind: &'static str,
+    /// Case family: `"legal"` for random legal cases, the illegal
+    /// family keyword (`strided`, `cam-miss`, …) for illegal cases,
+    /// or the kernelgen family name for generated variants.
+    pub family: String,
     /// Whether every check passed.
     pub passed: bool,
     /// Legal: at least one width actually committed a translation.
     /// Illegal: every width aborted without committing.
     pub translated: bool,
+    /// Every distinct translator abort tag observed across all widths
+    /// (sorted). Feeds the `abort_coverage` report section.
+    pub abort_tags: Vec<String>,
     /// First failing check, empty when passed.
     pub detail: String,
 }
@@ -72,8 +79,10 @@ fn fail(name: &str, kind: &'static str, detail: String) -> CaseOutcome {
     CaseOutcome {
         name: name.to_string(),
         kind,
+        family: String::new(),
         passed: false,
         translated: false,
+        abort_tags: Vec::new(),
         detail,
     }
 }
@@ -191,27 +200,48 @@ fn diff_live_outs(a: &[u32; 16], b: &[u32; 16]) -> Option<String> {
 /// so a fuzz sweep reports every broken case.
 #[must_use]
 pub fn check_legal(spec: &LegalSpec) -> CaseOutcome {
-    let kind = "legal";
     let name = spec.name.clone();
     let w = match spec.to_workload() {
         Ok(w) => w,
-        Err(e) => return fail(&name, kind, format!("spec does not build: {e}")),
+        Err(e) => return fail(&name, "legal", format!("spec does not build: {e}")),
     };
-    let gold_env = match gold::run_gold(&w) {
+    let f32_racc_rtol = spec.elem == ElemType::F32 && spec.reduce.is_some();
+    let mut outcome = check_workload(&name, &w, f32_racc_rtol, spec.inject_last);
+    outcome.family = "legal".to_string();
+    outcome
+}
+
+/// The full legal-side differential check for any workload — the
+/// conformance triangle (gold / plain / liquid scalar / translated at
+/// every width / native) plus backend and live-out diffing. This is
+/// the oracle core shared by random legal cases and by generated
+/// kernelgen variants.
+///
+/// `f32_racc_rtol` widens the comparison of the `racc` reduction cell
+/// to the verifier's f32 tolerance (vector reductions reassociate).
+#[must_use]
+pub fn check_workload(
+    name: &str,
+    w: &liquid_simd::Workload,
+    f32_racc_rtol: bool,
+    inject_last: bool,
+) -> CaseOutcome {
+    let kind = "legal";
+    let gold_env = match gold::run_gold(w) {
         Ok(env) => env,
-        Err(e) => return fail(&name, kind, format!("gold evaluation failed: {e}")),
+        Err(e) => return fail(name, kind, format!("gold evaluation failed: {e}")),
     };
 
     macro_rules! try_or_fail {
         ($expr:expr, $what:literal) => {
             match $expr {
                 Ok(v) => v,
-                Err(e) => return fail(&name, kind, format!(concat!($what, ": {}"), e)),
+                Err(e) => return fail(name, kind, format!(concat!($what, ": {}"), e)),
             }
         };
     }
 
-    let plain = try_or_fail!(build_plain(&w), "plain build");
+    let plain = try_or_fail!(build_plain(w), "plain build");
     let (plain_report, mem, plain_regs) = try_or_fail!(
         run_full(&plain.program, MachineConfig::scalar_only()),
         "plain run"
@@ -226,10 +256,10 @@ pub fn check_legal(spec: &LegalSpec) -> CaseOutcome {
         MachineConfig::scalar_only(),
         (&plain_report, &mem, &plain_regs),
     ) {
-        return fail(&name, kind, d);
+        return fail(name, kind, d);
     }
 
-    let liquid = try_or_fail!(build_liquid(&w), "liquid build");
+    let liquid = try_or_fail!(build_liquid(w), "liquid build");
     let (scalar_report, scalar_mem, scalar_regs) = try_or_fail!(
         run_full(&liquid.program, MachineConfig::scalar_only()),
         "liquid scalar run"
@@ -244,12 +274,12 @@ pub fn check_legal(spec: &LegalSpec) -> CaseOutcome {
         MachineConfig::scalar_only(),
         (&scalar_report, &scalar_mem, &scalar_regs),
     ) {
-        return fail(&name, kind, d);
+        return fail(name, kind, d);
     }
 
     // Reduction cells of f32 kernels legitimately differ between scalar
     // and vector order; everything else must be byte-identical.
-    let rtol_ranges: Vec<(u32, u32)> = if spec.elem == ElemType::F32 && spec.reduce.is_some() {
+    let rtol_ranges: Vec<(u32, u32)> = if f32_racc_rtol {
         liquid
             .program
             .symbol_by_name("racc")
@@ -261,12 +291,18 @@ pub fn check_legal(spec: &LegalSpec) -> CaseOutcome {
     };
 
     let mut translated = false;
+    let mut abort_tags: Vec<String> = Vec::new();
     for &width in &SUPPORTED_WIDTHS {
         let (report, t_mem, t_regs) = try_or_fail!(
             run_full(&liquid.program, MachineConfig::liquid(width)),
             "liquid translated run"
         );
         translated |= report.translator.successes > 0;
+        for tag in report.translator.aborts.keys() {
+            if !abort_tags.iter().any(|t| t == tag) {
+                abort_tags.push((*tag).to_string());
+            }
+        }
         try_or_fail!(
             verify_against_gold(
                 &format!("liquid/translated@{width}"),
@@ -277,10 +313,10 @@ pub fn check_legal(spec: &LegalSpec) -> CaseOutcome {
             "translated vs gold"
         );
         if let Some(d) = diff_memory(&scalar_mem, &t_mem, &rtol_ranges) {
-            return fail(&name, kind, format!("translated@{width} vs scalar: {d}"));
+            return fail(name, kind, format!("translated@{width} vs scalar: {d}"));
         }
         if let Some(d) = diff_live_outs(&scalar_regs, &t_regs) {
-            return fail(&name, kind, format!("translated@{width} vs scalar: {d}"));
+            return fail(name, kind, format!("translated@{width} vs scalar: {d}"));
         }
         if let Some(d) = diff_backend(
             &format!("liquid/translated@{width}"),
@@ -288,10 +324,10 @@ pub fn check_legal(spec: &LegalSpec) -> CaseOutcome {
             MachineConfig::liquid(width),
             (&report, &t_mem, &t_regs),
         ) {
-            return fail(&name, kind, d);
+            return fail(name, kind, d);
         }
 
-        let native = try_or_fail!(build_native(&w, width), "native build");
+        let native = try_or_fail!(build_native(w, width), "native build");
         let (_, n_mem, _) = try_or_fail!(
             run_full(&native.program, MachineConfig::native(width)),
             "native run"
@@ -307,17 +343,20 @@ pub fn check_legal(spec: &LegalSpec) -> CaseOutcome {
         );
     }
 
-    if spec.inject_last {
+    if inject_last {
         if let Some(detail) = check_inject_last(&liquid.program, &gold_env) {
-            return fail(&name, kind, detail);
+            return fail(name, kind, detail);
         }
     }
 
+    abort_tags.sort_unstable();
     CaseOutcome {
-        name,
+        name: name.to_string(),
         kind,
+        family: String::new(),
         passed: true,
         translated,
+        abort_tags,
         detail: String::new(),
     }
 }
@@ -386,43 +425,53 @@ fn check_inject_last(program: &Program, gold_env: &liquid_simd::DataEnv) -> Opti
 /// translator-less machine.
 #[must_use]
 pub fn check_illegal(spec: &IllegalSpec) -> CaseOutcome {
-    let kind = "illegal";
-    let name = spec.name.clone();
     let src = spec.to_asm();
-    let program = match asm::assemble(&src) {
+    let mut outcome = check_untranslatable(&spec.name, &src, spec.kind.expected_tag());
+    outcome.family = spec.kind.family().to_string();
+    outcome
+}
+
+/// The abort-never-mistranslate check for any assembly region — the
+/// oracle core shared by illegal conform cases and by generated
+/// untranslatable kernelgen variants. The region must abort with
+/// `expected_tag` at some width, commit nothing anywhere, and stay
+/// bit-identical to the translator-less machine.
+#[must_use]
+pub fn check_untranslatable(name: &str, src: &str, expected_tag: &str) -> CaseOutcome {
+    let kind = "illegal";
+    let program = match asm::assemble(src) {
         Ok(p) => p,
-        Err(e) => return fail(&name, kind, format!("illegal case does not assemble: {e}")),
+        Err(e) => return fail(name, kind, format!("illegal case does not assemble: {e}")),
     };
     let (ref_mem, ref_regs) = match run_full(&program, MachineConfig::scalar_only()) {
         Ok((report, mem, regs)) => {
             if !report.halted {
-                return fail(&name, kind, "reference run did not halt".to_string());
+                return fail(name, kind, "reference run did not halt".to_string());
             }
             (mem, regs)
         }
-        Err(e) => return fail(&name, kind, format!("reference run failed: {e}")),
+        Err(e) => return fail(name, kind, format!("reference run failed: {e}")),
     };
 
     let mut tags: Vec<String> = Vec::new();
     for &width in &SUPPORTED_WIDTHS {
         let (report, mem, regs) = match run_full(&program, MachineConfig::liquid(width)) {
             Ok(v) => v,
-            Err(e) => return fail(&name, kind, format!("liquid@{width} run failed: {e}")),
+            Err(e) => return fail(name, kind, format!("liquid@{width} run failed: {e}")),
         };
         if report.translator.successes > 0 {
             return fail(
-                &name,
+                name,
                 kind,
                 format!(
                     "MISTRANSLATION: illegal region committed microcode at width {width} \
-                     (expected abort `{}`)",
-                    spec.kind.expected_tag()
+                     (expected abort `{expected_tag}`)"
                 ),
             );
         }
         if report.translator.aborted() == 0 {
             return fail(
-                &name,
+                name,
                 kind,
                 format!("liquid@{width} neither translated nor aborted"),
             );
@@ -435,12 +484,12 @@ pub fn check_illegal(spec: &IllegalSpec) -> CaseOutcome {
         // Translation is observational: an aborted region must leave
         // execution bit-identical to the translator-less machine.
         if let Some(d) = diff_memory(&ref_mem, &mem, &[]) {
-            return fail(&name, kind, format!("liquid@{width} vs scalar-only: {d}"));
+            return fail(name, kind, format!("liquid@{width} vs scalar-only: {d}"));
         }
         if regs != ref_regs {
             let r = (0..16).find(|&r| regs[r] != ref_regs[r]).unwrap_or(0);
             return fail(
-                &name,
+                name,
                 kind,
                 format!(
                     "liquid@{width} vs scalar-only: r{r} differs ({:#x} vs {:#x})",
@@ -456,24 +505,26 @@ pub fn check_illegal(spec: &IllegalSpec) -> CaseOutcome {
             MachineConfig::liquid(width),
             (&report, &mem, &regs),
         ) {
-            return fail(&name, kind, d);
+            return fail(name, kind, d);
         }
     }
 
-    let expected = spec.kind.expected_tag();
-    if !tags.iter().any(|t| t == expected) {
+    if !tags.iter().any(|t| t == expected_tag) {
         return fail(
-            &name,
+            name,
             kind,
-            format!("expected abort tag `{expected}` at some width, saw {tags:?}"),
+            format!("expected abort tag `{expected_tag}` at some width, saw {tags:?}"),
         );
     }
 
+    tags.sort_unstable();
     CaseOutcome {
-        name,
+        name: name.to_string(),
         kind,
+        family: String::new(),
         passed: true,
         translated: true,
+        abort_tags: tags,
         detail: String::new(),
     }
 }
@@ -503,17 +554,7 @@ mod tests {
 
     #[test]
     fn every_illegal_family_aborts_and_matches_scalar() {
-        let kinds = [
-            IllegalKind::Strided { stride: 2 },
-            IllegalKind::RuntimePermute,
-            IllegalKind::ScalarStore,
-            IllegalKind::CamMiss {
-                offsets: (0..16).map(|i| [0, 2, -1, -1][i % 4]).collect(),
-            },
-            IllegalKind::Oversized { adds: 70 },
-            IllegalKind::NestedCall,
-        ];
-        for kind in kinds {
+        for kind in IllegalKind::all_canonical() {
             let spec = IllegalSpec {
                 name: format!("unit_{}", kind.family()),
                 kind,
@@ -521,6 +562,16 @@ mod tests {
             };
             let outcome = check_illegal(&spec);
             assert!(outcome.passed, "{}: {}", outcome.name, outcome.detail);
+            assert!(
+                outcome
+                    .abort_tags
+                    .iter()
+                    .any(|t| t == spec.kind.expected_tag()),
+                "{}: tags {:?} missing {}",
+                outcome.name,
+                outcome.abort_tags,
+                spec.kind.expected_tag()
+            );
         }
     }
 

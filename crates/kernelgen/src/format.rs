@@ -1,0 +1,348 @@
+//! The `kernel-v1` text format: a line-oriented serialization of
+//! [`FamilySpec`], in the same `key value` style as `conform-case-v1`.
+//! `parse(print(spec)) == spec` is test-pinned.
+//!
+//! ```text
+//! # kernel-v1
+//! family dot_i32
+//! idiom dot
+//! elem i32
+//! trips 32 64 128 256 512
+//! unrolls 1 2 3 4
+//! reps 2
+//! seed 0xd071
+//! ops mul add
+//! reduce sum
+//! ```
+
+use liquid_simd_isa::{ElemType, PermKind, RedOp, VAluOp};
+
+use crate::spec::{FamilySpec, Idiom};
+
+/// First line of every `kernel-v1` file.
+pub const MAGIC: &str = "# kernel-v1";
+
+fn op_name(op: VAluOp) -> &'static str {
+    match op {
+        VAluOp::Add => "add",
+        VAluOp::Sub => "sub",
+        VAluOp::Mul => "mul",
+        VAluOp::Div => "div",
+        VAluOp::And => "and",
+        VAluOp::Orr => "orr",
+        VAluOp::Eor => "eor",
+        VAluOp::Min => "min",
+        VAluOp::Max => "max",
+        VAluOp::SatAdd => "sat-add",
+        VAluOp::SatSub => "sat-sub",
+        VAluOp::SSatAdd => "ssat-add",
+        VAluOp::SSatSub => "ssat-sub",
+        VAluOp::Lsl => "lsl",
+        VAluOp::Lsr => "lsr",
+        VAluOp::Asr => "asr",
+    }
+}
+
+fn op_value(name: &str) -> Option<VAluOp> {
+    VAluOp::ALL.iter().copied().find(|&op| op_name(op) == name)
+}
+
+fn elem_name(e: ElemType) -> &'static str {
+    match e {
+        ElemType::I8 => "i8",
+        ElemType::I16 => "i16",
+        ElemType::I32 => "i32",
+        ElemType::F32 => "f32",
+    }
+}
+
+fn elem_value(name: &str) -> Option<ElemType> {
+    match name {
+        "i8" => Some(ElemType::I8),
+        "i16" => Some(ElemType::I16),
+        "i32" => Some(ElemType::I32),
+        "f32" => Some(ElemType::F32),
+        _ => None,
+    }
+}
+
+fn red_name(r: RedOp) -> &'static str {
+    match r {
+        RedOp::Min => "min",
+        RedOp::Max => "max",
+        RedOp::Sum => "sum",
+    }
+}
+
+fn red_value(name: &str) -> Option<RedOp> {
+    match name {
+        "min" => Some(RedOp::Min),
+        "max" => Some(RedOp::Max),
+        "sum" => Some(RedOp::Sum),
+        _ => None,
+    }
+}
+
+fn idiom_line(idiom: Idiom) -> String {
+    match idiom {
+        Idiom::Map => "map".into(),
+        Idiom::Stencil { taps } => format!("stencil {taps}"),
+        Idiom::Dot => "dot".into(),
+        Idiom::Permute { kind } => match kind {
+            PermKind::Bfly { block } => format!("permute bfly {block}"),
+            PermKind::Rev { block } => format!("permute rev {block}"),
+            PermKind::Rot { block, amt } => format!("permute rot {block} {amt}"),
+        },
+        Idiom::Strided { stride } => format!("strided {stride}"),
+        Idiom::Histogram => "histogram".into(),
+        Idiom::Scatter => "scatter".into(),
+        Idiom::Gather => "gather".into(),
+        Idiom::CondAlu => "cond-alu".into(),
+        Idiom::NestedCall => "nested-call".into(),
+        Idiom::NoLoop => "no-loop".into(),
+        Idiom::Oversized => "oversized".into(),
+        Idiom::TripSkew => "trip-skew".into(),
+        Idiom::BoundDrift => "bound-drift".into(),
+        Idiom::WideOffset => "wide-offset".into(),
+        Idiom::ManyLive => "many-live".into(),
+    }
+}
+
+fn parse_idiom(rest: &[&str]) -> Result<Idiom, String> {
+    let arg = |i: usize| -> Result<u32, String> {
+        rest.get(i)
+            .ok_or_else(|| format!("idiom {} needs an argument", rest[0]))?
+            .parse::<u32>()
+            .map_err(|_| format!("bad idiom argument in {rest:?}"))
+    };
+    match rest.first().copied() {
+        Some("map") => Ok(Idiom::Map),
+        Some("stencil") => Ok(Idiom::Stencil { taps: arg(1)? }),
+        Some("dot") => Ok(Idiom::Dot),
+        Some("permute") => {
+            let block =
+                u8::try_from(arg(2)?).map_err(|_| "permute block out of range".to_string())?;
+            match rest.get(1).copied() {
+                Some("bfly") => Ok(Idiom::Permute {
+                    kind: PermKind::Bfly { block },
+                }),
+                Some("rev") => Ok(Idiom::Permute {
+                    kind: PermKind::Rev { block },
+                }),
+                Some("rot") => Ok(Idiom::Permute {
+                    kind: PermKind::Rot {
+                        block,
+                        amt: u8::try_from(arg(3)?)
+                            .map_err(|_| "permute amt out of range".to_string())?,
+                    },
+                }),
+                other => Err(format!("unknown permute kind {other:?}")),
+            }
+        }
+        Some("strided") => Ok(Idiom::Strided { stride: arg(1)? }),
+        Some("histogram") => Ok(Idiom::Histogram),
+        Some("scatter") => Ok(Idiom::Scatter),
+        Some("gather") => Ok(Idiom::Gather),
+        Some("cond-alu") => Ok(Idiom::CondAlu),
+        Some("nested-call") => Ok(Idiom::NestedCall),
+        Some("no-loop") => Ok(Idiom::NoLoop),
+        Some("oversized") => Ok(Idiom::Oversized),
+        Some("trip-skew") => Ok(Idiom::TripSkew),
+        Some("bound-drift") => Ok(Idiom::BoundDrift),
+        Some("wide-offset") => Ok(Idiom::WideOffset),
+        Some("many-live") => Ok(Idiom::ManyLive),
+        other => Err(format!("unknown idiom {other:?}")),
+    }
+}
+
+/// Serialize a spec to canonical `kernel-v1` text (keys in fixed
+/// order, seed in lowercase hex, one trailing newline).
+#[must_use]
+pub fn print(spec: &FamilySpec) -> String {
+    let mut s = String::new();
+    s.push_str(MAGIC);
+    s.push('\n');
+    s.push_str(&format!("family {}\n", spec.family));
+    s.push_str(&format!("idiom {}\n", idiom_line(spec.idiom)));
+    s.push_str(&format!("elem {}\n", elem_name(spec.elem)));
+    let join = |v: &[u32]| v.iter().map(u32::to_string).collect::<Vec<_>>().join(" ");
+    s.push_str(&format!("trips {}\n", join(&spec.trips)));
+    s.push_str(&format!("unrolls {}\n", join(&spec.unrolls)));
+    s.push_str(&format!("reps {}\n", spec.reps));
+    s.push_str(&format!("seed {:#x}\n", spec.seed));
+    if !spec.ops.is_empty() {
+        let ops: Vec<&str> = spec.ops.iter().map(|&o| op_name(o)).collect();
+        s.push_str(&format!("ops {}\n", ops.join(" ")));
+    }
+    if let Some(r) = spec.reduce {
+        s.push_str(&format!("reduce {}\n", red_name(r)));
+    }
+    s
+}
+
+/// Parse `kernel-v1` text. `what` names the source (file name) for
+/// error messages. The result is validated before being returned.
+pub fn parse(what: &str, text: &str) -> Result<FamilySpec, String> {
+    let mut lines = text.lines();
+    if lines.next().map(str::trim) != Some(MAGIC) {
+        return Err(format!("{what}: missing `{MAGIC}` header"));
+    }
+    let mut family: Option<String> = None;
+    let mut idiom: Option<Idiom> = None;
+    let mut elem: Option<ElemType> = None;
+    let mut trips: Option<Vec<u32>> = None;
+    let mut unrolls: Option<Vec<u32>> = None;
+    let mut reps: Option<u32> = None;
+    let mut seed: Option<u64> = None;
+    let mut ops: Vec<VAluOp> = Vec::new();
+    let mut reduce: Option<RedOp> = None;
+
+    for (ln, raw) in lines.enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let ctx = |msg: String| format!("{what}:{}: {msg}", ln + 2);
+        let toks: Vec<&str> = line.split_whitespace().collect();
+        let numbers = |toks: &[&str]| -> Result<Vec<u32>, String> {
+            toks.iter()
+                .map(|t| t.parse::<u32>().map_err(|_| format!("bad number {t:?}")))
+                .collect()
+        };
+        match toks[0] {
+            "family" if toks.len() == 2 => family = Some(toks[1].to_string()),
+            "idiom" => idiom = Some(parse_idiom(&toks[1..]).map_err(ctx)?),
+            "elem" if toks.len() == 2 => {
+                elem = Some(
+                    elem_value(toks[1])
+                        .ok_or_else(|| ctx(format!("unknown elem {:?}", toks[1])))?,
+                );
+            }
+            "trips" => trips = Some(numbers(&toks[1..]).map_err(ctx)?),
+            "unrolls" => unrolls = Some(numbers(&toks[1..]).map_err(ctx)?),
+            "reps" if toks.len() == 2 => {
+                reps = Some(
+                    toks[1]
+                        .parse()
+                        .map_err(|_| ctx(format!("bad reps {:?}", toks[1])))?,
+                );
+            }
+            "seed" if toks.len() == 2 => {
+                let t = toks[1];
+                let v = if let Some(hex) = t.strip_prefix("0x") {
+                    u64::from_str_radix(hex, 16)
+                } else {
+                    t.parse()
+                };
+                seed = Some(v.map_err(|_| ctx(format!("bad seed {t:?}")))?);
+            }
+            "ops" => {
+                ops = toks[1..]
+                    .iter()
+                    .map(|t| op_value(t).ok_or_else(|| ctx(format!("unknown op {t:?}"))))
+                    .collect::<Result<_, _>>()?;
+            }
+            "reduce" if toks.len() == 2 => {
+                reduce = Some(
+                    red_value(toks[1])
+                        .ok_or_else(|| ctx(format!("unknown reduce {:?}", toks[1])))?,
+                );
+            }
+            key => return Err(ctx(format!("unknown or malformed key {key:?}"))),
+        }
+    }
+
+    let need = |name: &str| format!("{what}: missing `{name}` line");
+    let spec = FamilySpec {
+        family: family.ok_or_else(|| need("family"))?,
+        idiom: idiom.ok_or_else(|| need("idiom"))?,
+        elem: elem.ok_or_else(|| need("elem"))?,
+        trips: trips.ok_or_else(|| need("trips"))?,
+        unrolls: unrolls.ok_or_else(|| need("unrolls"))?,
+        reps: reps.ok_or_else(|| need("reps"))?,
+        seed: seed.ok_or_else(|| need("seed"))?,
+        ops,
+        reduce,
+    };
+    spec.validate().map_err(|e| format!("{what}: {e}"))?;
+    Ok(spec)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> FamilySpec {
+        FamilySpec {
+            family: "dot_i32".into(),
+            idiom: Idiom::Dot,
+            elem: ElemType::I32,
+            trips: vec![32, 64],
+            unrolls: vec![1, 2],
+            reps: 2,
+            seed: 0xD071,
+            ops: vec![VAluOp::Add],
+            reduce: Some(RedOp::Sum),
+        }
+    }
+
+    #[test]
+    fn print_parse_round_trip() {
+        let spec = sample();
+        let text = print(&spec);
+        let back = parse("sample", &text).unwrap();
+        assert_eq!(back, spec);
+        // Canonical form is a fixed point.
+        assert_eq!(print(&back), text);
+    }
+
+    #[test]
+    fn every_op_and_idiom_round_trips() {
+        for &op in &VAluOp::ALL {
+            assert_eq!(op_value(op_name(op)), Some(op));
+        }
+        let idioms = [
+            Idiom::Map,
+            Idiom::Stencil { taps: 3 },
+            Idiom::Dot,
+            Idiom::Permute {
+                kind: PermKind::Bfly { block: 4 },
+            },
+            Idiom::Permute {
+                kind: PermKind::Rot { block: 4, amt: 1 },
+            },
+            Idiom::Strided { stride: 2 },
+            Idiom::Histogram,
+            Idiom::Scatter,
+            Idiom::Gather,
+            Idiom::CondAlu,
+            Idiom::NestedCall,
+            Idiom::NoLoop,
+            Idiom::Oversized,
+            Idiom::TripSkew,
+            Idiom::BoundDrift,
+            Idiom::WideOffset,
+            Idiom::ManyLive,
+        ];
+        for idiom in idioms {
+            let line = idiom_line(idiom);
+            let toks: Vec<&str> = line.split_whitespace().collect();
+            assert_eq!(parse_idiom(&toks).unwrap(), idiom, "{line}");
+        }
+    }
+
+    #[test]
+    fn rejects_missing_header_and_bad_keys() {
+        assert!(parse("x", "family a\n").is_err());
+        let mut text = print(&sample());
+        text.push_str("bogus 1\n");
+        assert!(parse("x", &text).unwrap_err().contains("bogus"));
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let mut text = String::from("# kernel-v1\n\n# a comment\n");
+        text.push_str(print(&sample()).strip_prefix("# kernel-v1\n").unwrap());
+        assert_eq!(parse("x", &text).unwrap(), sample());
+    }
+}

@@ -13,7 +13,7 @@
 use std::fmt::Write as _;
 
 use crate::json::Json;
-use crate::record::{SCHEMA, SERVE_SCHEMA};
+use crate::record::{GEN_SCHEMA, SCHEMA, SERVE_SCHEMA};
 
 /// Ordinal blue ramp for the width series (steps 250/400/500/600 of the
 /// sequential ramp — legal nearest-surface step in both modes).
@@ -106,6 +106,10 @@ pub fn render_extended(
         .iter()
         .filter(|r| r.get("schema").and_then(Json::as_str) == Some(SERVE_SCHEMA))
         .collect();
+    let gen_records: Vec<&Json> = history
+        .iter()
+        .filter(|r| r.get("schema").and_then(Json::as_str) == Some(GEN_SCHEMA))
+        .collect();
     let mut out = String::new();
     out.push_str(HEAD);
     if let Some(newest) = records.last() {
@@ -116,6 +120,7 @@ pub fn render_extended(
     } else if serve_records.is_empty() {
         out.push_str("<p class=\"empty\">No perfhist-v1 records in history.</p>");
     }
+    families_section(&mut out, &gen_records);
     service_section(&mut out, &serve_records);
     snapshot_section(&mut out, snapshot);
     flight_section(&mut out, flight_dumps);
@@ -373,6 +378,181 @@ fn figure6_section(out: &mut String, newest: &Json) {
             }
         }
         out.push_str("</tr>");
+    }
+    out.push_str("</tbody></table></details></section>");
+}
+
+/// Generated families: per-family speedup distribution strips (p10–p90
+/// band, p50 tick) from the newest `perfhist-gen-v1` record, plus the
+/// abort-coverage matrix (family × tag counts).
+fn families_section(out: &mut String, gen_records: &[&Json]) {
+    let Some(newest) = gen_records.last() else {
+        return;
+    };
+    struct Fam {
+        family: String,
+        variants: u64,
+        p10: f64,
+        p50: f64,
+        p90: f64,
+        aborts: Vec<(String, u64)>,
+    }
+    let fams: Vec<Fam> = newest
+        .get("families")
+        .and_then(Json::as_arr)
+        .map(|rows| {
+            rows.iter()
+                .map(|r| Fam {
+                    family: r
+                        .get("family")
+                        .and_then(Json::as_str)
+                        .unwrap_or("?")
+                        .to_string(),
+                    variants: r.get("variants").and_then(Json::as_u64).unwrap_or(0),
+                    p10: r.get("speedup_p10").and_then(Json::as_f64).unwrap_or(0.0),
+                    p50: r.get("speedup_p50").and_then(Json::as_f64).unwrap_or(0.0),
+                    p90: r.get("speedup_p90").and_then(Json::as_f64).unwrap_or(0.0),
+                    aborts: r
+                        .get("aborts")
+                        .and_then(Json::as_obj)
+                        .map(|pairs| {
+                            pairs
+                                .iter()
+                                .filter_map(|(t, v)| Some((t.clone(), v.as_u64()?)))
+                                .collect()
+                        })
+                        .unwrap_or_default(),
+                })
+                .collect()
+        })
+        .unwrap_or_default();
+    if fams.is_empty() {
+        return;
+    }
+    out.push_str("<section><h2>Generated families</h2>");
+
+    // Speedup distribution strips for the translatable families.
+    let strips: Vec<&Fam> = fams.iter().filter(|f| f.p90 > 0.0).collect();
+    if !strips.is_empty() {
+        let x_top = strips
+            .iter()
+            .map(|f| f.p90)
+            .fold(1.0f64, f64::max)
+            .ceil()
+            .max(2.0);
+        let (label_w, plot_w, row_h, pad_t) = (150.0, 400.0, 22.0, 8.0);
+        let svg_w = label_w + plot_w + 48.0;
+        let svg_h = pad_t + strips.len() as f64 * row_h + 20.0;
+        let x_of = |s: f64| label_w + plot_w * s / x_top;
+        let _ = write!(
+            out,
+            "<svg viewBox=\"0 0 {svg_w:.0} {svg_h:.0}\" width=\"{svg_w:.0}\" height=\"{svg_h:.0}\" \
+             role=\"img\" aria-label=\"speedup distribution per generated family\">"
+        );
+        // Vertical grid at integer speedups, 1× emphasised.
+        let mut tick = 1.0;
+        while tick <= x_top {
+            let x = x_of(tick);
+            let stroke = if (tick - 1.0).abs() < 1e-9 {
+                "var(--baseline)"
+            } else {
+                "var(--grid)"
+            };
+            let _ = write!(
+                out,
+                "<line x1=\"{x:.1}\" y1=\"{pad_t:.0}\" x2=\"{x:.1}\" y2=\"{:.1}\" \
+                 stroke=\"{stroke}\" stroke-width=\"1\"/>\
+                 <text x=\"{x:.1}\" y=\"{:.1}\" class=\"tick\" text-anchor=\"middle\">{tick:.0}×</text>",
+                pad_t + strips.len() as f64 * row_h,
+                pad_t + strips.len() as f64 * row_h + 12.0
+            );
+            tick += 1.0;
+        }
+        for (i, f) in strips.iter().enumerate() {
+            let cy = pad_t + i as f64 * row_h + row_h / 2.0;
+            let (x10, x50, x90) = (x_of(f.p10), x_of(f.p50), x_of(f.p90));
+            let _ = write!(
+                out,
+                "<text x=\"{:.1}\" y=\"{:.1}\" class=\"xlabel\" text-anchor=\"end\">{}</text>\
+                 <rect x=\"{x10:.1}\" y=\"{:.1}\" width=\"{:.1}\" height=\"8\" rx=\"4\" \
+                  fill=\"var(--series-1)\" opacity=\"0.45\">\
+                 <title>{}: p10 {:.2}× · p50 {:.2}× · p90 {:.2}× over {} variants</title></rect>\
+                 <line x1=\"{x50:.1}\" y1=\"{:.1}\" x2=\"{x50:.1}\" y2=\"{:.1}\" \
+                  stroke=\"var(--series-1)\" stroke-width=\"3\"/>\
+                 <text x=\"{:.1}\" y=\"{:.1}\" class=\"tick\">{:.2}×</text>",
+                label_w - 8.0,
+                cy + 3.5,
+                esc(&f.family),
+                cy - 4.0,
+                (x90 - x10).max(2.0),
+                esc(&f.family),
+                f.p10,
+                f.p50,
+                f.p90,
+                f.variants,
+                cy - 7.0,
+                cy + 7.0,
+                x90 + 6.0,
+                cy + 3.5,
+                f.p50
+            );
+        }
+        out.push_str("</svg>");
+    }
+
+    // Abort-coverage matrix: which tags each family exercises.
+    let mut tags: Vec<String> = fams
+        .iter()
+        .flat_map(|f| f.aborts.iter().map(|(t, _)| t.clone()))
+        .collect();
+    tags.sort_unstable();
+    tags.dedup();
+    if !tags.is_empty() {
+        out.push_str(
+            "<details open><summary>Abort coverage matrix</summary>\
+             <table><thead><tr><th>family</th><th>variants</th>",
+        );
+        for t in &tags {
+            let _ = write!(out, "<th>{}</th>", esc(t));
+        }
+        out.push_str("</tr></thead><tbody>");
+        for f in &fams {
+            let _ = write!(
+                out,
+                "<tr><td>{}</td><td class=\"num\">{}</td>",
+                esc(&f.family),
+                f.variants
+            );
+            for t in &tags {
+                match f.aborts.iter().find(|(ft, _)| ft == t) {
+                    Some((_, n)) => {
+                        let _ = write!(out, "<td class=\"num\">{}</td>", commas(*n));
+                    }
+                    None => out.push_str("<td class=\"num\">·</td>"),
+                }
+            }
+            out.push_str("</tr>");
+        }
+        out.push_str("</tbody></table></details>");
+    }
+
+    // The accessibility table for the strip chart.
+    out.push_str(
+        "<details><summary>Distribution table</summary>\
+         <table><thead><tr><th>family</th><th>variants</th>\
+         <th>p10</th><th>p50</th><th>p90</th></tr></thead><tbody>",
+    );
+    for f in &fams {
+        let _ = write!(
+            out,
+            "<tr><td>{}</td><td class=\"num\">{}</td>\
+             <td class=\"num\">{:.2}×</td><td class=\"num\">{:.2}×</td><td class=\"num\">{:.2}×</td></tr>",
+            esc(&f.family),
+            f.variants,
+            f.p10,
+            f.p50,
+            f.p90
+        );
     }
     out.push_str("</tbody></table></details></section>");
 }
@@ -1028,6 +1208,34 @@ mod tests {
         assert!(html.contains("<title>FIR @ 8 lanes: 4.00×"));
         // Table views exist for the charts.
         assert!(html.matches("<details>").count() >= 2);
+    }
+
+    #[test]
+    fn families_panel_renders_from_gen_records() {
+        let gen = Json::parse(
+            r#"{"schema":"perfhist-gen-v1","commit":"abc123def","timestamp":1700000200,"host":"linux-x86_64-h","config_hash":"cafe","smoke":true,"widths":[2,8],"backend":"interp","families":[{"family":"stencil3_f32","variants":12,"speedup_p10":1.5,"speedup_p50":2.25,"speedup_p90":3.0,"aborts":{"trip-not-multiple":2}},{"family":"histogram_i32","variants":3,"speedup_p10":0.0,"speedup_p50":0.0,"speedup_p90":0.0,"aborts":{"scalar-store":3}}],"wall":{"check_s":1.5}}"#,
+        )
+        .unwrap();
+        let html = render(&[sample_record(), gen], "");
+        assert!(html.contains("Generated families"));
+        assert!(html.contains("stencil3_f32"));
+        assert!(html.contains("Abort coverage matrix"));
+        assert!(html.contains("scalar-store"));
+        // The p50 tick value appears beside the strip.
+        assert!(html.contains("2.25×"));
+        // Untranslatable families appear in the matrix but get no strip.
+        assert!(html.contains("histogram_i32"));
+        for needle in [
+            "http://", "https://", "<script", "src=", "@import", "url(", "href=",
+        ] {
+            assert!(!html.contains(needle), "external reference: {needle}");
+        }
+    }
+
+    #[test]
+    fn no_gen_records_no_families_panel() {
+        let html = render(&[sample_record()], "");
+        assert!(!html.contains("Generated families"));
     }
 
     fn serve_sample(rps: f64, resp_hash: &str) -> Json {

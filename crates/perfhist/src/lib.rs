@@ -39,5 +39,5 @@ pub mod sentinel;
 pub mod store;
 
 pub use json::Json;
-pub use record::{RecordMeta, WorkloadRow, SCHEMA, SERVE_SCHEMA};
+pub use record::{FamilyRow, RecordMeta, WorkloadRow, GEN_SCHEMA, SCHEMA, SERVE_SCHEMA};
 pub use sentinel::{cross_check, SentinelOptions, Verdict};

@@ -24,6 +24,13 @@ pub const SCHEMA: &str = "perfhist-v1";
 /// determinism hashes the sentinel gates on.
 pub const SERVE_SCHEMA: &str = "perfhist-serve-v1";
 
+/// The schema tag of generated-family records: one per `bench
+/// --families` invocation, summarising each kernelgen family as a
+/// speedup *distribution* (p10/p50/p90 over its variants) plus the
+/// abort tags its untranslatable variants exercised. They share the
+/// history file with [`SCHEMA`] records — readers filter by schema.
+pub const GEN_SCHEMA: &str = "perfhist-gen-v1";
+
 /// One workload's measurements inside a record.
 #[derive(Clone, Debug, PartialEq)]
 pub struct WorkloadRow {
@@ -121,6 +128,91 @@ pub fn build(
                 .collect(),
         ),
     );
+    rec.set(
+        "wall",
+        Json::Obj(
+            wall.iter()
+                .map(|(k, v)| (k.clone(), Json::f64(*v)))
+                .collect(),
+        ),
+    );
+    rec
+}
+
+/// One generated family's summary inside a [`GEN_SCHEMA`] record. All
+/// fields derive from simulated cycles, so they are deterministic and
+/// survive [`scrub_wall`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct FamilyRow {
+    /// Family name from the kernel-v1 spec.
+    pub family: String,
+    /// How many variants the family expanded to.
+    pub variants: u64,
+    /// 10th / 50th / 90th percentile headline-width speedup over the
+    /// family's translatable variants (nearest-rank; 0 when none).
+    pub speedup_p10: f64,
+    /// Median speedup.
+    pub speedup_p50: f64,
+    /// 90th-percentile speedup.
+    pub speedup_p90: f64,
+    /// Abort tags observed across the family's variants, with counts.
+    pub aborts: Vec<(String, u64)>,
+}
+
+/// Nearest-rank percentile of an ascending-sorted slice (`p` in 0..=100).
+/// Returns 0 for an empty slice.
+#[must_use]
+pub fn nearest_rank(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let n = sorted.len();
+    let rank = ((p / 100.0 * n as f64).ceil() as usize).clamp(1, n);
+    sorted[rank - 1]
+}
+
+/// Builds a `perfhist-gen-v1` record from per-family summaries.
+#[must_use]
+pub fn build_gen(meta: &RecordMeta, families: &[FamilyRow], wall: &[(String, f64)]) -> Json {
+    let mut rec = Json::Obj(vec![
+        ("schema".to_string(), Json::Str(GEN_SCHEMA.to_string())),
+        ("commit".to_string(), Json::Str(meta.commit.clone())),
+        ("timestamp".to_string(), Json::u64(meta.timestamp)),
+        ("host".to_string(), Json::Str(meta.host.clone())),
+        (
+            "config_hash".to_string(),
+            Json::Str(meta.config_hash.clone()),
+        ),
+        ("smoke".to_string(), Json::Bool(meta.smoke)),
+        (
+            "widths".to_string(),
+            Json::Arr(meta.widths.iter().map(|&w| Json::u64(w as u64)).collect()),
+        ),
+        ("backend".to_string(), Json::Str(meta.backend.clone())),
+    ]);
+    let rows = families
+        .iter()
+        .map(|f| {
+            let mut row = Json::Obj(vec![
+                ("family".to_string(), Json::Str(f.family.clone())),
+                ("variants".to_string(), Json::u64(f.variants)),
+            ]);
+            row.set("speedup_p10", Json::f64(f.speedup_p10));
+            row.set("speedup_p50", Json::f64(f.speedup_p50));
+            row.set("speedup_p90", Json::f64(f.speedup_p90));
+            row.set(
+                "aborts",
+                Json::Obj(
+                    f.aborts
+                        .iter()
+                        .map(|(tag, n)| (tag.clone(), Json::u64(*n)))
+                        .collect(),
+                ),
+            );
+            row
+        })
+        .collect();
+    rec.set("families", Json::Arr(rows));
     rec.set(
         "wall",
         Json::Obj(
@@ -335,6 +427,52 @@ mod tests {
         assert_eq!(a.write(), b.write(), "only wall fields differed");
         assert!(a.get("commit").is_some(), "identity fields survive");
         assert!(a.get("counters").is_some());
+    }
+
+    #[test]
+    fn gen_record_round_trips_and_scrubs_deterministic() {
+        let fam = FamilyRow {
+            family: "stencil3_f32".to_string(),
+            variants: 12,
+            speedup_p10: 1.5,
+            speedup_p50: 2.25,
+            speedup_p90: 3.0,
+            aborts: vec![("trip-not-multiple".to_string(), 2)],
+        };
+        let mut a = build_gen(
+            &meta(),
+            std::slice::from_ref(&fam),
+            &[("expand_s".to_string(), 0.5)],
+        );
+        let text = a.write();
+        assert!(text.starts_with("{\"schema\":\"perfhist-gen-v1\""));
+        let back = Json::parse(&text).unwrap();
+        assert_eq!(back.write(), text);
+
+        let mut b = build_gen(
+            &RecordMeta {
+                timestamp: 1_700_009_999,
+                ..meta()
+            },
+            &[fam],
+            &[("expand_s".to_string(), 9.0)],
+        );
+        assert_ne!(a.write(), b.write());
+        scrub_wall(&mut a);
+        scrub_wall(&mut b);
+        assert_eq!(a.write(), b.write(), "family rows are deterministic");
+        assert!(a.get("families").is_some());
+    }
+
+    #[test]
+    fn nearest_rank_matches_definition() {
+        let v = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(nearest_rank(&v, 10.0), 1.0);
+        assert_eq!(nearest_rank(&v, 50.0), 2.0);
+        assert_eq!(nearest_rank(&v, 90.0), 4.0);
+        assert_eq!(nearest_rank(&v, 100.0), 4.0);
+        assert_eq!(nearest_rank(&[], 50.0), 0.0);
+        assert_eq!(nearest_rank(&[7.0], 90.0), 7.0);
     }
 
     #[test]

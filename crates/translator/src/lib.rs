@@ -105,5 +105,5 @@ mod stats;
 
 pub use automaton::{Progress, Translation, Translator, TranslatorConfig};
 pub use event::Retired;
-pub use state::{AbortReason, RegClass};
+pub use state::{AbortReason, RegClass, ABORT_TAGS};
 pub use stats::{AbortRecord, TrackerSnapshot, TranslatorStats, MAX_ABORT_RECORDS};

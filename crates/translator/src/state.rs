@@ -72,6 +72,27 @@ pub enum AbortReason {
     },
 }
 
+/// Every stable abort tag [`AbortReason::tag`] can produce, in
+/// declaration order. Coverage tooling (conform's `abort_coverage`
+/// section, `liquid-simd gen --check`) diffs observed tags against this
+/// list to find abort paths no test exercises.
+pub const ABORT_TAGS: [&str; 14] = [
+    "unsupported-opcode",
+    "nested-call",
+    "no-loop",
+    "too-many-uops",
+    "trip-not-multiple",
+    "bound-mismatch",
+    "iteration-mismatch",
+    "cam-miss",
+    "value-too-wide",
+    "runtime-indexed-permute",
+    "scalar-store",
+    "register-pressure",
+    "unsupported-shape",
+    "external",
+];
+
 impl AbortReason {
     /// A short stable tag for statistics bucketing.
     #[must_use]

@@ -73,6 +73,27 @@ pub fn smoke() -> Vec<Workload> {
     vec![lu(), mpeg2dec(), fft()]
 }
 
+/// The generated workload frontier: every *translatable* variant from
+/// the seeded `bench/families/` corpus, expanded deterministically by
+/// `kernelgen`. Untranslatable idioms (which lower to raw assembly,
+/// not vector IR) are excluded here — `kernelgen::expand_corpus`
+/// exposes the full set including those.
+///
+/// # Panics
+/// The embedded corpus is validated by kernelgen's own tests; a parse
+/// or expansion failure here means the checked-in corpus is broken.
+#[must_use]
+pub fn generated() -> Vec<Workload> {
+    liquid_simd_kernelgen::expand_corpus()
+        .expect("embedded kernelgen corpus must expand")
+        .into_iter()
+        .filter_map(|v| match v.payload {
+            liquid_simd_kernelgen::Payload::Kernel(w) => Some(*w),
+            liquid_simd_kernelgen::Payload::Asm { .. } => None,
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -95,6 +116,16 @@ mod tests {
     fn all_benchmarks_evaluate_under_gold() {
         for w in all() {
             liquid_simd_compiler::gold::run_gold(&w).unwrap_or_else(|e| panic!("{}: {e}", w.name));
+        }
+    }
+
+    #[test]
+    fn generated_frontier_validates_and_evaluates_under_gold() {
+        let ws = generated();
+        assert!(ws.len() >= 90, "generated frontier: {} workloads", ws.len());
+        for w in &ws {
+            w.validate().unwrap_or_else(|e| panic!("{}: {e:?}", w.name));
+            liquid_simd_compiler::gold::run_gold(w).unwrap_or_else(|e| panic!("{}: {e}", w.name));
         }
     }
 }
