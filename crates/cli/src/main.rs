@@ -27,6 +27,19 @@
 //!                      targets, per-entry microcode-cache statistics
 //!     --top N          rows per table (default 10)
 //!     --trace-out F    also write the Chrome trace with nested spans
+//! liquid-simd diff [<A> <B>] [--backend B] [--json] [--out F]
+//!                      explain a performance delta from the cycle ledger.
+//!                      Each side is `<prog|workload>@wN` (simulated now
+//!                      with the ledger on) or a history file (its newest
+//!                      perfhist-v1 record); with no sides, the last two
+//!                      perfhist-v1 records of --history are compared.
+//!                      Prints ranked per-category and per-region
+//!                      attribution with counter deltas as corroborating
+//!                      evidence, plus a narrative line per contributor
+//!     --history F      history file for the no-side form (default
+//!                      bench/history.jsonl)
+//!     --json           emit the `diff-v1` JSON document instead of text
+//!     --out F          write the report to F instead of stdout
 //! liquid-simd tables [--jobs N] [--smoke]
 //!                      regenerate the paper's tables/figures in parallel
 //! liquid-simd bench [--jobs N] [--smoke] [--progress] [--out BENCH_sim.json]
@@ -37,6 +50,9 @@
 //!                      append-only history
 //!     --backend B      run every simulation on this backend; recorded in
 //!                      the snapshot and the perfhist-v1 record
+//!     --ledger         record the cycle ledger at the headline width and
+//!                      embed the compact per-workload snapshot in the
+//!                      perfhist-v1 record (plus `ledger.*` counters)
 //!     --history F      history file (default bench/history.jsonl)
 //!     --no-history     skip the history append
 //!     --serve          load-test the serve daemon instead: N clients × M
@@ -178,6 +194,7 @@ fn run_cli(args: &[String]) -> Result<(), String> {
         "trace" => cmd_trace(rest),
         "explain" => cmd_explain(rest),
         "profile" => cmd_profile(rest),
+        "diff" => cmd_diff(rest),
         "tables" => cmd_tables(rest),
         "bench" => cmd_bench(rest),
         "gen" => cmd_gen(rest),
@@ -196,7 +213,7 @@ fn run_cli(args: &[String]) -> Result<(), String> {
 }
 
 fn usage() -> String {
-    "usage: liquid-simd <asm|disasm|run|translate|trace|explain|profile|tables|bench|gen|serve|inspect|top|sentinel|dashboard|conform|help> [args]\n\
+    "usage: liquid-simd <asm|disasm|run|translate|trace|explain|profile|diff|tables|bench|gen|serve|inspect|top|sentinel|dashboard|conform|help> [args]\n\
      \n\
      asm <input.s> -o <out.lsim>\n\
      disasm <prog.lsim>\n\
@@ -209,8 +226,10 @@ fn usage() -> String {
          [--interrupt-every N] [--all-calls]\n\
      profile <prog|workload> [--lanes N] [--json] [--top N]\n\
          [--trace-out trace.json]\n\
+     diff [<A@wN|FILE> <B@wN|FILE>] [--backend B] [--json] [--out FILE]\n\
+         [--history bench/history.jsonl]\n\
      tables [--jobs N] [--smoke]\n\
-     bench [--jobs N] [--smoke] [--backend B] [--progress]\n\
+     bench [--jobs N] [--smoke] [--backend B] [--ledger] [--progress]\n\
          [--out BENCH_sim.json] [--history bench/history.jsonl]\n\
          [--no-history] [--serve [--clients N] [--requests N] [--shards N]\n\
          [--measure-recorder]] [--families]\n\
@@ -614,6 +633,287 @@ fn width_anomalies(rows: &[perfhist::WorkloadRow]) -> Vec<String> {
     out
 }
 
+/// Region names for ledger snapshots: the program label at each region's
+/// entry PC, for every region the ledger actually charged.
+fn ledger_region_labels(
+    program: &Program,
+    ledger: &liquid_simd::ledger::Ledger,
+) -> std::collections::BTreeMap<u32, String> {
+    ledger
+        .region_totals()
+        .keys()
+        .filter(|&&pc| pc != liquid_simd::ledger::TOP_REGION)
+        .filter_map(|&pc| program.label_at(pc).map(|l| (pc, l.to_string())))
+        .collect()
+}
+
+/// Simulates `program` at `width` with the cycle ledger on and rolls the
+/// result into a labelled, counter-corroborated snapshot — the input to
+/// every ledger diff.
+fn ledger_snapshot_at(
+    label: &str,
+    program: &Program,
+    width: usize,
+    backend: liquid_simd::BackendKind,
+) -> Result<liquid_simd::ledger::Snapshot, String> {
+    let cfg = MachineConfig::liquid(width)
+        .with_backend(backend)
+        .with_ledger(true);
+    let out = liquid_simd::run(program, cfg).map_err(|e| format!("{label}: {e}"))?;
+    let led = out.report.ledger.clone().unwrap_or_default();
+    let names = ledger_region_labels(program, &led);
+    Ok(perfhist::counters::ledger_snapshot(
+        label,
+        &out.report,
+        &names,
+    ))
+}
+
+/// The structured `width_anomalies` entries of the bench snapshot: each
+/// inversion is re-run at the two widths with the ledger on, and the entry
+/// carries the top-3 attribution buckets of the delta plus the dominant
+/// cost category — a machine-checked explanation, not just a flag.
+fn width_anomaly_entries(
+    rows: &[perfhist::WorkloadRow],
+    workloads: &[liquid_simd::Workload],
+    backend: liquid_simd::BackendKind,
+) -> Result<Vec<String>, String> {
+    let mut out = Vec::new();
+    for row in rows {
+        for pair in row.cycles_by_width.windows(2) {
+            let ((narrow, narrow_cycles), (wide, wide_cycles)) = (pair[0], pair[1]);
+            if !(wide > narrow && wide_cycles > narrow_cycles) {
+                continue;
+            }
+            let Some(w) = workloads.iter().find(|w| w.name == row.name) else {
+                continue;
+            };
+            let b = liquid_simd::build_liquid(w).map_err(|e| format!("{}: {e}", w.name))?;
+            let a = ledger_snapshot_at(
+                &format!("{}@w{narrow}", w.name),
+                &b.program,
+                narrow,
+                backend,
+            )?;
+            let z = ledger_snapshot_at(&format!("{}@w{wide}", w.name), &b.program, wide, backend)?;
+            let d = liquid_simd::ledger::diff::diff(&a, &z);
+            let buckets = d
+                .categories
+                .iter()
+                .filter(|c| c.delta != 0)
+                .take(3)
+                .map(|c| {
+                    format!(
+                        "{{\"category\": \"{}\", \"narrow_cycles\": {}, \"wide_cycles\": {}, \
+                         \"delta\": {}}}",
+                        json_escape(&c.name),
+                        c.a_cycles,
+                        c.b_cycles,
+                        c.delta
+                    )
+                })
+                .collect::<Vec<_>>()
+                .join(", ");
+            out.push(format!(
+                "{{\"workload\": \"{}\", \"narrow_width\": {narrow}, \
+                 \"narrow_cycles\": {narrow_cycles}, \"wide_width\": {wide}, \
+                 \"wide_cycles\": {wide_cycles}, \"dominant_category\": {}, \
+                 \"top_buckets\": [{buckets}], \"message\": \"{}\"}}",
+                json_escape(&row.name),
+                match &d.dominant_category {
+                    Some(c) => format!("\"{}\"", json_escape(c)),
+                    None => "null".to_string(),
+                },
+                json_escape(&format!(
+                    "{}: width {wide} took {wide_cycles} cycles, more than width \
+                     {narrow}'s {narrow_cycles}",
+                    row.name
+                )),
+            ));
+        }
+    }
+    Ok(out)
+}
+
+/// Positional (non-flag) arguments, skipping the values of value-taking
+/// flags.
+fn positionals<'a>(args: &'a [String], value_flags: &[&str]) -> Vec<&'a str> {
+    let mut out = Vec::new();
+    let mut skip = false;
+    for a in args {
+        if skip {
+            skip = false;
+            continue;
+        }
+        if value_flags.contains(&a.as_str()) {
+            skip = true;
+            continue;
+        }
+        if a.starts_with("--") {
+            continue;
+        }
+        out.push(a.as_str());
+    }
+    out
+}
+
+/// One side of a `diff`: `<prog|workload>@wN` simulates now with the
+/// ledger on; anything else must be a history file, whose newest
+/// perfhist-v1 record is rolled into a snapshot.
+fn diff_snapshot(
+    spec: &str,
+    backend: liquid_simd::BackendKind,
+) -> Result<liquid_simd::ledger::Snapshot, String> {
+    if let Some((base, width)) = spec.rsplit_once("@w") {
+        if let Ok(w) = width.parse::<usize>() {
+            if !((2..=16).contains(&w) && w.is_power_of_two()) {
+                return Err(format!("bad width in `{spec}` (powers of two in 2..=16)"));
+            }
+            let (program, name) = resolve_program(base)?;
+            return ledger_snapshot_at(&format!("{name}@w{w}"), &program, w, backend);
+        }
+    }
+    let path = std::path::Path::new(spec);
+    if !path.exists() {
+        return Err(format!(
+            "`{spec}` is neither `<prog|workload>@wN` nor a history file"
+        ));
+    }
+    let records = perfhist::store::load(path)?;
+    let rec = records
+        .iter()
+        .rev()
+        .find(|r| r.get("schema").and_then(perfhist::Json::as_str) == Some("perfhist-v1"))
+        .ok_or_else(|| format!("{spec}: no perfhist-v1 record"))?;
+    Ok(record_snapshot(rec, spec))
+}
+
+/// Rolls one perfhist-v1 record into a diff-able snapshot: `ledger.*`
+/// counters become the category totals, per-workload rows become the
+/// regions (with the per-category split when the record was written under
+/// `bench --ledger`), and every other deterministic counter rides along as
+/// corroborating evidence.
+fn record_snapshot(rec: &perfhist::Json, label: &str) -> liquid_simd::ledger::Snapshot {
+    use liquid_simd::ledger::{RegionSnap, Snapshot};
+    let commit = rec
+        .get("commit")
+        .and_then(perfhist::Json::as_str)
+        .unwrap_or("?");
+    let backend = rec
+        .get("backend")
+        .and_then(perfhist::Json::as_str)
+        .unwrap_or("?");
+    let mut snap = Snapshot {
+        label: format!("{label} ({commit}, {backend})"),
+        ..Snapshot::default()
+    };
+    if let Some(pairs) = rec.get("counters").and_then(perfhist::Json::as_obj) {
+        for (k, v) in pairs {
+            let Some(v) = v.as_u64() else { continue };
+            if let Some(rest) = k.strip_prefix("ledger.") {
+                if let Some(cat) = rest.strip_suffix(".cycles") {
+                    snap.categories.entry(cat.to_string()).or_default().cycles = v;
+                } else if let Some(cat) = rest.strip_suffix(".events") {
+                    snap.categories.entry(cat.to_string()).or_default().events = v;
+                }
+            } else if !k.starts_with("backend.") {
+                snap.counters.insert(k.clone(), v);
+            }
+        }
+    }
+    if let Some(rows) = rec.get("workloads").and_then(perfhist::Json::as_arr) {
+        for row in rows {
+            let name = row
+                .get("name")
+                .and_then(perfhist::Json::as_str)
+                .unwrap_or("?")
+                .to_string();
+            let cycles = row
+                .get("sim_cycles")
+                .and_then(perfhist::Json::as_u64)
+                .unwrap_or(0);
+            snap.total_cycles += cycles;
+            let mut r = RegionSnap {
+                cycles,
+                ..RegionSnap::default()
+            };
+            if let Some(cats) = row
+                .get("ledger")
+                .and_then(|l| l.get("categories"))
+                .and_then(perfhist::Json::as_obj)
+            {
+                for (cat, b) in cats {
+                    r.by_category.insert(
+                        cat.clone(),
+                        b.get("cycles")
+                            .and_then(perfhist::Json::as_u64)
+                            .unwrap_or(0),
+                    );
+                }
+            }
+            snap.regions.insert(name, r);
+        }
+    }
+    snap
+}
+
+/// `liquid-simd diff`: explain a performance delta from the cycle ledger.
+fn cmd_diff(args: &[String]) -> Result<(), String> {
+    let backend = parse_backend(args)?;
+    let json = flag(args, "--json");
+    let out_path = option_value(args, "--out")?;
+    let sides = positionals(args, &["--backend", "--history", "--out"]);
+    let (a, b) = match sides.len() {
+        // No sides: the last two perfhist-v1 records of the history —
+        // "what changed since the previous bench run?"
+        0 => {
+            let history_path = option_value(args, "--history")?.unwrap_or("bench/history.jsonl");
+            let records = perfhist::store::load(std::path::Path::new(history_path))?;
+            let mut v1: Vec<&perfhist::Json> = records
+                .iter()
+                .filter(|r| r.get("schema").and_then(perfhist::Json::as_str) == Some("perfhist-v1"))
+                .collect();
+            if v1.len() < 2 {
+                return Err(format!(
+                    "{history_path}: need at least two perfhist-v1 records to diff \
+                     (found {})",
+                    v1.len()
+                ));
+            }
+            let newest = v1.pop().expect("len checked");
+            let previous = v1.pop().expect("len checked");
+            (
+                record_snapshot(previous, "history[-2]"),
+                record_snapshot(newest, "history[-1]"),
+            )
+        }
+        2 => (
+            diff_snapshot(sides[0], backend)?,
+            diff_snapshot(sides[1], backend)?,
+        ),
+        n => {
+            return Err(format!(
+                "diff takes zero or two sides, got {n}\n{}",
+                usage()
+            ))
+        }
+    };
+    let d = liquid_simd::ledger::diff::diff(&a, &b);
+    let rendered = if json {
+        liquid_simd::ledger::diff::render_json(&d)
+    } else {
+        liquid_simd::ledger::diff::render_text(&d)
+    };
+    match out_path {
+        Some(p) => {
+            fs::write(p, &rendered).map_err(|e| format!("{p}: {e}"))?;
+            println!("{p}: written");
+        }
+        None => print!("{rendered}"),
+    }
+    Ok(())
+}
+
 fn cmd_bench(args: &[String]) -> Result<(), String> {
     if flag(args, "--serve") {
         return cmd_bench_serve(args);
@@ -624,6 +924,7 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
     let jobs = parse_jobs(args)?;
     let (workloads, widths) = bench_suite(args);
     let smoke = flag(args, "--smoke");
+    let want_ledger = flag(args, "--ledger");
     let backend = parse_backend(args)?;
     let out_path = option_value(args, "--out")?.unwrap_or("BENCH_sim.json");
     let history_path = option_value(args, "--history")?.unwrap_or("bench/history.jsonl");
@@ -656,14 +957,20 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
             baseline_cycles: base.report.cycles,
             sim_cycles: 0,
             cycles_by_width: Vec::new(),
+            ledger: None,
             wall_s: 0.0,
             cycles_per_sec: 0.0,
         };
         for &width in &widths {
+            // The ledger is an observer (never changes cycles), recorded
+            // at the headline width only when `--ledger` asked for it.
+            let record_ledger = want_ledger && width == headline;
             let t0 = Instant::now();
             let out = liquid_simd::run(
                 &b.program,
-                MachineConfig::liquid(width).with_backend(backend),
+                MachineConfig::liquid(width)
+                    .with_backend(backend)
+                    .with_ledger(record_ledger),
             )
             .map_err(|e| e.to_string())?;
             if width == headline {
@@ -674,6 +981,12 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
                     &mut counters,
                     &perfhist::counters::snapshot(&out.report),
                 );
+            }
+            if record_ledger {
+                let led = out.report.ledger.clone().unwrap_or_default();
+                let names = ledger_region_labels(&b.program, &led);
+                let snap = liquid_simd::ledger::Snapshot::from_ledger(&w.name, &led, &names);
+                row.ledger = perfhist::Json::parse(&snap.to_json()).ok();
             }
             row.cycles_by_width.push((width, out.report.cycles));
         }
@@ -696,6 +1009,10 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
     for a in &anomalies {
         println!("warning: width anomaly — {a}");
     }
+    // The snapshot gets the structured form: each inversion re-run at the
+    // two widths with the ledger on, so the entry names where the extra
+    // cycles went instead of just flagging that they exist.
+    let anomaly_entries = width_anomaly_entries(&rows, &workloads, backend)?;
 
     // The Figure 6 sweep, serial then parallel: wall-clock speedup plus a
     // byte-identity check on the rendered rows (determinism gate). Per-task
@@ -780,14 +1097,22 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
         ));
     }
     json.push_str("  ],\n");
-    json.push_str(&format!(
-        "  \"width_anomalies\": [{}],\n",
-        anomalies
-            .iter()
-            .map(|a| format!("\"{}\"", json_escape(a)))
-            .collect::<Vec<_>>()
-            .join(", ")
-    ));
+    if anomaly_entries.is_empty() {
+        json.push_str("  \"width_anomalies\": [],\n");
+    } else {
+        json.push_str("  \"width_anomalies\": [\n");
+        for (i, e) in anomaly_entries.iter().enumerate() {
+            json.push_str(&format!(
+                "    {e}{}\n",
+                if i + 1 < anomaly_entries.len() {
+                    ","
+                } else {
+                    ""
+                }
+            ));
+        }
+        json.push_str("  ],\n");
+    }
     json.push_str(&format!(
         "  \"figure6_sweep\": {{\"serial_s\": {serial_s:.6}, \"parallel_s\": {parallel_s:.6}, \
          \"speedup\": {speedup:.3}, \"deterministic\": {deterministic}, \
@@ -1060,6 +1385,7 @@ fn cmd_bench_families(args: &[String]) -> Result<(), String> {
             baseline_cycles,
             sim_cycles: 0,
             cycles_by_width: Vec::new(),
+            ledger: None,
             wall_s: 0.0,
             cycles_per_sec: 0.0,
         };
@@ -1530,6 +1856,58 @@ fn render_metrics_frame(
         "aborts     {}",
         if aborts.is_empty() { "none" } else { &aborts }
     );
+    // Per-backend cycle split from the merged shard counters
+    // (`sim.backend.<name>.cycles` / `.runs`): which execution backend did
+    // the simulated work, and how much of it.
+    let mut backends: std::collections::BTreeMap<String, (u64, u64)> =
+        std::collections::BTreeMap::new();
+    if let Some(pairs) = m.get("counters").and_then(perfhist::Json::as_obj) {
+        for (k, v) in pairs {
+            let Some(rest) = k.strip_prefix("sim.backend.") else {
+                continue;
+            };
+            let v = v.as_u64().unwrap_or(0);
+            if let Some(name) = rest.strip_suffix(".cycles") {
+                backends.entry(name.to_string()).or_default().0 = v;
+            } else if let Some(name) = rest.strip_suffix(".runs") {
+                backends.entry(name.to_string()).or_default().1 = v;
+            }
+        }
+    }
+    let split = backends
+        .iter()
+        .map(|(name, &(cycles, runs))| format!("{name} {cycles} cycles / {runs} runs"))
+        .collect::<Vec<_>>()
+        .join("   ");
+    let _ = writeln!(
+        out,
+        "backends   {}",
+        if split.is_empty() { "none" } else { &split }
+    );
+    // Merged ledger category cycles (`sim.ledger.<category>.cycles`) —
+    // the serve-side view of the cycle ledger, scrub-stable at any shard
+    // count because the shards sum.
+    let ledger = m
+        .get("counters")
+        .and_then(perfhist::Json::as_obj)
+        .map(|pairs| {
+            pairs
+                .iter()
+                .filter_map(|(k, v)| {
+                    k.strip_prefix("sim.ledger.")
+                        .and_then(|rest| rest.strip_suffix(".cycles"))
+                        .filter(|_| v.as_u64().unwrap_or(0) > 0)
+                        .map(|cat| format!("{cat}={}", v.as_u64().unwrap_or(0)))
+                })
+                .collect::<Vec<_>>()
+                .join(" ")
+        })
+        .unwrap_or_default();
+    let _ = writeln!(
+        out,
+        "ledger     {}",
+        if ledger.is_empty() { "none" } else { &ledger }
+    );
     if counters_table {
         if let Some(pairs) = m.get("counters").and_then(perfhist::Json::as_obj) {
             let table: std::collections::BTreeMap<String, u64> = pairs
@@ -1972,6 +2350,7 @@ mod tests {
             cycles_by_width: by_width.to_vec(),
             wall_s: 0.0,
             cycles_per_sec: 0.0,
+            ledger: None,
         };
         // The motivating case: 179.art costs more cycles at width 16 than 8.
         let rows = vec![

@@ -25,6 +25,7 @@ use std::collections::{BTreeMap, BTreeSet};
 use std::fmt::Write as _;
 
 use liquid_simd_isa::{Program, SUPPORTED_WIDTHS};
+use liquid_simd_ledger::{Ledger, Snapshot as LedgerSnapshot, TOP_REGION};
 use liquid_simd_sim::{
     BackendKind, BlockStats, MachineConfig, McacheEntryStats, McacheStats, PhaseBreakdown,
     SimError, TargetProfile,
@@ -126,6 +127,9 @@ pub struct ExplainReport {
     pub blocks: Vec<BlockStats>,
     /// Every region that was called, translated, or aborted, by entry PC.
     pub regions: Vec<RegionReport>,
+    /// Cycle-ledger snapshot per width, parallel to `widths`: category and
+    /// region rollups of the exact per-cycle attribution.
+    pub ledgers: Vec<LedgerSnapshot>,
 }
 
 /// Runs `program` once per width and reports every outlined region's fate:
@@ -146,7 +150,9 @@ pub fn explain(
     };
     let mut runs = Vec::new();
     for &w in &widths {
-        let mut cfg = MachineConfig::liquid(w).with_backend(opts.backend);
+        let mut cfg = MachineConfig::liquid(w)
+            .with_backend(opts.backend)
+            .with_ledger(true);
         cfg.interrupt_every = opts.interrupt_every;
         cfg.translation.translate_plain_bl = opts.all_calls;
         runs.push((w, crate::run(program, cfg)?.report));
@@ -200,6 +206,18 @@ pub fn explain(
         })
         .collect();
 
+    let ledgers = runs
+        .iter()
+        .map(|(w, r)| {
+            let led = r.ledger.clone().unwrap_or_default();
+            LedgerSnapshot::from_ledger(
+                &format!("{name} w{w}"),
+                &led,
+                &ledger_labels(program, &led),
+            )
+        })
+        .collect();
+
     Ok(ExplainReport {
         program: name.to_string(),
         widths,
@@ -208,7 +226,19 @@ pub fn explain(
         backend: opts.backend,
         blocks: runs.iter().map(|(_, r)| r.blocks).collect(),
         regions,
+        ledgers,
     })
+}
+
+/// Labels for every ledger region that has one in the program's symbol
+/// table, so snapshots name regions `label @pc` instead of bare `@pc`.
+fn ledger_labels(program: &Program, ledger: &Ledger) -> BTreeMap<u32, String> {
+    ledger
+        .region_totals()
+        .keys()
+        .filter(|&&pc| pc != TOP_REGION)
+        .filter_map(|&pc| program.label_at(pc).map(|l| (pc, l.to_string())))
+        .collect()
 }
 
 /// The result of a [`profile`] run: where the cycles went.
@@ -240,6 +270,9 @@ pub struct ProfileReport {
     pub spans: Vec<SpanRecord>,
     /// Raw event records (for Chrome-trace export; ring-capacity bounded).
     pub records: Vec<TraceRecord>,
+    /// Cycle-ledger snapshot of the run: category and region rollups of
+    /// the exact per-cycle attribution.
+    pub ledger: LedgerSnapshot,
 }
 
 /// Runs `program` once with a tracer attached and assembles the cycle
@@ -255,7 +288,8 @@ pub fn profile(program: &Program, name: &str, lanes: usize) -> Result<ProfileRep
     } else {
         MachineConfig::liquid(lanes)
     }
-    .with_tracer(tracer.clone());
+    .with_tracer(tracer.clone())
+    .with_ledger(true);
     let report = crate::run(program, cfg)?.report;
 
     let mut targets: Vec<(u32, Option<String>, TargetProfile)> = report
@@ -268,6 +302,9 @@ pub fn profile(program: &Program, name: &str, lanes: usize) -> Result<ProfileRep
             .cmp(&a.2.total_cycles())
             .then(a.0.cmp(&b.0))
     });
+
+    let led = report.ledger.clone().unwrap_or_default();
+    let ledger = LedgerSnapshot::from_ledger(name, &led, &ledger_labels(program, &led));
 
     let spans = tracer.spans();
     Ok(ProfileReport {
@@ -283,6 +320,7 @@ pub fn profile(program: &Program, name: &str, lanes: usize) -> Result<ProfileRep
         span_summary: span::aggregate(&spans),
         spans,
         records: tracer.records(),
+        ledger,
     })
 }
 
@@ -398,6 +436,14 @@ pub fn explain_json(report: &ExplainReport) -> String {
         })
         .collect();
     let _ = writeln!(j, "  \"runs\": [\n    {}\n  ],", runs.join(",\n    "));
+    let leds: Vec<String> = report
+        .ledgers
+        .iter()
+        .map(|s| format!("    {}", s.to_json()))
+        .collect();
+    if !leds.is_empty() {
+        let _ = writeln!(j, "  \"ledger\": [\n{}\n  ],", leds.join(",\n"));
+    }
     j.push_str("  \"regions\": [\n");
     for (i, region) in report.regions.iter().enumerate() {
         let _ = writeln!(j, "    {{");
@@ -466,6 +512,17 @@ pub fn render_explain(report: &ExplainReport) -> String {
             "  w{w:<2} {c} cycles — mcache {}/{} hits, {} evictions, {} conflicts",
             m.hits, m.lookups, m.evictions, m.conflicts
         );
+    }
+    for (w, snap) in report.widths.iter().zip(&report.ledgers) {
+        let cats: Vec<String> = snap
+            .categories
+            .iter()
+            .filter(|(_, b)| b.cycles > 0)
+            .map(|(name, b)| format!("{name} {}", b.cycles))
+            .collect();
+        if !cats.is_empty() {
+            let _ = writeln!(out, "  w{w:<2} ledger: {}", cats.join(", "));
+        }
     }
     if report.regions.is_empty() {
         let _ = writeln!(out, "\nno outlined regions were called");
@@ -545,6 +602,7 @@ pub fn profile_json(report: &ProfileReport, top: usize) -> String {
         "  \"phases\": {{\"scalar_cycles\": {}, \"micro_cycles\": {}, \"jit_stall_cycles\": {}}},",
         report.phases.scalar_cycles, report.phases.micro_cycles, report.phases.jit_stall_cycles
     );
+    let _ = writeln!(j, "  \"ledger\": {},", report.ledger.to_json());
     let spans: Vec<String> = report
         .span_summary
         .iter()
@@ -657,6 +715,16 @@ pub fn render_profile(report: &ProfileReport, top: usize) -> String {
         report.retired
     );
     let _ = writeln!(out, "translator {}", report.translator);
+    let cats: Vec<String> = report
+        .ledger
+        .categories
+        .iter()
+        .filter(|(_, b)| b.cycles > 0)
+        .map(|(name, b)| format!("{name} {}", b.cycles))
+        .collect();
+    if !cats.is_empty() {
+        let _ = writeln!(out, "ledger {}", cats.join(", "));
+    }
 
     if !report.span_summary.is_empty() {
         let _ = writeln!(out, "\nspans (by total simulated cycles)");

@@ -58,6 +58,7 @@ pub use liquid_simd_compiler::{
     Kernel, KernelBuilder, OutlinedFn, ReduceInit, Workload,
 };
 pub use liquid_simd_isa as isa;
+pub use liquid_simd_ledger as ledger;
 pub use liquid_simd_mem as mem;
 pub use liquid_simd_sim::{
     BackendKind, BlockStats, CallEvent, CallMode, ExecBackend, InterpBackend, LatencyModel,

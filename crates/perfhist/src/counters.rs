@@ -75,7 +75,39 @@ pub fn snapshot(report: &RunReport) -> BTreeMap<String, u64> {
             out.insert(name.clone(), v);
         }
     }
+    // Cycle-ledger category totals, only when the run recorded a ledger —
+    // ledger-off runs (the default) stay byte-compatible with pre-ledger
+    // history baselines.
+    if let Some(ledger) = &report.ledger {
+        for (cat, bucket) in ledger.category_totals() {
+            out.insert(format!("ledger.{}.cycles", cat.name()), bucket.cycles);
+            out.insert(format!("ledger.{}.events", cat.name()), bucket.events);
+        }
+    }
     out
+}
+
+/// Builds a labelled ledger [`Snapshot`](liquid_simd_sim::LedgerSnapshot)
+/// from one run: the attribution buckets plus the run's deterministic
+/// counter telemetry as corroborating evidence. `ledger.*` keys are left
+/// out (they restate the categories) and `backend.*` keys are left out
+/// (run metadata, not cost). This is the one code path behind
+/// `liquid-simd diff` and the pinned diff fixtures, so both stay
+/// byte-identical by construction.
+#[must_use]
+pub fn ledger_snapshot(
+    label: &str,
+    report: &RunReport,
+    names: &BTreeMap<u32, String>,
+) -> liquid_simd_sim::LedgerSnapshot {
+    let ledger = report.ledger.clone().unwrap_or_default();
+    let mut snap = liquid_simd_sim::LedgerSnapshot::from_ledger(label, &ledger, names);
+    for (k, v) in snapshot(report) {
+        if !k.starts_with("ledger.") && !k.starts_with("backend.") {
+            snap.counters.insert(k, v);
+        }
+    }
+    snap
 }
 
 /// Sums `add` into `acc` (union of names, values added) — suite-wide
@@ -121,8 +153,26 @@ mod tests {
         merge(&mut acc, &a);
         assert_eq!(acc["cycles"], 200);
         assert_eq!(acc["translator.abort.cam-miss"], 2);
-        // Interpreter runs (all-zero block stats) emit no blocks.* keys.
+        // Interpreter runs (all-zero block stats) emit no blocks.* keys,
+        // and ledger-off runs emit no ledger.* keys.
         assert!(!a.keys().any(|k| k.starts_with("blocks.")));
+        assert!(!a.keys().any(|k| k.starts_with("ledger.")));
+    }
+
+    #[test]
+    fn ledger_runs_emit_category_counters() {
+        let mut ledger = liquid_simd_sim::Ledger::new();
+        ledger.charge(7, 9, liquid_simd_sim::LedgerCategory::VectorExecute, 64);
+        ledger.event(7, 3, liquid_simd_sim::LedgerCategory::McacheProbe);
+        let r = RunReport {
+            ledger: Some(ledger),
+            ..Default::default()
+        };
+        let c = snapshot(&r);
+        assert_eq!(c["ledger.vector-execute.cycles"], 64);
+        assert_eq!(c["ledger.vector-execute.events"], 1);
+        assert_eq!(c["ledger.mcache-probe.cycles"], 0);
+        assert_eq!(c["ledger.mcache-probe.events"], 1);
     }
 
     #[test]

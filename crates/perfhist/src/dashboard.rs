@@ -116,6 +116,8 @@ pub fn render_extended(
         header_section(&mut out, newest, records.len());
         sparkline_section(&mut out, &records);
         figure6_section(&mut out, newest);
+        ledger_section(&mut out, newest);
+        heatmap_section(&mut out, newest);
         counter_section(&mut out, &records);
     } else if serve_records.is_empty() {
         out.push_str("<p class=\"empty\">No perfhist-v1 records in history.</p>");
@@ -233,6 +235,172 @@ fn sparkline_section(out: &mut String, records: &[&Json]) {
         );
     }
     out.push_str("</div></section>");
+}
+
+/// Stable color per ledger category (anything unknown falls back to the
+/// muted gray, so category additions never break old dashboards).
+fn category_color(name: &str) -> &'static str {
+    match name {
+        "scalar-execute" => "#8a7f6a",
+        "vector-execute" => "#2a78d6",
+        "translate-overhead" => "#b86f12",
+        "abort-replay" => "#d03b3b",
+        "mcache-probe" => "#7a5ea8",
+        "mcache-miss" => "#a83e77",
+        "dispatch" => "#4a9a8f",
+        _ => "#898781",
+    }
+}
+
+/// Per-workload stacked category bars from the ledger snapshots embedded
+/// in the newest record's rows (`bench --ledger`). Each bar splits the
+/// workload's headline-width cycles across the ledger's cost categories,
+/// so "where did the cycles go" is answerable per workload at a glance.
+fn ledger_section(out: &mut String, newest: &Json) {
+    let Some(rows) = newest.get("workloads").and_then(Json::as_arr) else {
+        return;
+    };
+    // (workload, total, [(category, cycles)]) for rows that carried a
+    // ledger snapshot; records written without --ledger skip the panel.
+    type Bar = (String, u64, Vec<(String, u64)>);
+    let mut bars: Vec<Bar> = Vec::new();
+    let mut seen: Vec<String> = Vec::new();
+    for r in rows {
+        let Some(cats) = r
+            .get("ledger")
+            .and_then(|l| l.get("categories"))
+            .and_then(Json::as_obj)
+        else {
+            continue;
+        };
+        let split: Vec<(String, u64)> = cats
+            .iter()
+            .filter_map(|(name, b)| {
+                let cycles = b.get("cycles").and_then(Json::as_u64)?;
+                (cycles > 0).then(|| (name.clone(), cycles))
+            })
+            .collect();
+        if split.is_empty() {
+            continue;
+        }
+        for (name, _) in &split {
+            if !seen.contains(name) {
+                seen.push(name.clone());
+            }
+        }
+        bars.push((
+            r.get("name")
+                .and_then(Json::as_str)
+                .unwrap_or("?")
+                .to_string(),
+            split.iter().map(|&(_, c)| c).sum(),
+            split,
+        ));
+    }
+    if bars.is_empty() {
+        return;
+    }
+    seen.sort();
+    out.push_str("<section id=\"ledger-categories\"><h2>Cycle ledger: where the cycles went</h2>");
+    out.push_str("<div class=\"legend\">");
+    for name in &seen {
+        let _ = write!(
+            out,
+            "<span><span class=\"swatch\" style=\"background:{}\"></span>{}</span>",
+            category_color(name),
+            esc(name)
+        );
+    }
+    out.push_str("</div><table><tbody>");
+    for (name, total, split) in &bars {
+        let _ = write!(
+            out,
+            "<tr><td>{}</td><td><div class=\"ledger-bar\" role=\"img\" \
+             aria-label=\"{} category split\">",
+            esc(name),
+            esc(name)
+        );
+        for (cat, cycles) in split {
+            let share = *cycles as f64 / (*total).max(1) as f64 * 100.0;
+            let _ = write!(
+                out,
+                "<span style=\"width:{share:.2}%;background:{}\" \
+                 title=\"{}: {} {} cycles ({share:.1}%)\"></span>",
+                category_color(cat),
+                esc(name),
+                esc(cat),
+                commas(*cycles)
+            );
+        }
+        let _ = write!(
+            out,
+            "</div></td><td class=\"num\">{}</td></tr>",
+            commas(*total)
+        );
+    }
+    out.push_str("</tbody></table></section>");
+}
+
+/// Width-comparison heatmap: per workload, cycles at every swept width
+/// relative to the workload's best width. Cells glow red as they fall
+/// behind the best, so a width inversion (a wider machine losing to a
+/// narrower one, e.g. `179.art` w16 vs w8) jumps out as a hot cell to the
+/// right of a cool one.
+fn heatmap_section(out: &mut String, newest: &Json) {
+    let rows: Vec<Row> = rows_of(newest)
+        .into_iter()
+        .filter(|r| r.by_width.len() >= 2)
+        .collect();
+    if rows.is_empty() {
+        return;
+    }
+    let widths: Vec<usize> = {
+        let mut ws: Vec<usize> = rows
+            .iter()
+            .flat_map(|r| r.by_width.iter().map(|&(w, _)| w))
+            .collect();
+        ws.sort_unstable();
+        ws.dedup();
+        ws
+    };
+    out.push_str("<section id=\"width-heatmap\"><h2>Width-comparison heatmap</h2>");
+    out.push_str(
+        "<p class=\"meta\">cycles at each width relative to the workload's best width \
+         (1.00× = best; hotter = further behind)</p>",
+    );
+    out.push_str("<table class=\"heat\"><thead><tr><th>workload</th>");
+    for w in &widths {
+        let _ = write!(out, "<th class=\"num\">w{w}</th>");
+    }
+    out.push_str("</tr></thead><tbody>");
+    for row in &rows {
+        let best = row
+            .by_width
+            .iter()
+            .map(|&(_, c)| c)
+            .min()
+            .unwrap_or(1)
+            .max(1);
+        let _ = write!(out, "<tr><td>{}</td>", esc(&row.name));
+        for w in &widths {
+            let Some(&(_, cycles)) = row.by_width.iter().find(|&&(bw, _)| bw == *w) else {
+                out.push_str("<td class=\"cell\">—</td>");
+                continue;
+            };
+            let ratio = cycles as f64 / best as f64;
+            // 1.00× is transparent; the red channel saturates by 1.5×.
+            let alpha = ((ratio - 1.0) / 0.5).clamp(0.0, 1.0) * 0.55;
+            let _ = write!(
+                out,
+                "<td class=\"cell\" style=\"background:rgba(208,59,59,{alpha:.2})\" \
+                 title=\"{}: {} cycles at w{w}\">{ratio:.2}×</td>",
+                esc(&row.name),
+                commas(cycles)
+            );
+        }
+        out.push_str("</tr>");
+    }
+    out.push_str("</tbody></table></section>");
 }
 
 /// Width-speedup bars, paper Figure 6 shape: grouped bars per workload,
@@ -1163,6 +1331,11 @@ th { color: var(--text-secondary); font-weight: 600; }
 td.num, th.num { text-align: right; font-variant-numeric: tabular-nums; }
 details summary { cursor: pointer; color: var(--text-secondary); font-size: 13px;
   margin-top: 10px; }
+.ledger-bar { display: flex; height: 14px; width: 360px; border-radius: 3px;
+  overflow: hidden; background: var(--grid); }
+.ledger-bar span { display: block; height: 100%; }
+.heat td.cell { text-align: center; padding: 4px 10px;
+  font-variant-numeric: tabular-nums; }
 .empty { color: var(--muted); }
 </style></head>
 <body class="viz-root"><main>
@@ -1208,6 +1381,31 @@ mod tests {
         assert!(html.contains("<title>FIR @ 8 lanes: 4.00×"));
         // Table views exist for the charts.
         assert!(html.matches("<details>").count() >= 2);
+        // The width heatmap renders from cycles_by_width alone (no ledger
+        // rows needed): the best width is the 1.00× cell.
+        assert!(html.contains("id=\"width-heatmap\""));
+        assert!(html.contains("1.00×"));
+        // Without `bench --ledger` rows the category panel stays out.
+        assert!(!html.contains("id=\"ledger-categories\""));
+    }
+
+    #[test]
+    fn ledger_rows_render_stacked_category_bars() {
+        let rec = Json::parse(
+            r#"{"schema":"perfhist-v1","commit":"abc123def","timestamp":1700000000,"host":"h","config_hash":"cafe","smoke":false,"widths":[2,8],"workloads":[{"name":"FIR","baseline_cycles":1000,"sim_cycles":250,"cycles_by_width":{"2":600,"8":250},"ledger":{"total_cycles":250,"categories":{"scalar-execute":{"cycles":100,"events":10},"vector-execute":{"cycles":150,"events":5},"dispatch":{"cycles":0,"events":3}},"regions":{}},"wall_s":0.5,"sim_cycles_per_sec":500.0}],"counters":{"cycles":250},"wall":{}}"#,
+        )
+        .unwrap();
+        let html = render(&[rec], "");
+        assert!(html.contains("id=\"ledger-categories\""));
+        // Both nonzero categories drawn, the zero-cycle one skipped.
+        assert!(html.contains("scalar-execute"));
+        assert!(html.contains("vector-execute"));
+        assert!(html.contains("FIR: vector-execute 150 cycles (60.0%)"));
+        assert!(!html.contains("dispatch"));
+        // Still self-contained with the inline-styled panels present.
+        for needle in ["<script", "src=", "href=", "url("] {
+            assert!(!html.contains(needle), "external reference: {needle}");
+        }
     }
 
     #[test]

@@ -46,6 +46,10 @@ pub struct WorkloadRow {
     pub wall_s: f64,
     /// Simulated cycles per wall-clock second (throughput).
     pub cycles_per_sec: f64,
+    /// Compact cycle-ledger snapshot of the headline-width run (category
+    /// and region rollups), present only when bench ran with `--ledger`.
+    /// `None` keeps the row byte-identical to pre-ledger records.
+    pub ledger: Option<Json>,
 }
 
 /// Identity fields shared by every record from one bench invocation.
@@ -113,6 +117,9 @@ pub fn build(
                         .collect(),
                 ),
             );
+            if let Some(ledger) = &w.ledger {
+                row.set("ledger", ledger.clone());
+            }
             row.set("wall_s", Json::f64(w.wall_s));
             row.set("sim_cycles_per_sec", Json::f64(w.cycles_per_sec));
             row
@@ -288,6 +295,7 @@ pub fn from_bench_snapshot(snapshot: &Json, meta: &RecordMeta) -> Result<Json, S
                 .get("sim_cycles_per_sec")
                 .and_then(Json::as_f64)
                 .unwrap_or(0.0),
+            ledger: r.get("ledger").cloned(),
         })
         .collect();
     let mut meta = meta.clone();
@@ -386,7 +394,26 @@ mod tests {
             cycles_by_width: vec![(2, 600), (8, 250)],
             wall_s,
             cycles_per_sec: 250.0 / wall_s,
+            ledger: None,
         }
+    }
+
+    #[test]
+    fn ledger_snapshot_splices_into_the_row_only_when_present() {
+        let counters = BTreeMap::new();
+        let plain = build(&meta(), &[row("FIR", 0.5)], &counters, &[]);
+        assert!(!plain.write().contains("\"ledger\""));
+        let mut with = row("FIR", 0.5);
+        with.ledger =
+            Some(Json::parse(r#"{"total_cycles":250,"categories":{"scalar-execute":{"cycles":250,"events":100}}}"#).unwrap());
+        let rec = build(&meta(), &[with], &counters, &[]);
+        let rows = rec.get("workloads").and_then(Json::as_arr).unwrap();
+        let led = rows[0].get("ledger").expect("ledger spliced");
+        assert_eq!(led.get("total_cycles").and_then(Json::as_u64), Some(250));
+        // The ledger is deterministic telemetry: it survives scrubbing.
+        let mut scrubbed = rec.clone();
+        scrub_wall(&mut scrubbed);
+        assert!(scrubbed.write().contains("\"ledger\""));
     }
 
     #[test]

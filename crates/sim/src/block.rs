@@ -1087,6 +1087,15 @@ pub(crate) fn exec_block(m: &mut Machine<'_>, block: &Block) -> Result<bool, Sim
     let d_penalty = u64::from(m.config.dcache.miss_penalty);
     let max_cycles = m.config.max_cycles;
     let c0 = m.cycle;
+    // Ledger key, hoisted: a block never crosses a call/return and the
+    // translator is idle while blocks run (fallback guards), so the region
+    // and its replay status cannot change mid-block. Per-instruction deltas
+    // telescope to the block delta, which keeps superblock ledgers
+    // byte-identical to the interpreter's.
+    let lk = m.ledger.is_some().then(|| {
+        let region = m.ledger_region(block.in_micro);
+        (region, !block.in_micro && m.failed.contains(&region))
+    });
     let mut retired = 0u64;
     let mut vec_retired = 0u64;
     let mut lane_ops = 0u64;
@@ -1148,6 +1157,12 @@ pub(crate) fn exec_block(m: &mut Machine<'_>, block: &Block) -> Result<bool, Sim
         if is_store {
             busy += mem_extra;
         }
+        if let Some((region, replay)) = lk {
+            let cat = Machine::exec_category(block.in_micro, li.vector, replay);
+            if let Some(led) = m.ledger.as_deref_mut() {
+                led.charge(region, li.pc, cat, busy - m.cycle);
+            }
+        }
         m.cycle = busy;
         retired += 1;
         if li.vector {
@@ -1182,6 +1197,12 @@ pub(crate) fn exec_block(m: &mut Machine<'_>, block: &Block) -> Result<bool, Sim
                 let mut busy = issue;
                 if taken {
                     busy += u64::from(m.config.lat.branch_taken);
+                }
+                if let Some((region, replay)) = lk {
+                    let cat = Machine::exec_category(block.in_micro, false, replay);
+                    if let Some(led) = m.ledger.as_deref_mut() {
+                        led.charge(region, pc, cat, busy - m.cycle);
+                    }
                 }
                 m.cycle = busy;
                 retired += 1; // branches are scalar: no def, no flag write

@@ -68,3 +68,9 @@ pub use meta::{InstMeta, RegRef};
 pub use report::{
     BlockStats, CallEvent, CallMode, PhaseBreakdown, RunReport, TargetProfile, TranslationWindow,
 };
+
+/// Re-exported cycle-ledger vocabulary ([`RunReport::ledger`] is typed
+/// against these; see the `liquid-simd-ledger` crate for the full API).
+pub use liquid_simd_ledger::{
+    Bucket as LedgerBucket, Category as LedgerCategory, Ledger, Snapshot as LedgerSnapshot,
+};

@@ -4,6 +4,7 @@
 use std::collections::HashSet;
 
 use liquid_simd_isa::{Inst, Program};
+use liquid_simd_ledger::{Category, Ledger, TOP_REGION};
 use liquid_simd_mem::{Cache, Memory};
 use liquid_simd_trace::{CacheKind, CallMode as TraceCallMode, SpanId, TraceEvent, Tracer, Track};
 use liquid_simd_translator::{Progress, Retired, Translator, TranslatorConfig};
@@ -54,7 +55,7 @@ pub struct Machine<'p> {
     window: Option<usize>,
     /// Functions that aborted translation for a permanent (non-external)
     /// reason; retrying them every call would only waste the translator.
-    failed: HashSet<u32>,
+    pub(crate) failed: HashSet<u32>,
     pub(crate) cycle: u64,
     pub(crate) ready_r: [u64; 16],
     pub(crate) ready_f: [u64; 16],
@@ -67,7 +68,11 @@ pub struct Machine<'p> {
     pub(crate) tracer: Option<Tracer>,
     /// Scalar calls in flight: `(entry pc, call cycle)`, for `CallExit`
     /// events and per-target cycle attribution.
-    scalar_stack: Vec<(u32, u64)>,
+    pub(crate) scalar_stack: Vec<(u32, u64)>,
+    /// Exact per-(region, PC, category) cycle attribution, present only
+    /// when [`MachineConfig::ledger`] is set. Boxed so the off case costs
+    /// one pointer; like the tracer, it never affects simulated timing.
+    pub(crate) ledger: Option<Box<Ledger>>,
     /// The open execution-phase span and whether it covers microcode
     /// (tracer only): `exec:scalar` / `exec:microcode` segments tile the
     /// whole run, so their cycle totals sum to the run's cycle count.
@@ -121,6 +126,7 @@ impl<'p> Machine<'p> {
             report: RunReport::default(),
             tracer,
             scalar_stack: Vec::new(),
+            ledger: config.ledger.then(|| Box::new(Ledger::new())),
             exec_span: None,
             config,
         }
@@ -237,6 +243,7 @@ impl<'p> Machine<'p> {
         report.halted = true;
         report.backend = self.config.backend;
         report.blocks = backend.block_stats();
+        report.ledger = self.ledger.take().map(|b| *b);
         Ok(report)
     }
 
@@ -364,6 +371,9 @@ impl<'p> Machine<'p> {
         } else {
             self.report.phases.scalar_cycles += exec_delta;
         }
+        if self.ledger.is_some() {
+            self.ledger_charge_exec(pc, in_micro, meta.vector, exec_delta);
+        }
 
         // ---- retire counters ------------------------------------------------
         self.report.retired += 1;
@@ -437,6 +447,22 @@ impl<'p> Machine<'p> {
                         } else {
                             self.cycle + work * self.config.translation.cycles_per_instr
                         };
+                        if let Some(led) = self.ledger.as_deref_mut() {
+                            // Hardware translation runs off the critical
+                            // path: record the completion as a 0-cycle
+                            // event. A software JIT stalls the pipeline, so
+                            // its stall cycles land here too.
+                            if self.config.translation.jit {
+                                led.charge(
+                                    tr.func_pc,
+                                    tr.func_pc,
+                                    Category::TranslateOverhead,
+                                    work * self.config.translation.jit_cycles_per_instr,
+                                );
+                            } else {
+                                led.event(tr.func_pc, tr.func_pc, Category::TranslateOverhead);
+                            }
+                        }
                         self.report.translations.push((tr.func_pc, tr.code.len()));
                         let uops = tr.code.len() as u64;
                         let meta = meta_of_code(&tr.code, &self.config.lat, self.config.lanes);
@@ -460,6 +486,12 @@ impl<'p> Machine<'p> {
                             // (External aborts — interrupts — retry later.)
                             if let Some(f) = self.translating_target() {
                                 self.failed.insert(f);
+                                if let Some(led) = self.ledger.as_deref_mut() {
+                                    // Marks the moment this target became a
+                                    // permanent scalar-replay region; later
+                                    // cycles in it charge to abort-replay.
+                                    led.event(f, f, Category::AbortReplay);
+                                }
                             }
                         }
                         self.translating = None;
@@ -536,6 +568,46 @@ impl<'p> Machine<'p> {
         Ok(false)
     }
 
+    /// The ledger region of the current stream position: the microcode
+    /// entry's function PC, the innermost in-flight scalar call target, or
+    /// [`TOP_REGION`] outside any call.
+    pub(crate) fn ledger_region(&self, in_micro: bool) -> u32 {
+        if in_micro {
+            match self.stream {
+                Stream::Micro { idx, .. } => self.mcache.func_pc(idx),
+                Stream::Prog { .. } => TOP_REGION,
+            }
+        } else {
+            self.scalar_stack.last().map_or(TOP_REGION, |&(t, _)| t)
+        }
+    }
+
+    /// The execution category of one retire: microcode and vector retires
+    /// are vector-execute; scalar retires inside a permanently-aborted
+    /// region are the abort's scalar replay; everything else is plain
+    /// scalar execution.
+    pub(crate) fn exec_category(in_micro: bool, vector: bool, replay: bool) -> Category {
+        if in_micro || vector {
+            Category::VectorExecute
+        } else if replay {
+            Category::AbortReplay
+        } else {
+            Category::ScalarExecute
+        }
+    }
+
+    /// Charges one retire's cycle delta to the ledger (cold path; callers
+    /// guard on `self.ledger.is_some()` so the common ledger-off run pays
+    /// one branch).
+    pub(crate) fn ledger_charge_exec(&mut self, pc: u32, in_micro: bool, vector: bool, delta: u64) {
+        let region = self.ledger_region(in_micro);
+        let replay = !in_micro && self.failed.contains(&region);
+        let category = Self::exec_category(in_micro, vector, replay);
+        if let Some(led) = self.ledger.as_deref_mut() {
+            led.charge(region, pc, category, delta);
+        }
+    }
+
     /// Closes the open translation window (if any) at the current retired
     /// count. Call on every translator-lifecycle end — commit, translation
     /// abort, or external abort — so the window log stays exact.
@@ -567,6 +639,17 @@ impl<'p> Machine<'p> {
         let mut mode = CallMode::Scalar;
         if candidate {
             let lookup = self.mcache.lookup(target, self.cycle);
+            if let Some(led) = self.ledger.as_deref_mut() {
+                // Probe/hit/miss bookkeeping is free in the timing model;
+                // the ledger records them as 0-cycle events so `diff` can
+                // corroborate cycle movement with dispatch behaviour.
+                led.event(target, pc, Category::McacheProbe);
+                match lookup {
+                    Lookup::Hit(_) => led.event(target, pc, Category::Dispatch),
+                    Lookup::Miss => led.event(target, pc, Category::McacheMiss),
+                    Lookup::Pending => {}
+                }
+            }
             if let Some(t) = &self.tracer {
                 t.emit(match lookup {
                     Lookup::Hit(_) => TraceEvent::McacheHit { func_pc: target },

@@ -219,6 +219,11 @@ pub struct RunReport {
     pub backend: BackendKind,
     /// Superblock-backend telemetry (all zeros under the interpreter).
     pub blocks: BlockStats,
+    /// Exact per-(region, PC, category) cycle attribution, recorded only
+    /// when [`crate::MachineConfig::ledger`] is set. The ledger's cycle sum
+    /// equals [`PhaseBreakdown::total`] bit-exactly, and both backends
+    /// produce byte-identical ledgers for the same run.
+    pub ledger: Option<liquid_simd_ledger::Ledger>,
 }
 
 impl RunReport {
@@ -240,6 +245,12 @@ impl RunReport {
             self.cycles,
         );
         self.blocks.record_metrics(m);
+        if let Some(ledger) = &self.ledger {
+            for (cat, bucket) in ledger.category_totals() {
+                m.add(&format!("ledger.{}.cycles", cat.name()), bucket.cycles);
+                m.add(&format!("ledger.{}.events", cat.name()), bucket.events);
+            }
+        }
     }
 
     /// The headline counters as a fresh registry (see

@@ -9,6 +9,7 @@ pub use liquid_simd_compiler as compiler;
 pub use liquid_simd_conform as conform;
 pub use liquid_simd_isa as isa;
 pub use liquid_simd_kernelgen as kernelgen;
+pub use liquid_simd_ledger as ledger;
 pub use liquid_simd_mem as mem;
 pub use liquid_simd_perfhist as perfhist;
 pub use liquid_simd_serve as serve;

@@ -59,6 +59,7 @@ fn measure(wall_s: f64) -> Json {
             cycles_by_width: by_width,
             wall_s,
             cycles_per_sec: headline as f64 / wall_s,
+            ledger: None,
         });
     }
     perfhist::record::build(&meta(), &rows, &counters, &[])
